@@ -1,0 +1,14 @@
+//! Regenerates Table 1: Theorem 1.1 upper bound (Two-Choices scaling).
+//!
+//! Run with `--quick` for a CI-scale run; the default reproduces the
+//! paper-scale sweep recorded in EXPERIMENTS.md.
+use rapid_experiments::cli::{emit, Scale};
+use rapid_experiments::e01;
+
+fn main() {
+    let cfg = match Scale::from_args() {
+        Scale::Quick => e01::Config::quick(),
+        Scale::Full => e01::Config::default(),
+    };
+    emit(&e01::run(&cfg));
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 1: Theorem 1.1 lower bound (Omega(k)).
+//!
+//! Run with `--quick` for a CI-scale run; the default reproduces the
+//! paper-scale sweep recorded in EXPERIMENTS.md.
+use rapid_experiments::cli::{emit, Scale};
+use rapid_experiments::e02;
+
+fn main() {
+    let cfg = match Scale::from_args() {
+        Scale::Quick => e02::Config::quick(),
+        Scale::Full => e02::Config::default(),
+    };
+    emit(&e02::run(&cfg));
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table 2: small-bias failure of Two-Choices.
+//!
+//! Run with `--quick` for a CI-scale run; the default reproduces the
+//! paper-scale sweep recorded in EXPERIMENTS.md.
+use rapid_experiments::cli::{emit, Scale};
+use rapid_experiments::e03;
+
+fn main() {
+    let cfg = match Scale::from_args() {
+        Scale::Quick => e03::Config::quick(),
+        Scale::Full => e03::Config::default(),
+    };
+    emit(&e03::run(&cfg));
+}

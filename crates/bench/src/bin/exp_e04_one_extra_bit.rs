@@ -1,0 +1,14 @@
+//! Regenerates Table 3: Theorem 1.2 (OneExtraBit).
+//!
+//! Run with `--quick` for a CI-scale run; the default reproduces the
+//! paper-scale sweep recorded in EXPERIMENTS.md.
+use rapid_experiments::cli::{emit, Scale};
+use rapid_experiments::e04;
+
+fn main() {
+    let cfg = match Scale::from_args() {
+        Scale::Quick => e04::Config::quick(),
+        Scale::Full => e04::Config::default(),
+    };
+    emit(&e04::run(&cfg));
+}

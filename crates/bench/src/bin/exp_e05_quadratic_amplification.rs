@@ -1,0 +1,14 @@
+//! Regenerates Figure 2: quadratic bias amplification.
+//!
+//! Run with `--quick` for a CI-scale run; the default reproduces the
+//! paper-scale sweep recorded in EXPERIMENTS.md.
+use rapid_experiments::cli::{emit, Scale};
+use rapid_experiments::e05;
+
+fn main() {
+    let cfg = match Scale::from_args() {
+        Scale::Quick => e05::Config::quick(),
+        Scale::Full => e05::Config::default(),
+    };
+    emit(&e05::run(&cfg));
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table 4: Theorem 1.3 (async Theta(log n)).
+//!
+//! Run with `--quick` for a CI-scale run; the default reproduces the
+//! paper-scale sweep recorded in EXPERIMENTS.md.
+use rapid_experiments::cli::{emit, Scale};
+use rapid_experiments::e06;
+
+fn main() {
+    let cfg = match Scale::from_args() {
+        Scale::Quick => e06::Config::quick(),
+        Scale::Full => e06::Config::default(),
+    };
+    emit(&e06::run(&cfg));
+}

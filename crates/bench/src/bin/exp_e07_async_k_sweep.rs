@@ -1,0 +1,14 @@
+//! Regenerates Figure 3: async k-sweep.
+//!
+//! Run with `--quick` for a CI-scale run; the default reproduces the
+//! paper-scale sweep recorded in EXPERIMENTS.md.
+use rapid_experiments::cli::{emit, Scale};
+use rapid_experiments::e07;
+
+fn main() {
+    let cfg = match Scale::from_args() {
+        Scale::Quick => e07::Config::quick(),
+        Scale::Full => e07::Config::default(),
+    };
+    emit(&e07::run(&cfg));
+}

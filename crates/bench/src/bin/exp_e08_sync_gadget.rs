@@ -1,0 +1,14 @@
+//! Regenerates Figure 4: weak synchronicity / Sync Gadget ablation.
+//!
+//! Run with `--quick` for a CI-scale run; the default reproduces the
+//! paper-scale sweep recorded in EXPERIMENTS.md.
+use rapid_experiments::cli::{emit, Scale};
+use rapid_experiments::e08;
+
+fn main() {
+    let cfg = match Scale::from_args() {
+        Scale::Quick => e08::Config::quick(),
+        Scale::Full => e08::Config::default(),
+    };
+    emit(&e08::run(&cfg));
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table 5: tick concentration and the Omega(log n) barrier.
+//!
+//! Run with `--quick` for a CI-scale run; the default reproduces the
+//! paper-scale sweep recorded in EXPERIMENTS.md.
+use rapid_experiments::cli::{emit, Scale};
+use rapid_experiments::e09;
+
+fn main() {
+    let cfg = match Scale::from_args() {
+        Scale::Quick => e09::Config::quick(),
+        Scale::Full => e09::Config::default(),
+    };
+    emit(&e09::run(&cfg));
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 5: Bit-Propagation as a Polya urn.
+//!
+//! Run with `--quick` for a CI-scale run; the default reproduces the
+//! paper-scale sweep recorded in EXPERIMENTS.md.
+use rapid_experiments::cli::{emit, Scale};
+use rapid_experiments::e10;
+
+fn main() {
+    let cfg = match Scale::from_args() {
+        Scale::Quick => e10::Config::quick(),
+        Scale::Full => e10::Config::default(),
+    };
+    emit(&e10::run(&cfg));
+}

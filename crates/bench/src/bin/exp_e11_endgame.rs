@@ -1,0 +1,14 @@
+//! Regenerates Table 6: the endgame.
+//!
+//! Run with `--quick` for a CI-scale run; the default reproduces the
+//! paper-scale sweep recorded in EXPERIMENTS.md.
+use rapid_experiments::cli::{emit, Scale};
+use rapid_experiments::e11;
+
+fn main() {
+    let cfg = match Scale::from_args() {
+        Scale::Quick => e11::Config::quick(),
+        Scale::Full => e11::Config::default(),
+    };
+    emit(&e11::run(&cfg));
+}

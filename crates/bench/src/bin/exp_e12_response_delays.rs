@@ -1,0 +1,14 @@
+//! Regenerates Table 7: exponential response delays.
+//!
+//! Run with `--quick` for a CI-scale run; the default reproduces the
+//! paper-scale sweep recorded in EXPERIMENTS.md.
+use rapid_experiments::cli::{emit, Scale};
+use rapid_experiments::e12;
+
+fn main() {
+    let cfg = match Scale::from_args() {
+        Scale::Quick => e12::Config::quick(),
+        Scale::Full => e12::Config::default(),
+    };
+    emit(&e12::run(&cfg));
+}

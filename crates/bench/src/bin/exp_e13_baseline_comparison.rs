@@ -1,0 +1,14 @@
+//! Regenerates Figure 6: protocol comparison.
+//!
+//! Run with `--quick` for a CI-scale run; the default reproduces the
+//! paper-scale sweep recorded in EXPERIMENTS.md.
+use rapid_experiments::cli::{emit, Scale};
+use rapid_experiments::e13;
+
+fn main() {
+    let cfg = match Scale::from_args() {
+        Scale::Quick => e13::Config::quick(),
+        Scale::Full => e13::Config::default(),
+    };
+    emit(&e13::run(&cfg));
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 7 (extension): the protocols beyond the complete
+//! graph (discussion §4).
+//!
+//! Run with `--quick` for a CI-scale run; the default reproduces the
+//! paper-scale sweep recorded in EXPERIMENTS.md.
+use rapid_experiments::cli::{emit, Scale};
+use rapid_experiments::e14;
+
+fn main() {
+    let cfg = match Scale::from_args() {
+        Scale::Quick => e14::Config::quick(),
+        Scale::Full => e14::Config::default(),
+    };
+    emit(&e14::run(&cfg));
+}

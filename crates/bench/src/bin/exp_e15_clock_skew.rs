@@ -1,0 +1,15 @@
+//! Regenerates Table 8 (extension): robustness to heterogeneous clock
+//! rates (discussion §4).
+//!
+//! Run with `--quick` for a CI-scale run; the default reproduces the
+//! paper-scale sweep recorded in EXPERIMENTS.md.
+use rapid_experiments::cli::{emit, Scale};
+use rapid_experiments::e15;
+
+fn main() {
+    let cfg = match Scale::from_args() {
+        Scale::Quick => e15::Config::quick(),
+        Scale::Full => e15::Config::default(),
+    };
+    emit(&e15::run(&cfg));
+}

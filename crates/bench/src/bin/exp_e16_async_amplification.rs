@@ -1,0 +1,15 @@
+//! Regenerates Figure 8: quadratic amplification inside the asynchronous
+//! protocol (Section 3).
+//!
+//! Run with `--quick` for a CI-scale run; the default reproduces the
+//! paper-scale sweep recorded in EXPERIMENTS.md.
+use rapid_experiments::cli::{emit, Scale};
+use rapid_experiments::e16;
+
+fn main() {
+    let cfg = match Scale::from_args() {
+        Scale::Quick => e16::Config::quick(),
+        Scale::Full => e16::Config::default(),
+    };
+    emit(&e16::run(&cfg));
+}

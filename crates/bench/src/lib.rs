@@ -1,0 +1,30 @@
+//! Shared helpers for the benchmark suite and experiment binaries.
+//!
+//! The scientific content lives in `rapid-experiments`; this crate only
+//! hosts the criterion benches (`benches/`) and one binary per experiment
+//! (`src/bin/exp_*.rs`) so that `cargo bench --workspace` exercises the
+//! protocol kernels and `cargo run -p rapid-bench --bin exp_e06` (etc.)
+//! regenerates each table/figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Standard workload used by benches: multiplicative bias counts.
+///
+/// # Panics
+///
+/// Panics if the workload is infeasible (population too small for `k`).
+pub fn bench_counts(n: u64, k: usize, eps: f64) -> Vec<u64> {
+    rapid_experiments::InitialDistribution::multiplicative_bias(k, eps)
+        .counts(n)
+        .expect("benchmark workload must be feasible")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_counts_sum_to_n() {
+        let c = super::bench_counts(1000, 4, 0.3);
+        assert_eq!(c.iter().sum::<u64>(), 1000);
+    }
+}

@@ -1,0 +1,362 @@
+//! Plain asynchronous gossip: Voter, Two-Choices, 3-Majority.
+//!
+//! Each Poisson tick, the activated node samples neighbors per the
+//! [`GossipRule`] and updates its color immediately (no snapshots — this is
+//! the genuinely asynchronous dynamic).
+//!
+//! Asynchronous Two-Choices is both the natural baseline for the paper's
+//! protocol and its **endgame** (part 2): Theorem 1.3's second stage runs
+//! exactly this process from a `c_1 ≥ (1−ε)n` configuration. The optional
+//! per-node tick budget ([`AsyncGossipSim::with_halt_after`]) models the
+//! endgame's "finish line": nodes freeze after that many own ticks, and the
+//! run succeeds only if unanimity arrives before the first freeze.
+
+use rapid_graph::topology::Topology;
+use rapid_sim::node::NodeId;
+use rapid_sim::rng::SimRng;
+use rapid_sim::scheduler::{Activation, ActivationSource};
+use rapid_sim::time::SimTime;
+
+use crate::convergence::{AsyncOutcome, ConvergenceError};
+use crate::opinion::Configuration;
+
+/// The update rule applied on each tick.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum GossipRule {
+    /// Sample one neighbor, adopt its color.
+    Voter,
+    /// Sample two neighbors (with replacement); adopt iff they agree.
+    TwoChoices,
+    /// Sample three; adopt the majority, or the first sample if all differ.
+    ThreeMajority,
+}
+
+impl GossipRule {
+    /// Human-readable rule name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GossipRule::Voter => "async-voter",
+            GossipRule::TwoChoices => "async-two-choices",
+            GossipRule::ThreeMajority => "async-3-majority",
+        }
+    }
+}
+
+impl std::fmt::Display for GossipRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An asynchronous gossip simulation.
+///
+/// Generic over the topology `G` and the activation source `S` (sequential,
+/// event-queue, jittered, or a replayed trace).
+///
+/// # Example
+///
+/// ```
+/// use rapid_core::prelude::*;
+/// use rapid_graph::prelude::*;
+/// use rapid_sim::prelude::*;
+///
+/// let g = Complete::new(500);
+/// let config = Configuration::from_counts(&[400, 100]).expect("valid");
+/// let sched = SequentialScheduler::new(500, Seed::new(1));
+/// let mut sim = AsyncGossipSim::new(g, config, GossipRule::TwoChoices, sched, Seed::new(2));
+/// let out = sim.run_until_consensus(10_000_000).expect("converges");
+/// assert_eq!(out.winner, Color::new(0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct AsyncGossipSim<G, S> {
+    topology: G,
+    config: Configuration,
+    rule: GossipRule,
+    source: S,
+    rng: SimRng,
+    ticks: Vec<u64>,
+    halt_after: Option<u64>,
+    halted_count: usize,
+    first_halt: Option<SimTime>,
+    steps: u64,
+    now: SimTime,
+}
+
+impl<G: Topology, S: ActivationSource> AsyncGossipSim<G, S> {
+    /// Creates a simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if topology, configuration and source disagree on `n`.
+    pub fn new(topology: G, config: Configuration, rule: GossipRule, source: S, seed: rapid_sim::rng::Seed) -> Self {
+        assert_eq!(topology.n(), config.n(), "topology/configuration n mismatch");
+        assert_eq!(source.n(), config.n(), "source/configuration n mismatch");
+        let n = config.n();
+        AsyncGossipSim {
+            topology,
+            config,
+            rule,
+            source,
+            rng: SimRng::from_seed_value(seed),
+            ticks: vec![0; n],
+            halt_after: None,
+            halted_count: 0,
+            first_halt: None,
+            steps: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Makes every node freeze its color after `ticks` of its own ticks
+    /// (the endgame's part-2 finish line).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ticks == 0`.
+    pub fn with_halt_after(mut self, ticks: u64) -> Self {
+        assert!(ticks > 0, "halt budget must be positive");
+        self.halt_after = Some(ticks);
+        self
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &Configuration {
+        &self.config
+    }
+
+    /// The update rule.
+    pub fn rule(&self) -> GossipRule {
+        self.rule
+    }
+
+    /// Simulation time of the latest activation.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total activations executed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Time at which the first node froze, if any.
+    pub fn first_halt(&self) -> Option<SimTime> {
+        self.first_halt
+    }
+
+    /// Executes one activation; returns it.
+    pub fn tick(&mut self) -> Activation {
+        let a = self.source.next_activation();
+        self.now = a.time;
+        self.steps += 1;
+        let u = a.node;
+        let i = u.index();
+
+        if let Some(budget) = self.halt_after {
+            if self.ticks[i] >= budget {
+                // Frozen: clock ticks, state does not change.
+                return a;
+            }
+        }
+        self.ticks[i] += 1;
+        self.apply_rule(u);
+        if let Some(budget) = self.halt_after {
+            if self.ticks[i] >= budget {
+                self.halted_count += 1;
+                if self.first_halt.is_none() {
+                    self.first_halt = Some(a.time);
+                }
+            }
+        }
+        a
+    }
+
+    fn apply_rule(&mut self, u: NodeId) {
+        match self.rule {
+            GossipRule::Voter => {
+                let v = self.topology.sample_neighbor(u, &mut self.rng);
+                let c = self.config.color(v);
+                self.config.set_color(u, c);
+            }
+            GossipRule::TwoChoices => {
+                let v = self.topology.sample_neighbor(u, &mut self.rng);
+                let w = self.topology.sample_neighbor(u, &mut self.rng);
+                let cv = self.config.color(v);
+                if cv == self.config.color(w) {
+                    self.config.set_color(u, cv);
+                }
+            }
+            GossipRule::ThreeMajority => {
+                let a = self.config.color(self.topology.sample_neighbor(u, &mut self.rng));
+                let b = self.config.color(self.topology.sample_neighbor(u, &mut self.rng));
+                let c = self.config.color(self.topology.sample_neighbor(u, &mut self.rng));
+                let winner = if a == b || a == c {
+                    a
+                } else if b == c {
+                    b
+                } else {
+                    a
+                };
+                self.config.set_color(u, winner);
+            }
+        }
+    }
+
+    /// Runs until unanimity, every node frozen, or `max_steps`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConvergenceError::BudgetExhausted`] after `max_steps`
+    ///   activations without unanimity;
+    /// * [`ConvergenceError::AllHaltedWithoutConsensus`] if a halt budget is
+    ///   set and every node froze first.
+    pub fn run_until_consensus(
+        &mut self,
+        max_steps: u64,
+    ) -> Result<AsyncOutcome, ConvergenceError> {
+        if let Some(winner) = self.config.unanimous() {
+            return Ok(AsyncOutcome {
+                winner,
+                time: self.now,
+                steps: self.steps,
+            });
+        }
+        for _ in 0..max_steps {
+            self.tick();
+            if let Some(winner) = self.config.unanimous() {
+                return Ok(AsyncOutcome {
+                    winner,
+                    time: self.now,
+                    steps: self.steps,
+                });
+            }
+            if self.halted_count == self.config.n() {
+                return Err(ConvergenceError::AllHaltedWithoutConsensus);
+            }
+        }
+        Err(ConvergenceError::BudgetExhausted { budget: max_steps })
+    }
+
+    /// Whether unanimity (if reached) arrived strictly before the first
+    /// node froze — Theorem 1.3's endgame success event. `true` when no
+    /// node has frozen.
+    pub fn consensus_before_first_halt(&self, consensus_time: SimTime) -> bool {
+        match self.first_halt {
+            None => true,
+            Some(t) => consensus_time < t,
+        }
+    }
+}
+
+/// Convenience alias: async gossip on the clique under the sequential model.
+pub type CliqueGossip =
+    AsyncGossipSim<rapid_graph::complete::Complete, rapid_sim::scheduler::SequentialScheduler>;
+
+/// Builds an async-gossip simulation on `K_n` under the sequential model.
+///
+/// # Panics
+///
+/// Panics if `counts` is not a valid configuration (see
+/// [`Configuration::from_counts`]).
+pub fn clique_gossip(
+    counts: &[u64],
+    rule: GossipRule,
+    seed: rapid_sim::rng::Seed,
+) -> CliqueGossip {
+    let config = Configuration::from_counts(counts).expect("valid configuration");
+    let n = config.n();
+    let sched = rapid_sim::scheduler::SequentialScheduler::new(n, seed.child(0));
+    AsyncGossipSim::new(
+        rapid_graph::complete::Complete::new(n),
+        config,
+        rule,
+        sched,
+        seed.child(1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opinion::Color;
+    use rapid_sim::rng::Seed;
+
+    #[test]
+    fn two_choices_converges_to_strong_plurality() {
+        let mut wins = 0;
+        for seed in 0..10 {
+            let mut sim = clique_gossip(&[400, 100], GossipRule::TwoChoices, Seed::new(seed));
+            let out = sim.run_until_consensus(20_000_000).expect("converges");
+            if out.winner == Color::new(0) {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 9, "plurality won only {wins}/10");
+    }
+
+    #[test]
+    fn endgame_finishes_before_first_halt_from_dominant_start() {
+        // c1 = 0.95n: the paper's endgame precondition.
+        let n = 2000u64;
+        let c1 = (0.95 * n as f64) as u64;
+        let mut sim = clique_gossip(&[c1, n - c1], GossipRule::TwoChoices, Seed::new(3))
+            .with_halt_after(100); // ≈ 8 ln n ticks each
+        let out = sim.run_until_consensus(50_000_000).expect("converges");
+        assert_eq!(out.winner, Color::new(0));
+        assert!(
+            sim.consensus_before_first_halt(out.time),
+            "consensus at {} vs first halt {:?}",
+            out.time,
+            sim.first_halt()
+        );
+    }
+
+    #[test]
+    fn all_halted_error_when_budget_is_tiny() {
+        let mut sim = clique_gossip(&[50, 50], GossipRule::Voter, Seed::new(4))
+            .with_halt_after(1);
+        let err = sim.run_until_consensus(10_000_000).expect_err("cannot finish");
+        assert_eq!(err, ConvergenceError::AllHaltedWithoutConsensus);
+        assert!(sim.first_halt().is_some());
+    }
+
+    #[test]
+    fn voter_changes_color_every_tick() {
+        let mut sim = clique_gossip(&[5, 5], GossipRule::Voter, Seed::new(5));
+        let before = sim.config().counts().n();
+        for _ in 0..100 {
+            sim.tick();
+        }
+        assert_eq!(sim.config().counts().n(), before);
+        assert_eq!(sim.steps(), 100);
+        assert!(sim.now() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn three_majority_converges() {
+        let mut sim = clique_gossip(&[300, 100, 100], GossipRule::ThreeMajority, Seed::new(6));
+        let out = sim.run_until_consensus(20_000_000).expect("converges");
+        assert_eq!(out.winner, Color::new(0));
+    }
+
+    #[test]
+    fn already_unanimous_returns_immediately() {
+        let mut sim = clique_gossip(&[100, 0], GossipRule::TwoChoices, Seed::new(7));
+        let out = sim.run_until_consensus(10).expect("already done");
+        assert_eq!(out.steps, 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let mut sim = clique_gossip(&[50, 50], GossipRule::TwoChoices, Seed::new(8));
+        let err = sim.run_until_consensus(10).expect_err("too few steps");
+        assert_eq!(err, ConvergenceError::BudgetExhausted { budget: 10 });
+    }
+
+    #[test]
+    fn rule_names_are_stable() {
+        assert_eq!(GossipRule::Voter.to_string(), "async-voter");
+        assert_eq!(GossipRule::TwoChoices.name(), "async-two-choices");
+        assert_eq!(GossipRule::ThreeMajority.name(), "async-3-majority");
+    }
+}

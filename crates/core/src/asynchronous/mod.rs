@@ -1,0 +1,30 @@
+//! The asynchronous protocols (Section 3 of the paper).
+//!
+//! * [`AsyncGossipSim`] — plain asynchronous gossip under a [`GossipRule`]
+//!   (Voter, Two-Choices, 3-Majority): each Poisson tick, the activated
+//!   node samples and updates immediately. Async Two-Choices is both the
+//!   natural baseline and the paper's *endgame* (part 2).
+//! * [`RapidSim`] — the paper's full protocol: working-time-scheduled
+//!   phases of Two-Choices, Bit-Propagation and Sync-Gadget sub-phases
+//!   (part 1), followed by the Two-Choices endgame (part 2). Theorem 1.3:
+//!   with multiplicative bias `c_1 ≥ (1+ε)c_i` and
+//!   `k = O(exp(log n/log log n))`, consensus on the plurality is reached
+//!   in `Θ(log n)` time w.h.p.
+//!
+//! The working-time machinery lives in [`params`] (sub-phase lengths,
+//! theory-guided defaults) and [`schedule`] (pure working-time → action
+//! decoding, exhaustively unit-tested). The Sync Gadget — sample real
+//! times, then *jump* the working time to their median — is implemented in
+//! [`node`] and exercised by [`RapidSim`].
+
+pub mod gossip;
+pub mod node;
+pub mod params;
+pub mod rapid;
+pub mod schedule;
+
+pub use gossip::{clique_gossip, AsyncGossipSim, GossipRule};
+pub use node::NodeState;
+pub use params::Params;
+pub use rapid::{clique_rapid, RapidOutcome, RapidSim};
+pub use schedule::{Action, Schedule};

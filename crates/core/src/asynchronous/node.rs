@@ -1,0 +1,155 @@
+//! Per-node protocol state, including the Sync Gadget's bookkeeping.
+
+use crate::opinion::Color;
+
+/// Sentinel for "never jumped".
+const NO_PHASE: u32 = u32::MAX;
+
+/// The full asynchronous-protocol state of one node (besides its color,
+/// which lives in the shared [`crate::opinion::Configuration`]).
+///
+/// Two clocks, as in the paper:
+///
+/// * **working time** — drives the schedule; incremented per tick, but can
+///   be *jumped* by the Sync Gadget;
+/// * **real time** — the total number of ticks performed; never rewritten.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeState {
+    /// Working time (schedule position).
+    pub working_time: u64,
+    /// Real time (total ticks performed).
+    pub real_time: u64,
+    /// Two-Choices intermediate color, if the last sample pair agreed.
+    pub intermediate: Option<Color>,
+    /// The extra bit of the memory model.
+    pub bit: bool,
+    /// Sync Gadget samples: `(their_real_time, my_real_time_at_sampling)`.
+    ///
+    /// The paper increments every collected sample once per own tick until
+    /// the jump; recording the local tick of collection and adding the
+    /// elapsed ticks at jump time is arithmetically identical and O(1) per
+    /// tick instead of O(samples).
+    pub samples: Vec<(u64, u64)>,
+    /// Phase in which this node last jumped (guards against double jumps
+    /// after a backward jump re-enters the same phase).
+    last_jump_phase: u32,
+    /// Whether the node has finished part 2 and frozen its color.
+    pub halted: bool,
+}
+
+impl NodeState {
+    /// A fresh node at time zero.
+    pub fn new() -> Self {
+        NodeState {
+            working_time: 0,
+            real_time: 0,
+            intermediate: None,
+            bit: false,
+            samples: Vec::new(),
+            last_jump_phase: NO_PHASE,
+            halted: false,
+        }
+    }
+
+    /// Whether the node already jumped in `phase`.
+    pub fn jumped_in(&self, phase: u32) -> bool {
+        self.last_jump_phase == phase
+    }
+
+    /// Records that the node jumped in `phase`.
+    pub fn mark_jumped(&mut self, phase: u32) {
+        self.last_jump_phase = phase;
+    }
+
+    /// The gadget's median estimate of the population's real time, as of
+    /// this node's current tick: each sample `(T_v, r_u)` is extrapolated
+    /// to `T_v + (real_time − r_u)` (the sampled clock kept ticking at unit
+    /// rate), then the median is taken.
+    ///
+    /// Returns `None` if no samples were collected.
+    pub fn median_time_estimate(&self) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut ests: Vec<u64> = self
+            .samples
+            .iter()
+            .map(|&(t_v, r_u)| t_v + (self.real_time - r_u))
+            .collect();
+        ests.sort_unstable();
+        Some(ests[ests.len() / 2])
+    }
+
+    /// Clears the phase-scoped state (entering a new Two-Choices step).
+    pub fn reset_phase_state(&mut self) {
+        self.intermediate = None;
+        self.bit = false;
+        self.samples.clear();
+    }
+}
+
+impl Default for NodeState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_node_is_at_time_zero() {
+        let s = NodeState::new();
+        assert_eq!(s.working_time, 0);
+        assert_eq!(s.real_time, 0);
+        assert!(!s.bit && !s.halted);
+        assert_eq!(s.intermediate, None);
+        assert_eq!(s.median_time_estimate(), None);
+        assert_eq!(NodeState::default(), s);
+    }
+
+    #[test]
+    fn median_extrapolates_elapsed_ticks() {
+        let mut s = NodeState::new();
+        s.real_time = 10;
+        // Sampled T_v = 100 when my clock read 4: estimate 100 + (10-4) = 106.
+        s.samples.push((100, 4));
+        assert_eq!(s.median_time_estimate(), Some(106));
+    }
+
+    #[test]
+    fn median_of_odd_sample_count() {
+        let mut s = NodeState::new();
+        s.real_time = 0;
+        for &t in &[30u64, 10, 20] {
+            s.samples.push((t, 0));
+        }
+        assert_eq!(s.median_time_estimate(), Some(20));
+    }
+
+    #[test]
+    fn jump_guard_tracks_phase() {
+        let mut s = NodeState::new();
+        assert!(!s.jumped_in(3));
+        s.mark_jumped(3);
+        assert!(s.jumped_in(3));
+        assert!(!s.jumped_in(4));
+    }
+
+    #[test]
+    fn reset_clears_phase_scoped_state_only() {
+        let mut s = NodeState::new();
+        s.bit = true;
+        s.intermediate = Some(Color::new(1));
+        s.samples.push((5, 1));
+        s.working_time = 42;
+        s.real_time = 40;
+        s.reset_phase_state();
+        assert!(!s.bit);
+        assert_eq!(s.intermediate, None);
+        assert!(s.samples.is_empty());
+        assert_eq!(s.working_time, 42);
+        assert_eq!(s.real_time, 40);
+    }
+}

@@ -1,0 +1,529 @@
+//! The rapid asynchronous plurality-consensus protocol (Theorem 1.3).
+//!
+//! Part 1 runs [`Params::phases`] phases, each of three sub-phases decoded
+//! from the node's *working time* by [`Schedule`]:
+//!
+//! 1. **Two-Choices** — sample two, remember the agreed color as the
+//!    *intermediate* color; commit it (and set the bit) one block later.
+//!    The separation between sample and commit is what makes the step
+//!    effectively simultaneous for all well-synchronized nodes.
+//! 2. **Bit-Propagation** — nodes without the bit pull once per tick;
+//!    hitting a bit-set node copies its color and bit. The bit-set
+//!    population's composition evolves as a Pólya urn (see `rapid-urn`),
+//!    preserving the post-Two-Choices quadratic amplification while
+//!    spreading it to everyone.
+//! 3. **Sync Gadget** — sample real times, wait tactically, then *jump*
+//!    the working time to the median estimate, resetting the accumulated
+//!    Poisson drift so that all but `o(n)` nodes stay within `Δ` of each
+//!    other (weak synchronicity).
+//!
+//! Part 2 (**endgame**) is plain asynchronous Two-Choices for
+//! `Θ(log n)` ticks, after which the node halts. Theorem 1.3's success
+//! event is unanimity on the plurality *before the first halt*.
+
+use rapid_graph::topology::Topology;
+use rapid_sim::rng::{Seed, SimRng};
+use rapid_sim::scheduler::{Activation, ActivationSource, SequentialScheduler};
+use rapid_sim::time::SimTime;
+
+use crate::asynchronous::node::NodeState;
+use crate::asynchronous::params::Params;
+use crate::asynchronous::schedule::{Action, Schedule};
+use crate::convergence::ConvergenceError;
+use crate::opinion::{Color, Configuration};
+
+/// Outcome of a full rapid-consensus run.
+#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RapidOutcome {
+    /// The color every node ended up with.
+    pub winner: Color,
+    /// Parallel time at unanimity.
+    pub time: SimTime,
+    /// Activations at unanimity.
+    pub steps: u64,
+    /// When the first node halted, if any had by consensus time.
+    pub first_halt: Option<SimTime>,
+    /// Theorem 1.3's success event: unanimity strictly before the first
+    /// halt (vacuously true if no node had halted).
+    pub before_first_halt: bool,
+}
+
+/// Distribution snapshot of the nodes' working times (weak-synchronicity
+/// instrumentation for experiment E8).
+#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WorkingTimeStats {
+    /// Minimum working time.
+    pub min: u64,
+    /// Median working time.
+    pub median: u64,
+    /// Maximum working time.
+    pub max: u64,
+    /// Fraction of nodes farther than `tolerance` from the median.
+    pub poorly_synced: f64,
+    /// The tolerance used (ticks).
+    pub tolerance: u64,
+}
+
+/// The full asynchronous protocol simulation.
+///
+/// Generic over the topology `G` (the paper: `K_n`) and activation source
+/// `S` (sequential model, event queue, jittered for response delays).
+///
+/// # Example
+///
+/// ```
+/// use rapid_core::prelude::*;
+/// use rapid_sim::prelude::*;
+///
+/// // 1024 nodes, 4 opinions, plurality 1.5x ahead of the rest.
+/// let counts = [340u64, 228, 228, 228];
+/// let params = Params::for_network(1024, 4);
+/// let mut sim = clique_rapid(&counts, params, Seed::new(42));
+/// let out = sim
+///     .run_until_consensus(60_000_000)
+///     .expect("Theorem 1.3 regime");
+/// assert_eq!(out.winner, Color::new(0));
+/// assert!(out.before_first_halt);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RapidSim<G, S> {
+    topology: G,
+    source: S,
+    rng: SimRng,
+    schedule: Schedule,
+    config: Configuration,
+    nodes: Vec<NodeState>,
+    steps: u64,
+    now: SimTime,
+    halted_count: usize,
+    first_halt: Option<SimTime>,
+    jumps: u64,
+    max_jump_displacement: u64,
+}
+
+impl<G: Topology, S: ActivationSource> RapidSim<G, S> {
+    /// Creates a simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if topology, configuration and source disagree on `n`, or if
+    /// the parameters fail [`Params::validate`].
+    pub fn new(topology: G, config: Configuration, params: Params, source: S, seed: Seed) -> Self {
+        assert_eq!(topology.n(), config.n(), "topology/configuration n mismatch");
+        assert_eq!(source.n(), config.n(), "source/configuration n mismatch");
+        let n = config.n();
+        RapidSim {
+            topology,
+            source,
+            rng: SimRng::from_seed_value(seed),
+            schedule: Schedule::new(params),
+            config,
+            nodes: (0..n).map(|_| NodeState::new()).collect(),
+            steps: 0,
+            now: SimTime::ZERO,
+            halted_count: 0,
+            first_halt: None,
+            jumps: 0,
+            max_jump_displacement: 0,
+        }
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &Configuration {
+        &self.config
+    }
+
+    /// The schedule in force.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Simulation time of the latest activation.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total activations executed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// When the first node halted, if any has.
+    pub fn first_halt(&self) -> Option<SimTime> {
+        self.first_halt
+    }
+
+    /// How many nodes have halted.
+    pub fn halted_count(&self) -> usize {
+        self.halted_count
+    }
+
+    /// Total Sync-Gadget jumps executed so far.
+    pub fn jump_count(&self) -> u64 {
+        self.jumps
+    }
+
+    /// Largest |working-time displacement| any jump has caused.
+    pub fn max_jump_displacement(&self) -> u64 {
+        self.max_jump_displacement
+    }
+
+    /// Per-node working times (instrumentation).
+    pub fn working_times(&self) -> Vec<u64> {
+        self.nodes.iter().map(|s| s.working_time).collect()
+    }
+
+    /// Per-node real times (total ticks performed).
+    pub fn real_times(&self) -> Vec<u64> {
+        self.nodes.iter().map(|s| s.real_time).collect()
+    }
+
+    /// Working-time spread statistics with the given tolerance (typically
+    /// `Δ`): the weak-synchronicity measurement of experiment E8.
+    pub fn working_time_stats(&self, tolerance: u64) -> WorkingTimeStats {
+        let mut wts = self.working_times();
+        wts.sort_unstable();
+        let n = wts.len();
+        let median = wts[n / 2];
+        let poorly = wts
+            .iter()
+            .filter(|&&w| w.abs_diff(median) > tolerance)
+            .count();
+        WorkingTimeStats {
+            min: wts[0],
+            median,
+            max: wts[n - 1],
+            poorly_synced: poorly as f64 / n as f64,
+            tolerance,
+        }
+    }
+
+    /// A conservative activation budget: three times the protocol length
+    /// for every node.
+    pub fn default_step_budget(&self) -> u64 {
+        3 * self.config.n() as u64 * self.schedule.params().total_len()
+    }
+
+    /// The median working time across all nodes (instrumentation: where
+    /// the bulk of the network currently is in the schedule).
+    pub fn median_working_time(&self) -> u64 {
+        let mut wts = self.working_times();
+        wts.sort_unstable();
+        wts[wts.len() / 2]
+    }
+
+    /// Color histogram over the **bit-set** nodes — the Pólya-urn
+    /// population of the Bit-Propagation analysis (experiment E10).
+    pub fn bit_composition(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.config.k()];
+        for (i, state) in self.nodes.iter().enumerate() {
+            if state.bit {
+                counts[self.config.colors()[i].index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Executes one activation; returns it with the action performed.
+    pub fn tick(&mut self) -> (Activation, Action) {
+        let a = self.source.next_activation();
+        self.now = a.time;
+        self.steps += 1;
+        let u = a.node;
+        let i = u.index();
+
+        if self.nodes[i].halted {
+            self.nodes[i].real_time += 1;
+            return (a, Action::Halt);
+        }
+
+        let action = self.schedule.action_at(self.nodes[i].working_time);
+        let mut jumped = false;
+        match action {
+            Action::Wait => {}
+            Action::TwoChoicesSample => {
+                self.nodes[i].reset_phase_state();
+                let v = self.topology.sample_neighbor(u, &mut self.rng);
+                let w = self.topology.sample_neighbor(u, &mut self.rng);
+                let cv = self.config.color(v);
+                if cv == self.config.color(w) {
+                    self.nodes[i].intermediate = Some(cv);
+                }
+            }
+            Action::Commit => {
+                if let Some(c) = self.nodes[i].intermediate.take() {
+                    self.config.set_color(u, c);
+                    self.nodes[i].bit = true;
+                } else {
+                    self.nodes[i].bit = false;
+                }
+            }
+            Action::BitPropagation => {
+                if !self.nodes[i].bit {
+                    let v = self.topology.sample_neighbor(u, &mut self.rng);
+                    if self.nodes[v.index()].bit {
+                        let c = self.config.color(v);
+                        self.config.set_color(u, c);
+                        self.nodes[i].bit = true;
+                    }
+                }
+            }
+            Action::SyncSample => {
+                let v = self.topology.sample_neighbor(u, &mut self.rng);
+                let t_v = self.nodes[v.index()].real_time;
+                let r_u = self.nodes[i].real_time;
+                self.nodes[i].samples.push((t_v, r_u));
+            }
+            Action::Jump => {
+                let phase = self.schedule.phase_of(self.nodes[i].working_time);
+                if !self.nodes[i].jumped_in(phase) {
+                    if let Some(target) = self.nodes[i].median_time_estimate() {
+                        let from = self.nodes[i].working_time;
+                        self.nodes[i].working_time = target;
+                        self.nodes[i].mark_jumped(phase);
+                        self.jumps += 1;
+                        self.max_jump_displacement =
+                            self.max_jump_displacement.max(from.abs_diff(target));
+                        jumped = true;
+                    }
+                }
+            }
+            Action::Endgame => {
+                let v = self.topology.sample_neighbor(u, &mut self.rng);
+                let w = self.topology.sample_neighbor(u, &mut self.rng);
+                let cv = self.config.color(v);
+                if cv == self.config.color(w) {
+                    self.config.set_color(u, cv);
+                }
+            }
+            Action::Halt => {
+                self.nodes[i].halted = true;
+                self.halted_count += 1;
+                if self.first_halt.is_none() {
+                    self.first_halt = Some(a.time);
+                }
+            }
+        }
+
+        if !jumped {
+            self.nodes[i].working_time += 1;
+        }
+        self.nodes[i].real_time += 1;
+        (a, action)
+    }
+
+    /// Runs until unanimity, all nodes halted, or `max_steps`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConvergenceError::BudgetExhausted`] after `max_steps`
+    ///   activations without unanimity;
+    /// * [`ConvergenceError::AllHaltedWithoutConsensus`] if every node
+    ///   froze first.
+    pub fn run_until_consensus(
+        &mut self,
+        max_steps: u64,
+    ) -> Result<RapidOutcome, ConvergenceError> {
+        let n = self.config.n() as u64;
+        if let Some(winner) = self.config.unanimous() {
+            return Ok(self.outcome(winner));
+        }
+        for _ in 0..max_steps {
+            let (a, action) = self.tick();
+            // Only color-changing actions can create unanimity; check the
+            // ticked node's (possibly new) color in O(1).
+            if matches!(
+                action,
+                Action::Commit | Action::BitPropagation | Action::Endgame
+            ) {
+                let cu = self.config.color(a.node);
+                if self.config.counts().count(cu) == n {
+                    return Ok(self.outcome(cu));
+                }
+            }
+            if self.halted_count == self.config.n() {
+                return Err(ConvergenceError::AllHaltedWithoutConsensus);
+            }
+        }
+        Err(ConvergenceError::BudgetExhausted { budget: max_steps })
+    }
+
+    fn outcome(&self, winner: Color) -> RapidOutcome {
+        RapidOutcome {
+            winner,
+            time: self.now,
+            steps: self.steps,
+            first_halt: self.first_halt,
+            before_first_halt: match self.first_halt {
+                None => true,
+                Some(t) => self.now < t,
+            },
+        }
+    }
+}
+
+/// Builds the paper's setting: `K_n` under the sequential model.
+///
+/// # Panics
+///
+/// Panics if `counts` is not a valid configuration.
+pub fn clique_rapid(
+    counts: &[u64],
+    params: Params,
+    seed: Seed,
+) -> RapidSim<rapid_graph::complete::Complete, SequentialScheduler> {
+    let config = Configuration::from_counts(counts).expect("valid configuration");
+    let n = config.n();
+    let sched = SequentialScheduler::new(n, seed.child(0));
+    RapidSim::new(
+        rapid_graph::complete::Complete::new(n),
+        config,
+        params,
+        sched,
+        seed.child(1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn biased_counts(n: u64, k: usize, eps: f64) -> Vec<u64> {
+        // c_1 = (1+eps) * c, others equal: c*(k-1) + (1+eps)c = n.
+        let c = (n as f64 / (k as f64 + eps)).floor() as u64;
+        let mut counts = vec![c; k];
+        counts[0] = n - c * (k as u64 - 1);
+        counts
+    }
+
+    #[test]
+    fn converges_to_plurality_before_first_halt() {
+        let counts = biased_counts(1024, 4, 0.5);
+        let params = Params::for_network(1024, 4);
+        let mut sim = clique_rapid(&counts, params, Seed::new(1));
+        let budget = sim.default_step_budget();
+        let out = sim.run_until_consensus(budget).expect("converges");
+        assert_eq!(out.winner, Color::new(0));
+        assert!(out.before_first_halt, "must finish before any node halts");
+    }
+
+    #[test]
+    fn multiple_seeds_all_pick_plurality() {
+        let counts = biased_counts(512, 4, 0.6);
+        let params = Params::for_network(512, 4);
+        let mut wins = 0;
+        for seed in 0..8 {
+            let mut sim = clique_rapid(&counts, params, Seed::new(seed));
+            let budget = sim.default_step_budget();
+            if let Ok(out) = sim.run_until_consensus(budget) {
+                if out.winner == Color::new(0) {
+                    wins += 1;
+                }
+            }
+        }
+        assert!(wins >= 7, "plurality won only {wins}/8 runs");
+    }
+
+    #[test]
+    fn sync_gadget_jumps_happen_and_are_bounded() {
+        let counts = biased_counts(512, 2, 0.4);
+        let params = Params::for_network(512, 2);
+        let mut sim = clique_rapid(&counts, params, Seed::new(2));
+        // Run roughly two phases' worth of activations.
+        let two_phases = 2 * 512 * params.phase_len();
+        for _ in 0..two_phases {
+            sim.tick();
+            if sim.config().unanimous().is_some() {
+                break;
+            }
+        }
+        assert!(sim.jump_count() > 0, "gadget should fire");
+        // Jumps correct Poisson drift, which is ≪ a phase length here.
+        assert!(
+            sim.max_jump_displacement() < params.phase_len(),
+            "displacement {} out of range",
+            sim.max_jump_displacement()
+        );
+    }
+
+    #[test]
+    fn working_times_stay_weakly_synchronized() {
+        let counts = biased_counts(1024, 2, 0.4);
+        let params = Params::for_network(1024, 2);
+        let mut sim = clique_rapid(&counts, params, Seed::new(3));
+        let one_phase = 1024 * params.phase_len();
+        let mut worst = 0.0f64;
+        for _ in 0..4 {
+            for _ in 0..one_phase {
+                sim.tick();
+            }
+            // Tolerance 2Δ: the sample→commit separation, i.e. the drift a
+            // node can absorb while still executing the critical steps in
+            // lockstep with the bulk.
+            let stats = sim.working_time_stats(2 * params.delta as u64);
+            worst = worst.max(stats.poorly_synced);
+        }
+        assert!(
+            worst < 0.15,
+            "poorly synced fraction {worst} too large with the gadget on"
+        );
+    }
+
+    #[test]
+    fn without_gadget_no_jumps_occur() {
+        let counts = biased_counts(256, 2, 0.4);
+        let params = Params::for_network(256, 2).without_gadget();
+        let mut sim = clique_rapid(&counts, params, Seed::new(4));
+        for _ in 0..256 * params.phase_len() {
+            sim.tick();
+        }
+        assert_eq!(sim.jump_count(), 0);
+    }
+
+    #[test]
+    fn endgame_alone_finishes_from_dominant_state() {
+        // Start unanimous except for a few nodes: part 1 keeps it, part 2
+        // must finish it.
+        let params = Params::for_network(256, 2);
+        let counts = [250u64, 6];
+        let mut sim = clique_rapid(&counts, params, Seed::new(5));
+        let out = sim
+            .run_until_consensus(sim.default_step_budget())
+            .expect("converges");
+        assert_eq!(out.winner, Color::new(0));
+    }
+
+    #[test]
+    fn tick_reports_actions_and_advances_clocks() {
+        let params = Params::for_network(64, 2);
+        let mut sim = clique_rapid(&[40, 24], params, Seed::new(6));
+        let mut seen_wait = false;
+        for _ in 0..64 * 3 {
+            let (_, action) = sim.tick();
+            if action == Action::Wait {
+                seen_wait = true;
+            }
+        }
+        assert!(seen_wait, "landing buffer produces waits");
+        assert_eq!(sim.steps(), 64 * 3);
+        let rt = sim.real_times();
+        assert_eq!(rt.iter().sum::<u64>(), 64 * 3);
+    }
+
+    #[test]
+    fn unanimous_start_returns_instantly() {
+        let params = Params::for_network(64, 2);
+        let mut sim = clique_rapid(&[64, 0], params, Seed::new(7));
+        let out = sim.run_until_consensus(1).expect("already unanimous");
+        assert_eq!(out.steps, 0);
+        assert_eq!(out.winner, Color::new(0));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_error() {
+        let params = Params::for_network(64, 2);
+        let mut sim = clique_rapid(&[40, 24], params, Seed::new(8));
+        let err = sim.run_until_consensus(5).expect_err("budget too small");
+        assert_eq!(err, ConvergenceError::BudgetExhausted { budget: 5 });
+    }
+}

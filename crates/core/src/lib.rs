@@ -1,0 +1,77 @@
+//! # Rapid Asynchronous Plurality Consensus
+//!
+//! A faithful implementation of the protocols in:
+//!
+//! > Robert Elsässer, Tom Friedetzky, Dominik Kaaser, Frederik
+//! > Mallmann-Trenn, Horst Trinker. *Brief Announcement: Rapid Asynchronous
+//! > Plurality Consensus.* PODC 2017. DOI 10.1145/3087801.3087860.
+//!
+//! **Setting.** `n` nodes on the complete graph hold one of `k` opinions
+//! with supports `c_1 ≥ c_2 ≥ … ≥ c_k`; the goal is for every node to adopt
+//! the plurality opinion `C_1`, with high probability, by gossiping with
+//! uniformly sampled nodes.
+//!
+//! **What's here.**
+//!
+//! * [`sync`] — the synchronous protocols: [`sync::TwoChoices`]
+//!   (Theorem 1.1: `O(n/c_1 · log n)` rounds, but `Ω(k)` in general),
+//!   [`sync::OneExtraBit`] (Theorem 1.2: polylogarithmic via an extra bit
+//!   and Bit-Propagation), and the [`sync::Voter`] / [`sync::ThreeMajority`]
+//!   baselines.
+//! * [`asynchronous`] — the paper's headline contribution
+//!   ([`asynchronous::RapidSim`]): nodes driven by Poisson clocks schedule
+//!   Two-Choices, Bit-Propagation and Sync-Gadget sub-phases by *working
+//!   time*, achieving consensus in `Θ(log n)` time (Theorem 1.3) despite
+//!   asynchrony; plus plain asynchronous gossip
+//!   ([`asynchronous::AsyncGossipSim`]) as baseline and endgame.
+//! * [`opinion`] — colors, histograms, configurations.
+//! * [`convergence`] — outcome and error types.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rapid_core::prelude::*;
+//! use rapid_sim::prelude::*;
+//!
+//! // 1024 nodes, 4 opinions; the plurality leads by a (1+ε) factor.
+//! let counts = [340u64, 228, 228, 228];
+//! let params = Params::for_network(1024, 4);
+//! let mut sim = clique_rapid(&counts, params, Seed::new(7));
+//! let out = sim.run_until_consensus(60_000_000).expect("converges");
+//! assert_eq!(out.winner, Color::new(0));       // plurality wins
+//! assert!(out.before_first_halt);              // …before anyone halts
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asynchronous;
+pub mod convergence;
+pub mod opinion;
+pub mod sync;
+
+pub use asynchronous::{
+    clique_gossip, clique_rapid, Action, AsyncGossipSim, GossipRule, NodeState, Params,
+    RapidOutcome, RapidSim, Schedule,
+};
+pub use convergence::{AsyncOutcome, ConvergenceError, SyncOutcome};
+pub use opinion::{Color, ColorCounts, ConfigError, Configuration, TopTwo};
+pub use sync::{
+    run_sync_to_consensus, OneExtraBit, OneExtraBitParams, SyncProtocol, ThreeMajority,
+    TwoChoices, Voter,
+};
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::asynchronous::gossip::{clique_gossip, AsyncGossipSim, GossipRule};
+    pub use crate::asynchronous::params::Params;
+    pub use crate::asynchronous::rapid::{clique_rapid, RapidOutcome, RapidSim};
+    pub use crate::asynchronous::schedule::{Action, Schedule};
+    pub use crate::convergence::{AsyncOutcome, ConvergenceError, SyncOutcome};
+    pub use crate::opinion::{Color, ColorCounts, Configuration, TopTwo};
+    pub use crate::sync::engine::{run_sync_to_consensus, run_sync_traced, RoundTrace, SyncProtocol};
+    pub use crate::sync::one_extra_bit::{OneExtraBit, OneExtraBitParams};
+    pub use crate::sync::three_majority::ThreeMajority;
+    pub use crate::sync::two_choices::TwoChoices;
+    pub use crate::sync::voter::Voter;
+}

@@ -1,0 +1,257 @@
+//! The synchronous round engine.
+
+use rapid_graph::topology::Topology;
+use rapid_sim::node::NodeId;
+use rapid_sim::rng::SimRng;
+
+use crate::convergence::{ConvergenceError, SyncOutcome};
+use crate::opinion::{Color, Configuration};
+
+/// A synchronous gossip protocol executed in discrete rounds.
+///
+/// `round` must implement **snapshot semantics**: all nodes observe the
+/// configuration as it was when the round began and update simultaneously.
+/// Stateless color-only protocols can delegate to
+/// [`simultaneous_color_update`]; protocols with per-node auxiliary state
+/// (like [`crate::sync::OneExtraBit`]) manage their own buffers.
+pub trait SyncProtocol {
+    /// Executes one synchronous round.
+    fn round(&mut self, g: &dyn Topology, config: &mut Configuration, rng: &mut SimRng);
+
+    /// Human-readable protocol name for tables and logs.
+    fn name(&self) -> &'static str;
+
+    /// Resets any per-run internal state (phase counters, bit vectors).
+    ///
+    /// Called by drivers before a fresh run; the default is a no-op for
+    /// stateless protocols.
+    fn reset(&mut self) {}
+}
+
+/// Applies a per-node color rule simultaneously: every node computes its
+/// next color from the *snapshot* of current colors, then all updates land
+/// at once.
+///
+/// This is the shared skeleton of [`crate::sync::TwoChoices`],
+/// [`crate::sync::Voter`] and [`crate::sync::ThreeMajority`].
+pub fn simultaneous_color_update(
+    g: &dyn Topology,
+    config: &mut Configuration,
+    rng: &mut SimRng,
+    mut rule: impl FnMut(NodeId, &[Color], &dyn Topology, &mut SimRng) -> Color,
+) {
+    let snapshot: Vec<Color> = config.colors().to_vec();
+    let mut next = snapshot.clone();
+    for (i, slot) in next.iter_mut().enumerate() {
+        *slot = rule(NodeId::new(i), &snapshot, g, rng);
+    }
+    config.replace_all(&next);
+}
+
+/// Per-round measurements collected by [`run_sync_to_consensus`].
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RoundTrace {
+    /// `c_1` (support of the current leader) after each round.
+    pub c1: Vec<u64>,
+    /// `c_2` (support of the runner-up) after each round.
+    pub c2: Vec<u64>,
+    /// Number of colors still alive after each round.
+    pub support: Vec<usize>,
+}
+
+impl RoundTrace {
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.c1.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.c1.is_empty()
+    }
+
+    fn record(&mut self, config: &Configuration) {
+        let t = config.counts().top_two();
+        self.c1.push(t.c1);
+        self.c2.push(t.c2);
+        self.support.push(config.counts().support_size());
+    }
+}
+
+/// Runs `proto` on `config` until unanimity or `max_rounds`.
+///
+/// Returns the winning color and the number of rounds taken. The protocol
+/// is [`reset`](SyncProtocol::reset) first, so a protocol value can be
+/// reused across runs.
+///
+/// # Errors
+///
+/// [`ConvergenceError::BudgetExhausted`] if `max_rounds` rounds pass
+/// without unanimity.
+///
+/// # Example
+///
+/// ```
+/// use rapid_core::prelude::*;
+/// use rapid_graph::prelude::*;
+/// use rapid_sim::prelude::*;
+///
+/// let g = Complete::new(200);
+/// let mut config = Configuration::from_counts(&[150, 50]).expect("valid");
+/// let mut rng = SimRng::from_seed_value(Seed::new(1));
+/// let mut proto = TwoChoices::new();
+/// let out = run_sync_to_consensus(&mut proto, &g, &mut config, &mut rng, 10_000)
+///     .expect("converges");
+/// assert_eq!(out.winner, Color::new(0));
+/// ```
+pub fn run_sync_to_consensus(
+    proto: &mut dyn SyncProtocol,
+    g: &dyn Topology,
+    config: &mut Configuration,
+    rng: &mut SimRng,
+    max_rounds: u64,
+) -> Result<SyncOutcome, ConvergenceError> {
+    run_sync_traced(proto, g, config, rng, max_rounds, None).map(|(o, _)| o)
+}
+
+/// Like [`run_sync_to_consensus`], optionally recording a [`RoundTrace`].
+///
+/// # Errors
+///
+/// [`ConvergenceError::BudgetExhausted`] if `max_rounds` rounds pass
+/// without unanimity.
+pub fn run_sync_traced(
+    proto: &mut dyn SyncProtocol,
+    g: &dyn Topology,
+    config: &mut Configuration,
+    rng: &mut SimRng,
+    max_rounds: u64,
+    mut trace: Option<&mut RoundTrace>,
+) -> Result<(SyncOutcome, u64), ConvergenceError> {
+    assert_eq!(
+        g.n(),
+        config.n(),
+        "topology and configuration disagree on n"
+    );
+    proto.reset();
+    if let Some(t) = trace.as_deref_mut() {
+        t.record(config);
+    }
+    if let Some(winner) = config.unanimous() {
+        return Ok((SyncOutcome { winner, rounds: 0 }, 0));
+    }
+    for round in 1..=max_rounds {
+        proto.round(g, config, rng);
+        if let Some(t) = trace.as_deref_mut() {
+            t.record(config);
+        }
+        if let Some(winner) = config.unanimous() {
+            return Ok((SyncOutcome { winner, rounds: round }, round));
+        }
+    }
+    Err(ConvergenceError::BudgetExhausted { budget: max_rounds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_graph::complete::Complete;
+    use rapid_sim::rng::Seed;
+
+    /// A protocol where everyone adopts color 0 immediately.
+    struct Dictator;
+    impl SyncProtocol for Dictator {
+        fn round(&mut self, g: &dyn Topology, config: &mut Configuration, rng: &mut SimRng) {
+            simultaneous_color_update(g, config, rng, |_, _, _, _| Color::new(0));
+        }
+        fn name(&self) -> &'static str {
+            "dictator"
+        }
+    }
+
+    /// A protocol that never changes anything.
+    struct Frozen;
+    impl SyncProtocol for Frozen {
+        fn round(&mut self, _: &dyn Topology, _: &mut Configuration, _: &mut SimRng) {}
+        fn name(&self) -> &'static str {
+            "frozen"
+        }
+    }
+
+    #[test]
+    fn dictator_converges_in_one_round() {
+        let g = Complete::new(10);
+        let mut config = Configuration::from_counts(&[5, 5]).expect("valid");
+        let mut rng = SimRng::from_seed_value(Seed::new(1));
+        let out = run_sync_to_consensus(&mut Dictator, &g, &mut config, &mut rng, 10)
+            .expect("converges");
+        assert_eq!(out.rounds, 1);
+        assert_eq!(out.winner, Color::new(0));
+    }
+
+    #[test]
+    fn frozen_exhausts_budget() {
+        let g = Complete::new(4);
+        let mut config = Configuration::from_counts(&[2, 2]).expect("valid");
+        let mut rng = SimRng::from_seed_value(Seed::new(2));
+        let err = run_sync_to_consensus(&mut Frozen, &g, &mut config, &mut rng, 7)
+            .expect_err("cannot converge");
+        assert_eq!(err, ConvergenceError::BudgetExhausted { budget: 7 });
+    }
+
+    #[test]
+    fn already_unanimous_returns_zero_rounds() {
+        let g = Complete::new(4);
+        let mut config = Configuration::from_counts(&[4, 0]).expect("valid");
+        let mut rng = SimRng::from_seed_value(Seed::new(3));
+        let out = run_sync_to_consensus(&mut Frozen, &g, &mut config, &mut rng, 10)
+            .expect("already done");
+        assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    fn trace_records_initial_state_plus_each_round() {
+        let g = Complete::new(10);
+        let mut config = Configuration::from_counts(&[6, 4]).expect("valid");
+        let mut rng = SimRng::from_seed_value(Seed::new(4));
+        let mut trace = RoundTrace::default();
+        let (out, rounds) =
+            run_sync_traced(&mut Dictator, &g, &mut config, &mut rng, 10, Some(&mut trace))
+                .expect("converges");
+        assert_eq!(out.rounds, rounds);
+        assert_eq!(trace.len(), rounds as usize + 1);
+        assert_eq!(trace.c1[0], 6);
+        assert_eq!(*trace.c1.last().expect("non-empty"), 10);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on n")]
+    fn size_mismatch_is_rejected() {
+        let g = Complete::new(5);
+        let mut config = Configuration::from_counts(&[2, 2]).expect("valid");
+        let mut rng = SimRng::from_seed_value(Seed::new(5));
+        let _ = run_sync_to_consensus(&mut Frozen, &g, &mut config, &mut rng, 1);
+    }
+
+    #[test]
+    fn simultaneous_update_uses_snapshot() {
+        // Rule: adopt the color of node (i+1) mod n. With snapshot
+        // semantics this is a cyclic shift; with in-place updates node 0's
+        // new color would leak into node n−1's view.
+        let g = Complete::new(3);
+        let mut config = Configuration::from_assignment(
+            vec![Color::new(0), Color::new(1), Color::new(2)],
+            3,
+        )
+        .expect("valid");
+        let mut rng = SimRng::from_seed_value(Seed::new(6));
+        simultaneous_color_update(&g, &mut config, &mut rng, |u, snapshot, _, _| {
+            snapshot[(u.index() + 1) % snapshot.len()]
+        });
+        assert_eq!(
+            config.colors(),
+            &[Color::new(1), Color::new(2), Color::new(0)]
+        );
+    }
+}

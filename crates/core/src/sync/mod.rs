@@ -1,0 +1,25 @@
+//! Synchronous protocols (Section 2 of the paper) and baselines.
+//!
+//! * [`TwoChoices`] — the classic protocol of Cooper, Elsässer & Radzik:
+//!   sample two, adopt on agreement (Theorem 1.1).
+//! * [`OneExtraBit`] — the paper's memory-model protocol: a Two-Choices
+//!   round followed by Bit-Propagation rounds, repeated in phases
+//!   (Theorem 1.2).
+//! * [`Voter`] and [`ThreeMajority`] — standard baselines from the
+//!   plurality-consensus literature, used by the comparison experiment.
+//!
+//! All protocols implement [`SyncProtocol`] and run under
+//! [`run_sync_to_consensus`] with snapshot semantics: within one round all
+//! nodes observe the configuration as it was at the start of the round.
+
+pub mod engine;
+pub mod one_extra_bit;
+pub mod three_majority;
+pub mod two_choices;
+pub mod voter;
+
+pub use engine::{run_sync_to_consensus, simultaneous_color_update, RoundTrace, SyncProtocol};
+pub use one_extra_bit::{OneExtraBit, OneExtraBitParams};
+pub use three_majority::ThreeMajority;
+pub use two_choices::TwoChoices;
+pub use voter::Voter;

@@ -1,0 +1,54 @@
+//! Shared entry point for the experiment binaries in `rapid-bench`.
+
+use crate::report::Report;
+
+/// How large an experiment run should be.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Paper-scale run (minutes).
+    #[default]
+    Full,
+    /// CI-scale run (seconds).
+    Quick,
+}
+
+impl Scale {
+    /// Parses process arguments: `--quick` selects [`Scale::Quick`].
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+}
+
+/// Prints the report, writes `target/experiments/<id>.json`, and reports
+/// where.
+///
+/// The JSON lands next to the workspace's build artifacts so repeated runs
+/// are easy to diff.
+pub fn emit(report: &Report) {
+    println!("{report}");
+    let dir = std::path::Path::new("target").join("experiments");
+    match report.save_json(&dir) {
+        Ok(path) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("[warning: could not save JSON: {e}]"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_full() {
+        assert_eq!(Scale::default(), Scale::Full);
+    }
+
+    #[test]
+    fn emit_prints_without_panicking() {
+        let r = Report::new("E00", "smoke", 1);
+        emit(&r);
+    }
+}

@@ -1,0 +1,152 @@
+//! **E01 / Table 1** — Theorem 1.1 upper bound.
+//!
+//! Claim: on `K_n` with `k = O(n^ε)` opinions and initial gap
+//! `c_1 − c_2 ≥ z·√(n log n)`, synchronous Two-Choices converges to the
+//! plurality w.h.p. within `O(n/c_1 · log n)` rounds.
+//!
+//! Shape check: the column `rounds / (n/c₁·ln n)` should be roughly
+//! constant across the whole `(n, k)` grid, and the success rate ≈ 1.
+
+use rapid_core::prelude::*;
+use rapid_graph::prelude::*;
+use rapid_sim::prelude::*;
+use rapid_stats::OnlineStats;
+
+use crate::distributions::{theorem_11_gap, InitialDistribution};
+use crate::predictions;
+use crate::report::Report;
+use crate::runner::run_trials;
+use crate::table::Table;
+
+/// Configuration for E01.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Config {
+    /// Population sizes to sweep.
+    pub ns: Vec<u64>,
+    /// Opinion counts to sweep.
+    pub ks: Vec<usize>,
+    /// Gap multiplier `z` in `z·√(n ln n)`.
+    pub z: f64,
+    /// Trials per cell.
+    pub trials: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            ns: vec![1 << 10, 1 << 12, 1 << 14, 1 << 16],
+            ks: vec![2, 8, 32],
+            z: 1.0,
+            trials: 30,
+            seed: 0xE01,
+        }
+    }
+}
+
+impl Config {
+    /// CI-scale preset.
+    pub fn quick() -> Self {
+        Config {
+            ns: vec![1 << 9, 1 << 11],
+            ks: vec![2, 8],
+            trials: 5,
+            ..Config::default()
+        }
+    }
+}
+
+/// Runs E01 and returns its report.
+pub fn run(cfg: &Config) -> Report {
+    let mut report = Report::new(
+        "E01",
+        "Theorem 1.1 upper bound: Two-Choices rounds = O(n/c1 * ln n)",
+        cfg.seed,
+    );
+    let mut table = Table::new(
+        "Sync Two-Choices with gap z*sqrt(n ln n)",
+        &[
+            "n", "k", "c1", "gap", "rounds", "stderr", "pred", "ratio", "success", "trials",
+        ],
+    );
+
+    for &n in &cfg.ns {
+        for &k in &cfg.ks {
+            let gap = theorem_11_gap(n, cfg.z);
+            let dist = InitialDistribution::additive_bias(k, gap);
+            let Ok(counts) = dist.counts(n) else {
+                continue; // n too small for this k at this gap
+            };
+            let c1 = counts[0];
+            let budget = (predictions::two_choices_rounds(n, c1) * 50.0).ceil() as u64 + 1000;
+
+            let results = run_trials(cfg.trials, Seed::new(cfg.seed ^ (n << 8) ^ k as u64), {
+                let counts = counts.clone();
+                move |_, seed| {
+                    let g = Complete::new(n as usize);
+                    let mut config =
+                        Configuration::from_counts(&counts).expect("validated above");
+                    let mut rng = SimRng::from_seed_value(seed);
+                    match run_sync_to_consensus(
+                        &mut TwoChoices::new(),
+                        &g,
+                        &mut config,
+                        &mut rng,
+                        budget,
+                    ) {
+                        Ok(out) => (out.rounds, out.winner == Color::new(0), true),
+                        Err(_) => (budget, false, false),
+                    }
+                }
+            });
+
+            let rounds: OnlineStats = results
+                .iter()
+                .filter(|r| r.2)
+                .map(|r| r.0 as f64)
+                .collect();
+            let success =
+                results.iter().filter(|r| r.1).count() as f64 / results.len() as f64;
+            let pred = predictions::two_choices_rounds(n, c1);
+            table.push_row(vec![
+                n.to_string(),
+                k.to_string(),
+                c1.to_string(),
+                gap.to_string(),
+                format!("{:.1}", rounds.mean()),
+                format!("{:.1}", rounds.std_err()),
+                format!("{pred:.1}"),
+                format!("{:.3}", rounds.mean() / pred),
+                format!("{success:.2}"),
+                cfg.trials.to_string(),
+            ]);
+        }
+    }
+    table.push_note("shape check: 'ratio' should be near-constant across the grid");
+    report.push_table(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_constant_ratio_and_high_success() {
+        let report = run(&Config::quick());
+        let table = &report.tables[0];
+        assert!(!table.is_empty());
+        let ratios = table.column_f64("ratio");
+        assert!(!ratios.is_empty());
+        // Shape: ratios within a small constant band.
+        let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
+        let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min < 6.0, "ratio band too wide: [{min}, {max}]");
+        let success = table.column_f64("success");
+        assert!(
+            success.iter().all(|&s| s >= 0.8),
+            "success rates {success:?}"
+        );
+    }
+}

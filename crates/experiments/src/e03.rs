@@ -1,0 +1,129 @@
+//! **E03 / Table 2** — Theorem 1.1's bias threshold.
+//!
+//! Claim: if `c_1 − c_2 = O(√n)`, the runner-up `C_2` wins with constant
+//! probability; at the theorem's gap `z·√(n ln n)` the plurality wins
+//! w.h.p.
+//!
+//! Shape check: the `C2 wins` column is bounded away from 0 for gaps
+//! `{0, 0.5√n, √n, 2√n}` and collapses to ≈ 0 at `√(n ln n)`.
+
+use rapid_core::prelude::*;
+use rapid_graph::prelude::*;
+use rapid_sim::prelude::*;
+
+use crate::distributions::{theorem_11_gap, InitialDistribution};
+use crate::report::Report;
+use crate::runner::run_trials;
+use crate::table::Table;
+
+/// Configuration for E03.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Config {
+    /// Population size.
+    pub n: u64,
+    /// Number of opinions.
+    pub k: usize,
+    /// Gap values in units of `√n` (the `O(√n)` regime).
+    pub sqrt_n_multipliers: Vec<f64>,
+    /// Trials per gap.
+    pub trials: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 1 << 14,
+            k: 2,
+            sqrt_n_multipliers: vec![0.0, 0.5, 1.0, 2.0],
+            trials: 200,
+            seed: 0xE03,
+        }
+    }
+}
+
+impl Config {
+    /// CI-scale preset.
+    pub fn quick() -> Self {
+        Config {
+            n: 1 << 11,
+            trials: 40,
+            ..Config::default()
+        }
+    }
+}
+
+/// Runs E03 and returns its report.
+pub fn run(cfg: &Config) -> Report {
+    let mut report = Report::new(
+        "E03",
+        "Theorem 1.1: gap O(sqrt n) lets C2 win with constant probability",
+        cfg.seed,
+    );
+    let mut table = Table::new(
+        format!("Sync Two-Choices winner rates at n = {}, k = {}", cfg.n, cfg.k),
+        &["gap", "gap/sqrt(n)", "C1 wins", "C2 wins", "other", "trials"],
+    );
+
+    let n = cfg.n;
+    let sqrt_n = (n as f64).sqrt();
+    let mut gaps: Vec<(u64, String)> = cfg
+        .sqrt_n_multipliers
+        .iter()
+        .map(|m| ((m * sqrt_n).round() as u64, format!("{m:.1}")))
+        .collect();
+    let thm_gap = theorem_11_gap(n, 1.0);
+    gaps.push((thm_gap, format!("{:.1}", thm_gap as f64 / sqrt_n)));
+
+    for (gap, label) in gaps {
+        let dist = InitialDistribution::additive_bias(cfg.k, gap);
+        let Ok(counts) = dist.counts(n) else { continue };
+        let budget = 200_000;
+
+        let results = run_trials(cfg.trials, Seed::new(cfg.seed ^ gap), {
+            let counts = counts.clone();
+            move |_, seed| {
+                let g = Complete::new(n as usize);
+                let mut config = Configuration::from_counts(&counts).expect("validated");
+                let mut rng = SimRng::from_seed_value(seed);
+                run_sync_to_consensus(&mut TwoChoices::new(), &g, &mut config, &mut rng, budget)
+                    .map(|out| out.winner)
+                    .ok()
+            }
+        });
+
+        let total = results.len() as f64;
+        let c1 = results.iter().filter(|w| **w == Some(Color::new(0))).count() as f64 / total;
+        let c2 = results.iter().filter(|w| **w == Some(Color::new(1))).count() as f64 / total;
+        table.push_row(vec![
+            gap.to_string(),
+            label,
+            format!("{c1:.3}"),
+            format!("{c2:.3}"),
+            format!("{:.3}", (1.0 - c1 - c2).max(0.0)),
+            cfg.trials.to_string(),
+        ]);
+    }
+    table.push_note("last row is the Theorem 1.1 gap sqrt(n ln n): C1 should win w.h.p.");
+    report.push_table(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_gaps_let_c2_win_but_theorem_gap_does_not() {
+        let report = run(&Config::quick());
+        let table = &report.tables[0];
+        let c2 = table.column_f64("C2 wins");
+        assert!(c2.len() >= 4);
+        // Zero gap: a fair coin (within generous slack for 40 trials).
+        assert!(c2[0] > 0.2 && c2[0] < 0.8, "zero-gap C2 rate {}", c2[0]);
+        // Theorem gap (last row): C2 effectively never wins.
+        let last = *c2.last().expect("non-empty");
+        assert!(last <= 0.1, "C2 rate at theorem gap: {last}");
+    }
+}

@@ -1,0 +1,161 @@
+//! **E06 / Table 4** — Theorem 1.3: the asynchronous protocol runs in
+//! `Θ(log n)` time.
+//!
+//! Claim: with `c_1 ≥ (1+ε)·c_i` and `k = O(exp(log n/log log n))`, the
+//! full asynchronous protocol reaches plurality consensus within
+//! `Θ(log n)` time w.h.p. — and the paper's success event holds: all nodes
+//! agree *before the first node halts*.
+//!
+//! Shape check: `time/ln n` is roughly constant while `n` spans two orders
+//! of magnitude, and success ≈ 1.
+
+use rapid_core::prelude::*;
+use rapid_sim::prelude::*;
+use rapid_stats::{fit_line, OnlineStats};
+
+use crate::distributions::InitialDistribution;
+use crate::report::Report;
+use crate::runner::run_trials;
+use crate::table::Table;
+
+/// Configuration for E06.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Config {
+    /// Population sizes.
+    pub ns: Vec<u64>,
+    /// Number of opinions.
+    pub k: usize,
+    /// Multiplicative lead `ε`.
+    pub eps: f64,
+    /// Trials per n.
+    pub trials: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Theorem 1.3 is asymptotic: the multiplicative gap ε·n/k must beat
+        // the per-phase sampling noise, which needs k/√n ≪ ε. With k = 8
+        // and ε = 0.3 that holds from n = 2^12 upward (see EXPERIMENTS.md).
+        Config {
+            ns: vec![1 << 12, 1 << 13, 1 << 14, 1 << 15, 1 << 16],
+            k: 8,
+            eps: 0.3,
+            trials: 10,
+            seed: 0xE06,
+        }
+    }
+}
+
+impl Config {
+    /// CI-scale preset.
+    pub fn quick() -> Self {
+        Config {
+            ns: vec![1 << 12, 1 << 13],
+            eps: 0.5,
+            trials: 4,
+            ..Config::default()
+        }
+    }
+}
+
+/// Runs E06 and returns its report.
+pub fn run(cfg: &Config) -> Report {
+    let mut report = Report::new(
+        "E06",
+        "Theorem 1.3: asynchronous consensus in Theta(log n) time",
+        cfg.seed,
+    );
+    let mut table = Table::new(
+        format!(
+            "RapidSim on K_n, k = {}, multiplicative bias eps = {}",
+            cfg.k, cfg.eps
+        ),
+        &["n", "time", "stderr", "time/ln(n)", "steps/n", "success", "trials"],
+    );
+
+    let mut ln_ns = Vec::new();
+    let mut times = Vec::new();
+    for &n in &cfg.ns {
+        let counts = match InitialDistribution::multiplicative_bias(cfg.k, cfg.eps).counts(n) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        let params = Params::for_network_with_eps(n as usize, cfg.k, cfg.eps);
+
+        let results = run_trials(cfg.trials, Seed::new(cfg.seed ^ (n << 4)), {
+            let counts = counts.clone();
+            move |_, seed| {
+                let mut sim = clique_rapid(&counts, params, seed);
+                let budget = sim.default_step_budget();
+                match sim.run_until_consensus(budget) {
+                    Ok(out) => (
+                        out.time.as_secs(),
+                        out.steps,
+                        out.winner == Color::new(0) && out.before_first_halt,
+                        true,
+                    ),
+                    Err(_) => (0.0, 0, false, false),
+                }
+            }
+        });
+
+        let time: OnlineStats = results
+            .iter()
+            .filter(|r| r.3)
+            .map(|r| r.0)
+            .collect();
+        let steps: OnlineStats = results
+            .iter()
+            .filter(|r| r.3)
+            .map(|r| r.1 as f64)
+            .collect();
+        let success = results.iter().filter(|r| r.2).count() as f64 / results.len() as f64;
+        let ln_n = (n as f64).ln();
+        if !time.is_empty() {
+            ln_ns.push(ln_n);
+            times.push(time.mean());
+        }
+        table.push_row(vec![
+            n.to_string(),
+            format!("{:.1}", time.mean()),
+            format!("{:.1}", time.std_err()),
+            format!("{:.2}", time.mean() / ln_n),
+            format!("{:.1}", steps.mean() / n as f64),
+            format!("{success:.2}"),
+            cfg.trials.to_string(),
+        ]);
+    }
+
+    if ln_ns.len() >= 2 {
+        let fit = fit_line(&ln_ns, &times);
+        table.push_note(format!(
+            "linear fit: time = {:.1}*ln(n) + {:.1} (R^2 = {:.3}) — Theta(log n) shape",
+            fit.slope, fit.intercept, fit.r_squared
+        ));
+    }
+    table.push_note("success = plurality wins AND unanimity precedes the first halt");
+    report.push_table(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_scales_logarithmically_with_high_success() {
+        let report = run(&Config::quick());
+        let table = &report.tables[0];
+        let success = table.column_f64("success");
+        assert!(success.iter().all(|&s| s >= 0.5), "success {success:?}");
+        let normalized = table.column_f64("time/ln(n)");
+        assert!(normalized.len() >= 2);
+        // Θ(log n): the normalized column stays within a 3x band even in
+        // the quick preset.
+        let max = normalized.iter().cloned().fold(f64::MIN, f64::max);
+        let min = normalized.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min < 3.0, "time/ln n band too wide: [{min}, {max}]");
+    }
+}

@@ -1,0 +1,137 @@
+//! **E07 / Figure 3** — Theorem 1.3's opinion-count range.
+//!
+//! Claim: the asynchronous protocol handles up to
+//! `k = O(exp(log n / log log n))` opinions within the same `Θ(log n)`
+//! time bound.
+//!
+//! Shape check: at fixed `n`, consensus time grows only mildly with `k`
+//! (through the `log k` inside the Bit-Propagation sub-phase length) and
+//! success stays ≈ 1 across the sweep.
+
+use rapid_core::prelude::*;
+use rapid_sim::prelude::*;
+use rapid_stats::OnlineStats;
+
+use crate::distributions::InitialDistribution;
+use crate::predictions;
+use crate::report::Report;
+use crate::runner::run_trials;
+use crate::table::Table;
+
+/// Configuration for E07.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Config {
+    /// Fixed population size.
+    pub n: u64,
+    /// Opinion counts to sweep.
+    pub ks: Vec<usize>,
+    /// Multiplicative lead `ε`.
+    pub eps: f64,
+    /// Trials per k.
+    pub trials: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // k = 128 deliberately overshoots the paper's frontier
+        // exp(ln n/ln ln n) ≈ 71 at n = 2^14: the success column should
+        // visibly degrade there, tracing where the theorem stops applying.
+        Config {
+            n: 1 << 14,
+            ks: vec![2, 4, 8, 16, 32, 64, 128],
+            eps: 0.4,
+            trials: 10,
+            seed: 0xE07,
+        }
+    }
+}
+
+impl Config {
+    /// CI-scale preset.
+    pub fn quick() -> Self {
+        Config {
+            n: 1 << 13,
+            ks: vec![2, 8, 16],
+            eps: 0.5,
+            trials: 3,
+            ..Config::default()
+        }
+    }
+}
+
+/// Runs E07 and returns its report.
+pub fn run(cfg: &Config) -> Report {
+    let mut report = Report::new(
+        "E07",
+        "Theorem 1.3: k-sweep up to exp(log n / log log n) opinions",
+        cfg.seed,
+    );
+    let mut table = Table::new(
+        format!("RapidSim at n = {}, eps = {}", cfg.n, cfg.eps),
+        &["k", "time", "stderr", "time/ln(n)", "success", "trials"],
+    );
+
+    let n = cfg.n;
+    for &k in &cfg.ks {
+        let counts = match InitialDistribution::multiplicative_bias(k, cfg.eps).counts(n) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        let params = Params::for_network_with_eps(n as usize, k, cfg.eps);
+
+        let results = run_trials(cfg.trials, Seed::new(cfg.seed ^ (k as u64) << 5), {
+            let counts = counts.clone();
+            move |_, seed| {
+                let mut sim = clique_rapid(&counts, params, seed);
+                let budget = sim.default_step_budget();
+                match sim.run_until_consensus(budget) {
+                    Ok(out) => (
+                        out.time.as_secs(),
+                        out.winner == Color::new(0) && out.before_first_halt,
+                        true,
+                    ),
+                    Err(_) => (0.0, false, false),
+                }
+            }
+        });
+
+        let time: OnlineStats = results.iter().filter(|r| r.2).map(|r| r.0).collect();
+        let success = results.iter().filter(|r| r.1).count() as f64 / results.len() as f64;
+        table.push_row(vec![
+            k.to_string(),
+            format!("{:.1}", time.mean()),
+            format!("{:.1}", time.std_err()),
+            format!("{:.2}", time.mean() / (n as f64).ln()),
+            format!("{success:.2}"),
+            cfg.trials.to_string(),
+        ]);
+    }
+    table.push_note(format!(
+        "paper's k-frontier at this n: exp(ln n/ln ln n) = {:.0}",
+        predictions::async_k_limit(n)
+    ));
+    report.push_table(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_holds_across_the_k_sweep() {
+        let report = run(&Config::quick());
+        let table = &report.tables[0];
+        let success = table.column_f64("success");
+        assert!(success.len() >= 3);
+        assert!(success.iter().all(|&s| s >= 0.66), "success {success:?}");
+        // Mild growth only: largest k costs at most ~3x the smallest.
+        let t = table.column_f64("time");
+        assert!(
+            t.last().expect("non-empty") / t[0] < 3.0,
+            "time grew too fast across k: {t:?}"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! **E09 / Table 5** — Poisson-clock concentration and the `Ω(log n)`
+//! barrier.
+//!
+//! Claims (§1.1, §3): in the sequential model, (a) some node remains
+//! unselected for `Ω(log n)` time w.h.p. — hence no asynchronous protocol
+//! can converge in `o(log n)` time — and (b) after `T` time units, tick
+//! counts concentrate within `O(√(T log n))` of `T`, which is what makes
+//! weak synchronicity achievable at all.
+//!
+//! Shape check: `coverage/ln n` and `max_dev/√(2T ln n)` are both roughly
+//! constant as `n` spans three orders of magnitude.
+
+use rapid_sim::prelude::*;
+use rapid_stats::OnlineStats;
+
+use crate::predictions;
+use crate::report::Report;
+use crate::runner::run_trials;
+use crate::table::Table;
+
+/// Configuration for E09.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Config {
+    /// Population sizes.
+    pub ns: Vec<u64>,
+    /// Horizon in multiples of `ln n`.
+    pub horizon_ln_multiple: f64,
+    /// Trials per n.
+    pub trials: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            ns: vec![1 << 10, 1 << 14, 1 << 18, 1 << 20],
+            horizon_ln_multiple: 4.0,
+            trials: 10,
+            seed: 0xE09,
+        }
+    }
+}
+
+impl Config {
+    /// CI-scale preset.
+    pub fn quick() -> Self {
+        Config {
+            ns: vec![1 << 8, 1 << 12],
+            trials: 4,
+            ..Config::default()
+        }
+    }
+}
+
+/// Runs E09 and returns its report.
+pub fn run(cfg: &Config) -> Report {
+    let mut report = Report::new(
+        "E09",
+        "Tick concentration and the Omega(log n) asynchronous barrier",
+        cfg.seed,
+    );
+    let mut table = Table::new(
+        format!(
+            "Sequential model, horizon T = {} ln n",
+            cfg.horizon_ln_multiple
+        ),
+        &[
+            "n",
+            "coverage",
+            "coverage/ln(n)",
+            "max_dev",
+            "max_dev/scale",
+            "trials",
+        ],
+    );
+
+    for &n in &cfg.ns {
+        let t_end = cfg.horizon_ln_multiple * (n as f64).ln();
+
+        let results = run_trials(cfg.trials, Seed::new(cfg.seed ^ n), move |_, seed| {
+            let mut sched =
+                SequentialScheduler::with_mode(n as usize, seed, TimeMode::Sampled);
+            let mut stats = ActivationStats::new(n as usize);
+            let horizon = SimTime::from_secs(t_end);
+            // Drive to the horizon, recording every activation.
+            sched.run_until(horizon, |a| stats.observe(a));
+            let coverage = stats
+                .last_first_activation()
+                .map(|t| t.as_secs())
+                .unwrap_or(t_end); // some node never ticked: report the horizon
+            (coverage, stats.max_deviation())
+        });
+
+        let coverage: OnlineStats = results.iter().map(|r| r.0).collect();
+        let max_dev: OnlineStats = results.iter().map(|r| r.1).collect();
+        let ln_n = (n as f64).ln();
+        let dev_scale = predictions::tick_deviation_scale(n, t_end);
+        table.push_row(vec![
+            n.to_string(),
+            format!("{:.2}", coverage.mean()),
+            format!("{:.3}", coverage.mean() / ln_n),
+            format!("{:.1}", max_dev.mean()),
+            format!("{:.3}", max_dev.mean() / dev_scale),
+            cfg.trials.to_string(),
+        ]);
+    }
+    table.push_note("coverage = time until every node ticked once (coupon collector ~ ln n)");
+    table.push_note("scale = sqrt(2 T ln n), the Gaussian-tail prediction for max deviation");
+    report.push_table(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_columns_are_stable_across_n() {
+        let report = run(&Config::quick());
+        let table = &report.tables[0];
+        let cov = table.column_f64("coverage/ln(n)");
+        let dev = table.column_f64("max_dev/scale");
+        assert!(cov.len() >= 2);
+        // Coverage time is Θ(ln n): the ratio stays within a 2.5x band.
+        let band = cov.iter().cloned().fold(f64::MIN, f64::max)
+            / cov.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(band < 2.5, "coverage band {band}");
+        // Deviation stays at the √(2T ln n) scale (well below 2x).
+        assert!(dev.iter().all(|&d| d > 0.2 && d < 2.0), "dev {dev:?}");
+    }
+}

@@ -1,0 +1,130 @@
+//! **E11 / Table 6** — the endgame (§3.2).
+//!
+//! Claim: once `c_1 ≥ (1−ε)·n`, plain asynchronous Two-Choices drives all
+//! nodes to `C_1` before the first node finishes its `Θ(log n)`-tick
+//! part-2 budget, w.h.p.
+//!
+//! Shape check: success ≈ 1 for every `(n, ε)` cell and the consensus
+//! time scales like `ln n`.
+
+use rapid_core::prelude::*;
+use rapid_sim::prelude::*;
+use rapid_stats::OnlineStats;
+
+use crate::report::Report;
+use crate::runner::run_trials;
+use crate::table::Table;
+
+/// Configuration for E11.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Config {
+    /// Population sizes.
+    pub ns: Vec<u64>,
+    /// Minority fractions `ε` (the endgame starts at `c_1 = (1−ε)n`).
+    pub eps: Vec<f64>,
+    /// Halt budget in multiples of `ln n` ticks.
+    pub halt_ln_multiple: f64,
+    /// Trials per cell.
+    pub trials: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            ns: vec![1 << 12, 1 << 14, 1 << 16],
+            eps: vec![0.05, 0.1, 0.2],
+            halt_ln_multiple: 8.0,
+            trials: 20,
+            seed: 0xE11,
+        }
+    }
+}
+
+impl Config {
+    /// CI-scale preset.
+    pub fn quick() -> Self {
+        Config {
+            ns: vec![1 << 10],
+            eps: vec![0.1, 0.2],
+            trials: 6,
+            ..Config::default()
+        }
+    }
+}
+
+/// Runs E11 and returns its report.
+pub fn run(cfg: &Config) -> Report {
+    let mut report = Report::new(
+        "E11",
+        "Endgame: async Two-Choices finishes before the first node halts",
+        cfg.seed,
+    );
+    let mut table = Table::new(
+        format!(
+            "Endgame from c1 = (1-eps)*n, halt budget {} ln n ticks",
+            cfg.halt_ln_multiple
+        ),
+        &["n", "eps", "time", "stderr", "time/ln(n)", "success", "trials"],
+    );
+
+    for &n in &cfg.ns {
+        for &eps in &cfg.eps {
+            let minority = ((eps * n as f64).round() as u64).max(1);
+            let counts = [n - minority, minority];
+            let halt = (cfg.halt_ln_multiple * (n as f64).ln()).ceil() as u64;
+
+            let results = run_trials(
+                cfg.trials,
+                Seed::new(cfg.seed ^ (n << 3) ^ (eps * 100.0) as u64),
+                move |_, seed| {
+                    let mut sim = clique_gossip(&counts, GossipRule::TwoChoices, seed)
+                        .with_halt_after(halt);
+                    let budget = 4 * n * halt;
+                    match sim.run_until_consensus(budget) {
+                        Ok(out) => {
+                            let ok = out.winner == Color::new(0)
+                                && sim.consensus_before_first_halt(out.time);
+                            (out.time.as_secs(), ok, true)
+                        }
+                        Err(_) => (0.0, false, false),
+                    }
+                },
+            );
+
+            let time: OnlineStats = results.iter().filter(|r| r.2).map(|r| r.0).collect();
+            let success =
+                results.iter().filter(|r| r.1).count() as f64 / results.len() as f64;
+            table.push_row(vec![
+                n.to_string(),
+                format!("{eps}"),
+                format!("{:.1}", time.mean()),
+                format!("{:.2}", time.std_err()),
+                format!("{:.2}", time.mean() / (n as f64).ln()),
+                format!("{success:.2}"),
+                cfg.trials.to_string(),
+            ]);
+        }
+    }
+    table.push_note("success = plurality unanimity strictly before the first node froze");
+    report.push_table(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endgame_succeeds_whp_from_dominant_configurations() {
+        let report = run(&Config::quick());
+        let table = &report.tables[0];
+        let success = table.column_f64("success");
+        assert!(success.len() >= 2);
+        assert!(
+            success.iter().all(|&s| s >= 0.8),
+            "endgame success rates {success:?}"
+        );
+    }
+}

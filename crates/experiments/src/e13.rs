@@ -1,0 +1,248 @@
+//! **E13 / Figure 6** — protocol comparison across the opinion count.
+//!
+//! Context for the paper's contribution: how the standard protocols
+//! degrade as `k` grows, and where the paper's protocols take over.
+//!
+//! * Voter — no drift: slow (`Θ(n)` rounds) and only proportionally likely
+//!   to pick the plurality;
+//! * Two-Choices / 3-Majority — drift-based, but `Ω(k)` rounds;
+//! * OneExtraBit — polylogarithmic rounds at every `k`;
+//! * RapidSim (asynchronous) — `Θ(log n)` *time*, reported in the same
+//!   table (one synchronous round ≈ one asynchronous time unit of work per
+//!   node).
+
+use rapid_core::prelude::*;
+use rapid_graph::prelude::*;
+use rapid_sim::prelude::*;
+use rapid_stats::OnlineStats;
+
+use crate::distributions::InitialDistribution;
+use crate::report::Report;
+use crate::runner::run_trials;
+use crate::table::Table;
+
+/// Configuration for E13.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Config {
+    /// Population size.
+    pub n: u64,
+    /// Opinion counts to sweep.
+    pub ks: Vec<usize>,
+    /// Multiplicative lead `ε`.
+    pub eps: f64,
+    /// Include the (slow) Voter baseline.
+    pub include_voter: bool,
+    /// Trials per cell.
+    pub trials: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 1 << 13,
+            ks: vec![2, 4, 8, 16, 32, 64],
+            eps: 0.3,
+            include_voter: true,
+            trials: 8,
+            seed: 0xE13,
+        }
+    }
+}
+
+impl Config {
+    /// CI-scale preset.
+    pub fn quick() -> Self {
+        Config {
+            n: 1 << 12,
+            ks: vec![2, 8, 16],
+            eps: 0.5,
+            trials: 3,
+            include_voter: false,
+            ..Config::default()
+        }
+    }
+}
+
+#[derive(Copy, Clone)]
+enum Entrant {
+    Voter,
+    TwoChoices,
+    ThreeMajority,
+    OneExtraBit,
+    Rapid,
+}
+
+impl Entrant {
+    fn name(self) -> &'static str {
+        match self {
+            Entrant::Voter => "voter",
+            Entrant::TwoChoices => "two-choices",
+            Entrant::ThreeMajority => "3-majority",
+            Entrant::OneExtraBit => "one-extra-bit",
+            Entrant::Rapid => "rapid-async",
+        }
+    }
+}
+
+fn run_entrant(
+    e: Entrant,
+    n: u64,
+    k: usize,
+    eps: f64,
+    counts: &[u64],
+    seed: Seed,
+) -> (f64, bool, bool) {
+    match e {
+        Entrant::Rapid => {
+            let params = Params::for_network_with_eps(n as usize, k, eps);
+            let mut sim = clique_rapid(counts, params, seed);
+            let budget = sim.default_step_budget();
+            match sim.run_until_consensus(budget) {
+                Ok(out) => (
+                    out.time.as_secs(),
+                    out.winner == Color::new(0) && out.before_first_halt,
+                    true,
+                ),
+                Err(_) => (0.0, false, false),
+            }
+        }
+        _ => {
+            let g = Complete::new(n as usize);
+            let mut config = Configuration::from_counts(counts).expect("valid");
+            let mut rng = SimRng::from_seed_value(seed);
+            let budget = match e {
+                Entrant::Voter => 40 * n, // Θ(n) expected; cap at 40n rounds
+                Entrant::TwoChoices | Entrant::ThreeMajority => 600 * k as u64 + 10_000,
+                _ => 5_000,
+            };
+            let mut voter = Voter::new();
+            let mut tc = TwoChoices::new();
+            let mut tm = ThreeMajority::new();
+            let mut oeb = OneExtraBit::for_network(n as usize, k);
+            let proto: &mut dyn SyncProtocol = match e {
+                Entrant::Voter => &mut voter,
+                Entrant::TwoChoices => &mut tc,
+                Entrant::ThreeMajority => &mut tm,
+                _ => &mut oeb,
+            };
+            match run_sync_to_consensus(proto, &g, &mut config, &mut rng, budget) {
+                Ok(out) => (out.rounds as f64, out.winner == Color::new(0), true),
+                Err(_) => (budget as f64, false, false),
+            }
+        }
+    }
+}
+
+/// Runs E13 and returns its report.
+pub fn run(cfg: &Config) -> Report {
+    let mut report = Report::new(
+        "E13",
+        "Protocol comparison: who wins as the opinion count grows",
+        cfg.seed,
+    );
+    let mut table = Table::new(
+        format!("Rounds/time to consensus at n = {}, eps = {}", cfg.n, cfg.eps),
+        &["k", "protocol", "rounds~time", "stderr", "success", "converged"],
+    );
+
+    let mut entrants = vec![
+        Entrant::TwoChoices,
+        Entrant::ThreeMajority,
+        Entrant::OneExtraBit,
+        Entrant::Rapid,
+    ];
+    if cfg.include_voter {
+        entrants.insert(0, Entrant::Voter);
+    }
+
+    for &k in &cfg.ks {
+        let Ok(counts) = InitialDistribution::multiplicative_bias(k, cfg.eps).counts(cfg.n)
+        else {
+            continue;
+        };
+        for &e in &entrants {
+            let results = run_trials(
+                cfg.trials,
+                Seed::new(cfg.seed ^ (k as u64) << 7 ^ e.name().len() as u64),
+                {
+                    let counts = counts.clone();
+                    move |_, seed| run_entrant(e, cfg.n, k, cfg.eps, &counts, seed)
+                },
+            );
+            let time: OnlineStats = results.iter().filter(|r| r.2).map(|r| r.0).collect();
+            let success =
+                results.iter().filter(|r| r.1).count() as f64 / results.len() as f64;
+            let converged =
+                results.iter().filter(|r| r.2).count() as f64 / results.len() as f64;
+            table.push_row(vec![
+                k.to_string(),
+                e.name().to_string(),
+                format!("{:.1}", time.mean()),
+                format!("{:.1}", time.std_err()),
+                format!("{success:.2}"),
+                format!("{converged:.2}"),
+            ]);
+        }
+    }
+    table.push_note(
+        "two-choices rounds grow with k while one-extra-bit and rapid-async grow only \
+         polylogarithmically (compare growth factors across the sweep)",
+    );
+    table.push_note(
+        "the success columns of one-extra-bit and rapid-async trace the finite-n seed-race \
+         frontier: both need c1^2/n to clear the largest rival's c^2/n tail (Theorem 1.2's \
+         gap condition / Theorem 1.3's k-range in asymptotic form)",
+    );
+    table.push_note("voter (if present) is slow and wins only ~proportionally to c1/n");
+    report.push_table(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn protocol_series(table: &Table, protocol: &str) -> Vec<(u64, f64, f64)> {
+        table
+            .rows
+            .iter()
+            .filter(|row| row[1] == protocol)
+            .map(|row| {
+                (
+                    row[0].parse().expect("k"),
+                    row[2].parse().expect("rounds"),
+                    row[4].parse().expect("success"),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_choices_cost_grows_with_k_while_rapid_stays_flat() {
+        let report = run(&Config::quick());
+        let table = &report.tables[0];
+        assert!(!table.is_empty());
+
+        let tc = protocol_series(table, "two-choices");
+        assert!(tc.len() >= 3);
+        // Two-Choices: Ω(k)-flavoured growth across the sweep.
+        assert!(
+            tc.last().expect("rows").1 > tc[0].1 * 1.3,
+            "two-choices rounds should grow with k: {tc:?}"
+        );
+
+        let rapid = protocol_series(table, "rapid-async");
+        // RapidSim: flat Θ(log n) time and consistent success inside the
+        // theorem's k-range.
+        let times: Vec<f64> = rapid.iter().map(|r| r.1).collect();
+        let band = times.iter().cloned().fold(f64::MIN, f64::max)
+            / times.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(band < 2.5, "rapid time band {band}: {times:?}");
+        assert!(
+            rapid.iter().all(|r| r.2 >= 0.66),
+            "rapid success dipped: {rapid:?}"
+        );
+    }
+}

@@ -1,0 +1,249 @@
+//! **E14 / Figure 7 (extension)** — beyond the complete graph.
+//!
+//! The paper's discussion (§4) conjectures that its techniques "carry over
+//! to a much more general setting". This *extension* experiment (clearly
+//! beyond the brief announcement's stated results) runs the identical
+//! protocol implementations — they are topology-generic — on expander-like
+//! sparse graphs and on poorly-mixing ones:
+//!
+//! * random `d`-regular graphs with `d = Θ(log n)` (expanders: neighbor
+//!   sampling approximates uniform sampling well);
+//! * Erdős–Rényi `G(n, p)` above the connectivity threshold;
+//! * the 2-D torus (slow mixing: a *negative* control — plurality
+//!   consensus by local drift is not expected to track the global
+//!   plurality).
+//!
+//! Shape expectation: on expanders both Two-Choices and the asynchronous
+//! protocol behave clique-like (success ≈ 1, comparable times); on the
+//! torus the asynchronous protocol's Two-Choices step sees heavily
+//! correlated samples and the global plurality frequently loses.
+
+use rapid_core::prelude::*;
+use rapid_graph::prelude::*;
+use rapid_graph::{ErdosRenyi, RandomRegular, Torus2d};
+use rapid_sim::prelude::*;
+use rapid_stats::OnlineStats;
+
+use crate::distributions::InitialDistribution;
+use crate::report::Report;
+use crate::runner::run_trials;
+use crate::table::Table;
+
+/// Configuration for E14.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Config {
+    /// Population size (tori round down to a square side).
+    pub n: u64,
+    /// Number of opinions.
+    pub k: usize,
+    /// Multiplicative lead `ε`.
+    pub eps: f64,
+    /// Trials per cell.
+    pub trials: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 1 << 13,
+            k: 4,
+            eps: 0.5,
+            trials: 10,
+            seed: 0xE14,
+        }
+    }
+}
+
+impl Config {
+    /// CI-scale preset.
+    pub fn quick() -> Self {
+        Config {
+            n: 1 << 10,
+            trials: 4,
+            ..Config::default()
+        }
+    }
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Topo {
+    Clique,
+    Regular,
+    ErdosRenyi,
+    Torus,
+}
+
+impl Topo {
+    fn label(self) -> &'static str {
+        match self {
+            Topo::Clique => "complete",
+            Topo::Regular => "random-regular(d~log n)",
+            Topo::ErdosRenyi => "G(n, 2 ln n / n)",
+            Topo::Torus => "torus (negative control)",
+        }
+    }
+}
+
+/// One (topology, protocol) cell: mean time + plurality-success rate.
+fn run_cell(
+    topo: Topo,
+    asynchronous: bool,
+    cfg: &Config,
+    master: Seed,
+) -> Option<(OnlineStats, f64)> {
+    let side = (cfg.n as f64).sqrt() as usize;
+    let n = match topo {
+        Topo::Torus => side * side,
+        _ => cfg.n as usize,
+    };
+    let counts = InitialDistribution::multiplicative_bias(cfg.k, cfg.eps)
+        .counts(n as u64)
+        .ok()?;
+    let d = ((n as f64).ln().ceil() as usize) | 1; // odd degree is fine for even n
+    let eps = cfg.eps;
+    let k = cfg.k;
+    let trials = cfg.trials;
+
+    let results = run_trials(trials, master, move |_, seed| {
+        // Build the topology fresh per trial (random graphs resample).
+        let shuffle_and_run = |g: &dyn Topology, seed: Seed| -> (f64, bool, bool) {
+            let mut config = Configuration::from_counts(&counts).expect("validated");
+            // Structured topologies need a random node-color assignment.
+            config.shuffle(&mut SimRng::from_seed_value(seed.child(10)));
+            if asynchronous {
+                let params = Params::for_network_with_eps(n, k, eps);
+                let source = SequentialScheduler::new(n, seed.child(11));
+                let mut sim =
+                    RapidSim::new(DynTopo(g), config, params, source, seed.child(12));
+                let budget = 3 * n as u64 * params.total_len();
+                match sim.run_until_consensus(budget) {
+                    Ok(out) => (
+                        out.time.as_secs(),
+                        out.winner == Color::new(0) && out.before_first_halt,
+                        true,
+                    ),
+                    Err(_) => (0.0, false, false),
+                }
+            } else {
+                let mut rng = SimRng::from_seed_value(seed.child(13));
+                match run_sync_to_consensus(
+                    &mut TwoChoices::new(),
+                    g,
+                    &mut config,
+                    &mut rng,
+                    200_000,
+                ) {
+                    Ok(out) => (out.rounds as f64, out.winner == Color::new(0), true),
+                    Err(_) => (0.0, false, false),
+                }
+            }
+        };
+        match topo {
+            Topo::Clique => shuffle_and_run(&Complete::new(n), seed),
+            Topo::Regular => {
+                let g = RandomRegular::sample(n, d.min(n - 1), seed.child(1))
+                    .expect("even stub count");
+                shuffle_and_run(&g, seed)
+            }
+            Topo::ErdosRenyi => {
+                let p = 2.0 * (n as f64).ln() / n as f64;
+                let g = ErdosRenyi::sample(n, p.min(1.0), seed.child(2));
+                shuffle_and_run(&g, seed)
+            }
+            Topo::Torus => shuffle_and_run(&Torus2d::new(side, side), seed),
+        }
+    });
+
+    let time: OnlineStats = results.iter().filter(|r| r.2).map(|r| r.0).collect();
+    let success = results.iter().filter(|r| r.1).count() as f64 / results.len() as f64;
+    Some((time, success))
+}
+
+/// A dyn-topology wrapper: `RapidSim` is generic over `G: Topology`, and
+/// `&dyn Topology` implements `Topology` through this adapter.
+struct DynTopo<'a>(&'a dyn Topology);
+
+impl Topology for DynTopo<'_> {
+    fn n(&self) -> usize {
+        self.0.n()
+    }
+    fn degree(&self, u: NodeId) -> usize {
+        self.0.degree(u)
+    }
+    fn sample_neighbor(&self, u: NodeId, rng: &mut SimRng) -> NodeId {
+        self.0.sample_neighbor(u, rng)
+    }
+    fn neighbors(&self, u: NodeId) -> Vec<NodeId> {
+        self.0.neighbors(u)
+    }
+}
+
+/// Runs E14 and returns its report.
+pub fn run(cfg: &Config) -> Report {
+    let mut report = Report::new(
+        "E14",
+        "Extension (discussion §4): the protocols beyond the complete graph",
+        cfg.seed,
+    );
+    let mut table = Table::new(
+        format!(
+            "Two-Choices (sync) and RapidSim (async) across topologies, n ~ {}, k = {}, eps = {}",
+            cfg.n, cfg.k, cfg.eps
+        ),
+        &["topology", "protocol", "time", "stderr", "success"],
+    );
+
+    for topo in [Topo::Clique, Topo::Regular, Topo::ErdosRenyi, Topo::Torus] {
+        for asynchronous in [false, true] {
+            let Some((time, success)) = run_cell(
+                topo,
+                asynchronous,
+                cfg,
+                Seed::new(cfg.seed ^ topo.label().len() as u64 ^ (asynchronous as u64) << 9),
+            ) else {
+                continue;
+            };
+            table.push_row(vec![
+                topo.label().to_string(),
+                if asynchronous { "rapid-async" } else { "two-choices" }.to_string(),
+                format!("{:.1}", time.mean()),
+                format!("{:.1}", time.std_err()),
+                format!("{success:.2}"),
+            ]);
+        }
+    }
+    table.push_note(
+        "extension beyond the paper: expanders behave clique-like; the slow-mixing torus \
+         is a negative control where global plurality frequently loses",
+    );
+    report.push_table(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expanders_behave_clique_like() {
+        let report = run(&Config::quick());
+        let table = &report.tables[0];
+        assert!(table.len() >= 6);
+        // Success per (topology, protocol) row, keyed by the first column.
+        let success_of = |topo: &str, proto: &str| -> f64 {
+            table
+                .rows
+                .iter()
+                .find(|r| r[0].starts_with(topo) && r[1] == proto)
+                .map(|r| r[4].parse().expect("success"))
+                .expect("row present")
+        };
+        assert!(success_of("complete", "two-choices") >= 0.75);
+        assert!(success_of("random-regular", "two-choices") >= 0.75);
+        assert!(success_of("G(n,", "two-choices") >= 0.75);
+        assert!(success_of("complete", "rapid-async") >= 0.75);
+        assert!(success_of("random-regular", "rapid-async") >= 0.5);
+    }
+}

@@ -1,0 +1,115 @@
+//! The paper's asymptotic predictions, as concrete formulas.
+//!
+//! Each function evaluates the expression inside an O/Θ bound with unit
+//! constant. The experiment tables divide measured values by these, so a
+//! *constant ratio column across a sweep* is exactly "the measured curve
+//! has the predicted shape".
+
+/// Theorem 1.1 upper bound: Two-Choices rounds `n/c₁ · ln n`.
+///
+/// # Panics
+///
+/// Panics if `c1 == 0`.
+pub fn two_choices_rounds(n: u64, c1: u64) -> f64 {
+    assert!(c1 > 0, "plurality support must be positive");
+    (n as f64 / c1 as f64) * (n as f64).ln()
+}
+
+/// Theorem 1.2: OneExtraBit rounds
+/// `(ln(c₁/(c₁−c₂)) + ln ln n) · (ln k + ln ln n)`.
+///
+/// # Panics
+///
+/// Panics if `c1 <= c2` (the theorem needs a strict gap).
+pub fn one_extra_bit_rounds(n: u64, k: usize, c1: u64, c2: u64) -> f64 {
+    assert!(c1 > c2, "theorem 1.2 requires c1 > c2");
+    let lnln = (n as f64).ln().ln().max(1.0);
+    let gap_term = (c1 as f64 / (c1 - c2) as f64).ln().max(0.0) + lnln;
+    let spread_term = (k as f64).ln().max(1.0) + lnln;
+    gap_term * spread_term
+}
+
+/// Theorem 1.3: asynchronous protocol time `ln n`.
+pub fn async_time(n: u64) -> f64 {
+    (n as f64).ln()
+}
+
+/// The paper's k-range frontier for Theorem 1.3:
+/// `exp(ln n / ln ln n)`.
+pub fn async_k_limit(n: u64) -> f64 {
+    let ln_n = (n as f64).ln();
+    (ln_n / ln_n.ln().max(1.0)).exp()
+}
+
+/// Expected number of bit-set nodes right after a Two-Choices step:
+/// `Σ c_j² / n` (each node's two samples coincide on `C_j` w.p. `(c_j/n)²`).
+pub fn expected_bits_after_two_choices(counts: &[u64]) -> f64 {
+    let n: u64 = counts.iter().sum();
+    counts.iter().map(|&c| (c as f64).powi(2)).sum::<f64>() / n as f64
+}
+
+/// Coupon-collector time for every node to tick at least once: `ln n`
+/// time units (the `Ω(log n)` asynchronous barrier).
+pub fn coverage_time(n: u64) -> f64 {
+    (n as f64).ln()
+}
+
+/// Expected maximum tick-count deviation after `t` time units across `n`
+/// Poisson clocks: `√(2 t ln n)` (Gaussian tail bound scale).
+pub fn tick_deviation_scale(n: u64, t: f64) -> f64 {
+    (2.0 * t * (n as f64).ln()).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_choices_prediction_decreases_in_c1() {
+        assert!(two_choices_rounds(1000, 100) > two_choices_rounds(1000, 500));
+    }
+
+    #[test]
+    fn one_extra_bit_is_polylog() {
+        // Even at huge k the prediction stays tiny next to k itself.
+        let r = one_extra_bit_rounds(1 << 20, 1024, 2048, 1024);
+        assert!(r < 200.0, "prediction {r}");
+        assert!(r > 1.0);
+    }
+
+    #[test]
+    fn one_extra_bit_grows_with_tighter_gap() {
+        let loose = one_extra_bit_rounds(1 << 16, 8, 20_000, 10_000);
+        let tight = one_extra_bit_rounds(1 << 16, 8, 10_100, 10_000);
+        assert!(tight > loose);
+    }
+
+    #[test]
+    fn async_limits_scale() {
+        assert!(async_time(1 << 20) > async_time(1 << 10));
+        // k-limit is superpolylogarithmic but subpolynomial.
+        let lim = async_k_limit(1 << 20);
+        let ln_n = ((1u64 << 20) as f64).ln();
+        assert!(lim > ln_n.powi(2));
+        assert!(lim < (1 << 20) as f64);
+    }
+
+    #[test]
+    fn expected_bits_formula() {
+        // counts (60, 40), n=100: (3600+1600)/100 = 52.
+        assert!((expected_bits_after_two_choices(&[60, 40]) - 52.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deviation_scale_grows_with_both_arguments() {
+        assert!(tick_deviation_scale(1 << 16, 10.0) > tick_deviation_scale(1 << 10, 10.0));
+        assert!(tick_deviation_scale(1 << 10, 40.0) > tick_deviation_scale(1 << 10, 10.0));
+        assert!(coverage_time(1 << 16) > coverage_time(1 << 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "c1 > c2")]
+    fn one_extra_bit_rejects_no_gap() {
+        let _ = one_extra_bit_rounds(100, 2, 50, 50);
+    }
+}

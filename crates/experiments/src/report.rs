@@ -1,0 +1,123 @@
+//! Experiment reports: printable and machine-readable.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::table::Table;
+
+/// The result of one experiment: tables plus provenance.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Experiment id (e.g. `"E06"`).
+    pub id: String,
+    /// Human-readable title (the claim being validated).
+    pub title: String,
+    /// The regenerated tables / figure series.
+    pub tables: Vec<Table>,
+    /// Free-form notes (parameter choices, caveats).
+    pub notes: Vec<String>,
+    /// Master seed used, for exact reproduction.
+    pub seed: u64,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, seed: u64) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Adds a table.
+    pub fn push_table(&mut self, table: Table) {
+        self.tables.push(table);
+    }
+
+    /// Adds a note.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Serialises the report as pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: the report contains only strings and numbers.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report is always serialisable")
+    }
+
+    /// Writes `<dir>/<id>.json`; creates `dir` if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory creation or file writing.
+    pub fn save_json(&self, dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id.to_lowercase()));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "=== {} — {} (seed {:#x}) ===", self.id, self.title, self.seed)?;
+        for table in &self.tables {
+            writeln!(f)?;
+            write!(f, "{table}")?;
+        }
+        if !self.notes.is_empty() {
+            writeln!(f)?;
+            for note in &self.notes {
+                writeln!(f, "* {note}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let mut r = Report::new("E99", "a demo", 42);
+        let mut t = Table::new("demo table", &["x"]);
+        t.push_row(vec!["1".into()]);
+        r.push_table(t);
+        r.push_note("hello");
+        r
+    }
+
+    #[test]
+    fn display_includes_everything() {
+        let s = sample_report().to_string();
+        assert!(s.contains("E99"));
+        assert!(s.contains("a demo"));
+        assert!(s.contains("demo table"));
+        assert!(s.contains("* hello"));
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let r = sample_report();
+        let back: Report = serde_json::from_str(&r.to_json()).expect("valid JSON");
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn save_writes_file() {
+        let dir = std::env::temp_dir().join("rapid-report-test");
+        let path = sample_report().save_json(&dir).expect("writable");
+        assert!(path.exists());
+        assert!(path.file_name().expect("file").to_string_lossy().contains("e99"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

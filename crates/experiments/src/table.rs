@@ -1,0 +1,186 @@
+//! Aligned text tables for experiment output.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple column-aligned table with a title and optional notes.
+///
+/// # Example
+///
+/// ```
+/// use rapid_experiments::Table;
+/// let mut t = Table::new("Demo", &["n", "time"]);
+/// t.push_row(vec!["1024".into(), "7.2".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("Demo"));
+/// assert!(s.contains("1024"));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (must match `columns` in length).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form footnotes.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length differs from the header's.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} does not match {} columns",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a footnote.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Returns one column's cells parsed as `f64` (for shape checks in
+    /// tests). Cells that fail to parse are skipped.
+    pub fn column_f64(&self, name: &str) -> Vec<f64> {
+        let Some(idx) = self.columns.iter().position(|c| c == name) else {
+            return Vec::new();
+        };
+        self.rows
+            .iter()
+            .filter_map(|r| r[idx].parse::<f64>().ok())
+            .collect()
+    }
+
+    /// Renders as CSV (header + rows, RFC-4180-style quoting for commas).
+    pub fn to_csv(&self) -> String {
+        let quote = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| quote(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        writeln!(f, "  {}", header.join("  "))?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "  {}", rule.join("  "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            writeln!(f, "  {}", cells.join("  "))?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("T", &["a", "long_header"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["100".into(), "2000".into()]);
+        t.push_note("a note");
+        let s = t.to_string();
+        assert!(s.contains("long_header"));
+        assert!(s.contains("note: a note"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn column_extraction_parses_numbers() {
+        let mut t = Table::new("T", &["n", "x"]);
+        t.push_row(vec!["10".into(), "1.5".into()]);
+        t.push_row(vec!["20".into(), "n/a".into()]);
+        t.push_row(vec!["30".into(), "2.5".into()]);
+        assert_eq!(t.column_f64("x"), vec![1.5, 2.5]);
+        assert_eq!(t.column_f64("n"), vec![10.0, 20.0, 30.0]);
+        assert!(t.column_f64("missing").is_empty());
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new("T", &["a,b", "c"]);
+        t.push_row(vec!["x,y".into(), "z".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("\"a,b\",c\n"));
+        assert!(csv.contains("\"x,y\",z"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_row_rejected() {
+        let mut t = Table::new("T", &["a"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+}

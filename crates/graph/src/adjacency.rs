@@ -1,0 +1,170 @@
+//! Compressed adjacency-list storage shared by the explicit topologies.
+
+use rapid_sim::node::NodeId;
+use rapid_sim::rng::SimRng;
+
+use crate::topology::Topology;
+
+/// An undirected graph stored in compressed sparse row (CSR) form.
+///
+/// Construction goes through [`AdjacencyList::from_edges`], which
+/// deduplicates edges, rejects self-loops, and materialises both directions.
+///
+/// # Example
+///
+/// ```
+/// use rapid_graph::prelude::*;
+/// use rapid_sim::prelude::*;
+///
+/// let g = AdjacencyList::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// assert_eq!(g.degree(NodeId::new(1)), 2);
+/// assert_eq!(g.edge_count(), 4);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct AdjacencyList {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+}
+
+impl AdjacencyList {
+    /// Builds a graph on `n` nodes from an edge list.
+    ///
+    /// Edges are undirected; duplicates are collapsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, any endpoint is out of range, any edge is a
+    /// self-loop, or some node ends up isolated (degree 0) — isolated nodes
+    /// cannot participate in gossip.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        assert!(n > 0, "graph needs at least one node");
+        let mut pairs = Vec::with_capacity(edges.len() * 2);
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge ({a}, {b}) out of range for n={n}");
+            assert!(a != b, "self-loop at node {a}");
+            pairs.push((a, b));
+            pairs.push((b, a));
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+
+        let mut offsets = vec![0usize; n + 1];
+        for &(a, _) in &pairs {
+            offsets[a + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets: Vec<u32> = pairs.iter().map(|&(_, b)| b as u32).collect();
+
+        for u in 0..n {
+            assert!(
+                offsets[u + 1] > offsets[u],
+                "node {u} is isolated; every node needs at least one neighbor"
+            );
+        }
+        AdjacencyList { offsets, targets }
+    }
+
+    /// The neighbor slice of `u`.
+    #[inline]
+    pub fn neighbor_slice(&self, u: NodeId) -> &[u32] {
+        let i = u.index();
+        &self.targets[self.offsets[i]..self.offsets[i + 1]]
+    }
+}
+
+impl Topology for AdjacencyList {
+    fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn degree(&self, u: NodeId) -> usize {
+        assert!(u.index() < self.n(), "node {u} out of range");
+        self.offsets[u.index() + 1] - self.offsets[u.index()]
+    }
+
+    #[inline]
+    fn sample_neighbor(&self, u: NodeId, rng: &mut SimRng) -> NodeId {
+        let nbrs = self.neighbor_slice(u);
+        debug_assert!(!nbrs.is_empty());
+        NodeId::from(nbrs[rng.bounded_usize(nbrs.len())])
+    }
+
+    fn neighbors(&self, u: NodeId) -> Vec<NodeId> {
+        assert!(u.index() < self.n(), "node {u} out of range");
+        self.neighbor_slice(u)
+            .iter()
+            .map(|&v| NodeId::from(v))
+            .collect()
+    }
+
+    fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        assert!(u.index() < self.n() && v.index() < self.n(), "node out of range");
+        self.neighbor_slice(u).binary_search(&(v.index() as u32)).is_ok()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_sim::rng::Seed;
+
+    #[test]
+    fn builds_csr_correctly() {
+        let g = AdjacencyList::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.degree(NodeId::new(0)), 3);
+        assert_eq!(g.degree(NodeId::new(1)), 1);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.contains_edge(NodeId::new(2), NodeId::new(0)));
+        assert!(!g.contains_edge(NodeId::new(1), NodeId::new(2)));
+    }
+
+    #[test]
+    fn duplicate_edges_are_collapsed() {
+        let g = AdjacencyList::from_edges(3, &[(0, 1), (1, 0), (0, 1), (1, 2)]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(NodeId::new(0)), 1);
+    }
+
+    #[test]
+    fn sampling_is_uniform_over_neighbors() {
+        let g = AdjacencyList::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let mut rng = SimRng::from_seed_value(Seed::new(3));
+        let mut counts = [0u32; 4];
+        let trials = 30_000;
+        for _ in 0..trials {
+            counts[g.sample_neighbor(NodeId::new(0), &mut rng).index()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        for &c in &counts[1..] {
+            assert!(
+                (c as f64 - 10_000.0).abs() < 500.0,
+                "count {c} too far from 10000"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loops() {
+        let _ = AdjacencyList::from_edges(2, &[(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "isolated")]
+    fn rejects_isolated_nodes() {
+        let _ = AdjacencyList::from_edges(3, &[(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edges() {
+        let _ = AdjacencyList::from_edges(2, &[(0, 5)]);
+    }
+}

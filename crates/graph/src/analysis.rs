@@ -1,0 +1,137 @@
+//! Graph analysis helpers: connectivity, distances, degree statistics.
+
+use std::collections::VecDeque;
+
+use rapid_sim::node::NodeId;
+
+use crate::topology::Topology;
+
+/// Breadth-first distances from `source`; unreachable nodes get `None`.
+///
+/// # Example
+///
+/// ```
+/// use rapid_graph::prelude::*;
+/// use rapid_sim::prelude::*;
+/// let g = Cycle::new(6);
+/// let d = bfs_distances(&g, NodeId::new(0));
+/// assert_eq!(d[3], Some(3));
+/// ```
+pub fn bfs_distances(g: &dyn Topology, source: NodeId) -> Vec<Option<usize>> {
+    assert!(source.index() < g.n(), "source out of range");
+    let mut dist = vec![None; g.n()];
+    dist[source.index()] = Some(0);
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued nodes have distances");
+        for v in g.neighbors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Whether the graph is connected.
+pub fn is_connected(g: &dyn Topology) -> bool {
+    bfs_distances(g, NodeId::new(0)).iter().all(Option::is_some)
+}
+
+/// Summary statistics of a degree sequence.
+#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+}
+
+/// Computes [`DegreeStats`] for a topology.
+///
+/// # Example
+///
+/// ```
+/// use rapid_graph::prelude::*;
+/// use rapid_graph::analysis::degree_stats;
+/// let g = Star::new(5);
+/// let s = degree_stats(&g);
+/// assert_eq!((s.min, s.max), (1, 4));
+/// ```
+pub fn degree_stats(g: &dyn Topology) -> DegreeStats {
+    let mut min = usize::MAX;
+    let mut max = 0;
+    let mut sum = 0usize;
+    for i in 0..g.n() {
+        let d = g.degree(NodeId::new(i));
+        min = min.min(d);
+        max = max.max(d);
+        sum += d;
+    }
+    DegreeStats {
+        min,
+        max,
+        mean: sum as f64 / g.n() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complete::Complete;
+    use crate::random::{ErdosRenyi, RandomRegular};
+    use crate::structured::{Cycle, Hypercube, Star, Torus2d};
+    use rapid_sim::rng::Seed;
+
+    #[test]
+    fn cycle_distances_wrap() {
+        let g = Cycle::new(8);
+        let d = bfs_distances(&g, NodeId::new(0));
+        assert_eq!(d[4], Some(4));
+        assert_eq!(d[7], Some(1));
+    }
+
+    #[test]
+    fn structured_graphs_are_connected() {
+        assert!(is_connected(&Complete::new(10)));
+        assert!(is_connected(&Cycle::new(9)));
+        assert!(is_connected(&Torus2d::new(4, 4)));
+        assert!(is_connected(&Hypercube::new(4)));
+        assert!(is_connected(&Star::new(7)));
+    }
+
+    #[test]
+    fn dense_er_is_connected() {
+        // p = 0.2 ≫ ln(100)/100 ≈ 0.046 → connected w.h.p.
+        let g = ErdosRenyi::sample(100, 0.2, Seed::new(3));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn regular_graph_is_connected() {
+        // Random 3-regular graphs are connected w.h.p.
+        let g = RandomRegular::sample(60, 3, Seed::new(4)).expect("samplable");
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn degree_stats_on_known_graphs() {
+        let s = degree_stats(&Complete::new(6));
+        assert_eq!((s.min, s.max), (5, 5));
+        assert!((s.mean - 5.0).abs() < 1e-12);
+
+        let s = degree_stats(&Torus2d::new(3, 3));
+        assert_eq!((s.min, s.max), (4, 4));
+    }
+
+    #[test]
+    fn hypercube_diameter_is_dimension() {
+        let g = Hypercube::new(5);
+        let d = bfs_distances(&g, NodeId::new(0));
+        let max = d.iter().map(|x| x.expect("connected")).max().expect("nonempty");
+        assert_eq!(max, 5);
+    }
+}

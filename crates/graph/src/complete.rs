@@ -1,0 +1,149 @@
+//! The complete graph `K_n` — the paper's topology.
+
+use rapid_sim::node::NodeId;
+use rapid_sim::rng::SimRng;
+
+use crate::topology::Topology;
+
+/// The complete graph on `n` nodes.
+///
+/// Neighbor sampling is O(1) and storage is O(1): a uniform draw over
+/// `0..n-1` is shifted past the sampling node's own index.
+///
+/// # Example
+///
+/// ```
+/// use rapid_graph::prelude::*;
+/// use rapid_sim::prelude::*;
+///
+/// let g = Complete::new(8);
+/// assert_eq!(g.n(), 8);
+/// assert_eq!(g.degree(NodeId::new(0)), 7);
+/// assert_eq!(g.edge_count(), 28);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Complete {
+    n: usize,
+}
+
+impl Complete {
+    /// Creates the complete graph `K_n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (a single node has no neighbors to sample).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "complete graph needs at least two nodes, got {n}");
+        Complete { n }
+    }
+}
+
+impl Topology for Complete {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn degree(&self, u: NodeId) -> usize {
+        assert!(u.index() < self.n, "node {u} out of range");
+        self.n - 1
+    }
+
+    #[inline]
+    fn sample_neighbor(&self, u: NodeId, rng: &mut SimRng) -> NodeId {
+        debug_assert!(u.index() < self.n, "node {u} out of range");
+        // Draw from 0..n-1 and skip over u: uniform over the n-1 neighbors.
+        let r = rng.bounded_usize(self.n - 1);
+        NodeId::new(if r >= u.index() { r + 1 } else { r })
+    }
+
+    fn neighbors(&self, u: NodeId) -> Vec<NodeId> {
+        assert!(u.index() < self.n, "node {u} out of range");
+        (0..self.n)
+            .filter(|&i| i != u.index())
+            .map(NodeId::new)
+            .collect()
+    }
+
+    fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        assert!(u.index() < self.n && v.index() < self.n, "node out of range");
+        u != v
+    }
+
+    fn edge_count(&self) -> usize {
+        self.n * (self.n - 1) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_sim::rng::Seed;
+
+    #[test]
+    fn sampling_never_returns_self_and_is_uniform() {
+        let g = Complete::new(10);
+        let mut rng = SimRng::from_seed_value(Seed::new(1));
+        let u = NodeId::new(4);
+        let mut counts = [0u32; 10];
+        let trials = 90_000;
+        for _ in 0..trials {
+            let v = g.sample_neighbor(u, &mut rng);
+            assert_ne!(v, u);
+            counts[v.index()] += 1;
+        }
+        assert_eq!(counts[4], 0);
+        let expected = trials as f64 / 9.0;
+        for (i, &c) in counts.iter().enumerate() {
+            if i == 4 {
+                continue;
+            }
+            assert!(
+                (c as f64 - expected).abs() < 5.0 * expected.sqrt(),
+                "neighbor {i}: count {c} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_nodes_sample_correctly() {
+        let g = Complete::new(3);
+        let mut rng = SimRng::from_seed_value(Seed::new(2));
+        for u in 0..3 {
+            for _ in 0..100 {
+                let v = g.sample_neighbor(NodeId::new(u), &mut rng);
+                assert_ne!(v.index(), u);
+                assert!(v.index() < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_lists_everyone_else() {
+        let g = Complete::new(5);
+        let nbrs = g.neighbors(NodeId::new(2));
+        assert_eq!(
+            nbrs,
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(3), NodeId::new(4)]
+        );
+    }
+
+    #[test]
+    fn contains_edge_semantics() {
+        let g = Complete::new(4);
+        assert!(g.contains_edge(NodeId::new(0), NodeId::new(3)));
+        assert!(!g.contains_edge(NodeId::new(1), NodeId::new(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn rejects_singleton() {
+        let _ = Complete::new(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn degree_checks_range() {
+        let g = Complete::new(3);
+        let _ = g.degree(NodeId::new(3));
+    }
+}

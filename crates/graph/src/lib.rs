@@ -1,0 +1,54 @@
+//! Graph topologies with uniform neighbor sampling.
+//!
+//! The protocols of Elsässer et al. (PODC 2017) are analysed on the
+//! complete graph `K_n`; [`Complete`] provides that topology with O(1)
+//! sampling and no adjacency storage. The paper's discussion section
+//! conjectures the techniques carry over to more general settings, so this
+//! crate also ships structured ([`Cycle`], [`Torus2d`], [`Hypercube`],
+//! [`Star`]) and random ([`ErdosRenyi`], [`RandomRegular`]) topologies for
+//! the generalisation experiments.
+//!
+//! All topologies implement [`Topology`], whose core operation is
+//! `sample_neighbor`: draw a uniformly random neighbor of a node — the only
+//! graph primitive the gossip protocols need.
+//!
+//! # Example
+//!
+//! ```
+//! use rapid_graph::prelude::*;
+//! use rapid_sim::prelude::*;
+//!
+//! let g = Complete::new(100);
+//! let mut rng = SimRng::from_seed_value(Seed::new(1));
+//! let u = NodeId::new(7);
+//! let v = g.sample_neighbor(u, &mut rng);
+//! assert_ne!(u, v);
+//! assert_eq!(g.degree(u), 99);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod analysis;
+pub mod complete;
+pub mod random;
+pub mod structured;
+pub mod topology;
+
+pub use adjacency::AdjacencyList;
+pub use analysis::{bfs_distances, degree_stats, is_connected, DegreeStats};
+pub use complete::Complete;
+pub use random::{ErdosRenyi, RandomRegular, RandomRegularError};
+pub use structured::{Cycle, Hypercube, Star, Torus2d};
+pub use topology::Topology;
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::adjacency::AdjacencyList;
+    pub use crate::analysis::{bfs_distances, degree_stats, is_connected};
+    pub use crate::complete::Complete;
+    pub use crate::random::{ErdosRenyi, RandomRegular};
+    pub use crate::structured::{Cycle, Hypercube, Star, Torus2d};
+    pub use crate::topology::Topology;
+}

@@ -1,0 +1,342 @@
+//! Random graph models: Erdős–Rényi `G(n, p)` and random `d`-regular graphs.
+
+use rapid_sim::node::NodeId;
+use rapid_sim::rng::{Seed, SimRng};
+
+use crate::adjacency::AdjacencyList;
+use crate::topology::Topology;
+
+/// An Erdős–Rényi random graph `G(n, p)`, materialised as an adjacency list.
+///
+/// Edge generation uses geometric skipping, so construction costs
+/// `O(n + m)` rather than `O(n²)`.
+///
+/// # Example
+///
+/// ```
+/// use rapid_graph::prelude::*;
+/// use rapid_sim::prelude::*;
+/// let g = ErdosRenyi::sample(200, 0.1, Seed::new(1));
+/// assert_eq!(g.n(), 200);
+/// // Expected degree ≈ 19.9.
+/// let mean: f64 = (0..200).map(|i| g.degree(NodeId::new(i)) as f64).sum::<f64>() / 200.0;
+/// assert!((mean - 19.9).abs() < 3.0);
+/// ```
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ErdosRenyi {
+    graph: AdjacencyList,
+    p: f64,
+}
+
+// Manual Eq is fine: p is a construction parameter, never NaN (validated).
+impl Eq for ErdosRenyi {}
+
+impl ErdosRenyi {
+    /// Samples `G(n, p)`.
+    ///
+    /// Isolated nodes (possible at small `p`) are patched by wiring them to
+    /// a uniformly random other node, preserving the gossip invariant that
+    /// every node has at least one neighbor; for `p ≫ ln n / n` this path
+    /// is never taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `p` is not in `(0, 1]`.
+    pub fn sample(n: usize, p: f64, seed: Seed) -> Self {
+        assert!(n >= 2, "G(n, p) needs at least two nodes, got {n}");
+        assert!(
+            p > 0.0 && p <= 1.0 && p.is_finite(),
+            "edge probability must lie in (0, 1], got {p}"
+        );
+        let mut rng = SimRng::from_seed_value(seed);
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+
+        // Iterate over the pairs (u, v), u < v, in lexicographic order,
+        // skipping ahead by geometric jumps.
+        let log_q = (1.0 - p).ln();
+        let mut u = 0usize;
+        let mut v = 0usize; // candidate position within row u is v+1..n
+        if p >= 1.0 {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    edges.push((a, b));
+                }
+            }
+        } else {
+            loop {
+                // Geometric skip: number of non-edges before the next edge.
+                let r = rng.unit_f64_open_left();
+                let skip = (r.ln() / log_q).floor() as usize;
+                // Advance (u, v) by skip + 1 positions.
+                let mut advance = skip + 1;
+                while advance > 0 && u < n - 1 {
+                    let row_left = n - 1 - v; // positions remaining in row u
+                    if advance <= row_left {
+                        v += advance;
+                        advance = 0;
+                    } else {
+                        advance -= row_left;
+                        u += 1;
+                        v = u;
+                    }
+                }
+                if u >= n - 1 {
+                    break;
+                }
+                edges.push((u, v));
+            }
+        }
+
+        // Patch isolated nodes.
+        let mut degree = vec![0usize; n];
+        for &(a, b) in &edges {
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+        for i in 0..n {
+            if degree[i] == 0 {
+                let mut j = rng.bounded_usize(n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                edges.push((i.min(j), i.max(j)));
+                degree[i] += 1;
+                degree[j] += 1;
+            }
+        }
+
+        ErdosRenyi {
+            graph: AdjacencyList::from_edges(n, &edges),
+            p,
+        }
+    }
+
+    /// The edge probability this graph was sampled with.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Topology for ErdosRenyi {
+    fn n(&self) -> usize {
+        self.graph.n()
+    }
+    fn degree(&self, u: NodeId) -> usize {
+        self.graph.degree(u)
+    }
+    fn sample_neighbor(&self, u: NodeId, rng: &mut SimRng) -> NodeId {
+        self.graph.sample_neighbor(u, rng)
+    }
+    fn neighbors(&self, u: NodeId) -> Vec<NodeId> {
+        self.graph.neighbors(u)
+    }
+    fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.graph.contains_edge(u, v)
+    }
+    fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+}
+
+/// Error from random-regular-graph sampling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RandomRegularError {
+    /// `n * d` must be even to admit a `d`-regular graph.
+    OddDegreeSum {
+        /// Requested number of nodes.
+        n: usize,
+        /// Requested degree.
+        d: usize,
+    },
+    /// The pairing model failed to produce a simple graph within the retry
+    /// budget (only plausible for `d` close to `n`).
+    RetriesExhausted {
+        /// Number of attempts made.
+        attempts: usize,
+    },
+}
+
+impl std::fmt::Display for RandomRegularError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RandomRegularError::OddDegreeSum { n, d } => {
+                write!(f, "no {d}-regular graph on {n} nodes: n*d must be even")
+            }
+            RandomRegularError::RetriesExhausted { attempts } => {
+                write!(f, "pairing model failed to produce a simple graph in {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RandomRegularError {}
+
+/// A uniformly random simple `d`-regular graph via the configuration
+/// (pairing) model with rejection.
+///
+/// # Example
+///
+/// ```
+/// use rapid_graph::prelude::*;
+/// use rapid_sim::prelude::*;
+/// let g = RandomRegular::sample(50, 4, Seed::new(2)).expect("valid parameters");
+/// assert!((0..50).all(|i| g.degree(NodeId::new(i)) == 4));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RandomRegular {
+    graph: AdjacencyList,
+    d: usize,
+}
+
+impl RandomRegular {
+    /// Samples a random simple `d`-regular graph on `n` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RandomRegularError::OddDegreeSum`] if `n·d` is odd, and
+    /// [`RandomRegularError::RetriesExhausted`] if rejection sampling fails
+    /// (practically impossible for `d = O(√n)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0` or `d >= n`.
+    pub fn sample(n: usize, d: usize, seed: Seed) -> Result<Self, RandomRegularError> {
+        assert!(d >= 1, "degree must be positive");
+        assert!(d < n, "degree must be less than n");
+        if !(n * d).is_multiple_of(2) {
+            return Err(RandomRegularError::OddDegreeSum { n, d });
+        }
+        let mut rng = SimRng::from_seed_value(seed);
+        let attempts = 200;
+        // Steger–Wormald: repeatedly match two random unmatched stubs,
+        // skipping self-loops and multi-edges; restart the attempt only if
+        // the tail of the pairing stalls. Near-certain success per attempt
+        // for d = O(n^{1/3}), unlike whole-shuffle rejection whose success
+        // probability decays like exp(-d²/4).
+        'attempt: for _ in 0..attempts {
+            let mut stubs: Vec<usize> =
+                (0..n).flat_map(|i| std::iter::repeat_n(i, d)).collect();
+            let mut edges: Vec<(usize, usize)> = Vec::with_capacity(stubs.len() / 2);
+            let mut seen = std::collections::HashSet::with_capacity(stubs.len() / 2);
+            let mut failures = 0usize;
+            while stubs.len() >= 2 {
+                let i = rng.bounded_usize(stubs.len());
+                let mut j = rng.bounded_usize(stubs.len() - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let (a, b) = (stubs[i], stubs[j]);
+                let key = (a.min(b), a.max(b));
+                if a == b || seen.contains(&key) {
+                    failures += 1;
+                    if failures > 100 * (n * d) {
+                        continue 'attempt; // stalled tail → restart
+                    }
+                    continue;
+                }
+                seen.insert(key);
+                edges.push(key);
+                // Remove both stubs; remove the larger index first.
+                let (hi, lo) = (i.max(j), i.min(j));
+                stubs.swap_remove(hi);
+                stubs.swap_remove(lo);
+            }
+            return Ok(RandomRegular {
+                graph: AdjacencyList::from_edges(n, &edges),
+                d,
+            });
+        }
+        Err(RandomRegularError::RetriesExhausted { attempts })
+    }
+
+    /// The degree `d`.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+}
+
+impl Topology for RandomRegular {
+    fn n(&self) -> usize {
+        self.graph.n()
+    }
+    fn degree(&self, u: NodeId) -> usize {
+        self.graph.degree(u)
+    }
+    fn sample_neighbor(&self, u: NodeId, rng: &mut SimRng) -> NodeId {
+        self.graph.sample_neighbor(u, rng)
+    }
+    fn neighbors(&self, u: NodeId) -> Vec<NodeId> {
+        self.graph.neighbors(u)
+    }
+    fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.graph.contains_edge(u, v)
+    }
+    fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_edge_count_matches_expectation() {
+        let n = 400;
+        let p = 0.05;
+        let g = ErdosRenyi::sample(n, p, Seed::new(7));
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.edge_count() as f64;
+        assert!(
+            (got - expected).abs() < 5.0 * expected.sqrt() + 5.0,
+            "edges {got} vs expected {expected}"
+        );
+        assert_eq!(g.p(), p);
+    }
+
+    #[test]
+    fn erdos_renyi_no_isolated_nodes_even_at_tiny_p() {
+        let g = ErdosRenyi::sample(100, 0.001, Seed::new(8));
+        for i in 0..100 {
+            assert!(g.degree(NodeId::new(i)) >= 1, "node {i} isolated");
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_p_one_is_complete() {
+        let g = ErdosRenyi::sample(10, 1.0, Seed::new(9));
+        assert_eq!(g.edge_count(), 45);
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic_in_seed() {
+        let a = ErdosRenyi::sample(60, 0.1, Seed::new(10));
+        let b = ErdosRenyi::sample(60, 0.1, Seed::new(10));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_regular_has_exact_degrees() {
+        for &(n, d) in &[(20, 3), (50, 4), (64, 6)] {
+            let g = RandomRegular::sample(n, d, Seed::new(11)).expect("samplable");
+            for i in 0..n {
+                assert_eq!(g.degree(NodeId::new(i)), d);
+            }
+            assert_eq!(g.edge_count(), n * d / 2);
+            assert_eq!(g.d(), d);
+        }
+    }
+
+    #[test]
+    fn random_regular_rejects_odd_sum() {
+        let err = RandomRegular::sample(5, 3, Seed::new(12)).unwrap_err();
+        assert_eq!(err, RandomRegularError::OddDegreeSum { n: 5, d: 3 });
+        assert!(err.to_string().contains("must be even"));
+    }
+
+    #[test]
+    #[should_panic(expected = "less than n")]
+    fn random_regular_rejects_degree_n() {
+        let _ = RandomRegular::sample(4, 4, Seed::new(13));
+    }
+}

@@ -1,0 +1,373 @@
+//! Structured topologies: cycle, 2-D torus, hypercube, star.
+//!
+//! These implement neighbor sampling arithmetically (no adjacency storage),
+//! so they scale to millions of nodes. They serve the generalisation
+//! experiments suggested by the paper's discussion section.
+
+use rapid_sim::node::NodeId;
+use rapid_sim::rng::SimRng;
+
+use crate::topology::Topology;
+
+/// The cycle `C_n`: node `i` is adjacent to `i±1 (mod n)`.
+///
+/// # Example
+///
+/// ```
+/// use rapid_graph::prelude::*;
+/// use rapid_sim::prelude::*;
+/// let g = Cycle::new(6);
+/// assert_eq!(g.degree(NodeId::new(0)), 2);
+/// assert_eq!(g.edge_count(), 6);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Cycle {
+    n: usize,
+}
+
+impl Cycle {
+    /// Creates the cycle on `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` (smaller cycles degenerate to multi-edges).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 3, "cycle needs at least three nodes, got {n}");
+        Cycle { n }
+    }
+}
+
+impl Topology for Cycle {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn degree(&self, u: NodeId) -> usize {
+        assert!(u.index() < self.n, "node {u} out of range");
+        2
+    }
+
+    fn sample_neighbor(&self, u: NodeId, rng: &mut SimRng) -> NodeId {
+        assert!(u.index() < self.n, "node {u} out of range");
+        let i = u.index();
+        if rng.bounded(2) == 0 {
+            NodeId::new((i + 1) % self.n)
+        } else {
+            NodeId::new((i + self.n - 1) % self.n)
+        }
+    }
+
+    fn neighbors(&self, u: NodeId) -> Vec<NodeId> {
+        assert!(u.index() < self.n, "node {u} out of range");
+        let i = u.index();
+        vec![
+            NodeId::new((i + self.n - 1) % self.n),
+            NodeId::new((i + 1) % self.n),
+        ]
+    }
+
+    fn edge_count(&self) -> usize {
+        self.n
+    }
+}
+
+/// The `w × h` torus: each node has four neighbors (up/down/left/right with
+/// wraparound).
+///
+/// # Example
+///
+/// ```
+/// use rapid_graph::prelude::*;
+/// use rapid_sim::prelude::*;
+/// let g = Torus2d::new(4, 3);
+/// assert_eq!(g.n(), 12);
+/// assert_eq!(g.degree(NodeId::new(5)), 4);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Torus2d {
+    width: usize,
+    height: usize,
+}
+
+impl Torus2d {
+    /// Creates a `width × height` torus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either side is `< 3` (smaller sides create multi-edges).
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(
+            width >= 3 && height >= 3,
+            "torus sides must be at least 3, got {width}x{height}"
+        );
+        Torus2d { width, height }
+    }
+
+    /// Grid coordinates of a node.
+    pub fn coords(&self, u: NodeId) -> (usize, usize) {
+        assert!(u.index() < self.n(), "node {u} out of range");
+        (u.index() % self.width, u.index() / self.width)
+    }
+
+    fn id(&self, x: usize, y: usize) -> NodeId {
+        NodeId::new(y * self.width + x)
+    }
+}
+
+impl Topology for Torus2d {
+    fn n(&self) -> usize {
+        self.width * self.height
+    }
+
+    fn degree(&self, u: NodeId) -> usize {
+        assert!(u.index() < self.n(), "node {u} out of range");
+        4
+    }
+
+    fn sample_neighbor(&self, u: NodeId, rng: &mut SimRng) -> NodeId {
+        let (x, y) = self.coords(u);
+        let (w, h) = (self.width, self.height);
+        match rng.bounded(4) {
+            0 => self.id((x + 1) % w, y),
+            1 => self.id((x + w - 1) % w, y),
+            2 => self.id(x, (y + 1) % h),
+            _ => self.id(x, (y + h - 1) % h),
+        }
+    }
+
+    fn neighbors(&self, u: NodeId) -> Vec<NodeId> {
+        let (x, y) = self.coords(u);
+        let (w, h) = (self.width, self.height);
+        vec![
+            self.id((x + 1) % w, y),
+            self.id((x + w - 1) % w, y),
+            self.id(x, (y + 1) % h),
+            self.id(x, (y + h - 1) % h),
+        ]
+    }
+
+    fn edge_count(&self) -> usize {
+        2 * self.n()
+    }
+}
+
+/// The `d`-dimensional hypercube on `2^d` nodes: neighbors differ in one bit.
+///
+/// # Example
+///
+/// ```
+/// use rapid_graph::prelude::*;
+/// use rapid_sim::prelude::*;
+/// let g = Hypercube::new(4);
+/// assert_eq!(g.n(), 16);
+/// assert_eq!(g.degree(NodeId::new(3)), 4);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Hypercube {
+    dim: u32,
+}
+
+impl Hypercube {
+    /// Creates the hypercube of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `dim > 30`.
+    pub fn new(dim: u32) -> Self {
+        assert!((1..=30).contains(&dim), "dimension must be in 1..=30, got {dim}");
+        Hypercube { dim }
+    }
+
+    /// The dimension `d`.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+}
+
+impl Topology for Hypercube {
+    fn n(&self) -> usize {
+        1usize << self.dim
+    }
+
+    fn degree(&self, u: NodeId) -> usize {
+        assert!(u.index() < self.n(), "node {u} out of range");
+        self.dim as usize
+    }
+
+    fn sample_neighbor(&self, u: NodeId, rng: &mut SimRng) -> NodeId {
+        assert!(u.index() < self.n(), "node {u} out of range");
+        let bit = rng.bounded(self.dim as u64) as usize;
+        NodeId::new(u.index() ^ (1 << bit))
+    }
+
+    fn neighbors(&self, u: NodeId) -> Vec<NodeId> {
+        assert!(u.index() < self.n(), "node {u} out of range");
+        (0..self.dim as usize)
+            .map(|b| NodeId::new(u.index() ^ (1 << b)))
+            .collect()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.n() * self.dim as usize / 2
+    }
+}
+
+/// The star graph: node 0 is the hub, all others are leaves.
+///
+/// A worst case for gossip fairness — every leaf always samples the hub —
+/// used by tests that probe topology-sensitivity of the protocols.
+///
+/// # Example
+///
+/// ```
+/// use rapid_graph::prelude::*;
+/// use rapid_sim::prelude::*;
+/// let g = Star::new(5);
+/// assert_eq!(g.degree(NodeId::new(0)), 4);
+/// assert_eq!(g.degree(NodeId::new(1)), 1);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Star {
+    n: usize,
+}
+
+impl Star {
+    /// Creates a star on `n` nodes (1 hub + `n−1` leaves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "star needs at least two nodes, got {n}");
+        Star { n }
+    }
+}
+
+impl Topology for Star {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn degree(&self, u: NodeId) -> usize {
+        assert!(u.index() < self.n, "node {u} out of range");
+        if u.index() == 0 {
+            self.n - 1
+        } else {
+            1
+        }
+    }
+
+    fn sample_neighbor(&self, u: NodeId, rng: &mut SimRng) -> NodeId {
+        assert!(u.index() < self.n, "node {u} out of range");
+        if u.index() == 0 {
+            NodeId::new(1 + rng.bounded_usize(self.n - 1))
+        } else {
+            NodeId::new(0)
+        }
+    }
+
+    fn neighbors(&self, u: NodeId) -> Vec<NodeId> {
+        assert!(u.index() < self.n, "node {u} out of range");
+        if u.index() == 0 {
+            (1..self.n).map(NodeId::new).collect()
+        } else {
+            vec![NodeId::new(0)]
+        }
+    }
+
+    fn edge_count(&self) -> usize {
+        self.n - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_sim::rng::Seed;
+
+    fn check_sampling_matches_neighbors(g: &impl Topology, seed: u64) {
+        let mut rng = SimRng::from_seed_value(Seed::new(seed));
+        for i in 0..g.n().min(16) {
+            let u = NodeId::new(i);
+            let nbrs = g.neighbors(u);
+            assert_eq!(nbrs.len(), g.degree(u), "degree mismatch at {u}");
+            for _ in 0..50 {
+                let v = g.sample_neighbor(u, &mut rng);
+                assert!(nbrs.contains(&v), "{v} is not a neighbor of {u}");
+                assert_ne!(u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_invariants() {
+        let g = Cycle::new(7);
+        check_sampling_matches_neighbors(&g, 1);
+        assert_eq!(g.edge_count(), 7);
+        assert_eq!(
+            g.neighbors(NodeId::new(0)),
+            vec![NodeId::new(6), NodeId::new(1)]
+        );
+    }
+
+    #[test]
+    fn torus_invariants() {
+        let g = Torus2d::new(4, 5);
+        check_sampling_matches_neighbors(&g, 2);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.edge_count(), 40);
+        assert_eq!(g.coords(NodeId::new(7)), (3, 1));
+    }
+
+    #[test]
+    fn torus_wraps_around() {
+        let g = Torus2d::new(3, 3);
+        let nbrs = g.neighbors(NodeId::new(0));
+        assert!(nbrs.contains(&NodeId::new(2)), "left wrap");
+        assert!(nbrs.contains(&NodeId::new(6)), "up wrap");
+    }
+
+    #[test]
+    fn hypercube_invariants() {
+        let g = Hypercube::new(5);
+        check_sampling_matches_neighbors(&g, 3);
+        assert_eq!(g.n(), 32);
+        assert_eq!(g.dim(), 5);
+        assert_eq!(g.edge_count(), 80);
+    }
+
+    #[test]
+    fn hypercube_neighbors_differ_in_one_bit() {
+        let g = Hypercube::new(4);
+        for v in g.neighbors(NodeId::new(0b1010)) {
+            assert_eq!((v.index() ^ 0b1010).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn star_invariants() {
+        let g = Star::new(9);
+        check_sampling_matches_neighbors(&g, 4);
+        assert_eq!(g.edge_count(), 8);
+        let mut rng = SimRng::from_seed_value(Seed::new(5));
+        assert_eq!(g.sample_neighbor(NodeId::new(3), &mut rng), NodeId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three")]
+    fn tiny_cycle_rejected() {
+        let _ = Cycle::new(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_torus_rejected() {
+        let _ = Torus2d::new(2, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=30")]
+    fn zero_dim_hypercube_rejected() {
+        let _ = Hypercube::new(0);
+    }
+}

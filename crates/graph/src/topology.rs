@@ -1,0 +1,83 @@
+//! The [`Topology`] trait: the graph interface gossip protocols consume.
+
+use rapid_sim::node::NodeId;
+use rapid_sim::rng::SimRng;
+
+/// An undirected graph on nodes `0..n` supporting uniform neighbor sampling.
+///
+/// This is the *only* graph capability the consensus protocols require: a
+/// node samples communication partners uniformly at random from its
+/// neighborhood. Implementations must guarantee:
+///
+/// * `sample_neighbor(u, _)` returns each neighbor of `u` with equal
+///   probability and never returns `u` itself;
+/// * `degree(u) ≥ 1` for every node (no isolated nodes — a node that cannot
+///   sample cannot participate in gossip).
+///
+/// The trait is object-safe so engines can hold `&dyn Topology`.
+pub trait Topology {
+    /// Number of nodes.
+    fn n(&self) -> usize;
+
+    /// Degree of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    fn degree(&self, u: NodeId) -> usize;
+
+    /// Samples a uniformly random neighbor of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    fn sample_neighbor(&self, u: NodeId, rng: &mut SimRng) -> NodeId;
+
+    /// Returns all neighbors of `u` (ascending order not guaranteed).
+    ///
+    /// Intended for analysis and tests, not protocol hot paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    fn neighbors(&self, u: NodeId) -> Vec<NodeId>;
+
+    /// Whether `{u, v}` is an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).contains(&v)
+    }
+
+    /// Total number of undirected edges.
+    fn edge_count(&self) -> usize {
+        (0..self.n())
+            .map(|i| self.degree(NodeId::new(i)))
+            .sum::<usize>()
+            / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complete::Complete;
+
+    #[test]
+    fn trait_is_object_safe() {
+        let g = Complete::new(5);
+        let obj: &dyn Topology = &g;
+        assert_eq!(obj.n(), 5);
+        assert_eq!(obj.edge_count(), 10);
+    }
+
+    #[test]
+    fn default_contains_edge_uses_neighbors() {
+        let g = Complete::new(4);
+        let obj: &dyn Topology = &g;
+        assert!(obj.contains_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(!obj.contains_edge(NodeId::new(2), NodeId::new(2)));
+    }
+}

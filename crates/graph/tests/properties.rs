@@ -1,0 +1,105 @@
+//! Property-based tests for the topology implementations.
+
+use proptest::prelude::*;
+use rapid_graph::prelude::*;
+use rapid_sim::prelude::*;
+
+fn check_topology(g: &dyn Topology, seed: u64) -> Result<(), TestCaseError> {
+    let mut rng = SimRng::from_seed_value(Seed::new(seed));
+    // Degree sum = 2 * edges (handshake lemma).
+    let degree_sum: usize = (0..g.n()).map(|i| g.degree(NodeId::new(i))).sum();
+    prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    // Sampling returns genuine neighbors, never the node itself.
+    for i in (0..g.n()).step_by((g.n() / 8).max(1)) {
+        let u = NodeId::new(i);
+        let nbrs = g.neighbors(u);
+        prop_assert_eq!(nbrs.len(), g.degree(u));
+        prop_assert!(!nbrs.contains(&u), "self-loop at {}", u);
+        for _ in 0..8 {
+            let v = g.sample_neighbor(u, &mut rng);
+            prop_assert!(nbrs.contains(&v));
+            prop_assert!(g.contains_edge(u, v));
+            prop_assert!(g.contains_edge(v, u), "undirectedness at {}-{}", u, v);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn complete_graph_invariants(n in 2usize..300, seed in any::<u64>()) {
+        check_topology(&Complete::new(n), seed)?;
+    }
+
+    #[test]
+    fn cycle_invariants(n in 3usize..300, seed in any::<u64>()) {
+        let g = Cycle::new(n);
+        check_topology(&g, seed)?;
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn torus_invariants(w in 3usize..18, h in 3usize..18, seed in any::<u64>()) {
+        let g = Torus2d::new(w, h);
+        check_topology(&g, seed)?;
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn hypercube_invariants(dim in 1u32..10, seed in any::<u64>()) {
+        let g = Hypercube::new(dim);
+        check_topology(&g, seed)?;
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn star_invariants(n in 2usize..300, seed in any::<u64>()) {
+        let g = Star::new(n);
+        check_topology(&g, seed)?;
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn erdos_renyi_invariants(n in 2usize..150, p in 0.01f64..1.0, seed in any::<u64>()) {
+        let g = ErdosRenyi::sample(n, p, Seed::new(seed));
+        check_topology(&g, seed)?;
+        // The isolated-node patch guarantees min degree 1.
+        for i in 0..n {
+            prop_assert!(g.degree(NodeId::new(i)) >= 1);
+        }
+    }
+
+    #[test]
+    fn random_regular_invariants(
+        half_n in 4usize..60,
+        d in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let n = 2 * half_n; // even n so any d is feasible
+        prop_assume!(d < n);
+        let g = RandomRegular::sample(n, d, Seed::new(seed)).expect("n*d is even");
+        check_topology(&g, seed)?;
+        for i in 0..n {
+            prop_assert_eq!(g.degree(NodeId::new(i)), d);
+        }
+    }
+
+    /// BFS distances satisfy the triangle-ish property: neighbors differ by
+    /// at most 1 from each other in distance from any source.
+    #[test]
+    fn bfs_distances_are_lipschitz_on_edges(n in 3usize..100, seed in any::<u64>()) {
+        let g = Cycle::new(n);
+        let src = NodeId::new(seed as usize % n);
+        let dist = bfs_distances(&g, src);
+        for i in 0..n {
+            let u = NodeId::new(i);
+            let du = dist[i].expect("cycle is connected");
+            for v in g.neighbors(u) {
+                let dv = dist[v.index()].expect("connected");
+                prop_assert!(du.abs_diff(dv) <= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Response-delay models.
+//!
+//! The paper's base model assumes a contacted node answers instantly; its
+//! discussion section proposes extending the analysis to responses delayed
+//! by an exponential distribution with a constant (n-independent) rate.
+//! [`ResponseDelay`] captures that choice; the experiment harness threads it
+//! through to a [`crate::scheduler::JitteredScheduler`].
+
+use crate::rng::SimRng;
+
+/// How long a contacted node takes to answer a pull.
+#[derive(Copy, Clone, Debug, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub enum ResponseDelay {
+    /// Responses arrive instantly (the paper's base model).
+    #[default]
+    None,
+    /// Responses are delayed by `Exponential(rate)` (discussion extension).
+    Exponential {
+        /// Rate of the exponential delay; the mean delay is `1/rate`.
+        rate: f64,
+    },
+}
+
+impl ResponseDelay {
+    /// Creates an exponential delay model with the given rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn exponential(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "delay rate must be positive and finite, got {rate}"
+        );
+        ResponseDelay::Exponential { rate }
+    }
+
+    /// Samples one delay in time units (zero for [`ResponseDelay::None`]).
+    pub fn sample(self, rng: &mut SimRng) -> f64 {
+        match self {
+            ResponseDelay::None => 0.0,
+            ResponseDelay::Exponential { rate } => {
+                crate::poisson::sample_exponential(rng, rate)
+            }
+        }
+    }
+
+    /// Mean delay in time units.
+    pub fn mean(self) -> f64 {
+        match self {
+            ResponseDelay::None => 0.0,
+            ResponseDelay::Exponential { rate } => 1.0 / rate,
+        }
+    }
+}
+
+impl std::fmt::Display for ResponseDelay {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResponseDelay::None => write!(f, "none"),
+            ResponseDelay::Exponential { rate } => write!(f, "exp(rate={rate})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Seed;
+
+    #[test]
+    fn none_samples_zero() {
+        let mut rng = SimRng::from_seed_value(Seed::new(1));
+        assert_eq!(ResponseDelay::None.sample(&mut rng), 0.0);
+        assert_eq!(ResponseDelay::None.mean(), 0.0);
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let mut rng = SimRng::from_seed_value(Seed::new(2));
+        let d = ResponseDelay::exponential(4.0);
+        assert_eq!(d.mean(), 0.25);
+        let n = 30_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_rate_rejected() {
+        let _ = ResponseDelay::exponential(-1.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(ResponseDelay::None.to_string(), "none");
+        assert_eq!(
+            ResponseDelay::exponential(2.0).to_string(),
+            "exp(rate=2)"
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Node identities.
+
+/// The identity of a node in a simulated network.
+///
+/// Node ids are dense indices `0..n`; they double as indices into the
+/// per-node state vectors kept by protocols and engines.
+///
+/// # Example
+///
+/// ```
+/// use rapid_sim::node::NodeId;
+/// let u = NodeId::new(3);
+/// assert_eq!(u.index(), 3);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in 32 bits (networks of more than
+    /// 4 × 10⁹ nodes are out of scope for this simulator).
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        assert!(index <= u32::MAX as usize, "node index out of range");
+        NodeId(index as u32)
+    }
+
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(value: NodeId) -> Self {
+        value.index()
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let u = NodeId::new(42);
+        assert_eq!(u.index(), 42);
+        assert_eq!(usize::from(u), 42);
+        assert_eq!(NodeId::from(42u32), u);
+        assert_eq!(u.to_string(), "n42");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+}

@@ -1,0 +1,434 @@
+//! Deterministic, splittable pseudo-random number generation.
+//!
+//! Every simulation in this workspace is driven by a 64-bit [`Seed`] fed
+//! through [`SplitMix64`] into a [`SimRng`] (xoshiro256++). The generator
+//! implements [`rand_core::RngCore`] and [`rand_core::SeedableRng`], so any
+//! distribution from the `rand` crate can be layered on top, while the
+//! implementation itself is owned by this crate: streams are stable across
+//! dependency upgrades, which is what makes experiment results reproducible
+//! byte-for-byte.
+//!
+//! `SimRng::split` derives statistically independent child generators, used
+//! by the experiment runner to give every trial (and every thread) its own
+//! stream without coordination.
+
+use rand_core::{impls, Error, RngCore, SeedableRng};
+
+/// A 64-bit master seed for a simulation or experiment.
+///
+/// This is a newtype (rather than a bare `u64`) so that function signatures
+/// distinguish seeds from sizes and counts.
+///
+/// # Example
+///
+/// ```
+/// use rapid_sim::rng::{Seed, SimRng};
+/// let rng_a = SimRng::from_seed_value(Seed::new(7));
+/// let rng_b = SimRng::from_seed_value(Seed::new(7));
+/// assert_eq!(format!("{rng_a:?}"), format!("{rng_b:?}"));
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Seed(u64);
+
+impl Seed {
+    /// Creates a seed from a raw value.
+    pub fn new(value: u64) -> Self {
+        Seed(value)
+    }
+
+    /// Returns the raw seed value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Derives the seed for the `index`-th child stream.
+    ///
+    /// Children of distinct indices are independent for all practical
+    /// purposes: the derivation runs the pair through one SplitMix64 step
+    /// each and mixes, so nearby indices do not produce correlated seeds.
+    pub fn child(self, index: u64) -> Seed {
+        let mut sm = SplitMix64::new(self.0 ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index | 1));
+        sm.next_u64();
+        let mut sm2 = SplitMix64::new(sm.next_u64().wrapping_add(index));
+        Seed(sm2.next_u64())
+    }
+}
+
+impl Default for Seed {
+    fn default() -> Self {
+        Seed(0xC0FF_EE11_D00D_F00D)
+    }
+}
+
+impl From<u64> for Seed {
+    fn from(value: u64) -> Self {
+        Seed(value)
+    }
+}
+
+impl std::fmt::Display for Seed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#018x}", self.0)
+    }
+}
+
+/// SplitMix64: a tiny, fast 64-bit generator used for seeding.
+///
+/// This is Sebastiano Vigna's SplitMix64, the reference seeder for the
+/// xoshiro family. It passes through every 64-bit value exactly once over
+/// its full period, which makes it ideal for expanding a single `u64` into
+/// the 256-bit state of [`SimRng`].
+///
+/// # Example
+///
+/// ```
+/// use rapid_sim::rng::SplitMix64;
+/// let mut sm = SplitMix64::new(1);
+/// let a = sm.next_u64();
+/// let b = sm.next_u64();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator with the given state.
+    pub fn new(state: u64) -> Self {
+        SplitMix64 { state }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The workspace simulation RNG: xoshiro256++.
+///
+/// xoshiro256++ (Blackman & Vigna) is a 256-bit all-purpose generator with
+/// period `2^256 − 1`, excellent statistical quality and a very small state.
+/// We implement it directly (rather than depending on an external xoshiro
+/// crate) so that the byte streams backing all published experiment numbers
+/// are pinned by this repository.
+///
+/// Construct it from a [`Seed`] with [`SimRng::from_seed_value`], or via
+/// [`SeedableRng`] with a 32-byte seed.
+///
+/// # Example
+///
+/// ```
+/// use rapid_sim::rng::{Seed, SimRng};
+/// use rand::Rng;
+///
+/// let mut rng = SimRng::from_seed_value(Seed::new(123));
+/// let x: f64 = rng.gen_range(0.0..1.0);
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator from a [`Seed`], expanding it with SplitMix64.
+    pub fn from_seed_value(seed: Seed) -> Self {
+        let mut sm = SplitMix64::new(seed.value());
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        // xoshiro state must not be all zero; SplitMix64 outputs four zeros
+        // for no input, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            SimRng { s: [1, 2, 3, 4] }
+        } else {
+            SimRng { s }
+        }
+    }
+
+    /// Derives an independent child generator, advancing `self`.
+    ///
+    /// The child is seeded from two outputs of `self` mixed through
+    /// SplitMix64, so parent and child streams do not overlap in practice.
+    pub fn split(&mut self) -> SimRng {
+        let a = self.next_u64();
+        let b = self.next_u64();
+        let mut sm = SplitMix64::new(a ^ b.rotate_left(32));
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        SimRng { s }
+    }
+
+    #[inline]
+    fn next_u64_impl(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform integer in `0..bound` using Lemire's method.
+    ///
+    /// This is the hot-path primitive behind neighbor sampling; it avoids
+    /// the generic machinery of `rand::Rng::gen_range` while producing an
+    /// exactly uniform value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bounded() requires a positive bound");
+        // Lemire's multiply–shift with rejection.
+        let mut x = self.next_u64_impl();
+        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut l = m as u64;
+        if l < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while l < threshold {
+                x = self.next_u64_impl();
+                m = (x as u128).wrapping_mul(bound as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniform `usize` in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn bounded_usize(&mut self, bound: usize) -> usize {
+        self.bounded(bound as u64) as usize
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 random bits.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64_impl() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform `f64` in `(0, 1]`, safe as input to `ln`.
+    #[inline]
+    pub fn unit_f64_open_left(&mut self) -> f64 {
+        1.0 - self.unit_f64()
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must lie in [0, 1]");
+        self.unit_f64() < p
+    }
+}
+
+impl RngCore for SimRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64_impl() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        impls::fill_bytes_via_next(self, dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for SimRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("chunk of 8 bytes"));
+        }
+        if s == [0, 0, 0, 0] {
+            s = [1, 2, 3, 4];
+        }
+        SimRng { s }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        SimRng::from_seed_value(Seed::new(state))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Golden outputs pin the stream so that published experiment numbers
+    /// remain reproducible. Generated once from this implementation; any
+    /// change to these values is a breaking change for reproducibility.
+    #[test]
+    fn splitmix64_reference_stream_is_stable() {
+        let mut sm = SplitMix64::new(0);
+        let got: Vec<u64> = (0..4).map(|_| sm.next_u64()).collect();
+        // SplitMix64(0) first outputs, cross-checked against the public
+        // reference implementation (Vigna, prng.di.unimi.it).
+        assert_eq!(
+            got,
+            vec![
+                0xE220_A839_7B1D_CDAF,
+                0x6E78_9E6A_A1B9_65F4,
+                0x06C4_5D18_8009_454F,
+                0xF88B_B8A8_724C_81EC,
+            ]
+        );
+    }
+
+    #[test]
+    fn xoshiro_streams_differ_by_seed() {
+        let mut a = SimRng::from_seed_value(Seed::new(1));
+        let mut b = SimRng::from_seed_value(Seed::new(2));
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::from_seed_value(Seed::new(99));
+        let mut b = SimRng::from_seed_value(Seed::new(99));
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn split_children_are_distinct_and_deterministic() {
+        let mut parent1 = SimRng::from_seed_value(Seed::new(5));
+        let mut parent2 = SimRng::from_seed_value(Seed::new(5));
+        let mut c1 = parent1.split();
+        let mut c2 = parent2.split();
+        for _ in 0..32 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+        let mut c3 = parent1.split();
+        assert_ne!(c1.next_u64(), c3.next_u64());
+    }
+
+    #[test]
+    fn bounded_is_in_range_and_covers_values() {
+        let mut rng = SimRng::from_seed_value(Seed::new(3));
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.bounded(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn bounded_one_is_always_zero() {
+        let mut rng = SimRng::from_seed_value(Seed::new(4));
+        for _ in 0..10 {
+            assert_eq!(rng.bounded(1), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn bounded_zero_panics() {
+        let mut rng = SimRng::from_seed_value(Seed::new(4));
+        let _ = rng.bounded(0);
+    }
+
+    #[test]
+    fn unit_f64_lies_in_unit_interval_and_has_plausible_mean() {
+        let mut rng = SimRng::from_seed_value(Seed::new(11));
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u = rng.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn bernoulli_matches_probability() {
+        let mut rng = SimRng::from_seed_value(Seed::new(12));
+        let n = 50_000;
+        let hits = (0..n).filter(|_| rng.bernoulli(0.3)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate} too far from 0.3");
+    }
+
+    #[test]
+    fn seed_children_are_distinct() {
+        let s = Seed::new(77);
+        let kids: Vec<u64> = (0..64).map(|i| s.child(i).value()).collect();
+        let mut dedup = kids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), kids.len());
+    }
+
+    #[test]
+    fn works_with_rand_distributions() {
+        let mut rng = SimRng::from_seed_value(Seed::new(8));
+        let x: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&x));
+        let y: u32 = rng.gen_range(0..10);
+        assert!(y < 10);
+    }
+
+    #[test]
+    fn seedable_from_bytes_rejects_all_zero() {
+        let rng = SimRng::from_seed([0u8; 32]);
+        // Must still produce output (state forced non-zero).
+        let mut rng = rng;
+        assert_ne!(rng.next_u64(), rng.next_u64());
+    }
+
+    #[test]
+    fn chi_square_uniformity_of_low_byte() {
+        // Coarse statistical sanity check: the low byte of outputs should be
+        // uniform over 256 cells. 99.9% critical value for 255 df ≈ 330.5.
+        let mut rng = SimRng::from_seed_value(Seed::new(1234));
+        let n = 256 * 200;
+        let mut counts = [0u32; 256];
+        for _ in 0..n {
+            counts[(rng.next_u64() & 0xFF) as usize] += 1;
+        }
+        let expected = (n / 256) as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        assert!(chi2 < 330.5, "chi2 {chi2} exceeds 99.9% critical value");
+    }
+}

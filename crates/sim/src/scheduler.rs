@@ -1,0 +1,618 @@
+//! Activation schedulers: who ticks, and when.
+//!
+//! The paper's asynchronous model equips every node with a Poisson(1) clock
+//! and analyses the equivalent *sequential model*: a discrete sequence of
+//! steps, each activating a node chosen uniformly at random, with `n` steps
+//! corresponding to one time unit (Mosk-Aoyama & Shah, 2008). This module
+//! provides both:
+//!
+//! * [`SequentialScheduler`] — the sequential model. Time can advance
+//!   deterministically by `1/n` per step ([`TimeMode::Expected`]) or by a
+//!   sampled `Exponential(n)` gap ([`TimeMode::Sampled`]), which makes the
+//!   sequence of activation *times* exactly that of `n` superposed unit
+//!   Poisson processes.
+//! * [`EventQueueScheduler`] — per-node Poisson clocks in continuous time,
+//!   realised with a binary-heap event queue. Statistically equivalent to
+//!   the sequential scheduler in `Sampled` mode; an integration test checks
+//!   this with a Kolmogorov–Smirnov test instead of taking it on faith.
+//! * [`JitteredScheduler`] — the discussion-section extension: each tick's
+//!   *effect* is delayed by an exponential response latency, modelling pulls
+//!   whose answers do not arrive instantaneously.
+//!
+//! All schedulers yield a stream of [`Activation`]s through the
+//! [`ActivationSource`] trait, so protocol drivers are scheduler-agnostic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::node::NodeId;
+use crate::poisson::sample_exponential;
+use crate::rng::{Seed, SimRng};
+use crate::time::SimTime;
+
+/// One node activation: `node` ticks at `time`; this is the `step`-th
+/// activation overall (0-based).
+#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Activation {
+    /// Global 0-based index of this activation.
+    pub step: u64,
+    /// The node whose clock ticked.
+    pub node: NodeId,
+    /// The simulation time of the tick.
+    pub time: SimTime,
+}
+
+/// A source of node activations.
+///
+/// Implementors produce an unbounded stream; callers decide when to stop
+/// (after a time horizon, a step budget, or protocol convergence).
+pub trait ActivationSource {
+    /// Returns the number of nodes in the simulated network.
+    fn n(&self) -> usize;
+
+    /// Produces the next activation.
+    fn next_activation(&mut self) -> Activation;
+
+    /// Runs until `horizon`, invoking `on_tick` for each activation with
+    /// time `< horizon`. Returns the number of activations delivered.
+    fn run_until(&mut self, horizon: SimTime, mut on_tick: impl FnMut(Activation)) -> u64 {
+        let mut delivered = 0;
+        loop {
+            let a = self.next_activation();
+            if a.time >= horizon {
+                return delivered;
+            }
+            on_tick(a);
+            delivered += 1;
+        }
+    }
+}
+
+/// How the sequential scheduler advances time.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum TimeMode {
+    /// Deterministic `1/n` per step (expected-time bookkeeping). Cheapest;
+    /// time equals `steps / n` exactly.
+    #[default]
+    Expected,
+    /// Sampled `Exponential(n)` gaps: the activation-time sequence has
+    /// exactly the law of `n` superposed rate-1 Poisson clocks.
+    Sampled,
+}
+
+/// The sequential asynchronous model: each step activates a uniformly
+/// random node.
+///
+/// # Example
+///
+/// ```
+/// use rapid_sim::prelude::*;
+/// let mut s = SequentialScheduler::new(10, Seed::new(1));
+/// let a = s.next_activation();
+/// assert!(a.node.index() < 10);
+/// assert_eq!(a.step, 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SequentialScheduler {
+    n: usize,
+    rng: SimRng,
+    step: u64,
+    now: SimTime,
+    mode: TimeMode,
+    tick_counts: Vec<u64>,
+}
+
+impl SequentialScheduler {
+    /// Creates a scheduler for `n` nodes in [`TimeMode::Expected`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, seed: Seed) -> Self {
+        Self::with_mode(n, seed, TimeMode::Expected)
+    }
+
+    /// Creates a scheduler with an explicit [`TimeMode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_mode(n: usize, seed: Seed, mode: TimeMode) -> Self {
+        assert!(n > 0, "network must contain at least one node");
+        SequentialScheduler {
+            n,
+            rng: SimRng::from_seed_value(seed),
+            step: 0,
+            now: SimTime::ZERO,
+            mode,
+            tick_counts: vec![0; n],
+        }
+    }
+
+    /// Returns the current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Returns the number of steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Per-node tick counts accumulated so far.
+    pub fn tick_counts(&self) -> &[u64] {
+        &self.tick_counts
+    }
+
+    /// Borrow the scheduler's RNG (e.g. to seed protocol decisions from the
+    /// same stream, preserving single-seed determinism).
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+}
+
+impl ActivationSource for SequentialScheduler {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn next_activation(&mut self) -> Activation {
+        let gap = match self.mode {
+            TimeMode::Expected => 1.0 / self.n as f64,
+            TimeMode::Sampled => sample_exponential(&mut self.rng, self.n as f64),
+        };
+        self.now += SimTime::from_secs(gap);
+        let node = NodeId::new(self.rng.bounded_usize(self.n));
+        self.tick_counts[node.index()] += 1;
+        let a = Activation {
+            step: self.step,
+            node,
+            time: self.now,
+        };
+        self.step += 1;
+        a
+    }
+}
+
+/// Continuous-time model: every node owns an independent Poisson(1) clock;
+/// activations are delivered in global time order via a binary heap.
+///
+/// # Example
+///
+/// ```
+/// use rapid_sim::prelude::*;
+/// let mut s = EventQueueScheduler::new(10, Seed::new(1), 1.0);
+/// let a = s.next_activation();
+/// let b = s.next_activation();
+/// assert!(b.time >= a.time);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventQueueScheduler {
+    n: usize,
+    rate: f64,
+    rng: SimRng,
+    heap: BinaryHeap<Reverse<(SimTime, u64, NodeId)>>,
+    step: u64,
+    seq: u64,
+    tick_counts: Vec<u64>,
+}
+
+impl EventQueueScheduler {
+    /// Creates a scheduler for `n` nodes with per-node clock rate `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `rate` is not strictly positive and finite.
+    pub fn new(n: usize, seed: Seed, rate: f64) -> Self {
+        assert!(n > 0, "network must contain at least one node");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "clock rate must be positive and finite, got {rate}"
+        );
+        let mut rng = SimRng::from_seed_value(seed);
+        let mut heap = BinaryHeap::with_capacity(n);
+        let mut seq = 0u64;
+        for i in 0..n {
+            let t = SimTime::from_secs(sample_exponential(&mut rng, rate));
+            heap.push(Reverse((t, seq, NodeId::new(i))));
+            seq += 1;
+        }
+        EventQueueScheduler {
+            n,
+            rate,
+            rng,
+            heap,
+            step: 0,
+            seq,
+            tick_counts: vec![0; n],
+        }
+    }
+
+    /// Per-node tick counts accumulated so far.
+    pub fn tick_counts(&self) -> &[u64] {
+        &self.tick_counts
+    }
+}
+
+impl ActivationSource for EventQueueScheduler {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn next_activation(&mut self) -> Activation {
+        let Reverse((time, _, node)) = self.heap.pop().expect("event queue is never empty");
+        let next = time + SimTime::from_secs(sample_exponential(&mut self.rng, self.rate));
+        self.heap.push(Reverse((next, self.seq, node)));
+        self.seq += 1;
+        self.tick_counts[node.index()] += 1;
+        let a = Activation {
+            step: self.step,
+            node,
+            time,
+        };
+        self.step += 1;
+        a
+    }
+}
+
+/// Heterogeneous Poisson clocks (discussion-section extension): node `i`
+/// ticks at its own rate `rates[i]`, instead of the paper's uniform λ = 1.
+///
+/// The paper conjectures its techniques "carry over to a much more general
+/// setting" than unit-rate clocks; experiment E15 uses this scheduler to
+/// measure the asynchronous protocol's tolerance to clock skew.
+///
+/// # Example
+///
+/// ```
+/// use rapid_sim::prelude::*;
+/// use rapid_sim::scheduler::HeterogeneousScheduler;
+/// let rates = vec![0.5, 1.0, 2.0];
+/// let mut s = HeterogeneousScheduler::new(rates, Seed::new(1));
+/// let a = s.next_activation();
+/// assert!(a.node.index() < 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct HeterogeneousScheduler {
+    rates: Vec<f64>,
+    rng: SimRng,
+    heap: BinaryHeap<Reverse<(SimTime, u64, NodeId)>>,
+    step: u64,
+    seq: u64,
+    tick_counts: Vec<u64>,
+}
+
+impl HeterogeneousScheduler {
+    /// Creates a scheduler where node `i` ticks at rate `rates[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is empty or any rate is not strictly positive and
+    /// finite.
+    pub fn new(rates: Vec<f64>, seed: Seed) -> Self {
+        assert!(!rates.is_empty(), "network must contain at least one node");
+        for (i, &r) in rates.iter().enumerate() {
+            assert!(
+                r.is_finite() && r > 0.0,
+                "clock rate of node {i} must be positive and finite, got {r}"
+            );
+        }
+        let mut rng = SimRng::from_seed_value(seed);
+        let mut heap = BinaryHeap::with_capacity(rates.len());
+        let mut seq = 0u64;
+        for (i, &r) in rates.iter().enumerate() {
+            let t = SimTime::from_secs(sample_exponential(&mut rng, r));
+            heap.push(Reverse((t, seq, NodeId::new(i))));
+            seq += 1;
+        }
+        let n = rates.len();
+        HeterogeneousScheduler {
+            rates,
+            rng,
+            heap,
+            step: 0,
+            seq,
+            tick_counts: vec![0; n],
+        }
+    }
+
+    /// Creates a scheduler with rates drawn uniformly from
+    /// `[1 − skew, 1 + skew]` — the E15 clock-skew model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `skew` is not in `[0, 1)`.
+    pub fn with_uniform_skew(n: usize, skew: f64, seed: Seed) -> Self {
+        assert!(n > 0, "network must contain at least one node");
+        assert!(
+            (0.0..1.0).contains(&skew),
+            "skew must be in [0, 1), got {skew}"
+        );
+        let mut rng = SimRng::from_seed_value(seed.child(0));
+        let rates: Vec<f64> = (0..n)
+            .map(|_| 1.0 - skew + 2.0 * skew * rng.unit_f64())
+            .collect();
+        Self::new(rates, seed.child(1))
+    }
+
+    /// The per-node clock rates.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Per-node tick counts accumulated so far.
+    pub fn tick_counts(&self) -> &[u64] {
+        &self.tick_counts
+    }
+}
+
+impl ActivationSource for HeterogeneousScheduler {
+    fn n(&self) -> usize {
+        self.rates.len()
+    }
+
+    fn next_activation(&mut self) -> Activation {
+        let Reverse((time, _, node)) = self.heap.pop().expect("event queue is never empty");
+        let rate = self.rates[node.index()];
+        let next = time + SimTime::from_secs(sample_exponential(&mut self.rng, rate));
+        self.heap.push(Reverse((next, self.seq, node)));
+        self.seq += 1;
+        self.tick_counts[node.index()] += 1;
+        let a = Activation {
+            step: self.step,
+            node,
+            time,
+        };
+        self.step += 1;
+        a
+    }
+}
+
+/// Response-delay model (discussion-section extension): each tick's effect
+/// is postponed by an independent `Exponential(delay_rate)` latency, and
+/// activations are re-delivered in *effect-time* order.
+///
+/// This models a pull whose answer arrives after an exponential delay: the
+/// node's protocol step completes — and becomes visible to others — only
+/// when the response lands. The wrapped scheduler keeps its own clock law.
+///
+/// # Example
+///
+/// ```
+/// use rapid_sim::prelude::*;
+/// let inner = SequentialScheduler::with_mode(10, Seed::new(1), TimeMode::Sampled);
+/// let mut s = JitteredScheduler::new(inner, Seed::new(2), 2.0);
+/// let a = s.next_activation();
+/// let b = s.next_activation();
+/// assert!(b.time >= a.time);
+/// ```
+#[derive(Clone, Debug)]
+pub struct JitteredScheduler<S> {
+    inner: S,
+    rng: SimRng,
+    delay_rate: f64,
+    // Min-heap of delayed activations, ordered by effect time.
+    pending: BinaryHeap<Reverse<(SimTime, u64, NodeId)>>,
+    seq: u64,
+    step_out: u64,
+    lookahead: usize,
+}
+
+impl<S: ActivationSource> JitteredScheduler<S> {
+    /// Wraps `inner`, delaying each activation by `Exponential(delay_rate)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay_rate` is not strictly positive and finite.
+    pub fn new(inner: S, seed: Seed, delay_rate: f64) -> Self {
+        assert!(
+            delay_rate.is_finite() && delay_rate > 0.0,
+            "delay rate must be positive and finite, got {delay_rate}"
+        );
+        // Keep enough delayed events buffered that the head of the heap is
+        // (with overwhelming probability) the globally next effect. A
+        // lookahead of ~64 expected delays' worth of arrivals suffices: the
+        // probability of an Exp(μ) delay exceeding 64/μ is e^{-64}.
+        let lookahead = inner.n().max(64) * 4;
+        JitteredScheduler {
+            inner,
+            rng: SimRng::from_seed_value(seed),
+            delay_rate,
+            pending: BinaryHeap::new(),
+            seq: 0,
+            step_out: 0,
+            lookahead,
+        }
+    }
+
+    fn refill(&mut self) {
+        while self.pending.len() < self.lookahead {
+            let a = self.inner.next_activation();
+            let d = sample_exponential(&mut self.rng, self.delay_rate);
+            let effect = a.time + SimTime::from_secs(d);
+            self.pending.push(Reverse((effect, self.seq, a.node)));
+            self.seq += 1;
+        }
+    }
+}
+
+impl<S: ActivationSource> ActivationSource for JitteredScheduler<S> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn next_activation(&mut self) -> Activation {
+        self.refill();
+        let Reverse((time, _, node)) = self.pending.pop().expect("pending refilled");
+        let a = Activation {
+            step: self.step_out,
+            node,
+            time,
+        };
+        self.step_out += 1;
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_expected_time_advances_by_one_over_n() {
+        let mut s = SequentialScheduler::new(4, Seed::new(1));
+        let a = s.next_activation();
+        assert!((a.time.as_secs() - 0.25).abs() < 1e-12);
+        let b = s.next_activation();
+        assert!((b.time.as_secs() - 0.5).abs() < 1e-12);
+        assert_eq!(b.step, 1);
+        assert_eq!(s.steps(), 2);
+    }
+
+    #[test]
+    fn sequential_sampled_time_is_monotone() {
+        let mut s = SequentialScheduler::with_mode(8, Seed::new(2), TimeMode::Sampled);
+        let mut last = SimTime::ZERO;
+        for _ in 0..1000 {
+            let a = s.next_activation();
+            assert!(a.time >= last);
+            last = a.time;
+        }
+        // After 1000 steps at n=8, time should be near 125.
+        assert!((last.as_secs() - 125.0).abs() < 25.0);
+    }
+
+    #[test]
+    fn sequential_activations_are_roughly_uniform() {
+        let n = 16;
+        let mut s = SequentialScheduler::new(n, Seed::new(3));
+        let steps = 16_000;
+        for _ in 0..steps {
+            s.next_activation();
+        }
+        let counts = s.tick_counts();
+        let expected = steps as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < 5.0 * expected.sqrt(),
+                "node {i} count {c} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn event_queue_delivers_in_time_order() {
+        let mut s = EventQueueScheduler::new(32, Seed::new(4), 1.0);
+        let mut last = SimTime::ZERO;
+        for _ in 0..2000 {
+            let a = s.next_activation();
+            assert!(a.time >= last, "activations must be time-ordered");
+            last = a.time;
+        }
+    }
+
+    #[test]
+    fn event_queue_rate_controls_tick_density() {
+        // With n nodes at rate r, expect about n*r*T ticks in [0, T].
+        let n = 50;
+        let rate = 2.0;
+        let mut s = EventQueueScheduler::new(n, Seed::new(5), rate);
+        let horizon = SimTime::from_secs(20.0);
+        let delivered = s.run_until(horizon, |_| {});
+        let expected = n as f64 * rate * 20.0;
+        assert!(
+            (delivered as f64 - expected).abs() < 5.0 * expected.sqrt(),
+            "delivered {delivered} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn event_queue_ticks_concentrate_per_node() {
+        let n = 64;
+        let mut s = EventQueueScheduler::new(n, Seed::new(6), 1.0);
+        let horizon = SimTime::from_secs(100.0);
+        s.run_until(horizon, |_| {});
+        for (i, &c) in s.tick_counts().iter().enumerate() {
+            assert!(
+                (c as f64 - 100.0).abs() < 60.0,
+                "node {i} ticked {c} times in 100 units"
+            );
+        }
+    }
+
+    #[test]
+    fn jittered_scheduler_is_time_ordered_and_complete() {
+        let inner = SequentialScheduler::with_mode(16, Seed::new(7), TimeMode::Sampled);
+        let mut s = JitteredScheduler::new(inner, Seed::new(8), 1.0);
+        let mut last = SimTime::ZERO;
+        let mut per_node = [0u64; 16];
+        for _ in 0..3000 {
+            let a = s.next_activation();
+            assert!(a.time >= last);
+            last = a.time;
+            per_node[a.node.index()] += 1;
+        }
+        // Every node should still be activated regularly.
+        assert!(per_node.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut s = SequentialScheduler::new(10, Seed::new(9));
+        let delivered = s.run_until(SimTime::from_secs(5.0), |a| {
+            assert!(a.time < SimTime::from_secs(5.0));
+        });
+        // 5 time units at n=10 → 50 activations, minus boundary effects.
+        assert!((45..=50).contains(&delivered), "delivered {delivered}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = SequentialScheduler::new(0, Seed::new(1));
+    }
+
+    #[test]
+    fn same_seed_reproduces_schedule() {
+        let mut a = SequentialScheduler::new(20, Seed::new(42));
+        let mut b = SequentialScheduler::new(20, Seed::new(42));
+        for _ in 0..500 {
+            assert_eq!(a.next_activation(), b.next_activation());
+        }
+    }
+
+    #[test]
+    fn heterogeneous_rates_control_tick_shares() {
+        // A node with rate 4 should tick ~4x as often as a rate-1 node.
+        let mut s = HeterogeneousScheduler::new(vec![1.0, 4.0], Seed::new(10));
+        s.run_until(SimTime::from_secs(2000.0), |_| {});
+        let c = s.tick_counts();
+        let ratio = c[1] as f64 / c[0] as f64;
+        assert!((ratio - 4.0).abs() < 0.5, "tick ratio {ratio} vs rate ratio 4");
+        assert_eq!(s.rates(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn heterogeneous_is_time_ordered() {
+        let mut s = HeterogeneousScheduler::with_uniform_skew(32, 0.5, Seed::new(11));
+        let mut last = SimTime::ZERO;
+        for _ in 0..2000 {
+            let a = s.next_activation();
+            assert!(a.time >= last);
+            assert!(a.node.index() < 32);
+            last = a.time;
+        }
+    }
+
+    #[test]
+    fn zero_skew_equals_unit_rates() {
+        let s = HeterogeneousScheduler::with_uniform_skew(8, 0.0, Seed::new(12));
+        assert!(s.rates().iter().all(|&r| (r - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn heterogeneous_rejects_zero_rate() {
+        let _ = HeterogeneousScheduler::new(vec![1.0, 0.0], Seed::new(13));
+    }
+}

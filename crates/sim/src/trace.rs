@@ -1,0 +1,166 @@
+//! Recording and replaying activation schedules.
+//!
+//! Debugging an asynchronous protocol often requires re-running the *exact*
+//! same interleaving while instrumenting different state. An
+//! [`ActivationTrace`] captures the activation stream of any
+//! [`ActivationSource`]; [`TraceReplay`] plays it back as a new source.
+
+use crate::node::NodeId;
+use crate::scheduler::{Activation, ActivationSource};
+use crate::time::SimTime;
+
+/// A recorded activation schedule.
+///
+/// # Example
+///
+/// ```
+/// use rapid_sim::prelude::*;
+/// let mut sched = SequentialScheduler::new(5, Seed::new(1));
+/// let trace = ActivationTrace::record(&mut sched, 20);
+/// assert_eq!(trace.len(), 20);
+/// let mut replay = trace.replay();
+/// let first = replay.next_activation();
+/// assert_eq!(first.step, 0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ActivationTrace {
+    n: usize,
+    nodes: Vec<NodeId>,
+    times: Vec<SimTime>,
+}
+
+impl ActivationTrace {
+    /// Records `steps` activations from `source`.
+    pub fn record(source: &mut impl ActivationSource, steps: usize) -> Self {
+        let mut nodes = Vec::with_capacity(steps);
+        let mut times = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            let a = source.next_activation();
+            nodes.push(a.node);
+            times.push(a.time);
+        }
+        ActivationTrace {
+            n: source.n(),
+            nodes,
+            times,
+        }
+    }
+
+    /// Number of recorded activations.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The network size the trace was recorded against.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Iterates over the recorded activations.
+    pub fn iter(&self) -> impl Iterator<Item = Activation> + '_ {
+        self.nodes
+            .iter()
+            .zip(self.times.iter())
+            .enumerate()
+            .map(|(i, (&node, &time))| Activation {
+                step: i as u64,
+                node,
+                time,
+            })
+    }
+
+    /// Creates a replaying [`ActivationSource`] over this trace.
+    ///
+    /// # Panics
+    ///
+    /// The returned source panics if asked for more activations than were
+    /// recorded.
+    pub fn replay(&self) -> TraceReplay<'_> {
+        TraceReplay {
+            trace: self,
+            pos: 0,
+        }
+    }
+}
+
+/// Replays a recorded [`ActivationTrace`] as an [`ActivationSource`].
+#[derive(Clone, Debug)]
+pub struct TraceReplay<'a> {
+    trace: &'a ActivationTrace,
+    pos: usize,
+}
+
+impl ActivationSource for TraceReplay<'_> {
+    fn n(&self) -> usize {
+        self.trace.n
+    }
+
+    fn next_activation(&mut self) -> Activation {
+        assert!(
+            self.pos < self.trace.len(),
+            "trace exhausted after {} activations",
+            self.trace.len()
+        );
+        let a = Activation {
+            step: self.pos as u64,
+            node: self.trace.nodes[self.pos],
+            time: self.trace.times[self.pos],
+        };
+        self.pos += 1;
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Seed;
+    use crate::scheduler::SequentialScheduler;
+
+    #[test]
+    fn record_then_replay_matches() {
+        let mut sched = SequentialScheduler::new(8, Seed::new(10));
+        let trace = ActivationTrace::record(&mut sched, 100);
+        assert_eq!(trace.len(), 100);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.n(), 8);
+
+        let mut sched2 = SequentialScheduler::new(8, Seed::new(10));
+        let mut replay = trace.replay();
+        for _ in 0..100 {
+            let original = sched2.next_activation();
+            let replayed = replay.next_activation();
+            assert_eq!(original, replayed);
+        }
+    }
+
+    #[test]
+    fn iter_yields_all_steps_in_order() {
+        let mut sched = SequentialScheduler::new(4, Seed::new(11));
+        let trace = ActivationTrace::record(&mut sched, 10);
+        let steps: Vec<u64> = trace.iter().map(|a| a.step).collect();
+        assert_eq!(steps, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "trace exhausted")]
+    fn replay_past_end_panics() {
+        let mut sched = SequentialScheduler::new(4, Seed::new(12));
+        let trace = ActivationTrace::record(&mut sched, 1);
+        let mut replay = trace.replay();
+        replay.next_activation();
+        replay.next_activation();
+    }
+
+    #[test]
+    fn empty_trace() {
+        let trace = ActivationTrace::default();
+        assert!(trace.is_empty());
+        assert_eq!(trace.len(), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Non-parametric bootstrap confidence intervals.
+
+use rand::RngCore;
+
+/// A bootstrap percentile confidence interval.
+#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BootstrapCi {
+    /// Point estimate (the statistic on the full sample).
+    pub estimate: f64,
+    /// Lower bound of the interval.
+    pub lo: f64,
+    /// Upper bound of the interval.
+    pub hi: f64,
+    /// Confidence level, e.g. `0.95`.
+    pub level: f64,
+}
+
+/// Computes a percentile-bootstrap confidence interval for an arbitrary
+/// statistic.
+///
+/// `statistic` maps a resampled slice to a scalar (mean, median, …).
+/// `resamples` controls the number of bootstrap replicates (500–2000 is
+/// typical).
+///
+/// # Panics
+///
+/// Panics if `data` is empty, `resamples == 0`, or `level` is not in
+/// `(0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use rapid_stats::bootstrap::bootstrap_ci;
+/// use rand::SeedableRng;
+/// let data: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let ci = bootstrap_ci(
+///     &data,
+///     |s| s.iter().sum::<f64>() / s.len() as f64,
+///     500,
+///     0.95,
+///     &mut rng,
+/// );
+/// assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+/// assert!(ci.lo > 40.0 && ci.hi < 61.0);
+/// ```
+pub fn bootstrap_ci(
+    data: &[f64],
+    statistic: impl Fn(&[f64]) -> f64,
+    resamples: usize,
+    level: f64,
+    rng: &mut impl RngCore,
+) -> BootstrapCi {
+    assert!(!data.is_empty(), "bootstrap of empty data");
+    assert!(resamples > 0, "need at least one resample");
+    assert!(level > 0.0 && level < 1.0, "level must be in (0, 1)");
+
+    let estimate = statistic(data);
+    let mut replicates = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0; data.len()];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            let i = (rng.next_u64() % data.len() as u64) as usize;
+            *slot = data[i];
+        }
+        replicates.push(statistic(&buf));
+    }
+    replicates.sort_by(|a, b| a.partial_cmp(b).expect("statistics must not be NaN"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo = crate::quantile::quantile_sorted(&replicates, alpha);
+    let hi = crate::quantile::quantile_sorted(&replicates, 1.0 - alpha);
+    BootstrapCi {
+        estimate,
+        lo,
+        hi,
+        level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn mean(s: &[f64]) -> f64 {
+        s.iter().sum::<f64>() / s.len() as f64
+    }
+
+    #[test]
+    fn interval_brackets_estimate() {
+        let data: Vec<f64> = (0..200).map(|i| (i % 17) as f64).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let ci = bootstrap_ci(&data, mean, 1000, 0.95, &mut rng);
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+        assert_eq!(ci.level, 0.95);
+    }
+
+    #[test]
+    fn wider_level_gives_wider_interval() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(3);
+        let ci90 = bootstrap_ci(&data, mean, 800, 0.90, &mut rng1);
+        let ci99 = bootstrap_ci(&data, mean, 800, 0.99, &mut rng2);
+        assert!(ci99.hi - ci99.lo >= ci90.hi - ci90.lo);
+    }
+
+    #[test]
+    fn degenerate_data_gives_point_interval() {
+        let data = vec![4.0; 50];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let ci = bootstrap_ci(&data, mean, 100, 0.95, &mut rng);
+        assert_eq!(ci.lo, 4.0);
+        assert_eq!(ci.hi, 4.0);
+        assert_eq!(ci.estimate, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_data_panics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let _ = bootstrap_ci(&[], mean, 10, 0.9, &mut rng);
+    }
+}

@@ -1,0 +1,37 @@
+//! Statistics toolkit for the experiment harness.
+//!
+//! Everything the reproduction needs to turn raw trial outputs into the
+//! tables of EXPERIMENTS.md lives here:
+//!
+//! * [`online`] — Welford single-pass moments ([`OnlineStats`]), mergeable
+//!   across threads.
+//! * [`mod@quantile`] — exact quantiles over samples and the streaming P²
+//!   estimator for long runs.
+//! * [`histogram`] — fixed-width histograms.
+//! * [`regression`] — least-squares lines and log–log power-law fits, used
+//!   to check *shapes* (e.g. "time grows like log n", "rounds grow like k").
+//! * [`bootstrap`] — non-parametric confidence intervals.
+//! * [`tests`] — two-sample Kolmogorov–Smirnov and chi-square
+//!   goodness-of-fit, used e.g. to certify that the sequential and
+//!   continuous-time schedulers agree and that Bit-Propagation matches the
+//!   Pólya-urn prediction.
+//! * [`summary`] — one-line numeric summaries for table cells.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod histogram;
+pub mod online;
+pub mod quantile;
+pub mod regression;
+pub mod summary;
+pub mod tests;
+
+pub use bootstrap::{bootstrap_ci, BootstrapCi};
+pub use histogram::Histogram;
+pub use online::OnlineStats;
+pub use quantile::{quantile, P2Quantile};
+pub use regression::{fit_line, fit_power_law, LineFit};
+pub use summary::Summary;
+pub use tests::{chi_square_uniform, ks_statistic, ks_two_sample, welch_t_test, KsResult, WelchResult};

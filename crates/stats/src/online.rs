@@ -1,0 +1,237 @@
+//! Single-pass (Welford) moment accumulation.
+
+/// Numerically stable online mean/variance accumulator.
+///
+/// Uses Welford's algorithm; two accumulators can be [`merge`]d, which the
+/// experiment runner uses to combine per-thread results.
+///
+/// [`merge`]: OnlineStats::merge
+///
+/// # Example
+///
+/// ```
+/// use rapid_stats::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 2.5);
+/// assert!((s.variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "observations must not be NaN");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no observations have been added.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Minimum observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accumulator is empty.
+    pub fn min(&self) -> f64 {
+        assert!(self.count > 0, "min of empty accumulator");
+        self.min
+    }
+
+    /// Maximum observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accumulator is empty.
+    pub fn max(&self) -> f64 {
+        assert!(self.count > 0, "max of empty accumulator");
+        self.max
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// A normal-approximation confidence interval for the mean at the given
+    /// z value (e.g. `1.96` for 95%).
+    pub fn mean_ci(&self, z: f64) -> (f64, f64) {
+        let half = z * self.std_err();
+        (self.mean - half, self.mean + half)
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = OnlineStats::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_accumulator_defaults() {
+        let s = OnlineStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let data = [2.5, -1.0, 3.75, 0.0, 10.0, -2.25, 6.5];
+        let s: OnlineStats = data.iter().copied().collect();
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var =
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+        assert_eq!(s.min(), -2.25);
+        assert_eq!(s.max(), 10.0);
+        assert_eq!(s.count(), 7);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let a_data = [1.0, 2.0, 3.0];
+        let b_data = [10.0, 20.0, 30.0, 40.0];
+        let mut a: OnlineStats = a_data.iter().copied().collect();
+        let b: OnlineStats = b_data.iter().copied().collect();
+        a.merge(&b);
+        let all: OnlineStats = a_data.iter().chain(b_data.iter()).copied().collect();
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-12);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.max(), 40.0);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: OnlineStats = [1.0, 2.0].iter().copied().collect();
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn ci_brackets_mean() {
+        let s: OnlineStats = (0..100).map(|i| i as f64).collect();
+        let (lo, hi) = s.mean_ci(1.96);
+        assert!(lo < s.mean() && s.mean() < hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        OnlineStats::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn numerical_stability_with_large_offset() {
+        // Classic catastrophic-cancellation test: large offset, small spread.
+        let s: OnlineStats = [1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0]
+            .iter()
+            .copied()
+            .collect();
+        assert!((s.variance() - 30.0).abs() < 1e-6, "var {}", s.variance());
+    }
+}

@@ -1,0 +1,281 @@
+//! Quantiles: exact (sorting) and streaming (P² estimator).
+
+/// Computes the `q`-quantile of `data` by linear interpolation between
+/// order statistics (type-7, the R/NumPy default).
+///
+/// # Panics
+///
+/// Panics if `data` is empty, contains NaN, or `q` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use rapid_stats::quantile;
+/// let data = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile(&data, 0.5), 2.5);
+/// assert_eq!(quantile(&data, 0.0), 1.0);
+/// assert_eq!(quantile(&data, 1.0), 4.0);
+/// ```
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    assert!(!data.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0, 1]");
+    let mut sorted: Vec<f64> = data.to_vec();
+    assert!(
+        sorted.iter().all(|x| !x.is_nan()),
+        "quantile data must not contain NaN"
+    );
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    quantile_sorted(&sorted, q)
+}
+
+/// [`quantile`] over data that is already sorted ascending.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `q` is outside `[0, 1]`. Sortedness is the
+/// caller's responsibility (checked in debug builds).
+pub fn quantile_sorted(data: &[f64], q: f64) -> f64 {
+    assert!(!data.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0, 1]");
+    debug_assert!(data.windows(2).all(|w| w[0] <= w[1]), "data must be sorted");
+    let h = (data.len() - 1) as f64 * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        data[lo]
+    } else {
+        data[lo] + (h - lo as f64) * (data[hi] - data[lo])
+    }
+}
+
+/// Median by sorting.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or contains NaN.
+pub fn median(data: &[f64]) -> f64 {
+    quantile(data, 0.5)
+}
+
+/// Streaming quantile estimation with the P² algorithm (Jain & Chlamtac).
+///
+/// Tracks a single quantile in O(1) space — used for working-time spread
+/// tracking in very long asynchronous runs where storing every observation
+/// would dominate memory.
+///
+/// # Example
+///
+/// ```
+/// use rapid_stats::P2Quantile;
+/// let mut p = P2Quantile::new(0.5);
+/// for i in 1..=1001 {
+///     p.push(i as f64);
+/// }
+/// let est = p.estimate();
+/// assert!((est - 501.0).abs() < 25.0, "median estimate {est}");
+/// ```
+#[derive(Clone, Debug)]
+pub struct P2Quantile {
+    q: f64,
+    heights: [f64; 5],
+    positions: [f64; 5],
+    desired: [f64; 5],
+    increments: [f64; 5],
+    count: usize,
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `q`-quantile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not strictly inside `(0, 1)`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "P² quantile must be in (0, 1), got {q}");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// The quantile level being tracked.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations seen.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "observations must not be NaN");
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial
+                    .sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                self.heights.copy_from_slice(&self.initial);
+            }
+            return;
+        }
+
+        // Find cell k such that heights[k] <= x < heights[k+1].
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            (0..4)
+                .find(|&i| x < self.heights[i + 1])
+                .expect("x within [h0, h4)")
+        };
+
+        for p in &mut self.positions[k + 1..] {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+
+        // Adjust interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let s = d.signum();
+                let parabolic = self.parabolic(i, s);
+                let new_h = if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1]
+                {
+                    parabolic
+                } else {
+                    self.linear(i, s)
+                };
+                self.heights[i] = new_h;
+                self.positions[i] += s;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (pm, p, pp) = (
+            self.positions[i - 1],
+            self.positions[i],
+            self.positions[i + 1],
+        );
+        h + s / (pp - pm)
+            * ((p - pm + s) * (hp - h) / (pp - p) + (pp - p - s) * (h - hm) / (p - pm))
+    }
+
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = if s > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + s * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate of the tracked quantile.
+    ///
+    /// With fewer than five observations, falls back to the exact quantile
+    /// of what has been seen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no observations have been added.
+    pub fn estimate(&self) -> f64 {
+        assert!(self.count > 0, "estimate with no observations");
+        if self.initial.len() < 5 {
+            let mut v = self.initial.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            return quantile_sorted(&v, self.q);
+        }
+        self.heights[2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_quantiles_on_small_data() {
+        let data = [3.0, 1.0, 4.0, 1.5, 5.0];
+        assert_eq!(quantile(&data, 0.5), 3.0);
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 5.0);
+        assert_eq!(median(&[1.0, 2.0]), 1.5);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn interpolation_matches_type7() {
+        // NumPy: np.quantile([1,2,3,4], 0.25) == 1.75
+        assert!((quantile(&[1.0, 2.0, 3.0, 4.0], 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_data_panics() {
+        let _ = quantile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn out_of_range_level_panics() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn p2_tracks_median_of_uniform_stream() {
+        let mut p = P2Quantile::new(0.5);
+        // Deterministic low-discrepancy stream over [0, 1).
+        let mut x = 0.0f64;
+        for _ in 0..10_000 {
+            x = (x + 0.618_033_988_749_895) % 1.0;
+            p.push(x);
+        }
+        assert!((p.estimate() - 0.5).abs() < 0.05, "estimate {}", p.estimate());
+        assert_eq!(p.count(), 10_000);
+        assert_eq!(p.q(), 0.5);
+    }
+
+    #[test]
+    fn p2_tracks_extreme_quantile() {
+        let mut p = P2Quantile::new(0.95);
+        let mut x = 0.0f64;
+        for _ in 0..20_000 {
+            x = (x + 0.618_033_988_749_895) % 1.0;
+            p.push(x);
+        }
+        assert!((p.estimate() - 0.95).abs() < 0.05, "estimate {}", p.estimate());
+    }
+
+    #[test]
+    fn p2_small_samples_fall_back_to_exact() {
+        let mut p = P2Quantile::new(0.5);
+        p.push(10.0);
+        p.push(20.0);
+        assert_eq!(p.estimate(), 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1)")]
+    fn p2_rejects_degenerate_levels() {
+        let _ = P2Quantile::new(1.0);
+    }
+}

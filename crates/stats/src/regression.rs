@@ -1,0 +1,162 @@
+//! Least-squares fits used to check asymptotic *shapes*.
+//!
+//! The paper's claims are asymptotic (`O(log n)`, `Ω(k)`, quadratic
+//! amplification). The harness checks them by fitting measured series in
+//! the predicted coordinate system:
+//!
+//! * "time grows like `log n`" → fit `time` against `ln n` and require a
+//!   near-linear fit (high R², stable slope);
+//! * "rounds grow like `k`" → fit `rounds` against `k`;
+//! * "time is `Θ(n^a)`" → [`fit_power_law`] on log–log axes.
+
+/// Result of a least-squares line fit `y ≈ slope · x + intercept`.
+#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination (1 = perfect fit).
+    pub r_squared: f64,
+}
+
+impl LineFit {
+    /// Predicted `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits `y ≈ slope · x + intercept` by ordinary least squares.
+///
+/// # Panics
+///
+/// Panics if the series have different lengths, fewer than two points, or
+/// zero variance in `x`.
+///
+/// # Example
+///
+/// ```
+/// use rapid_stats::fit_line;
+/// let x = [1.0, 2.0, 3.0];
+/// let y = [2.0, 4.0, 6.0];
+/// let fit = fit_line(&x, &y);
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-12);
+/// ```
+pub fn fit_line(x: &[f64], y: &[f64]) -> LineFit {
+    assert_eq!(x.len(), y.len(), "series must have equal length");
+    assert!(x.len() >= 2, "need at least two points to fit a line");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxx: f64 = x.iter().map(|xi| (xi - mx) * (xi - mx)).sum();
+    let sxy: f64 = x.iter().zip(y).map(|(xi, yi)| (xi - mx) * (yi - my)).sum();
+    let syy: f64 = y.iter().map(|yi| (yi - my) * (yi - my)).sum();
+    assert!(sxx > 0.0, "x series has zero variance");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    LineFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Fits a power law `y ≈ c · x^a` by least squares on log–log axes,
+/// returning `(a, c, r_squared)`.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`fit_line`], or if any value is
+/// non-positive (logarithms must exist).
+///
+/// # Example
+///
+/// ```
+/// use rapid_stats::fit_power_law;
+/// let x = [1.0, 2.0, 4.0, 8.0];
+/// let y = [3.0, 12.0, 48.0, 192.0]; // y = 3 x²
+/// let (a, c, r2) = fit_power_law(&x, &y);
+/// assert!((a - 2.0).abs() < 1e-9);
+/// assert!((c - 3.0).abs() < 1e-9);
+/// assert!(r2 > 0.999);
+/// ```
+pub fn fit_power_law(x: &[f64], y: &[f64]) -> (f64, f64, f64) {
+    assert!(
+        x.iter().chain(y).all(|&v| v > 0.0),
+        "power-law fit requires positive data"
+    );
+    let lx: Vec<f64> = x.iter().map(|v| v.ln()).collect();
+    let ly: Vec<f64> = y.iter().map(|v| v.ln()).collect();
+    let fit = fit_line(&lx, &ly);
+    (fit.slope, fit.intercept.exp(), fit.r_squared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line_recovers_parameters() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v - 1.0).collect();
+        let fit = fit_line(&x, &y);
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(20.0) - 59.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_has_sensible_r2() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        // Deterministic "noise" with zero mean.
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| 2.0 * v + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let fit = fit_line(&x, &y);
+        assert!((fit.slope - 2.0).abs() < 0.01);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn constant_y_gives_zero_slope_full_r2() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [5.0, 5.0, 5.0];
+        let fit = fit_line(&x, &y);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn power_law_recovers_exponent() {
+        let x = [2.0, 4.0, 8.0, 16.0, 32.0];
+        let y: Vec<f64> = x.iter().map(|&v: &f64| 5.0 * v.powf(1.5)).collect();
+        let (a, c, r2) = fit_power_law(&x, &y);
+        assert!((a - 1.5).abs() < 1e-9);
+        assert!((c - 5.0).abs() < 1e-6);
+        assert!(r2 > 0.999_999);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = fit_line(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero variance")]
+    fn degenerate_x_panics() {
+        let _ = fit_line(&[2.0, 2.0], &[1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive data")]
+    fn power_law_rejects_nonpositive() {
+        let _ = fit_power_law(&[0.0, 1.0], &[1.0, 2.0]);
+    }
+}

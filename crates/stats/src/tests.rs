@@ -1,0 +1,271 @@
+//! Hypothesis tests: two-sample Kolmogorov–Smirnov and chi-square.
+//!
+//! The KS test certifies distributional equality claims the paper invokes
+//! (sequential ≡ continuous-time scheduling; Bit-Propagation ≙ Pólya urn).
+
+/// Result of a two-sample Kolmogorov–Smirnov test.
+#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct KsResult {
+    /// The KS statistic `D = sup |F₁ − F₂|`.
+    pub statistic: f64,
+    /// Asymptotic p-value (Kolmogorov distribution approximation).
+    pub p_value: f64,
+}
+
+impl KsResult {
+    /// Whether the null hypothesis (same distribution) survives at
+    /// significance `alpha`.
+    pub fn same_distribution_at(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Computes the two-sample KS statistic `D` between `a` and `b`.
+///
+/// # Panics
+///
+/// Panics if either sample is empty or contains NaN.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "KS requires non-empty samples");
+    let mut xs: Vec<f64> = a.to_vec();
+    let mut ys: Vec<f64> = b.to_vec();
+    assert!(
+        xs.iter().chain(ys.iter()).all(|v| !v.is_nan()),
+        "KS samples must not contain NaN"
+    );
+    xs.sort_by(|p, q| p.partial_cmp(q).expect("no NaN"));
+    ys.sort_by(|p, q| p.partial_cmp(q).expect("no NaN"));
+
+    let (mut i, mut j) = (0usize, 0usize);
+    let (n, m) = (xs.len(), ys.len());
+    let mut d: f64 = 0.0;
+    while i < n && j < m {
+        let x = xs[i].min(ys[j]);
+        while i < n && xs[i] <= x {
+            i += 1;
+        }
+        while j < m && ys[j] <= x {
+            j += 1;
+        }
+        let f1 = i as f64 / n as f64;
+        let f2 = j as f64 / m as f64;
+        d = d.max((f1 - f2).abs());
+    }
+    d
+}
+
+/// Two-sample KS test with the asymptotic Kolmogorov p-value.
+///
+/// # Panics
+///
+/// Panics if either sample is empty or contains NaN.
+///
+/// # Example
+///
+/// ```
+/// use rapid_stats::ks_two_sample;
+/// let a: Vec<f64> = (0..500).map(|i| i as f64 / 500.0).collect();
+/// let b: Vec<f64> = (0..400).map(|i| i as f64 / 400.0).collect();
+/// let r = ks_two_sample(&a, &b);
+/// assert!(r.same_distribution_at(0.01));
+/// ```
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsResult {
+    let d = ks_statistic(a, b);
+    let n = a.len() as f64;
+    let m = b.len() as f64;
+    let ne = n * m / (n + m);
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    KsResult {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+    }
+}
+
+/// Kolmogorov survival function `Q(λ) = 2 Σ (−1)^{k−1} exp(−2 k² λ²)`.
+///
+/// Follows the convergence strategy of Numerical Recipes' `probks`: the
+/// alternating series converges extremely fast for λ ≳ 0.3; when it fails
+/// to converge (λ → 0) the value is 1 by continuity.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda < 1e-8 {
+        return 1.0;
+    }
+    let a2 = -2.0 * lambda * lambda;
+    let mut fac = 2.0;
+    let mut sum = 0.0;
+    let mut prev_term = 0.0f64;
+    for j in 1..=100u32 {
+        let term = fac * (a2 * (j * j) as f64).exp();
+        sum += term;
+        if term.abs() <= 0.001 * prev_term || term.abs() <= 1e-10 * sum.abs() {
+            return sum.clamp(0.0, 1.0);
+        }
+        fac = -fac;
+        prev_term = term.abs();
+    }
+    1.0 // series failed to converge — λ is tiny, distributions agree
+}
+
+/// Result of a Welch two-sample t-test (unequal variances).
+#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WelchResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+}
+
+impl WelchResult {
+    /// Whether the means differ at roughly the 1% two-sided level.
+    ///
+    /// Uses the normal approximation to the t distribution, which is
+    /// accurate for the `df ≥ 10` arising in the experiment harness.
+    pub fn significant_at_1pct(&self) -> bool {
+        self.t.abs() > 2.576
+    }
+}
+
+/// Welch's two-sample t-test for a difference in means.
+///
+/// # Panics
+///
+/// Panics if either sample has fewer than two observations or contains
+/// NaN, or if both samples are constant and equal (no variance at all).
+///
+/// # Example
+///
+/// ```
+/// use rapid_stats::tests::welch_t_test;
+/// let a = [5.0, 6.0, 5.5, 6.2, 5.8];
+/// let b = [8.0, 8.4, 7.9, 8.2, 8.1];
+/// let r = welch_t_test(&a, &b);
+/// assert!(r.significant_at_1pct());
+/// ```
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> WelchResult {
+    assert!(
+        a.len() >= 2 && b.len() >= 2,
+        "Welch test needs at least two observations per sample"
+    );
+    let stats = |s: &[f64]| {
+        let acc: crate::online::OnlineStats = s.iter().copied().collect();
+        (acc.mean(), acc.variance(), s.len() as f64)
+    };
+    let (ma, va, na) = stats(a);
+    let (mb, vb, nb) = stats(b);
+    let se2 = va / na + vb / nb;
+    assert!(se2 > 0.0, "both samples are constant: t is undefined");
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2 * se2
+        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0)).max(f64::MIN_POSITIVE);
+    WelchResult { t, df }
+}
+
+/// Chi-square statistic of observed counts against a uniform expectation,
+/// returning `(chi2, degrees_of_freedom)`.
+///
+/// # Panics
+///
+/// Panics if `counts` has fewer than two cells or the total count is zero.
+pub fn chi_square_uniform(counts: &[u64]) -> (f64, usize) {
+    assert!(counts.len() >= 2, "chi-square needs at least two cells");
+    let total: u64 = counts.iter().sum();
+    assert!(total > 0, "chi-square needs observations");
+    let expected = total as f64 / counts.len() as f64;
+    let chi2 = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    (chi2, counts.len() - 1)
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_statistic(&a, &a), 0.0);
+        let r = ks_two_sample(&a, &a);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0];
+        assert_eq!(ks_statistic(&a, &b), 1.0);
+        let r = ks_two_sample(&a, &b);
+        assert!(r.p_value < 0.1);
+    }
+
+    #[test]
+    fn shifted_distributions_are_detected() {
+        let a: Vec<f64> = (0..1000).map(|i| (i as f64) / 1000.0).collect();
+        let b: Vec<f64> = (0..1000).map(|i| (i as f64) / 1000.0 + 0.3).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(!r.same_distribution_at(0.01), "shift must be detected");
+        assert!((r.statistic - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn same_distribution_passes() {
+        // Two deterministic samples from the same uniform grid.
+        let a: Vec<f64> = (0..800).map(|i| ((i * 7919) % 800) as f64 / 800.0).collect();
+        let b: Vec<f64> = (0..900).map(|i| ((i * 104_729) % 900) as f64 / 900.0).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(r.same_distribution_at(0.01), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn chi_square_uniform_counts() {
+        let (chi2, df) = chi_square_uniform(&[100, 100, 100, 100]);
+        assert_eq!(chi2, 0.0);
+        assert_eq!(df, 3);
+        let (chi2, _) = chi_square_uniform(&[200, 0, 0, 0]);
+        assert!(chi2 > 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_panics() {
+        let _ = ks_statistic(&[], &[1.0]);
+    }
+
+    #[test]
+    fn welch_detects_separated_means() {
+        let a: Vec<f64> = (0..20).map(|i| 10.0 + (i % 3) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..20).map(|i| 20.0 + (i % 3) as f64 * 0.1).collect();
+        let r = welch_t_test(&a, &b);
+        assert!(r.significant_at_1pct());
+        assert!(r.t < 0.0, "a has the smaller mean");
+        assert!(r.df > 10.0);
+    }
+
+    #[test]
+    fn welch_accepts_equal_distributions() {
+        let a: Vec<f64> = (0..30).map(|i| (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| ((i + 3) % 7) as f64).collect();
+        let r = welch_t_test(&a, &b);
+        assert!(!r.significant_at_1pct(), "t = {}", r.t);
+    }
+
+    #[test]
+    fn welch_is_antisymmetric() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 3.0, 4.0, 6.0];
+        let ab = welch_t_test(&a, &b);
+        let ba = welch_t_test(&b, &a);
+        assert!((ab.t + ba.t).abs() < 1e-12);
+        assert!((ab.df - ba.df).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two observations")]
+    fn welch_rejects_tiny_samples() {
+        let _ = welch_t_test(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,169 @@
+//! The Beta limit law of the two-color Pólya urn.
+//!
+//! A unit-reinforcement urn started at `(a, b)` has tracked-color fraction
+//! converging almost surely to a `Beta(a, b)` random variable. This module
+//! provides that distribution's moments and an exact sampler (via two
+//! Marsaglia–Tsang gamma draws), so tests can compare long-run urn
+//! fractions against the limit with a KS test.
+
+use rapid_sim::rng::SimRng;
+
+/// The `Beta(alpha, beta)` distribution.
+///
+/// # Example
+///
+/// ```
+/// use rapid_urn::BetaDistribution;
+/// use rapid_sim::prelude::*;
+///
+/// let d = BetaDistribution::new(2.0, 3.0);
+/// assert!((d.mean() - 0.4).abs() < 1e-12);
+/// let mut rng = SimRng::from_seed_value(Seed::new(1));
+/// let x = d.sample(&mut rng);
+/// assert!((0.0..=1.0).contains(&x));
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BetaDistribution {
+    alpha: f64,
+    beta: f64,
+}
+
+impl BetaDistribution {
+    /// Creates `Beta(alpha, beta)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are positive and finite.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha.is_finite() && beta > 0.0 && beta.is_finite(),
+            "Beta parameters must be positive and finite, got ({alpha}, {beta})"
+        );
+        BetaDistribution { alpha, beta }
+    }
+
+    /// The `alpha` parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The `beta` parameter.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Distribution mean `α/(α+β)`.
+    pub fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Distribution variance `αβ/((α+β)²(α+β+1))`.
+    pub fn variance(&self) -> f64 {
+        let s = self.alpha + self.beta;
+        self.alpha * self.beta / (s * s * (s + 1.0))
+    }
+
+    /// Draws one sample as `G₁/(G₁+G₂)` with independent gammas.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        let g1 = sample_gamma(rng, self.alpha);
+        let g2 = sample_gamma(rng, self.beta);
+        g1 / (g1 + g2)
+    }
+}
+
+/// Samples `Gamma(shape, 1)` with the Marsaglia–Tsang method.
+///
+/// For `shape < 1` the standard boost `Gamma(a) = Gamma(a+1) · U^{1/a}` is
+/// applied.
+///
+/// # Panics
+///
+/// Panics if `shape` is not positive and finite.
+pub fn sample_gamma(rng: &mut SimRng, shape: f64) -> f64 {
+    assert!(
+        shape > 0.0 && shape.is_finite(),
+        "gamma shape must be positive and finite, got {shape}"
+    );
+    if shape < 1.0 {
+        let u = rng.unit_f64_open_left();
+        return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box–Muller.
+        let u1 = rng.unit_f64_open_left();
+        let u2 = rng.unit_f64();
+        let x = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u = rng.unit_f64_open_left();
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_sim::rng::Seed;
+
+    #[test]
+    fn moments_are_correct() {
+        let d = BetaDistribution::new(3.0, 7.0);
+        assert!((d.mean() - 0.3).abs() < 1e-12);
+        assert!((d.variance() - 21.0 / 1100.0).abs() < 1e-12);
+        assert_eq!(d.alpha(), 3.0);
+        assert_eq!(d.beta(), 7.0);
+    }
+
+    #[test]
+    fn samples_match_moments() {
+        let d = BetaDistribution::new(2.0, 5.0);
+        let mut rng = SimRng::from_seed_value(Seed::new(2));
+        let n = 40_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            assert!((0.0..=1.0).contains(&x));
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!((mean - d.mean()).abs() < 0.005, "mean {mean}");
+        assert!((var - d.variance()).abs() < 0.002, "var {var}");
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut rng = SimRng::from_seed_value(Seed::new(3));
+        for &shape in &[0.5, 1.0, 2.5, 10.0] {
+            let n = 30_000;
+            let mean: f64 = (0..n).map(|_| sample_gamma(&mut rng, shape)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.05 * shape.max(1.0),
+                "shape {shape}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_beta_is_centered() {
+        let d = BetaDistribution::new(5.0, 5.0);
+        let mut rng = SimRng::from_seed_value(Seed::new(4));
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_parameters_rejected() {
+        let _ = BetaDistribution::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! The Bit-Propagation ⇄ Pólya-urn coupling.
+//!
+//! In the Bit-Propagation sub-phase, a node without the bit repeatedly
+//! samples until it hits a bit-set node, then **copies that node's color**
+//! and joins the bit-set population. If we only watch the order in which
+//! nodes join (ignoring the waiting times), every join draws a uniformly
+//! random member of the current bit-set population and duplicates its
+//! color — i.e., the color composition of the bit-set population evolves
+//! exactly as a unit-reinforcement Pólya urn started at the post-Two-Choices
+//! composition.
+//!
+//! [`spread_by_copying`] runs that abstract process directly; experiment
+//! E10 compares it (and the true in-protocol Bit-Propagation) against the
+//! urn's exact martingale prediction.
+
+use rapid_sim::rng::SimRng;
+
+/// Grows a colored population by `joins` copy-steps: each join duplicates
+/// the color of a uniformly random current member. Returns the final color
+/// counts.
+///
+/// This is precisely a unit-reinforcement Pólya urn run for `joins` draws,
+/// phrased in population terms.
+///
+/// # Panics
+///
+/// Panics if `initial` is empty or sums to zero.
+///
+/// # Example
+///
+/// ```
+/// use rapid_urn::spread_by_copying;
+/// use rapid_sim::prelude::*;
+///
+/// let mut rng = SimRng::from_seed_value(Seed::new(1));
+/// let final_counts = spread_by_copying(&[10, 5], 85, &mut rng);
+/// assert_eq!(final_counts.iter().sum::<u64>(), 100);
+/// ```
+pub fn spread_by_copying(initial: &[u64], joins: u64, rng: &mut SimRng) -> Vec<u64> {
+    assert!(!initial.is_empty(), "population must have at least one color class");
+    let total: u64 = initial.iter().sum();
+    assert!(total > 0, "population must be non-empty");
+    let mut counts = initial.to_vec();
+    for joined in 0..joins {
+        let mut r = rng.bounded(total + joined);
+        let mut color = 0usize;
+        for (j, &c) in counts.iter().enumerate() {
+            if r < c {
+                color = j;
+                break;
+            }
+            r -= c;
+        }
+        counts[color] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polya::PolyaUrn;
+    use rapid_sim::rng::Seed;
+
+    #[test]
+    fn preserves_total_growth() {
+        let mut rng = SimRng::from_seed_value(Seed::new(5));
+        let out = spread_by_copying(&[3, 4, 5], 88, &mut rng);
+        assert_eq!(out.iter().sum::<u64>(), 100);
+        assert_eq!(out.len(), 3);
+        // Counts never decrease.
+        assert!(out[0] >= 3 && out[1] >= 4 && out[2] >= 5);
+    }
+
+    #[test]
+    fn matches_polya_urn_step_for_step() {
+        // With the same RNG stream, the coupling and the urn must agree.
+        let mut rng_a = SimRng::from_seed_value(Seed::new(6));
+        let mut rng_b = SimRng::from_seed_value(Seed::new(6));
+        let out = spread_by_copying(&[2, 8], 50, &mut rng_a);
+        let mut urn = PolyaUrn::new(vec![2, 8], 1).expect("valid");
+        urn.run(50, &mut rng_b);
+        assert_eq!(out, urn.counts());
+    }
+
+    #[test]
+    fn expected_fraction_is_preserved() {
+        // The martingale property transfers to the population phrasing.
+        let mut rng = SimRng::from_seed_value(Seed::new(7));
+        let trials = 4000;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            let out = spread_by_copying(&[6, 4], 90, &mut rng);
+            sum += out[0] as f64 / 100.0;
+        }
+        let mean = sum / trials as f64;
+        assert!((mean - 0.6).abs() < 0.01, "mean fraction {mean} vs 0.6");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_population_rejected() {
+        let mut rng = SimRng::from_seed_value(Seed::new(8));
+        let _ = spread_by_copying(&[0, 0], 10, &mut rng);
+    }
+}

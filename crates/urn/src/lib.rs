@@ -1,0 +1,33 @@
+//! Pólya urn processes.
+//!
+//! The analysis of the asynchronous protocol in Elsässer et al. (PODC 2017)
+//! models the Bit-Propagation sub-phase as a **Pólya urn**: the bit-set
+//! nodes are balls colored by opinion, and every node that newly sets its
+//! bit copies the color of a uniformly random bit-set node — exactly a
+//! draw-and-reinforce step of a unit-reinforcement urn. The paper's key
+//! lemma is that the color *fractions* among bit-set nodes form a
+//! martingale, so the distribution of colors at the end of Bit-Propagation
+//! is (almost) the distribution right after the Two-Choices step.
+//!
+//! This crate implements:
+//!
+//! * [`PolyaUrn`] — a k-color urn with configurable integer reinforcement;
+//! * [`moments`] — exact finite-time mean/variance of the urn fractions
+//!   (via the beta-binomial law of the classical two-color urn);
+//! * [`beta`] — the Beta limit law of the two-color urn, with a
+//!   Marsaglia–Tsang sampler for KS comparisons;
+//! * [`coupling`] — the explicit Bit-Propagation ⇄ urn coupling used by
+//!   experiment E10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beta;
+pub mod coupling;
+pub mod moments;
+pub mod polya;
+
+pub use beta::BetaDistribution;
+pub use coupling::spread_by_copying;
+pub use moments::{fraction_mean, fraction_variance};
+pub use polya::PolyaUrn;

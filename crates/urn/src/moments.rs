@@ -1,0 +1,126 @@
+//! Exact finite-time moments of the classical Pólya urn.
+//!
+//! For a two-color urn starting with `a` balls of the tracked color and
+//! `b` others, unit reinforcement, the number of tracked-color additions
+//! after `t` draws is beta-binomially distributed. That gives closed forms
+//! for the mean and variance of the tracked color's *fraction*:
+//!
+//! * mean: `a / (a + b)` at every `t` — the martingale property;
+//! * variance: `(ab / (a+b)²) · t(t + a + b) / ((a+b+1)(a+b+t)... )` —
+//!   see [`fraction_variance`] for the exact expression.
+//!
+//! These formulas back unit tests for [`crate::PolyaUrn`] and the E10
+//! experiment's "prediction" column.
+
+/// Expected fraction of the tracked color after any number of draws.
+///
+/// The fraction is a martingale, so the mean never moves: `a / (a + b)`.
+///
+/// # Panics
+///
+/// Panics if `a + b == 0`.
+pub fn fraction_mean(a: u64, b: u64) -> f64 {
+    assert!(a + b > 0, "urn must start non-empty");
+    a as f64 / (a + b) as f64
+}
+
+/// Exact variance of the tracked color's fraction after `t` unit-
+/// reinforcement draws, starting from `a` tracked and `b` other balls.
+///
+/// Derivation: the count of tracked additions `S_t` is beta-binomial with
+/// parameters `(t, a, b)`:
+/// `Var(S_t) = t·p·q·(a+b+t)/(a+b+1)` with `p = a/(a+b)`, `q = 1−p`.
+/// The fraction is `X_t = (a + S_t)/(a + b + t)`, so
+/// `Var(X_t) = Var(S_t)/(a+b+t)²`.
+///
+/// As `t → ∞` this converges to `p·q/(a+b+1)`, the variance of the
+/// `Beta(a, b)` limit law.
+///
+/// # Panics
+///
+/// Panics if `a + b == 0`.
+pub fn fraction_variance(a: u64, b: u64, t: u64) -> f64 {
+    assert!(a + b > 0, "urn must start non-empty");
+    let n0 = (a + b) as f64;
+    let p = a as f64 / n0;
+    let q = 1.0 - p;
+    let t = t as f64;
+    let var_s = t * p * q * (n0 + t) / (n0 + 1.0);
+    var_s / ((n0 + t) * (n0 + t))
+}
+
+/// Variance of the `Beta(a, b)` limit of the two-color urn fraction.
+///
+/// # Panics
+///
+/// Panics if `a + b == 0`.
+pub fn limit_variance(a: u64, b: u64) -> f64 {
+    assert!(a + b > 0, "urn must start non-empty");
+    let n0 = (a + b) as f64;
+    let p = a as f64 / n0;
+    p * (1.0 - p) / (n0 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polya::PolyaUrn;
+    use rapid_sim::rng::{Seed, SimRng};
+
+    #[test]
+    fn mean_is_initial_fraction() {
+        assert_eq!(fraction_mean(3, 7), 0.3);
+        assert_eq!(fraction_mean(1, 0), 1.0);
+    }
+
+    #[test]
+    fn variance_is_zero_at_t0_and_grows() {
+        assert_eq!(fraction_variance(3, 7, 0), 0.0);
+        let v1 = fraction_variance(3, 7, 10);
+        let v2 = fraction_variance(3, 7, 100);
+        assert!(v2 > v1 && v1 > 0.0);
+    }
+
+    #[test]
+    fn variance_converges_to_beta_limit() {
+        let v_inf = limit_variance(3, 7);
+        let v_large = fraction_variance(3, 7, 1_000_000);
+        assert!((v_large - v_inf).abs() < 1e-4);
+        // Beta(3, 7): var = 3*7/(10^2 * 11) = 21/1100.
+        assert!((v_inf - 21.0 / 1100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulated_urn_matches_exact_moments() {
+        let (a, b, t) = (4u64, 6u64, 50u64);
+        let mut rng = SimRng::from_seed_value(Seed::new(9));
+        let trials = 20_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..trials {
+            let mut urn = PolyaUrn::new(vec![a, b], 1).expect("valid");
+            urn.run(t, &mut rng);
+            let f = urn.fraction(0);
+            sum += f;
+            sumsq += f * f;
+        }
+        let mean = sum / trials as f64;
+        let var = sumsq / trials as f64 - mean * mean;
+        let exact_mean = fraction_mean(a, b);
+        let exact_var = fraction_variance(a, b, t);
+        assert!(
+            (mean - exact_mean).abs() < 0.005,
+            "mean {mean} vs {exact_mean}"
+        );
+        assert!(
+            (var - exact_var).abs() < 0.15 * exact_var,
+            "var {var} vs {exact_var}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_urn_rejected() {
+        let _ = fraction_mean(0, 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! The k-color Pólya urn.
+
+use rapid_sim::rng::SimRng;
+
+/// A Pólya urn with `k` colors and integer reinforcement.
+///
+/// One step draws a ball uniformly at random and returns it together with
+/// `reinforcement` additional balls of the same color. With unit
+/// reinforcement this is the classical Pólya–Eggenberger urn; the color
+/// fractions are then a martingale and converge almost surely to a random
+/// limit (Dirichlet-distributed across colors).
+///
+/// # Example
+///
+/// ```
+/// use rapid_urn::PolyaUrn;
+/// use rapid_sim::prelude::*;
+///
+/// let mut urn = PolyaUrn::new(vec![2, 1], 1).expect("valid");
+/// let mut rng = SimRng::from_seed_value(Seed::new(1));
+/// let drawn = urn.step(&mut rng);
+/// assert!(drawn < 2);
+/// assert_eq!(urn.total(), 4);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PolyaUrn {
+    counts: Vec<u64>,
+    reinforcement: u64,
+    steps: u64,
+}
+
+/// Error constructing a [`PolyaUrn`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum UrnError {
+    /// The urn must start with at least one ball.
+    Empty,
+    /// The urn needs at least two colors to be interesting.
+    TooFewColors,
+}
+
+impl std::fmt::Display for UrnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UrnError::Empty => write!(f, "urn must start with at least one ball"),
+            UrnError::TooFewColors => write!(f, "urn needs at least two colors"),
+        }
+    }
+}
+
+impl std::error::Error for UrnError {}
+
+impl PolyaUrn {
+    /// Creates an urn with the given initial ball counts per color.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UrnError::TooFewColors`] for fewer than two colors and
+    /// [`UrnError::Empty`] if all counts are zero.
+    pub fn new(counts: Vec<u64>, reinforcement: u64) -> Result<Self, UrnError> {
+        if counts.len() < 2 {
+            return Err(UrnError::TooFewColors);
+        }
+        if counts.iter().all(|&c| c == 0) {
+            return Err(UrnError::Empty);
+        }
+        Ok(PolyaUrn {
+            counts,
+            reinforcement,
+            steps: 0,
+        })
+    }
+
+    /// Number of colors.
+    pub fn k(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Ball count of color `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn count(&self, j: usize) -> u64 {
+        self.counts[j]
+    }
+
+    /// All ball counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of balls.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The reinforcement added per draw.
+    pub fn reinforcement(&self) -> u64 {
+        self.reinforcement
+    }
+
+    /// Number of steps executed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Fraction of balls of color `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn fraction(&self, j: usize) -> f64 {
+        self.counts[j] as f64 / self.total() as f64
+    }
+
+    /// All color fractions.
+    pub fn fractions(&self) -> Vec<f64> {
+        let total = self.total() as f64;
+        self.counts.iter().map(|&c| c as f64 / total).collect()
+    }
+
+    /// Draws one ball uniformly, reinforces its color, and returns the
+    /// drawn color index.
+    pub fn step(&mut self, rng: &mut SimRng) -> usize {
+        let total = self.total();
+        debug_assert!(total > 0);
+        let mut r = rng.bounded(total);
+        let mut color = 0usize;
+        for (j, &c) in self.counts.iter().enumerate() {
+            if r < c {
+                color = j;
+                break;
+            }
+            r -= c;
+        }
+        self.counts[color] += self.reinforcement;
+        self.steps += 1;
+        color
+    }
+
+    /// Runs `n` steps.
+    pub fn run(&mut self, n: u64, rng: &mut SimRng) {
+        for _ in 0..n {
+            self.step(rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_sim::rng::Seed;
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(PolyaUrn::new(vec![1], 1).unwrap_err(), UrnError::TooFewColors);
+        assert_eq!(PolyaUrn::new(vec![0, 0], 1).unwrap_err(), UrnError::Empty);
+        assert!(PolyaUrn::new(vec![0, 1], 1).is_ok());
+        assert!(UrnError::Empty.to_string().contains("at least one ball"));
+    }
+
+    #[test]
+    fn step_adds_reinforcement_to_drawn_color() {
+        let mut urn = PolyaUrn::new(vec![3, 5], 2).expect("valid");
+        let mut rng = SimRng::from_seed_value(Seed::new(1));
+        let before = urn.counts().to_vec();
+        let drawn = urn.step(&mut rng);
+        assert_eq!(urn.count(drawn), before[drawn] + 2);
+        assert_eq!(urn.total(), 10);
+        assert_eq!(urn.steps(), 1);
+        assert_eq!(urn.reinforcement(), 2);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut urn = PolyaUrn::new(vec![1, 2, 3, 4], 1).expect("valid");
+        let mut rng = SimRng::from_seed_value(Seed::new(2));
+        urn.run(500, &mut rng);
+        let sum: f64 = urn.fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(urn.total(), 10 + 500);
+        assert_eq!(urn.k(), 4);
+    }
+
+    #[test]
+    fn zero_count_color_is_never_drawn() {
+        let mut urn = PolyaUrn::new(vec![0, 5], 1).expect("valid");
+        let mut rng = SimRng::from_seed_value(Seed::new(3));
+        for _ in 0..200 {
+            assert_eq!(urn.step(&mut rng), 1);
+        }
+        assert_eq!(urn.count(0), 0);
+    }
+
+    #[test]
+    fn fraction_is_a_martingale_empirically() {
+        // Mean fraction over many independent urns ≈ initial fraction.
+        let mut rng = SimRng::from_seed_value(Seed::new(4));
+        let trials = 3000;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            let mut urn = PolyaUrn::new(vec![3, 7], 1).expect("valid");
+            urn.run(100, &mut rng);
+            sum += urn.fraction(0);
+        }
+        let mean = sum / trials as f64;
+        assert!((mean - 0.3).abs() < 0.02, "mean fraction {mean} vs 0.3");
+    }
+
+    #[test]
+    fn rich_get_richer_variance_grows() {
+        // The fraction distribution should spread out over time (unlike a
+        // mean-reverting process).
+        let mut rng = SimRng::from_seed_value(Seed::new(5));
+        let trials = 2000;
+        let spread = |steps: u64, rng: &mut SimRng| -> f64 {
+            let mut sq = 0.0;
+            for _ in 0..trials {
+                let mut urn = PolyaUrn::new(vec![5, 5], 1).expect("valid");
+                urn.run(steps, rng);
+                let d = urn.fraction(0) - 0.5;
+                sq += d * d;
+            }
+            sq / trials as f64
+        };
+        let v_short = spread(5, &mut rng);
+        let v_long = spread(200, &mut rng);
+        assert!(
+            v_long > 2.0 * v_short,
+            "variance should grow: {v_short} vs {v_long}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = PolyaUrn::new(vec![2, 2, 2], 1).expect("valid");
+        let mut b = a.clone();
+        let mut ra = SimRng::from_seed_value(Seed::new(6));
+        let mut rb = SimRng::from_seed_value(Seed::new(6));
+        a.run(100, &mut ra);
+        b.run(100, &mut rb);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: a 60-second tour of the public API.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Runs the paper's three protagonists on the same workload:
+//! synchronous Two-Choices (Theorem 1.1), synchronous OneExtraBit
+//! (Theorem 1.2) and the rapid asynchronous protocol (Theorem 1.3).
+
+use rapid_plurality::prelude::*;
+
+fn main() {
+    // A network of 4096 nodes holding one of 8 opinions. Color 0 (the
+    // paper's C_1) leads every other opinion by a factor 1.5.
+    let n: u64 = 4096;
+    let k = 8;
+    let counts = InitialDistribution::multiplicative_bias(k, 0.5)
+        .counts(n)
+        .expect("feasible workload");
+    println!("initial support: {counts:?}\n");
+
+    // --- Synchronous Two-Choices -----------------------------------
+    let g = Complete::new(n as usize);
+    let mut config = Configuration::from_counts(&counts).expect("valid");
+    let mut rng = SimRng::from_seed_value(Seed::new(1));
+    let out = run_sync_to_consensus(&mut TwoChoices::new(), &g, &mut config, &mut rng, 100_000)
+        .expect("Two-Choices converges");
+    println!(
+        "two-choices   : winner {} after {:4} synchronous rounds",
+        out.winner, out.rounds
+    );
+
+    // --- Synchronous OneExtraBit ------------------------------------
+    let mut config = Configuration::from_counts(&counts).expect("valid");
+    let mut rng = SimRng::from_seed_value(Seed::new(2));
+    let mut oeb = OneExtraBit::for_network(n as usize, k);
+    let out = run_sync_to_consensus(&mut oeb, &g, &mut config, &mut rng, 100_000)
+        .expect("OneExtraBit converges");
+    println!(
+        "one-extra-bit : winner {} after {:4} synchronous rounds",
+        out.winner, out.rounds
+    );
+
+    // --- The paper's asynchronous protocol ---------------------------
+    // Poisson clocks, working-time schedule, Sync Gadget, endgame.
+    let params = Params::for_network_with_eps(n as usize, k, 0.5);
+    let mut sim = clique_rapid(&counts, params, Seed::new(3));
+    let budget = sim.default_step_budget();
+    let out = sim.run_until_consensus(budget).expect("Theorem 1.3 regime");
+    println!(
+        "rapid-async   : winner {} after {:.1} time units ({} activations);\n\
+         \u{20}               unanimity before the first halt: {}",
+        out.winner,
+        out.time.as_secs(),
+        out.steps,
+        out.before_first_halt
+    );
+    println!(
+        "\nln(n) = {:.1}; the asynchronous run time is O(log n) with the\n\
+         constant set by the schedule in `Params` (phase length {} ticks).",
+        (n as f64).ln(),
+        params.phase_len()
+    );
+}

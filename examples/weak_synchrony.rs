@@ -1,0 +1,77 @@
+//! Watching the Sync Gadget at work: working-time spread with and without
+//! perpetual synchronization.
+//!
+//! ```sh
+//! cargo run --release --example weak_synchrony
+//! ```
+//!
+//! Runs part 1 of the asynchronous protocol twice on identical workloads —
+//! once with the Sync Gadget, once with it disabled — and prints the
+//! working-time distribution at every phase boundary as a histogram
+//! sparkline. With the gadget, the distribution stays a tight spike; without
+//! it, Poisson drift spreads the network across multiple blocks and phases.
+
+use rapid_plurality::prelude::*;
+use rapid_plurality::stats::Histogram;
+
+fn spread_timeline(gadget: bool, counts: &[u64], params: Params, n: u64) -> Vec<String> {
+    let params = if gadget { params } else { params.without_gadget() };
+    let mut sim = clique_rapid(counts, params, Seed::new(7));
+    let per_phase = n * params.phase_len();
+    let tolerance = 2 * params.delta as u64;
+    let mut lines = Vec::new();
+    for phase in 0..params.phases {
+        for _ in 0..per_phase {
+            sim.tick();
+        }
+        let stats = sim.working_time_stats(tolerance);
+        // Histogram of working times around the median.
+        let wts = sim.working_times();
+        let lo = stats.median as f64 - 4.0 * params.delta as f64;
+        let hi = stats.median as f64 + 4.0 * params.delta as f64;
+        let mut hist = Histogram::new(lo, hi, 32);
+        for &w in &wts {
+            hist.push(w as f64);
+        }
+        lines.push(format!(
+            "phase {phase}: {} spread {:4} ticks, {:4.1}% beyond 2*delta",
+            hist.sparkline(),
+            stats.max - stats.min,
+            stats.poorly_synced * 100.0
+        ));
+    }
+    lines
+}
+
+fn main() {
+    let n: u64 = 2048;
+    let k = 4;
+    let counts = InitialDistribution::multiplicative_bias(k, 0.4)
+        .counts(n)
+        .expect("feasible");
+    let params = Params::for_network_with_eps(n as usize, k, 0.4);
+    println!(
+        "n = {n}, delta = {} ticks, phase = {} ticks, {} phases\n",
+        params.delta,
+        params.phase_len(),
+        params.phases
+    );
+
+    println!("--- Sync Gadget ON (the paper's protocol) ---");
+    for line in spread_timeline(true, &counts, params, n) {
+        println!("  {line}");
+    }
+
+    println!("\n--- Sync Gadget OFF (ablation) ---");
+    for line in spread_timeline(false, &counts, params, n) {
+        println!("  {line}");
+    }
+
+    println!(
+        "\nEach sparkline is the distribution of node working times within\n\
+         +/- 4 blocks of the median. The gadget re-anchors every node to the\n\
+         median real time once per phase, so drift cannot accumulate; the\n\
+         ablation's distribution visibly flattens phase after phase — the\n\
+         'weak synchronicity' of Section 3 in action."
+    );
+}

@@ -1,0 +1,55 @@
+//! Umbrella crate for the *Rapid Asynchronous Plurality Consensus*
+//! reproduction (Elsässer, Friedetzky, Kaaser, Mallmann-Trenn, Trinker;
+//! PODC 2017).
+//!
+//! This crate re-exports the workspace's public API so applications can
+//! depend on a single crate:
+//!
+//! * [`sim`] — simulation substrate (RNG, Poisson clocks, schedulers).
+//! * [`graph`] — topologies with uniform neighbor sampling.
+//! * [`urn`] — Pólya urn processes (the paper's analysis device).
+//! * [`stats`] — statistics toolkit.
+//! * [`core`] — the consensus protocols themselves.
+//! * [`experiments`] — the experiment harness reproducing every claim.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rapid_plurality::prelude::*;
+//!
+//! // 1000 nodes, 4 opinions, plurality has a 1.5x multiplicative lead.
+//! let init = InitialDistribution::multiplicative_bias(4, 0.5)
+//!     .counts(1000)
+//!     .expect("valid distribution");
+//! let g = Complete::new(1000);
+//! let mut config = Configuration::from_counts(&init).expect("non-empty");
+//! let mut rng = SimRng::from_seed_value(Seed::new(7));
+//!
+//! // Run the synchronous Two-Choices protocol to consensus.
+//! let outcome =
+//!     run_sync_to_consensus(&mut TwoChoices::new(), &g, &mut config, &mut rng, 100_000)
+//!         .expect("converges");
+//! assert_eq!(outcome.winner, Color::new(0));
+//!
+//! // Or the paper's asynchronous protocol (Theorem 1.3).
+//! let params = Params::for_network_with_eps(1000, 4, 0.5);
+//! let mut sim = clique_rapid(&init, params, Seed::new(8));
+//! let budget = sim.default_step_budget();
+//! let out = sim.run_until_consensus(budget).expect("converges");
+//! assert_eq!(out.winner, Color::new(0));
+//! ```
+
+pub use rapid_core as core;
+pub use rapid_experiments as experiments;
+pub use rapid_graph as graph;
+pub use rapid_sim as sim;
+pub use rapid_stats as stats;
+pub use rapid_urn as urn;
+
+/// One-stop import of the most used items across the workspace.
+pub mod prelude {
+    pub use rapid_core::prelude::*;
+    pub use rapid_experiments::prelude::*;
+    pub use rapid_graph::prelude::*;
+    pub use rapid_sim::prelude::*;
+}

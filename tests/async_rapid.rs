@@ -1,0 +1,153 @@
+//! Cross-crate integration: the full asynchronous protocol (Theorem 1.3)
+//! under different activation engines and parameter regimes.
+
+use rapid_plurality::prelude::*;
+use rapid_plurality::sim::scheduler::EventQueueScheduler;
+
+fn counts(n: u64, k: usize, eps: f64) -> Vec<u64> {
+    InitialDistribution::multiplicative_bias(k, eps)
+        .counts(n)
+        .expect("feasible")
+}
+
+#[test]
+fn plurality_wins_before_first_halt_across_seeds() {
+    let c = counts(2048, 4, 0.5);
+    let params = Params::for_network_with_eps(2048, 4, 0.5);
+    let mut ok = 0;
+    for seed in 0..6 {
+        let mut sim = clique_rapid(&c, params, Seed::new(seed));
+        let budget = sim.default_step_budget();
+        if let Ok(out) = sim.run_until_consensus(budget) {
+            if out.winner == Color::new(0) && out.before_first_halt {
+                ok += 1;
+            }
+        }
+    }
+    assert!(ok >= 5, "only {ok}/6 clean wins");
+}
+
+#[test]
+fn works_under_the_continuous_time_engine() {
+    // Theorem 1.3 is stated for Poisson clocks; the sequential scheduler is
+    // the analysis device. Run the protocol under the true event-queue
+    // engine to confirm the equivalence carries.
+    let n = 1024;
+    let c = counts(n as u64, 4, 0.5);
+    let params = Params::for_network_with_eps(n, 4, 0.5);
+    let mut ok = 0;
+    for seed in 0..4 {
+        let config = Configuration::from_counts(&c).expect("valid");
+        let source = EventQueueScheduler::new(n, Seed::new(900 + seed), 1.0);
+        let mut sim = RapidSim::new(
+            Complete::new(n),
+            config,
+            params,
+            source,
+            Seed::new(1900 + seed),
+        );
+        let budget = sim.default_step_budget();
+        if let Ok(out) = sim.run_until_consensus(budget) {
+            if out.winner == Color::new(0) && out.before_first_halt {
+                ok += 1;
+            }
+        }
+    }
+    assert!(ok >= 3, "only {ok}/4 clean wins under the event queue");
+}
+
+#[test]
+fn handles_many_opinions_within_the_frontier() {
+    // k = 16 at n = 8192 sits inside the paper's k-range
+    // exp(ln n / ln ln n) ≈ 60.
+    let n = 8192u64;
+    let c = counts(n, 16, 0.5);
+    let params = Params::for_network_with_eps(n as usize, 16, 0.5);
+    let mut ok = 0;
+    for seed in 0..4 {
+        let mut sim = clique_rapid(&c, params, Seed::new(40 + seed));
+        let budget = sim.default_step_budget();
+        if let Ok(out) = sim.run_until_consensus(budget) {
+            if out.winner == Color::new(0) && out.before_first_halt {
+                ok += 1;
+            }
+        }
+    }
+    assert!(ok >= 3, "only {ok}/4 clean wins at k = 16");
+}
+
+#[test]
+fn consensus_time_is_logarithmic_not_linear() {
+    // Doubling n four times (16x) should grow the consensus time by far
+    // less than 16x — the Θ(log n) shape in one assertion.
+    let mut times = Vec::new();
+    for &n in &[1024u64, 16384] {
+        let c = counts(n, 4, 0.5);
+        let params = Params::for_network_with_eps(n as usize, 4, 0.5);
+        let mut sim = clique_rapid(&c, params, Seed::new(77));
+        let budget = sim.default_step_budget();
+        let out = sim.run_until_consensus(budget).expect("converges");
+        times.push(out.time.as_secs());
+    }
+    let growth = times[1] / times[0];
+    assert!(
+        growth < 3.0,
+        "time should grow logarithmically: 16x nodes cost {growth:.2}x time"
+    );
+}
+
+#[test]
+fn response_delays_preserve_convergence() {
+    use rapid_plurality::sim::scheduler::{JitteredScheduler, SequentialScheduler, TimeMode};
+    let n = 1024;
+    let c = counts(n as u64, 4, 0.5);
+    let params = Params::for_network_with_eps(n, 4, 0.5);
+    let config = Configuration::from_counts(&c).expect("valid");
+    let seq = SequentialScheduler::with_mode(n, Seed::new(1), TimeMode::Sampled);
+    let source = JitteredScheduler::new(seq, Seed::new(2), 2.0);
+    let mut sim = RapidSim::new(Complete::new(n), config, params, source, Seed::new(3));
+    let budget = 2 * sim.default_step_budget();
+    let out = sim.run_until_consensus(budget).expect("converges with delays");
+    assert_eq!(out.winner, Color::new(0));
+}
+
+#[test]
+fn deterministic_under_identical_seeds() {
+    let c = counts(512, 4, 0.5);
+    let params = Params::for_network_with_eps(512, 4, 0.5);
+    let run = |seed: u64| {
+        let mut sim = clique_rapid(&c, params, Seed::new(seed));
+        let budget = sim.default_step_budget();
+        let out = sim.run_until_consensus(budget).expect("converges");
+        (out.winner, out.steps, out.time)
+    };
+    assert_eq!(run(5), run(5));
+    assert_ne!(run(5).1, run(6).1, "different seeds should differ in steps");
+}
+
+#[test]
+fn gadget_ablation_still_converges_but_loses_synchrony() {
+    // Removing the gadget should not break consensus on an easy workload,
+    // but the working-time spread must visibly degrade — the gadget's
+    // role is synchrony, not correctness-on-easy-instances.
+    let c = counts(1024, 2, 1.0);
+    let params = Params::for_network_with_eps(1024, 2, 1.0);
+
+    let spread = |p: Params, seed: u64| {
+        let mut sim = clique_rapid(&c, p, Seed::new(seed));
+        for _ in 0..(1024 * p.part1_len()) {
+            sim.tick();
+            if sim.config().unanimous().is_some() {
+                break;
+            }
+        }
+        let stats = sim.working_time_stats(2 * p.delta as u64);
+        stats.poorly_synced
+    };
+    let with_gadget = spread(params, 9);
+    let without = spread(params.without_gadget(), 9);
+    assert!(
+        without > with_gadget,
+        "ablation should increase poorly-synced fraction: {with_gadget} vs {without}"
+    );
+}

@@ -1,0 +1,103 @@
+//! The sequential-model ⇔ continuous-time equivalence (Mosk-Aoyama & Shah
+//! [4]), tested rather than assumed: consensus-time distributions under
+//! the two engines must be statistically indistinguishable.
+
+use rapid_plurality::prelude::*;
+use rapid_plurality::sim::scheduler::EventQueueScheduler;
+use rapid_plurality::stats::ks_two_sample;
+
+fn consensus_times_sequential(trials: u64) -> Vec<f64> {
+    (0..trials)
+        .map(|seed| {
+            let counts = [300u64, 100];
+            let config = Configuration::from_counts(&counts).expect("valid");
+            let source = rapid_plurality::sim::scheduler::SequentialScheduler::with_mode(
+                400,
+                Seed::new(1000 + seed),
+                rapid_plurality::sim::scheduler::TimeMode::Sampled,
+            );
+            let mut sim = AsyncGossipSim::new(
+                Complete::new(400),
+                config,
+                GossipRule::TwoChoices,
+                source,
+                Seed::new(5000 + seed),
+            );
+            sim.run_until_consensus(50_000_000)
+                .expect("converges")
+                .time
+                .as_secs()
+        })
+        .collect()
+}
+
+fn consensus_times_event_queue(trials: u64) -> Vec<f64> {
+    (0..trials)
+        .map(|seed| {
+            let counts = [300u64, 100];
+            let config = Configuration::from_counts(&counts).expect("valid");
+            let source = EventQueueScheduler::new(400, Seed::new(2000 + seed), 1.0);
+            let mut sim = AsyncGossipSim::new(
+                Complete::new(400),
+                config,
+                GossipRule::TwoChoices,
+                source,
+                Seed::new(6000 + seed),
+            );
+            sim.run_until_consensus(50_000_000)
+                .expect("converges")
+                .time
+                .as_secs()
+        })
+        .collect()
+}
+
+#[test]
+fn sequential_and_event_queue_times_agree() {
+    let a = consensus_times_sequential(40);
+    let b = consensus_times_event_queue(40);
+    let ks = ks_two_sample(&a, &b);
+    assert!(
+        ks.same_distribution_at(0.01),
+        "engines disagree: D = {:.3}, p = {:.4}",
+        ks.statistic,
+        ks.p_value
+    );
+}
+
+#[test]
+fn expected_and_sampled_time_modes_agree_on_means() {
+    // Expected mode (deterministic 1/n steps) must produce the same mean
+    // consensus time as sampled mode — it is the same process with
+    // de-noised bookkeeping.
+    use rapid_plurality::sim::scheduler::{SequentialScheduler, TimeMode};
+    let trials = 30;
+    let mean = |mode: TimeMode, base: u64| -> f64 {
+        (0..trials)
+            .map(|seed| {
+                let counts = [300u64, 100];
+                let config = Configuration::from_counts(&counts).expect("valid");
+                let source = SequentialScheduler::with_mode(400, Seed::new(base + seed), mode);
+                let mut sim = AsyncGossipSim::new(
+                    Complete::new(400),
+                    config,
+                    GossipRule::TwoChoices,
+                    source,
+                    Seed::new(base + 1000 + seed),
+                );
+                sim.run_until_consensus(50_000_000)
+                    .expect("converges")
+                    .time
+                    .as_secs()
+            })
+            .sum::<f64>()
+            / trials as f64
+    };
+    let expected = mean(TimeMode::Expected, 100);
+    let sampled = mean(TimeMode::Sampled, 200);
+    let rel = (expected - sampled).abs() / expected;
+    assert!(
+        rel < 0.2,
+        "time modes disagree on the mean: {expected:.2} vs {sampled:.2}"
+    );
+}

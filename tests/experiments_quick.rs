@@ -1,0 +1,118 @@
+//! Smoke-runs every experiment in its CI preset: the full harness must
+//! produce non-empty, saveable reports. (Shape assertions live in each
+//! experiment module's own tests; this file guards the end-to-end plumbing
+//! plus the cross-experiment conventions.)
+
+use rapid_plurality::experiments as exp;
+use rapid_plurality::experiments::Report;
+
+fn check(report: &Report) {
+    assert!(!report.id.is_empty());
+    assert!(!report.tables.is_empty(), "{}: no tables", report.id);
+    for table in &report.tables {
+        assert!(!table.is_empty(), "{}: empty table", report.id);
+        for row in &table.rows {
+            assert_eq!(
+                row.len(),
+                table.columns.len(),
+                "{}: ragged table",
+                report.id
+            );
+        }
+    }
+    // Every report must render and serialise.
+    let text = report.to_string();
+    assert!(text.contains(&report.id));
+    let json = report.to_json();
+    let back: Report = serde_json::from_str(&json).expect("valid JSON");
+    assert_eq!(&back, report);
+}
+
+#[test]
+fn e01_quick_report_is_well_formed() {
+    check(&exp::e01::run(&exp::e01::Config::quick()));
+}
+
+#[test]
+fn e02_quick_report_is_well_formed() {
+    check(&exp::e02::run(&exp::e02::Config::quick()));
+}
+
+#[test]
+fn e03_quick_report_is_well_formed() {
+    check(&exp::e03::run(&exp::e03::Config::quick()));
+}
+
+#[test]
+fn e04_quick_report_is_well_formed() {
+    check(&exp::e04::run(&exp::e04::Config::quick()));
+}
+
+#[test]
+fn e05_quick_report_is_well_formed() {
+    check(&exp::e05::run(&exp::e05::Config::quick()));
+}
+
+#[test]
+fn e06_quick_report_is_well_formed() {
+    check(&exp::e06::run(&exp::e06::Config::quick()));
+}
+
+#[test]
+fn e07_quick_report_is_well_formed() {
+    check(&exp::e07::run(&exp::e07::Config::quick()));
+}
+
+#[test]
+fn e08_quick_report_is_well_formed() {
+    check(&exp::e08::run(&exp::e08::Config::quick()));
+}
+
+#[test]
+fn e09_quick_report_is_well_formed() {
+    check(&exp::e09::run(&exp::e09::Config::quick()));
+}
+
+#[test]
+fn e10_quick_report_is_well_formed() {
+    check(&exp::e10::run(&exp::e10::Config::quick()));
+}
+
+#[test]
+fn e11_quick_report_is_well_formed() {
+    check(&exp::e11::run(&exp::e11::Config::quick()));
+}
+
+#[test]
+fn e12_quick_report_is_well_formed() {
+    check(&exp::e12::run(&exp::e12::Config::quick()));
+}
+
+#[test]
+fn e13_quick_report_is_well_formed() {
+    check(&exp::e13::run(&exp::e13::Config::quick()));
+}
+
+#[test]
+fn e14_quick_report_is_well_formed() {
+    check(&exp::e14::run(&exp::e14::Config::quick()));
+}
+
+#[test]
+fn e15_quick_report_is_well_formed() {
+    check(&exp::e15::run(&exp::e15::Config::quick()));
+}
+
+#[test]
+fn e16_quick_report_is_well_formed() {
+    check(&exp::e16::run(&exp::e16::Config::quick()));
+}
+
+#[test]
+fn reports_save_to_disk() {
+    let report = exp::e09::run(&exp::e09::Config::quick());
+    let dir = std::env::temp_dir().join("rapid-experiments-it");
+    let path = report.save_json(&dir).expect("writable temp dir");
+    assert!(path.exists());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,147 @@
+//! Cross-crate integration: every protocol finds the plurality on
+//! well-conditioned workloads, across topologies and engines.
+
+use rapid_plurality::prelude::*;
+
+fn plurality_counts(n: u64, k: usize, eps: f64) -> Vec<u64> {
+    InitialDistribution::multiplicative_bias(k, eps)
+        .counts(n)
+        .expect("feasible workload")
+}
+
+#[test]
+fn all_sync_protocols_find_a_clear_plurality() {
+    let counts = plurality_counts(1024, 4, 1.0); // 2x lead: easy regime
+    let g = Complete::new(1024);
+    let protocols: Vec<Box<dyn SyncProtocol>> = vec![
+        Box::new(TwoChoices::new()),
+        Box::new(ThreeMajority::new()),
+        Box::new(OneExtraBit::for_network(1024, 4)),
+    ];
+    for mut proto in protocols {
+        let mut wins = 0;
+        for seed in 0..5 {
+            let mut config = Configuration::from_counts(&counts).expect("valid");
+            let mut rng = SimRng::from_seed_value(Seed::new(100 + seed));
+            let out =
+                run_sync_to_consensus(proto.as_mut(), &g, &mut config, &mut rng, 100_000)
+                    .expect("converges");
+            if out.winner == Color::new(0) {
+                wins += 1;
+            }
+        }
+        assert!(
+            wins >= 4,
+            "{} won only {wins}/5 with a 2x plurality lead",
+            proto.name()
+        );
+    }
+}
+
+#[test]
+fn two_choices_works_beyond_the_clique() {
+    // The paper analyses K_n; the implementation is topology-generic.
+    // On a dense random regular graph the same drift dynamics apply.
+    let counts = plurality_counts(600, 3, 1.0);
+    let g = rapid_plurality::graph::RandomRegular::sample(600, 16, Seed::new(3))
+        .expect("samplable");
+    let mut wins = 0;
+    for seed in 0..5 {
+        let mut config = Configuration::from_counts(&counts).expect("valid");
+        config.shuffle(&mut SimRng::from_seed_value(Seed::new(7 + seed)));
+        let mut rng = SimRng::from_seed_value(Seed::new(200 + seed));
+        let out = run_sync_to_consensus(
+            &mut TwoChoices::new(),
+            &g,
+            &mut config,
+            &mut rng,
+            100_000,
+        )
+        .expect("converges");
+        if out.winner == Color::new(0) {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 4, "plurality won only {wins}/5 on the regular graph");
+}
+
+#[test]
+fn async_gossip_rules_converge_on_plurality() {
+    for rule in [GossipRule::TwoChoices, GossipRule::ThreeMajority] {
+        let counts = plurality_counts(800, 4, 1.0);
+        let mut sim = clique_gossip(&counts, rule, Seed::new(11));
+        let out = sim.run_until_consensus(50_000_000).expect("converges");
+        assert_eq!(out.winner, Color::new(0), "rule {rule} missed the plurality");
+    }
+}
+
+#[test]
+fn one_extra_bit_is_polylog_while_two_choices_grows() {
+    // The headline Theorem 1.2 contrast, end to end: along an additive-gap
+    // sweep that doubles n/c1, Two-Choices rounds grow while OneExtraBit's
+    // stay nearly flat.
+    use rapid_plurality::experiments::distributions::theorem_11_gap;
+    let mut tc_rounds = Vec::new();
+    let mut oeb_rounds = Vec::new();
+    for &n in &[4096u64, 16384] {
+        let gap = theorem_11_gap(n, 1.0);
+        let counts = InitialDistribution::additive_bias(32, gap)
+            .counts(n)
+            .expect("feasible");
+        let g = Complete::new(n as usize);
+        let mut tc_mean = 0.0;
+        let mut oeb_mean = 0.0;
+        let trials = 3;
+        for seed in 0..trials {
+            let mut config = Configuration::from_counts(&counts).expect("valid");
+            let mut rng = SimRng::from_seed_value(Seed::new(300 + seed));
+            tc_mean += run_sync_to_consensus(
+                &mut TwoChoices::new(),
+                &g,
+                &mut config,
+                &mut rng,
+                100_000,
+            )
+            .expect("converges")
+            .rounds as f64
+                / trials as f64;
+
+            let mut config = Configuration::from_counts(&counts).expect("valid");
+            let mut rng = SimRng::from_seed_value(Seed::new(400 + seed));
+            let mut oeb = OneExtraBit::for_network(n as usize, 32);
+            oeb_mean +=
+                run_sync_to_consensus(&mut oeb, &g, &mut config, &mut rng, 100_000)
+                    .expect("converges")
+                    .rounds as f64
+                    / trials as f64;
+        }
+        tc_rounds.push(tc_mean);
+        oeb_rounds.push(oeb_mean);
+    }
+    let tc_growth = tc_rounds[1] / tc_rounds[0];
+    let oeb_growth = oeb_rounds[1] / oeb_rounds[0];
+    assert!(
+        tc_growth > oeb_growth,
+        "Two-Choices should outgrow OneExtraBit: {tc_growth:.2} vs {oeb_growth:.2}"
+    );
+}
+
+#[test]
+fn voter_is_a_proportional_lottery() {
+    // With a 3:1 split the voter model should lose a noticeable fraction
+    // of runs — unlike the drift protocols.
+    let mut wins = 0;
+    let trials = 24;
+    for seed in 0..trials {
+        let mut sim = clique_gossip(&[75, 25], GossipRule::Voter, Seed::new(500 + seed));
+        let out = sim.run_until_consensus(50_000_000).expect("converges");
+        if out.winner == Color::new(0) {
+            wins += 1;
+        }
+    }
+    let rate = wins as f64 / trials as f64;
+    assert!(
+        (0.45..0.98).contains(&rate),
+        "voter win rate {rate} should sit near 0.75"
+    );
+}

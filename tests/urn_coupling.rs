@@ -1,0 +1,111 @@
+//! The Bit-Propagation ⇔ Pólya-urn coupling (§3.1), end to end: the color
+//! composition of the bit-set population inside a real protocol run is a
+//! martingale matching the urn's exact moments.
+
+use rapid_plurality::prelude::*;
+use rapid_plurality::urn::{fraction_mean, PolyaUrn};
+use rapid_plurality::stats::OnlineStats;
+
+#[test]
+fn bit_propagation_composition_is_a_martingale() {
+    let n = 2048u64;
+    let k = 4;
+    let counts = InitialDistribution::multiplicative_bias(k, 0.5)
+        .counts(n)
+        .expect("feasible");
+    let params = Params::for_network_with_eps(n as usize, k, 0.5);
+    let bp_start = params.tc_len();
+    let bp_end = bp_start + params.bp_len();
+
+    // Advance in chunks of n/8 ticks between median checks: the median
+    // working time moves by ~1 tick per n activations, and sorting the
+    // working times on every tick would dominate the run.
+    let chunk = n / 8;
+    let advance_to = |sim: &mut _, target: u64| {
+        let sim: &mut rapid_plurality::core::RapidSim<_, _> = sim;
+        while sim.median_working_time() < target {
+            for _ in 0..chunk {
+                sim.tick();
+            }
+        }
+    };
+
+    let mut drifts = OnlineStats::new();
+    for seed in 0..12 {
+        let mut sim = clique_rapid(&counts, params, Seed::new(seed));
+        advance_to(&mut sim, bp_start);
+        let comp0 = sim.bit_composition();
+        let t0: u64 = comp0.iter().sum();
+        if t0 == 0 {
+            continue;
+        }
+        let f0 = comp0[0] as f64 / t0 as f64;
+        advance_to(&mut sim, bp_end);
+        let comp1 = sim.bit_composition();
+        let t1: u64 = comp1.iter().sum();
+        let f1 = comp1[0] as f64 / t1 as f64;
+        drifts.push(f1 - f0);
+        // Bits only get set during the sub-phase, never unset.
+        assert!(t1 >= t0, "bit-set population shrank: {t0} -> {t1}");
+    }
+    assert!(drifts.count() >= 10, "too few valid trials");
+    assert!(
+        drifts.mean().abs() < 0.03,
+        "mean composition drift {:.4} — not a martingale",
+        drifts.mean()
+    );
+}
+
+#[test]
+fn urn_exact_moments_match_module_formulas() {
+    // Exercises rapid-urn against rapid-stats from the outside: simulate,
+    // then compare with the closed-form moments.
+    let (a, b, t) = (6u64, 14u64, 80u64);
+    let mut rng = SimRng::from_seed_value(Seed::new(3));
+    let mut fractions = OnlineStats::new();
+    for _ in 0..4000 {
+        let mut urn = PolyaUrn::new(vec![a, b], 1).expect("valid");
+        urn.run(t, &mut rng);
+        fractions.push(urn.fraction(0));
+    }
+    let exact = fraction_mean(a, b);
+    assert!(
+        (fractions.mean() - exact).abs() < 0.01,
+        "simulated mean {:.4} vs exact {exact:.4}",
+        fractions.mean()
+    );
+}
+
+#[test]
+fn expected_bit_seed_count_matches_prediction() {
+    // Right after the commit step, #bit-set ≈ Σ c_j²/n (paper §2).
+    use rapid_plurality::experiments::predictions::expected_bits_after_two_choices;
+    let n = 4096u64;
+    let counts = InitialDistribution::multiplicative_bias(4, 0.5)
+        .counts(n)
+        .expect("feasible");
+    let params = Params::for_network_with_eps(n as usize, 4, 0.5);
+    // Snapshot in the waiting gap between the commit wave (at 3Δ) and the
+    // start of Bit-Propagation (at 4Δ): most nodes have committed, almost
+    // none has started re-spreading bits.
+    let snapshot_at =
+        (params.tc_blocks as u64 - 1) * params.delta as u64 + params.delta as u64 / 2;
+
+    let mut seeds_observed = OnlineStats::new();
+    for seed in 0..8 {
+        let mut sim = clique_rapid(&counts, params, Seed::new(100 + seed));
+        while sim.median_working_time() < snapshot_at {
+            for _ in 0..n / 8 {
+                sim.tick();
+            }
+        }
+        seeds_observed.push(sim.bit_composition().iter().sum::<u64>() as f64);
+    }
+    let predicted = expected_bits_after_two_choices(&counts);
+    let rel = (seeds_observed.mean() - predicted).abs() / predicted;
+    assert!(
+        rel < 0.2,
+        "observed {:.0} seeds vs predicted {predicted:.0}",
+        seeds_observed.mean()
+    );
+}
