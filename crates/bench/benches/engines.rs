@@ -1,55 +1,46 @@
-//! Criterion benches for the activation schedulers: how fast can each
-//! engine hand out ticks?
+//! Benches for the activation schedulers: how fast can each engine hand
+//! out ticks?
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rapid_bench::harness::Harness;
 use rapid_sim::prelude::*;
 
 const BATCH: u64 = 10_000;
 
-fn schedulers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("schedulers");
-    group.throughput(Throughput::Elements(BATCH));
+fn main() {
+    let h = Harness::from_args();
     for &n in &[1usize << 10, 1 << 16] {
-        group.bench_with_input(
-            BenchmarkId::new("sequential_expected", n),
-            &n,
-            |b, &n| {
-                let mut s = SequentialScheduler::new(n, Seed::new(1));
-                b.iter(|| {
-                    for _ in 0..BATCH {
-                        std::hint::black_box(s.next_activation());
-                    }
-                });
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("sequential_sampled", n), &n, |b, &n| {
+        h.bench(&format!("schedulers/sequential_expected/{n}"), BATCH, {
+            let mut s = SequentialScheduler::new(n, Seed::new(1));
+            move || {
+                for _ in 0..BATCH {
+                    std::hint::black_box(s.next_activation());
+                }
+            }
+        });
+        h.bench(&format!("schedulers/sequential_sampled/{n}"), BATCH, {
             let mut s = SequentialScheduler::with_mode(n, Seed::new(2), TimeMode::Sampled);
-            b.iter(|| {
+            move || {
                 for _ in 0..BATCH {
                     std::hint::black_box(s.next_activation());
                 }
-            });
+            }
         });
-        group.bench_with_input(BenchmarkId::new("event_queue", n), &n, |b, &n| {
+        h.bench(&format!("schedulers/event_queue/{n}"), BATCH, {
             let mut s = EventQueueScheduler::new(n, Seed::new(3), 1.0);
-            b.iter(|| {
+            move || {
                 for _ in 0..BATCH {
                     std::hint::black_box(s.next_activation());
                 }
-            });
+            }
         });
-        group.bench_with_input(BenchmarkId::new("jittered", n), &n, |b, &n| {
+        h.bench(&format!("schedulers/jittered/{n}"), BATCH, {
             let inner = SequentialScheduler::with_mode(n, Seed::new(4), TimeMode::Sampled);
             let mut s = JitteredScheduler::new(inner, Seed::new(5), 2.0);
-            b.iter(|| {
+            move || {
                 for _ in 0..BATCH {
                     std::hint::black_box(s.next_activation());
                 }
-            });
+            }
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, schedulers);
-criterion_main!(benches);

@@ -1,72 +1,90 @@
 //! End-to-end smoke benches: a complete consensus run per iteration.
 //!
-//! These are the "table kernels": each experiment binary spends its time in
-//! exactly these loops, so tracking their wall-clock here catches
+//! These are the "table kernels": each experiment binary spends its time
+//! in exactly these loops, so tracking their wall-clock here catches
 //! performance regressions in the whole stack (scheduler → protocol →
-//! bookkeeping).
+//! bookkeeping). Every run goes through the unified `Sim` builder, so the
+//! façade's dispatch overhead is measured too.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rapid_bench::bench_counts;
+use rapid_bench::harness::Harness;
+use rapid_core::facade::Sim;
 use rapid_core::prelude::*;
 use rapid_graph::prelude::*;
 use rapid_sim::prelude::*;
 
-fn full_runs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("consensus_runs");
-    group.sample_size(10);
+fn main() {
+    let h = Harness::from_args();
 
-    group.bench_function("sync_two_choices_n4096", |b| {
+    h.bench("consensus_runs/sync_two_choices_n4096", 1, {
         let counts = bench_counts(4096, 8, 0.5);
-        let g = Complete::new(4096);
         let mut seed = 0u64;
-        b.iter(|| {
+        move || {
             seed += 1;
-            let mut config = Configuration::from_counts(&counts).expect("valid");
-            let mut rng = SimRng::from_seed_value(Seed::new(seed));
-            run_sync_to_consensus(&mut TwoChoices::new(), &g, &mut config, &mut rng, 100_000)
-                .expect("converges")
-        });
+            let out = Sim::builder()
+                .topology(Complete::new(4096))
+                .counts(&counts)
+                .protocol(TwoChoices::new())
+                .seed(Seed::new(seed))
+                .stop(StopCondition::RoundBudget(100_000))
+                .build()
+                .expect("valid")
+                .run();
+            assert!(out.converged(), "converges");
+        }
     });
 
-    group.bench_function("sync_one_extra_bit_n4096", |b| {
+    h.bench("consensus_runs/sync_one_extra_bit_n4096", 1, {
         let counts = bench_counts(4096, 8, 0.5);
-        let g = Complete::new(4096);
         let mut seed = 0u64;
-        b.iter(|| {
+        move || {
             seed += 1;
-            let mut config = Configuration::from_counts(&counts).expect("valid");
-            let mut rng = SimRng::from_seed_value(Seed::new(seed));
-            let mut proto = OneExtraBit::for_network(4096, 8);
-            run_sync_to_consensus(&mut proto, &g, &mut config, &mut rng, 100_000)
-                .expect("converges")
-        });
+            let out = Sim::builder()
+                .topology(Complete::new(4096))
+                .counts(&counts)
+                .protocol(OneExtraBit::for_network(4096, 8))
+                .seed(Seed::new(seed))
+                .stop(StopCondition::RoundBudget(100_000))
+                .build()
+                .expect("valid")
+                .run();
+            assert!(out.converged(), "converges");
+        }
     });
 
-    group.bench_function("rapid_async_n2048", |b| {
+    h.bench("consensus_runs/rapid_async_n2048", 1, {
         let counts = bench_counts(2048, 4, 0.5);
         let params = Params::for_network_with_eps(2048, 4, 0.5);
         let mut seed = 0u64;
-        b.iter(|| {
+        move || {
             seed += 1;
-            let mut sim = clique_rapid(&counts, params, Seed::new(seed));
-            let budget = sim.default_step_budget();
-            sim.run_until_consensus(budget).expect("converges")
-        });
+            let out = Sim::builder()
+                .topology(Complete::new(2048))
+                .counts(&counts)
+                .rapid(params)
+                .seed(Seed::new(seed))
+                .build()
+                .expect("valid")
+                .run();
+            assert!(out.converged(), "converges");
+        }
     });
 
-    group.bench_function("async_gossip_endgame_n2048", |b| {
+    h.bench("consensus_runs/async_gossip_endgame_n2048", 1, {
         let mut seed = 0u64;
-        b.iter(|| {
+        move || {
             seed += 1;
-            let mut sim =
-                clique_gossip(&[1948, 100], GossipRule::TwoChoices, Seed::new(seed))
-                    .with_halt_after(200);
-            sim.run_until_consensus(50_000_000).expect("converges")
-        });
+            let out = Sim::builder()
+                .topology(Complete::new(2048))
+                .counts(&[1948, 100])
+                .gossip(GossipRule::TwoChoices)
+                .halt_after(200)
+                .seed(Seed::new(seed))
+                .stop(StopCondition::StepBudget(50_000_000))
+                .build()
+                .expect("valid")
+                .run();
+            assert!(out.converged(), "converges");
+        }
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, full_runs);
-criterion_main!(benches);

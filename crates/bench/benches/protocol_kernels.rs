@@ -1,74 +1,57 @@
-//! Criterion benches for the protocol kernels: one synchronous round of
-//! each protocol, one OneExtraBit phase, and batches of asynchronous ticks.
+//! Benches for the protocol kernels: one synchronous round of each
+//! protocol and batches of asynchronous ticks.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rapid_bench::bench_counts;
+use rapid_bench::harness::Harness;
 use rapid_core::prelude::*;
 use rapid_graph::prelude::*;
 use rapid_sim::prelude::*;
 
-fn sync_round(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sync_round");
-    for &n in &[1usize << 10, 1 << 14] {
-        let counts = bench_counts(n as u64, 8, 0.3);
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("two_choices", n), &n, |b, &n| {
-            let g = Complete::new(n);
-            let mut config = Configuration::from_counts(&counts).expect("valid");
-            let mut rng = SimRng::from_seed_value(Seed::new(1));
-            let mut proto = TwoChoices::new();
-            b.iter(|| proto.round(&g, &mut config, &mut rng));
-        });
-        group.bench_with_input(BenchmarkId::new("three_majority", n), &n, |b, &n| {
-            let g = Complete::new(n);
-            let mut config = Configuration::from_counts(&counts).expect("valid");
-            let mut rng = SimRng::from_seed_value(Seed::new(2));
-            let mut proto = ThreeMajority::new();
-            b.iter(|| proto.round(&g, &mut config, &mut rng));
-        });
-        group.bench_with_input(BenchmarkId::new("voter", n), &n, |b, &n| {
-            let g = Complete::new(n);
-            let mut config = Configuration::from_counts(&counts).expect("valid");
-            let mut rng = SimRng::from_seed_value(Seed::new(3));
-            let mut proto = Voter::new();
-            b.iter(|| proto.round(&g, &mut config, &mut rng));
-        });
-        group.bench_with_input(BenchmarkId::new("one_extra_bit", n), &n, |b, &n| {
-            let g = Complete::new(n);
-            let mut config = Configuration::from_counts(&counts).expect("valid");
-            let mut rng = SimRng::from_seed_value(Seed::new(4));
-            let mut proto = OneExtraBit::for_network(n, 8);
-            b.iter(|| proto.round(&g, &mut config, &mut rng));
-        });
-    }
-    group.finish();
-}
+fn main() {
+    let h = Harness::from_args();
 
-fn async_ticks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("async_ticks");
     for &n in &[1usize << 10, 1 << 14] {
         let counts = bench_counts(n as u64, 8, 0.3);
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("rapid_sim_n_ticks", n), &n, |b, &n| {
+        let g = Complete::new(n);
+
+        let sync_case = |name: &str, proto: &mut dyn SyncProtocol, seed: u64| {
+            let mut config = Configuration::from_counts(&counts).expect("valid");
+            let mut rng = SimRng::from_seed_value(Seed::new(seed));
+            h.bench(&format!("sync_round/{name}/{n}"), n as u64, || {
+                proto.round(&g, &mut config, &mut rng);
+            });
+        };
+        sync_case("two_choices", &mut TwoChoices::new(), 1);
+        sync_case("three_majority", &mut ThreeMajority::new(), 2);
+        sync_case("voter", &mut Voter::new(), 3);
+        sync_case("one_extra_bit", &mut OneExtraBit::for_network(n, 8), 4);
+
+        h.bench(&format!("async_ticks/rapid_sim_n_ticks/{n}"), n as u64, {
             let params = Params::for_network(n, 8);
-            let mut sim = clique_rapid(&counts, params, Seed::new(5));
-            b.iter(|| {
+            let config = Configuration::from_counts(&counts).expect("valid");
+            let source = SequentialScheduler::new(n, Seed::new(5));
+            let mut sim = RapidSim::new(Complete::new(n), config, params, source, Seed::new(15));
+            move || {
                 for _ in 0..n {
                     sim.tick();
                 }
-            });
+            }
         });
-        group.bench_with_input(BenchmarkId::new("gossip_n_ticks", n), &n, |b, &n| {
-            let mut sim = clique_gossip(&counts, GossipRule::TwoChoices, Seed::new(6));
-            b.iter(|| {
+        h.bench(&format!("async_ticks/gossip_n_ticks/{n}"), n as u64, {
+            let config = Configuration::from_counts(&counts).expect("valid");
+            let source = SequentialScheduler::new(n, Seed::new(6));
+            let mut sim = AsyncGossipSim::new(
+                Complete::new(n),
+                config,
+                GossipRule::TwoChoices,
+                source,
+                Seed::new(16),
+            );
+            move || {
                 for _ in 0..n {
                     sim.tick();
                 }
-            });
+            }
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, sync_round, async_ticks);
-criterion_main!(benches);

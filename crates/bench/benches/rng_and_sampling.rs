@@ -1,100 +1,91 @@
-//! Criterion benches for the low-level primitives: RNG output, bounded
-//! sampling, neighbor sampling, urn steps, Beta draws.
+//! Benches for the low-level primitives: RNG output, bounded sampling,
+//! neighbor sampling, urn steps, Beta draws.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rapid_bench::harness::Harness;
 use rapid_graph::prelude::*;
 use rapid_sim::prelude::*;
 use rapid_urn::{BetaDistribution, PolyaUrn};
 
 const BATCH: u64 = 10_000;
 
-fn rng(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rng");
-    group.throughput(Throughput::Elements(BATCH));
-    group.bench_function("next_u64", |b| {
+fn main() {
+    let h = Harness::from_args();
+
+    h.bench("rng/next_u64", BATCH, {
         let mut rng = SimRng::from_seed_value(Seed::new(1));
-        b.iter(|| {
+        move || {
             let mut acc = 0u64;
             for _ in 0..BATCH {
-                acc = acc.wrapping_add(rand::RngCore::next_u64(&mut rng));
+                acc = acc.wrapping_add(rng.next_u64());
             }
-            acc
-        });
+            std::hint::black_box(acc);
+        }
     });
-    group.bench_function("bounded", |b| {
+    h.bench("rng/bounded", BATCH, {
         let mut rng = SimRng::from_seed_value(Seed::new(2));
-        b.iter(|| {
+        move || {
             let mut acc = 0u64;
             for _ in 0..BATCH {
                 acc += rng.bounded(12345);
             }
-            acc
-        });
+            std::hint::black_box(acc);
+        }
     });
-    group.bench_function("unit_f64", |b| {
+    h.bench("rng/unit_f64", BATCH, {
         let mut rng = SimRng::from_seed_value(Seed::new(3));
-        b.iter(|| {
+        move || {
             let mut acc = 0.0;
             for _ in 0..BATCH {
                 acc += rng.unit_f64();
             }
-            acc
-        });
+            std::hint::black_box(acc);
+        }
     });
-    group.finish();
-}
 
-fn sampling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sampling");
-    group.throughput(Throughput::Elements(BATCH));
-    group.bench_function("complete_neighbor", |b| {
+    h.bench("sampling/complete_neighbor", BATCH, {
         let g = Complete::new(1 << 16);
         let mut rng = SimRng::from_seed_value(Seed::new(4));
         let u = NodeId::new(7);
-        b.iter(|| {
+        move || {
             let mut acc = 0usize;
             for _ in 0..BATCH {
                 acc += g.sample_neighbor(u, &mut rng).index();
             }
-            acc
-        });
+            std::hint::black_box(acc);
+        }
     });
-    group.bench_function("regular_neighbor", |b| {
+    h.bench("sampling/regular_neighbor", BATCH, {
         let g = RandomRegular::sample(1 << 12, 8, Seed::new(5)).expect("samplable");
         let mut rng = SimRng::from_seed_value(Seed::new(6));
         let u = NodeId::new(7);
-        b.iter(|| {
+        move || {
             let mut acc = 0usize;
             for _ in 0..BATCH {
                 acc += g.sample_neighbor(u, &mut rng).index();
             }
-            acc
-        });
+            std::hint::black_box(acc);
+        }
     });
-    group.bench_function("urn_step", |b| {
+    h.bench("sampling/urn_step", BATCH, {
         let mut urn = PolyaUrn::new(vec![100, 50, 25], 1).expect("valid");
         let mut rng = SimRng::from_seed_value(Seed::new(7));
-        b.iter(|| {
+        move || {
             let mut acc = 0usize;
             for _ in 0..BATCH {
                 acc += urn.step(&mut rng);
             }
-            acc
-        });
+            std::hint::black_box(acc);
+        }
     });
-    group.bench_function("beta_sample", |b| {
+    h.bench("sampling/beta_sample", BATCH, {
         let d = BetaDistribution::new(3.0, 7.0);
         let mut rng = SimRng::from_seed_value(Seed::new(8));
-        b.iter(|| {
+        move || {
             let mut acc = 0.0;
             for _ in 0..BATCH {
                 acc += d.sample(&mut rng);
             }
-            acc
-        });
+            std::hint::black_box(acc);
+        }
     });
-    group.finish();
 }
-
-criterion_group!(benches, rng, sampling);
-criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! A dependency-free micro-benchmark harness (`std::time` based).
+//!
+//! Each bench target is a plain `fn main` (`harness = false`) that builds
+//! a [`Harness`] and registers closures. The harness warms each closure
+//! up, runs it until a time budget is spent, and prints the per-iteration
+//! wall clock plus optional element throughput. A substring filter (the
+//! first free argument, as passed by `cargo bench -- <filter>`) selects
+//! benches by name.
+
+use std::time::{Duration, Instant};
+
+/// Minimum measured iterations per bench.
+const MIN_ITERS: u32 = 5;
+/// Wall-clock budget per bench once warmed up.
+const BUDGET: Duration = Duration::from_millis(300);
+
+/// A named group of benchmark closures with a shared CLI filter.
+pub struct Harness {
+    filter: Option<String>,
+}
+
+impl Harness {
+    /// Creates a harness, reading the filter from the process arguments.
+    ///
+    /// Flags (`--bench`, `--quick`, anything starting with `-`) are
+    /// ignored; the first free argument becomes the name filter.
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Harness { filter }
+    }
+
+    /// Runs one benchmark unless the filter excludes it.
+    ///
+    /// `elements` is the number of logical items one iteration processes
+    /// (used to print a throughput figure); pass 1 for whole-run benches.
+    pub fn bench(&self, name: &str, elements: u64, mut f: impl FnMut()) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up: one untimed iteration (fills caches, faults pages).
+        f();
+        let mut iters = 0u32;
+        let start = Instant::now();
+        while iters < MIN_ITERS || start.elapsed() < BUDGET {
+            f();
+            iters += 1;
+        }
+        let per_iter = start.elapsed() / iters;
+        if elements > 1 {
+            let rate = elements as f64 / per_iter.as_secs_f64();
+            println!(
+                "{name:<40} {:>12} /iter  {:>14} elem/s  ({iters} iters)",
+                format_duration(per_iter),
+                format_rate(rate),
+            );
+        } else {
+            println!(
+                "{name:<40} {:>12} /iter  ({iters} iters)",
+                format_duration(per_iter)
+            );
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn format_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} k", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_prints() {
+        let h = Harness { filter: None };
+        let mut count = 0u64;
+        h.bench("noop", 1, || count += 1);
+        assert!(count >= u64::from(MIN_ITERS));
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let h = Harness {
+            filter: Some("match-me".into()),
+        };
+        let mut ran = false;
+        h.bench("other", 1, || ran = true);
+        assert!(!ran);
+        h.bench("has match-me inside", 1, || ran = true);
+        assert!(ran);
+    }
+
+    #[test]
+    fn durations_format_across_scales() {
+        assert!(format_duration(Duration::from_nanos(5)).contains("ns"));
+        assert!(format_duration(Duration::from_micros(50)).contains("µs"));
+        assert!(format_duration(Duration::from_millis(50)).contains("ms"));
+        assert!(format_duration(Duration::from_secs(50)).contains("s"));
+        assert!(format_rate(2.5e9).contains('G'));
+        assert!(format_rate(2.5e6).contains('M'));
+        assert!(format_rate(2.5e3).contains('k'));
+        assert!(format_rate(2.5).contains("2.5"));
+    }
+}

@@ -1,13 +1,16 @@
 //! Shared helpers for the benchmark suite and experiment binaries.
 //!
-//! The scientific content lives in `rapid-experiments`; this crate only
-//! hosts the criterion benches (`benches/`) and one binary per experiment
-//! (`src/bin/exp_*.rs`) so that `cargo bench --workspace` exercises the
-//! protocol kernels and `cargo run -p rapid-bench --bin exp_e06` (etc.)
-//! regenerates each table/figure.
+//! The scientific content lives in `rapid-experiments`; this crate hosts
+//! the benches (`benches/`, driven by the dependency-free [`harness`]
+//! below) and one binary per experiment (`src/bin/exp_*.rs`) so that
+//! `cargo bench --workspace` exercises the protocol kernels and
+//! `cargo run -p rapid-bench --bin exp_e06_async_scaling` (etc.) regenerates each
+//! table/figure.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 /// Standard workload used by benches: multiplicative bias counts.
 ///

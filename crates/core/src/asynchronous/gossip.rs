@@ -21,7 +21,7 @@ use crate::convergence::{AsyncOutcome, ConvergenceError};
 use crate::opinion::Configuration;
 
 /// The update rule applied on each tick.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum GossipRule {
     /// Sample one neighbor, adopt its color.
     Voter,
@@ -60,12 +60,17 @@ impl std::fmt::Display for GossipRule {
 /// use rapid_graph::prelude::*;
 /// use rapid_sim::prelude::*;
 ///
-/// let g = Complete::new(500);
-/// let config = Configuration::from_counts(&[400, 100]).expect("valid");
-/// let sched = SequentialScheduler::new(500, Seed::new(1));
-/// let mut sim = AsyncGossipSim::new(g, config, GossipRule::TwoChoices, sched, Seed::new(2));
-/// let out = sim.run_until_consensus(10_000_000).expect("converges");
-/// assert_eq!(out.winner, Color::new(0));
+/// let out = Sim::builder()
+///     .topology(Complete::new(500))
+///     .counts(&[400, 100])
+///     .gossip(GossipRule::TwoChoices)
+///     .seed(Seed::new(1))
+///     .stop(StopCondition::StepBudget(10_000_000))
+///     .build()
+///     .expect("valid experiment")
+///     .run_to_consensus()
+///     .expect("converges");
+/// assert_eq!(out.winner, Some(Color::new(0)));
 /// ```
 #[derive(Clone, Debug)]
 pub struct AsyncGossipSim<G, S> {
@@ -88,8 +93,18 @@ impl<G: Topology, S: ActivationSource> AsyncGossipSim<G, S> {
     /// # Panics
     ///
     /// Panics if topology, configuration and source disagree on `n`.
-    pub fn new(topology: G, config: Configuration, rule: GossipRule, source: S, seed: rapid_sim::rng::Seed) -> Self {
-        assert_eq!(topology.n(), config.n(), "topology/configuration n mismatch");
+    pub fn new(
+        topology: G,
+        config: Configuration,
+        rule: GossipRule,
+        source: S,
+        seed: rapid_sim::rng::Seed,
+    ) -> Self {
+        assert_eq!(
+            topology.n(),
+            config.n(),
+            "topology/configuration n mismatch"
+        );
         assert_eq!(source.n(), config.n(), "source/configuration n mismatch");
         let n = config.n();
         AsyncGossipSim {
@@ -144,6 +159,16 @@ impl<G: Topology, S: ActivationSource> AsyncGossipSim<G, S> {
         self.first_halt
     }
 
+    /// The per-node tick budget after which nodes freeze, if one is set.
+    pub fn halt_budget(&self) -> Option<u64> {
+        self.halt_after
+    }
+
+    /// How many nodes have frozen.
+    pub fn halted_count(&self) -> usize {
+        self.halted_count
+    }
+
     /// Executes one activation; returns it.
     pub fn tick(&mut self) -> Activation {
         let a = self.source.next_activation();
@@ -187,9 +212,15 @@ impl<G: Topology, S: ActivationSource> AsyncGossipSim<G, S> {
                 }
             }
             GossipRule::ThreeMajority => {
-                let a = self.config.color(self.topology.sample_neighbor(u, &mut self.rng));
-                let b = self.config.color(self.topology.sample_neighbor(u, &mut self.rng));
-                let c = self.config.color(self.topology.sample_neighbor(u, &mut self.rng));
+                let a = self
+                    .config
+                    .color(self.topology.sample_neighbor(u, &mut self.rng));
+                let b = self
+                    .config
+                    .color(self.topology.sample_neighbor(u, &mut self.rng));
+                let c = self
+                    .config
+                    .color(self.topology.sample_neighbor(u, &mut self.rng));
                 let winner = if a == b || a == c {
                     a
                 } else if b == c {
@@ -249,33 +280,45 @@ impl<G: Topology, S: ActivationSource> AsyncGossipSim<G, S> {
 }
 
 /// Convenience alias: async gossip on the clique under the sequential model.
-pub type CliqueGossip =
-    AsyncGossipSim<rapid_graph::complete::Complete, rapid_sim::scheduler::SequentialScheduler>;
+#[deprecated(
+    since = "0.1.0",
+    note = "use Sim::builder() and the unified Outcome instead"
+)]
+pub type CliqueGossip = AsyncGossipSim<crate::facade::BoxedTopology, crate::facade::BoxedSource>;
 
 /// Builds an async-gossip simulation on `K_n` under the sequential model.
+///
+/// Deprecated shim over the unified builder; the builder derives the same
+/// seed streams, so results are bit-identical to the historical
+/// behaviour.
 ///
 /// # Panics
 ///
 /// Panics if `counts` is not a valid configuration (see
 /// [`Configuration::from_counts`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "use Sim::builder().topology(Complete::new(n)).counts(counts).gossip(rule)"
+)]
 pub fn clique_gossip(
     counts: &[u64],
     rule: GossipRule,
     seed: rapid_sim::rng::Seed,
-) -> CliqueGossip {
-    let config = Configuration::from_counts(counts).expect("valid configuration");
-    let n = config.n();
-    let sched = rapid_sim::scheduler::SequentialScheduler::new(n, seed.child(0));
-    AsyncGossipSim::new(
-        rapid_graph::complete::Complete::new(n),
-        config,
-        rule,
-        sched,
-        seed.child(1),
-    )
+) -> AsyncGossipSim<crate::facade::BoxedTopology, crate::facade::BoxedSource> {
+    let n: u64 = counts.iter().sum();
+    crate::facade::Sim::builder()
+        .topology(rapid_graph::complete::Complete::new(n as usize))
+        .counts(counts)
+        .gossip(rule)
+        .seed(seed)
+        .build()
+        .expect("valid configuration")
+        .into_gossip()
+        .expect("gossip rule was selected")
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shims stay covered until removal
 mod tests {
     use super::*;
     use crate::opinion::Color;
@@ -299,8 +342,8 @@ mod tests {
         // c1 = 0.95n: the paper's endgame precondition.
         let n = 2000u64;
         let c1 = (0.95 * n as f64) as u64;
-        let mut sim = clique_gossip(&[c1, n - c1], GossipRule::TwoChoices, Seed::new(3))
-            .with_halt_after(100); // ≈ 8 ln n ticks each
+        let mut sim =
+            clique_gossip(&[c1, n - c1], GossipRule::TwoChoices, Seed::new(3)).with_halt_after(100); // ≈ 8 ln n ticks each
         let out = sim.run_until_consensus(50_000_000).expect("converges");
         assert_eq!(out.winner, Color::new(0));
         assert!(
@@ -313,9 +356,10 @@ mod tests {
 
     #[test]
     fn all_halted_error_when_budget_is_tiny() {
-        let mut sim = clique_gossip(&[50, 50], GossipRule::Voter, Seed::new(4))
-            .with_halt_after(1);
-        let err = sim.run_until_consensus(10_000_000).expect_err("cannot finish");
+        let mut sim = clique_gossip(&[50, 50], GossipRule::Voter, Seed::new(4)).with_halt_after(1);
+        let err = sim
+            .run_until_consensus(10_000_000)
+            .expect_err("cannot finish");
         assert_eq!(err, ConvergenceError::AllHaltedWithoutConsensus);
         assert!(sim.first_halt().is_some());
     }

@@ -23,8 +23,12 @@ pub mod params;
 pub mod rapid;
 pub mod schedule;
 
-pub use gossip::{clique_gossip, AsyncGossipSim, GossipRule};
+#[allow(deprecated)]
+pub use gossip::clique_gossip;
+pub use gossip::{AsyncGossipSim, GossipRule};
 pub use node::NodeState;
 pub use params::Params;
-pub use rapid::{clique_rapid, RapidOutcome, RapidSim};
+#[allow(deprecated)]
+pub use rapid::clique_rapid;
+pub use rapid::{RapidOutcome, RapidSim};
 pub use schedule::{Action, Schedule};

@@ -19,7 +19,7 @@
 //! everything else derived.
 
 /// Concrete parameters for the asynchronous rapid-consensus protocol.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Params {
     /// Block length `Δ` in ticks (working time).
     pub delta: u32,
@@ -147,28 +147,50 @@ impl Params {
         self.part1_len() + self.endgame_ticks as u64
     }
 
+    /// Checks internal consistency, reporting the first violated
+    /// structural invariant (zero-length blocks, too few blocks for the
+    /// schedule's fixed slots, sampling longer than its sub-phase).
+    ///
+    /// # Errors
+    ///
+    /// Returns a static description of the violated invariant.
+    pub fn check(&self) -> Result<(), &'static str> {
+        if self.delta < 1 {
+            return Err("block length must be positive");
+        }
+        if self.tc_blocks < 4 {
+            return Err("Two-Choices sub-phase needs ≥ 4 blocks (buffer, sample, wait, commit)");
+        }
+        if self.bp_blocks < 1 {
+            return Err("Bit-Propagation needs ≥ 1 block");
+        }
+        if self.sync_blocks < 2 {
+            return Err("Sync sub-phase needs ≥ 2 blocks");
+        }
+        if self.phases < 1 {
+            return Err("need at least one phase");
+        }
+        if (self.sync_samples as u64) >= self.sync_len() {
+            return Err("sampling must fit within the sync sub-phase");
+        }
+        if self.sync_samples.is_multiple_of(2) {
+            return Err("sample count must be odd");
+        }
+        if self.endgame_ticks < 1 {
+            return Err("endgame must be non-empty");
+        }
+        Ok(())
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
     ///
-    /// Panics if any structural invariant is violated (zero-length blocks,
-    /// too few blocks for the schedule's fixed slots, sampling longer than
-    /// its sub-phase).
+    /// Panics if [`Params::check`] fails.
     pub fn validate(&self) {
-        assert!(self.delta >= 1, "block length must be positive");
-        assert!(
-            self.tc_blocks >= 4,
-            "Two-Choices sub-phase needs ≥ 4 blocks (buffer, sample, wait, commit)"
-        );
-        assert!(self.bp_blocks >= 1, "Bit-Propagation needs ≥ 1 block");
-        assert!(self.sync_blocks >= 2, "Sync sub-phase needs ≥ 2 blocks");
-        assert!(self.phases >= 1, "need at least one phase");
-        assert!(
-            (self.sync_samples as u64) < self.sync_len(),
-            "sampling must fit within the sync sub-phase"
-        );
-        assert!(self.sync_samples % 2 == 1, "sample count must be odd");
-        assert!(self.endgame_ticks >= 1, "endgame must be non-empty");
+        if let Err(why) = self.check() {
+            panic!("invalid Params: {why}");
+        }
     }
 }
 
@@ -189,10 +211,7 @@ mod tests {
     #[test]
     fn lengths_compose() {
         let p = Params::for_network(1 << 14, 8);
-        assert_eq!(
-            p.phase_len(),
-            p.tc_len() + p.bp_len() + p.sync_len()
-        );
+        assert_eq!(p.phase_len(), p.tc_len() + p.bp_len() + p.sync_len());
         assert_eq!(p.part1_len(), p.phases as u64 * p.phase_len());
         assert_eq!(p.total_len(), p.part1_len() + p.endgame_ticks as u64);
     }

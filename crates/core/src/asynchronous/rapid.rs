@@ -23,7 +23,7 @@
 
 use rapid_graph::topology::Topology;
 use rapid_sim::rng::{Seed, SimRng};
-use rapid_sim::scheduler::{Activation, ActivationSource, SequentialScheduler};
+use rapid_sim::scheduler::{Activation, ActivationSource};
 use rapid_sim::time::SimTime;
 
 use crate::asynchronous::node::NodeState;
@@ -33,7 +33,7 @@ use crate::convergence::ConvergenceError;
 use crate::opinion::{Color, Configuration};
 
 /// Outcome of a full rapid-consensus run.
-#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct RapidOutcome {
     /// The color every node ended up with.
     pub winner: Color,
@@ -50,7 +50,7 @@ pub struct RapidOutcome {
 
 /// Distribution snapshot of the nodes' working times (weak-synchronicity
 /// instrumentation for experiment E8).
-#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct WorkingTimeStats {
     /// Minimum working time.
     pub min: u64,
@@ -64,6 +64,32 @@ pub struct WorkingTimeStats {
     pub tolerance: u64,
 }
 
+impl WorkingTimeStats {
+    /// Computes the spread statistics of a set of working times (sorts
+    /// `times` in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times` is empty.
+    pub fn from_times(times: &mut [u64], tolerance: u64) -> Self {
+        assert!(!times.is_empty(), "need at least one working time");
+        times.sort_unstable();
+        let n = times.len();
+        let median = times[n / 2];
+        let poorly = times
+            .iter()
+            .filter(|&&w| w.abs_diff(median) > tolerance)
+            .count();
+        WorkingTimeStats {
+            min: times[0],
+            median,
+            max: times[n - 1],
+            poorly_synced: poorly as f64 / n as f64,
+            tolerance,
+        }
+    }
+}
+
 /// The full asynchronous protocol simulation.
 ///
 /// Generic over the topology `G` (the paper: `K_n`) and activation source
@@ -73,17 +99,21 @@ pub struct WorkingTimeStats {
 ///
 /// ```
 /// use rapid_core::prelude::*;
+/// use rapid_graph::prelude::*;
 /// use rapid_sim::prelude::*;
 ///
-/// // 1024 nodes, 4 opinions, plurality 1.5x ahead of the rest.
-/// let counts = [340u64, 228, 228, 228];
-/// let params = Params::for_network(1024, 4);
-/// let mut sim = clique_rapid(&counts, params, Seed::new(42));
-/// let out = sim
-///     .run_until_consensus(60_000_000)
+/// // 512 nodes, 4 opinions, plurality 1.5x ahead of the rest.
+/// let out = Sim::builder()
+///     .topology(Complete::new(512))
+///     .distribution(InitialDistribution::multiplicative_bias(4, 0.5))
+///     .rapid(Params::for_network(512, 4))
+///     .seed(Seed::new(42))
+///     .build()
+///     .expect("valid experiment")
+///     .run_to_consensus()
 ///     .expect("Theorem 1.3 regime");
-/// assert_eq!(out.winner, Color::new(0));
-/// assert!(out.before_first_halt);
+/// assert_eq!(out.winner, Some(Color::new(0)));
+/// assert_eq!(out.before_first_halt, Some(true));
 /// ```
 #[derive(Clone, Debug)]
 pub struct RapidSim<G, S> {
@@ -109,7 +139,11 @@ impl<G: Topology, S: ActivationSource> RapidSim<G, S> {
     /// Panics if topology, configuration and source disagree on `n`, or if
     /// the parameters fail [`Params::validate`].
     pub fn new(topology: G, config: Configuration, params: Params, source: S, seed: Seed) -> Self {
-        assert_eq!(topology.n(), config.n(), "topology/configuration n mismatch");
+        assert_eq!(
+            topology.n(),
+            config.n(),
+            "topology/configuration n mismatch"
+        );
         assert_eq!(source.n(), config.n(), "source/configuration n mismatch");
         let n = config.n();
         RapidSim {
@@ -182,20 +216,7 @@ impl<G: Topology, S: ActivationSource> RapidSim<G, S> {
     /// `Δ`): the weak-synchronicity measurement of experiment E8.
     pub fn working_time_stats(&self, tolerance: u64) -> WorkingTimeStats {
         let mut wts = self.working_times();
-        wts.sort_unstable();
-        let n = wts.len();
-        let median = wts[n / 2];
-        let poorly = wts
-            .iter()
-            .filter(|&&w| w.abs_diff(median) > tolerance)
-            .count();
-        WorkingTimeStats {
-            min: wts[0],
-            median,
-            max: wts[n - 1],
-            poorly_synced: poorly as f64 / n as f64,
-            tolerance,
-        }
+        WorkingTimeStats::from_times(&mut wts, tolerance)
     }
 
     /// A conservative activation budget: three times the protocol length
@@ -332,10 +353,7 @@ impl<G: Topology, S: ActivationSource> RapidSim<G, S> {
             let (a, action) = self.tick();
             // Only color-changing actions can create unanimity; check the
             // ticked node's (possibly new) color in O(1).
-            if matches!(
-                action,
-                Action::Commit | Action::BitPropagation | Action::Endgame
-            ) {
+            if action.changes_color() {
                 let cu = self.config.color(a.node);
                 if self.config.counts().count(cu) == n {
                     return Ok(self.outcome(cu));
@@ -364,27 +382,36 @@ impl<G: Topology, S: ActivationSource> RapidSim<G, S> {
 
 /// Builds the paper's setting: `K_n` under the sequential model.
 ///
+/// Deprecated shim over the unified builder; the builder derives the same
+/// seed streams, so results are bit-identical to the historical
+/// behaviour.
+///
 /// # Panics
 ///
 /// Panics if `counts` is not a valid configuration.
+#[deprecated(
+    since = "0.1.0",
+    note = "use Sim::builder().topology(Complete::new(n)).counts(counts).rapid(params)"
+)]
 pub fn clique_rapid(
     counts: &[u64],
     params: Params,
     seed: Seed,
-) -> RapidSim<rapid_graph::complete::Complete, SequentialScheduler> {
-    let config = Configuration::from_counts(counts).expect("valid configuration");
-    let n = config.n();
-    let sched = SequentialScheduler::new(n, seed.child(0));
-    RapidSim::new(
-        rapid_graph::complete::Complete::new(n),
-        config,
-        params,
-        sched,
-        seed.child(1),
-    )
+) -> RapidSim<crate::facade::BoxedTopology, crate::facade::BoxedSource> {
+    let n: u64 = counts.iter().sum();
+    crate::facade::Sim::builder()
+        .topology(rapid_graph::complete::Complete::new(n as usize))
+        .counts(counts)
+        .rapid(params)
+        .seed(seed)
+        .build()
+        .expect("valid configuration")
+        .into_rapid()
+        .expect("rapid protocol was selected")
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shims stay covered until removal
 mod tests {
     use super::*;
 

@@ -19,7 +19,7 @@
 use crate::asynchronous::params::Params;
 
 /// What a node does at a given working-time slot.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Action {
     /// Sample two nodes; set the intermediate color iff they agree. Also
     /// clears the bit, the intermediate color and the gadget samples (phase
@@ -41,6 +41,18 @@ pub enum Action {
     Halt,
 }
 
+impl Action {
+    /// Whether executing this action can change the acting node's color —
+    /// the actions after which a unanimity check is worthwhile. Keep in
+    /// sync with the `tick` implementation in `rapid.rs`.
+    pub fn changes_color(self) -> bool {
+        matches!(
+            self,
+            Action::Commit | Action::BitPropagation | Action::Endgame
+        )
+    }
+}
+
 /// A fully resolved working-time schedule.
 ///
 /// # Example
@@ -52,7 +64,7 @@ pub enum Action {
 /// assert_eq!(schedule.action_at(0), Action::Wait);          // landing buffer
 /// assert_eq!(schedule.action_at(params.delta as u64), Action::TwoChoicesSample);
 /// ```
-#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Schedule {
     params: Params,
 }
@@ -246,7 +258,10 @@ mod tests {
         assert_eq!(s.phase_of(0), 0);
         assert_eq!(s.phase_of(l - 1), 0);
         assert_eq!(s.phase_of(l), 1);
-        assert_eq!(s.phase_of(s.params().part1_len() - 1), s.params().phases - 1);
+        assert_eq!(
+            s.phase_of(s.params().part1_len() - 1),
+            s.params().phases - 1
+        );
     }
 
     #[test]

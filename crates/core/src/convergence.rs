@@ -14,6 +14,13 @@ pub enum ConvergenceError {
     },
     /// Every node halted (froze its color) without unanimity.
     AllHaltedWithoutConsensus,
+    /// Topology and configuration disagree on the population size.
+    SizeMismatch {
+        /// `n` according to the topology.
+        topology_n: usize,
+        /// `n` according to the configuration.
+        config_n: usize,
+    },
 }
 
 impl std::fmt::Display for ConvergenceError {
@@ -25,6 +32,13 @@ impl std::fmt::Display for ConvergenceError {
             ConvergenceError::AllHaltedWithoutConsensus => {
                 write!(f, "all nodes halted without reaching consensus")
             }
+            ConvergenceError::SizeMismatch {
+                topology_n,
+                config_n,
+            } => write!(
+                f,
+                "topology ({topology_n} nodes) and configuration ({config_n} nodes) disagree on n"
+            ),
         }
     }
 }
@@ -32,7 +46,7 @@ impl std::fmt::Display for ConvergenceError {
 impl std::error::Error for ConvergenceError {}
 
 /// Outcome of a synchronous run.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct SyncOutcome {
     /// The color every node ended up with.
     pub winner: Color,
@@ -41,7 +55,7 @@ pub struct SyncOutcome {
 }
 
 /// Outcome of an asynchronous run.
-#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct AsyncOutcome {
     /// The color every node ended up with.
     pub winner: Color,

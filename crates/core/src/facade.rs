@@ -1,0 +1,1173 @@
+//! The unified simulation façade: one entry point for synchronous rounds,
+//! asynchronous gossip, and the paper's full rapid protocol.
+//!
+//! The paper's landscape is a grid of **protocol × topology × clock
+//! model × workload**, and the related literature (positive-aging
+//! protocols, gossip-model plurality consensus) varies exactly these axes.
+//! [`Sim::builder`] makes every cell of that grid one expression:
+//!
+//! ```
+//! use rapid_core::facade::{Sim, StopCondition};
+//! use rapid_core::prelude::*;
+//! use rapid_graph::prelude::*;
+//! use rapid_sim::prelude::*;
+//!
+//! // Synchronous Two-Choices on K_200 until unanimity.
+//! let outcome = Sim::builder()
+//!     .topology(Complete::new(200))
+//!     .counts(&[150, 50])
+//!     .protocol(TwoChoices::new())
+//!     .seed(Seed::new(1))
+//!     .stop(StopCondition::RoundBudget(10_000))
+//!     .build()
+//!     .expect("valid experiment")
+//!     .run();
+//! assert_eq!(outcome.winner, Some(Color::new(0)));
+//!
+//! // The paper's asynchronous protocol under an event-queue clock.
+//! let outcome = Sim::builder()
+//!     .topology(Complete::new(256))
+//!     .distribution(InitialDistribution::multiplicative_bias(2, 0.5))
+//!     .rapid(Params::for_network_with_eps(256, 2, 0.5))
+//!     .clock(Clock::EventQueue { rate: 1.0 })
+//!     .seed(Seed::new(2))
+//!     .build()
+//!     .expect("valid experiment")
+//!     .run();
+//! assert!(outcome.converged());
+//! ```
+//!
+//! Everything the three legacy drivers (`run_sync_to_consensus`,
+//! `clique_gossip`, `clique_rapid`) hard-wired is now an explicit,
+//! composable axis:
+//!
+//! * **topology** — any [`Topology`];
+//! * **initial state** — explicit counts, a full [`Configuration`], or an
+//!   [`InitialDistribution`] recipe materialised against the topology;
+//! * **protocol** — any [`SyncProtocol`], a [`GossipRule`], or the full
+//!   rapid protocol via [`Params`] (one [`Protocol`] selector);
+//! * **clock** — the sequential model, per-node Poisson clocks, skewed
+//!   clock rates, optionally wrapped in exponential response delays
+//!   ([`SimBuilder::jitter`]);
+//! * **stopping** — composable [`StopCondition`]s on top of the implicit
+//!   unanimity check;
+//! * **observation** — [`Observer`] hooks with a per-round /
+//!   per-time-unit cadence ([`RoundTrace`] and [`SpreadTrace`] are
+//!   ready-made observers).
+//!
+//! `build()` validates the assembly and returns a typed [`BuildError`]
+//! instead of panicking; every run produces the same serialisable
+//! [`Outcome`].
+
+use rapid_graph::topology::Topology;
+use rapid_sim::rng::{Seed, SimRng};
+use rapid_sim::scheduler::{
+    ActivationSource, EventQueueScheduler, HeterogeneousScheduler, JitteredScheduler,
+    SequentialScheduler, TimeMode,
+};
+use rapid_sim::time::SimTime;
+
+use crate::asynchronous::gossip::{AsyncGossipSim, GossipRule};
+use crate::asynchronous::params::Params;
+use crate::asynchronous::rapid::{RapidOutcome, RapidSim, WorkingTimeStats};
+use crate::convergence::{AsyncOutcome, ConvergenceError, SyncOutcome};
+use crate::distributions::{DistributionError, InitialDistribution};
+use crate::opinion::{Color, ConfigError, Configuration};
+use crate::sync::engine::{RoundTrace, SyncProtocol};
+
+/// A boxed topology, as stored by the façade.
+pub type BoxedTopology = Box<dyn Topology + Send + Sync>;
+/// A boxed activation source, as stored by the façade.
+pub type BoxedSource = Box<dyn ActivationSource + Send>;
+
+/// The protocol axis: every consensus dynamic in this crate behind one
+/// selector.
+pub enum Protocol {
+    /// A synchronous-round protocol (Two-Choices, Voter, 3-Majority,
+    /// OneExtraBit, or anything implementing [`SyncProtocol`]).
+    Sync(Box<dyn SyncProtocol + Send>),
+    /// Plain asynchronous gossip under one update rule.
+    Gossip(GossipRule),
+    /// The paper's full working-time-scheduled protocol (Theorem 1.3).
+    Rapid(Params),
+}
+
+impl Protocol {
+    /// Short human-readable name for tables and logs.
+    pub fn name(&self) -> String {
+        match self {
+            Protocol::Sync(p) => p.name().to_string(),
+            Protocol::Gossip(rule) => rule.name().to_string(),
+            Protocol::Rapid(_) => "rapid".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Protocol({})", self.name())
+    }
+}
+
+/// The clock axis: how asynchronous activations are generated.
+///
+/// Ignored by synchronous protocols, which run in lockstep rounds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Clock {
+    /// The sequential model: each step activates a uniformly random node.
+    Sequential(TimeMode),
+    /// Per-node Poisson clocks at a common `rate`, via an event queue.
+    EventQueue {
+        /// Ticks per node per time unit.
+        rate: f64,
+    },
+    /// Per-node rates drawn uniformly from `[1 − skew, 1 + skew]`.
+    UniformSkew {
+        /// Half-width of the rate interval; must lie in `[0, 1)`.
+        skew: f64,
+    },
+    /// Explicit per-node clock rates (`rates[i]` for node `i`).
+    Rates(Vec<f64>),
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::Sequential(TimeMode::Expected)
+    }
+}
+
+/// A composable stopping rule, checked after every engine step on top of
+/// the implicit unanimity check.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum StopCondition {
+    /// Stop once simulation time reaches the horizon (absolute — measured
+    /// from the simulation's birth, not from the current `run` call). For
+    /// synchronous protocols one round counts as one time unit.
+    TimeHorizon(SimTime),
+    /// Stop after this many engine steps executed by the current run
+    /// (activations for asynchronous engines, rounds for synchronous
+    /// ones); steps taken by earlier [`Sim::step`] calls don't count.
+    StepBudget(u64),
+    /// Stop after this many protocol rounds executed by the current run:
+    /// rounds for synchronous engines, `n`-activation blocks (≈ time
+    /// units) for asynchronous ones.
+    RoundBudget(u64),
+    /// Stop as soon as any node halts (freezes its color).
+    FirstHalt,
+}
+
+/// Why a run ended.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every node holds the same opinion — the success event.
+    Unanimity,
+    /// A [`StopCondition::TimeHorizon`] fired.
+    TimeHorizon,
+    /// A [`StopCondition::StepBudget`] fired.
+    StepBudget,
+    /// A [`StopCondition::RoundBudget`] fired.
+    RoundBudget,
+    /// A [`StopCondition::FirstHalt`] fired.
+    FirstHalt,
+    /// Every node halted without consensus.
+    AllHalted,
+    /// No explicit budget was configured and the engine's generous
+    /// default budget ran out (see [`Sim::default_budget`]).
+    DefaultBudget,
+}
+
+impl StopReason {
+    /// Stable lower-case label (used in the JSON serialisation).
+    pub fn label(self) -> &'static str {
+        match self {
+            StopReason::Unanimity => "unanimity",
+            StopReason::TimeHorizon => "time-horizon",
+            StopReason::StepBudget => "step-budget",
+            StopReason::RoundBudget => "round-budget",
+            StopReason::FirstHalt => "first-halt",
+            StopReason::AllHalted => "all-halted",
+            StopReason::DefaultBudget => "default-budget",
+        }
+    }
+}
+
+/// Why [`SimBuilder::build`] rejected an assembly.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BuildError {
+    /// No topology was supplied.
+    MissingTopology,
+    /// No initial state (counts, configuration, or distribution) was
+    /// supplied.
+    MissingInitialState,
+    /// No protocol was selected.
+    MissingProtocol,
+    /// Topology and initial state disagree on the population size.
+    SizeMismatch {
+        /// `n` according to the topology.
+        topology_n: usize,
+        /// `n` according to the initial state.
+        config_n: usize,
+    },
+    /// The initial counts or assignment are structurally invalid.
+    Config(ConfigError),
+    /// The distribution cannot be materialised for this population.
+    Distribution(DistributionError),
+    /// The rapid protocol's parameters are inconsistent.
+    InvalidParams(&'static str),
+    /// A clock rate is not strictly positive and finite, or the skew is
+    /// outside `[0, 1)`.
+    InvalidClock(&'static str),
+    /// Explicit per-node rates have the wrong length.
+    RatesLength {
+        /// Expected number of rates (= `n`).
+        expected: usize,
+        /// Number of rates supplied.
+        got: usize,
+    },
+    /// The jitter delay rate is not strictly positive and finite.
+    InvalidJitter(f64),
+    /// `halt_after` requires an asynchronous gossip protocol (the rapid
+    /// protocol halts by its own schedule), and must be positive.
+    InvalidHaltBudget,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::MissingTopology => write!(f, "no topology was supplied"),
+            BuildError::MissingInitialState => {
+                write!(
+                    f,
+                    "no initial state (counts, configuration, or distribution)"
+                )
+            }
+            BuildError::MissingProtocol => write!(f, "no protocol was selected"),
+            BuildError::SizeMismatch {
+                topology_n,
+                config_n,
+            } => write!(
+                f,
+                "topology has {topology_n} nodes but the initial state has {config_n}"
+            ),
+            BuildError::Config(e) => write!(f, "invalid initial state: {e}"),
+            BuildError::Distribution(e) => write!(f, "invalid distribution: {e}"),
+            BuildError::InvalidParams(why) => write!(f, "invalid rapid parameters: {why}"),
+            BuildError::InvalidClock(why) => write!(f, "invalid clock: {why}"),
+            BuildError::RatesLength { expected, got } => {
+                write!(f, "expected {expected} clock rates, got {got}")
+            }
+            BuildError::InvalidJitter(rate) => {
+                write!(
+                    f,
+                    "jitter delay rate must be positive and finite, got {rate}"
+                )
+            }
+            BuildError::InvalidHaltBudget => write!(
+                f,
+                "halt_after requires an asynchronous gossip protocol and a positive budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<ConfigError> for BuildError {
+    fn from(e: ConfigError) -> Self {
+        BuildError::Config(e)
+    }
+}
+
+impl From<DistributionError> for BuildError {
+    fn from(e: DistributionError) -> Self {
+        BuildError::Distribution(e)
+    }
+}
+
+/// The unified result of any run: one type subsuming the legacy
+/// [`SyncOutcome`], [`AsyncOutcome`] and [`RapidOutcome`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Outcome {
+    /// Why the run ended.
+    pub stop: StopReason,
+    /// The unanimous color, if the run converged.
+    pub winner: Option<Color>,
+    /// Engine steps executed (rounds for synchronous protocols,
+    /// activations for asynchronous ones).
+    pub steps: u64,
+    /// Synchronous rounds, when the protocol runs in rounds.
+    pub rounds: Option<u64>,
+    /// Simulation time at the end, for asynchronous engines.
+    pub time: Option<SimTime>,
+    /// When the first node halted, if the dynamic halts at all.
+    pub first_halt: Option<SimTime>,
+    /// Theorem 1.3's success event — unanimity strictly before the first
+    /// halt — for engines that halt (`None` otherwise).
+    pub before_first_halt: Option<bool>,
+    /// The final support histogram.
+    pub final_counts: Vec<u64>,
+}
+
+impl Outcome {
+    /// Whether the run reached unanimity.
+    pub fn converged(&self) -> bool {
+        self.stop == StopReason::Unanimity
+    }
+
+    /// The legacy synchronous view, for round-based runs that converged.
+    pub fn as_sync(&self) -> Option<SyncOutcome> {
+        match (self.winner, self.rounds) {
+            (Some(winner), Some(rounds)) if self.converged() => {
+                Some(SyncOutcome { winner, rounds })
+            }
+            _ => None,
+        }
+    }
+
+    /// The legacy asynchronous view, for activation-based runs that
+    /// converged.
+    pub fn as_async(&self) -> Option<AsyncOutcome> {
+        match (self.winner, self.time) {
+            (Some(winner), Some(time)) if self.converged() => Some(AsyncOutcome {
+                winner,
+                time,
+                steps: self.steps,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The legacy rapid-protocol view, for halting asynchronous runs that
+    /// converged.
+    pub fn as_rapid(&self) -> Option<RapidOutcome> {
+        match (self.winner, self.time, self.before_first_halt) {
+            (Some(winner), Some(time), Some(before_first_halt)) if self.converged() => {
+                Some(RapidOutcome {
+                    winner,
+                    time,
+                    steps: self.steps,
+                    first_halt: self.first_halt,
+                    before_first_halt,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Serialises the outcome as a single-line JSON object.
+    ///
+    /// All fields are numbers, booleans or fixed enum labels, so no
+    /// string escaping is required.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(160);
+        let _ = write!(out, "{{\"stop\": \"{}\"", self.stop.label());
+        match self.winner {
+            Some(w) => {
+                let _ = write!(out, ", \"winner\": {}", w.index());
+            }
+            None => out.push_str(", \"winner\": null"),
+        }
+        let _ = write!(out, ", \"steps\": {}", self.steps);
+        match self.rounds {
+            Some(r) => {
+                let _ = write!(out, ", \"rounds\": {r}");
+            }
+            None => out.push_str(", \"rounds\": null"),
+        }
+        match self.time {
+            Some(t) => {
+                let _ = write!(out, ", \"time\": {}", t.as_secs());
+            }
+            None => out.push_str(", \"time\": null"),
+        }
+        match self.first_halt {
+            Some(t) => {
+                let _ = write!(out, ", \"first_halt\": {}", t.as_secs());
+            }
+            None => out.push_str(", \"first_halt\": null"),
+        }
+        match self.before_first_halt {
+            Some(b) => {
+                let _ = write!(out, ", \"before_first_halt\": {b}");
+            }
+            None => out.push_str(", \"before_first_halt\": null"),
+        }
+        out.push_str(", \"final_counts\": [");
+        for (i, c) in self.final_counts.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{c}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// A progress snapshot handed to [`Observer`]s: once per round for
+/// synchronous protocols, once per `n` activations (≈ one time unit) for
+/// asynchronous ones.
+pub struct Progress<'a> {
+    /// Engine steps so far.
+    pub steps: u64,
+    /// Rounds so far (synchronous engines only).
+    pub rounds: Option<u64>,
+    /// Simulation time (asynchronous engines only).
+    pub time: Option<SimTime>,
+    /// The current configuration.
+    pub config: &'a Configuration,
+    /// Per-node working times (rapid protocol only).
+    pub working_times: Option<&'a [u64]>,
+}
+
+/// A hook observing a run at a fixed cadence (see [`Progress`]).
+pub trait Observer {
+    /// Receives one progress snapshot.
+    fn observe(&mut self, progress: &Progress<'_>);
+}
+
+impl Observer for RoundTrace {
+    fn observe(&mut self, progress: &Progress<'_>) {
+        self.record(progress.config);
+    }
+}
+
+/// An observer recording the working-time spread of the rapid protocol —
+/// the weak-synchronicity instrumentation, as a reusable hook.
+#[derive(Clone, Debug)]
+pub struct SpreadTrace {
+    /// Tolerance (ticks) for the poorly-synced fraction, typically `2Δ`.
+    pub tolerance: u64,
+    /// One snapshot per observation.
+    pub snapshots: Vec<WorkingTimeStats>,
+}
+
+impl SpreadTrace {
+    /// Creates a trace with the given tolerance.
+    pub fn new(tolerance: u64) -> Self {
+        SpreadTrace {
+            tolerance,
+            snapshots: Vec::new(),
+        }
+    }
+}
+
+impl Observer for SpreadTrace {
+    fn observe(&mut self, progress: &Progress<'_>) {
+        if let Some(wts) = progress.working_times {
+            let mut wts = wts.to_vec();
+            self.snapshots
+                .push(WorkingTimeStats::from_times(&mut wts, self.tolerance));
+        }
+    }
+}
+
+enum Init {
+    Counts(Vec<u64>),
+    Assignment(Configuration),
+    Distribution(InitialDistribution),
+}
+
+/// Builder for a [`Sim`]. Created by [`Sim::builder`].
+pub struct SimBuilder {
+    topology: Option<BoxedTopology>,
+    init: Option<Init>,
+    protocol: Option<Protocol>,
+    clock: Clock,
+    jitter: Option<f64>,
+    seed: Seed,
+    stops: Vec<StopCondition>,
+    shuffle: bool,
+    halt_after: Option<u64>,
+}
+
+impl SimBuilder {
+    fn new() -> Self {
+        SimBuilder {
+            topology: None,
+            init: None,
+            protocol: None,
+            clock: Clock::default(),
+            jitter: None,
+            seed: Seed::default(),
+            stops: Vec::new(),
+            shuffle: false,
+            halt_after: None,
+        }
+    }
+
+    /// Sets the communication topology.
+    pub fn topology(mut self, topology: impl Topology + Send + Sync + 'static) -> Self {
+        self.topology = Some(Box::new(topology));
+        self
+    }
+
+    /// Sets an already boxed topology (for dynamically chosen graphs).
+    pub fn boxed_topology(mut self, topology: BoxedTopology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Sets the initial state from per-color support counts (color 0
+    /// first).
+    pub fn counts(mut self, counts: &[u64]) -> Self {
+        self.init = Some(Init::Counts(counts.to_vec()));
+        self
+    }
+
+    /// Sets the initial state from a full per-node assignment.
+    pub fn configuration(mut self, config: Configuration) -> Self {
+        self.init = Some(Init::Assignment(config));
+        self
+    }
+
+    /// Sets the initial state from a workload recipe, materialised against
+    /// the topology's population at build time.
+    pub fn distribution(mut self, dist: InitialDistribution) -> Self {
+        self.init = Some(Init::Distribution(dist));
+        self
+    }
+
+    /// Selects a synchronous-round protocol.
+    pub fn protocol(mut self, proto: impl SyncProtocol + Send + 'static) -> Self {
+        self.protocol = Some(Protocol::Sync(Box::new(proto)));
+        self
+    }
+
+    /// Selects plain asynchronous gossip under `rule`.
+    pub fn gossip(mut self, rule: GossipRule) -> Self {
+        self.protocol = Some(Protocol::Gossip(rule));
+        self
+    }
+
+    /// Selects the paper's full rapid protocol with `params`.
+    pub fn rapid(mut self, params: Params) -> Self {
+        self.protocol = Some(Protocol::Rapid(params));
+        self
+    }
+
+    /// Selects a pre-built [`Protocol`] (useful when the protocol is
+    /// chosen dynamically, e.g. across a comparison sweep).
+    pub fn select(mut self, protocol: Protocol) -> Self {
+        self.protocol = Some(protocol);
+        self
+    }
+
+    /// Sets the clock model for asynchronous protocols.
+    pub fn clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Wraps the clock in exponential response delays at `delay_rate`
+    /// (the discussion-section extension).
+    pub fn jitter(mut self, delay_rate: f64) -> Self {
+        self.jitter = Some(delay_rate);
+        self
+    }
+
+    /// Sets the master seed. Every internal stream (scheduler, protocol,
+    /// shuffle) derives from it, so one seed pins the whole run.
+    pub fn seed(mut self, seed: Seed) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds a stop condition (checked alongside the implicit unanimity
+    /// check; conditions compose — the first to fire ends the run).
+    pub fn stop(mut self, condition: StopCondition) -> Self {
+        self.stops.push(condition);
+        self
+    }
+
+    /// Randomly permutes the node–color assignment before the run
+    /// (irrelevant on the complete graph; essential on structured ones).
+    pub fn shuffle(mut self, shuffle: bool) -> Self {
+        self.shuffle = shuffle;
+        self
+    }
+
+    /// Makes every node freeze its color after this many of its own ticks
+    /// (asynchronous gossip only — the endgame's finish line).
+    pub fn halt_after(mut self, ticks: u64) -> Self {
+        self.halt_after = Some(ticks);
+        self
+    }
+
+    /// Validates the assembly and constructs the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] naming the first inconsistency: a missing
+    /// axis, an `n` mismatch, invalid parameters, or an unusable clock.
+    pub fn build(self) -> Result<Sim, BuildError> {
+        let topology = self.topology.ok_or(BuildError::MissingTopology)?;
+        let n = topology.n();
+        let init = self.init.ok_or(BuildError::MissingInitialState)?;
+        let protocol = self.protocol.ok_or(BuildError::MissingProtocol)?;
+
+        let mut config = match init {
+            Init::Counts(counts) => {
+                let config = Configuration::from_counts(&counts)?;
+                if config.n() != n {
+                    return Err(BuildError::SizeMismatch {
+                        topology_n: n,
+                        config_n: config.n(),
+                    });
+                }
+                config
+            }
+            Init::Assignment(config) => {
+                if config.n() != n {
+                    return Err(BuildError::SizeMismatch {
+                        topology_n: n,
+                        config_n: config.n(),
+                    });
+                }
+                config
+            }
+            Init::Distribution(dist) => Configuration::from_counts(&dist.counts(n as u64)?)?,
+        };
+
+        if let Protocol::Rapid(params) = &protocol {
+            params.check().map_err(BuildError::InvalidParams)?;
+        }
+        match self.halt_after {
+            None => {}
+            Some(0) => return Err(BuildError::InvalidHaltBudget),
+            Some(_) if !matches!(protocol, Protocol::Gossip(_)) => {
+                return Err(BuildError::InvalidHaltBudget)
+            }
+            Some(_) => {}
+        }
+        if let Some(rate) = self.jitter {
+            if !(rate.is_finite() && rate > 0.0) {
+                return Err(BuildError::InvalidJitter(rate));
+            }
+        }
+        // Checked for every protocol — a misconfigured clock in a
+        // sync-vs-async sweep should fail on the sync entrants too, not
+        // only when the protocol axis flips to asynchronous.
+        check_clock(&self.clock, n)?;
+
+        if self.shuffle {
+            config.shuffle(&mut SimRng::from_seed_value(self.seed.child(2)));
+        }
+
+        let engine = match protocol {
+            Protocol::Sync(mut proto) => Engine::Sync {
+                proto: {
+                    proto.reset();
+                    proto
+                },
+                topology,
+                config,
+                // Matches the stream a legacy caller gets from
+                // `SimRng::from_seed_value(seed)`.
+                rng: SimRng::from_seed_value(self.seed),
+                rounds: 0,
+            },
+            Protocol::Gossip(rule) => {
+                let source = build_source(&self.clock, self.jitter, n, self.seed);
+                let mut sim =
+                    AsyncGossipSim::new(topology, config, rule, source, self.seed.child(1));
+                if let Some(ticks) = self.halt_after {
+                    sim = sim.with_halt_after(ticks);
+                }
+                Engine::Gossip(Box::new(sim))
+            }
+            Protocol::Rapid(params) => {
+                let source = build_source(&self.clock, self.jitter, n, self.seed);
+                Engine::Rapid(Box::new(RapidSim::new(
+                    topology,
+                    config,
+                    params,
+                    source,
+                    self.seed.child(1),
+                )))
+            }
+        };
+
+        Ok(Sim {
+            engine,
+            stops: self.stops,
+        })
+    }
+}
+
+/// Validates a clock configuration against the population size.
+fn check_clock(clock: &Clock, n: usize) -> Result<(), BuildError> {
+    match clock {
+        Clock::Sequential(_) => {}
+        Clock::EventQueue { rate } => {
+            if !(rate.is_finite() && *rate > 0.0) {
+                return Err(BuildError::InvalidClock(
+                    "event-queue rate must be positive and finite",
+                ));
+            }
+        }
+        Clock::UniformSkew { skew } => {
+            if !(0.0..1.0).contains(skew) {
+                return Err(BuildError::InvalidClock("skew must lie in [0, 1)"));
+            }
+        }
+        Clock::Rates(rates) => {
+            if rates.len() != n {
+                return Err(BuildError::RatesLength {
+                    expected: n,
+                    got: rates.len(),
+                });
+            }
+            if rates.iter().any(|r| !(r.is_finite() && *r > 0.0)) {
+                return Err(BuildError::InvalidClock(
+                    "every clock rate must be positive and finite",
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builds an activation source from a clock already vetted by
+/// [`check_clock`].
+///
+/// Stream derivation matches the legacy constructors: the scheduler uses
+/// `seed.child(0)` and (with jitter) the delay stream uses
+/// `seed.child(3)`, so a default-clock builder run reproduces
+/// `clique_gossip` / `clique_rapid` byte for byte.
+fn build_source(clock: &Clock, jitter: Option<f64>, n: usize, seed: Seed) -> BoxedSource {
+    let inner: BoxedSource = match clock {
+        Clock::Sequential(mode) => {
+            Box::new(SequentialScheduler::with_mode(n, seed.child(0), *mode))
+        }
+        Clock::EventQueue { rate } => Box::new(EventQueueScheduler::new(n, seed.child(0), *rate)),
+        Clock::UniformSkew { skew } => Box::new(HeterogeneousScheduler::with_uniform_skew(
+            n,
+            *skew,
+            seed.child(0),
+        )),
+        Clock::Rates(rates) => Box::new(HeterogeneousScheduler::new(rates.clone(), seed.child(0))),
+    };
+    match jitter {
+        Some(rate) => Box::new(JitteredScheduler::new(inner, seed.child(3), rate)),
+        None => inner,
+    }
+}
+
+enum Engine {
+    Sync {
+        proto: Box<dyn SyncProtocol + Send>,
+        topology: BoxedTopology,
+        config: Configuration,
+        rng: SimRng,
+        rounds: u64,
+    },
+    Gossip(Box<AsyncGossipSim<BoxedTopology, BoxedSource>>),
+    Rapid(Box<RapidSim<BoxedTopology, BoxedSource>>),
+}
+
+/// A fully assembled simulation, ready to run or single-step.
+///
+/// Construct with [`Sim::builder`]. The instrumentation accessors return
+/// `None` when the underlying engine does not track that quantity (e.g.
+/// working times exist only for the rapid protocol).
+pub struct Sim {
+    engine: Engine,
+    stops: Vec<StopCondition>,
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let engine = match &self.engine {
+            Engine::Sync { proto, .. } => proto.name(),
+            Engine::Gossip(sim) => sim.rule().name(),
+            Engine::Rapid(_) => "rapid",
+        };
+        f.debug_struct("Sim")
+            .field("engine", &engine)
+            .field("n", &self.n())
+            .field("steps", &self.steps())
+            .field("stops", &self.stops)
+            .finish()
+    }
+}
+
+impl Sim {
+    /// Starts assembling a simulation.
+    pub fn builder() -> SimBuilder {
+        SimBuilder::new()
+    }
+
+    /// Unwraps the underlying rapid-protocol engine, if that protocol was
+    /// selected (the legacy `clique_rapid` shim is built on this).
+    pub fn into_rapid(self) -> Option<RapidSim<BoxedTopology, BoxedSource>> {
+        match self.engine {
+            Engine::Rapid(sim) => Some(*sim),
+            _ => None,
+        }
+    }
+
+    /// Unwraps the underlying gossip engine, if a gossip rule was
+    /// selected (the legacy `clique_gossip` shim is built on this).
+    pub fn into_gossip(self) -> Option<AsyncGossipSim<BoxedTopology, BoxedSource>> {
+        match self.engine {
+            Engine::Gossip(sim) => Some(*sim),
+            _ => None,
+        }
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &Configuration {
+        match &self.engine {
+            Engine::Sync { config, .. } => config,
+            Engine::Gossip(sim) => sim.config(),
+            Engine::Rapid(sim) => sim.config(),
+        }
+    }
+
+    /// Population size.
+    pub fn n(&self) -> usize {
+        self.config().n()
+    }
+
+    /// Engine steps so far (rounds for synchronous protocols, activations
+    /// for asynchronous ones).
+    pub fn steps(&self) -> u64 {
+        match &self.engine {
+            Engine::Sync { rounds, .. } => *rounds,
+            Engine::Gossip(sim) => sim.steps(),
+            Engine::Rapid(sim) => sim.steps(),
+        }
+    }
+
+    /// Rounds so far, for synchronous protocols.
+    pub fn rounds(&self) -> Option<u64> {
+        match &self.engine {
+            Engine::Sync { rounds, .. } => Some(*rounds),
+            _ => None,
+        }
+    }
+
+    /// Simulation time, for asynchronous engines.
+    pub fn now(&self) -> Option<SimTime> {
+        match &self.engine {
+            Engine::Sync { .. } => None,
+            Engine::Gossip(sim) => Some(sim.now()),
+            Engine::Rapid(sim) => Some(sim.now()),
+        }
+    }
+
+    /// When the first node halted, if the dynamic halts.
+    pub fn first_halt(&self) -> Option<SimTime> {
+        match &self.engine {
+            Engine::Sync { .. } => None,
+            Engine::Gossip(sim) => sim.first_halt(),
+            Engine::Rapid(sim) => sim.first_halt(),
+        }
+    }
+
+    /// How many nodes have halted, for dynamics that halt.
+    pub fn halted_count(&self) -> Option<usize> {
+        match &self.engine {
+            Engine::Sync { .. } => None,
+            Engine::Gossip(sim) => Some(sim.halted_count()),
+            Engine::Rapid(sim) => Some(sim.halted_count()),
+        }
+    }
+
+    /// Per-node working times (rapid protocol only).
+    pub fn working_times(&self) -> Option<Vec<u64>> {
+        match &self.engine {
+            Engine::Rapid(sim) => Some(sim.working_times()),
+            _ => None,
+        }
+    }
+
+    /// Working-time spread statistics (rapid protocol only).
+    pub fn working_time_stats(&self, tolerance: u64) -> Option<WorkingTimeStats> {
+        match &self.engine {
+            Engine::Rapid(sim) => Some(sim.working_time_stats(tolerance)),
+            _ => None,
+        }
+    }
+
+    /// Median working time (rapid protocol only).
+    pub fn median_working_time(&self) -> Option<u64> {
+        match &self.engine {
+            Engine::Rapid(sim) => Some(sim.median_working_time()),
+            _ => None,
+        }
+    }
+
+    /// Color histogram over the bit-set nodes (rapid protocol only).
+    pub fn bit_composition(&self) -> Option<Vec<u64>> {
+        match &self.engine {
+            Engine::Rapid(sim) => Some(sim.bit_composition()),
+            _ => None,
+        }
+    }
+
+    /// Sync-Gadget jumps so far (rapid protocol only).
+    pub fn jump_count(&self) -> Option<u64> {
+        match &self.engine {
+            Engine::Rapid(sim) => Some(sim.jump_count()),
+            _ => None,
+        }
+    }
+
+    /// Largest working-time displacement any jump caused (rapid protocol
+    /// only).
+    pub fn max_jump_displacement(&self) -> Option<u64> {
+        match &self.engine {
+            Engine::Rapid(sim) => Some(sim.max_jump_displacement()),
+            _ => None,
+        }
+    }
+
+    /// The generous fallback budget used when no explicit stop condition
+    /// is configured: the rapid protocol's schedule-derived budget, or a
+    /// population-scaled cap for open-ended dynamics.
+    pub fn default_budget(&self) -> u64 {
+        match &self.engine {
+            Engine::Sync { config, .. } => (config.n() as u64 * 64).max(100_000),
+            Engine::Gossip(sim) => {
+                let n = sim.config().n() as u64;
+                let ln_n = (n.max(2) as f64).ln();
+                (n as f64 * (ln_n + 1.0) * 200.0) as u64
+            }
+            Engine::Rapid(sim) => sim.default_step_budget(),
+        }
+    }
+
+    /// Executes one engine step: one full round for synchronous
+    /// protocols, one activation for asynchronous ones.
+    pub fn step(&mut self) {
+        match &mut self.engine {
+            Engine::Sync {
+                proto,
+                topology,
+                config,
+                rng,
+                rounds,
+            } => {
+                proto.round(&**topology, config, rng);
+                *rounds += 1;
+            }
+            Engine::Gossip(sim) => {
+                sim.tick();
+            }
+            Engine::Rapid(sim) => {
+                sim.tick();
+            }
+        }
+    }
+
+    /// Runs to completion without observers. See [`Sim::run_observed`].
+    pub fn run(&mut self) -> Outcome {
+        self.run_with(&mut [])
+    }
+
+    /// Runs to completion, delivering [`Progress`] snapshots to one
+    /// observer (after the initial state and after every round / time
+    /// unit).
+    pub fn run_observed(&mut self, observer: &mut dyn Observer) -> Outcome {
+        let mut observers: [&mut dyn Observer; 1] = [observer];
+        self.run_with(&mut observers)
+    }
+
+    /// Executes one engine step and reports the unanimous color if that
+    /// step produced unanimity, using each engine's cheapest check: the
+    /// rapid protocol only tests the ticked node's (possibly new) color —
+    /// the legacy O(1) fast path — while round/tick engines scan the
+    /// histogram exactly as their legacy drivers did.
+    fn step_checked(&mut self) -> Option<Color> {
+        match &mut self.engine {
+            Engine::Sync {
+                proto,
+                topology,
+                config,
+                rng,
+                rounds,
+            } => {
+                proto.round(&**topology, config, rng);
+                *rounds += 1;
+                config.unanimous()
+            }
+            Engine::Gossip(sim) => {
+                sim.tick();
+                sim.config().unanimous()
+            }
+            Engine::Rapid(sim) => {
+                let (a, action) = sim.tick();
+                // Only color-changing actions can create unanimity.
+                if action.changes_color() {
+                    let cu = sim.config().color(a.node);
+                    if sim.config().counts().count(cu) == sim.config().n() as u64 {
+                        return Some(cu);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Runs to completion with any number of observers.
+    pub fn run_with(&mut self, observers: &mut [&mut dyn Observer]) -> Outcome {
+        let n = self.n() as u64;
+        let cadence = match self.engine {
+            Engine::Sync { .. } => 1,
+            _ => n,
+        };
+        // Only budget-like stops replace the fallback budget; FirstHalt can
+        // never fire on some assemblies (sync engines, gossip without a
+        // halt budget) and must not remove the safety net.
+        let explicit = self.stops.iter().any(|s| {
+            matches!(
+                s,
+                StopCondition::TimeHorizon(_)
+                    | StopCondition::StepBudget(_)
+                    | StopCondition::RoundBudget(_)
+            )
+        });
+        let default_budget = self.default_budget();
+        let start_steps = self.steps();
+        let mut last_notified = start_steps;
+
+        self.notify(observers);
+        let reason = loop {
+            if self.steps() == start_steps {
+                // A run may start unanimous; steps never ran.
+                if let Some(winner) = self.config().unanimous() {
+                    break (StopReason::Unanimity, Some(winner));
+                }
+            }
+            if let Some(reason) = self.stop_reason(start_steps) {
+                break (reason, None);
+            }
+            if !explicit && self.steps() - start_steps >= default_budget {
+                break (StopReason::DefaultBudget, None);
+            }
+            let winner = self.step_checked();
+            if (self.steps() - start_steps).is_multiple_of(cadence) {
+                self.notify(observers);
+                last_notified = self.steps();
+            }
+            if let Some(winner) = winner {
+                break (StopReason::Unanimity, Some(winner));
+            }
+        };
+        // Observers always see the terminal state, even when the run ends
+        // off the cadence (async runs rarely finish on a multiple of n).
+        if !observers.is_empty() && last_notified != self.steps() {
+            self.notify(observers);
+        }
+        self.outcome(reason.0, reason.1)
+    }
+
+    /// Runs to completion, demanding unanimity.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConvergenceError::AllHaltedWithoutConsensus`] if every node
+    ///   froze first;
+    /// * [`ConvergenceError::BudgetExhausted`] if any other stop fired
+    ///   before unanimity.
+    pub fn run_to_consensus(&mut self) -> Result<Outcome, ConvergenceError> {
+        let outcome = self.run();
+        match outcome.stop {
+            StopReason::Unanimity => Ok(outcome),
+            StopReason::AllHalted => Err(ConvergenceError::AllHaltedWithoutConsensus),
+            _ => Err(ConvergenceError::BudgetExhausted {
+                budget: outcome.steps,
+            }),
+        }
+    }
+
+    fn notify(&self, observers: &mut [&mut dyn Observer]) {
+        if observers.is_empty() {
+            return;
+        }
+        let working_times = match &self.engine {
+            Engine::Rapid(sim) => Some(sim.working_times()),
+            _ => None,
+        };
+        let progress = Progress {
+            steps: self.steps(),
+            rounds: self.rounds(),
+            time: self.now(),
+            config: self.config(),
+            working_times: working_times.as_deref(),
+        };
+        for observer in observers.iter_mut() {
+            observer.observe(&progress);
+        }
+    }
+
+    /// Checks the configured stop conditions (and the halted population).
+    /// Budget-style conditions count steps executed since `start_steps`,
+    /// so a manually pre-stepped simulation still gets its full budget.
+    fn stop_reason(&self, start_steps: u64) -> Option<StopReason> {
+        let n = self.n();
+        let all_halted = match &self.engine {
+            Engine::Sync { .. } => false,
+            Engine::Gossip(sim) => sim.halted_count() == n,
+            Engine::Rapid(sim) => sim.halted_count() == n,
+        };
+        if all_halted {
+            return Some(StopReason::AllHalted);
+        }
+        let steps_run = self.steps() - start_steps;
+        for stop in &self.stops {
+            let fired = match *stop {
+                StopCondition::TimeHorizon(horizon) => match self.now() {
+                    Some(now) => now >= horizon,
+                    // Synchronous protocols: one round = one time unit.
+                    None => SimTime::from_secs(self.steps() as f64) >= horizon,
+                },
+                StopCondition::StepBudget(budget) => steps_run >= budget,
+                // Sync engines: one step = one round.
+                StopCondition::RoundBudget(budget) => match self.rounds() {
+                    Some(_) => steps_run >= budget,
+                    None => steps_run >= budget.saturating_mul(n as u64),
+                },
+                StopCondition::FirstHalt => self.first_halt().is_some(),
+            };
+            if fired {
+                return Some(match *stop {
+                    StopCondition::TimeHorizon(_) => StopReason::TimeHorizon,
+                    StopCondition::StepBudget(_) => StopReason::StepBudget,
+                    StopCondition::RoundBudget(_) => StopReason::RoundBudget,
+                    StopCondition::FirstHalt => StopReason::FirstHalt,
+                });
+            }
+        }
+        None
+    }
+
+    fn outcome(&self, stop: StopReason, winner: Option<Color>) -> Outcome {
+        // Theorem 1.3's success event: unanimity strictly before the first
+        // halt. Defined only for engines that halt, and false whenever the
+        // run ended without unanimity.
+        let success = stop == StopReason::Unanimity
+            && match self.first_halt() {
+                None => true,
+                Some(halt) => self.now().expect("halting engines are asynchronous") < halt,
+            };
+        let before_first_halt = match &self.engine {
+            Engine::Sync { .. } => None,
+            Engine::Gossip(sim) => sim.halt_budget().map(|_| success),
+            Engine::Rapid(_) => Some(success),
+        };
+        Outcome {
+            stop,
+            winner,
+            steps: self.steps(),
+            rounds: self.rounds(),
+            time: self.now(),
+            first_halt: self.first_halt(),
+            before_first_halt,
+            final_counts: self.config().counts().as_slice().to_vec(),
+        }
+    }
+}

@@ -27,19 +27,31 @@
 //! * [`opinion`] — colors, histograms, configurations.
 //! * [`convergence`] — outcome and error types.
 //!
+//! * [`facade`] — the unified [`Sim`](facade::Sim) builder: one entry
+//!   point composing any topology, initial state, protocol, clock model
+//!   and stop conditions into a run with one serialisable
+//!   [`Outcome`](facade::Outcome).
+//!
 //! # Quickstart
 //!
 //! ```
 //! use rapid_core::prelude::*;
+//! use rapid_graph::prelude::*;
 //! use rapid_sim::prelude::*;
 //!
 //! // 1024 nodes, 4 opinions; the plurality leads by a (1+ε) factor.
 //! let counts = [340u64, 228, 228, 228];
-//! let params = Params::for_network(1024, 4);
-//! let mut sim = clique_rapid(&counts, params, Seed::new(7));
-//! let out = sim.run_until_consensus(60_000_000).expect("converges");
-//! assert_eq!(out.winner, Color::new(0));       // plurality wins
-//! assert!(out.before_first_halt);              // …before anyone halts
+//! let out = Sim::builder()
+//!     .topology(Complete::new(1024))
+//!     .counts(&counts)
+//!     .rapid(Params::for_network(1024, 4))
+//!     .seed(Seed::new(7))
+//!     .build()
+//!     .expect("valid experiment")
+//!     .run_to_consensus()
+//!     .expect("converges");
+//! assert_eq!(out.winner, Some(Color::new(0))); // plurality wins
+//! assert_eq!(out.before_first_halt, Some(true)); // …before anyone halts
 //! ```
 
 #![forbid(unsafe_code)]
@@ -47,29 +59,47 @@
 
 pub mod asynchronous;
 pub mod convergence;
+pub mod distributions;
+pub mod facade;
 pub mod opinion;
 pub mod sync;
 
+#[allow(deprecated)]
+pub use asynchronous::{clique_gossip, clique_rapid};
 pub use asynchronous::{
-    clique_gossip, clique_rapid, Action, AsyncGossipSim, GossipRule, NodeState, Params,
-    RapidOutcome, RapidSim, Schedule,
+    Action, AsyncGossipSim, GossipRule, NodeState, Params, RapidOutcome, RapidSim, Schedule,
 };
 pub use convergence::{AsyncOutcome, ConvergenceError, SyncOutcome};
-pub use opinion::{Color, ColorCounts, ConfigError, Configuration, TopTwo};
-pub use sync::{
-    run_sync_to_consensus, OneExtraBit, OneExtraBitParams, SyncProtocol, ThreeMajority,
-    TwoChoices, Voter,
+pub use distributions::{theorem_11_gap, theorem_12_gap, DistributionError, InitialDistribution};
+pub use facade::{
+    BuildError, Clock, Observer, Outcome, Progress, Protocol, Sim, SimBuilder, SpreadTrace,
+    StopCondition, StopReason,
 };
+pub use opinion::{Color, ColorCounts, ConfigError, Configuration, TopTwo};
+#[allow(deprecated)]
+pub use sync::run_sync_to_consensus;
+pub use sync::{OneExtraBit, OneExtraBitParams, SyncProtocol, ThreeMajority, TwoChoices, Voter};
 
 /// Convenient glob-import of the most used items.
 pub mod prelude {
-    pub use crate::asynchronous::gossip::{clique_gossip, AsyncGossipSim, GossipRule};
+    #[allow(deprecated)]
+    pub use crate::asynchronous::gossip::clique_gossip;
+    pub use crate::asynchronous::gossip::{AsyncGossipSim, GossipRule};
     pub use crate::asynchronous::params::Params;
-    pub use crate::asynchronous::rapid::{clique_rapid, RapidOutcome, RapidSim};
+    #[allow(deprecated)]
+    pub use crate::asynchronous::rapid::clique_rapid;
+    pub use crate::asynchronous::rapid::{RapidOutcome, RapidSim};
     pub use crate::asynchronous::schedule::{Action, Schedule};
     pub use crate::convergence::{AsyncOutcome, ConvergenceError, SyncOutcome};
+    pub use crate::distributions::{DistributionError, InitialDistribution};
+    pub use crate::facade::{
+        BuildError, Clock, Observer, Outcome, Progress, Protocol, Sim, SimBuilder, SpreadTrace,
+        StopCondition, StopReason,
+    };
     pub use crate::opinion::{Color, ColorCounts, Configuration, TopTwo};
-    pub use crate::sync::engine::{run_sync_to_consensus, run_sync_traced, RoundTrace, SyncProtocol};
+    #[allow(deprecated)]
+    pub use crate::sync::engine::run_sync_to_consensus;
+    pub use crate::sync::engine::{run_sync_traced, RoundTrace, SyncProtocol};
     pub use crate::sync::one_extra_bit::{OneExtraBit, OneExtraBitParams};
     pub use crate::sync::three_majority::ThreeMajority;
     pub use crate::sync::two_choices::TwoChoices;

@@ -20,7 +20,7 @@ use rapid_sim::rng::SimRng;
 /// let c = Color::new(2);
 /// assert_eq!(c.index(), 2);
 /// ```
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Color(u32);
 
 impl Color {
@@ -62,14 +62,14 @@ impl std::fmt::Display for Color {
 /// assert_eq!(top.leader, Color::new(0));
 /// assert_eq!(top.gap(), 20);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ColorCounts {
     counts: Vec<u64>,
     n: u64,
 }
 
 /// The two most supported colors and their counts.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct TopTwo {
     /// The most supported color (ties broken by smallest index).
     pub leader: Color,
@@ -240,7 +240,7 @@ impl ColorCounts {
 /// config.set_color(NodeId::new(0), Color::new(1));
 /// assert_eq!(config.counts().count(Color::new(1)), 3);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Configuration {
     colors: Vec<Color>,
     counts: ColorCounts,
@@ -438,7 +438,9 @@ mod tests {
             ColorCounts::from_counts(&[0, 0]).unwrap_err(),
             ConfigError::EmptyPopulation
         );
-        assert!(ConfigError::EmptyPopulation.to_string().contains("non-empty"));
+        assert!(ConfigError::EmptyPopulation
+            .to_string()
+            .contains("non-empty"));
     }
 
     #[test]
@@ -477,22 +479,15 @@ mod tests {
     #[test]
     fn replace_all_rebuilds_histogram() {
         let mut cfg = Configuration::from_counts(&[2, 2]).expect("valid");
-        cfg.replace_all(&[
-            Color::new(1),
-            Color::new(1),
-            Color::new(1),
-            Color::new(0),
-        ]);
+        cfg.replace_all(&[Color::new(1), Color::new(1), Color::new(1), Color::new(0)]);
         assert_eq!(cfg.counts().as_slice(), &[1, 3]);
     }
 
     #[test]
     fn from_assignment_counts_correctly() {
-        let cfg = Configuration::from_assignment(
-            vec![Color::new(0), Color::new(2), Color::new(2)],
-            3,
-        )
-        .expect("valid");
+        let cfg =
+            Configuration::from_assignment(vec![Color::new(0), Color::new(2), Color::new(2)], 3)
+                .expect("valid");
         assert_eq!(cfg.counts().as_slice(), &[1, 0, 2]);
         assert_eq!(cfg.counts().n(), 3);
     }

@@ -48,8 +48,9 @@ pub fn simultaneous_color_update(
     config.replace_all(&next);
 }
 
-/// Per-round measurements collected by [`run_sync_to_consensus`].
-#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+/// Per-round measurements collected by [`run_sync_traced`] (and, through
+/// the [`crate::facade::Observer`] impl, by the `Sim` façade).
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RoundTrace {
     /// `c_1` (support of the current leader) after each round.
     pub c1: Vec<u64>,
@@ -70,7 +71,7 @@ impl RoundTrace {
         self.c1.is_empty()
     }
 
-    fn record(&mut self, config: &Configuration) {
+    pub(crate) fn record(&mut self, config: &Configuration) {
         let t = config.counts().top_two();
         self.c1.push(t.c1);
         self.c2.push(t.c2);
@@ -89,21 +90,29 @@ impl RoundTrace {
 /// [`ConvergenceError::BudgetExhausted`] if `max_rounds` rounds pass
 /// without unanimity.
 ///
-/// # Example
+/// # Example (replacement)
 ///
 /// ```
 /// use rapid_core::prelude::*;
 /// use rapid_graph::prelude::*;
 /// use rapid_sim::prelude::*;
 ///
-/// let g = Complete::new(200);
-/// let mut config = Configuration::from_counts(&[150, 50]).expect("valid");
-/// let mut rng = SimRng::from_seed_value(Seed::new(1));
-/// let mut proto = TwoChoices::new();
-/// let out = run_sync_to_consensus(&mut proto, &g, &mut config, &mut rng, 10_000)
+/// let out = Sim::builder()
+///     .topology(Complete::new(200))
+///     .counts(&[150, 50])
+///     .protocol(TwoChoices::new())
+///     .seed(Seed::new(1))
+///     .stop(StopCondition::RoundBudget(10_000))
+///     .build()
+///     .expect("valid experiment")
+///     .run_to_consensus()
 ///     .expect("converges");
-/// assert_eq!(out.winner, Color::new(0));
+/// assert_eq!(out.winner, Some(Color::new(0)));
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use Sim::builder().topology(g).counts(...).protocol(proto) and run_to_consensus()"
+)]
 pub fn run_sync_to_consensus(
     proto: &mut dyn SyncProtocol,
     g: &dyn Topology,
@@ -128,11 +137,12 @@ pub fn run_sync_traced(
     max_rounds: u64,
     mut trace: Option<&mut RoundTrace>,
 ) -> Result<(SyncOutcome, u64), ConvergenceError> {
-    assert_eq!(
-        g.n(),
-        config.n(),
-        "topology and configuration disagree on n"
-    );
+    if g.n() != config.n() {
+        return Err(ConvergenceError::SizeMismatch {
+            topology_n: g.n(),
+            config_n: config.n(),
+        });
+    }
     proto.reset();
     if let Some(t) = trace.as_deref_mut() {
         t.record(config);
@@ -146,13 +156,20 @@ pub fn run_sync_traced(
             t.record(config);
         }
         if let Some(winner) = config.unanimous() {
-            return Ok((SyncOutcome { winner, rounds: round }, round));
+            return Ok((
+                SyncOutcome {
+                    winner,
+                    rounds: round,
+                },
+                round,
+            ));
         }
     }
     Err(ConvergenceError::BudgetExhausted { budget: max_rounds })
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shims stay covered until removal
 mod tests {
     use super::*;
     use rapid_graph::complete::Complete;
@@ -183,8 +200,8 @@ mod tests {
         let g = Complete::new(10);
         let mut config = Configuration::from_counts(&[5, 5]).expect("valid");
         let mut rng = SimRng::from_seed_value(Seed::new(1));
-        let out = run_sync_to_consensus(&mut Dictator, &g, &mut config, &mut rng, 10)
-            .expect("converges");
+        let out =
+            run_sync_to_consensus(&mut Dictator, &g, &mut config, &mut rng, 10).expect("converges");
         assert_eq!(out.rounds, 1);
         assert_eq!(out.winner, Color::new(0));
     }
@@ -215,9 +232,15 @@ mod tests {
         let mut config = Configuration::from_counts(&[6, 4]).expect("valid");
         let mut rng = SimRng::from_seed_value(Seed::new(4));
         let mut trace = RoundTrace::default();
-        let (out, rounds) =
-            run_sync_traced(&mut Dictator, &g, &mut config, &mut rng, 10, Some(&mut trace))
-                .expect("converges");
+        let (out, rounds) = run_sync_traced(
+            &mut Dictator,
+            &g,
+            &mut config,
+            &mut rng,
+            10,
+            Some(&mut trace),
+        )
+        .expect("converges");
         assert_eq!(out.rounds, rounds);
         assert_eq!(trace.len(), rounds as usize + 1);
         assert_eq!(trace.c1[0], 6);
@@ -226,12 +249,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "disagree on n")]
     fn size_mismatch_is_rejected() {
         let g = Complete::new(5);
         let mut config = Configuration::from_counts(&[2, 2]).expect("valid");
         let mut rng = SimRng::from_seed_value(Seed::new(5));
-        let _ = run_sync_to_consensus(&mut Frozen, &g, &mut config, &mut rng, 1);
+        let err = run_sync_to_consensus(&mut Frozen, &g, &mut config, &mut rng, 1)
+            .expect_err("size mismatch must be reported, not panic");
+        assert_eq!(
+            err,
+            ConvergenceError::SizeMismatch {
+                topology_n: 5,
+                config_n: 4
+            }
+        );
+        assert!(err.to_string().contains("disagree on n"));
     }
 
     #[test]
@@ -240,11 +271,9 @@ mod tests {
         // semantics this is a cyclic shift; with in-place updates node 0's
         // new color would leak into node n−1's view.
         let g = Complete::new(3);
-        let mut config = Configuration::from_assignment(
-            vec![Color::new(0), Color::new(1), Color::new(2)],
-            3,
-        )
-        .expect("valid");
+        let mut config =
+            Configuration::from_assignment(vec![Color::new(0), Color::new(1), Color::new(2)], 3)
+                .expect("valid");
         let mut rng = SimRng::from_seed_value(Seed::new(6));
         simultaneous_color_update(&g, &mut config, &mut rng, |u, snapshot, _, _| {
             snapshot[(u.index() + 1) % snapshot.len()]

@@ -18,7 +18,9 @@ pub mod three_majority;
 pub mod two_choices;
 pub mod voter;
 
-pub use engine::{run_sync_to_consensus, simultaneous_color_update, RoundTrace, SyncProtocol};
+#[allow(deprecated)]
+pub use engine::run_sync_to_consensus;
+pub use engine::{simultaneous_color_update, RoundTrace, SyncProtocol};
 pub use one_extra_bit::{OneExtraBit, OneExtraBitParams};
 pub use three_majority::ThreeMajority;
 pub use two_choices::TwoChoices;

@@ -25,7 +25,7 @@ use crate::opinion::{Color, Configuration};
 use crate::sync::engine::SyncProtocol;
 
 /// Tuning for [`OneExtraBit`].
-#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct OneExtraBitParams {
     /// Bit-Propagation rounds per phase (the paper's `Θ(log k + log log n)`).
     pub bp_rounds: u32,
@@ -66,15 +66,18 @@ impl OneExtraBitParams {
 /// use rapid_graph::prelude::*;
 /// use rapid_sim::prelude::*;
 ///
-/// let g = Complete::new(1000);
 /// // 8 opinions, plurality clearly ahead.
-/// let mut config = Configuration::from_counts(&[300, 100, 100, 100, 100, 100, 100, 100])
-///     .expect("valid");
-/// let mut rng = SimRng::from_seed_value(Seed::new(2));
-/// let mut proto = OneExtraBit::for_network(1000, 8);
-/// let out = run_sync_to_consensus(&mut proto, &g, &mut config, &mut rng, 1000)
+/// let out = Sim::builder()
+///     .topology(Complete::new(1000))
+///     .counts(&[300, 100, 100, 100, 100, 100, 100, 100])
+///     .protocol(OneExtraBit::for_network(1000, 8))
+///     .seed(Seed::new(2))
+///     .stop(StopCondition::RoundBudget(1000))
+///     .build()
+///     .expect("valid experiment")
+///     .run_to_consensus()
 ///     .expect("converges");
-/// assert_eq!(out.winner, Color::new(0));
+/// assert_eq!(out.winner, Some(Color::new(0)));
 /// ```
 #[derive(Clone, Debug)]
 pub struct OneExtraBit {
@@ -204,6 +207,7 @@ impl SyncProtocol for OneExtraBit {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shims stay covered until removal
 mod tests {
     use super::*;
     use crate::sync::engine::run_sync_to_consensus;
@@ -269,8 +273,8 @@ mod tests {
         let mut config = Configuration::from_counts(&counts).expect("valid");
         let mut rng = SimRng::from_seed_value(Seed::new(5));
         let mut proto = OneExtraBit::for_network(n as usize, k);
-        let out = run_sync_to_consensus(&mut proto, &g, &mut config, &mut rng, 2000)
-            .expect("converges");
+        let out =
+            run_sync_to_consensus(&mut proto, &g, &mut config, &mut rng, 2000).expect("converges");
         assert_eq!(out.winner, Color::new(0));
         // Polylog bound with generous constant: ≪ k · ln n ≈ 152.
         assert!(out.rounds < 120, "took {} rounds", out.rounds);

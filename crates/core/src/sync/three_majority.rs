@@ -22,12 +22,16 @@ use crate::sync::engine::{simultaneous_color_update, SyncProtocol};
 /// use rapid_graph::prelude::*;
 /// use rapid_sim::prelude::*;
 ///
-/// let g = Complete::new(300);
-/// let mut config = Configuration::from_counts(&[200, 50, 50]).expect("valid");
-/// let mut rng = SimRng::from_seed_value(Seed::new(6));
-/// let out = run_sync_to_consensus(&mut ThreeMajority::new(), &g, &mut config, &mut rng, 10_000)
+/// let out = Sim::builder()
+///     .topology(Complete::new(300))
+///     .counts(&[200, 50, 50])
+///     .protocol(ThreeMajority::new())
+///     .seed(Seed::new(6))
+///     .build()
+///     .expect("valid experiment")
+///     .run_to_consensus()
 ///     .expect("converges");
-/// assert_eq!(out.winner, Color::new(0));
+/// assert_eq!(out.winner, Some(Color::new(0)));
 /// ```
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct ThreeMajority;
@@ -61,6 +65,7 @@ impl SyncProtocol for ThreeMajority {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shims stay covered until removal
 mod tests {
     use super::*;
     use crate::opinion::Color;
@@ -75,14 +80,9 @@ mod tests {
         for seed in 0..10 {
             let mut config = Configuration::from_counts(&[250, 50, 50, 50]).expect("valid");
             let mut rng = SimRng::from_seed_value(Seed::new(seed));
-            let out = run_sync_to_consensus(
-                &mut ThreeMajority::new(),
-                &g,
-                &mut config,
-                &mut rng,
-                10_000,
-            )
-            .expect("converges");
+            let out =
+                run_sync_to_consensus(&mut ThreeMajority::new(), &g, &mut config, &mut rng, 10_000)
+                    .expect("converges");
             if out.winner == Color::new(0) {
                 wins += 1;
             }

@@ -22,12 +22,16 @@ use crate::sync::engine::{simultaneous_color_update, SyncProtocol};
 /// use rapid_graph::prelude::*;
 /// use rapid_sim::prelude::*;
 ///
-/// let g = Complete::new(20);
-/// let mut config = Configuration::from_counts(&[19, 1]).expect("valid");
-/// let mut rng = SimRng::from_seed_value(Seed::new(3));
-/// let out = run_sync_to_consensus(&mut Voter::new(), &g, &mut config, &mut rng, 100_000)
+/// let out = Sim::builder()
+///     .topology(Complete::new(20))
+///     .counts(&[19, 1])
+///     .protocol(Voter::new())
+///     .seed(Seed::new(3))
+///     .build()
+///     .expect("valid experiment")
+///     .run_to_consensus()
 ///     .expect("converges");
-/// assert!(out.rounds >= 1);
+/// assert!(out.rounds.expect("synchronous") >= 1);
 /// ```
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct Voter;
@@ -52,6 +56,7 @@ impl SyncProtocol for Voter {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shims stay covered until removal
 mod tests {
     use super::*;
     use crate::opinion::Color;

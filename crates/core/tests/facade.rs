@@ -1,0 +1,512 @@
+//! The unified `Sim` builder façade: misuse diagnostics, determinism,
+//! stop-condition composition, observers, and equivalence with the legacy
+//! drivers it replaces.
+
+use rapid_core::facade::{BuildError, Clock, Outcome, Sim, StopCondition, StopReason};
+use rapid_core::prelude::*;
+use rapid_graph::prelude::*;
+use rapid_sim::prelude::*;
+
+fn two_choices_on_clique(n: usize, counts: &[u64], seed: u64) -> Sim {
+    Sim::builder()
+        .topology(Complete::new(n))
+        .counts(counts)
+        .protocol(TwoChoices::new())
+        .seed(Seed::new(seed))
+        .build()
+        .expect("valid experiment")
+}
+
+// ---------------------------------------------------------------- misuse
+
+#[test]
+fn missing_protocol_is_a_typed_error() {
+    let err = Sim::builder()
+        .topology(Complete::new(10))
+        .counts(&[5, 5])
+        .build()
+        .expect_err("no protocol selected");
+    assert_eq!(err, BuildError::MissingProtocol);
+    assert!(err.to_string().contains("protocol"));
+}
+
+#[test]
+fn missing_topology_and_initial_state_are_typed_errors() {
+    let err = Sim::builder().build().expect_err("nothing supplied");
+    assert_eq!(err, BuildError::MissingTopology);
+
+    let err = Sim::builder()
+        .topology(Complete::new(10))
+        .protocol(TwoChoices::new())
+        .build()
+        .expect_err("no initial state");
+    assert_eq!(err, BuildError::MissingInitialState);
+}
+
+#[test]
+fn size_mismatch_is_a_typed_error_not_a_panic() {
+    let err = Sim::builder()
+        .topology(Complete::new(10))
+        .counts(&[5, 4]) // 9 nodes for a 10-node topology
+        .protocol(TwoChoices::new())
+        .build()
+        .expect_err("n mismatch");
+    assert_eq!(
+        err,
+        BuildError::SizeMismatch {
+            topology_n: 10,
+            config_n: 9
+        }
+    );
+}
+
+#[test]
+fn empty_configuration_is_rejected() {
+    let err = Sim::builder()
+        .topology(Complete::new(4))
+        .counts(&[0, 0])
+        .protocol(TwoChoices::new())
+        .build()
+        .expect_err("empty population");
+    assert!(matches!(err, BuildError::Config(_)), "got {err:?}");
+
+    let err = Sim::builder()
+        .topology(Complete::new(4))
+        .counts(&[4])
+        .protocol(TwoChoices::new())
+        .build()
+        .expect_err("single opinion");
+    assert!(matches!(err, BuildError::Config(_)), "got {err:?}");
+}
+
+#[test]
+fn infeasible_distribution_is_rejected() {
+    let err = Sim::builder()
+        .topology(Complete::new(4))
+        .distribution(InitialDistribution::Uniform { k: 20 })
+        .gossip(GossipRule::TwoChoices)
+        .build()
+        .expect_err("4 nodes cannot hold 20 opinions");
+    assert!(matches!(err, BuildError::Distribution(_)), "got {err:?}");
+}
+
+#[test]
+fn invalid_rapid_params_are_rejected() {
+    let mut params = Params::for_network(256, 2);
+    params.sync_samples = params.sync_len() as u32 + 1; // cannot fit
+    let err = Sim::builder()
+        .topology(Complete::new(256))
+        .counts(&[200, 56])
+        .rapid(params)
+        .build()
+        .expect_err("inconsistent params");
+    assert!(matches!(err, BuildError::InvalidParams(_)), "got {err:?}");
+}
+
+#[test]
+fn clock_misconfigurations_are_rejected() {
+    let err = Sim::builder()
+        .topology(Complete::new(8))
+        .counts(&[4, 4])
+        .gossip(GossipRule::Voter)
+        .clock(Clock::Rates(vec![1.0; 3]))
+        .build()
+        .expect_err("wrong rates length");
+    assert_eq!(
+        err,
+        BuildError::RatesLength {
+            expected: 8,
+            got: 3
+        }
+    );
+
+    let err = Sim::builder()
+        .topology(Complete::new(8))
+        .counts(&[4, 4])
+        .gossip(GossipRule::Voter)
+        .clock(Clock::EventQueue { rate: 0.0 })
+        .build()
+        .expect_err("zero rate");
+    assert!(matches!(err, BuildError::InvalidClock(_)), "got {err:?}");
+
+    let err = Sim::builder()
+        .topology(Complete::new(8))
+        .counts(&[4, 4])
+        .gossip(GossipRule::Voter)
+        .jitter(f64::NAN)
+        .build()
+        .expect_err("NaN jitter");
+    assert!(matches!(err, BuildError::InvalidJitter(_)), "got {err:?}");
+}
+
+#[test]
+fn halt_after_requires_gossip() {
+    let err = Sim::builder()
+        .topology(Complete::new(8))
+        .counts(&[4, 4])
+        .protocol(TwoChoices::new())
+        .halt_after(5)
+        .build()
+        .expect_err("halting is an async-gossip feature");
+    assert_eq!(err, BuildError::InvalidHaltBudget);
+}
+
+// ----------------------------------------------------------- determinism
+
+#[test]
+fn same_seed_means_identical_outcome_for_every_engine() {
+    let sync_run = |seed: u64| -> Outcome { two_choices_on_clique(100, &[70, 30], seed).run() };
+    assert_eq!(sync_run(9), sync_run(9));
+
+    let gossip_run = |seed: u64| -> Outcome {
+        Sim::builder()
+            .topology(Complete::new(100))
+            .counts(&[70, 30])
+            .gossip(GossipRule::TwoChoices)
+            .seed(Seed::new(seed))
+            .build()
+            .expect("valid experiment")
+            .run()
+    };
+    assert_eq!(gossip_run(10), gossip_run(10));
+
+    let rapid_run = |seed: u64| -> Outcome {
+        Sim::builder()
+            .topology(Complete::new(128))
+            .counts(&[80, 48])
+            .rapid(Params::for_network(128, 2))
+            .seed(Seed::new(seed))
+            .build()
+            .expect("valid experiment")
+            .run()
+    };
+    assert_eq!(rapid_run(11), rapid_run(11));
+    assert_ne!(
+        rapid_run(11).steps,
+        rapid_run(12).steps,
+        "different seeds should differ"
+    );
+}
+
+// ---------------------------------------------- legacy-driver equivalence
+
+#[test]
+#[allow(deprecated)]
+fn builder_sync_run_matches_legacy_run_sync_to_consensus() {
+    let counts = [150u64, 80, 70];
+    for seed in [1u64, 7, 42] {
+        let g = Complete::new(300);
+        let mut config = Configuration::from_counts(&counts).expect("valid");
+        let mut rng = SimRng::from_seed_value(Seed::new(seed));
+        let legacy =
+            run_sync_to_consensus(&mut TwoChoices::new(), &g, &mut config, &mut rng, 10_000)
+                .expect("converges");
+
+        let outcome = two_choices_on_clique(300, &counts, seed)
+            .run_to_consensus()
+            .expect("converges");
+        assert_eq!(outcome.as_sync(), Some(legacy), "seed {seed}");
+        assert_eq!(outcome.final_counts, config.counts().as_slice());
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn builder_async_runs_match_legacy_clique_helpers() {
+    // The builder derives the same child-seed streams as the shims, so the
+    // runs must be bit-identical, not merely statistically equivalent.
+    let counts = [90u64, 38];
+    let legacy = clique_gossip(&counts, GossipRule::TwoChoices, Seed::new(5))
+        .run_until_consensus(10_000_000)
+        .expect("converges");
+    let built = Sim::builder()
+        .topology(Complete::new(128))
+        .counts(&counts)
+        .gossip(GossipRule::TwoChoices)
+        .seed(Seed::new(5))
+        .build()
+        .expect("valid experiment")
+        .run_to_consensus()
+        .expect("converges");
+    assert_eq!(built.as_async(), Some(legacy));
+
+    let params = Params::for_network(128, 2);
+    let mut legacy_sim = clique_rapid(&counts, params, Seed::new(6));
+    let budget = legacy_sim.default_step_budget();
+    let legacy = legacy_sim.run_until_consensus(budget).expect("converges");
+    let built = Sim::builder()
+        .topology(Complete::new(128))
+        .counts(&counts)
+        .rapid(params)
+        .seed(Seed::new(6))
+        .build()
+        .expect("valid experiment")
+        .run_to_consensus()
+        .expect("converges");
+    assert_eq!(built.as_rapid(), Some(legacy));
+}
+
+// -------------------------------------------------------- stop conditions
+
+#[test]
+fn stop_conditions_compose_and_report_their_reason() {
+    // Balanced two-color voter on a tiny graph: no quick unanimity, so the
+    // explicit budget fires first.
+    let out = Sim::builder()
+        .topology(Complete::new(50))
+        .counts(&[25, 25])
+        .gossip(GossipRule::Voter)
+        .seed(Seed::new(1))
+        .stop(StopCondition::StepBudget(200))
+        .stop(StopCondition::TimeHorizon(SimTime::from_secs(1e9)))
+        .build()
+        .expect("valid experiment")
+        .run();
+    assert_eq!(out.stop, StopReason::StepBudget);
+    assert_eq!(out.steps, 200);
+    assert_eq!(out.winner, None);
+    assert_eq!(out.final_counts.iter().sum::<u64>(), 50);
+
+    let out = Sim::builder()
+        .topology(Complete::new(50))
+        .counts(&[25, 25])
+        .gossip(GossipRule::Voter)
+        .seed(Seed::new(1))
+        .stop(StopCondition::TimeHorizon(SimTime::from_secs(3.0)))
+        .build()
+        .expect("valid experiment")
+        .run();
+    assert_eq!(out.stop, StopReason::TimeHorizon);
+    assert!(out.time.expect("asynchronous") >= SimTime::from_secs(3.0));
+
+    let out = Sim::builder()
+        .topology(Complete::new(50))
+        .counts(&[25, 25])
+        .gossip(GossipRule::Voter)
+        .halt_after(3)
+        .seed(Seed::new(1))
+        .stop(StopCondition::FirstHalt)
+        .build()
+        .expect("valid experiment")
+        .run();
+    assert_eq!(out.stop, StopReason::FirstHalt);
+    assert!(out.first_halt.is_some());
+}
+
+#[test]
+fn round_budget_counts_rounds_for_sync_engines() {
+    // A frozen-ish workload: voter on a balanced config will not converge
+    // within 10 rounds (50 nodes, seed-checked), so the budget fires.
+    let out = Sim::builder()
+        .topology(Complete::new(50))
+        .counts(&[25, 25])
+        .protocol(Voter::new())
+        .seed(Seed::new(2))
+        .stop(StopCondition::RoundBudget(10))
+        .build()
+        .expect("valid experiment")
+        .run();
+    assert_eq!(out.stop, StopReason::RoundBudget);
+    assert_eq!(out.rounds, Some(10));
+    assert_eq!(out.steps, 10);
+}
+
+#[test]
+fn budgets_count_from_the_run_not_the_sim_birth() {
+    // Manually pre-step a sim, then run with a budget: the budget applies
+    // to the run, not to the sim's lifetime step counter.
+    let mut sim = Sim::builder()
+        .topology(Complete::new(50))
+        .counts(&[25, 25])
+        .gossip(GossipRule::Voter)
+        .seed(Seed::new(14))
+        .stop(StopCondition::StepBudget(100))
+        .build()
+        .expect("valid experiment");
+    for _ in 0..150 {
+        sim.step();
+    }
+    let out = sim.run();
+    assert_eq!(out.stop, StopReason::StepBudget);
+    assert_eq!(out.steps, 250, "run got its own 100-step budget");
+}
+
+#[test]
+fn first_halt_stop_alone_keeps_the_default_budget() {
+    // FirstHalt can never fire for a synchronous engine; it must not
+    // disable the fallback budget (the run would never terminate).
+    let out = Sim::builder()
+        .topology(Complete::new(2))
+        .counts(&[1, 1])
+        .protocol(TwoChoices::new())
+        .seed(Seed::new(12))
+        .stop(StopCondition::FirstHalt)
+        .build()
+        .expect("valid experiment")
+        .run();
+    assert_eq!(out.stop, StopReason::DefaultBudget);
+}
+
+#[test]
+fn before_first_halt_is_false_without_unanimity() {
+    // A rapid run cut off by a step budget is not the Theorem 1.3 success
+    // event, even though no node has halted yet.
+    let out = Sim::builder()
+        .topology(Complete::new(128))
+        .counts(&[80, 48])
+        .rapid(Params::for_network(128, 2))
+        .seed(Seed::new(13))
+        .stop(StopCondition::StepBudget(10))
+        .build()
+        .expect("valid experiment")
+        .run();
+    assert_eq!(out.stop, StopReason::StepBudget);
+    assert_eq!(out.winner, None);
+    assert_eq!(out.before_first_halt, Some(false));
+    assert!(out.to_json().contains("\"before_first_halt\": false"));
+}
+
+#[test]
+fn default_budget_prevents_infinite_runs() {
+    // Two balanced colors under sync Two-Choices *can* converge, but a
+    // 2-node graph with one node per color cannot (each node always sees
+    // the other's disagreeing pair). The default budget must fire.
+    let out = Sim::builder()
+        .topology(Complete::new(2))
+        .counts(&[1, 1])
+        .protocol(TwoChoices::new())
+        .seed(Seed::new(3))
+        .build()
+        .expect("valid experiment")
+        .run();
+    assert_eq!(out.stop, StopReason::DefaultBudget);
+    let json = out.to_json();
+    assert!(json.contains("\"stop\": \"default-budget\""));
+    assert!(json.contains("\"winner\": null"));
+}
+
+// ------------------------------------------------------------- observers
+
+#[test]
+fn round_trace_observer_matches_legacy_traced_run() {
+    let counts = [60u64, 40];
+    let mut legacy_trace = RoundTrace::default();
+    let g = Complete::new(100);
+    let mut config = Configuration::from_counts(&counts).expect("valid");
+    let mut rng = SimRng::from_seed_value(Seed::new(4));
+    let (legacy, _) = run_sync_traced(
+        &mut TwoChoices::new(),
+        &g,
+        &mut config,
+        &mut rng,
+        10_000,
+        Some(&mut legacy_trace),
+    )
+    .expect("converges");
+
+    let mut trace = RoundTrace::default();
+    let outcome = two_choices_on_clique(100, &counts, 4)
+        .run_observed(&mut trace)
+        .as_sync()
+        .expect("converged");
+    assert_eq!(outcome, legacy);
+    assert_eq!(trace, legacy_trace);
+    assert_eq!(trace.len() as u64, outcome.rounds + 1);
+}
+
+#[test]
+fn spread_trace_observer_records_rapid_working_times() {
+    let params = Params::for_network(128, 2);
+    let mut spread = SpreadTrace::new(2 * params.delta as u64);
+    let outcome = Sim::builder()
+        .topology(Complete::new(128))
+        .counts(&[80, 48])
+        .rapid(params)
+        .seed(Seed::new(5))
+        .build()
+        .expect("valid experiment")
+        .run_observed(&mut spread);
+    assert!(outcome.converged());
+    assert!(!spread.snapshots.is_empty());
+    // One snapshot per n activations, plus the initial state, plus the
+    // terminal state when the run ends off the cadence.
+    let on_cadence = outcome.steps.is_multiple_of(128);
+    let expected = outcome.steps / 128 + if on_cadence { 1 } else { 2 };
+    assert_eq!(spread.snapshots.len() as u64, expected);
+}
+
+// ---------------------------------------------------- the unified outcome
+
+#[test]
+fn outcome_serialises_every_engine_family() {
+    let sync = two_choices_on_clique(100, &[70, 30], 6).run();
+    let json = sync.to_json();
+    assert!(json.contains("\"stop\": \"unanimity\""));
+    assert!(json.contains("\"winner\": 0"));
+    assert!(json.contains("\"time\": null"));
+
+    let rapid = Sim::builder()
+        .topology(Complete::new(128))
+        .counts(&[80, 48])
+        .rapid(Params::for_network(128, 2))
+        .seed(Seed::new(7))
+        .build()
+        .expect("valid experiment")
+        .run();
+    let json = rapid.to_json();
+    assert!(json.contains("\"before_first_halt\": true"));
+    assert!(json.contains("\"rounds\": null"));
+    assert!(json.contains("\"final_counts\": [128, 0]"));
+}
+
+#[test]
+fn run_to_consensus_maps_non_unanimity_to_errors() {
+    let err = Sim::builder()
+        .topology(Complete::new(50))
+        .counts(&[25, 25])
+        .gossip(GossipRule::Voter)
+        .seed(Seed::new(8))
+        .stop(StopCondition::StepBudget(10))
+        .build()
+        .expect("valid experiment")
+        .run_to_consensus()
+        .expect_err("10 steps cannot finish");
+    assert_eq!(err, ConvergenceError::BudgetExhausted { budget: 10 });
+
+    let err = Sim::builder()
+        .topology(Complete::new(50))
+        .counts(&[25, 25])
+        .gossip(GossipRule::Voter)
+        .halt_after(1)
+        .seed(Seed::new(9))
+        .stop(StopCondition::StepBudget(1_000_000))
+        .build()
+        .expect("valid experiment")
+        .run_to_consensus()
+        .expect_err("everyone freezes after one tick");
+    assert_eq!(err, ConvergenceError::AllHaltedWithoutConsensus);
+}
+
+#[test]
+fn builder_covers_every_clock_model() {
+    for clock in [
+        Clock::Sequential(TimeMode::Expected),
+        Clock::Sequential(TimeMode::Sampled),
+        Clock::EventQueue { rate: 1.0 },
+        Clock::UniformSkew { skew: 0.4 },
+        Clock::Rates(vec![1.0; 100]),
+    ] {
+        let out = Sim::builder()
+            .topology(Complete::new(100))
+            .counts(&[80, 20])
+            .gossip(GossipRule::TwoChoices)
+            .clock(clock.clone())
+            .seed(Seed::new(10))
+            .stop(StopCondition::StepBudget(5_000_000))
+            .build()
+            .expect("valid experiment")
+            .run_to_consensus()
+            .unwrap_or_else(|e| panic!("clock {clock:?} failed: {e}"));
+        assert_eq!(out.winner, Some(Color::new(0)), "clock {clock:?}");
+    }
+}

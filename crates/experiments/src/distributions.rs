@@ -1,355 +1,9 @@
-//! Initial opinion distributions (workload generators).
+//! Re-export of the workload generators, which moved into `rapid-core` so
+//! the [`Sim` builder](rapid_core::facade::Sim) can accept an
+//! [`InitialDistribution`] directly.
 //!
-//! Every generator returns counts sorted descending, so **color 0 is the
-//! plurality** by construction (the workspace convention).
+//! Existing `rapid_experiments::distributions::…` paths keep working.
 
-use serde::{Deserialize, Serialize};
-
-/// A recipe for the initial support counts `c_1 ≥ c_2 ≥ … ≥ c_k`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub enum InitialDistribution {
-    /// `c_1 = c_2 + gap`, all of `c_2 … c_k` equal (up to rounding).
-    ///
-    /// This is Theorem 1.1's regime with `gap = z·√(n log n)`.
-    AdditiveBias {
-        /// Number of opinions.
-        k: usize,
-        /// The additive gap `c_1 − c_2`.
-        gap: u64,
-    },
-    /// `c_1 = (1+eps)·c`, `c_2 = … = c_k = c` (up to rounding) —
-    /// Theorem 1.3's regime.
-    MultiplicativeBias {
-        /// Number of opinions.
-        k: usize,
-        /// The multiplicative lead `ε`.
-        eps: f64,
-    },
-    /// All counts equal (no plurality; tie-heavy stress test).
-    Uniform {
-        /// Number of opinions.
-        k: usize,
-    },
-    /// Zipf-distributed supports: `c_j ∝ j^{−s}`.
-    Zipf {
-        /// Number of opinions.
-        k: usize,
-        /// The Zipf exponent `s > 0`.
-        s: f64,
-    },
-    /// Geometric supports: `c_j ∝ r^{j}` for `0 < r < 1`.
-    Geometric {
-        /// Number of opinions.
-        k: usize,
-        /// The decay ratio.
-        r: f64,
-    },
-    /// Explicit counts (must already be sorted descending).
-    Custom(Vec<u64>),
-}
-
-/// Error from materialising an [`InitialDistribution`].
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum DistributionError {
-    /// Fewer than two opinions requested.
-    TooFewColors,
-    /// The population is too small to realise the requested shape.
-    PopulationTooSmall {
-        /// Requested population.
-        n: u64,
-        /// Explanation.
-        why: &'static str,
-    },
-    /// A shape parameter is out of range.
-    BadParameter(&'static str),
-}
-
-impl std::fmt::Display for DistributionError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            DistributionError::TooFewColors => write!(f, "at least two opinions are required"),
-            DistributionError::PopulationTooSmall { n, why } => {
-                write!(f, "population {n} too small: {why}")
-            }
-            DistributionError::BadParameter(p) => write!(f, "bad parameter: {p}"),
-        }
-    }
-}
-
-impl std::error::Error for DistributionError {}
-
-impl InitialDistribution {
-    /// Convenience constructor for [`InitialDistribution::AdditiveBias`]
-    /// with the Theorem 1.1 gap `⌈z·√(n ln n)⌉` computed at materialisation
-    /// time — see [`theorem_11_gap`].
-    pub fn additive_bias(k: usize, gap: u64) -> Self {
-        InitialDistribution::AdditiveBias { k, gap }
-    }
-
-    /// Convenience constructor for [`InitialDistribution::MultiplicativeBias`].
-    pub fn multiplicative_bias(k: usize, eps: f64) -> Self {
-        InitialDistribution::MultiplicativeBias { k, eps }
-    }
-
-    /// Number of opinions this distribution generates.
-    pub fn k(&self) -> usize {
-        match self {
-            InitialDistribution::AdditiveBias { k, .. }
-            | InitialDistribution::MultiplicativeBias { k, .. }
-            | InitialDistribution::Uniform { k }
-            | InitialDistribution::Zipf { k, .. }
-            | InitialDistribution::Geometric { k, .. } => *k,
-            InitialDistribution::Custom(c) => c.len(),
-        }
-    }
-
-    /// Materialises the counts for a population of `n` nodes.
-    ///
-    /// The result always sums to exactly `n` and is sorted descending.
-    ///
-    /// # Errors
-    ///
-    /// See [`DistributionError`].
-    pub fn counts(&self, n: u64) -> Result<Vec<u64>, DistributionError> {
-        if self.k() < 2 {
-            return Err(DistributionError::TooFewColors);
-        }
-        let k = self.k() as u64;
-        let counts = match self {
-            InitialDistribution::AdditiveBias { gap, .. } => {
-                if *gap >= n {
-                    return Err(DistributionError::PopulationTooSmall {
-                        n,
-                        why: "gap must be smaller than n",
-                    });
-                }
-                let base = (n - gap) / k;
-                if base == 0 {
-                    return Err(DistributionError::PopulationTooSmall {
-                        n,
-                        why: "every opinion needs at least one supporter",
-                    });
-                }
-                let mut counts = vec![base; k as usize];
-                counts[0] = n - base * (k - 1);
-                counts
-            }
-            InitialDistribution::MultiplicativeBias { eps, .. } => {
-                if !(*eps > 0.0 && eps.is_finite()) {
-                    return Err(DistributionError::BadParameter("eps must be positive"));
-                }
-                // c·(k−1) + (1+ε)c = n  →  c = n/(k+ε).
-                let c = (n as f64 / (k as f64 + eps)).floor() as u64;
-                if c == 0 {
-                    return Err(DistributionError::PopulationTooSmall {
-                        n,
-                        why: "every opinion needs at least one supporter",
-                    });
-                }
-                let mut counts = vec![c; k as usize];
-                counts[0] = n - c * (k - 1);
-                counts
-            }
-            InitialDistribution::Uniform { .. } => {
-                let base = n / k;
-                if base == 0 {
-                    return Err(DistributionError::PopulationTooSmall {
-                        n,
-                        why: "every opinion needs at least one supporter",
-                    });
-                }
-                let mut counts = vec![base; k as usize];
-                counts[0] += n - base * k;
-                counts
-            }
-            InitialDistribution::Zipf { s, .. } => {
-                if !(*s > 0.0 && s.is_finite()) {
-                    return Err(DistributionError::BadParameter("s must be positive"));
-                }
-                weights_to_counts(
-                    n,
-                    (1..=k).map(|j| (j as f64).powf(-s)).collect::<Vec<_>>(),
-                )?
-            }
-            InitialDistribution::Geometric { r, .. } => {
-                if !(*r > 0.0 && *r < 1.0) {
-                    return Err(DistributionError::BadParameter("r must be in (0, 1)"));
-                }
-                weights_to_counts(n, (0..k).map(|j| r.powi(j as i32)).collect::<Vec<_>>())?
-            }
-            InitialDistribution::Custom(c) => {
-                let total: u64 = c.iter().sum();
-                if total != n {
-                    return Err(DistributionError::PopulationTooSmall {
-                        n,
-                        why: "custom counts must sum to n",
-                    });
-                }
-                if c.windows(2).any(|w| w[0] < w[1]) {
-                    return Err(DistributionError::BadParameter(
-                        "custom counts must be sorted descending",
-                    ));
-                }
-                c.clone()
-            }
-        };
-        debug_assert_eq!(counts.iter().sum::<u64>(), n);
-        debug_assert!(counts.windows(2).all(|w| w[0] >= w[1]));
-        Ok(counts)
-    }
-
-    /// A short label for table rows.
-    pub fn label(&self) -> String {
-        match self {
-            InitialDistribution::AdditiveBias { k, gap } => format!("additive(k={k}, gap={gap})"),
-            InitialDistribution::MultiplicativeBias { k, eps } => {
-                format!("multiplicative(k={k}, eps={eps})")
-            }
-            InitialDistribution::Uniform { k } => format!("uniform(k={k})"),
-            InitialDistribution::Zipf { k, s } => format!("zipf(k={k}, s={s})"),
-            InitialDistribution::Geometric { k, r } => format!("geometric(k={k}, r={r})"),
-            InitialDistribution::Custom(c) => format!("custom(k={})", c.len()),
-        }
-    }
-}
-
-/// Largest-remainder apportionment of `n` over positive weights, then
-/// sorted descending.
-fn weights_to_counts(n: u64, weights: Vec<f64>) -> Result<Vec<u64>, DistributionError> {
-    let total: f64 = weights.iter().sum();
-    let mut counts: Vec<u64> = weights
-        .iter()
-        .map(|w| (w / total * n as f64).floor() as u64)
-        .collect();
-    let mut assigned: u64 = counts.iter().sum();
-    // Distribute the remainder by largest fractional part.
-    let mut frac: Vec<(usize, f64)> = weights
-        .iter()
-        .enumerate()
-        .map(|(i, w)| (i, w / total * n as f64 - counts[i] as f64))
-        .collect();
-    frac.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("weights are finite"));
-    let mut idx = 0;
-    while assigned < n {
-        counts[frac[idx % frac.len()].0] += 1;
-        assigned += 1;
-        idx += 1;
-    }
-    if counts.contains(&0) {
-        return Err(DistributionError::PopulationTooSmall {
-            n,
-            why: "every opinion needs at least one supporter",
-        });
-    }
-    counts.sort_unstable_by(|a, b| b.cmp(a));
-    Ok(counts)
-}
-
-/// Theorem 1.1's critical gap `⌈z·√(n ln n)⌉`.
-pub fn theorem_11_gap(n: u64, z: f64) -> u64 {
-    (z * ((n as f64) * (n as f64).ln()).sqrt()).ceil() as u64
-}
-
-/// Theorem 1.2's critical gap `⌈z·√n·(ln n)^{3/2}⌉`.
-pub fn theorem_12_gap(n: u64, z: f64) -> u64 {
-    (z * (n as f64).sqrt() * (n as f64).ln().powf(1.5)).ceil() as u64
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn additive_bias_has_requested_gap() {
-        let d = InitialDistribution::additive_bias(4, 100);
-        let c = d.counts(10_000).expect("valid");
-        assert_eq!(c.iter().sum::<u64>(), 10_000);
-        assert!(c[0] - c[1] >= 100);
-        assert!(c[0] - c[1] < 100 + 4);
-        assert_eq!(c[1], c[2]);
-        assert_eq!(c[2], c[3]);
-    }
-
-    #[test]
-    fn multiplicative_bias_has_requested_ratio() {
-        let d = InitialDistribution::multiplicative_bias(8, 0.25);
-        let c = d.counts(100_000).expect("valid");
-        assert_eq!(c.iter().sum::<u64>(), 100_000);
-        let ratio = c[0] as f64 / c[1] as f64;
-        assert!((ratio - 1.25).abs() < 0.01, "ratio {ratio}");
-    }
-
-    #[test]
-    fn uniform_is_balanced() {
-        let d = InitialDistribution::Uniform { k: 3 };
-        let c = d.counts(10).expect("valid");
-        assert_eq!(c, vec![4, 3, 3]);
-    }
-
-    #[test]
-    fn zipf_is_skewed_and_sums() {
-        let d = InitialDistribution::Zipf { k: 5, s: 1.0 };
-        let c = d.counts(1_000).expect("valid");
-        assert_eq!(c.iter().sum::<u64>(), 1_000);
-        assert!(c[0] > c[4] * 3, "zipf head {} tail {}", c[0], c[4]);
-    }
-
-    #[test]
-    fn geometric_decays() {
-        let d = InitialDistribution::Geometric { k: 4, r: 0.5 };
-        let c = d.counts(1_500).expect("valid");
-        assert_eq!(c.iter().sum::<u64>(), 1_500);
-        assert!(c[0] > c[1] && c[1] > c[2]);
-    }
-
-    #[test]
-    fn custom_is_validated() {
-        assert!(InitialDistribution::Custom(vec![5, 3, 2]).counts(10).is_ok());
-        assert!(InitialDistribution::Custom(vec![3, 5]).counts(8).is_err());
-        assert!(InitialDistribution::Custom(vec![5, 3]).counts(9).is_err());
-    }
-
-    #[test]
-    fn errors_are_reported() {
-        assert_eq!(
-            InitialDistribution::Uniform { k: 1 }.counts(10).unwrap_err(),
-            DistributionError::TooFewColors
-        );
-        assert!(matches!(
-            InitialDistribution::Uniform { k: 20 }.counts(10).unwrap_err(),
-            DistributionError::PopulationTooSmall { .. }
-        ));
-        assert!(matches!(
-            InitialDistribution::Zipf { k: 3, s: -1.0 }.counts(10).unwrap_err(),
-            DistributionError::BadParameter(_)
-        ));
-        let msg = DistributionError::TooFewColors.to_string();
-        assert!(msg.contains("two"));
-    }
-
-    #[test]
-    fn theorem_gaps_grow_superlinearly_in_sqrt_n() {
-        let g1 = theorem_11_gap(10_000, 1.0);
-        let g2 = theorem_11_gap(40_000, 1.0);
-        // √(n ln n) slightly more than doubles when n quadruples.
-        assert!(g2 > 2 * g1);
-        assert!(theorem_12_gap(10_000, 1.0) > g1);
-    }
-
-    #[test]
-    fn labels_are_distinct() {
-        let labels: Vec<String> = [
-            InitialDistribution::additive_bias(2, 5).label(),
-            InitialDistribution::multiplicative_bias(2, 0.1).label(),
-            InitialDistribution::Uniform { k: 2 }.label(),
-            InitialDistribution::Zipf { k: 2, s: 1.0 }.label(),
-            InitialDistribution::Geometric { k: 2, r: 0.5 }.label(),
-            InitialDistribution::Custom(vec![1, 1]).label(),
-        ]
-        .to_vec();
-        let mut dedup = labels.clone();
-        dedup.sort();
-        dedup.dedup();
-        assert_eq!(dedup.len(), labels.len());
-    }
-}
+pub use rapid_core::distributions::{
+    theorem_11_gap, theorem_12_gap, DistributionError, InitialDistribution,
+};

@@ -84,30 +84,24 @@ pub fn run(cfg: &Config) -> Report {
             let results = run_trials(cfg.trials, Seed::new(cfg.seed ^ (n << 8) ^ k as u64), {
                 let counts = counts.clone();
                 move |_, seed| {
-                    let g = Complete::new(n as usize);
-                    let mut config =
-                        Configuration::from_counts(&counts).expect("validated above");
-                    let mut rng = SimRng::from_seed_value(seed);
-                    match run_sync_to_consensus(
-                        &mut TwoChoices::new(),
-                        &g,
-                        &mut config,
-                        &mut rng,
-                        budget,
-                    ) {
-                        Ok(out) => (out.rounds, out.winner == Color::new(0), true),
-                        Err(_) => (budget, false, false),
+                    let out = Sim::builder()
+                        .topology(Complete::new(n as usize))
+                        .counts(&counts)
+                        .protocol(TwoChoices::new())
+                        .seed(seed)
+                        .stop(StopCondition::RoundBudget(budget))
+                        .build()
+                        .expect("validated above")
+                        .run();
+                    match out.as_sync() {
+                        Some(s) => (s.rounds, s.winner == Color::new(0), true),
+                        None => (budget, false, false),
                     }
                 }
             });
 
-            let rounds: OnlineStats = results
-                .iter()
-                .filter(|r| r.2)
-                .map(|r| r.0 as f64)
-                .collect();
-            let success =
-                results.iter().filter(|r| r.1).count() as f64 / results.len() as f64;
+            let rounds: OnlineStats = results.iter().filter(|r| r.2).map(|r| r.0 as f64).collect();
+            let success = results.iter().filter(|r| r.1).count() as f64 / results.len() as f64;
             let pred = predictions::two_choices_rounds(n, c1);
             table.push_row(vec![
                 n.to_string(),

@@ -83,18 +83,18 @@ pub fn run(cfg: &Config) -> Report {
         let results = run_trials(cfg.trials, Seed::new(cfg.seed ^ (k as u64) << 3), {
             let counts = counts.clone();
             move |_, seed| {
-                let g = Complete::new(n as usize);
-                let mut config = Configuration::from_counts(&counts).expect("validated");
-                let mut rng = SimRng::from_seed_value(seed);
-                match run_sync_to_consensus(
-                    &mut TwoChoices::new(),
-                    &g,
-                    &mut config,
-                    &mut rng,
-                    budget,
-                ) {
-                    Ok(out) => (out.rounds, out.winner == Color::new(0), true),
-                    Err(_) => (budget, false, false),
+                let out = Sim::builder()
+                    .topology(Complete::new(n as usize))
+                    .counts(&counts)
+                    .protocol(TwoChoices::new())
+                    .seed(seed)
+                    .stop(StopCondition::RoundBudget(budget))
+                    .build()
+                    .expect("validated")
+                    .run();
+                match out.as_sync() {
+                    Some(out) => (out.rounds, out.winner == Color::new(0), true),
+                    None => (budget, false, false),
                 }
             }
         });

@@ -62,8 +62,18 @@ pub fn run(cfg: &Config) -> Report {
         cfg.seed,
     );
     let mut table = Table::new(
-        format!("Sync Two-Choices winner rates at n = {}, k = {}", cfg.n, cfg.k),
-        &["gap", "gap/sqrt(n)", "C1 wins", "C2 wins", "other", "trials"],
+        format!(
+            "Sync Two-Choices winner rates at n = {}, k = {}",
+            cfg.n, cfg.k
+        ),
+        &[
+            "gap",
+            "gap/sqrt(n)",
+            "C1 wins",
+            "C2 wins",
+            "other",
+            "trials",
+        ],
     );
 
     let n = cfg.n;
@@ -84,18 +94,30 @@ pub fn run(cfg: &Config) -> Report {
         let results = run_trials(cfg.trials, Seed::new(cfg.seed ^ gap), {
             let counts = counts.clone();
             move |_, seed| {
-                let g = Complete::new(n as usize);
-                let mut config = Configuration::from_counts(&counts).expect("validated");
-                let mut rng = SimRng::from_seed_value(seed);
-                run_sync_to_consensus(&mut TwoChoices::new(), &g, &mut config, &mut rng, budget)
-                    .map(|out| out.winner)
-                    .ok()
+                Sim::builder()
+                    .topology(Complete::new(n as usize))
+                    .counts(&counts)
+                    .protocol(TwoChoices::new())
+                    .seed(seed)
+                    .stop(StopCondition::RoundBudget(budget))
+                    .build()
+                    .expect("validated")
+                    .run()
+                    .winner
             }
         });
 
         let total = results.len() as f64;
-        let c1 = results.iter().filter(|w| **w == Some(Color::new(0))).count() as f64 / total;
-        let c2 = results.iter().filter(|w| **w == Some(Color::new(1))).count() as f64 / total;
+        let c1 = results
+            .iter()
+            .filter(|w| **w == Some(Color::new(0)))
+            .count() as f64
+            / total;
+        let c2 = results
+            .iter()
+            .filter(|w| **w == Some(Color::new(1)))
+            .count() as f64
+            / total;
         table.push_row(vec![
             gap.to_string(),
             label,

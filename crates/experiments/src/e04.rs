@@ -80,18 +80,24 @@ impl Config {
 }
 
 fn run_sync(
-    proto: &mut dyn SyncProtocol,
+    proto: impl SyncProtocol + Send + 'static,
     n: u64,
     counts: &[u64],
     budget: u64,
     seed: Seed,
 ) -> (u64, bool, bool) {
-    let g = Complete::new(n as usize);
-    let mut config = Configuration::from_counts(counts).expect("validated");
-    let mut rng = SimRng::from_seed_value(seed);
-    match run_sync_to_consensus(proto, &g, &mut config, &mut rng, budget) {
-        Ok(out) => (out.rounds, out.winner == Color::new(0), true),
-        Err(_) => (budget, false, false),
+    let out = Sim::builder()
+        .topology(Complete::new(n as usize))
+        .counts(counts)
+        .protocol(proto)
+        .seed(seed)
+        .stop(StopCondition::RoundBudget(budget))
+        .build()
+        .expect("validated")
+        .run();
+    match out.as_sync() {
+        Some(out) => (out.rounds, out.winner == Color::new(0), true),
+        None => (budget, false, false),
     }
 }
 
@@ -106,7 +112,9 @@ pub fn run(cfg: &Config) -> Report {
     // ---- (a) the literal bound -------------------------------------
     let mut bound = Table::new(
         "(a) OneExtraBit at the Theorem 1.2 gap z*sqrt(n)*ln^1.5(n)",
-        &["n", "k", "c1", "rounds", "stderr", "pred", "ratio", "success"],
+        &[
+            "n", "k", "c1", "rounds", "stderr", "pred", "ratio", "success",
+        ],
     );
     for &n in &cfg.ns_bound {
         for &k in &cfg.ks_bound {
@@ -118,14 +126,12 @@ pub fn run(cfg: &Config) -> Report {
             let results = run_trials(cfg.trials, Seed::new(cfg.seed ^ (n << 8) ^ k as u64), {
                 let counts = counts.clone();
                 move |_, seed| {
-                    let mut proto = OneExtraBit::for_network(n as usize, k);
-                    run_sync(&mut proto, n, &counts, 5_000, seed)
+                    let proto = OneExtraBit::for_network(n as usize, k);
+                    run_sync(proto, n, &counts, 5_000, seed)
                 }
             });
-            let rounds: OnlineStats =
-                results.iter().filter(|r| r.2).map(|r| r.0 as f64).collect();
-            let success =
-                results.iter().filter(|r| r.1).count() as f64 / results.len() as f64;
+            let rounds: OnlineStats = results.iter().filter(|r| r.2).map(|r| r.0 as f64).collect();
+            let success = results.iter().filter(|r| r.1).count() as f64 / results.len() as f64;
             let pred = predictions::one_extra_bit_rounds(n, k, c1, c2);
             bound.push_row(vec![
                 n.to_string(),
@@ -146,7 +152,13 @@ pub fn run(cfg: &Config) -> Report {
     let mut compare = Table::new(
         "(b) OneExtraBit vs Two-Choices at the Theorem 1.1 gap (growing n/c1)",
         &[
-            "n", "k", "n/c1", "tc_rounds", "tc_success", "oeb_rounds", "oeb_success",
+            "n",
+            "k",
+            "n/c1",
+            "tc_rounds",
+            "tc_success",
+            "oeb_rounds",
+            "oeb_success",
             "oeb/tc",
         ],
     );
@@ -161,9 +173,9 @@ pub fn run(cfg: &Config) -> Report {
             let results = run_trials(cfg.trials, Seed::new(cfg.seed ^ (n << 4) ^ k as u64), {
                 let counts = counts.clone();
                 move |_, seed| {
-                    let tc = run_sync(&mut TwoChoices::new(), n, &counts, tc_budget, seed.child(0));
-                    let mut proto = OneExtraBit::for_network(n as usize, k);
-                    let oeb = run_sync(&mut proto, n, &counts, 5_000, seed.child(1));
+                    let tc = run_sync(TwoChoices::new(), n, &counts, tc_budget, seed.child(0));
+                    let proto = OneExtraBit::for_network(n as usize, k);
+                    let oeb = run_sync(proto, n, &counts, 5_000, seed.child(1));
                     (tc, oeb)
                 }
             });

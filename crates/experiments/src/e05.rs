@@ -62,21 +62,23 @@ impl Config {
 
 /// Per-trial trace: the `c1/c2` ratio at each phase boundary.
 fn trace_ratios(n: u64, k: usize, eps: f64, max_phases: u32, seed: Seed) -> Vec<f64> {
-    let counts = InitialDistribution::multiplicative_bias(k, eps)
-        .counts(n)
+    let proto = OneExtraBit::for_network(n as usize, k);
+    let rounds_per_phase = proto.rounds_per_phase();
+    let mut sim = Sim::builder()
+        .topology(Complete::new(n as usize))
+        .distribution(InitialDistribution::multiplicative_bias(k, eps))
+        .protocol(proto)
+        .seed(seed)
+        .build()
         .expect("valid workload");
-    let g = Complete::new(n as usize);
-    let mut config = Configuration::from_counts(&counts).expect("valid");
-    let mut rng = SimRng::from_seed_value(seed);
-    let mut proto = OneExtraBit::for_network(n as usize, k);
-    let mut ratios = vec![config.counts().top_two().ratio()];
+    let mut ratios = vec![sim.config().counts().top_two().ratio()];
     for _ in 0..max_phases {
-        for _ in 0..proto.rounds_per_phase() {
-            proto.round(&g, &mut config, &mut rng);
+        for _ in 0..rounds_per_phase {
+            sim.step();
         }
-        let t = config.counts().top_two();
+        let t = sim.config().counts().top_two();
         ratios.push(t.ratio());
-        if !t.ratio().is_finite() || config.unanimous().is_some() {
+        if !t.ratio().is_finite() || sim.config().unanimous().is_some() {
             break;
         }
     }
@@ -97,12 +99,21 @@ pub fn run(cfg: &Config) -> Report {
                 "Per-phase c1/c2 ratio at n = {}, k = {k}, eps = {}",
                 cfg.n, cfg.eps
             ),
-            &["phase", "ratio_before", "ratio_after", "predicted", "measured/pred", "trials"],
+            &[
+                "phase",
+                "ratio_before",
+                "ratio_after",
+                "predicted",
+                "measured/pred",
+                "trials",
+            ],
         );
 
-        let traces = run_trials(cfg.trials, Seed::new(cfg.seed ^ (k as u64) << 4), |_, seed| {
-            trace_ratios(cfg.n, k, cfg.eps, cfg.max_phases, seed)
-        });
+        let traces = run_trials(
+            cfg.trials,
+            Seed::new(cfg.seed ^ (k as u64) << 4),
+            |_, seed| trace_ratios(cfg.n, k, cfg.eps, cfg.max_phases, seed),
+        );
 
         for phase in 0..cfg.max_phases as usize {
             // Average log-ratios across the trials that still have a finite
@@ -151,10 +162,7 @@ mod tests {
         // First two phases: quadratic within 40% (stochastic slack; the
         // o(1) in the theorem statement is real at n = 8192).
         for (i, &r) in rel.iter().take(2).enumerate() {
-            assert!(
-                (0.6..1.4).contains(&r),
-                "phase {i}: measured/pred = {r}"
-            );
+            assert!((0.6..1.4).contains(&r), "phase {i}: measured/pred = {r}");
         }
     }
 }

@@ -10,6 +10,7 @@
 //! of magnitude, and success ≈ 1.
 
 use rapid_core::prelude::*;
+use rapid_graph::prelude::*;
 use rapid_sim::prelude::*;
 use rapid_stats::{fit_line, OnlineStats};
 
@@ -72,7 +73,15 @@ pub fn run(cfg: &Config) -> Report {
             "RapidSim on K_n, k = {}, multiplicative bias eps = {}",
             cfg.k, cfg.eps
         ),
-        &["n", "time", "stderr", "time/ln(n)", "steps/n", "success", "trials"],
+        &[
+            "n",
+            "time",
+            "stderr",
+            "time/ln(n)",
+            "steps/n",
+            "success",
+            "trials",
+        ],
     );
 
     let mut ln_ns = Vec::new();
@@ -87,30 +96,28 @@ pub fn run(cfg: &Config) -> Report {
         let results = run_trials(cfg.trials, Seed::new(cfg.seed ^ (n << 4)), {
             let counts = counts.clone();
             move |_, seed| {
-                let mut sim = clique_rapid(&counts, params, seed);
-                let budget = sim.default_step_budget();
-                match sim.run_until_consensus(budget) {
-                    Ok(out) => (
+                let outcome = Sim::builder()
+                    .topology(Complete::new(n as usize))
+                    .counts(&counts)
+                    .rapid(params)
+                    .seed(seed)
+                    .build()
+                    .expect("validated")
+                    .run();
+                match outcome.as_rapid() {
+                    Some(out) => (
                         out.time.as_secs(),
                         out.steps,
                         out.winner == Color::new(0) && out.before_first_halt,
                         true,
                     ),
-                    Err(_) => (0.0, 0, false, false),
+                    None => (0.0, 0, false, false),
                 }
             }
         });
 
-        let time: OnlineStats = results
-            .iter()
-            .filter(|r| r.3)
-            .map(|r| r.0)
-            .collect();
-        let steps: OnlineStats = results
-            .iter()
-            .filter(|r| r.3)
-            .map(|r| r.1 as f64)
-            .collect();
+        let time: OnlineStats = results.iter().filter(|r| r.3).map(|r| r.0).collect();
+        let steps: OnlineStats = results.iter().filter(|r| r.3).map(|r| r.1 as f64).collect();
         let success = results.iter().filter(|r| r.2).count() as f64 / results.len() as f64;
         let ln_n = (n as f64).ln();
         if !time.is_empty() {

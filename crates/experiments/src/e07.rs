@@ -9,6 +9,7 @@
 //! success stays ≈ 1 across the sweep.
 
 use rapid_core::prelude::*;
+use rapid_graph::prelude::*;
 use rapid_sim::prelude::*;
 use rapid_stats::OnlineStats;
 
@@ -84,15 +85,21 @@ pub fn run(cfg: &Config) -> Report {
         let results = run_trials(cfg.trials, Seed::new(cfg.seed ^ (k as u64) << 5), {
             let counts = counts.clone();
             move |_, seed| {
-                let mut sim = clique_rapid(&counts, params, seed);
-                let budget = sim.default_step_budget();
-                match sim.run_until_consensus(budget) {
-                    Ok(out) => (
+                let outcome = Sim::builder()
+                    .topology(Complete::new(n as usize))
+                    .counts(&counts)
+                    .rapid(params)
+                    .seed(seed)
+                    .build()
+                    .expect("validated")
+                    .run();
+                match outcome.as_rapid() {
+                    Some(out) => (
                         out.time.as_secs(),
                         out.winner == Color::new(0) && out.before_first_halt,
                         true,
                     ),
-                    Err(_) => (0.0, false, false),
+                    None => (0.0, false, false),
                 }
             }
         });

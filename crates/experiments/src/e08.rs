@@ -10,6 +10,7 @@
 //! every phase boundary, with the gadget enabled vs disabled (ablation).
 
 use rapid_core::prelude::*;
+use rapid_graph::prelude::*;
 use rapid_sim::prelude::*;
 use rapid_stats::{welch_t_test, OnlineStats};
 
@@ -58,22 +59,25 @@ impl Config {
 
 /// One part-1 run; returns per-phase `(poorly_synced, spread)` pairs.
 fn measure(n: u64, k: usize, eps: f64, gadget: bool, seed: Seed) -> Vec<(f64, u64)> {
-    let counts = InitialDistribution::multiplicative_bias(k, eps)
-        .counts(n)
-        .expect("valid workload");
     let mut params = Params::for_network_with_eps(n as usize, k, eps);
     if !gadget {
         params = params.without_gadget();
     }
-    let mut sim = clique_rapid(&counts, params, seed);
+    let mut sim = Sim::builder()
+        .topology(Complete::new(n as usize))
+        .distribution(InitialDistribution::multiplicative_bias(k, eps))
+        .rapid(params)
+        .seed(seed)
+        .build()
+        .expect("valid workload");
     let per_phase = n * params.phase_len();
     let tolerance = 2 * params.delta as u64;
     let mut out = Vec::new();
     for _ in 0..params.phases {
         for _ in 0..per_phase {
-            sim.tick();
+            sim.step();
         }
-        let stats = sim.working_time_stats(tolerance);
+        let stats = sim.working_time_stats(tolerance).expect("rapid engine");
         out.push((stats.poorly_synced, stats.max - stats.min));
     }
     out
@@ -173,6 +177,9 @@ mod tests {
             on_s < off_s,
             "gadget should reduce final spread: {on_s} vs {off_s}"
         );
-        assert!(on_p < 0.1, "with the gadget, poorly-synced stays small: {on_p}");
+        assert!(
+            on_p < 0.1,
+            "with the gadget, poorly-synced stays small: {on_p}"
+        );
     }
 }

@@ -79,8 +79,7 @@ pub fn run(cfg: &Config) -> Report {
         let t_end = cfg.horizon_ln_multiple * (n as f64).ln();
 
         let results = run_trials(cfg.trials, Seed::new(cfg.seed ^ n), move |_, seed| {
-            let mut sched =
-                SequentialScheduler::with_mode(n as usize, seed, TimeMode::Sampled);
+            let mut sched = SequentialScheduler::with_mode(n as usize, seed, TimeMode::Sampled);
             let mut stats = ActivationStats::new(n as usize);
             let horizon = SimTime::from_secs(t_end);
             // Drive to the horizon, recording every activation.

@@ -12,6 +12,7 @@
 //! same start composition (two-sample Kolmogorov–Smirnov).
 
 use rapid_core::prelude::*;
+use rapid_graph::prelude::*;
 use rapid_sim::prelude::*;
 use rapid_stats::{ks_two_sample, OnlineStats};
 use rapid_urn::spread_by_copying;
@@ -64,19 +65,22 @@ impl Config {
 /// among bit-set nodes at BP start, BP end (in-protocol), and after an
 /// equivalent-length Pólya urn run.
 fn trial(n: u64, k: usize, eps: f64, seed: Seed) -> Option<(f64, f64, f64)> {
-    let counts = InitialDistribution::multiplicative_bias(k, eps)
-        .counts(n)
-        .ok()?;
     let params = Params::for_network_with_eps(n as usize, k, eps);
-    let mut sim = clique_rapid(&counts, params, seed.child(0));
+    let mut sim = Sim::builder()
+        .topology(Complete::new(n as usize))
+        .distribution(InitialDistribution::multiplicative_bias(k, eps))
+        .rapid(params)
+        .seed(seed.child(0))
+        .build()
+        .ok()?;
 
     // The median moves ~1 tick per n activations; advance in n/8-tick
     // chunks so the O(n log n) median computation stays off the hot path.
     let chunk = n / 8 + 1;
-    let advance_to = |sim: &mut RapidSim<_, _>, target: u64| {
-        while sim.median_working_time() < target {
+    let advance_to = |sim: &mut Sim, target: u64| {
+        while sim.median_working_time().expect("rapid engine") < target {
             for _ in 0..chunk {
-                sim.tick();
+                sim.step();
             }
         }
     };
@@ -84,7 +88,7 @@ fn trial(n: u64, k: usize, eps: f64, seed: Seed) -> Option<(f64, f64, f64)> {
     // Advance until the bulk has completed the commit step of phase 0.
     let commit_slot = (params.tc_blocks as u64) * params.delta as u64; // first BP slot
     advance_to(&mut sim, commit_slot);
-    let comp0 = sim.bit_composition();
+    let comp0 = sim.bit_composition().expect("rapid engine");
     let total0: u64 = comp0.iter().sum();
     if total0 == 0 {
         return None; // no seeds this trial (possible at tiny n)
@@ -94,7 +98,7 @@ fn trial(n: u64, k: usize, eps: f64, seed: Seed) -> Option<(f64, f64, f64)> {
     // Advance to the end of the BP sub-phase (bulk at sync start).
     let sync_start = commit_slot + params.bp_len();
     advance_to(&mut sim, sync_start);
-    let comp1 = sim.bit_composition();
+    let comp1 = sim.bit_composition().expect("rapid engine");
     let total1: u64 = comp1.iter().sum();
     let f1 = comp1[0] as f64 / total1 as f64;
 
@@ -116,7 +120,10 @@ pub fn run(cfg: &Config) -> Report {
         cfg.seed,
     );
     let mut table = Table::new(
-        format!("Bit-set plurality fraction, n = {}, eps = {}", cfg.n, cfg.eps),
+        format!(
+            "Bit-set plurality fraction, n = {}, eps = {}",
+            cfg.n, cfg.eps
+        ),
         &[
             "k",
             "f_start",
@@ -129,9 +136,11 @@ pub fn run(cfg: &Config) -> Report {
     );
 
     for &k in &cfg.ks {
-        let results = run_trials(cfg.trials, Seed::new(cfg.seed ^ (k as u64) << 6), |_, seed| {
-            trial(cfg.n, k, cfg.eps, seed)
-        });
+        let results = run_trials(
+            cfg.trials,
+            Seed::new(cfg.seed ^ (k as u64) << 6),
+            |_, seed| trial(cfg.n, k, cfg.eps, seed),
+        );
         let valid: Vec<(f64, f64, f64)> = results.into_iter().flatten().collect();
         if valid.is_empty() {
             continue;

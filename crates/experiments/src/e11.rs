@@ -8,6 +8,7 @@
 //! time scales like `ln n`.
 
 use rapid_core::prelude::*;
+use rapid_graph::prelude::*;
 use rapid_sim::prelude::*;
 use rapid_stats::OnlineStats;
 
@@ -66,7 +67,15 @@ pub fn run(cfg: &Config) -> Report {
             "Endgame from c1 = (1-eps)*n, halt budget {} ln n ticks",
             cfg.halt_ln_multiple
         ),
-        &["n", "eps", "time", "stderr", "time/ln(n)", "success", "trials"],
+        &[
+            "n",
+            "eps",
+            "time",
+            "stderr",
+            "time/ln(n)",
+            "success",
+            "trials",
+        ],
     );
 
     for &n in &cfg.ns {
@@ -79,23 +88,28 @@ pub fn run(cfg: &Config) -> Report {
                 cfg.trials,
                 Seed::new(cfg.seed ^ (n << 3) ^ (eps * 100.0) as u64),
                 move |_, seed| {
-                    let mut sim = clique_gossip(&counts, GossipRule::TwoChoices, seed)
-                        .with_halt_after(halt);
-                    let budget = 4 * n * halt;
-                    match sim.run_until_consensus(budget) {
-                        Ok(out) => {
-                            let ok = out.winner == Color::new(0)
-                                && sim.consensus_before_first_halt(out.time);
-                            (out.time.as_secs(), ok, true)
-                        }
-                        Err(_) => (0.0, false, false),
+                    let outcome = Sim::builder()
+                        .topology(Complete::new(n as usize))
+                        .counts(&counts)
+                        .gossip(GossipRule::TwoChoices)
+                        .halt_after(halt)
+                        .seed(seed)
+                        .stop(StopCondition::StepBudget(4 * n * halt))
+                        .build()
+                        .expect("validated")
+                        .run();
+                    if outcome.converged() {
+                        let ok = outcome.winner == Some(Color::new(0))
+                            && outcome.before_first_halt == Some(true);
+                        (outcome.time.expect("async engine").as_secs(), ok, true)
+                    } else {
+                        (0.0, false, false)
                     }
                 },
             );
 
             let time: OnlineStats = results.iter().filter(|r| r.2).map(|r| r.0).collect();
-            let success =
-                results.iter().filter(|r| r.1).count() as f64 / results.len() as f64;
+            let success = results.iter().filter(|r| r.1).count() as f64 / results.len() as f64;
             table.push_row(vec![
                 n.to_string(),
                 format!("{eps}"),

@@ -65,23 +65,24 @@ impl Config {
 }
 
 fn run_one(n: u64, k: usize, eps: f64, rate: f64, seed: Seed) -> Option<(f64, bool)> {
-    let counts = InitialDistribution::multiplicative_bias(k, eps).counts(n).ok()?;
-    let config = Configuration::from_counts(&counts).expect("valid");
     let params = Params::for_network_with_eps(n as usize, k, eps);
-    let budget = 3 * n * params.total_len();
-    let outcome = if rate > 0.0 {
-        let seq = SequentialScheduler::with_mode(n as usize, seed.child(0), TimeMode::Sampled);
-        let src = JitteredScheduler::new(seq, seed.child(2), rate);
-        let mut sim = RapidSim::new(Complete::new(n as usize), config, params, src, seed.child(1));
-        sim.run_until_consensus(budget).ok()?
-    } else {
-        let seq = SequentialScheduler::new(n as usize, seed.child(0));
-        let mut sim = RapidSim::new(Complete::new(n as usize), config, params, seq, seed.child(1));
-        sim.run_until_consensus(budget).ok()?
-    };
+    // No explicit stop: the facade's fallback budget for rapid engines is
+    // the schedule-derived default.
+    let mut builder = Sim::builder()
+        .topology(Complete::new(n as usize))
+        .distribution(InitialDistribution::multiplicative_bias(k, eps))
+        .rapid(params)
+        .seed(seed);
+    if rate > 0.0 {
+        builder = builder
+            .clock(Clock::Sequential(TimeMode::Sampled))
+            .jitter(rate);
+    }
+    let outcome = builder.build().ok()?.run();
+    let out = outcome.as_rapid()?;
     Some((
-        outcome.time.as_secs(),
-        outcome.winner == Color::new(0) && outcome.before_first_halt,
+        out.time.as_secs(),
+        out.winner == Color::new(0) && out.before_first_halt,
     ))
 }
 
@@ -93,8 +94,19 @@ pub fn run(cfg: &Config) -> Report {
         cfg.seed,
     );
     let mut table = Table::new(
-        format!("RapidSim with Exp(mu) response delays, k = {}, eps = {}", cfg.k, cfg.eps),
-        &["n", "delay", "mean delay", "time", "stderr", "time/ln(n)", "success"],
+        format!(
+            "RapidSim with Exp(mu) response delays, k = {}, eps = {}",
+            cfg.k, cfg.eps
+        ),
+        &[
+            "n",
+            "delay",
+            "mean delay",
+            "time",
+            "stderr",
+            "time/ln(n)",
+            "success",
+        ],
     );
 
     for &n in &cfg.ns {

@@ -94,44 +94,51 @@ fn run_entrant(
     counts: &[u64],
     seed: Seed,
 ) -> (f64, bool, bool) {
-    match e {
+    // The one-selector payoff: every entrant is the same expression with a
+    // different `Protocol`.
+    let (protocol, budget): (Protocol, u64) = match e {
+        Entrant::Voter => (Protocol::Sync(Box::new(Voter::new())), 40 * n), // Θ(n) expected
+        Entrant::TwoChoices => (
+            Protocol::Sync(Box::new(TwoChoices::new())),
+            600 * k as u64 + 10_000,
+        ),
+        Entrant::ThreeMajority => (
+            Protocol::Sync(Box::new(ThreeMajority::new())),
+            600 * k as u64 + 10_000,
+        ),
+        Entrant::OneExtraBit => (
+            Protocol::Sync(Box::new(OneExtraBit::for_network(n as usize, k))),
+            5_000,
+        ),
         Entrant::Rapid => {
             let params = Params::for_network_with_eps(n as usize, k, eps);
-            let mut sim = clique_rapid(counts, params, seed);
-            let budget = sim.default_step_budget();
-            match sim.run_until_consensus(budget) {
-                Ok(out) => (
-                    out.time.as_secs(),
-                    out.winner == Color::new(0) && out.before_first_halt,
-                    true,
-                ),
-                Err(_) => (0.0, false, false),
-            }
+            // 0 sentinel: the rapid entrant relies on the facade's
+            // schedule-derived fallback budget instead of an explicit stop.
+            (Protocol::Rapid(params), 0)
         }
-        _ => {
-            let g = Complete::new(n as usize);
-            let mut config = Configuration::from_counts(counts).expect("valid");
-            let mut rng = SimRng::from_seed_value(seed);
-            let budget = match e {
-                Entrant::Voter => 40 * n, // Θ(n) expected; cap at 40n rounds
-                Entrant::TwoChoices | Entrant::ThreeMajority => 600 * k as u64 + 10_000,
-                _ => 5_000,
-            };
-            let mut voter = Voter::new();
-            let mut tc = TwoChoices::new();
-            let mut tm = ThreeMajority::new();
-            let mut oeb = OneExtraBit::for_network(n as usize, k);
-            let proto: &mut dyn SyncProtocol = match e {
-                Entrant::Voter => &mut voter,
-                Entrant::TwoChoices => &mut tc,
-                Entrant::ThreeMajority => &mut tm,
-                _ => &mut oeb,
-            };
-            match run_sync_to_consensus(proto, &g, &mut config, &mut rng, budget) {
-                Ok(out) => (out.rounds as f64, out.winner == Color::new(0), true),
-                Err(_) => (budget as f64, false, false),
-            }
-        }
+    };
+    let mut builder = Sim::builder()
+        .topology(Complete::new(n as usize))
+        .counts(counts)
+        .select(protocol)
+        .seed(seed);
+    if !matches!(e, Entrant::Rapid) {
+        builder = builder.stop(StopCondition::RoundBudget(budget));
+    }
+    let outcome = builder.build().expect("valid").run();
+    match e {
+        Entrant::Rapid => match outcome.as_rapid() {
+            Some(out) => (
+                out.time.as_secs(),
+                out.winner == Color::new(0) && out.before_first_halt,
+                true,
+            ),
+            None => (0.0, false, false),
+        },
+        _ => match outcome.as_sync() {
+            Some(out) => (out.rounds as f64, out.winner == Color::new(0), true),
+            None => (budget as f64, false, false),
+        },
     }
 }
 
@@ -143,8 +150,18 @@ pub fn run(cfg: &Config) -> Report {
         cfg.seed,
     );
     let mut table = Table::new(
-        format!("Rounds/time to consensus at n = {}, eps = {}", cfg.n, cfg.eps),
-        &["k", "protocol", "rounds~time", "stderr", "success", "converged"],
+        format!(
+            "Rounds/time to consensus at n = {}, eps = {}",
+            cfg.n, cfg.eps
+        ),
+        &[
+            "k",
+            "protocol",
+            "rounds~time",
+            "stderr",
+            "success",
+            "converged",
+        ],
     );
 
     let mut entrants = vec![
@@ -158,8 +175,7 @@ pub fn run(cfg: &Config) -> Report {
     }
 
     for &k in &cfg.ks {
-        let Ok(counts) = InitialDistribution::multiplicative_bias(k, cfg.eps).counts(cfg.n)
-        else {
+        let Ok(counts) = InitialDistribution::multiplicative_bias(k, cfg.eps).counts(cfg.n) else {
             continue;
         };
         for &e in &entrants {
@@ -172,10 +188,8 @@ pub fn run(cfg: &Config) -> Report {
                 },
             );
             let time: OnlineStats = results.iter().filter(|r| r.2).map(|r| r.0).collect();
-            let success =
-                results.iter().filter(|r| r.1).count() as f64 / results.len() as f64;
-            let converged =
-                results.iter().filter(|r| r.2).count() as f64 / results.len() as f64;
+            let success = results.iter().filter(|r| r.1).count() as f64 / results.len() as f64;
+            let converged = results.iter().filter(|r| r.2).count() as f64 / results.len() as f64;
             table.push_row(vec![
                 k.to_string(),
                 e.name().to_string(),

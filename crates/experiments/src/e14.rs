@@ -108,76 +108,57 @@ fn run_cell(
 
     let results = run_trials(trials, master, move |_, seed| {
         // Build the topology fresh per trial (random graphs resample).
-        let shuffle_and_run = |g: &dyn Topology, seed: Seed| -> (f64, bool, bool) {
-            let mut config = Configuration::from_counts(&counts).expect("validated");
-            // Structured topologies need a random node-color assignment.
-            config.shuffle(&mut SimRng::from_seed_value(seed.child(10)));
-            if asynchronous {
-                let params = Params::for_network_with_eps(n, k, eps);
-                let source = SequentialScheduler::new(n, seed.child(11));
-                let mut sim =
-                    RapidSim::new(DynTopo(g), config, params, source, seed.child(12));
-                let budget = 3 * n as u64 * params.total_len();
-                match sim.run_until_consensus(budget) {
-                    Ok(out) => (
-                        out.time.as_secs(),
-                        out.winner == Color::new(0) && out.before_first_halt,
-                        true,
-                    ),
-                    Err(_) => (0.0, false, false),
-                }
-            } else {
-                let mut rng = SimRng::from_seed_value(seed.child(13));
-                match run_sync_to_consensus(
-                    &mut TwoChoices::new(),
-                    g,
-                    &mut config,
-                    &mut rng,
-                    200_000,
-                ) {
-                    Ok(out) => (out.rounds as f64, out.winner == Color::new(0), true),
-                    Err(_) => (0.0, false, false),
-                }
-            }
-        };
-        match topo {
-            Topo::Clique => shuffle_and_run(&Complete::new(n), seed),
-            Topo::Regular => {
-                let g = RandomRegular::sample(n, d.min(n - 1), seed.child(1))
-                    .expect("even stub count");
-                shuffle_and_run(&g, seed)
-            }
+        let topology: rapid_core::facade::BoxedTopology = match topo {
+            Topo::Clique => Box::new(Complete::new(n)),
+            // Children 0–3 are the facade's internal streams (scheduler,
+            // engine, shuffle, jitter); sample graphs from disjoint ones
+            // so graph structure and protocol randomness stay independent.
+            Topo::Regular => Box::new(
+                RandomRegular::sample(n, d.min(n - 1), seed.child(20)).expect("even stub count"),
+            ),
             Topo::ErdosRenyi => {
                 let p = 2.0 * (n as f64).ln() / n as f64;
-                let g = ErdosRenyi::sample(n, p.min(1.0), seed.child(2));
-                shuffle_and_run(&g, seed)
+                Box::new(ErdosRenyi::sample(n, p.min(1.0), seed.child(21)))
             }
-            Topo::Torus => shuffle_and_run(&Torus2d::new(side, side), seed),
+            Topo::Torus => Box::new(Torus2d::new(side, side)),
+        };
+        // Structured topologies need a random node-color assignment, so
+        // shuffle; both protocols share the rest of the assembly.
+        let builder = Sim::builder()
+            .boxed_topology(topology)
+            .counts(&counts)
+            .shuffle(true)
+            .seed(seed);
+        if asynchronous {
+            // No explicit stop: the facade's fallback is the rapid
+            // engine's schedule-derived budget.
+            let params = Params::for_network_with_eps(n, k, eps);
+            let outcome = builder.rapid(params).build().expect("validated").run();
+            match outcome.as_rapid() {
+                Some(out) => (
+                    out.time.as_secs(),
+                    out.winner == Color::new(0) && out.before_first_halt,
+                    true,
+                ),
+                None => (0.0, false, false),
+            }
+        } else {
+            let outcome = builder
+                .protocol(TwoChoices::new())
+                .stop(StopCondition::RoundBudget(200_000))
+                .build()
+                .expect("validated")
+                .run();
+            match outcome.as_sync() {
+                Some(out) => (out.rounds as f64, out.winner == Color::new(0), true),
+                None => (0.0, false, false),
+            }
         }
     });
 
     let time: OnlineStats = results.iter().filter(|r| r.2).map(|r| r.0).collect();
     let success = results.iter().filter(|r| r.1).count() as f64 / results.len() as f64;
     Some((time, success))
-}
-
-/// A dyn-topology wrapper: `RapidSim` is generic over `G: Topology`, and
-/// `&dyn Topology` implements `Topology` through this adapter.
-struct DynTopo<'a>(&'a dyn Topology);
-
-impl Topology for DynTopo<'_> {
-    fn n(&self) -> usize {
-        self.0.n()
-    }
-    fn degree(&self, u: NodeId) -> usize {
-        self.0.degree(u)
-    }
-    fn sample_neighbor(&self, u: NodeId, rng: &mut SimRng) -> NodeId {
-        self.0.sample_neighbor(u, rng)
-    }
-    fn neighbors(&self, u: NodeId) -> Vec<NodeId> {
-        self.0.neighbors(u)
-    }
 }
 
 /// Runs E14 and returns its report.
@@ -207,7 +188,12 @@ pub fn run(cfg: &Config) -> Report {
             };
             table.push_row(vec![
                 topo.label().to_string(),
-                if asynchronous { "rapid-async" } else { "two-choices" }.to_string(),
+                if asynchronous {
+                    "rapid-async"
+                } else {
+                    "two-choices"
+                }
+                .to_string(),
                 format!("{:.1}", time.mean()),
                 format!("{:.1}", time.std_err()),
                 format!("{success:.2}"),

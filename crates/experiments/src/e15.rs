@@ -69,43 +69,33 @@ impl Config {
 }
 
 fn run_one(n: u64, k: usize, eps: f64, skew: f64, seed: Seed) -> Option<(f64, bool, f64)> {
-    let counts = InitialDistribution::multiplicative_bias(k, eps).counts(n).ok()?;
-    let config = Configuration::from_counts(&counts).expect("valid");
     let params = Params::for_network_with_eps(n as usize, k, eps);
-    let source = HeterogeneousScheduler::with_uniform_skew(n as usize, skew, seed.child(0));
-    let mut sim = RapidSim::new(
-        Complete::new(n as usize),
-        config,
-        params,
-        source,
-        seed.child(1),
-    );
-    let budget = 3 * n * params.total_len();
+    let mut sim = Sim::builder()
+        .topology(Complete::new(n as usize))
+        .distribution(InitialDistribution::multiplicative_bias(k, eps))
+        .rapid(params)
+        .clock(Clock::UniformSkew { skew })
+        .seed(seed)
+        .build()
+        .ok()?;
+    let budget = sim.default_budget();
     let spread_probe = params.part1_len() / 2;
     // Probe the working-time spread mid-run (after ~half of part 1).
     let mut spread = f64::NAN;
     let mut outcome = None;
-    let mut steps = 0u64;
-    while steps < budget {
-        let (a, action) = sim.tick();
-        steps += 1;
-        if spread.is_nan() && sim.median_working_time() >= spread_probe {
-            let stats = sim.working_time_stats(2 * params.delta as u64);
+    while sim.steps() < budget {
+        sim.step();
+        if spread.is_nan() && sim.median_working_time().expect("rapid engine") >= spread_probe {
+            let stats = sim
+                .working_time_stats(2 * params.delta as u64)
+                .expect("rapid");
             spread = stats.poorly_synced;
         }
-        if matches!(
-            action,
-            rapid_core::asynchronous::Action::Commit
-                | rapid_core::asynchronous::Action::BitPropagation
-                | rapid_core::asynchronous::Action::Endgame
-        ) {
-            let cu = sim.config().color(a.node);
-            if sim.config().counts().count(cu) == n {
-                outcome = Some((sim.now(), cu));
-                break;
-            }
+        if let Some(winner) = sim.config().unanimous() {
+            outcome = Some((sim.now().expect("async engine"), winner));
+            break;
         }
-        if sim.halted_count() == n as usize {
+        if sim.halted_count() == Some(n as usize) {
             break;
         }
     }
@@ -130,7 +120,14 @@ pub fn run(cfg: &Config) -> Report {
             "RapidSim with clock rates uniform in [1-d, 1+d], n = {}, k = {}, eps = {}",
             cfg.n, cfg.k, cfg.eps
         ),
-        &["skew d", "time", "stderr", "success", "mid-run poorly-synced", "trials"],
+        &[
+            "skew d",
+            "time",
+            "stderr",
+            "success",
+            "mid-run poorly-synced",
+            "trials",
+        ],
     );
 
     for &skew in &cfg.skews {
@@ -141,13 +138,8 @@ pub fn run(cfg: &Config) -> Report {
         );
         let valid: Vec<&(f64, bool, f64)> = results.iter().flatten().collect();
         let time: OnlineStats = valid.iter().map(|r| r.0).collect();
-        let success =
-            valid.iter().filter(|r| r.1).count() as f64 / results.len().max(1) as f64;
-        let spread: OnlineStats = valid
-            .iter()
-            .map(|r| r.2)
-            .filter(|s| !s.is_nan())
-            .collect();
+        let success = valid.iter().filter(|r| r.1).count() as f64 / results.len().max(1) as f64;
+        let spread: OnlineStats = valid.iter().map(|r| r.2).filter(|s| !s.is_nan()).collect();
         table.push_row(vec![
             format!("{skew}"),
             format!("{:.1}", time.mean()),

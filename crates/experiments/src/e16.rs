@@ -13,6 +13,7 @@
 //! `ratio_{p+1}` against `ratio_p²`.
 
 use rapid_core::prelude::*;
+use rapid_graph::prelude::*;
 use rapid_sim::prelude::*;
 use rapid_stats::OnlineStats;
 
@@ -66,18 +67,21 @@ impl Config {
 
 /// One trial: the `c₁/c₂` ratio at each phase boundary (median crossing).
 fn trace_ratios(n: u64, k: usize, eps: f64, max_phases: u32, seed: Seed) -> Vec<f64> {
-    let counts = InitialDistribution::multiplicative_bias(k, eps)
-        .counts(n)
-        .expect("feasible workload");
     let params = Params::for_network_with_eps(n as usize, k, eps);
-    let mut sim = clique_rapid(&counts, params, seed);
+    let mut sim = Sim::builder()
+        .topology(Complete::new(n as usize))
+        .distribution(InitialDistribution::multiplicative_bias(k, eps))
+        .rapid(params)
+        .seed(seed)
+        .build()
+        .expect("feasible workload");
     let chunk = n / 8 + 1;
     let mut ratios = vec![sim.config().counts().top_two().ratio()];
     for p in 1..=max_phases.min(params.phases) as u64 {
         let boundary = p * params.phase_len();
-        while sim.median_working_time() < boundary {
+        while sim.median_working_time().expect("rapid engine") < boundary {
             for _ in 0..chunk {
-                sim.tick();
+                sim.step();
             }
         }
         let t = sim.config().counts().top_two();
@@ -101,7 +105,14 @@ pub fn run(cfg: &Config) -> Report {
             "Per-phase c1/c2 ratio in RapidSim at n = {}, k = {}, eps = {}",
             cfg.n, cfg.k, cfg.eps
         ),
-        &["phase", "ratio_before", "ratio_after", "predicted", "measured/pred", "trials"],
+        &[
+            "phase",
+            "ratio_before",
+            "ratio_after",
+            "predicted",
+            "measured/pred",
+            "trials",
+        ],
     );
 
     let traces = run_trials(cfg.trials, Seed::new(cfg.seed), |_, seed| {
@@ -113,10 +124,7 @@ pub fn run(cfg: &Config) -> Report {
         let mut after = OnlineStats::new();
         let mut rel = OnlineStats::new();
         for trace in &traces {
-            if phase + 1 < trace.len()
-                && trace[phase].is_finite()
-                && trace[phase + 1].is_finite()
-            {
+            if phase + 1 < trace.len() && trace[phase].is_finite() && trace[phase + 1].is_finite() {
                 before.push(trace[phase]);
                 after.push(trace[phase + 1]);
                 rel.push(trace[phase + 1] / trace[phase].powi(2));
@@ -155,10 +163,7 @@ mod tests {
         // Wider slack than sync E05: the async phase includes stragglers
         // and the endgame-free measurement is taken at median crossings.
         for (i, &r) in rel.iter().take(2).enumerate() {
-            assert!(
-                (0.5..1.6).contains(&r),
-                "phase {i}: measured/pred = {r}"
-            );
+            assert!((0.5..1.6).contains(&r), "phase {i}: measured/pred = {r}");
         }
     }
 }

@@ -34,6 +34,7 @@
 
 pub mod cli;
 pub mod distributions;
+pub mod json;
 pub mod predictions;
 pub mod report;
 pub mod runner;

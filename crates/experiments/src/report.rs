@@ -2,12 +2,11 @@
 
 use std::path::{Path, PathBuf};
 
-use serde::{Deserialize, Serialize};
-
+use crate::json::{self, JsonValue};
 use crate::table::Table;
 
 /// The result of one experiment: tables plus provenance.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Report {
     /// Experiment id (e.g. `"E06"`).
     pub id: String,
@@ -44,12 +43,54 @@ impl Report {
     }
 
     /// Serialises the report as pretty JSON.
-    ///
-    /// # Panics
-    ///
-    /// Never in practice: the report contains only strings and numbers.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report is always serialisable")
+        JsonValue::object([
+            ("id", JsonValue::String(self.id.clone())),
+            ("title", JsonValue::String(self.title.clone())),
+            (
+                "tables",
+                JsonValue::Array(self.tables.iter().map(Table::to_json_value).collect()),
+            ),
+            ("notes", JsonValue::strings(&self.notes)),
+            // u64-exact: JsonValue::Number is f64-backed, which would
+            // corrupt seeds above 2^53.
+            ("seed", JsonValue::String(self.seed.to_string())),
+        ])
+        .to_pretty()
+    }
+
+    /// Parses a report previously produced by [`Report::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string when the document is not valid JSON or is
+    /// missing a report field.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = json::parse(text).map_err(|e| e.to_string())?;
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("missing field {k:?}"));
+        let string = |k: &str| {
+            field(k).and_then(|f| {
+                f.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("field {k:?} is not a string"))
+            })
+        };
+        Ok(Report {
+            id: string("id")?,
+            title: string("title")?,
+            tables: field("tables")?
+                .as_array()
+                .ok_or("tables is not an array")?
+                .iter()
+                .map(Table::from_json_value)
+                .collect::<Result<_, _>>()?,
+            notes: string_array(field("notes")?)?,
+            seed: field("seed")?
+                .as_str()
+                .ok_or("seed is not a string")?
+                .parse::<u64>()
+                .map_err(|e| format!("seed is not a u64: {e}"))?,
+        })
     }
 
     /// Writes `<dir>/<id>.json`; creates `dir` if needed.
@@ -68,7 +109,11 @@ impl Report {
 
 impl std::fmt::Display for Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "=== {} — {} (seed {:#x}) ===", self.id, self.title, self.seed)?;
+        writeln!(
+            f,
+            "=== {} — {} (seed {:#x}) ===",
+            self.id, self.title, self.seed
+        )?;
         for table in &self.tables {
             writeln!(f)?;
             write!(f, "{table}")?;
@@ -81,6 +126,19 @@ impl std::fmt::Display for Report {
         }
         Ok(())
     }
+}
+
+/// Extracts a JSON array of strings.
+pub(crate) fn string_array(v: &JsonValue) -> Result<Vec<String>, String> {
+    v.as_array()
+        .ok_or("expected an array of strings")?
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "expected a string".to_string())
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -108,8 +166,18 @@ mod tests {
     #[test]
     fn json_roundtrips() {
         let r = sample_report();
-        let back: Report = serde_json::from_str(&r.to_json()).expect("valid JSON");
+        let back = Report::from_json(&r.to_json()).expect("valid JSON");
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn large_seeds_roundtrip_exactly() {
+        // Seeds span the full u64 range (Seed::child output); an f64-backed
+        // number field would corrupt anything above 2^53.
+        let mut r = sample_report();
+        r.seed = u64::MAX - 12345;
+        let back = Report::from_json(&r.to_json()).expect("valid JSON");
+        assert_eq!(back.seed, r.seed);
     }
 
     #[test]
@@ -117,7 +185,11 @@ mod tests {
         let dir = std::env::temp_dir().join("rapid-report-test");
         let path = sample_report().save_json(&dir).expect("writable");
         assert!(path.exists());
-        assert!(path.file_name().expect("file").to_string_lossy().contains("e99"));
+        assert!(path
+            .file_name()
+            .expect("file")
+            .to_string_lossy()
+            .contains("e99"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -26,11 +26,7 @@ use rapid_sim::rng::Seed;
 /// assert_eq!(results.len(), 8);
 /// assert!(results.iter().enumerate().all(|(i, r)| r.0 == i as u64));
 /// ```
-pub fn run_trials<T: Send>(
-    trials: u64,
-    master: Seed,
-    f: impl Fn(u64, Seed) -> T + Sync,
-) -> Vec<T> {
+pub fn run_trials<T: Send>(trials: u64, master: Seed, f: impl Fn(u64, Seed) -> T + Sync) -> Vec<T> {
     assert!(trials > 0, "need at least one trial");
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -43,7 +39,7 @@ pub fn run_trials<T: Send>(
 
     let next = std::sync::atomic::AtomicU64::new(0);
     let mut slots: Vec<Option<T>> = (0..trials).map(|_| None).collect();
-    let slots_mutex = parking_lot::Mutex::new(&mut slots);
+    let slots_mutex = std::sync::Mutex::new(&mut slots);
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -53,7 +49,9 @@ pub fn run_trials<T: Send>(
                     return;
                 }
                 let result = f(i, master.child(i));
-                slots_mutex.lock()[i as usize] = Some(result);
+                slots_mutex
+                    .lock()
+                    .expect("no trial panicked holding the lock")[i as usize] = Some(result);
             });
         }
     });

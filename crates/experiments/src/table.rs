@@ -1,6 +1,7 @@
 //! Aligned text tables for experiment output.
 
-use serde::{Deserialize, Serialize};
+use crate::json::JsonValue;
+use crate::report::string_array;
 
 /// A simple column-aligned table with a title and optional notes.
 ///
@@ -14,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(s.contains("Demo"));
 /// assert!(s.contains("1024"));
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Table {
     /// Table title.
     pub title: String,
@@ -78,6 +79,42 @@ impl Table {
             .iter()
             .filter_map(|r| r[idx].parse::<f64>().ok())
             .collect()
+    }
+
+    /// The table as a JSON value (used by [`crate::Report::to_json`]).
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::object([
+            ("title", JsonValue::String(self.title.clone())),
+            ("columns", JsonValue::strings(&self.columns)),
+            (
+                "rows",
+                JsonValue::Array(self.rows.iter().map(JsonValue::strings).collect()),
+            ),
+            ("notes", JsonValue::strings(&self.notes)),
+        ])
+    }
+
+    /// Rebuilds a table from [`Table::to_json_value`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string when a field is missing or mistyped.
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("missing table field {k:?}"));
+        Ok(Table {
+            title: field("title")?
+                .as_str()
+                .ok_or("table title is not a string")?
+                .to_string(),
+            columns: string_array(field("columns")?)?,
+            rows: field("rows")?
+                .as_array()
+                .ok_or("table rows is not an array")?
+                .iter()
+                .map(string_array)
+                .collect::<Result<_, _>>()?,
+            notes: string_array(field("notes")?)?,
+        })
     }
 
     /// Renders as CSV (header + rows, RFC-4180-style quoting for commas).

@@ -20,7 +20,7 @@ use crate::topology::Topology;
 /// assert_eq!(g.degree(NodeId::new(1)), 2);
 /// assert_eq!(g.edge_count(), 4);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AdjacencyList {
     offsets: Vec<usize>,
     targets: Vec<u32>,
@@ -100,8 +100,13 @@ impl Topology for AdjacencyList {
     }
 
     fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
-        assert!(u.index() < self.n() && v.index() < self.n(), "node out of range");
-        self.neighbor_slice(u).binary_search(&(v.index() as u32)).is_ok()
+        assert!(
+            u.index() < self.n() && v.index() < self.n(),
+            "node out of range"
+        );
+        self.neighbor_slice(u)
+            .binary_search(&(v.index() as u32))
+            .is_ok()
     }
 
     fn edge_count(&self) -> usize {

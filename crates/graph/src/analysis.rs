@@ -40,7 +40,7 @@ pub fn is_connected(g: &dyn Topology) -> bool {
 }
 
 /// Summary statistics of a degree sequence.
-#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct DegreeStats {
     /// Minimum degree.
     pub min: usize,
@@ -131,7 +131,11 @@ mod tests {
     fn hypercube_diameter_is_dimension() {
         let g = Hypercube::new(5);
         let d = bfs_distances(&g, NodeId::new(0));
-        let max = d.iter().map(|x| x.expect("connected")).max().expect("nonempty");
+        let max = d
+            .iter()
+            .map(|x| x.expect("connected"))
+            .max()
+            .expect("nonempty");
         assert_eq!(max, 5);
     }
 }

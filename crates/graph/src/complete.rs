@@ -21,7 +21,7 @@ use crate::topology::Topology;
 /// assert_eq!(g.degree(NodeId::new(0)), 7);
 /// assert_eq!(g.edge_count(), 28);
 /// ```
-#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Complete {
     n: usize,
 }
@@ -65,7 +65,10 @@ impl Topology for Complete {
     }
 
     fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
-        assert!(u.index() < self.n && v.index() < self.n, "node out of range");
+        assert!(
+            u.index() < self.n && v.index() < self.n,
+            "node out of range"
+        );
         u != v
     }
 
@@ -123,7 +126,12 @@ mod tests {
         let nbrs = g.neighbors(NodeId::new(2));
         assert_eq!(
             nbrs,
-            vec![NodeId::new(0), NodeId::new(1), NodeId::new(3), NodeId::new(4)]
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(3),
+                NodeId::new(4)
+            ]
         );
     }
 

@@ -22,7 +22,7 @@ use crate::topology::Topology;
 /// let mean: f64 = (0..200).map(|i| g.degree(NodeId::new(i)) as f64).sum::<f64>() / 200.0;
 /// assert!((mean - 19.9).abs() < 3.0);
 /// ```
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ErdosRenyi {
     graph: AdjacencyList,
     p: f64,
@@ -163,7 +163,10 @@ impl std::fmt::Display for RandomRegularError {
                 write!(f, "no {d}-regular graph on {n} nodes: n*d must be even")
             }
             RandomRegularError::RetriesExhausted { attempts } => {
-                write!(f, "pairing model failed to produce a simple graph in {attempts} attempts")
+                write!(
+                    f,
+                    "pairing model failed to produce a simple graph in {attempts} attempts"
+                )
             }
         }
     }
@@ -182,7 +185,7 @@ impl std::error::Error for RandomRegularError {}
 /// let g = RandomRegular::sample(50, 4, Seed::new(2)).expect("valid parameters");
 /// assert!((0..50).all(|i| g.degree(NodeId::new(i)) == 4));
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RandomRegular {
     graph: AdjacencyList,
     d: usize,
@@ -214,8 +217,7 @@ impl RandomRegular {
         // for d = O(n^{1/3}), unlike whole-shuffle rejection whose success
         // probability decays like exp(-d²/4).
         'attempt: for _ in 0..attempts {
-            let mut stubs: Vec<usize> =
-                (0..n).flat_map(|i| std::iter::repeat_n(i, d)).collect();
+            let mut stubs: Vec<usize> = (0..n).flat_map(|i| std::iter::repeat_n(i, d)).collect();
             let mut edges: Vec<(usize, usize)> = Vec::with_capacity(stubs.len() / 2);
             let mut seen = std::collections::HashSet::with_capacity(stubs.len() / 2);
             let mut failures = 0usize;

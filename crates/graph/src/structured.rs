@@ -20,7 +20,7 @@ use crate::topology::Topology;
 /// assert_eq!(g.degree(NodeId::new(0)), 2);
 /// assert_eq!(g.edge_count(), 6);
 /// ```
-#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Cycle {
     n: usize,
 }
@@ -83,7 +83,7 @@ impl Topology for Cycle {
 /// assert_eq!(g.n(), 12);
 /// assert_eq!(g.degree(NodeId::new(5)), 4);
 /// ```
-#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Torus2d {
     width: usize,
     height: usize,
@@ -162,7 +162,7 @@ impl Topology for Torus2d {
 /// assert_eq!(g.n(), 16);
 /// assert_eq!(g.degree(NodeId::new(3)), 4);
 /// ```
-#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Hypercube {
     dim: u32,
 }
@@ -174,7 +174,10 @@ impl Hypercube {
     ///
     /// Panics if `dim == 0` or `dim > 30`.
     pub fn new(dim: u32) -> Self {
-        assert!((1..=30).contains(&dim), "dimension must be in 1..=30, got {dim}");
+        assert!(
+            (1..=30).contains(&dim),
+            "dimension must be in 1..=30, got {dim}"
+        );
         Hypercube { dim }
     }
 
@@ -226,7 +229,7 @@ impl Topology for Hypercube {
 /// assert_eq!(g.degree(NodeId::new(0)), 4);
 /// assert_eq!(g.degree(NodeId::new(1)), 1);
 /// ```
-#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Star {
     n: usize,
 }

@@ -60,6 +60,32 @@ pub trait Topology {
     }
 }
 
+impl Topology for Box<dyn Topology + Send + Sync> {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+
+    fn degree(&self, u: NodeId) -> usize {
+        (**self).degree(u)
+    }
+
+    fn sample_neighbor(&self, u: NodeId, rng: &mut SimRng) -> NodeId {
+        (**self).sample_neighbor(u, rng)
+    }
+
+    fn neighbors(&self, u: NodeId) -> Vec<NodeId> {
+        (**self).neighbors(u)
+    }
+
+    fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        (**self).contains_edge(u, v)
+    }
+
+    fn edge_count(&self) -> usize {
+        (**self).edge_count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

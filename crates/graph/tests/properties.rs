@@ -1,105 +1,122 @@
-//! Property-based tests for the topology implementations.
+//! Property-style tests for the topology implementations, driven by the
+//! deterministic [`rapid_sim::testkit`] harness.
 
-use proptest::prelude::*;
 use rapid_graph::prelude::*;
 use rapid_sim::prelude::*;
+use rapid_sim::testkit::cases;
 
-fn check_topology(g: &dyn Topology, seed: u64) -> Result<(), TestCaseError> {
-    let mut rng = SimRng::from_seed_value(Seed::new(seed));
+fn check_topology(g: &dyn Topology, seed: Seed) {
+    let mut rng = SimRng::from_seed_value(seed);
     // Degree sum = 2 * edges (handshake lemma).
     let degree_sum: usize = (0..g.n()).map(|i| g.degree(NodeId::new(i))).sum();
-    prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    assert_eq!(degree_sum, 2 * g.edge_count());
     // Sampling returns genuine neighbors, never the node itself.
     for i in (0..g.n()).step_by((g.n() / 8).max(1)) {
         let u = NodeId::new(i);
         let nbrs = g.neighbors(u);
-        prop_assert_eq!(nbrs.len(), g.degree(u));
-        prop_assert!(!nbrs.contains(&u), "self-loop at {}", u);
+        assert_eq!(nbrs.len(), g.degree(u));
+        assert!(!nbrs.contains(&u), "self-loop at {u}");
         for _ in 0..8 {
             let v = g.sample_neighbor(u, &mut rng);
-            prop_assert!(nbrs.contains(&v));
-            prop_assert!(g.contains_edge(u, v));
-            prop_assert!(g.contains_edge(v, u), "undirectedness at {}-{}", u, v);
+            assert!(nbrs.contains(&v));
+            assert!(g.contains_edge(u, v));
+            assert!(g.contains_edge(v, u), "undirectedness at {u}-{v}");
         }
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn complete_graph_invariants() {
+    cases(32, |g| {
+        let n = g.usize(2..300);
+        check_topology(&Complete::new(n), g.seed());
+    });
+}
 
-    #[test]
-    fn complete_graph_invariants(n in 2usize..300, seed in any::<u64>()) {
-        check_topology(&Complete::new(n), seed)?;
-    }
+#[test]
+fn cycle_invariants() {
+    cases(32, |g| {
+        let n = g.usize(3..300);
+        let cycle = Cycle::new(n);
+        check_topology(&cycle, g.seed());
+        assert!(is_connected(&cycle));
+    });
+}
 
-    #[test]
-    fn cycle_invariants(n in 3usize..300, seed in any::<u64>()) {
-        let g = Cycle::new(n);
-        check_topology(&g, seed)?;
-        prop_assert!(is_connected(&g));
-    }
+#[test]
+fn torus_invariants() {
+    cases(32, |g| {
+        let w = g.usize(3..18);
+        let h = g.usize(3..18);
+        let torus = Torus2d::new(w, h);
+        check_topology(&torus, g.seed());
+        assert!(is_connected(&torus));
+    });
+}
 
-    #[test]
-    fn torus_invariants(w in 3usize..18, h in 3usize..18, seed in any::<u64>()) {
-        let g = Torus2d::new(w, h);
-        check_topology(&g, seed)?;
-        prop_assert!(is_connected(&g));
-    }
+#[test]
+fn hypercube_invariants() {
+    cases(9, |g| {
+        let dim = g.usize(1..10) as u32;
+        let cube = Hypercube::new(dim);
+        check_topology(&cube, g.seed());
+        assert!(is_connected(&cube));
+    });
+}
 
-    #[test]
-    fn hypercube_invariants(dim in 1u32..10, seed in any::<u64>()) {
-        let g = Hypercube::new(dim);
-        check_topology(&g, seed)?;
-        prop_assert!(is_connected(&g));
-    }
+#[test]
+fn star_invariants() {
+    cases(32, |g| {
+        let n = g.usize(2..300);
+        let star = Star::new(n);
+        check_topology(&star, g.seed());
+        assert!(is_connected(&star));
+    });
+}
 
-    #[test]
-    fn star_invariants(n in 2usize..300, seed in any::<u64>()) {
-        let g = Star::new(n);
-        check_topology(&g, seed)?;
-        prop_assert!(is_connected(&g));
-    }
-
-    #[test]
-    fn erdos_renyi_invariants(n in 2usize..150, p in 0.01f64..1.0, seed in any::<u64>()) {
-        let g = ErdosRenyi::sample(n, p, Seed::new(seed));
-        check_topology(&g, seed)?;
+#[test]
+fn erdos_renyi_invariants() {
+    cases(32, |g| {
+        let n = g.usize(2..150);
+        let p = g.f64(0.01..1.0);
+        let er = ErdosRenyi::sample(n, p, g.seed());
+        check_topology(&er, g.seed());
         // The isolated-node patch guarantees min degree 1.
         for i in 0..n {
-            prop_assert!(g.degree(NodeId::new(i)) >= 1);
+            assert!(er.degree(NodeId::new(i)) >= 1);
         }
-    }
+    });
+}
 
-    #[test]
-    fn random_regular_invariants(
-        half_n in 4usize..60,
-        d in 1usize..6,
-        seed in any::<u64>(),
-    ) {
-        let n = 2 * half_n; // even n so any d is feasible
-        prop_assume!(d < n);
-        let g = RandomRegular::sample(n, d, Seed::new(seed)).expect("n*d is even");
-        check_topology(&g, seed)?;
+#[test]
+fn random_regular_invariants() {
+    cases(32, |g| {
+        let n = 2 * g.usize(4..60); // even n so any d is feasible
+        let d = g.usize(1..6);
+        let rr = RandomRegular::sample(n, d, g.seed()).expect("n*d is even");
+        check_topology(&rr, g.seed());
         for i in 0..n {
-            prop_assert_eq!(g.degree(NodeId::new(i)), d);
+            assert_eq!(rr.degree(NodeId::new(i)), d);
         }
-    }
+    });
+}
 
-    /// BFS distances satisfy the triangle-ish property: neighbors differ by
-    /// at most 1 from each other in distance from any source.
-    #[test]
-    fn bfs_distances_are_lipschitz_on_edges(n in 3usize..100, seed in any::<u64>()) {
-        let g = Cycle::new(n);
-        let src = NodeId::new(seed as usize % n);
-        let dist = bfs_distances(&g, src);
+/// BFS distances satisfy the triangle-ish property: neighbors differ by
+/// at most 1 from each other in distance from any source.
+#[test]
+fn bfs_distances_are_lipschitz_on_edges() {
+    cases(32, |g| {
+        let n = g.usize(3..100);
+        let cycle = Cycle::new(n);
+        let src = NodeId::new(g.usize(0..n));
+        let dist = bfs_distances(&cycle, src);
         for i in 0..n {
             let u = NodeId::new(i);
             let du = dist[i].expect("cycle is connected");
-            for v in g.neighbors(u) {
+            for v in cycle.neighbors(u) {
                 let dv = dist[v.index()].expect("connected");
-                prop_assert!(du.abs_diff(dv) <= 1);
+                assert!(du.abs_diff(dv) <= 1);
             }
         }
-    }
+    });
 }

@@ -9,7 +9,7 @@
 use crate::rng::SimRng;
 
 /// How long a contacted node takes to answer a pull.
-#[derive(Copy, Clone, Debug, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Default)]
 pub enum ResponseDelay {
     /// Responses arrive instantly (the paper's base model).
     #[default]
@@ -39,9 +39,7 @@ impl ResponseDelay {
     pub fn sample(self, rng: &mut SimRng) -> f64 {
         match self {
             ResponseDelay::None => 0.0,
-            ResponseDelay::Exponential { rate } => {
-                crate::poisson::sample_exponential(rng, rate)
-            }
+            ResponseDelay::Exponential { rate } => crate::poisson::sample_exponential(rng, rate),
         }
     }
 
@@ -94,9 +92,6 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert_eq!(ResponseDelay::None.to_string(), "none");
-        assert_eq!(
-            ResponseDelay::exponential(2.0).to_string(),
-            "exp(rate=2)"
-        );
+        assert_eq!(ResponseDelay::exponential(2.0).to_string(), "exp(rate=2)");
     }
 }

@@ -4,8 +4,8 @@
 //! protocols of Elsässer et al. (PODC 2017):
 //!
 //! * [`rng`] — a deterministic, splittable pseudo-random number generator
-//!   (SplitMix64 seeding a xoshiro256++ engine) implementing
-//!   [`rand_core::RngCore`], so all of `rand`'s distributions work on top.
+//!   (SplitMix64 seeding a xoshiro256++ engine), implemented here with no
+//!   external dependencies so streams are stable forever.
 //! * [`time`] — totally ordered simulation time ([`SimTime`]).
 //! * [`poisson`] — exponential inter-arrival sampling and Poisson processes,
 //!   the clock model of the paper's asynchronous setting.
@@ -47,6 +47,7 @@ pub mod node;
 pub mod poisson;
 pub mod rng;
 pub mod scheduler;
+pub mod testkit;
 pub mod time;
 pub mod trace;
 
@@ -57,8 +58,7 @@ pub use poisson::{sample_exponential, sample_poisson, PoissonProcess};
 pub use rng::{Seed, SimRng, SplitMix64};
 pub use scheduler::{
     Activation, ActivationSource, EventQueueScheduler, HeterogeneousScheduler, JitteredScheduler,
-    SequentialScheduler,
-    TimeMode,
+    SequentialScheduler, TimeMode,
 };
 pub use time::SimTime;
 pub use trace::{ActivationTrace, TraceReplay};
@@ -72,8 +72,7 @@ pub mod prelude {
     pub use crate::rng::{Seed, SimRng};
     pub use crate::scheduler::{
         Activation, ActivationSource, EventQueueScheduler, HeterogeneousScheduler,
-        JitteredScheduler,
-        SequentialScheduler, TimeMode,
+        JitteredScheduler, SequentialScheduler, TimeMode,
     };
     pub use crate::time::SimTime;
     pub use crate::trace::{ActivationTrace, TraceReplay};

@@ -109,7 +109,8 @@ impl ActivationStats {
     /// Returns `None` while some node has never been activated.
     pub fn last_first_activation(&self) -> Option<SimTime> {
         self.first
-            .iter().copied()
+            .iter()
+            .copied()
             .collect::<Option<Vec<_>>>()
             .map(|ts| ts.into_iter().max().expect("n > 0"))
     }
@@ -172,10 +173,7 @@ mod tests {
             node: NodeId::new(1),
             time: SimTime::from_secs(0.9),
         });
-        assert_eq!(
-            stats.last_first_activation(),
-            Some(SimTime::from_secs(0.9))
-        );
+        assert_eq!(stats.last_first_activation(), Some(SimTime::from_secs(0.9)));
     }
 
     #[test]

@@ -132,8 +132,10 @@ mod tests {
         let mut rng = SimRng::from_seed_value(Seed::new(10));
         for &rate in &[0.5, 1.0, 4.0] {
             let n = 40_000;
-            let mean: f64 =
-                (0..n).map(|_| sample_exponential(&mut rng, rate)).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n)
+                .map(|_| sample_exponential(&mut rng, rate))
+                .sum::<f64>()
+                / n as f64;
             let expected = 1.0 / rate;
             assert!(
                 (mean - expected).abs() < 0.05 * expected.max(1.0),

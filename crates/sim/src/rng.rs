@@ -2,17 +2,13 @@
 //!
 //! Every simulation in this workspace is driven by a 64-bit [`Seed`] fed
 //! through [`SplitMix64`] into a [`SimRng`] (xoshiro256++). The generator
-//! implements [`rand_core::RngCore`] and [`rand_core::SeedableRng`], so any
-//! distribution from the `rand` crate can be layered on top, while the
-//! implementation itself is owned by this crate: streams are stable across
-//! dependency upgrades, which is what makes experiment results reproducible
-//! byte-for-byte.
+//! is implemented in this crate with no external dependencies: streams are
+//! stable across dependency upgrades, which is what makes experiment
+//! results reproducible byte-for-byte.
 //!
 //! `SimRng::split` derives statistically independent child generators, used
 //! by the experiment runner to give every trial (and every thread) its own
 //! stream without coordination.
-
-use rand_core::{impls, Error, RngCore, SeedableRng};
 
 /// A 64-bit master seed for a simulation or experiment.
 ///
@@ -27,7 +23,7 @@ use rand_core::{impls, Error, RngCore, SeedableRng};
 /// let rng_b = SimRng::from_seed_value(Seed::new(7));
 /// assert_eq!(format!("{rng_a:?}"), format!("{rng_b:?}"));
 /// ```
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Seed(u64);
 
 impl Seed {
@@ -117,17 +113,15 @@ impl SplitMix64 {
 /// crate) so that the byte streams backing all published experiment numbers
 /// are pinned by this repository.
 ///
-/// Construct it from a [`Seed`] with [`SimRng::from_seed_value`], or via
-/// [`SeedableRng`] with a 32-byte seed.
+/// Construct it from a [`Seed`] with [`SimRng::from_seed_value`].
 ///
 /// # Example
 ///
 /// ```
 /// use rapid_sim::rng::{Seed, SimRng};
-/// use rand::Rng;
 ///
 /// let mut rng = SimRng::from_seed_value(Seed::new(123));
-/// let x: f64 = rng.gen_range(0.0..1.0);
+/// let x = rng.unit_f64();
 /// assert!((0.0..1.0).contains(&x));
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -161,8 +155,9 @@ impl SimRng {
         SimRng { s }
     }
 
+    /// Returns the next 64 random bits.
     #[inline]
-    fn next_u64_impl(&mut self) -> u64 {
+    pub fn next_u64(&mut self) -> u64 {
         let result = self.s[0]
             .wrapping_add(self.s[3])
             .rotate_left(23)
@@ -180,8 +175,7 @@ impl SimRng {
     /// Returns a uniform integer in `0..bound` using Lemire's method.
     ///
     /// This is the hot-path primitive behind neighbor sampling; it avoids
-    /// the generic machinery of `rand::Rng::gen_range` while producing an
-    /// exactly uniform value.
+    /// a slow modulo reduction while producing an exactly uniform value.
     ///
     /// # Panics
     ///
@@ -190,13 +184,13 @@ impl SimRng {
     pub fn bounded(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bounded() requires a positive bound");
         // Lemire's multiply–shift with rejection.
-        let mut x = self.next_u64_impl();
+        let mut x = self.next_u64();
         let mut m = (x as u128).wrapping_mul(bound as u128);
         let mut l = m as u64;
         if l < bound {
             let threshold = bound.wrapping_neg() % bound;
             while l < threshold {
-                x = self.next_u64_impl();
+                x = self.next_u64();
                 m = (x as u128).wrapping_mul(bound as u128);
                 l = m as u64;
             }
@@ -217,7 +211,7 @@ impl SimRng {
     /// Returns a uniform `f64` in `[0, 1)` with 53 random bits.
     #[inline]
     pub fn unit_f64(&mut self) -> f64 {
-        (self.next_u64_impl() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Returns a uniform `f64` in `(0, 1]`, safe as input to `ln`.
@@ -238,50 +232,17 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
+impl SimRng {
+    /// Returns the next 32 random bits (the high half of one 64-bit draw).
     #[inline]
-    fn next_u32(&mut self) -> u32 {
-        (self.next_u64_impl() >> 32) as u32
-    }
-
-    #[inline]
-    fn next_u64(&mut self) -> u64 {
-        self.next_u64_impl()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        impls::fill_bytes_via_next(self, dest)
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
-}
-
-impl SeedableRng for SimRng {
-    type Seed = [u8; 32];
-
-    fn from_seed(seed: [u8; 32]) -> Self {
-        let mut s = [0u64; 4];
-        for (i, chunk) in seed.chunks_exact(8).enumerate() {
-            s[i] = u64::from_le_bytes(chunk.try_into().expect("chunk of 8 bytes"));
-        }
-        if s == [0, 0, 0, 0] {
-            s = [1, 2, 3, 4];
-        }
-        SimRng { s }
-    }
-
-    fn seed_from_u64(state: u64) -> Self {
-        SimRng::from_seed_value(Seed::new(state))
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     /// Golden outputs pin the stream so that published experiment numbers
     /// remain reproducible. Generated once from this implementation; any
@@ -395,20 +356,10 @@ mod tests {
     }
 
     #[test]
-    fn works_with_rand_distributions() {
-        let mut rng = SimRng::from_seed_value(Seed::new(8));
-        let x: f64 = rng.gen();
-        assert!((0.0..1.0).contains(&x));
-        let y: u32 = rng.gen_range(0..10);
-        assert!(y < 10);
-    }
-
-    #[test]
-    fn seedable_from_bytes_rejects_all_zero() {
-        let rng = SimRng::from_seed([0u8; 32]);
-        // Must still produce output (state forced non-zero).
-        let mut rng = rng;
-        assert_ne!(rng.next_u64(), rng.next_u64());
+    fn next_u32_takes_the_high_bits() {
+        let mut a = SimRng::from_seed_value(Seed::new(8));
+        let mut b = SimRng::from_seed_value(Seed::new(8));
+        assert_eq!(a.next_u32(), (b.next_u64() >> 32) as u32);
     }
 
     #[test]

@@ -32,7 +32,7 @@ use crate::time::SimTime;
 
 /// One node activation: `node` ticks at `time`; this is the `step`-th
 /// activation overall (0-based).
-#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Activation {
     /// Global 0-based index of this activation.
     pub step: u64,
@@ -55,7 +55,10 @@ pub trait ActivationSource {
 
     /// Runs until `horizon`, invoking `on_tick` for each activation with
     /// time `< horizon`. Returns the number of activations delivered.
-    fn run_until(&mut self, horizon: SimTime, mut on_tick: impl FnMut(Activation)) -> u64 {
+    fn run_until(&mut self, horizon: SimTime, mut on_tick: impl FnMut(Activation)) -> u64
+    where
+        Self: Sized,
+    {
         let mut delivered = 0;
         loop {
             let a = self.next_activation();
@@ -68,8 +71,18 @@ pub trait ActivationSource {
     }
 }
 
+impl ActivationSource for Box<dyn ActivationSource + Send> {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+
+    fn next_activation(&mut self) -> Activation {
+        (**self).next_activation()
+    }
+}
+
 /// How the sequential scheduler advances time.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
 pub enum TimeMode {
     /// Deterministic `1/n` per step (expected-time bookkeeping). Cheapest;
     /// time equals `steps / n` exactly.
@@ -588,7 +601,10 @@ mod tests {
         s.run_until(SimTime::from_secs(2000.0), |_| {});
         let c = s.tick_counts();
         let ratio = c[1] as f64 / c[0] as f64;
-        assert!((ratio - 4.0).abs() < 0.5, "tick ratio {ratio} vs rate ratio 4");
+        assert!(
+            (ratio - 4.0).abs() < 0.5,
+            "tick ratio {ratio} vs rate ratio 4"
+        );
         assert_eq!(s.rates(), &[1.0, 4.0]);
     }
 

@@ -22,7 +22,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// assert_eq!(t, SimTime::from_secs(2.0));
 /// assert!(t > SimTime::ZERO);
 /// ```
-#[derive(Copy, Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
 pub struct SimTime(f64);
 
 impl SimTime {

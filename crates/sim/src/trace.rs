@@ -22,7 +22,7 @@ use crate::time::SimTime;
 /// let first = replay.next_activation();
 /// assert_eq!(first.step, 0);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ActivationTrace {
     n: usize,
     nodes: Vec<NodeId>,

@@ -1,109 +1,127 @@
-//! Property-based tests for the simulation substrate.
+//! Property-style tests for the simulation substrate, driven by the
+//! deterministic [`rapid_sim::testkit`] harness.
 
-use proptest::prelude::*;
-use rapid_sim::prelude::*;
 use rapid_sim::poisson::sample_exponential;
+use rapid_sim::prelude::*;
+use rapid_sim::testkit::cases;
 
-proptest! {
-    /// `bounded(b)` is always `< b`, for any bound and seed.
-    #[test]
-    fn bounded_is_always_in_range(seed in any::<u64>(), bound in 1u64..=u64::MAX) {
-        let mut rng = SimRng::from_seed_value(Seed::new(seed));
-        let v = rng.bounded(bound);
-        prop_assert!(v < bound);
-    }
+/// `bounded(b)` is always `< b`, for any bound and seed.
+#[test]
+fn bounded_is_always_in_range() {
+    cases(256, |g| {
+        let bound = g.u64(1..u64::MAX);
+        let mut rng = SimRng::from_seed_value(g.seed());
+        assert!(rng.bounded(bound) < bound);
+    });
+}
 
-    /// Unit samples always land in [0, 1).
-    #[test]
-    fn unit_f64_in_unit_interval(seed in any::<u64>()) {
-        let mut rng = SimRng::from_seed_value(Seed::new(seed));
+/// Unit samples always land in [0, 1).
+#[test]
+fn unit_f64_in_unit_interval() {
+    cases(64, |g| {
+        let mut rng = SimRng::from_seed_value(g.seed());
         for _ in 0..100 {
             let u = rng.unit_f64();
-            prop_assert!((0.0..1.0).contains(&u));
+            assert!((0.0..1.0).contains(&u));
         }
-    }
+    });
+}
 
-    /// Identical seeds yield identical streams; child streams differ from
-    /// their parents.
-    #[test]
-    fn seeding_is_deterministic_and_splitting_diverges(seed in any::<u64>()) {
-        let mut a = SimRng::from_seed_value(Seed::new(seed));
-        let mut b = SimRng::from_seed_value(Seed::new(seed));
-        let first: Vec<u64> = (0..8).map(|_| rand::RngCore::next_u64(&mut a)).collect();
-        let second: Vec<u64> = (0..8).map(|_| rand::RngCore::next_u64(&mut b)).collect();
-        prop_assert_eq!(first, second);
+/// Identical seeds yield identical streams; child streams differ from
+/// their parents.
+#[test]
+fn seeding_is_deterministic_and_splitting_diverges() {
+    cases(64, |g| {
+        let seed = g.seed();
+        let mut a = SimRng::from_seed_value(seed);
+        let mut b = SimRng::from_seed_value(seed);
+        let first: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let second: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(first, second);
 
-        let mut parent = SimRng::from_seed_value(Seed::new(seed));
+        let mut parent = SimRng::from_seed_value(seed);
         let mut child = parent.split();
-        let p: Vec<u64> = (0..8).map(|_| rand::RngCore::next_u64(&mut parent)).collect();
-        let c: Vec<u64> = (0..8).map(|_| rand::RngCore::next_u64(&mut child)).collect();
-        prop_assert_ne!(p, c);
-    }
+        let p: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
+        let c: Vec<u64> = (0..8).map(|_| child.next_u64()).collect();
+        assert_ne!(p, c);
+    });
+}
 
-    /// Exponential samples are finite and non-negative at any rate.
-    #[test]
-    fn exponential_is_nonnegative(seed in any::<u64>(), rate in 0.001f64..1000.0) {
-        let mut rng = SimRng::from_seed_value(Seed::new(seed));
+/// Exponential samples are finite and non-negative at any rate.
+#[test]
+fn exponential_is_nonnegative() {
+    cases(256, |g| {
+        let rate = g.f64(0.001..1000.0);
+        let mut rng = SimRng::from_seed_value(g.seed());
         let x = sample_exponential(&mut rng, rate);
-        prop_assert!(x.is_finite());
-        prop_assert!(x >= 0.0);
-    }
+        assert!(x.is_finite());
+        assert!(x >= 0.0);
+    });
+}
 
-    /// SimTime ordering is total and consistent with the raw values.
-    #[test]
-    fn sim_time_orders_like_f64(a in 0.0f64..1e12, b in 0.0f64..1e12) {
+/// SimTime ordering is total and consistent with the raw values.
+#[test]
+fn sim_time_orders_like_f64() {
+    cases(256, |g| {
+        let a = g.f64(0.0..1e12);
+        let b = g.f64(0.0..1e12);
         let ta = SimTime::from_secs(a);
         let tb = SimTime::from_secs(b);
-        prop_assert_eq!(ta < tb, a < b);
-        prop_assert_eq!(ta.max(tb).as_secs(), a.max(b));
-    }
+        assert_eq!(ta < tb, a < b);
+        assert_eq!(ta.max(tb).as_secs(), a.max(b));
+    });
+}
 
-    /// The sequential scheduler activates every node id within range and
-    /// advances time monotonically, for any (n, seed).
-    #[test]
-    fn sequential_scheduler_is_well_formed(
-        n in 1usize..512,
-        seed in any::<u64>(),
-        steps in 1usize..500,
-    ) {
-        let mut s = SequentialScheduler::new(n, Seed::new(seed));
+/// The sequential scheduler activates every node id within range and
+/// advances time monotonically, for any (n, seed).
+#[test]
+fn sequential_scheduler_is_well_formed() {
+    cases(64, |g| {
+        let n = g.usize(1..512);
+        let steps = g.usize(1..500);
+        let mut s = SequentialScheduler::new(n, g.seed());
         let mut last = SimTime::ZERO;
         for i in 0..steps {
             let a = s.next_activation();
-            prop_assert!(a.node.index() < n);
-            prop_assert!(a.time >= last);
-            prop_assert_eq!(a.step, i as u64);
+            assert!(a.node.index() < n);
+            assert!(a.time >= last);
+            assert_eq!(a.step, i as u64);
             last = a.time;
         }
-        prop_assert_eq!(s.tick_counts().iter().sum::<u64>(), steps as u64);
-    }
+        assert_eq!(s.tick_counts().iter().sum::<u64>(), steps as u64);
+    });
+}
 
-    /// Recording then replaying a trace reproduces the exact activations.
-    #[test]
-    fn trace_replay_is_exact(n in 1usize..128, seed in any::<u64>(), steps in 1usize..300) {
-        let mut live = SequentialScheduler::new(n, Seed::new(seed));
+/// Recording then replaying a trace reproduces the exact activations.
+#[test]
+fn trace_replay_is_exact() {
+    cases(32, |g| {
+        let n = g.usize(1..128);
+        let steps = g.usize(1..300);
+        let seed = g.seed();
+        let mut live = SequentialScheduler::new(n, seed);
         let trace = ActivationTrace::record(&mut live, steps);
-        let mut fresh = SequentialScheduler::new(n, Seed::new(seed));
+        let mut fresh = SequentialScheduler::new(n, seed);
         let mut replay = trace.replay();
         for _ in 0..steps {
-            prop_assert_eq!(fresh.next_activation(), replay.next_activation());
+            assert_eq!(fresh.next_activation(), replay.next_activation());
         }
-    }
+    });
+}
 
-    /// The event queue delivers in time order for any parameters.
-    #[test]
-    fn event_queue_is_time_ordered(
-        n in 1usize..256,
-        seed in any::<u64>(),
-        rate in 0.1f64..10.0,
-    ) {
-        let mut s = EventQueueScheduler::new(n, Seed::new(seed), rate);
+/// The event queue delivers in time order for any parameters.
+#[test]
+fn event_queue_is_time_ordered() {
+    cases(32, |g| {
+        let n = g.usize(1..256);
+        let rate = g.f64(0.1..10.0);
+        let mut s = EventQueueScheduler::new(n, g.seed(), rate);
         let mut last = SimTime::ZERO;
         for _ in 0..300 {
             let a = s.next_activation();
-            prop_assert!(a.time >= last);
-            prop_assert!(a.node.index() < n);
+            assert!(a.time >= last);
+            assert!(a.node.index() < n);
             last = a.time;
         }
-    }
+    });
 }

@@ -1,9 +1,9 @@
 //! Non-parametric bootstrap confidence intervals.
 
-use rand::RngCore;
+use rapid_sim::rng::SimRng;
 
 /// A bootstrap percentile confidence interval.
-#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct BootstrapCi {
     /// Point estimate (the statistic on the full sample).
     pub estimate: f64,
@@ -31,9 +31,9 @@ pub struct BootstrapCi {
 ///
 /// ```
 /// use rapid_stats::bootstrap::bootstrap_ci;
-/// use rand::SeedableRng;
+/// use rapid_sim::rng::{Seed, SimRng};
 /// let data: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = SimRng::from_seed_value(Seed::new(1));
 /// let ci = bootstrap_ci(
 ///     &data,
 ///     |s| s.iter().sum::<f64>() / s.len() as f64,
@@ -49,7 +49,7 @@ pub fn bootstrap_ci(
     statistic: impl Fn(&[f64]) -> f64,
     resamples: usize,
     level: f64,
-    rng: &mut impl RngCore,
+    rng: &mut SimRng,
 ) -> BootstrapCi {
     assert!(!data.is_empty(), "bootstrap of empty data");
     assert!(resamples > 0, "need at least one resample");
@@ -60,8 +60,7 @@ pub fn bootstrap_ci(
     let mut buf = vec![0.0; data.len()];
     for _ in 0..resamples {
         for slot in buf.iter_mut() {
-            let i = (rng.next_u64() % data.len() as u64) as usize;
-            *slot = data[i];
+            *slot = data[rng.bounded_usize(data.len())];
         }
         replicates.push(statistic(&buf));
     }
@@ -80,7 +79,7 @@ pub fn bootstrap_ci(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rapid_sim::rng::Seed;
 
     fn mean(s: &[f64]) -> f64 {
         s.iter().sum::<f64>() / s.len() as f64
@@ -89,7 +88,7 @@ mod tests {
     #[test]
     fn interval_brackets_estimate() {
         let data: Vec<f64> = (0..200).map(|i| (i % 17) as f64).collect();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = SimRng::from_seed_value(Seed::new(2));
         let ci = bootstrap_ci(&data, mean, 1000, 0.95, &mut rng);
         assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
         assert_eq!(ci.level, 0.95);
@@ -98,8 +97,8 @@ mod tests {
     #[test]
     fn wider_level_gives_wider_interval() {
         let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
-        let mut rng1 = rand::rngs::StdRng::seed_from_u64(3);
-        let mut rng2 = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng1 = SimRng::from_seed_value(Seed::new(3));
+        let mut rng2 = SimRng::from_seed_value(Seed::new(3));
         let ci90 = bootstrap_ci(&data, mean, 800, 0.90, &mut rng1);
         let ci99 = bootstrap_ci(&data, mean, 800, 0.99, &mut rng2);
         assert!(ci99.hi - ci99.lo >= ci90.hi - ci90.lo);
@@ -108,7 +107,7 @@ mod tests {
     #[test]
     fn degenerate_data_gives_point_interval() {
         let data = vec![4.0; 50];
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut rng = SimRng::from_seed_value(Seed::new(4));
         let ci = bootstrap_ci(&data, mean, 100, 0.95, &mut rng);
         assert_eq!(ci.lo, 4.0);
         assert_eq!(ci.hi, 4.0);
@@ -118,7 +117,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty")]
     fn empty_data_panics() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = SimRng::from_seed_value(Seed::new(5));
         let _ = bootstrap_ci(&[], mean, 10, 0.9, &mut rng);
     }
 }

@@ -15,7 +15,7 @@
 /// assert_eq!(h.overflow(), 1);
 /// assert_eq!(h.total(), 3);
 /// ```
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -32,7 +32,10 @@ impl Histogram {
     /// Panics if `lo >= hi`, either bound is not finite, or `bins == 0`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
-        assert!(lo < hi, "histogram range must be non-empty, got [{lo}, {hi})");
+        assert!(
+            lo < hi,
+            "histogram range must be non-empty, got [{lo}, {hi})"
+        );
         assert!(bins > 0, "histogram needs at least one bin");
         Histogram {
             lo,

@@ -34,4 +34,6 @@ pub use online::OnlineStats;
 pub use quantile::{quantile, P2Quantile};
 pub use regression::{fit_line, fit_power_law, LineFit};
 pub use summary::Summary;
-pub use tests::{chi_square_uniform, ks_statistic, ks_two_sample, welch_t_test, KsResult, WelchResult};
+pub use tests::{
+    chi_square_uniform, ks_statistic, ks_two_sample, welch_t_test, KsResult, WelchResult,
+};

@@ -18,7 +18,7 @@
 /// assert_eq!(s.mean(), 2.5);
 /// assert!((s.variance() - 5.0 / 3.0).abs() < 1e-12);
 /// ```
-#[derive(Copy, Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -177,8 +177,7 @@ mod tests {
         let data = [2.5, -1.0, 3.75, 0.0, 10.0, -2.25, 6.5];
         let s: OnlineStats = data.iter().copied().collect();
         let mean = data.iter().sum::<f64>() / data.len() as f64;
-        let var =
-            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
         assert!((s.mean() - mean).abs() < 1e-12);
         assert!((s.variance() - var).abs() < 1e-12);
         assert_eq!(s.min(), -2.25);

@@ -160,8 +160,7 @@ impl P2Quantile {
             if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
                 let s = d.signum();
                 let parabolic = self.parabolic(i, s);
-                let new_h = if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1]
-                {
+                let new_h = if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
                     parabolic
                 } else {
                     self.linear(i, s)
@@ -249,7 +248,11 @@ mod tests {
             x = (x + 0.618_033_988_749_895) % 1.0;
             p.push(x);
         }
-        assert!((p.estimate() - 0.5).abs() < 0.05, "estimate {}", p.estimate());
+        assert!(
+            (p.estimate() - 0.5).abs() < 0.05,
+            "estimate {}",
+            p.estimate()
+        );
         assert_eq!(p.count(), 10_000);
         assert_eq!(p.q(), 0.5);
     }
@@ -262,7 +265,11 @@ mod tests {
             x = (x + 0.618_033_988_749_895) % 1.0;
             p.push(x);
         }
-        assert!((p.estimate() - 0.95).abs() < 0.05, "estimate {}", p.estimate());
+        assert!(
+            (p.estimate() - 0.95).abs() < 0.05,
+            "estimate {}",
+            p.estimate()
+        );
     }
 
     #[test]

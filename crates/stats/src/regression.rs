@@ -10,7 +10,7 @@
 //! * "time is `Θ(n^a)`" → [`fit_power_law`] on log–log axes.
 
 /// Result of a least-squares line fit `y ≈ slope · x + intercept`.
-#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct LineFit {
     /// Fitted slope.
     pub slope: f64,
@@ -56,7 +56,11 @@ pub fn fit_line(x: &[f64], y: &[f64]) -> LineFit {
     assert!(sxx > 0.0, "x series has zero variance");
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     LineFit {
         slope,
         intercept,

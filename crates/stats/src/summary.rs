@@ -15,7 +15,7 @@ use crate::quantile::quantile;
 /// assert_eq!(s.median, 3.0);
 /// assert_eq!(s.count, 5);
 /// ```
-#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Summary {
     /// Number of observations.
     pub count: u64,

@@ -4,7 +4,7 @@
 //! (sequential ≡ continuous-time scheduling; Bit-Propagation ≙ Pólya urn).
 
 /// Result of a two-sample Kolmogorov–Smirnov test.
-#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct KsResult {
     /// The KS statistic `D = sup |F₁ − F₂|`.
     pub statistic: f64,
@@ -26,7 +26,10 @@ impl KsResult {
 ///
 /// Panics if either sample is empty or contains NaN.
 pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
-    assert!(!a.is_empty() && !b.is_empty(), "KS requires non-empty samples");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "KS requires non-empty samples"
+    );
     let mut xs: Vec<f64> = a.to_vec();
     let mut ys: Vec<f64> = b.to_vec();
     assert!(
@@ -107,7 +110,7 @@ fn kolmogorov_q(lambda: f64) -> f64 {
 }
 
 /// Result of a Welch two-sample t-test (unequal variances).
-#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct WelchResult {
     /// The t statistic.
     pub t: f64,
@@ -214,8 +217,12 @@ mod unit_tests {
     #[test]
     fn same_distribution_passes() {
         // Two deterministic samples from the same uniform grid.
-        let a: Vec<f64> = (0..800).map(|i| ((i * 7919) % 800) as f64 / 800.0).collect();
-        let b: Vec<f64> = (0..900).map(|i| ((i * 104_729) % 900) as f64 / 900.0).collect();
+        let a: Vec<f64> = (0..800)
+            .map(|i| ((i * 7919) % 800) as f64 / 800.0)
+            .collect();
+        let b: Vec<f64> = (0..900)
+            .map(|i| ((i * 104_729) % 900) as f64 / 900.0)
+            .collect();
         let r = ks_two_sample(&a, &b);
         assert!(r.same_distribution_at(0.01), "p = {}", r.p_value);
     }

@@ -1,108 +1,129 @@
-//! Property-based tests for the statistics toolkit.
+//! Property-style tests for the statistics toolkit, driven by the
+//! deterministic [`rapid_sim::testkit`] harness.
 
-use proptest::prelude::*;
+use rapid_sim::testkit::{cases, Gen};
 use rapid_stats::*;
 
-fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-1e6f64..1e6, 1..max_len)
+fn finite_vec(g: &mut Gen, max_len: usize) -> Vec<f64> {
+    g.vec_f64(1..max_len, -1e6..1e6)
 }
 
-proptest! {
-    /// Online moments match the two-pass computation on any data.
-    #[test]
-    fn online_stats_match_two_pass(data in finite_vec(200)) {
+/// Online moments match the two-pass computation on any data.
+#[test]
+fn online_stats_match_two_pass() {
+    cases(128, |g| {
+        let data = finite_vec(g, 200);
         let s: OnlineStats = data.iter().copied().collect();
         let mean = data.iter().sum::<f64>() / data.len() as f64;
-        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
-        prop_assert_eq!(s.count(), data.len() as u64);
+        assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        assert_eq!(s.count(), data.len() as u64);
         let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert_eq!(s.min(), min);
-        prop_assert_eq!(s.max(), max);
-        prop_assert!(s.variance() >= 0.0);
-    }
+        assert_eq!(s.min(), min);
+        assert_eq!(s.max(), max);
+        assert!(s.variance() >= 0.0);
+    });
+}
 
-    /// Merging two accumulators equals accumulating the concatenation.
-    #[test]
-    fn merge_is_concatenation(a in finite_vec(100), b in finite_vec(100)) {
+/// Merging two accumulators equals accumulating the concatenation.
+#[test]
+fn merge_is_concatenation() {
+    cases(128, |g| {
+        let a = finite_vec(g, 100);
+        let b = finite_vec(g, 100);
         let mut left: OnlineStats = a.iter().copied().collect();
         let right: OnlineStats = b.iter().copied().collect();
         left.merge(&right);
         let all: OnlineStats = a.iter().chain(b.iter()).copied().collect();
-        prop_assert!((left.mean() - all.mean()).abs() < 1e-6 * (1.0 + all.mean().abs()));
-        prop_assert!(
-            (left.variance() - all.variance()).abs() < 1e-5 * (1.0 + all.variance())
-        );
-        prop_assert_eq!(left.count(), all.count());
-    }
+        assert!((left.mean() - all.mean()).abs() < 1e-6 * (1.0 + all.mean().abs()));
+        assert!((left.variance() - all.variance()).abs() < 1e-5 * (1.0 + all.variance()));
+        assert_eq!(left.count(), all.count());
+    });
+}
 
-    /// Quantiles are monotone in the level and bracketed by min/max.
-    #[test]
-    fn quantiles_are_monotone_and_bounded(
-        data in finite_vec(200),
-        q1 in 0.0f64..=1.0,
-        q2 in 0.0f64..=1.0,
-    ) {
+/// Quantiles are monotone in the level and bracketed by min/max.
+#[test]
+fn quantiles_are_monotone_and_bounded() {
+    cases(128, |g| {
+        let data = finite_vec(g, 200);
+        let q1 = g.f64(0.0..1.0);
+        let q2 = g.f64(0.0..1.0);
         let (lo, hi) = (q1.min(q2), q1.max(q2));
         let v_lo = quantile(&data, lo);
         let v_hi = quantile(&data, hi);
-        prop_assert!(v_lo <= v_hi);
-        prop_assert!(quantile(&data, 0.0) <= v_lo);
-        prop_assert!(v_hi <= quantile(&data, 1.0));
-    }
+        assert!(v_lo <= v_hi);
+        assert!(quantile(&data, 0.0) <= v_lo);
+        assert!(v_hi <= quantile(&data, 1.0));
+    });
+}
 
-    /// A perfect line is recovered exactly by least squares.
-    #[test]
-    fn fit_line_recovers_exact_lines(
-        slope in -100.0f64..100.0,
-        intercept in -100.0f64..100.0,
-        n in 3usize..50,
-    ) {
+/// A perfect line is recovered exactly by least squares.
+#[test]
+fn fit_line_recovers_exact_lines() {
+    cases(128, |g| {
+        let slope = g.f64(-100.0..100.0);
+        let intercept = g.f64(-100.0..100.0);
+        let n = g.usize(3..50);
         let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let y: Vec<f64> = x.iter().map(|v| slope * v + intercept).collect();
         let fit = fit_line(&x, &y);
-        prop_assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
-        prop_assert!((fit.intercept - intercept).abs() < 1e-5 * (1.0 + intercept.abs()));
-        prop_assert!(fit.r_squared > 1.0 - 1e-9);
-    }
+        assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        assert!((fit.intercept - intercept).abs() < 1e-5 * (1.0 + intercept.abs()));
+        assert!(fit.r_squared > 1.0 - 1e-9);
+    });
+}
 
-    /// KS statistic is symmetric, in [0, 1], and zero for identical data.
-    #[test]
-    fn ks_statistic_properties(a in finite_vec(100), b in finite_vec(100)) {
+/// KS statistic is symmetric, in [0, 1], and zero for identical data.
+#[test]
+fn ks_statistic_properties() {
+    cases(128, |g| {
+        let a = finite_vec(g, 100);
+        let b = finite_vec(g, 100);
         let d_ab = ks_statistic(&a, &b);
         let d_ba = ks_statistic(&b, &a);
-        prop_assert!((d_ab - d_ba).abs() < 1e-12);
-        prop_assert!((0.0..=1.0).contains(&d_ab));
-        prop_assert!(ks_statistic(&a, &a) == 0.0);
-    }
+        assert!((d_ab - d_ba).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&d_ab));
+        assert!(ks_statistic(&a, &a) == 0.0);
+    });
+}
 
-    /// Histograms never lose observations.
-    #[test]
-    fn histogram_conserves_mass(data in finite_vec(300), bins in 1usize..40) {
+/// Histograms never lose observations.
+#[test]
+fn histogram_conserves_mass() {
+    cases(128, |g| {
+        let data = finite_vec(g, 300);
+        let bins = g.usize(1..40);
         let mut h = Histogram::new(-100.0, 100.0, bins);
         for &x in &data {
             h.push(x);
         }
-        prop_assert_eq!(h.total(), data.len() as u64);
+        assert_eq!(h.total(), data.len() as u64);
         let binned: u64 = h.counts().iter().sum();
-        prop_assert_eq!(binned + h.underflow() + h.overflow(), data.len() as u64);
-    }
+        assert_eq!(binned + h.underflow() + h.overflow(), data.len() as u64);
+    });
+}
 
-    /// Summary fields are internally consistent.
-    #[test]
-    fn summary_is_consistent(data in finite_vec(200)) {
+/// Summary fields are internally consistent.
+#[test]
+fn summary_is_consistent() {
+    cases(128, |g| {
+        let data = finite_vec(g, 200);
         let s = Summary::from_slice(&data);
-        prop_assert!(s.min <= s.q1);
-        prop_assert!(s.q1 <= s.median);
-        prop_assert!(s.median <= s.q3);
-        prop_assert!(s.q3 <= s.max);
-        prop_assert!(s.min <= s.mean && s.mean <= s.max);
-        prop_assert!(s.std_dev >= 0.0);
-    }
+        assert!(s.min <= s.q1);
+        assert!(s.q1 <= s.median);
+        assert!(s.median <= s.q3);
+        assert!(s.q3 <= s.max);
+        assert!(s.min <= s.mean && s.mean <= s.max);
+        assert!(s.std_dev >= 0.0);
+    });
+}
 
-    /// The P² estimate stays within the observed range.
-    #[test]
-    fn p2_stays_in_range(data in finite_vec(300), q in 0.01f64..0.99) {
+/// The P² estimate stays within the observed range.
+#[test]
+fn p2_stays_in_range() {
+    cases(128, |g| {
+        let data = finite_vec(g, 300);
+        let q = g.f64(0.01..0.99);
         let mut p = P2Quantile::new(q);
         for &x in &data {
             p.push(x);
@@ -110,6 +131,9 @@ proptest! {
         let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let est = p.estimate();
-        prop_assert!(est >= min - 1e-9 && est <= max + 1e-9, "estimate {} not in [{}, {}]", est, min, max);
-    }
+        assert!(
+            est >= min - 1e-9 && est <= max + 1e-9,
+            "estimate {est} not in [{min}, {max}]"
+        );
+    });
 }

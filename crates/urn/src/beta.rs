@@ -22,7 +22,7 @@ use rapid_sim::rng::SimRng;
 /// let x = d.sample(&mut rng);
 /// assert!((0.0..=1.0).contains(&x));
 /// ```
-#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct BetaDistribution {
     alpha: f64,
     beta: f64,

@@ -37,7 +37,10 @@ use rapid_sim::rng::SimRng;
 /// assert_eq!(final_counts.iter().sum::<u64>(), 100);
 /// ```
 pub fn spread_by_copying(initial: &[u64], joins: u64, rng: &mut SimRng) -> Vec<u64> {
-    assert!(!initial.is_empty(), "population must have at least one color class");
+    assert!(
+        !initial.is_empty(),
+        "population must have at least one color class"
+    );
     let total: u64 = initial.iter().sum();
     assert!(total > 0, "population must be non-empty");
     let mut counts = initial.to_vec();

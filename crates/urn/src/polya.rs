@@ -22,7 +22,7 @@ use rapid_sim::rng::SimRng;
 /// assert!(drawn < 2);
 /// assert_eq!(urn.total(), 4);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PolyaUrn {
     counts: Vec<u64>,
     reinforcement: u64,
@@ -153,7 +153,10 @@ mod tests {
 
     #[test]
     fn construction_validates() {
-        assert_eq!(PolyaUrn::new(vec![1], 1).unwrap_err(), UrnError::TooFewColors);
+        assert_eq!(
+            PolyaUrn::new(vec![1], 1).unwrap_err(),
+            UrnError::TooFewColors
+        );
         assert_eq!(PolyaUrn::new(vec![0, 0], 1).unwrap_err(), UrnError::Empty);
         assert!(PolyaUrn::new(vec![0, 1], 1).is_ok());
         assert!(UrnError::Empty.to_string().contains("at least one ball"));

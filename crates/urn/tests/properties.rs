@@ -1,88 +1,104 @@
-//! Property-based tests for the Pólya-urn machinery.
+//! Property-style tests for the Pólya-urn machinery, driven by the
+//! deterministic [`rapid_sim::testkit`] harness.
 
-use proptest::prelude::*;
 use rapid_sim::prelude::*;
+use rapid_sim::testkit::{cases, Gen};
 use rapid_urn::moments::{fraction_mean, fraction_variance, limit_variance};
 use rapid_urn::{spread_by_copying, BetaDistribution, PolyaUrn};
 
-fn counts_strategy() -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::vec(0u64..50, 2..8)
-        .prop_filter("urn must be non-empty", |c| c.iter().sum::<u64>() > 0)
+/// 2–7 colors with counts in 0..50 and a non-empty urn.
+fn gen_counts(g: &mut Gen) -> Vec<u64> {
+    loop {
+        let counts = g.vec_u64(2..8, 0..50);
+        if counts.iter().sum::<u64>() > 0 {
+            return counts;
+        }
+    }
 }
 
-proptest! {
-    /// Totals grow by exactly reinforcement per step; counts never shrink.
-    #[test]
-    fn urn_bookkeeping(
-        counts in counts_strategy(),
-        reinforcement in 1u64..4,
-        steps in 0u64..200,
-        seed in any::<u64>(),
-    ) {
+/// Totals grow by exactly reinforcement per step; counts never shrink.
+#[test]
+fn urn_bookkeeping() {
+    cases(64, |g| {
+        let counts = gen_counts(g);
+        let reinforcement = g.u64(1..4);
+        let steps = g.u64(0..200);
         let initial_total: u64 = counts.iter().sum();
         let mut urn = PolyaUrn::new(counts.clone(), reinforcement).expect("validated");
-        let mut rng = SimRng::from_seed_value(Seed::new(seed));
+        let mut rng = SimRng::from_seed_value(g.seed());
         urn.run(steps, &mut rng);
-        prop_assert_eq!(urn.total(), initial_total + steps * reinforcement);
-        prop_assert_eq!(urn.steps(), steps);
+        assert_eq!(urn.total(), initial_total + steps * reinforcement);
+        assert_eq!(urn.steps(), steps);
         for (j, &c0) in counts.iter().enumerate() {
-            prop_assert!(urn.count(j) >= c0, "color {} shrank", j);
+            assert!(urn.count(j) >= c0, "color {j} shrank");
         }
         let frac_sum: f64 = urn.fractions().iter().sum();
-        prop_assert!((frac_sum - 1.0).abs() < 1e-9);
-    }
+        assert!((frac_sum - 1.0).abs() < 1e-9);
+    });
+}
 
-    /// Colors with zero initial support stay at zero forever.
-    #[test]
-    fn extinct_colors_stay_extinct(steps in 0u64..200, seed in any::<u64>()) {
+/// Colors with zero initial support stay at zero forever.
+#[test]
+fn extinct_colors_stay_extinct() {
+    cases(64, |g| {
+        let steps = g.u64(0..200);
         let mut urn = PolyaUrn::new(vec![0, 3, 0, 5], 1).expect("valid");
-        let mut rng = SimRng::from_seed_value(Seed::new(seed));
+        let mut rng = SimRng::from_seed_value(g.seed());
         urn.run(steps, &mut rng);
-        prop_assert_eq!(urn.count(0), 0);
-        prop_assert_eq!(urn.count(2), 0);
-    }
+        assert_eq!(urn.count(0), 0);
+        assert_eq!(urn.count(2), 0);
+    });
+}
 
-    /// The coupling equals the urn under a shared RNG stream, always.
-    #[test]
-    fn coupling_matches_urn(counts in counts_strategy(), joins in 0u64..150, seed in any::<u64>()) {
-        let mut rng_a = SimRng::from_seed_value(Seed::new(seed));
-        let mut rng_b = SimRng::from_seed_value(Seed::new(seed));
+/// The coupling equals the urn under a shared RNG stream, always.
+#[test]
+fn coupling_matches_urn() {
+    cases(64, |g| {
+        let counts = gen_counts(g);
+        let joins = g.u64(0..150);
+        let seed = g.seed();
+        let mut rng_a = SimRng::from_seed_value(seed);
+        let mut rng_b = SimRng::from_seed_value(seed);
         let via_coupling = spread_by_copying(&counts, joins, &mut rng_a);
         let mut urn = PolyaUrn::new(counts, 1).expect("validated");
         urn.run(joins, &mut rng_b);
-        prop_assert_eq!(via_coupling.as_slice(), urn.counts());
-    }
+        assert_eq!(via_coupling.as_slice(), urn.counts());
+    });
+}
 
-    /// Exact moment formulas are internally consistent: variance at t = 0 is
-    /// zero, grows monotonically, and is bounded by the Beta limit.
-    #[test]
-    fn moment_formulas_are_consistent(a in 1u64..50, b in 1u64..50) {
-        prop_assert_eq!(fraction_variance(a, b, 0), 0.0);
+/// Exact moment formulas are internally consistent: variance at t = 0 is
+/// zero, grows monotonically, and is bounded by the Beta limit.
+#[test]
+fn moment_formulas_are_consistent() {
+    cases(128, |g| {
+        let a = g.u64(1..50);
+        let b = g.u64(1..50);
+        assert_eq!(fraction_variance(a, b, 0), 0.0);
         let mut last = 0.0;
         for &t in &[1u64, 5, 25, 125, 625] {
             let v = fraction_variance(a, b, t);
-            prop_assert!(v >= last);
+            assert!(v >= last);
             last = v;
         }
-        prop_assert!(last <= limit_variance(a, b) + 1e-12);
+        assert!(last <= limit_variance(a, b) + 1e-12);
         let m = fraction_mean(a, b);
-        prop_assert!((0.0..=1.0).contains(&m));
-    }
+        assert!((0.0..=1.0).contains(&m));
+    });
+}
 
-    /// Beta samples live in [0, 1] and the moments match the formulas.
-    #[test]
-    fn beta_samples_in_unit_interval(
-        alpha in 0.2f64..20.0,
-        beta in 0.2f64..20.0,
-        seed in any::<u64>(),
-    ) {
+/// Beta samples live in [0, 1] and the moments match the formulas.
+#[test]
+fn beta_samples_in_unit_interval() {
+    cases(64, |g| {
+        let alpha = g.f64(0.2..20.0);
+        let beta = g.f64(0.2..20.0);
         let d = BetaDistribution::new(alpha, beta);
-        let mut rng = SimRng::from_seed_value(Seed::new(seed));
+        let mut rng = SimRng::from_seed_value(g.seed());
         for _ in 0..50 {
             let x = d.sample(&mut rng);
-            prop_assert!((0.0..=1.0).contains(&x));
+            assert!((0.0..=1.0).contains(&x));
         }
-        prop_assert!((0.0..=1.0).contains(&d.mean()));
-        prop_assert!(d.variance() > 0.0 && d.variance() < 0.25);
-    }
+        assert!((0.0..=1.0).contains(&d.mean()));
+        assert!(d.variance() > 0.0 && d.variance() < 0.25);
+    });
 }

@@ -16,20 +16,26 @@ use rapid_plurality::prelude::*;
 
 fn race(
     name: &str,
-    proto: &mut dyn SyncProtocol,
+    make_proto: impl Fn() -> Protocol,
     counts: &[u64],
     n: usize,
     seed: u64,
     trials: u64,
 ) {
-    let g = Complete::new(n);
     let mut rounds_total = 0.0;
     let mut plurality_wins = 0;
     let mut converged = 0;
     for t in 0..trials {
-        let mut config = Configuration::from_counts(counts).expect("valid");
-        let mut rng = SimRng::from_seed_value(Seed::new(seed + t));
-        if let Ok(out) = run_sync_to_consensus(proto, &g, &mut config, &mut rng, 200_000) {
+        let outcome = Sim::builder()
+            .topology(Complete::new(n))
+            .counts(counts)
+            .select(make_proto())
+            .seed(Seed::new(seed + t))
+            .stop(StopCondition::RoundBudget(200_000))
+            .build()
+            .expect("valid experiment")
+            .run();
+        if let Some(out) = outcome.as_sync() {
             rounds_total += out.rounds as f64;
             converged += 1;
             if out.winner == Color::new(0) {
@@ -64,28 +70,36 @@ fn main() {
     );
 
     let trials = 5;
-    race("voter", &mut Voter::new(), &counts, n as usize, 10, trials);
+    let n_usize = n as usize;
+    race(
+        "voter",
+        || Protocol::Sync(Box::new(Voter::new())),
+        &counts,
+        n_usize,
+        10,
+        trials,
+    );
     race(
         "two-choices",
-        &mut TwoChoices::new(),
+        || Protocol::Sync(Box::new(TwoChoices::new())),
         &counts,
-        n as usize,
+        n_usize,
         20,
         trials,
     );
     race(
         "3-majority",
-        &mut ThreeMajority::new(),
+        || Protocol::Sync(Box::new(ThreeMajority::new())),
         &counts,
-        n as usize,
+        n_usize,
         30,
         trials,
     );
     race(
         "one-extra-bit",
-        &mut OneExtraBit::for_network(n as usize, k),
+        || Protocol::Sync(Box::new(OneExtraBit::for_network(n_usize, k))),
         &counts,
-        n as usize,
+        n_usize,
         40,
         trials,
     );

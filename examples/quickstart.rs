@@ -15,47 +15,65 @@ fn main() {
     // paper's C_1) leads every other opinion by a factor 1.5.
     let n: u64 = 4096;
     let k = 8;
-    let counts = InitialDistribution::multiplicative_bias(k, 0.5)
-        .counts(n)
-        .expect("feasible workload");
+    let workload = InitialDistribution::multiplicative_bias(k, 0.5);
+    let counts = workload.counts(n).expect("feasible workload");
     println!("initial support: {counts:?}\n");
 
+    // Every run is the same builder with a different protocol selector.
+
     // --- Synchronous Two-Choices -----------------------------------
-    let g = Complete::new(n as usize);
-    let mut config = Configuration::from_counts(&counts).expect("valid");
-    let mut rng = SimRng::from_seed_value(Seed::new(1));
-    let out = run_sync_to_consensus(&mut TwoChoices::new(), &g, &mut config, &mut rng, 100_000)
+    let out = Sim::builder()
+        .topology(Complete::new(n as usize))
+        .distribution(workload.clone())
+        .protocol(TwoChoices::new())
+        .seed(Seed::new(1))
+        .build()
+        .expect("valid experiment")
+        .run_to_consensus()
         .expect("Two-Choices converges");
     println!(
         "two-choices   : winner {} after {:4} synchronous rounds",
-        out.winner, out.rounds
+        out.winner.expect("converged"),
+        out.rounds.expect("synchronous"),
     );
 
     // --- Synchronous OneExtraBit ------------------------------------
-    let mut config = Configuration::from_counts(&counts).expect("valid");
-    let mut rng = SimRng::from_seed_value(Seed::new(2));
-    let mut oeb = OneExtraBit::for_network(n as usize, k);
-    let out = run_sync_to_consensus(&mut oeb, &g, &mut config, &mut rng, 100_000)
+    let out = Sim::builder()
+        .topology(Complete::new(n as usize))
+        .distribution(workload.clone())
+        .protocol(OneExtraBit::for_network(n as usize, k))
+        .seed(Seed::new(2))
+        .build()
+        .expect("valid experiment")
+        .run_to_consensus()
         .expect("OneExtraBit converges");
     println!(
         "one-extra-bit : winner {} after {:4} synchronous rounds",
-        out.winner, out.rounds
+        out.winner.expect("converged"),
+        out.rounds.expect("synchronous"),
     );
 
     // --- The paper's asynchronous protocol ---------------------------
     // Poisson clocks, working-time schedule, Sync Gadget, endgame.
     let params = Params::for_network_with_eps(n as usize, k, 0.5);
-    let mut sim = clique_rapid(&counts, params, Seed::new(3));
-    let budget = sim.default_step_budget();
-    let out = sim.run_until_consensus(budget).expect("Theorem 1.3 regime");
+    let out = Sim::builder()
+        .topology(Complete::new(n as usize))
+        .distribution(workload)
+        .rapid(params)
+        .seed(Seed::new(3))
+        .build()
+        .expect("valid experiment")
+        .run_to_consensus()
+        .expect("Theorem 1.3 regime");
     println!(
         "rapid-async   : winner {} after {:.1} time units ({} activations);\n\
          \u{20}               unanimity before the first halt: {}",
-        out.winner,
-        out.time.as_secs(),
+        out.winner.expect("converged"),
+        out.time.expect("asynchronous").as_secs(),
         out.steps,
-        out.before_first_halt
+        out.before_first_halt.expect("halting dynamic"),
     );
+    println!("outcome JSON  : {}", out.to_json());
     println!(
         "\nln(n) = {:.1}; the asynchronous run time is O(log n) with the\n\
          constant set by the schedule in `Params` (phase length {} ticks).",

@@ -64,36 +64,43 @@ fn main() {
         params.endgame_ticks
     );
 
-    let scheduler = SequentialScheduler::new(n, Seed::new(0xC10C));
-    let mut swarm = RapidSim::new(
-        Complete::new(n),
-        config,
-        params,
-        scheduler,
-        Seed::new(0x5EED),
-    );
+    // The swarm wakes on true per-sensor Poisson clocks (event queue),
+    // not the sequential analysis device — the builder makes that one
+    // line.
+    let mut swarm = Sim::builder()
+        .topology(Complete::new(n))
+        .configuration(config)
+        .rapid(params)
+        .clock(Clock::EventQueue { rate: 1.0 })
+        .seed(Seed::new(0x5EED))
+        .build()
+        .expect("valid swarm");
 
-    let budget = swarm.default_step_budget();
-    match swarm.run_until_consensus(budget) {
+    match swarm.run_to_consensus() {
         Ok(out) => {
+            let winner = out.winner.expect("converged");
             println!(
                 "swarm agreed on     : {} after {:.0} time units ({} wake-ups total)",
-                out.winner,
-                out.time.as_secs(),
+                winner,
+                out.time.expect("asynchronous").as_secs(),
                 out.steps
             );
             println!(
                 "correct bucket      : {}",
-                if out.winner == top.leader { "yes" } else { "no" }
+                if winner == top.leader { "yes" } else { "no" }
             );
             println!(
                 "before first sleep  : {}",
-                if out.before_first_halt { "yes" } else { "no" }
+                if out.before_first_halt == Some(true) {
+                    "yes"
+                } else {
+                    "no"
+                }
             );
             println!(
                 "gadget jumps        : {} (max working-time correction {} ticks)",
-                swarm.jump_count(),
-                swarm.max_jump_displacement()
+                swarm.jump_count().expect("rapid protocol"),
+                swarm.max_jump_displacement().expect("rapid protocol")
             );
         }
         Err(e) => println!("swarm failed to agree: {e}"),

@@ -15,18 +15,28 @@ use rapid_plurality::prelude::*;
 use rapid_plurality::stats::Histogram;
 
 fn spread_timeline(gadget: bool, counts: &[u64], params: Params, n: u64) -> Vec<String> {
-    let params = if gadget { params } else { params.without_gadget() };
-    let mut sim = clique_rapid(counts, params, Seed::new(7));
+    let params = if gadget {
+        params
+    } else {
+        params.without_gadget()
+    };
+    let mut sim = Sim::builder()
+        .topology(Complete::new(n as usize))
+        .counts(counts)
+        .rapid(params)
+        .seed(Seed::new(7))
+        .build()
+        .expect("valid experiment");
     let per_phase = n * params.phase_len();
     let tolerance = 2 * params.delta as u64;
     let mut lines = Vec::new();
     for phase in 0..params.phases {
         for _ in 0..per_phase {
-            sim.tick();
+            sim.step();
         }
-        let stats = sim.working_time_stats(tolerance);
+        let stats = sim.working_time_stats(tolerance).expect("rapid protocol");
         // Histogram of working times around the median.
-        let wts = sim.working_times();
+        let wts = sim.working_times().expect("rapid protocol");
         let lo = stats.median as f64 - 4.0 * params.delta as f64;
         let hi = stats.median as f64 + 4.0 * params.delta as f64;
         let mut hist = Histogram::new(lo, hi, 32);

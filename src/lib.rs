@@ -14,29 +14,43 @@
 //!
 //! # Quickstart
 //!
+//! Every run — synchronous rounds, asynchronous gossip, or the paper's
+//! full rapid protocol — is assembled through the unified
+//! [`Sim`](core::facade::Sim) builder: pick a topology, an initial
+//! state, a protocol, a clock, and go.
+//!
 //! ```
 //! use rapid_plurality::prelude::*;
 //!
 //! // 1000 nodes, 4 opinions, plurality has a 1.5x multiplicative lead.
-//! let init = InitialDistribution::multiplicative_bias(4, 0.5)
-//!     .counts(1000)
-//!     .expect("valid distribution");
-//! let g = Complete::new(1000);
-//! let mut config = Configuration::from_counts(&init).expect("non-empty");
-//! let mut rng = SimRng::from_seed_value(Seed::new(7));
+//! let workload = InitialDistribution::multiplicative_bias(4, 0.5);
 //!
 //! // Run the synchronous Two-Choices protocol to consensus.
-//! let outcome =
-//!     run_sync_to_consensus(&mut TwoChoices::new(), &g, &mut config, &mut rng, 100_000)
-//!         .expect("converges");
-//! assert_eq!(outcome.winner, Color::new(0));
+//! let outcome = Sim::builder()
+//!     .topology(Complete::new(1000))
+//!     .distribution(workload.clone())
+//!     .protocol(TwoChoices::new())
+//!     .seed(Seed::new(7))
+//!     .build()
+//!     .expect("valid experiment")
+//!     .run_to_consensus()
+//!     .expect("converges");
+//! assert_eq!(outcome.winner, Some(Color::new(0)));
 //!
-//! // Or the paper's asynchronous protocol (Theorem 1.3).
-//! let params = Params::for_network_with_eps(1000, 4, 0.5);
-//! let mut sim = clique_rapid(&init, params, Seed::new(8));
-//! let budget = sim.default_step_budget();
-//! let out = sim.run_until_consensus(budget).expect("converges");
-//! assert_eq!(out.winner, Color::new(0));
+//! // Or the paper's asynchronous protocol (Theorem 1.3) under true
+//! // per-node Poisson clocks.
+//! let out = Sim::builder()
+//!     .topology(Complete::new(1000))
+//!     .distribution(workload)
+//!     .rapid(Params::for_network_with_eps(1000, 4, 0.5))
+//!     .clock(Clock::EventQueue { rate: 1.0 })
+//!     .seed(Seed::new(8))
+//!     .build()
+//!     .expect("valid experiment")
+//!     .run_to_consensus()
+//!     .expect("converges");
+//! assert_eq!(out.winner, Some(Color::new(0)));
+//! assert_eq!(out.before_first_halt, Some(true));
 //! ```
 
 pub use rapid_core as core;

@@ -2,12 +2,23 @@
 //! under different activation engines and parameter regimes.
 
 use rapid_plurality::prelude::*;
-use rapid_plurality::sim::scheduler::EventQueueScheduler;
 
 fn counts(n: u64, k: usize, eps: f64) -> Vec<u64> {
     InitialDistribution::multiplicative_bias(k, eps)
         .counts(n)
         .expect("feasible")
+}
+
+/// The standard assembly: the paper's protocol on `K_n` under the
+/// sequential clock.
+fn rapid_sim(c: &[u64], params: Params, seed: u64) -> Sim {
+    Sim::builder()
+        .topology(Complete::new(c.iter().sum::<u64>() as usize))
+        .counts(c)
+        .rapid(params)
+        .seed(Seed::new(seed))
+        .build()
+        .expect("valid experiment")
 }
 
 #[test]
@@ -16,12 +27,9 @@ fn plurality_wins_before_first_halt_across_seeds() {
     let params = Params::for_network_with_eps(2048, 4, 0.5);
     let mut ok = 0;
     for seed in 0..6 {
-        let mut sim = clique_rapid(&c, params, Seed::new(seed));
-        let budget = sim.default_step_budget();
-        if let Ok(out) = sim.run_until_consensus(budget) {
-            if out.winner == Color::new(0) && out.before_first_halt {
-                ok += 1;
-            }
+        let out = rapid_sim(&c, params, seed).run();
+        if out.winner == Some(Color::new(0)) && out.before_first_halt == Some(true) {
+            ok += 1;
         }
     }
     assert!(ok >= 5, "only {ok}/6 clean wins");
@@ -37,20 +45,17 @@ fn works_under_the_continuous_time_engine() {
     let params = Params::for_network_with_eps(n, 4, 0.5);
     let mut ok = 0;
     for seed in 0..4 {
-        let config = Configuration::from_counts(&c).expect("valid");
-        let source = EventQueueScheduler::new(n, Seed::new(900 + seed), 1.0);
-        let mut sim = RapidSim::new(
-            Complete::new(n),
-            config,
-            params,
-            source,
-            Seed::new(1900 + seed),
-        );
-        let budget = sim.default_step_budget();
-        if let Ok(out) = sim.run_until_consensus(budget) {
-            if out.winner == Color::new(0) && out.before_first_halt {
-                ok += 1;
-            }
+        let out = Sim::builder()
+            .topology(Complete::new(n))
+            .counts(&c)
+            .rapid(params)
+            .clock(Clock::EventQueue { rate: 1.0 })
+            .seed(Seed::new(900 + seed))
+            .build()
+            .expect("valid experiment")
+            .run();
+        if out.winner == Some(Color::new(0)) && out.before_first_halt == Some(true) {
+            ok += 1;
         }
     }
     assert!(ok >= 3, "only {ok}/4 clean wins under the event queue");
@@ -65,12 +70,9 @@ fn handles_many_opinions_within_the_frontier() {
     let params = Params::for_network_with_eps(n as usize, 16, 0.5);
     let mut ok = 0;
     for seed in 0..4 {
-        let mut sim = clique_rapid(&c, params, Seed::new(40 + seed));
-        let budget = sim.default_step_budget();
-        if let Ok(out) = sim.run_until_consensus(budget) {
-            if out.winner == Color::new(0) && out.before_first_halt {
-                ok += 1;
-            }
+        let out = rapid_sim(&c, params, 40 + seed).run();
+        if out.winner == Some(Color::new(0)) && out.before_first_halt == Some(true) {
+            ok += 1;
         }
     }
     assert!(ok >= 3, "only {ok}/4 clean wins at k = 16");
@@ -84,10 +86,10 @@ fn consensus_time_is_logarithmic_not_linear() {
     for &n in &[1024u64, 16384] {
         let c = counts(n, 4, 0.5);
         let params = Params::for_network_with_eps(n as usize, 4, 0.5);
-        let mut sim = clique_rapid(&c, params, Seed::new(77));
-        let budget = sim.default_step_budget();
-        let out = sim.run_until_consensus(budget).expect("converges");
-        times.push(out.time.as_secs());
+        let out = rapid_sim(&c, params, 77)
+            .run_to_consensus()
+            .expect("converges");
+        times.push(out.time.expect("asynchronous").as_secs());
     }
     let growth = times[1] / times[0];
     assert!(
@@ -98,17 +100,23 @@ fn consensus_time_is_logarithmic_not_linear() {
 
 #[test]
 fn response_delays_preserve_convergence() {
-    use rapid_plurality::sim::scheduler::{JitteredScheduler, SequentialScheduler, TimeMode};
+    use rapid_plurality::sim::scheduler::TimeMode;
     let n = 1024;
     let c = counts(n as u64, 4, 0.5);
     let params = Params::for_network_with_eps(n, 4, 0.5);
-    let config = Configuration::from_counts(&c).expect("valid");
-    let seq = SequentialScheduler::with_mode(n, Seed::new(1), TimeMode::Sampled);
-    let source = JitteredScheduler::new(seq, Seed::new(2), 2.0);
-    let mut sim = RapidSim::new(Complete::new(n), config, params, source, Seed::new(3));
-    let budget = 2 * sim.default_step_budget();
-    let out = sim.run_until_consensus(budget).expect("converges with delays");
-    assert_eq!(out.winner, Color::new(0));
+    let out = Sim::builder()
+        .topology(Complete::new(n))
+        .counts(&c)
+        .rapid(params)
+        .clock(Clock::Sequential(TimeMode::Sampled))
+        .jitter(2.0)
+        .seed(Seed::new(3))
+        .stop(StopCondition::StepBudget(6 * n as u64 * params.total_len()))
+        .build()
+        .expect("valid experiment")
+        .run_to_consensus()
+        .expect("converges with delays");
+    assert_eq!(out.winner, Some(Color::new(0)));
 }
 
 #[test]
@@ -116,9 +124,9 @@ fn deterministic_under_identical_seeds() {
     let c = counts(512, 4, 0.5);
     let params = Params::for_network_with_eps(512, 4, 0.5);
     let run = |seed: u64| {
-        let mut sim = clique_rapid(&c, params, Seed::new(seed));
-        let budget = sim.default_step_budget();
-        let out = sim.run_until_consensus(budget).expect("converges");
+        let out = rapid_sim(&c, params, seed)
+            .run_to_consensus()
+            .expect("converges");
         (out.winner, out.steps, out.time)
     };
     assert_eq!(run(5), run(5));
@@ -134,14 +142,14 @@ fn gadget_ablation_still_converges_but_loses_synchrony() {
     let params = Params::for_network_with_eps(1024, 2, 1.0);
 
     let spread = |p: Params, seed: u64| {
-        let mut sim = clique_rapid(&c, p, Seed::new(seed));
+        let mut sim = rapid_sim(&c, p, seed);
         for _ in 0..(1024 * p.part1_len()) {
-            sim.tick();
+            sim.step();
             if sim.config().unanimous().is_some() {
                 break;
             }
         }
-        let stats = sim.working_time_stats(2 * p.delta as u64);
+        let stats = sim.working_time_stats(2 * p.delta as u64).expect("rapid");
         stats.poorly_synced
     };
     let with_gadget = spread(params, 9);

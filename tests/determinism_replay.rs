@@ -45,8 +45,17 @@ fn recorded_trace_replays_identically_through_a_protocol() {
 fn trial_runner_results_are_order_and_thread_independent() {
     use rapid_plurality::experiments::run_trials;
     let f = |_: u64, seed: Seed| {
-        let mut sim = clique_gossip(&[80, 20], GossipRule::TwoChoices, seed);
-        sim.run_until_consensus(10_000_000).expect("converges").steps
+        Sim::builder()
+            .topology(Complete::new(100))
+            .counts(&[80, 20])
+            .gossip(GossipRule::TwoChoices)
+            .seed(seed)
+            .stop(StopCondition::StepBudget(10_000_000))
+            .build()
+            .expect("valid experiment")
+            .run_to_consensus()
+            .expect("converges")
+            .steps
     };
     let a = run_trials(12, Seed::new(9), f);
     let b = run_trials(12, Seed::new(9), f);
@@ -60,9 +69,14 @@ fn full_protocol_runs_are_bit_reproducible() {
         .expect("feasible");
     let params = Params::for_network_with_eps(512, 4, 0.5);
     let run = || {
-        let mut sim = clique_rapid(&counts, params, Seed::new(0xABCD));
-        let budget = sim.default_step_budget();
-        let out = sim.run_until_consensus(budget).expect("converges");
+        let mut sim = Sim::builder()
+            .topology(Complete::new(512))
+            .counts(&counts)
+            .rapid(params)
+            .seed(Seed::new(0xABCD))
+            .build()
+            .expect("valid experiment");
+        let out = sim.run_to_consensus().expect("converges");
         (
             out.winner,
             out.steps,

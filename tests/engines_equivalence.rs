@@ -3,52 +3,36 @@
 //! the two engines must be statistically indistinguishable.
 
 use rapid_plurality::prelude::*;
-use rapid_plurality::sim::scheduler::EventQueueScheduler;
 use rapid_plurality::stats::ks_two_sample;
+
+/// Consensus time of async Two-Choices on `K_400` under a given clock —
+/// the builder makes the engine the only varying axis.
+fn consensus_time(clock: Clock, seed: u64) -> f64 {
+    Sim::builder()
+        .topology(Complete::new(400))
+        .counts(&[300, 100])
+        .gossip(GossipRule::TwoChoices)
+        .clock(clock)
+        .seed(Seed::new(seed))
+        .stop(StopCondition::StepBudget(50_000_000))
+        .build()
+        .expect("valid experiment")
+        .run_to_consensus()
+        .expect("converges")
+        .time
+        .expect("asynchronous")
+        .as_secs()
+}
 
 fn consensus_times_sequential(trials: u64) -> Vec<f64> {
     (0..trials)
-        .map(|seed| {
-            let counts = [300u64, 100];
-            let config = Configuration::from_counts(&counts).expect("valid");
-            let source = rapid_plurality::sim::scheduler::SequentialScheduler::with_mode(
-                400,
-                Seed::new(1000 + seed),
-                rapid_plurality::sim::scheduler::TimeMode::Sampled,
-            );
-            let mut sim = AsyncGossipSim::new(
-                Complete::new(400),
-                config,
-                GossipRule::TwoChoices,
-                source,
-                Seed::new(5000 + seed),
-            );
-            sim.run_until_consensus(50_000_000)
-                .expect("converges")
-                .time
-                .as_secs()
-        })
+        .map(|seed| consensus_time(Clock::Sequential(TimeMode::Sampled), 1000 + seed))
         .collect()
 }
 
 fn consensus_times_event_queue(trials: u64) -> Vec<f64> {
     (0..trials)
-        .map(|seed| {
-            let counts = [300u64, 100];
-            let config = Configuration::from_counts(&counts).expect("valid");
-            let source = EventQueueScheduler::new(400, Seed::new(2000 + seed), 1.0);
-            let mut sim = AsyncGossipSim::new(
-                Complete::new(400),
-                config,
-                GossipRule::TwoChoices,
-                source,
-                Seed::new(6000 + seed),
-            );
-            sim.run_until_consensus(50_000_000)
-                .expect("converges")
-                .time
-                .as_secs()
-        })
+        .map(|seed| consensus_time(Clock::EventQueue { rate: 1.0 }, 2000 + seed))
         .collect()
 }
 
@@ -70,26 +54,10 @@ fn expected_and_sampled_time_modes_agree_on_means() {
     // Expected mode (deterministic 1/n steps) must produce the same mean
     // consensus time as sampled mode — it is the same process with
     // de-noised bookkeeping.
-    use rapid_plurality::sim::scheduler::{SequentialScheduler, TimeMode};
     let trials = 30;
     let mean = |mode: TimeMode, base: u64| -> f64 {
         (0..trials)
-            .map(|seed| {
-                let counts = [300u64, 100];
-                let config = Configuration::from_counts(&counts).expect("valid");
-                let source = SequentialScheduler::with_mode(400, Seed::new(base + seed), mode);
-                let mut sim = AsyncGossipSim::new(
-                    Complete::new(400),
-                    config,
-                    GossipRule::TwoChoices,
-                    source,
-                    Seed::new(base + 1000 + seed),
-                );
-                sim.run_until_consensus(50_000_000)
-                    .expect("converges")
-                    .time
-                    .as_secs()
-            })
+            .map(|seed| consensus_time(Clock::Sequential(mode), base + seed))
             .sum::<f64>()
             / trials as f64
     };

@@ -24,7 +24,7 @@ fn check(report: &Report) {
     let text = report.to_string();
     assert!(text.contains(&report.id));
     let json = report.to_json();
-    let back: Report = serde_json::from_str(&json).expect("valid JSON");
+    let back = Report::from_json(&json).expect("valid JSON");
     assert_eq!(&back, report);
 }
 

@@ -3,6 +3,8 @@
 
 use rapid_plurality::prelude::*;
 
+type ProtocolMaker = Box<dyn Fn() -> Protocol>;
+
 fn plurality_counts(n: u64, k: usize, eps: f64) -> Vec<u64> {
     InitialDistribution::multiplicative_bias(k, eps)
         .counts(n)
@@ -12,28 +14,40 @@ fn plurality_counts(n: u64, k: usize, eps: f64) -> Vec<u64> {
 #[test]
 fn all_sync_protocols_find_a_clear_plurality() {
     let counts = plurality_counts(1024, 4, 1.0); // 2x lead: easy regime
-    let g = Complete::new(1024);
-    let protocols: Vec<Box<dyn SyncProtocol>> = vec![
-        Box::new(TwoChoices::new()),
-        Box::new(ThreeMajority::new()),
-        Box::new(OneExtraBit::for_network(1024, 4)),
+    let makers: Vec<(&str, ProtocolMaker)> = vec![
+        (
+            "two-choices",
+            Box::new(|| Protocol::Sync(Box::new(TwoChoices::new()))),
+        ),
+        (
+            "3-majority",
+            Box::new(|| Protocol::Sync(Box::new(ThreeMajority::new()))),
+        ),
+        (
+            "one-extra-bit",
+            Box::new(|| Protocol::Sync(Box::new(OneExtraBit::for_network(1024, 4)))),
+        ),
     ];
-    for mut proto in protocols {
+    for (name, make) in makers {
         let mut wins = 0;
         for seed in 0..5 {
-            let mut config = Configuration::from_counts(&counts).expect("valid");
-            let mut rng = SimRng::from_seed_value(Seed::new(100 + seed));
-            let out =
-                run_sync_to_consensus(proto.as_mut(), &g, &mut config, &mut rng, 100_000)
-                    .expect("converges");
-            if out.winner == Color::new(0) {
+            let out = Sim::builder()
+                .topology(Complete::new(1024))
+                .counts(&counts)
+                .select(make())
+                .seed(Seed::new(100 + seed))
+                .stop(StopCondition::RoundBudget(100_000))
+                .build()
+                .expect("valid experiment")
+                .run_to_consensus()
+                .expect("converges");
+            if out.winner == Some(Color::new(0)) {
                 wins += 1;
             }
         }
         assert!(
             wins >= 4,
-            "{} won only {wins}/5 with a 2x plurality lead",
-            proto.name()
+            "{name} won only {wins}/5 with a 2x plurality lead"
         );
     }
 }
@@ -43,35 +57,50 @@ fn two_choices_works_beyond_the_clique() {
     // The paper analyses K_n; the implementation is topology-generic.
     // On a dense random regular graph the same drift dynamics apply.
     let counts = plurality_counts(600, 3, 1.0);
-    let g = rapid_plurality::graph::RandomRegular::sample(600, 16, Seed::new(3))
-        .expect("samplable");
     let mut wins = 0;
     for seed in 0..5 {
-        let mut config = Configuration::from_counts(&counts).expect("valid");
-        config.shuffle(&mut SimRng::from_seed_value(Seed::new(7 + seed)));
-        let mut rng = SimRng::from_seed_value(Seed::new(200 + seed));
-        let out = run_sync_to_consensus(
-            &mut TwoChoices::new(),
-            &g,
-            &mut config,
-            &mut rng,
-            100_000,
-        )
-        .expect("converges");
-        if out.winner == Color::new(0) {
+        let g = rapid_plurality::graph::RandomRegular::sample(600, 16, Seed::new(3))
+            .expect("samplable");
+        let out = Sim::builder()
+            .topology(g)
+            .counts(&counts)
+            .protocol(TwoChoices::new())
+            .shuffle(true)
+            .seed(Seed::new(200 + seed))
+            .stop(StopCondition::RoundBudget(100_000))
+            .build()
+            .expect("valid experiment")
+            .run_to_consensus()
+            .expect("converges");
+        if out.winner == Some(Color::new(0)) {
             wins += 1;
         }
     }
-    assert!(wins >= 4, "plurality won only {wins}/5 on the regular graph");
+    assert!(
+        wins >= 4,
+        "plurality won only {wins}/5 on the regular graph"
+    );
 }
 
 #[test]
 fn async_gossip_rules_converge_on_plurality() {
     for rule in [GossipRule::TwoChoices, GossipRule::ThreeMajority] {
         let counts = plurality_counts(800, 4, 1.0);
-        let mut sim = clique_gossip(&counts, rule, Seed::new(11));
-        let out = sim.run_until_consensus(50_000_000).expect("converges");
-        assert_eq!(out.winner, Color::new(0), "rule {rule} missed the plurality");
+        let out = Sim::builder()
+            .topology(Complete::new(800))
+            .counts(&counts)
+            .gossip(rule)
+            .seed(Seed::new(11))
+            .stop(StopCondition::StepBudget(50_000_000))
+            .build()
+            .expect("valid experiment")
+            .run_to_consensus()
+            .expect("converges");
+        assert_eq!(
+            out.winner,
+            Some(Color::new(0)),
+            "rule {rule} missed the plurality"
+        );
     }
 }
 
@@ -88,32 +117,30 @@ fn one_extra_bit_is_polylog_while_two_choices_grows() {
         let counts = InitialDistribution::additive_bias(32, gap)
             .counts(n)
             .expect("feasible");
-        let g = Complete::new(n as usize);
         let mut tc_mean = 0.0;
         let mut oeb_mean = 0.0;
         let trials = 3;
+        let rounds = |protocol: Protocol, seed: u64| -> f64 {
+            Sim::builder()
+                .topology(Complete::new(n as usize))
+                .counts(&counts)
+                .select(protocol)
+                .seed(Seed::new(seed))
+                .stop(StopCondition::RoundBudget(100_000))
+                .build()
+                .expect("valid experiment")
+                .run_to_consensus()
+                .expect("converges")
+                .rounds
+                .expect("synchronous") as f64
+        };
         for seed in 0..trials {
-            let mut config = Configuration::from_counts(&counts).expect("valid");
-            let mut rng = SimRng::from_seed_value(Seed::new(300 + seed));
-            tc_mean += run_sync_to_consensus(
-                &mut TwoChoices::new(),
-                &g,
-                &mut config,
-                &mut rng,
-                100_000,
-            )
-            .expect("converges")
-            .rounds as f64
-                / trials as f64;
-
-            let mut config = Configuration::from_counts(&counts).expect("valid");
-            let mut rng = SimRng::from_seed_value(Seed::new(400 + seed));
-            let mut oeb = OneExtraBit::for_network(n as usize, 32);
-            oeb_mean +=
-                run_sync_to_consensus(&mut oeb, &g, &mut config, &mut rng, 100_000)
-                    .expect("converges")
-                    .rounds as f64
-                    / trials as f64;
+            tc_mean +=
+                rounds(Protocol::Sync(Box::new(TwoChoices::new())), 300 + seed) / trials as f64;
+            oeb_mean += rounds(
+                Protocol::Sync(Box::new(OneExtraBit::for_network(n as usize, 32))),
+                400 + seed,
+            ) / trials as f64;
         }
         tc_rounds.push(tc_mean);
         oeb_rounds.push(oeb_mean);
@@ -133,9 +160,17 @@ fn voter_is_a_proportional_lottery() {
     let mut wins = 0;
     let trials = 24;
     for seed in 0..trials {
-        let mut sim = clique_gossip(&[75, 25], GossipRule::Voter, Seed::new(500 + seed));
-        let out = sim.run_until_consensus(50_000_000).expect("converges");
-        if out.winner == Color::new(0) {
+        let out = Sim::builder()
+            .topology(Complete::new(100))
+            .counts(&[75, 25])
+            .gossip(GossipRule::Voter)
+            .seed(Seed::new(500 + seed))
+            .stop(StopCondition::StepBudget(50_000_000))
+            .build()
+            .expect("valid experiment")
+            .run_to_consensus()
+            .expect("converges");
+        if out.winner == Some(Color::new(0)) {
             wins += 1;
         }
     }

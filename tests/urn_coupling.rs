@@ -3,8 +3,8 @@
 //! martingale matching the urn's exact moments.
 
 use rapid_plurality::prelude::*;
-use rapid_plurality::urn::{fraction_mean, PolyaUrn};
 use rapid_plurality::stats::OnlineStats;
+use rapid_plurality::urn::{fraction_mean, PolyaUrn};
 
 #[test]
 fn bit_propagation_composition_is_a_martingale() {
@@ -21,27 +21,32 @@ fn bit_propagation_composition_is_a_martingale() {
     // working time moves by ~1 tick per n activations, and sorting the
     // working times on every tick would dominate the run.
     let chunk = n / 8;
-    let advance_to = |sim: &mut _, target: u64| {
-        let sim: &mut rapid_plurality::core::RapidSim<_, _> = sim;
-        while sim.median_working_time() < target {
+    let advance_to = |sim: &mut Sim, target: u64| {
+        while sim.median_working_time().expect("rapid engine") < target {
             for _ in 0..chunk {
-                sim.tick();
+                sim.step();
             }
         }
     };
 
     let mut drifts = OnlineStats::new();
     for seed in 0..12 {
-        let mut sim = clique_rapid(&counts, params, Seed::new(seed));
+        let mut sim = Sim::builder()
+            .topology(Complete::new(n as usize))
+            .counts(&counts)
+            .rapid(params)
+            .seed(Seed::new(seed))
+            .build()
+            .expect("valid experiment");
         advance_to(&mut sim, bp_start);
-        let comp0 = sim.bit_composition();
+        let comp0 = sim.bit_composition().expect("rapid engine");
         let t0: u64 = comp0.iter().sum();
         if t0 == 0 {
             continue;
         }
         let f0 = comp0[0] as f64 / t0 as f64;
         advance_to(&mut sim, bp_end);
-        let comp1 = sim.bit_composition();
+        let comp1 = sim.bit_composition().expect("rapid engine");
         let t1: u64 = comp1.iter().sum();
         let f1 = comp1[0] as f64 / t1 as f64;
         drifts.push(f1 - f0);
@@ -88,18 +93,28 @@ fn expected_bit_seed_count_matches_prediction() {
     // Snapshot in the waiting gap between the commit wave (at 3Δ) and the
     // start of Bit-Propagation (at 4Δ): most nodes have committed, almost
     // none has started re-spreading bits.
-    let snapshot_at =
-        (params.tc_blocks as u64 - 1) * params.delta as u64 + params.delta as u64 / 2;
+    let snapshot_at = (params.tc_blocks as u64 - 1) * params.delta as u64 + params.delta as u64 / 2;
 
     let mut seeds_observed = OnlineStats::new();
     for seed in 0..8 {
-        let mut sim = clique_rapid(&counts, params, Seed::new(100 + seed));
-        while sim.median_working_time() < snapshot_at {
+        let mut sim = Sim::builder()
+            .topology(Complete::new(n as usize))
+            .counts(&counts)
+            .rapid(params)
+            .seed(Seed::new(100 + seed))
+            .build()
+            .expect("valid experiment");
+        while sim.median_working_time().expect("rapid engine") < snapshot_at {
             for _ in 0..n / 8 {
-                sim.tick();
+                sim.step();
             }
         }
-        seeds_observed.push(sim.bit_composition().iter().sum::<u64>() as f64);
+        seeds_observed.push(
+            sim.bit_composition()
+                .expect("rapid engine")
+                .iter()
+                .sum::<u64>() as f64,
+        );
     }
     let predicted = expected_bits_after_two_choices(&counts);
     let rel = (seeds_observed.mean() - predicted).abs() / predicted;
