@@ -1,0 +1,11 @@
+//! `xp` — the single multiplexed experiment driver.
+//!
+//! `xp list` enumerates the registry; `xp run <id> [--quick] [--set k=v]`
+//! runs any experiment with per-parameter overrides; `xp all` sweeps all
+//! sixteen. All behaviour lives in `rapid_experiments::cli` so it is unit
+//! tested; this binary only adapts process arguments and the exit code.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(rapid_experiments::cli::run(&args));
+}

@@ -1,11 +1,11 @@
-//! Shared helpers for the benchmark suite and experiment binaries.
+//! Shared helpers for the benchmark suite and the `xp` experiment driver.
 //!
 //! The scientific content lives in `rapid-experiments`; this crate hosts
 //! the benches (`benches/`, driven by the dependency-free [`harness`]
-//! below) and one binary per experiment (`src/bin/exp_*.rs`) so that
+//! below) and the single `xp` binary (`src/bin/xp.rs`) so that
 //! `cargo bench --workspace` exercises the protocol kernels and
-//! `cargo run -p rapid-bench --bin exp_e06_async_scaling` (etc.) regenerates each
-//! table/figure.
+//! `cargo run -p rapid-bench --bin xp -- run e06` (etc.) regenerates any
+//! table/figure through the experiment registry.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

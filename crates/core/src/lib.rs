@@ -27,10 +27,10 @@
 //! * [`opinion`] — colors, histograms, configurations.
 //! * [`convergence`] — outcome and error types.
 //!
-//! * [`facade`] — the unified [`Sim`](facade::Sim) builder: one entry
+//! * [`facade`] — the unified [`Sim`] builder: one entry
 //!   point composing any topology, initial state, protocol, clock model
 //!   and stop conditions into a run with one serialisable
-//!   [`Outcome`](facade::Outcome).
+//!   [`Outcome`].
 //!
 //! # Quickstart
 //!

@@ -1,39 +1,494 @@
-//! Shared entry point for the experiment binaries in `rapid-bench`.
+//! The `xp` command line: one multiplexed driver for every experiment.
+//!
+//! Replaces the sixteen one-off `exp_*` binaries with a single interface
+//! over the [`crate::registry::registry`]:
+//!
+//! ```text
+//! xp list                 # every experiment: id, anchor, title
+//! xp info e06             # parameter schema with defaults and presets
+//! xp run e06 --quick --set ns=65536 --set trials=20
+//! xp run e01 e04 --format csv --out /tmp/reports
+//! xp all --quick          # the full CI sweep
+//! ```
+//!
+//! Parsing is table-driven and fully typed: every user mistake maps to a
+//! [`CliError`] variant (and exit code 2) instead of a panic or a silent
+//! default. Reports are printed in the chosen [`OutputFormat`] and saved
+//! as JSON next to the workspace's build artifacts — resolved against the
+//! crate's manifest, not the current directory, so `xp` lands its files
+//! in the same place no matter where it is invoked from (override with
+//! `--out DIR`).
 
+use std::path::{Path, PathBuf};
+
+use crate::experiment::Experiment;
+use crate::json::JsonValue;
+use crate::params::{ParamError, ParamMap, Preset};
+use crate::registry;
 use crate::report::Report;
+use crate::runner::Threads;
 
-/// How large an experiment run should be.
+/// How a report is rendered on stdout.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
-pub enum Scale {
-    /// Paper-scale run (minutes).
+pub enum OutputFormat {
+    /// Aligned text tables (the default).
     #[default]
-    Full,
-    /// CI-scale run (seconds).
-    Quick,
+    Table,
+    /// The report's JSON document.
+    Json,
+    /// RFC-4180-style CSV with `#` provenance lines.
+    Csv,
 }
 
-impl Scale {
-    /// Parses process arguments: `--quick` selects [`Scale::Quick`].
-    pub fn from_args() -> Scale {
-        if std::env::args().any(|a| a == "--quick") {
-            Scale::Quick
-        } else {
-            Scale::Full
+impl OutputFormat {
+    fn parse(s: &str) -> Result<OutputFormat, CliError> {
+        match s {
+            "table" => Ok(OutputFormat::Table),
+            "json" => Ok(OutputFormat::Json),
+            "csv" => Ok(OutputFormat::Csv),
+            _ => Err(CliError::BadFormat(s.to_string())),
         }
     }
 }
 
-/// Prints the report, writes `target/experiments/<id>.json`, and reports
-/// where.
+/// Options shared by `xp run` and `xp all`.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct RunOpts {
+    /// `--quick` selects the CI-scale preset.
+    pub preset: Preset,
+    /// `--set key=value` overrides, applied in order.
+    pub sets: Vec<(String, String)>,
+    /// `--seed N` overrides every experiment's master seed.
+    pub seed: Option<u64>,
+    /// `--threads N` bounds trial-runner workers (default: all cores).
+    pub threads: Threads,
+    /// `--format table|json|csv`.
+    pub format: OutputFormat,
+    /// `--out DIR` overrides the save directory.
+    pub out: Option<PathBuf>,
+}
+
+/// A parsed `xp` invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `xp help` / `--help` / no arguments.
+    Help,
+    /// `xp list [--markdown]`.
+    List {
+        /// Render the README catalog table instead of the plain listing.
+        markdown: bool,
+    },
+    /// `xp info <id>`.
+    Info {
+        /// Experiment id.
+        id: String,
+    },
+    /// `xp run <id>... [options]`.
+    Run {
+        /// Experiment ids, in run order.
+        ids: Vec<String>,
+        /// Shared run options.
+        opts: RunOpts,
+    },
+    /// `xp all [options]`.
+    All {
+        /// Shared run options.
+        opts: RunOpts,
+    },
+}
+
+/// A user error in the `xp` invocation (exit code 2).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CliError {
+    /// The first argument is not a known subcommand.
+    UnknownCommand(String),
+    /// An id does not name a registry experiment.
+    UnknownExperiment(String),
+    /// A flag is not recognised by this subcommand.
+    UnknownFlag(String),
+    /// A flag that needs a value was given none.
+    MissingValue(&'static str),
+    /// `xp run` / `xp info` without an experiment id.
+    MissingExperiment,
+    /// A positional argument where none is accepted.
+    UnexpectedArg(String),
+    /// A numeric flag value failed to parse.
+    BadNumber {
+        /// The flag.
+        flag: &'static str,
+        /// The offending text.
+        value: String,
+    },
+    /// `--format` with something other than `table|json|csv`.
+    BadFormat(String),
+    /// `--set` without a `key=value` payload.
+    BadSet(String),
+    /// A `--set` rejected by the experiment's schema.
+    Param {
+        /// The experiment whose schema rejected it.
+        id: String,
+        /// The underlying error.
+        error: ParamError,
+    },
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command {c:?} (try list, info, run, all)")
+            }
+            CliError::UnknownExperiment(id) => {
+                write!(f, "no experiment {id:?} (see `xp list`)")
+            }
+            CliError::UnknownFlag(flag) => write!(f, "unknown flag {flag}"),
+            CliError::MissingValue(flag) => write!(f, "{flag} needs a value"),
+            CliError::MissingExperiment => write!(f, "an experiment id is required"),
+            CliError::UnexpectedArg(a) => write!(f, "unexpected argument {a:?}"),
+            CliError::BadNumber { flag, value } => {
+                write!(f, "{flag} needs a positive integer, got {value:?}")
+            }
+            CliError::BadFormat(v) => {
+                write!(f, "--format must be table, json or csv, got {v:?}")
+            }
+            CliError::BadSet(v) => write!(f, "--set needs KEY=VALUE, got {v:?}"),
+            CliError::Param { id, error } => write!(f, "{id}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses an `xp` argument vector (without the program name).
 ///
-/// The JSON lands next to the workspace's build artifacts so repeated runs
-/// are easy to diff.
-pub fn emit(report: &Report) {
-    println!("{report}");
-    let dir = std::path::Path::new("target").join("experiments");
-    match report.save_json(&dir) {
-        Ok(path) => println!("[saved {}]", path.display()),
+/// # Errors
+///
+/// Returns the first [`CliError`] encountered, left to right.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter().map(String::as_str).peekable();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "list" => {
+            let mut markdown = false;
+            for arg in it {
+                match arg {
+                    "--markdown" => markdown = true,
+                    flag if flag.starts_with('-') => {
+                        return Err(CliError::UnknownFlag(flag.to_string()))
+                    }
+                    other => return Err(CliError::UnexpectedArg(other.to_string())),
+                }
+            }
+            Ok(Command::List { markdown })
+        }
+        "info" => {
+            let id = it.next().ok_or(CliError::MissingExperiment)?.to_string();
+            require_known(&id)?;
+            if let Some(extra) = it.next() {
+                return Err(CliError::UnexpectedArg(extra.to_string()));
+            }
+            Ok(Command::Info { id })
+        }
+        "run" => {
+            let (ids, opts) = parse_run_args(it)?;
+            if ids.is_empty() {
+                return Err(CliError::MissingExperiment);
+            }
+            for id in &ids {
+                require_known(id)?;
+            }
+            Ok(Command::Run { ids, opts })
+        }
+        "all" => {
+            let (ids, opts) = parse_run_args(it)?;
+            if let Some(extra) = ids.first() {
+                return Err(CliError::UnexpectedArg(extra.clone()));
+            }
+            Ok(Command::All { opts })
+        }
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn require_known(id: &str) -> Result<(), CliError> {
+    registry::find(id)
+        .map(|_| ())
+        .ok_or_else(|| CliError::UnknownExperiment(id.to_string()))
+}
+
+fn parse_run_args<'a>(
+    mut it: std::iter::Peekable<impl Iterator<Item = &'a str>>,
+) -> Result<(Vec<String>, RunOpts), CliError> {
+    let mut ids = Vec::new();
+    let mut opts = RunOpts::default();
+    while let Some(arg) = it.next() {
+        match arg {
+            "--quick" => opts.preset = Preset::Quick,
+            "--set" => {
+                let kv = it.next().ok_or(CliError::MissingValue("--set"))?;
+                let (key, value) = kv
+                    .split_once('=')
+                    .ok_or_else(|| CliError::BadSet(kv.to_string()))?;
+                if key.is_empty() {
+                    return Err(CliError::BadSet(kv.to_string()));
+                }
+                opts.sets.push((key.to_string(), value.to_string()));
+            }
+            "--seed" => {
+                let v = it.next().ok_or(CliError::MissingValue("--seed"))?;
+                opts.seed = Some(
+                    v.replace('_', "")
+                        .parse()
+                        .map_err(|_| CliError::BadNumber {
+                            flag: "--seed",
+                            value: v.to_string(),
+                        })?,
+                );
+            }
+            "--threads" => {
+                let v = it.next().ok_or(CliError::MissingValue("--threads"))?;
+                let n: usize = v.parse().map_err(|_| CliError::BadNumber {
+                    flag: "--threads",
+                    value: v.to_string(),
+                })?;
+                if n == 0 {
+                    return Err(CliError::BadNumber {
+                        flag: "--threads",
+                        value: v.to_string(),
+                    });
+                }
+                opts.threads = Threads::fixed(n);
+            }
+            "--format" => {
+                let v = it.next().ok_or(CliError::MissingValue("--format"))?;
+                opts.format = OutputFormat::parse(v)?;
+            }
+            "--out" => {
+                let v = it.next().ok_or(CliError::MissingValue("--out"))?;
+                opts.out = Some(PathBuf::from(v));
+            }
+            flag if flag.starts_with('-') => return Err(CliError::UnknownFlag(flag.to_string())),
+            id => ids.push(id.to_string()),
+        }
+    }
+    Ok((ids, opts))
+}
+
+/// The directory reports land in without `--out`: `target/experiments`
+/// under the *workspace root* (resolved from this crate's manifest at
+/// compile time), never the caller's working directory. When the
+/// compile-time checkout no longer exists (a binary copied to another
+/// machine), falls back to the cwd so reports still land somewhere
+/// sensible instead of a dead absolute path.
+pub fn default_out_dir() -> PathBuf {
+    let root = workspace_root();
+    if root.is_dir() {
+        root.join("target").join("experiments")
+    } else {
+        Path::new("target").join("experiments")
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/experiments -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("manifest dir has a workspace root two levels up")
+        .to_path_buf()
+}
+
+/// Writes to stdout, treating a closed pipe (`xp ... | head`) as a
+/// normal early exit instead of letting `println!` panic with a
+/// broken-pipe backtrace.
+fn write_out(args: std::fmt::Arguments<'_>, newline: bool) {
+    use std::io::Write as _;
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    let res = lock.write_fmt(args).and_then(|()| {
+        if newline {
+            lock.write_all(b"\n")
+        } else {
+            Ok(())
+        }
+    });
+    if let Err(e) = res {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        eprintln!("xp: cannot write to stdout: {e}");
+        std::process::exit(1);
+    }
+}
+
+macro_rules! outln {
+    () => { write_out(format_args!(""), true) };
+    ($($t:tt)*) => { write_out(format_args!($($t)*), true) };
+}
+macro_rules! outp {
+    ($($t:tt)*) => { write_out(format_args!($($t)*), false) };
+}
+
+/// Prints `report` in `format` and saves it under `out` (JSON always;
+/// CSV too when that is the chosen format). Save notices and failures
+/// go to stderr so stdout stays machine-readable (`xp … --format json
+/// | jq .` must parse); failures warn but do not abort the run.
+pub fn emit(report: &Report, format: OutputFormat, out: &Path) {
+    match format {
+        OutputFormat::Table => outln!("{report}"),
+        OutputFormat::Json => outln!("{}", report.to_json()),
+        OutputFormat::Csv => outp!("{}", report.to_csv()),
+    }
+    match report.save_json(out) {
+        Ok(path) => eprintln!("[saved {}]", path.display()),
         Err(e) => eprintln!("[warning: could not save JSON: {e}]"),
+    }
+    if format == OutputFormat::Csv {
+        let path = out.join(format!("{}.csv", report.id.to_lowercase()));
+        match std::fs::write(&path, report.to_csv()) {
+            Ok(()) => eprintln!("[saved {}]", path.display()),
+            Err(e) => eprintln!("[warning: could not save CSV: {e}]"),
+        }
+    }
+}
+
+const USAGE: &str = "\
+xp — run the paper's experiments (Elsässer et al., PODC 2017)
+
+USAGE:
+    xp list [--markdown]          list every experiment
+    xp info <id>                  show an experiment's parameter schema
+    xp run <id>... [OPTIONS]      run one or more experiments
+    xp all [OPTIONS]              run all sixteen experiments
+    xp help                       this message
+
+OPTIONS (run / all):
+    --quick                CI-scale preset (seconds instead of minutes)
+    --set KEY=VALUE        override one parameter (repeatable; lists are
+                           comma-separated, e.g. --set ns=4096,8192)
+    --seed N               override the master seed
+    --threads N            worker threads for trials (default: all cores)
+    --format table|json|csv   stdout rendering (default: table)
+    --out DIR              save directory (default: <workspace>/target/experiments)
+";
+
+/// One validated unit of work: an experiment plus its resolved map.
+struct Job {
+    exp: &'static dyn Experiment,
+    map: ParamMap,
+}
+
+fn build_jobs(ids: &[String], opts: &RunOpts) -> Result<Vec<Job>, CliError> {
+    // Validate every --set against every schema *before* running anything:
+    // a typo must not abort a sweep halfway through.
+    ids.iter()
+        .map(|id| {
+            let exp = registry::find(id).ok_or_else(|| CliError::UnknownExperiment(id.clone()))?;
+            let mut map = exp.preset(opts.preset);
+            for (key, value) in &opts.sets {
+                map.set(key, value).map_err(|error| CliError::Param {
+                    id: exp.id().to_string(),
+                    error,
+                })?;
+            }
+            Ok(Job { exp, map })
+        })
+        .collect()
+}
+
+fn execute(cmd: &Command) -> Result<(), CliError> {
+    match cmd {
+        Command::Help => outp!("{USAGE}"),
+        Command::List { markdown: true } => outp!("{}", registry::catalog_markdown()),
+        Command::List { markdown: false } => {
+            for exp in registry::registry() {
+                outln!("{:4}  {:38}  {}", exp.id(), exp.claim(), exp.title());
+            }
+        }
+        Command::Info { id } => {
+            let exp = registry::find(id).ok_or_else(|| CliError::UnknownExperiment(id.clone()))?;
+            outln!("{} — {}", exp.id(), exp.title());
+            outln!("reproduces: {}", exp.claim());
+            outln!();
+            let header = ["param", "type", "default", "quick", "help"];
+            outln!(
+                "{:12}  {:9}  {:>24}  {:>20}  {}",
+                header[0],
+                header[1],
+                header[2],
+                header[3],
+                header[4]
+            );
+            for spec in exp.params().specs() {
+                outln!(
+                    "{:12}  {:9}  {:>24}  {:>20}  {}",
+                    spec.name,
+                    spec.kind.name(),
+                    spec.default.render(),
+                    spec.quick.as_ref().map_or("-".to_string(), |q| q.render()),
+                    spec.help,
+                );
+            }
+        }
+        Command::Run { ids, opts } => run_jobs(build_jobs(ids, opts)?, opts),
+        Command::All { opts } => {
+            let ids: Vec<String> = registry::registry()
+                .iter()
+                .map(|e| e.id().to_string())
+                .collect();
+            run_jobs(build_jobs(&ids, opts)?, opts)
+        }
+    }
+    Ok(())
+}
+
+fn run_jobs(jobs: Vec<Job>, opts: &RunOpts) {
+    let out = opts.out.clone().unwrap_or_else(default_out_dir);
+    for job in jobs {
+        let report = job.exp.run_map(&job.map, opts.seed, opts.threads);
+        emit(&report, opts.format, &out);
+        save_params(&job, &report, &out);
+    }
+}
+
+/// Saves `<out>/<id>.params.json` — the exact parameter assignment and
+/// resolved master seed that produced the sibling report, so any run
+/// (presets, `--set` overrides, `--seed`) can be reproduced later. The
+/// report JSON itself stays byte-identical to the legacy `Config` path.
+fn save_params(job: &Job, report: &Report, out: &Path) {
+    let doc = JsonValue::object([
+        ("id", JsonValue::String(job.exp.id().to_string())),
+        ("params", job.map.to_json_value()),
+        ("seed", JsonValue::U64(report.seed)),
+    ])
+    .to_pretty();
+    let path = out.join(format!("{}.params.json", job.exp.id()));
+    if let Err(e) = std::fs::create_dir_all(out).and_then(|()| std::fs::write(&path, doc)) {
+        eprintln!("[warning: could not save params: {e}]");
+    } else {
+        eprintln!("[saved {}]", path.display());
+    }
+}
+
+/// Full CLI entry point: parse, execute, map errors to exit codes.
+/// The `xp` binary is `std::process::exit(run(&args))`.
+pub fn run(args: &[String]) -> i32 {
+    match parse(args) {
+        Ok(cmd) => match execute(&cmd) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("xp: {e}");
+                2
+            }
+        },
+        Err(e) => {
+            eprintln!("xp: {e}");
+            eprintln!("run `xp help` for usage");
+            2
+        }
     }
 }
 
@@ -41,14 +496,231 @@ pub fn emit(report: &Report) {
 mod tests {
     use super::*;
 
-    #[test]
-    fn default_scale_is_full() {
-        assert_eq!(Scale::default(), Scale::Full);
+    fn p(args: &[&str]) -> Result<Command, CliError> {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     }
 
     #[test]
-    fn emit_prints_without_panicking() {
+    fn golden_parse_table() {
+        // args → expected command, the satellite CLI parse table.
+        assert_eq!(p(&[]), Ok(Command::Help));
+        assert_eq!(p(&["help"]), Ok(Command::Help));
+        assert_eq!(p(&["--help"]), Ok(Command::Help));
+        assert_eq!(p(&["list"]), Ok(Command::List { markdown: false }));
+        assert_eq!(
+            p(&["list", "--markdown"]),
+            Ok(Command::List { markdown: true })
+        );
+        assert_eq!(p(&["info", "e06"]), Ok(Command::Info { id: "e06".into() }));
+        assert_eq!(
+            p(&["run", "e06"]),
+            Ok(Command::Run {
+                ids: vec!["e06".into()],
+                opts: RunOpts::default(),
+            })
+        );
+        assert_eq!(
+            p(&[
+                "run",
+                "e06",
+                "--quick",
+                "--set",
+                "n=65536",
+                "--set",
+                "trials=20"
+            ]),
+            Ok(Command::Run {
+                ids: vec!["e06".into()],
+                opts: RunOpts {
+                    preset: Preset::Quick,
+                    sets: vec![("n".into(), "65536".into()), ("trials".into(), "20".into())],
+                    ..RunOpts::default()
+                },
+            })
+        );
+        assert_eq!(
+            p(&[
+                "run",
+                "e01",
+                "e02",
+                "--seed",
+                "7",
+                "--threads",
+                "2",
+                "--format",
+                "csv",
+                "--out",
+                "/tmp/x"
+            ]),
+            Ok(Command::Run {
+                ids: vec!["e01".into(), "e02".into()],
+                opts: RunOpts {
+                    seed: Some(7),
+                    threads: Threads::Fixed(2),
+                    format: OutputFormat::Csv,
+                    out: Some(PathBuf::from("/tmp/x")),
+                    ..RunOpts::default()
+                },
+            })
+        );
+        assert_eq!(
+            p(&["all", "--quick", "--format", "json"]),
+            Ok(Command::All {
+                opts: RunOpts {
+                    preset: Preset::Quick,
+                    format: OutputFormat::Json,
+                    ..RunOpts::default()
+                },
+            })
+        );
+    }
+
+    #[test]
+    fn golden_error_table() {
+        assert_eq!(p(&["bogus"]), Err(CliError::UnknownCommand("bogus".into())));
+        assert_eq!(
+            p(&["run", "e17"]),
+            Err(CliError::UnknownExperiment("e17".into()))
+        );
+        assert_eq!(p(&["run"]), Err(CliError::MissingExperiment));
+        assert_eq!(p(&["info"]), Err(CliError::MissingExperiment));
+        assert_eq!(
+            p(&["info", "e06", "extra"]),
+            Err(CliError::UnexpectedArg("extra".into()))
+        );
+        assert_eq!(
+            p(&["all", "e06"]),
+            Err(CliError::UnexpectedArg("e06".into()))
+        );
+        assert_eq!(
+            p(&["run", "e06", "--bogus"]),
+            Err(CliError::UnknownFlag("--bogus".into()))
+        );
+        assert_eq!(
+            p(&["run", "e06", "--seed"]),
+            Err(CliError::MissingValue("--seed"))
+        );
+        assert_eq!(
+            p(&["run", "e06", "--seed", "abc"]),
+            Err(CliError::BadNumber {
+                flag: "--seed",
+                value: "abc".into()
+            })
+        );
+        assert_eq!(
+            p(&["run", "e06", "--threads", "0"]),
+            Err(CliError::BadNumber {
+                flag: "--threads",
+                value: "0".into()
+            })
+        );
+        assert_eq!(
+            p(&["run", "e06", "--format", "xml"]),
+            Err(CliError::BadFormat("xml".into()))
+        );
+        assert_eq!(
+            p(&["run", "e06", "--set", "n65536"]),
+            Err(CliError::BadSet("n65536".into()))
+        );
+        assert_eq!(
+            p(&["list", "e06"]),
+            Err(CliError::UnexpectedArg("e06".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_set_keys_fail_before_any_run() {
+        let jobs = build_jobs(
+            &["e06".to_string()],
+            &RunOpts {
+                sets: vec![("bogus".into(), "1".into())],
+                ..RunOpts::default()
+            },
+        );
+        assert!(matches!(
+            jobs,
+            Err(CliError::Param { id, error: ParamError::UnknownKey { .. } }) if id == "e06"
+        ));
+    }
+
+    #[test]
+    fn case_insensitive_ids_resolve() {
+        assert!(p(&["run", "E06"]).is_ok());
+        assert!(p(&["info", "E01"]).is_ok());
+    }
+
+    #[test]
+    fn default_out_dir_is_workspace_anchored() {
+        let dir = default_out_dir();
+        assert!(dir.ends_with("target/experiments"));
+        // Anchored at the workspace (where Cargo.lock lives), not the cwd.
+        assert!(dir
+            .parent()
+            .and_then(Path::parent)
+            .expect("two parents")
+            .join("Cargo.lock")
+            .exists());
+    }
+
+    #[test]
+    fn errors_render_readably() {
+        for (err, needle) in [
+            (CliError::UnknownCommand("x".into()), "unknown command"),
+            (CliError::UnknownExperiment("e99".into()), "e99"),
+            (CliError::UnknownFlag("--x".into()), "--x"),
+            (CliError::MissingValue("--seed"), "--seed"),
+            (CliError::MissingExperiment, "experiment id"),
+            (CliError::UnexpectedArg("z".into()), "z"),
+            (
+                CliError::BadNumber {
+                    flag: "--threads",
+                    value: "x".into(),
+                },
+                "--threads",
+            ),
+            (CliError::BadFormat("xml".into()), "xml"),
+            (CliError::BadSet("kv".into()), "KEY=VALUE"),
+        ] {
+            assert!(err.to_string().contains(needle), "{err:?}");
+        }
+    }
+
+    #[test]
+    fn run_jobs_saves_param_provenance() {
+        let dir = std::env::temp_dir().join("rapid-xp-params-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let opts = RunOpts {
+            preset: Preset::Quick,
+            sets: vec![("ns".into(), "64".into()), ("trials".into(), "1".into())],
+            seed: Some(99),
+            out: Some(dir.clone()),
+            ..RunOpts::default()
+        };
+        run_jobs(
+            build_jobs(&["e09".to_string()], &opts).expect("valid"),
+            &opts,
+        );
+        let doc = std::fs::read_to_string(dir.join("e09.params.json")).expect("provenance saved");
+        let v = crate::json::parse(&doc).expect("valid JSON");
+        assert_eq!(v.get("id").and_then(JsonValue::as_str), Some("e09"));
+        assert_eq!(v.get("seed").and_then(JsonValue::as_u64), Some(99));
+        let params = v.get("params").expect("params recorded");
+        assert_eq!(
+            params.get("ns").and_then(JsonValue::as_array),
+            Some(&[JsonValue::U64(64)][..])
+        );
+        assert_eq!(params.get("trials").and_then(JsonValue::as_u64), Some(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn emit_prints_and_saves_without_panicking() {
+        let dir = std::env::temp_dir().join("rapid-xp-emit-test");
         let r = Report::new("E00", "smoke", 1);
-        emit(&r);
+        emit(&r, OutputFormat::Table, &dir);
+        emit(&r, OutputFormat::Csv, &dir);
+        assert!(dir.join("e00.json").exists());
+        assert!(dir.join("e00.csv").exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

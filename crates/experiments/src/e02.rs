@@ -14,9 +14,14 @@ use rapid_sim::prelude::*;
 use rapid_stats::{fit_line, OnlineStats};
 
 use crate::distributions::{theorem_11_gap, InitialDistribution};
+use crate::experiment::Experiment;
+use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::run_trials;
+use crate::runner::{run_trials_on, Threads};
 use crate::table::Table;
+
+/// Report title (also the registry's [`Experiment::title`]).
+const TITLE: &str = "Theorem 1.1 lower bound: Omega(k) rounds when c1 = Theta(n/k)";
 
 /// Configuration for E02.
 #[derive(Clone, Debug, PartialEq)]
@@ -55,15 +60,64 @@ impl Config {
             ..Config::default()
         }
     }
+
+    /// Rebuilds a typed config from a validated [`ParamMap`].
+    pub fn from_params(p: &ParamMap) -> Config {
+        Config {
+            n: p.u64("n"),
+            ks: p.usize_list("ks"),
+            z: p.f64("z"),
+            trials: p.u64("trials"),
+            seed: p.u64("seed"),
+        }
+    }
+}
+
+/// Declarative schema mirroring [`Config`].
+fn schema() -> ParamSchema {
+    let d = Config::default();
+    let q = Config::quick();
+    let as_u64 = |ks: &[usize]| ks.iter().map(|&k| k as u64).collect::<Vec<_>>();
+    ParamSchema::new(vec![
+        ParamSpec::u64("n", "fixed population size", d.n).quick(q.n),
+        ParamSpec::u64_list("ks", "opinion counts to sweep", &as_u64(&d.ks)).quick(as_u64(&q.ks)),
+        ParamSpec::f64("z", "gap multiplier", d.z).quick(q.z),
+        ParamSpec::u64("trials", "trials per k", d.trials).quick(q.trials),
+        ParamSpec::u64("seed", "master seed", d.seed).quick(q.seed),
+    ])
+}
+
+/// Registry entry for this experiment.
+pub struct E02;
+
+impl Experiment for E02 {
+    fn id(&self) -> &'static str {
+        "e02"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn claim(&self) -> &'static str {
+        "Thm 1.1 lower bound / Figure 1"
+    }
+    fn params(&self) -> ParamSchema {
+        schema()
+    }
+    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+        let mut cfg = Config::from_params(params);
+        cfg.seed = seed.value();
+        run_on(&cfg, threads)
+    }
 }
 
 /// Runs E02 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    let mut report = Report::new(
-        "E02",
-        "Theorem 1.1 lower bound: Omega(k) rounds when c1 = Theta(n/k)",
-        cfg.seed,
-    );
+    run_on(cfg, Threads::Auto)
+}
+
+/// [`run`] with an explicit worker policy (the registry path).
+pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+    let mut report = Report::new("E02", TITLE, cfg.seed);
     let mut table = Table::new(
         format!("Sync Two-Choices at n = {}, gap z*sqrt(n ln n)", cfg.n),
         &["k", "c1", "n/c1", "rounds", "stderr", "rounds/k", "success"],
@@ -80,24 +134,29 @@ pub fn run(cfg: &Config) -> Report {
         let c1 = counts[0];
         let budget = 400 * k as u64 + 5_000;
 
-        let results = run_trials(cfg.trials, Seed::new(cfg.seed ^ (k as u64) << 3), {
-            let counts = counts.clone();
-            move |_, seed| {
-                let out = Sim::builder()
-                    .topology(Complete::new(n as usize))
-                    .counts(&counts)
-                    .protocol(TwoChoices::new())
-                    .seed(seed)
-                    .stop(StopCondition::RoundBudget(budget))
-                    .build()
-                    .expect("validated")
-                    .run();
-                match out.as_sync() {
-                    Some(out) => (out.rounds, out.winner == Color::new(0), true),
-                    None => (budget, false, false),
+        let results = run_trials_on(
+            cfg.trials,
+            Seed::new(cfg.seed ^ (k as u64) << 3),
+            threads,
+            {
+                let counts = counts.clone();
+                move |_, seed| {
+                    let out = Sim::builder()
+                        .topology(Complete::new(n as usize))
+                        .counts(&counts)
+                        .protocol(TwoChoices::new())
+                        .seed(seed)
+                        .stop(StopCondition::RoundBudget(budget))
+                        .build()
+                        .expect("validated")
+                        .run();
+                    match out.as_sync() {
+                        Some(out) => (out.rounds, out.winner == Color::new(0), true),
+                        None => (budget, false, false),
+                    }
                 }
-            }
-        });
+            },
+        );
 
         let rounds: OnlineStats = results.iter().map(|r| r.0 as f64).collect();
         let success = results.iter().filter(|r| r.1).count() as f64 / results.len() as f64;

@@ -12,9 +12,14 @@ use rapid_graph::prelude::*;
 use rapid_sim::prelude::*;
 
 use crate::distributions::{theorem_11_gap, InitialDistribution};
+use crate::experiment::Experiment;
+use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::run_trials;
+use crate::runner::{run_trials_on, Threads};
 use crate::table::Table;
+
+/// Report title (also the registry's [`Experiment::title`]).
+const TITLE: &str = "Theorem 1.1: gap O(sqrt n) lets C2 win with constant probability";
 
 /// Configuration for E03.
 #[derive(Clone, Debug, PartialEq)]
@@ -52,15 +57,68 @@ impl Config {
             ..Config::default()
         }
     }
+
+    /// Rebuilds a typed config from a validated [`ParamMap`].
+    pub fn from_params(p: &ParamMap) -> Config {
+        Config {
+            n: p.u64("n"),
+            k: p.usize("k"),
+            sqrt_n_multipliers: p.f64_list("gaps"),
+            trials: p.u64("trials"),
+            seed: p.u64("seed"),
+        }
+    }
+}
+
+/// Declarative schema mirroring [`Config`].
+fn schema() -> ParamSchema {
+    let d = Config::default();
+    let q = Config::quick();
+    ParamSchema::new(vec![
+        ParamSpec::u64("n", "population size", d.n).quick(q.n),
+        ParamSpec::u64("k", "number of opinions", d.k as u64).quick(q.k as u64),
+        ParamSpec::f64_list(
+            "gaps",
+            "gap values in units of sqrt(n)",
+            &d.sqrt_n_multipliers,
+        )
+        .quick(q.sqrt_n_multipliers),
+        ParamSpec::u64("trials", "trials per gap", d.trials).quick(q.trials),
+        ParamSpec::u64("seed", "master seed", d.seed).quick(q.seed),
+    ])
+}
+
+/// Registry entry for this experiment.
+pub struct E03;
+
+impl Experiment for E03 {
+    fn id(&self) -> &'static str {
+        "e03"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn claim(&self) -> &'static str {
+        "Thm 1.1 bias threshold / Table 2"
+    }
+    fn params(&self) -> ParamSchema {
+        schema()
+    }
+    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+        let mut cfg = Config::from_params(params);
+        cfg.seed = seed.value();
+        run_on(&cfg, threads)
+    }
 }
 
 /// Runs E03 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    let mut report = Report::new(
-        "E03",
-        "Theorem 1.1: gap O(sqrt n) lets C2 win with constant probability",
-        cfg.seed,
-    );
+    run_on(cfg, Threads::Auto)
+}
+
+/// [`run`] with an explicit worker policy (the registry path).
+pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+    let mut report = Report::new("E03", TITLE, cfg.seed);
     let mut table = Table::new(
         format!(
             "Sync Two-Choices winner rates at n = {}, k = {}",
@@ -91,7 +149,7 @@ pub fn run(cfg: &Config) -> Report {
         let Ok(counts) = dist.counts(n) else { continue };
         let budget = 200_000;
 
-        let results = run_trials(cfg.trials, Seed::new(cfg.seed ^ gap), {
+        let results = run_trials_on(cfg.trials, Seed::new(cfg.seed ^ gap), threads, {
             let counts = counts.clone();
             move |_, seed| {
                 Sim::builder()

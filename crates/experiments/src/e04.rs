@@ -27,10 +27,15 @@ use rapid_sim::prelude::*;
 use rapid_stats::OnlineStats;
 
 use crate::distributions::{theorem_11_gap, theorem_12_gap, InitialDistribution};
+use crate::experiment::Experiment;
+use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::predictions;
 use crate::report::Report;
-use crate::runner::run_trials;
+use crate::runner::{run_trials_on, Threads};
 use crate::table::Table;
+
+/// Report title (also the registry's [`Experiment::title`]).
+const TITLE: &str = "Theorem 1.2: OneExtraBit converges in polylog rounds";
 
 /// Configuration for E04.
 #[derive(Clone, Debug, PartialEq)]
@@ -77,6 +82,78 @@ impl Config {
             ..Config::default()
         }
     }
+
+    /// Rebuilds a typed config from a validated [`ParamMap`].
+    pub fn from_params(p: &ParamMap) -> Config {
+        Config {
+            ns_bound: p.u64_list("ns_bound"),
+            ks_bound: p.usize_list("ks_bound"),
+            ns_compare: p.u64_list("ns_compare"),
+            ks_compare: p.usize_list("ks_compare"),
+            z: p.f64("z"),
+            trials: p.u64("trials"),
+            seed: p.u64("seed"),
+        }
+    }
+}
+
+/// Declarative schema mirroring [`Config`].
+fn schema() -> ParamSchema {
+    let d = Config::default();
+    let q = Config::quick();
+    let as_u64 = |ks: &[usize]| ks.iter().map(|&k| k as u64).collect::<Vec<_>>();
+    ParamSchema::new(vec![
+        ParamSpec::u64_list(
+            "ns_bound",
+            "population sizes for sub-table (a)",
+            &d.ns_bound,
+        )
+        .quick(q.ns_bound),
+        ParamSpec::u64_list(
+            "ks_bound",
+            "opinion counts for sub-table (a)",
+            &as_u64(&d.ks_bound),
+        )
+        .quick(as_u64(&q.ks_bound)),
+        ParamSpec::u64_list(
+            "ns_compare",
+            "population sizes for sub-table (b)",
+            &d.ns_compare,
+        )
+        .quick(q.ns_compare),
+        ParamSpec::u64_list(
+            "ks_compare",
+            "opinion counts for sub-table (b)",
+            &as_u64(&d.ks_compare),
+        )
+        .quick(as_u64(&q.ks_compare)),
+        ParamSpec::f64("z", "gap multiplier", d.z).quick(q.z),
+        ParamSpec::u64("trials", "trials per cell", d.trials).quick(q.trials),
+        ParamSpec::u64("seed", "master seed", d.seed).quick(q.seed),
+    ])
+}
+
+/// Registry entry for this experiment.
+pub struct E04;
+
+impl Experiment for E04 {
+    fn id(&self) -> &'static str {
+        "e04"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn claim(&self) -> &'static str {
+        "Thm 1.2 / Table 3"
+    }
+    fn params(&self) -> ParamSchema {
+        schema()
+    }
+    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+        let mut cfg = Config::from_params(params);
+        cfg.seed = seed.value();
+        run_on(&cfg, threads)
+    }
 }
 
 fn run_sync(
@@ -103,11 +180,12 @@ fn run_sync(
 
 /// Runs E04 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    let mut report = Report::new(
-        "E04",
-        "Theorem 1.2: OneExtraBit converges in polylog rounds",
-        cfg.seed,
-    );
+    run_on(cfg, Threads::Auto)
+}
+
+/// [`run`] with an explicit worker policy (the registry path).
+pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+    let mut report = Report::new("E04", TITLE, cfg.seed);
 
     // ---- (a) the literal bound -------------------------------------
     let mut bound = Table::new(
@@ -123,13 +201,18 @@ pub fn run(cfg: &Config) -> Report {
                 continue;
             };
             let (c1, c2) = (counts[0], counts[1]);
-            let results = run_trials(cfg.trials, Seed::new(cfg.seed ^ (n << 8) ^ k as u64), {
-                let counts = counts.clone();
-                move |_, seed| {
-                    let proto = OneExtraBit::for_network(n as usize, k);
-                    run_sync(proto, n, &counts, 5_000, seed)
-                }
-            });
+            let results = run_trials_on(
+                cfg.trials,
+                Seed::new(cfg.seed ^ (n << 8) ^ k as u64),
+                threads,
+                {
+                    let counts = counts.clone();
+                    move |_, seed| {
+                        let proto = OneExtraBit::for_network(n as usize, k);
+                        run_sync(proto, n, &counts, 5_000, seed)
+                    }
+                },
+            );
             let rounds: OnlineStats = results.iter().filter(|r| r.2).map(|r| r.0 as f64).collect();
             let success = results.iter().filter(|r| r.1).count() as f64 / results.len() as f64;
             let pred = predictions::one_extra_bit_rounds(n, k, c1, c2);
@@ -170,15 +253,20 @@ pub fn run(cfg: &Config) -> Report {
             };
             let c1 = counts[0];
             let tc_budget = (predictions::two_choices_rounds(n, c1) * 20.0).ceil() as u64 + 1000;
-            let results = run_trials(cfg.trials, Seed::new(cfg.seed ^ (n << 4) ^ k as u64), {
-                let counts = counts.clone();
-                move |_, seed| {
-                    let tc = run_sync(TwoChoices::new(), n, &counts, tc_budget, seed.child(0));
-                    let proto = OneExtraBit::for_network(n as usize, k);
-                    let oeb = run_sync(proto, n, &counts, 5_000, seed.child(1));
-                    (tc, oeb)
-                }
-            });
+            let results = run_trials_on(
+                cfg.trials,
+                Seed::new(cfg.seed ^ (n << 4) ^ k as u64),
+                threads,
+                {
+                    let counts = counts.clone();
+                    move |_, seed| {
+                        let tc = run_sync(TwoChoices::new(), n, &counts, tc_budget, seed.child(0));
+                        let proto = OneExtraBit::for_network(n as usize, k);
+                        let oeb = run_sync(proto, n, &counts, 5_000, seed.child(1));
+                        (tc, oeb)
+                    }
+                },
+            );
             let tc: OnlineStats = results.iter().map(|r| r.0 .0 as f64).collect();
             let oeb: OnlineStats = results.iter().map(|r| r.1 .0 as f64).collect();
             let tc_success =

@@ -13,9 +13,14 @@ use rapid_sim::prelude::*;
 use rapid_stats::OnlineStats;
 
 use crate::distributions::InitialDistribution;
+use crate::experiment::Experiment;
+use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::run_trials;
+use crate::runner::{run_trials_on, Threads};
 use crate::table::Table;
+
+/// Report title (also the registry's [`Experiment::title`]).
+const TITLE: &str = "Quadratic amplification: c1'/c2' ~ (c1/c2)^2 per OneExtraBit phase";
 
 /// Configuration for E05.
 #[derive(Clone, Debug, PartialEq)]
@@ -58,6 +63,57 @@ impl Config {
             ..Config::default()
         }
     }
+
+    /// Rebuilds a typed config from a validated [`ParamMap`].
+    pub fn from_params(p: &ParamMap) -> Config {
+        Config {
+            n: p.u64("n"),
+            ks: p.usize_list("ks"),
+            eps: p.f64("eps"),
+            max_phases: p.u32("max_phases"),
+            trials: p.u64("trials"),
+            seed: p.u64("seed"),
+        }
+    }
+}
+
+/// Declarative schema mirroring [`Config`].
+fn schema() -> ParamSchema {
+    let d = Config::default();
+    let q = Config::quick();
+    let as_u64 = |ks: &[usize]| ks.iter().map(|&k| k as u64).collect::<Vec<_>>();
+    ParamSchema::new(vec![
+        ParamSpec::u64("n", "population size", d.n).quick(q.n),
+        ParamSpec::u64_list("ks", "opinion counts to test", &as_u64(&d.ks)).quick(as_u64(&q.ks)),
+        ParamSpec::f64("eps", "initial multiplicative lead", d.eps).quick(q.eps),
+        ParamSpec::u32("max_phases", "maximum phases to trace", d.max_phases)
+            .quick(u64::from(q.max_phases)),
+        ParamSpec::u64("trials", "trials", d.trials).quick(q.trials),
+        ParamSpec::u64("seed", "master seed", d.seed).quick(q.seed),
+    ])
+}
+
+/// Registry entry for this experiment.
+pub struct E05;
+
+impl Experiment for E05 {
+    fn id(&self) -> &'static str {
+        "e05"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn claim(&self) -> &'static str {
+        "§2 amplification / Figure 2"
+    }
+    fn params(&self) -> ParamSchema {
+        schema()
+    }
+    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+        let mut cfg = Config::from_params(params);
+        cfg.seed = seed.value();
+        run_on(&cfg, threads)
+    }
 }
 
 /// Per-trial trace: the `c1/c2` ratio at each phase boundary.
@@ -87,11 +143,12 @@ fn trace_ratios(n: u64, k: usize, eps: f64, max_phases: u32, seed: Seed) -> Vec<
 
 /// Runs E05 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    let mut report = Report::new(
-        "E05",
-        "Quadratic amplification: c1'/c2' ~ (c1/c2)^2 per OneExtraBit phase",
-        cfg.seed,
-    );
+    run_on(cfg, Threads::Auto)
+}
+
+/// [`run`] with an explicit worker policy (the registry path).
+pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+    let mut report = Report::new("E05", TITLE, cfg.seed);
 
     for &k in &cfg.ks {
         let mut table = Table::new(
@@ -109,9 +166,10 @@ pub fn run(cfg: &Config) -> Report {
             ],
         );
 
-        let traces = run_trials(
+        let traces = run_trials_on(
             cfg.trials,
             Seed::new(cfg.seed ^ (k as u64) << 4),
+            threads,
             |_, seed| trace_ratios(cfg.n, k, cfg.eps, cfg.max_phases, seed),
         );
 

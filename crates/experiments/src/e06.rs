@@ -15,9 +15,14 @@ use rapid_sim::prelude::*;
 use rapid_stats::{fit_line, OnlineStats};
 
 use crate::distributions::InitialDistribution;
+use crate::experiment::Experiment;
+use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::run_trials;
+use crate::runner::{run_trials_on, Threads};
 use crate::table::Table;
+
+/// Report title (also the registry's [`Experiment::title`]).
+const TITLE: &str = "Theorem 1.3: asynchronous consensus in Theta(log n) time";
 
 /// Configuration for E06.
 #[derive(Clone, Debug, PartialEq)]
@@ -59,15 +64,64 @@ impl Config {
             ..Config::default()
         }
     }
+
+    /// Rebuilds a typed config from a validated [`ParamMap`].
+    pub fn from_params(p: &ParamMap) -> Config {
+        Config {
+            ns: p.u64_list("ns"),
+            k: p.usize("k"),
+            eps: p.f64("eps"),
+            trials: p.u64("trials"),
+            seed: p.u64("seed"),
+        }
+    }
+}
+
+/// Declarative schema mirroring [`Config`] (defaults = paper scale,
+/// quick = CI scale).
+fn schema() -> ParamSchema {
+    let d = Config::default();
+    let q = Config::quick();
+    ParamSchema::new(vec![
+        ParamSpec::u64_list("ns", "population sizes", &d.ns).quick(q.ns),
+        ParamSpec::u64("k", "number of opinions", d.k as u64).quick(q.k as u64),
+        ParamSpec::f64("eps", "multiplicative lead of the plurality", d.eps).quick(q.eps),
+        ParamSpec::u64("trials", "trials per n", d.trials).quick(q.trials),
+        ParamSpec::u64("seed", "master seed", d.seed).quick(q.seed),
+    ])
+}
+
+/// Registry entry for this experiment.
+pub struct E06;
+
+impl Experiment for E06 {
+    fn id(&self) -> &'static str {
+        "e06"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn claim(&self) -> &'static str {
+        "Thm 1.3 / Table 4"
+    }
+    fn params(&self) -> ParamSchema {
+        schema()
+    }
+    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+        let mut cfg = Config::from_params(params);
+        cfg.seed = seed.value();
+        run_on(&cfg, threads)
+    }
 }
 
 /// Runs E06 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    let mut report = Report::new(
-        "E06",
-        "Theorem 1.3: asynchronous consensus in Theta(log n) time",
-        cfg.seed,
-    );
+    run_on(cfg, Threads::Auto)
+}
+
+/// [`run`] with an explicit worker policy (the registry path).
+pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+    let mut report = Report::new("E06", TITLE, cfg.seed);
     let mut table = Table::new(
         format!(
             "RapidSim on K_n, k = {}, multiplicative bias eps = {}",
@@ -93,7 +147,7 @@ pub fn run(cfg: &Config) -> Report {
         };
         let params = Params::for_network_with_eps(n as usize, cfg.k, cfg.eps);
 
-        let results = run_trials(cfg.trials, Seed::new(cfg.seed ^ (n << 4)), {
+        let results = run_trials_on(cfg.trials, Seed::new(cfg.seed ^ (n << 4)), threads, {
             let counts = counts.clone();
             move |_, seed| {
                 let outcome = Sim::builder()

@@ -14,10 +14,15 @@ use rapid_sim::prelude::*;
 use rapid_stats::OnlineStats;
 
 use crate::distributions::InitialDistribution;
+use crate::experiment::Experiment;
+use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::predictions;
 use crate::report::Report;
-use crate::runner::run_trials;
+use crate::runner::{run_trials_on, Threads};
 use crate::table::Table;
+
+/// Report title (also the registry's [`Experiment::title`]).
+const TITLE: &str = "Theorem 1.3: k-sweep up to exp(log n / log log n) opinions";
 
 /// Configuration for E07.
 #[derive(Clone, Debug, PartialEq)]
@@ -60,15 +65,64 @@ impl Config {
             ..Config::default()
         }
     }
+
+    /// Rebuilds a typed config from a validated [`ParamMap`].
+    pub fn from_params(p: &ParamMap) -> Config {
+        Config {
+            n: p.u64("n"),
+            ks: p.usize_list("ks"),
+            eps: p.f64("eps"),
+            trials: p.u64("trials"),
+            seed: p.u64("seed"),
+        }
+    }
+}
+
+/// Declarative schema mirroring [`Config`].
+fn schema() -> ParamSchema {
+    let d = Config::default();
+    let q = Config::quick();
+    let as_u64 = |ks: &[usize]| ks.iter().map(|&k| k as u64).collect::<Vec<_>>();
+    ParamSchema::new(vec![
+        ParamSpec::u64("n", "fixed population size", d.n).quick(q.n),
+        ParamSpec::u64_list("ks", "opinion counts to sweep", &as_u64(&d.ks)).quick(as_u64(&q.ks)),
+        ParamSpec::f64("eps", "multiplicative lead", d.eps).quick(q.eps),
+        ParamSpec::u64("trials", "trials per k", d.trials).quick(q.trials),
+        ParamSpec::u64("seed", "master seed", d.seed).quick(q.seed),
+    ])
+}
+
+/// Registry entry for this experiment.
+pub struct E07;
+
+impl Experiment for E07 {
+    fn id(&self) -> &'static str {
+        "e07"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn claim(&self) -> &'static str {
+        "Thm 1.3 k-range / Figure 3"
+    }
+    fn params(&self) -> ParamSchema {
+        schema()
+    }
+    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+        let mut cfg = Config::from_params(params);
+        cfg.seed = seed.value();
+        run_on(&cfg, threads)
+    }
 }
 
 /// Runs E07 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    let mut report = Report::new(
-        "E07",
-        "Theorem 1.3: k-sweep up to exp(log n / log log n) opinions",
-        cfg.seed,
-    );
+    run_on(cfg, Threads::Auto)
+}
+
+/// [`run`] with an explicit worker policy (the registry path).
+pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+    let mut report = Report::new("E07", TITLE, cfg.seed);
     let mut table = Table::new(
         format!("RapidSim at n = {}, eps = {}", cfg.n, cfg.eps),
         &["k", "time", "stderr", "time/ln(n)", "success", "trials"],
@@ -82,27 +136,32 @@ pub fn run(cfg: &Config) -> Report {
         };
         let params = Params::for_network_with_eps(n as usize, k, cfg.eps);
 
-        let results = run_trials(cfg.trials, Seed::new(cfg.seed ^ (k as u64) << 5), {
-            let counts = counts.clone();
-            move |_, seed| {
-                let outcome = Sim::builder()
-                    .topology(Complete::new(n as usize))
-                    .counts(&counts)
-                    .rapid(params)
-                    .seed(seed)
-                    .build()
-                    .expect("validated")
-                    .run();
-                match outcome.as_rapid() {
-                    Some(out) => (
-                        out.time.as_secs(),
-                        out.winner == Color::new(0) && out.before_first_halt,
-                        true,
-                    ),
-                    None => (0.0, false, false),
+        let results = run_trials_on(
+            cfg.trials,
+            Seed::new(cfg.seed ^ (k as u64) << 5),
+            threads,
+            {
+                let counts = counts.clone();
+                move |_, seed| {
+                    let outcome = Sim::builder()
+                        .topology(Complete::new(n as usize))
+                        .counts(&counts)
+                        .rapid(params)
+                        .seed(seed)
+                        .build()
+                        .expect("validated")
+                        .run();
+                    match outcome.as_rapid() {
+                        Some(out) => (
+                            out.time.as_secs(),
+                            out.winner == Color::new(0) && out.before_first_halt,
+                            true,
+                        ),
+                        None => (0.0, false, false),
+                    }
                 }
-            }
-        });
+            },
+        );
 
         let time: OnlineStats = results.iter().filter(|r| r.2).map(|r| r.0).collect();
         let success = results.iter().filter(|r| r.1).count() as f64 / results.len() as f64;

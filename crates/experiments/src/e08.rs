@@ -15,9 +15,14 @@ use rapid_sim::prelude::*;
 use rapid_stats::{welch_t_test, OnlineStats};
 
 use crate::distributions::InitialDistribution;
+use crate::experiment::Experiment;
+use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::run_trials;
+use crate::runner::{run_trials_on, Threads};
 use crate::table::Table;
+
+/// Report title (also the registry's [`Experiment::title`]).
+const TITLE: &str = "Weak synchronicity: Sync Gadget keeps working times within Delta";
 
 /// Configuration for E08.
 #[derive(Clone, Debug, PartialEq)]
@@ -55,6 +60,53 @@ impl Config {
             ..Config::default()
         }
     }
+
+    /// Rebuilds a typed config from a validated [`ParamMap`].
+    pub fn from_params(p: &ParamMap) -> Config {
+        Config {
+            ns: p.u64_list("ns"),
+            k: p.usize("k"),
+            eps: p.f64("eps"),
+            trials: p.u64("trials"),
+            seed: p.u64("seed"),
+        }
+    }
+}
+
+/// Declarative schema mirroring [`Config`].
+fn schema() -> ParamSchema {
+    let d = Config::default();
+    let q = Config::quick();
+    ParamSchema::new(vec![
+        ParamSpec::u64_list("ns", "population sizes", &d.ns).quick(q.ns),
+        ParamSpec::u64("k", "number of opinions", d.k as u64).quick(q.k as u64),
+        ParamSpec::f64("eps", "multiplicative lead", d.eps).quick(q.eps),
+        ParamSpec::u64("trials", "trials per cell", d.trials).quick(q.trials),
+        ParamSpec::u64("seed", "master seed", d.seed).quick(q.seed),
+    ])
+}
+
+/// Registry entry for this experiment.
+pub struct E08;
+
+impl Experiment for E08 {
+    fn id(&self) -> &'static str {
+        "e08"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn claim(&self) -> &'static str {
+        "§3 Sync-Gadget ablation / Figure 4"
+    }
+    fn params(&self) -> ParamSchema {
+        schema()
+    }
+    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+        let mut cfg = Config::from_params(params);
+        cfg.seed = seed.value();
+        run_on(&cfg, threads)
+    }
 }
 
 /// One part-1 run; returns per-phase `(poorly_synced, spread)` pairs.
@@ -85,11 +137,12 @@ fn measure(n: u64, k: usize, eps: f64, gadget: bool, seed: Seed) -> Vec<(f64, u6
 
 /// Runs E08 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    let mut report = Report::new(
-        "E08",
-        "Weak synchronicity: Sync Gadget keeps working times within Delta",
-        cfg.seed,
-    );
+    run_on(cfg, Threads::Auto)
+}
+
+/// [`run`] with an explicit worker policy (the registry path).
+pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+    let mut report = Report::new("E08", TITLE, cfg.seed);
     let mut table = Table::new(
         "Working-time concentration at phase boundaries (tolerance 2*Delta)",
         &[
@@ -107,9 +160,10 @@ pub fn run(cfg: &Config) -> Report {
         let mut per_phase_poorly: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
         for gadget in [true, false] {
             let params = Params::for_network_with_eps(n as usize, cfg.k, cfg.eps);
-            let results = run_trials(
+            let results = run_trials_on(
                 cfg.trials,
                 Seed::new(cfg.seed ^ (n << 2) ^ gadget as u64),
+                threads,
                 |_, seed| measure(n, cfg.k, cfg.eps, gadget, seed),
             );
 

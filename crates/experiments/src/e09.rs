@@ -13,10 +13,15 @@
 use rapid_sim::prelude::*;
 use rapid_stats::OnlineStats;
 
+use crate::experiment::Experiment;
+use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::predictions;
 use crate::report::Report;
-use crate::runner::run_trials;
+use crate::runner::{run_trials_on, Threads};
 use crate::table::Table;
+
+/// Report title (also the registry's [`Experiment::title`]).
+const TITLE: &str = "Tick concentration and the Omega(log n) asynchronous barrier";
 
 /// Configuration for E09.
 #[derive(Clone, Debug, PartialEq)]
@@ -51,15 +56,66 @@ impl Config {
             ..Config::default()
         }
     }
+
+    /// Rebuilds a typed config from a validated [`ParamMap`].
+    pub fn from_params(p: &ParamMap) -> Config {
+        Config {
+            ns: p.u64_list("ns"),
+            horizon_ln_multiple: p.f64("horizon"),
+            trials: p.u64("trials"),
+            seed: p.u64("seed"),
+        }
+    }
+}
+
+/// Declarative schema mirroring [`Config`].
+fn schema() -> ParamSchema {
+    let d = Config::default();
+    let q = Config::quick();
+    ParamSchema::new(vec![
+        ParamSpec::u64_list("ns", "population sizes", &d.ns).quick(q.ns),
+        ParamSpec::f64(
+            "horizon",
+            "horizon in multiples of ln n",
+            d.horizon_ln_multiple,
+        )
+        .quick(q.horizon_ln_multiple),
+        ParamSpec::u64("trials", "trials per n", d.trials).quick(q.trials),
+        ParamSpec::u64("seed", "master seed", d.seed).quick(q.seed),
+    ])
+}
+
+/// Registry entry for this experiment.
+pub struct E09;
+
+impl Experiment for E09 {
+    fn id(&self) -> &'static str {
+        "e09"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn claim(&self) -> &'static str {
+        "§1.1/§3 tick concentration / Table 5"
+    }
+    fn params(&self) -> ParamSchema {
+        schema()
+    }
+    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+        let mut cfg = Config::from_params(params);
+        cfg.seed = seed.value();
+        run_on(&cfg, threads)
+    }
 }
 
 /// Runs E09 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    let mut report = Report::new(
-        "E09",
-        "Tick concentration and the Omega(log n) asynchronous barrier",
-        cfg.seed,
-    );
+    run_on(cfg, Threads::Auto)
+}
+
+/// [`run`] with an explicit worker policy (the registry path).
+pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+    let mut report = Report::new("E09", TITLE, cfg.seed);
     let mut table = Table::new(
         format!(
             "Sequential model, horizon T = {} ln n",
@@ -78,18 +134,23 @@ pub fn run(cfg: &Config) -> Report {
     for &n in &cfg.ns {
         let t_end = cfg.horizon_ln_multiple * (n as f64).ln();
 
-        let results = run_trials(cfg.trials, Seed::new(cfg.seed ^ n), move |_, seed| {
-            let mut sched = SequentialScheduler::with_mode(n as usize, seed, TimeMode::Sampled);
-            let mut stats = ActivationStats::new(n as usize);
-            let horizon = SimTime::from_secs(t_end);
-            // Drive to the horizon, recording every activation.
-            sched.run_until(horizon, |a| stats.observe(a));
-            let coverage = stats
-                .last_first_activation()
-                .map(|t| t.as_secs())
-                .unwrap_or(t_end); // some node never ticked: report the horizon
-            (coverage, stats.max_deviation())
-        });
+        let results = run_trials_on(
+            cfg.trials,
+            Seed::new(cfg.seed ^ n),
+            threads,
+            move |_, seed| {
+                let mut sched = SequentialScheduler::with_mode(n as usize, seed, TimeMode::Sampled);
+                let mut stats = ActivationStats::new(n as usize);
+                let horizon = SimTime::from_secs(t_end);
+                // Drive to the horizon, recording every activation.
+                sched.run_until(horizon, |a| stats.observe(a));
+                let coverage = stats
+                    .last_first_activation()
+                    .map(|t| t.as_secs())
+                    .unwrap_or(t_end); // some node never ticked: report the horizon
+                (coverage, stats.max_deviation())
+            },
+        );
 
         let coverage: OnlineStats = results.iter().map(|r| r.0).collect();
         let max_dev: OnlineStats = results.iter().map(|r| r.1).collect();

@@ -18,9 +18,14 @@ use rapid_stats::{ks_two_sample, OnlineStats};
 use rapid_urn::spread_by_copying;
 
 use crate::distributions::InitialDistribution;
+use crate::experiment::Experiment;
+use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::run_trials;
+use crate::runner::{run_trials_on, Threads};
 use crate::table::Table;
+
+/// Report title (also the registry's [`Experiment::title`]).
+const TITLE: &str = "Bit-Propagation behaves as a Polya urn (martingale composition)";
 
 /// Configuration for E10.
 #[derive(Clone, Debug, PartialEq)]
@@ -58,6 +63,54 @@ impl Config {
             trials: 15,
             ..Config::default()
         }
+    }
+
+    /// Rebuilds a typed config from a validated [`ParamMap`].
+    pub fn from_params(p: &ParamMap) -> Config {
+        Config {
+            n: p.u64("n"),
+            ks: p.usize_list("ks"),
+            eps: p.f64("eps"),
+            trials: p.u64("trials"),
+            seed: p.u64("seed"),
+        }
+    }
+}
+
+/// Declarative schema mirroring [`Config`].
+fn schema() -> ParamSchema {
+    let d = Config::default();
+    let q = Config::quick();
+    let as_u64 = |ks: &[usize]| ks.iter().map(|&k| k as u64).collect::<Vec<_>>();
+    ParamSchema::new(vec![
+        ParamSpec::u64("n", "population size", d.n).quick(q.n),
+        ParamSpec::u64_list("ks", "opinion counts to test", &as_u64(&d.ks)).quick(as_u64(&q.ks)),
+        ParamSpec::f64("eps", "multiplicative lead", d.eps).quick(q.eps),
+        ParamSpec::u64("trials", "trials per k", d.trials).quick(q.trials),
+        ParamSpec::u64("seed", "master seed", d.seed).quick(q.seed),
+    ])
+}
+
+/// Registry entry for this experiment.
+pub struct E10;
+
+impl Experiment for E10 {
+    fn id(&self) -> &'static str {
+        "e10"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn claim(&self) -> &'static str {
+        "§3.1 Pólya-urn martingale / Figure 5"
+    }
+    fn params(&self) -> ParamSchema {
+        schema()
+    }
+    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+        let mut cfg = Config::from_params(params);
+        cfg.seed = seed.value();
+        run_on(&cfg, threads)
     }
 }
 
@@ -114,11 +167,12 @@ fn trial(n: u64, k: usize, eps: f64, seed: Seed) -> Option<(f64, f64, f64)> {
 
 /// Runs E10 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    let mut report = Report::new(
-        "E10",
-        "Bit-Propagation behaves as a Polya urn (martingale composition)",
-        cfg.seed,
-    );
+    run_on(cfg, Threads::Auto)
+}
+
+/// [`run`] with an explicit worker policy (the registry path).
+pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+    let mut report = Report::new("E10", TITLE, cfg.seed);
     let mut table = Table::new(
         format!(
             "Bit-set plurality fraction, n = {}, eps = {}",
@@ -136,9 +190,10 @@ pub fn run(cfg: &Config) -> Report {
     );
 
     for &k in &cfg.ks {
-        let results = run_trials(
+        let results = run_trials_on(
             cfg.trials,
             Seed::new(cfg.seed ^ (k as u64) << 6),
+            threads,
             |_, seed| trial(cfg.n, k, cfg.eps, seed),
         );
         let valid: Vec<(f64, f64, f64)> = results.into_iter().flatten().collect();

@@ -12,9 +12,14 @@ use rapid_graph::prelude::*;
 use rapid_sim::prelude::*;
 use rapid_stats::OnlineStats;
 
+use crate::experiment::Experiment;
+use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::run_trials;
+use crate::runner::{run_trials_on, Threads};
 use crate::table::Table;
+
+/// Report title (also the registry's [`Experiment::title`]).
+const TITLE: &str = "Endgame: async Two-Choices finishes before the first node halts";
 
 /// Configuration for E11.
 #[derive(Clone, Debug, PartialEq)]
@@ -53,15 +58,69 @@ impl Config {
             ..Config::default()
         }
     }
+
+    /// Rebuilds a typed config from a validated [`ParamMap`].
+    pub fn from_params(p: &ParamMap) -> Config {
+        Config {
+            ns: p.u64_list("ns"),
+            eps: p.f64_list("eps"),
+            halt_ln_multiple: p.f64("halt"),
+            trials: p.u64("trials"),
+            seed: p.u64("seed"),
+        }
+    }
+}
+
+/// Declarative schema mirroring [`Config`].
+fn schema() -> ParamSchema {
+    let d = Config::default();
+    let q = Config::quick();
+    ParamSchema::new(vec![
+        ParamSpec::u64_list("ns", "population sizes", &d.ns).quick(q.ns),
+        ParamSpec::f64_list("eps", "minority fractions (endgame at c1=(1-eps)n)", &d.eps)
+            .quick(q.eps),
+        ParamSpec::f64(
+            "halt",
+            "halt budget in multiples of ln n ticks",
+            d.halt_ln_multiple,
+        )
+        .quick(q.halt_ln_multiple),
+        ParamSpec::u64("trials", "trials per cell", d.trials).quick(q.trials),
+        ParamSpec::u64("seed", "master seed", d.seed).quick(q.seed),
+    ])
+}
+
+/// Registry entry for this experiment.
+pub struct E11;
+
+impl Experiment for E11 {
+    fn id(&self) -> &'static str {
+        "e11"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn claim(&self) -> &'static str {
+        "§3.2 endgame / Table 6"
+    }
+    fn params(&self) -> ParamSchema {
+        schema()
+    }
+    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+        let mut cfg = Config::from_params(params);
+        cfg.seed = seed.value();
+        run_on(&cfg, threads)
+    }
 }
 
 /// Runs E11 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    let mut report = Report::new(
-        "E11",
-        "Endgame: async Two-Choices finishes before the first node halts",
-        cfg.seed,
-    );
+    run_on(cfg, Threads::Auto)
+}
+
+/// [`run`] with an explicit worker policy (the registry path).
+pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+    let mut report = Report::new("E11", TITLE, cfg.seed);
     let mut table = Table::new(
         format!(
             "Endgame from c1 = (1-eps)*n, halt budget {} ln n ticks",
@@ -84,9 +143,10 @@ pub fn run(cfg: &Config) -> Report {
             let counts = [n - minority, minority];
             let halt = (cfg.halt_ln_multiple * (n as f64).ln()).ceil() as u64;
 
-            let results = run_trials(
+            let results = run_trials_on(
                 cfg.trials,
                 Seed::new(cfg.seed ^ (n << 3) ^ (eps * 100.0) as u64),
+                threads,
                 move |_, seed| {
                     let outcome = Sim::builder()
                         .topology(Complete::new(n as usize))

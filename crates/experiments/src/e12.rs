@@ -18,9 +18,14 @@ use rapid_sim::prelude::*;
 use rapid_stats::OnlineStats;
 
 use crate::distributions::InitialDistribution;
+use crate::experiment::Experiment;
+use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::run_trials;
+use crate::runner::{run_trials_on, Threads};
 use crate::table::Table;
+
+/// Report title (also the registry's [`Experiment::title`]).
+const TITLE: &str = "Discussion extension: exponential response delays keep the O(log n) shape";
 
 /// Configuration for E12.
 #[derive(Clone, Debug, PartialEq)]
@@ -62,6 +67,60 @@ impl Config {
             ..Config::default()
         }
     }
+
+    /// Rebuilds a typed config from a validated [`ParamMap`].
+    pub fn from_params(p: &ParamMap) -> Config {
+        Config {
+            ns: p.u64_list("ns"),
+            k: p.usize("k"),
+            eps: p.f64("eps"),
+            delay_rates: p.f64_list("rates"),
+            trials: p.u64("trials"),
+            seed: p.u64("seed"),
+        }
+    }
+}
+
+/// Declarative schema mirroring [`Config`].
+fn schema() -> ParamSchema {
+    let d = Config::default();
+    let q = Config::quick();
+    ParamSchema::new(vec![
+        ParamSpec::u64_list("ns", "population sizes", &d.ns).quick(q.ns),
+        ParamSpec::u64("k", "number of opinions", d.k as u64).quick(q.k as u64),
+        ParamSpec::f64("eps", "multiplicative lead", d.eps).quick(q.eps),
+        ParamSpec::f64_list(
+            "rates",
+            "delay rates mu (0 = instant responses)",
+            &d.delay_rates,
+        )
+        .quick(q.delay_rates),
+        ParamSpec::u64("trials", "trials per cell", d.trials).quick(q.trials),
+        ParamSpec::u64("seed", "master seed", d.seed).quick(q.seed),
+    ])
+}
+
+/// Registry entry for this experiment.
+pub struct E12;
+
+impl Experiment for E12 {
+    fn id(&self) -> &'static str {
+        "e12"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn claim(&self) -> &'static str {
+        "§4 response delays / Table 7"
+    }
+    fn params(&self) -> ParamSchema {
+        schema()
+    }
+    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+        let mut cfg = Config::from_params(params);
+        cfg.seed = seed.value();
+        run_on(&cfg, threads)
+    }
 }
 
 fn run_one(n: u64, k: usize, eps: f64, rate: f64, seed: Seed) -> Option<(f64, bool)> {
@@ -88,11 +147,12 @@ fn run_one(n: u64, k: usize, eps: f64, rate: f64, seed: Seed) -> Option<(f64, bo
 
 /// Runs E12 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    let mut report = Report::new(
-        "E12",
-        "Discussion extension: exponential response delays keep the O(log n) shape",
-        cfg.seed,
-    );
+    run_on(cfg, Threads::Auto)
+}
+
+/// [`run`] with an explicit worker policy (the registry path).
+pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+    let mut report = Report::new("E12", TITLE, cfg.seed);
     let mut table = Table::new(
         format!(
             "RapidSim with Exp(mu) response delays, k = {}, eps = {}",
@@ -111,9 +171,10 @@ pub fn run(cfg: &Config) -> Report {
 
     for &n in &cfg.ns {
         for &rate in &cfg.delay_rates {
-            let results = run_trials(
+            let results = run_trials_on(
                 cfg.trials,
                 Seed::new(cfg.seed ^ (n << 5) ^ (rate * 8.0) as u64),
+                threads,
                 move |_, seed| run_one(n, cfg.k, cfg.eps, rate, seed),
             );
             let valid: Vec<(f64, bool)> = results.into_iter().flatten().collect();

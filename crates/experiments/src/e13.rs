@@ -17,9 +17,14 @@ use rapid_sim::prelude::*;
 use rapid_stats::OnlineStats;
 
 use crate::distributions::InitialDistribution;
+use crate::experiment::Experiment;
+use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::run_trials;
+use crate::runner::{run_trials_on, Threads};
 use crate::table::Table;
+
+/// Report title (also the registry's [`Experiment::title`]).
+const TITLE: &str = "Protocol comparison: who wins as the opinion count grows";
 
 /// Configuration for E13.
 #[derive(Clone, Debug, PartialEq)]
@@ -62,6 +67,61 @@ impl Config {
             include_voter: false,
             ..Config::default()
         }
+    }
+
+    /// Rebuilds a typed config from a validated [`ParamMap`].
+    pub fn from_params(p: &ParamMap) -> Config {
+        Config {
+            n: p.u64("n"),
+            ks: p.usize_list("ks"),
+            eps: p.f64("eps"),
+            include_voter: p.bool("voter"),
+            trials: p.u64("trials"),
+            seed: p.u64("seed"),
+        }
+    }
+}
+
+/// Declarative schema mirroring [`Config`].
+fn schema() -> ParamSchema {
+    let d = Config::default();
+    let q = Config::quick();
+    let as_u64 = |ks: &[usize]| ks.iter().map(|&k| k as u64).collect::<Vec<_>>();
+    ParamSchema::new(vec![
+        ParamSpec::u64("n", "population size", d.n).quick(q.n),
+        ParamSpec::u64_list("ks", "opinion counts to sweep", &as_u64(&d.ks)).quick(as_u64(&q.ks)),
+        ParamSpec::f64("eps", "multiplicative lead", d.eps).quick(q.eps),
+        ParamSpec::bool(
+            "voter",
+            "include the (slow) Voter baseline",
+            d.include_voter,
+        )
+        .quick(q.include_voter),
+        ParamSpec::u64("trials", "trials per cell", d.trials).quick(q.trials),
+        ParamSpec::u64("seed", "master seed", d.seed).quick(q.seed),
+    ])
+}
+
+/// Registry entry for this experiment.
+pub struct E13;
+
+impl Experiment for E13 {
+    fn id(&self) -> &'static str {
+        "e13"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn claim(&self) -> &'static str {
+        "context comparison / Figure 6"
+    }
+    fn params(&self) -> ParamSchema {
+        schema()
+    }
+    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+        let mut cfg = Config::from_params(params);
+        cfg.seed = seed.value();
+        run_on(&cfg, threads)
     }
 }
 
@@ -144,11 +204,12 @@ fn run_entrant(
 
 /// Runs E13 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    let mut report = Report::new(
-        "E13",
-        "Protocol comparison: who wins as the opinion count grows",
-        cfg.seed,
-    );
+    run_on(cfg, Threads::Auto)
+}
+
+/// [`run`] with an explicit worker policy (the registry path).
+pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+    let mut report = Report::new("E13", TITLE, cfg.seed);
     let mut table = Table::new(
         format!(
             "Rounds/time to consensus at n = {}, eps = {}",
@@ -179,9 +240,10 @@ pub fn run(cfg: &Config) -> Report {
             continue;
         };
         for &e in &entrants {
-            let results = run_trials(
+            let results = run_trials_on(
                 cfg.trials,
                 Seed::new(cfg.seed ^ (k as u64) << 7 ^ e.name().len() as u64),
+                threads,
                 {
                     let counts = counts.clone();
                     move |_, seed| run_entrant(e, cfg.n, k, cfg.eps, &counts, seed)

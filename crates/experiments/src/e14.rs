@@ -25,9 +25,14 @@ use rapid_sim::prelude::*;
 use rapid_stats::OnlineStats;
 
 use crate::distributions::InitialDistribution;
+use crate::experiment::Experiment;
+use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::run_trials;
+use crate::runner::{run_trials_on, Threads};
 use crate::table::Table;
+
+/// Report title (also the registry's [`Experiment::title`]).
+const TITLE: &str = "Extension (discussion §4): the protocols beyond the complete graph";
 
 /// Configuration for E14.
 #[derive(Clone, Debug, PartialEq)]
@@ -65,6 +70,58 @@ impl Config {
             ..Config::default()
         }
     }
+
+    /// Rebuilds a typed config from a validated [`ParamMap`].
+    pub fn from_params(p: &ParamMap) -> Config {
+        Config {
+            n: p.u64("n"),
+            k: p.usize("k"),
+            eps: p.f64("eps"),
+            trials: p.u64("trials"),
+            seed: p.u64("seed"),
+        }
+    }
+}
+
+/// Declarative schema mirroring [`Config`].
+fn schema() -> ParamSchema {
+    let d = Config::default();
+    let q = Config::quick();
+    ParamSchema::new(vec![
+        ParamSpec::u64(
+            "n",
+            "population size (tori round down to a square side)",
+            d.n,
+        )
+        .quick(q.n),
+        ParamSpec::u64("k", "number of opinions", d.k as u64).quick(q.k as u64),
+        ParamSpec::f64("eps", "multiplicative lead", d.eps).quick(q.eps),
+        ParamSpec::u64("trials", "trials per cell", d.trials).quick(q.trials),
+        ParamSpec::u64("seed", "master seed", d.seed).quick(q.seed),
+    ])
+}
+
+/// Registry entry for this experiment.
+pub struct E14;
+
+impl Experiment for E14 {
+    fn id(&self) -> &'static str {
+        "e14"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn claim(&self) -> &'static str {
+        "§4 topologies (extension) / Figure 7"
+    }
+    fn params(&self) -> ParamSchema {
+        schema()
+    }
+    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+        let mut cfg = Config::from_params(params);
+        cfg.seed = seed.value();
+        run_on(&cfg, threads)
+    }
 }
 
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -92,6 +149,7 @@ fn run_cell(
     asynchronous: bool,
     cfg: &Config,
     master: Seed,
+    threads: Threads,
 ) -> Option<(OnlineStats, f64)> {
     let side = (cfg.n as f64).sqrt() as usize;
     let n = match topo {
@@ -106,7 +164,7 @@ fn run_cell(
     let k = cfg.k;
     let trials = cfg.trials;
 
-    let results = run_trials(trials, master, move |_, seed| {
+    let results = run_trials_on(trials, master, threads, move |_, seed| {
         // Build the topology fresh per trial (random graphs resample).
         let topology: rapid_core::facade::BoxedTopology = match topo {
             Topo::Clique => Box::new(Complete::new(n)),
@@ -163,11 +221,12 @@ fn run_cell(
 
 /// Runs E14 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    let mut report = Report::new(
-        "E14",
-        "Extension (discussion §4): the protocols beyond the complete graph",
-        cfg.seed,
-    );
+    run_on(cfg, Threads::Auto)
+}
+
+/// [`run`] with an explicit worker policy (the registry path).
+pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+    let mut report = Report::new("E14", TITLE, cfg.seed);
     let mut table = Table::new(
         format!(
             "Two-Choices (sync) and RapidSim (async) across topologies, n ~ {}, k = {}, eps = {}",
@@ -183,6 +242,7 @@ pub fn run(cfg: &Config) -> Report {
                 asynchronous,
                 cfg,
                 Seed::new(cfg.seed ^ topo.label().len() as u64 ^ (asynchronous as u64) << 9),
+                threads,
             ) else {
                 continue;
             };

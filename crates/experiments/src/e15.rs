@@ -22,9 +22,14 @@ use rapid_sim::prelude::*;
 use rapid_stats::OnlineStats;
 
 use crate::distributions::InitialDistribution;
+use crate::experiment::Experiment;
+use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::run_trials;
+use crate::runner::{run_trials_on, Threads};
 use crate::table::Table;
+
+/// Report title (also the registry's [`Experiment::title`]).
+const TITLE: &str = "Extension (discussion §4): robustness to heterogeneous clock rates";
 
 /// Configuration for E15.
 #[derive(Clone, Debug, PartialEq)]
@@ -65,6 +70,60 @@ impl Config {
             trials: 4,
             ..Config::default()
         }
+    }
+
+    /// Rebuilds a typed config from a validated [`ParamMap`].
+    pub fn from_params(p: &ParamMap) -> Config {
+        Config {
+            n: p.u64("n"),
+            k: p.usize("k"),
+            eps: p.f64("eps"),
+            skews: p.f64_list("skews"),
+            trials: p.u64("trials"),
+            seed: p.u64("seed"),
+        }
+    }
+}
+
+/// Declarative schema mirroring [`Config`].
+fn schema() -> ParamSchema {
+    let d = Config::default();
+    let q = Config::quick();
+    ParamSchema::new(vec![
+        ParamSpec::u64("n", "population size", d.n).quick(q.n),
+        ParamSpec::u64("k", "number of opinions", d.k as u64).quick(q.k as u64),
+        ParamSpec::f64("eps", "multiplicative lead", d.eps).quick(q.eps),
+        ParamSpec::f64_list(
+            "skews",
+            "clock skews d (rates uniform in [1-d, 1+d])",
+            &d.skews,
+        )
+        .quick(q.skews),
+        ParamSpec::u64("trials", "trials per skew", d.trials).quick(q.trials),
+        ParamSpec::u64("seed", "master seed", d.seed).quick(q.seed),
+    ])
+}
+
+/// Registry entry for this experiment.
+pub struct E15;
+
+impl Experiment for E15 {
+    fn id(&self) -> &'static str {
+        "e15"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn claim(&self) -> &'static str {
+        "§4 clock skew (extension) / Table 8"
+    }
+    fn params(&self) -> ParamSchema {
+        schema()
+    }
+    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+        let mut cfg = Config::from_params(params);
+        cfg.seed = seed.value();
+        run_on(&cfg, threads)
     }
 }
 
@@ -110,11 +169,12 @@ fn run_one(n: u64, k: usize, eps: f64, skew: f64, seed: Seed) -> Option<(f64, bo
 
 /// Runs E15 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    let mut report = Report::new(
-        "E15",
-        "Extension (discussion §4): robustness to heterogeneous clock rates",
-        cfg.seed,
-    );
+    run_on(cfg, Threads::Auto)
+}
+
+/// [`run`] with an explicit worker policy (the registry path).
+pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+    let mut report = Report::new("E15", TITLE, cfg.seed);
     let mut table = Table::new(
         format!(
             "RapidSim with clock rates uniform in [1-d, 1+d], n = {}, k = {}, eps = {}",
@@ -131,9 +191,10 @@ pub fn run(cfg: &Config) -> Report {
     );
 
     for &skew in &cfg.skews {
-        let results = run_trials(
+        let results = run_trials_on(
             cfg.trials,
             Seed::new(cfg.seed ^ (skew * 100.0) as u64),
+            threads,
             move |_, seed| run_one(cfg.n, cfg.k, cfg.eps, skew, seed),
         );
         let valid: Vec<&(f64, bool, f64)> = results.iter().flatten().collect();

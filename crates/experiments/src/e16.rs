@@ -18,9 +18,14 @@ use rapid_sim::prelude::*;
 use rapid_stats::OnlineStats;
 
 use crate::distributions::InitialDistribution;
+use crate::experiment::Experiment;
+use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::run_trials;
+use crate::runner::{run_trials_on, Threads};
 use crate::table::Table;
+
+/// Report title (also the registry's [`Experiment::title`]).
+const TITLE: &str = "Quadratic amplification inside the asynchronous protocol (Section 3)";
 
 /// Configuration for E16.
 #[derive(Clone, Debug, PartialEq)]
@@ -63,6 +68,56 @@ impl Config {
             ..Config::default()
         }
     }
+
+    /// Rebuilds a typed config from a validated [`ParamMap`].
+    pub fn from_params(p: &ParamMap) -> Config {
+        Config {
+            n: p.u64("n"),
+            k: p.usize("k"),
+            eps: p.f64("eps"),
+            max_phases: p.u32("max_phases"),
+            trials: p.u64("trials"),
+            seed: p.u64("seed"),
+        }
+    }
+}
+
+/// Declarative schema mirroring [`Config`].
+fn schema() -> ParamSchema {
+    let d = Config::default();
+    let q = Config::quick();
+    ParamSchema::new(vec![
+        ParamSpec::u64("n", "population size", d.n).quick(q.n),
+        ParamSpec::u64("k", "number of opinions", d.k as u64).quick(q.k as u64),
+        ParamSpec::f64("eps", "multiplicative lead", d.eps).quick(q.eps),
+        ParamSpec::u32("max_phases", "phases to trace", d.max_phases)
+            .quick(u64::from(q.max_phases)),
+        ParamSpec::u64("trials", "trials", d.trials).quick(q.trials),
+        ParamSpec::u64("seed", "master seed", d.seed).quick(q.seed),
+    ])
+}
+
+/// Registry entry for this experiment.
+pub struct E16;
+
+impl Experiment for E16 {
+    fn id(&self) -> &'static str {
+        "e16"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn claim(&self) -> &'static str {
+        "§3 async amplification / Figure 8"
+    }
+    fn params(&self) -> ParamSchema {
+        schema()
+    }
+    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+        let mut cfg = Config::from_params(params);
+        cfg.seed = seed.value();
+        run_on(&cfg, threads)
+    }
 }
 
 /// One trial: the `c₁/c₂` ratio at each phase boundary (median crossing).
@@ -95,11 +150,12 @@ fn trace_ratios(n: u64, k: usize, eps: f64, max_phases: u32, seed: Seed) -> Vec<
 
 /// Runs E16 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    let mut report = Report::new(
-        "E16",
-        "Quadratic amplification inside the asynchronous protocol (Section 3)",
-        cfg.seed,
-    );
+    run_on(cfg, Threads::Auto)
+}
+
+/// [`run`] with an explicit worker policy (the registry path).
+pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+    let mut report = Report::new("E16", TITLE, cfg.seed);
     let mut table = Table::new(
         format!(
             "Per-phase c1/c2 ratio in RapidSim at n = {}, k = {}, eps = {}",
@@ -115,7 +171,7 @@ pub fn run(cfg: &Config) -> Report {
         ],
     );
 
-    let traces = run_trials(cfg.trials, Seed::new(cfg.seed), |_, seed| {
+    let traces = run_trials_on(cfg.trials, Seed::new(cfg.seed), threads, |_, seed| {
         trace_ratios(cfg.n, cfg.k, cfg.eps, cfg.max_phases, seed)
     });
 

@@ -1,0 +1,51 @@
+//! The first-class experiment abstraction behind the `xp` CLI.
+//!
+//! Every paper experiment (`e01`–`e16`) implements [`Experiment`]: a
+//! stable id, a human title, the paper claim it validates, a declarative
+//! [`ParamSchema`] and a `run` that turns a validated [`ParamMap`] into a
+//! [`Report`]. The static [`crate::registry::registry`] collects them all
+//! so callers (the CLI, the integration tests, future sweep drivers) can
+//! enumerate and drive every experiment uniformly, without naming any
+//! concrete module.
+
+use rapid_sim::rng::Seed;
+
+use crate::params::{ParamMap, ParamSchema, Preset};
+use crate::report::Report;
+use crate::runner::Threads;
+
+/// One reproducible experiment from the paper.
+///
+/// Implementations are zero-sized registry entries; all state arrives
+/// through the [`ParamMap`]. The map is validated against
+/// [`Experiment::params`] before `run` is called, so `run` itself is
+/// infallible: typed getters cannot miss.
+pub trait Experiment: Sync {
+    /// Stable lower-case id (`"e06"`), the CLI handle.
+    fn id(&self) -> &'static str;
+
+    /// Human-readable title: the claim being validated.
+    fn title(&self) -> &'static str;
+
+    /// The paper anchor (theorem / section) this experiment reproduces.
+    fn claim(&self) -> &'static str;
+
+    /// The declarative parameter schema (defaults + quick presets).
+    fn params(&self) -> ParamSchema;
+
+    /// Runs the experiment. `seed` overrides the map's `seed` parameter
+    /// as the master seed; `threads` bounds `run_trials` workers.
+    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report;
+
+    /// A parameter map initialised from `preset`.
+    fn preset(&self, preset: Preset) -> ParamMap {
+        ParamMap::preset(&self.params(), preset)
+    }
+
+    /// Runs with the map's own `seed` parameter unless `seed_override`
+    /// is given — the CLI's `--seed` semantics.
+    fn run_map(&self, params: &ParamMap, seed_override: Option<u64>, threads: Threads) -> Report {
+        let seed = seed_override.unwrap_or_else(|| params.u64("seed"));
+        self.run(params, Seed::new(seed), threads)
+    }
+}

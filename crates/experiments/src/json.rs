@@ -11,13 +11,17 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// A JSON document fragment.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub enum JsonValue {
     /// `null`.
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any number. Integers round-trip exactly up to 2^53.
+    /// An exact unsigned integer. Unlike [`JsonValue::Number`], the full
+    /// `u64` range round-trips bit-exactly (seeds are `Seed::child`
+    /// outputs, which span all 64 bits).
+    U64(u64),
+    /// Any other number. Integers round-trip exactly up to 2^53.
     Number(f64),
     /// A string.
     String(String),
@@ -51,10 +55,27 @@ impl JsonValue {
         }
     }
 
-    /// The value as a number, if it is one.
+    /// The value as a number, if it is one. `U64` values above 2^53 lose
+    /// precision here; use [`JsonValue::as_u64`] for exact integers.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             JsonValue::Number(x) => Some(*x),
+            JsonValue::U64(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact `u64`, if it is an integer in range. Accepts
+    /// both [`JsonValue::U64`] and integral [`JsonValue::Number`]s (for
+    /// documents written before the exact-integer variant existed).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::U64(x) => Some(*x),
+            JsonValue::Number(x)
+                if x.fract() == 0.0 && *x >= 0.0 && *x < 9_007_199_254_740_992.0 =>
+            {
+                Some(*x as u64)
+            }
             _ => None,
         }
     }
@@ -87,6 +108,9 @@ impl JsonValue {
         match self {
             JsonValue::Null => out.push_str("null"),
             JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::U64(x) => {
+                let _ = write!(out, "{x}");
+            }
             JsonValue::Number(x) => write_number(out, *x),
             JsonValue::String(s) => write_escaped(out, s),
             JsonValue::Array(items) => {
@@ -127,6 +151,26 @@ impl JsonValue {
                 out.push_str(&"  ".repeat(indent));
                 out.push('}');
             }
+        }
+    }
+}
+
+/// Numbers compare across variants: the writer prints `Number(2.0)` as
+/// `2`, which the parser reads back as `U64(2)`, so treating them as
+/// unequal would break `parse(&v.to_pretty()) == v` for integral floats.
+impl PartialEq for JsonValue {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (JsonValue::Null, JsonValue::Null) => true,
+            (JsonValue::Bool(a), JsonValue::Bool(b)) => a == b,
+            (JsonValue::U64(a), JsonValue::U64(b)) => a == b,
+            (JsonValue::Number(a), JsonValue::Number(b)) => a == b,
+            (JsonValue::U64(a), JsonValue::Number(b))
+            | (JsonValue::Number(b), JsonValue::U64(a)) => *b == *a as f64,
+            (JsonValue::String(a), JsonValue::String(b)) => a == b,
+            (JsonValue::Array(a), JsonValue::Array(b)) => a == b,
+            (JsonValue::Object(a), JsonValue::Object(b)) => a == b,
+            _ => false,
         }
     }
 }
@@ -380,6 +424,13 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .expect("digits and sign characters are ASCII");
+        // Plain unsigned integers keep full 64-bit precision; everything
+        // else (signs, fractions, exponents, overflow) falls back to f64.
+        if !text.starts_with('-') {
+            if let Ok(x) = text.parse::<u64>() {
+                return Ok(JsonValue::U64(x));
+            }
+        }
         text.parse::<f64>()
             .map(JsonValue::Number)
             .map_err(|_| self.err("bad number"))
@@ -394,7 +445,7 @@ mod tests {
     fn roundtrips_nested_structures() {
         let v = JsonValue::object([
             ("id", JsonValue::String("E06".into())),
-            ("seed", JsonValue::Number(3590.0)),
+            ("seed", JsonValue::U64(3590)),
             ("ok", JsonValue::Bool(true)),
             ("nothing", JsonValue::Null),
             (
@@ -407,6 +458,45 @@ mod tests {
         ]);
         let text = v.to_pretty();
         assert_eq!(parse(&text).expect("writer output parses"), v);
+    }
+
+    #[test]
+    fn u64_is_exact_across_the_full_range() {
+        for x in [0, 1, (1 << 53) + 1, u64::MAX] {
+            let text = JsonValue::U64(x).to_pretty();
+            assert_eq!(text, x.to_string());
+            assert_eq!(parse(&text).expect("parses"), JsonValue::U64(x));
+            assert_eq!(parse(&text).expect("parses").as_u64(), Some(x));
+        }
+        // Beyond u64: falls back to f64 rather than erroring.
+        let huge = "18446744073709551616"; // u64::MAX + 1
+        assert!(matches!(parse(huge).expect("parses"), JsonValue::Number(_)));
+    }
+
+    #[test]
+    fn integral_floats_roundtrip_equal() {
+        // Writer prints Number(2.0) as "2"; the parser reads that back
+        // as U64(2). Cross-variant numeric equality keeps the roundtrip
+        // property for every writable value.
+        for v in [
+            JsonValue::Number(2.0),
+            JsonValue::Number(0.0),
+            JsonValue::Array(vec![JsonValue::Number(5.0), JsonValue::Number(1.25)]),
+        ] {
+            assert_eq!(parse(&v.to_pretty()).expect("parses"), v);
+        }
+        assert_eq!(JsonValue::U64(2), JsonValue::Number(2.0));
+        assert_ne!(JsonValue::U64(2), JsonValue::Number(2.5));
+        assert_ne!(JsonValue::U64(2), JsonValue::String("2".into()));
+    }
+
+    #[test]
+    fn as_u64_accepts_legacy_float_integers() {
+        assert_eq!(JsonValue::Number(42.0).as_u64(), Some(42));
+        assert_eq!(JsonValue::Number(1.5).as_u64(), None);
+        assert_eq!(JsonValue::Number(-1.0).as_u64(), None);
+        assert_eq!(JsonValue::U64(7).as_f64(), Some(7.0));
+        assert_eq!(JsonValue::String("7".into()).as_u64(), None);
     }
 
     #[test]
@@ -429,7 +519,7 @@ mod tests {
     fn parses_standard_json_whitespace_and_unicode() {
         let v = parse(" { \"k\" : [ 1 , -2.5e1 , \"ünïcødé\" ] } ").expect("valid");
         let items = v.get("k").and_then(|k| k.as_array()).expect("array");
-        assert_eq!(items[0], JsonValue::Number(1.0));
+        assert_eq!(items[0], JsonValue::U64(1));
         assert_eq!(items[1], JsonValue::Number(-25.0));
         assert_eq!(items[2].as_str(), Some("ünïcødé"));
     }

@@ -27,15 +27,27 @@
 //! | [`e16`] | §3: quadratic amplification inside the asynchronous protocol |
 //!
 //! Each module exposes a `Config` (with [`Default`] = paper scale and a
-//! `quick()` preset for CI) and a `run(&Config) -> Report`.
+//! `quick()` preset for CI), a `run(&Config) -> Report`, and a zero-sized
+//! registry entry (`E01` … `E16`) implementing the [`Experiment`] trait.
+//! The [`registry::registry`] collects all sixteen entries; the `xp`
+//! binary in `rapid-bench` multiplexes them behind one CLI:
+//!
+//! ```text
+//! xp list
+//! xp run e06 --quick --set ns=65536 --set trials=20
+//! xp all --quick --format csv --out /tmp/reports
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
 pub mod distributions;
+pub mod experiment;
 pub mod json;
+pub mod params;
 pub mod predictions;
+pub mod registry;
 pub mod report;
 pub mod runner;
 pub mod table;
@@ -58,14 +70,20 @@ pub mod e15;
 pub mod e16;
 
 pub use distributions::InitialDistribution;
+pub use experiment::Experiment;
+pub use params::{ParamError, ParamMap, ParamSchema, ParamSpec, ParamValue, Preset};
+pub use registry::{find, registry};
 pub use report::Report;
-pub use runner::run_trials;
+pub use runner::{run_trials, run_trials_on, Threads};
 pub use table::Table;
 
 /// Convenient glob-import of the harness surface.
 pub mod prelude {
     pub use crate::distributions::InitialDistribution;
+    pub use crate::experiment::Experiment;
+    pub use crate::params::{ParamError, ParamMap, ParamSchema, ParamSpec, ParamValue, Preset};
+    pub use crate::registry::{find, registry};
     pub use crate::report::Report;
-    pub use crate::runner::run_trials;
+    pub use crate::runner::{run_trials, run_trials_on, Threads};
     pub use crate::table::Table;
 }

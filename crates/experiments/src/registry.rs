@@ -1,0 +1,118 @@
+//! The static experiment registry.
+//!
+//! One entry per paper experiment, sorted by id. The registry is the
+//! single source of truth for "what experiments exist": the `xp` CLI,
+//! the integration tests and the README catalog are all generated from
+//! it.
+
+use crate::experiment::Experiment;
+use crate::{e01, e02, e03, e04, e05, e06, e07, e08, e09, e10, e11, e12, e13, e14, e15, e16};
+
+static REGISTRY: [&dyn Experiment; 16] = [
+    &e01::E01,
+    &e02::E02,
+    &e03::E03,
+    &e04::E04,
+    &e05::E05,
+    &e06::E06,
+    &e07::E07,
+    &e08::E08,
+    &e09::E09,
+    &e10::E10,
+    &e11::E11,
+    &e12::E12,
+    &e13::E13,
+    &e14::E14,
+    &e15::E15,
+    &e16::E16,
+];
+
+/// Every experiment, sorted by [`Experiment::id`].
+pub fn registry() -> &'static [&'static dyn Experiment] {
+    &REGISTRY
+}
+
+/// Looks up an experiment by id, case-insensitively (`"e06"` / `"E06"`).
+pub fn find(id: &str) -> Option<&'static dyn Experiment> {
+    registry()
+        .iter()
+        .copied()
+        .find(|e| e.id().eq_ignore_ascii_case(id))
+}
+
+/// The README experiment catalog, generated from the registry so docs
+/// can never drift from code (enforced by a test).
+pub fn catalog_markdown() -> String {
+    let mut out = String::from("| id | paper anchor | claim | key parameters |\n");
+    out.push_str("|----|--------------|-------|----------------|\n");
+    for exp in registry() {
+        let params: Vec<&str> = exp
+            .params()
+            .specs()
+            .iter()
+            .map(|s| s.name)
+            .filter(|&n| n != "seed" && n != "trials")
+            .collect();
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} |\n",
+            exp.id(),
+            exp.claim(),
+            exp.title(),
+            params
+                .iter()
+                .map(|p| format!("`{p}`"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    out.push_str("\nEvery experiment also takes `trials` and `seed`.\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_unique_and_sorted() {
+        let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
+        assert_eq!(ids.len(), 16);
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids, sorted, "ids must be unique and sorted");
+        for i in 1..=16 {
+            assert!(
+                ids.contains(&format!("e{i:02}").as_str()),
+                "missing e{i:02}"
+            );
+        }
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        assert_eq!(find("e06").expect("exists").id(), "e06");
+        assert_eq!(find("E06").expect("exists").id(), "e06");
+        assert!(find("e17").is_none());
+        assert!(find("").is_none());
+    }
+
+    #[test]
+    fn every_schema_declares_seed_and_trials() {
+        for exp in registry() {
+            let schema = exp.params();
+            assert!(schema.spec("seed").is_some(), "{}: no seed", exp.id());
+            assert!(schema.spec("trials").is_some(), "{}: no trials", exp.id());
+            assert!(!exp.title().is_empty());
+            assert!(!exp.claim().is_empty());
+        }
+    }
+
+    #[test]
+    fn catalog_lists_every_id() {
+        let md = catalog_markdown();
+        for exp in registry() {
+            assert!(md.contains(&format!("`{}`", exp.id())), "{}", exp.id());
+        }
+    }
+}

@@ -52,9 +52,7 @@ impl Report {
                 JsonValue::Array(self.tables.iter().map(Table::to_json_value).collect()),
             ),
             ("notes", JsonValue::strings(&self.notes)),
-            // u64-exact: JsonValue::Number is f64-backed, which would
-            // corrupt seeds above 2^53.
-            ("seed", JsonValue::String(self.seed.to_string())),
+            ("seed", JsonValue::U64(self.seed)),
         ])
         .to_pretty()
     }
@@ -85,12 +83,29 @@ impl Report {
                 .map(Table::from_json_value)
                 .collect::<Result<_, _>>()?,
             notes: string_array(field("notes")?)?,
-            seed: field("seed")?
-                .as_str()
-                .ok_or("seed is not a string")?
-                .parse::<u64>()
-                .map_err(|e| format!("seed is not a u64: {e}"))?,
+            seed: parse_seed(field("seed")?)?,
         })
+    }
+
+    /// Renders every table as CSV, separated by `# `-prefixed provenance
+    /// lines (id, title, seed, table titles, notes).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# {} — {} (seed {})\n",
+            self.id, self.title, self.seed
+        ));
+        for table in &self.tables {
+            out.push_str(&format!("# table: {}\n", table.title));
+            out.push_str(&table.to_csv());
+            for note in &table.notes {
+                out.push_str(&format!("# note: {note}\n"));
+            }
+        }
+        for note in &self.notes {
+            out.push_str(&format!("# note: {note}\n"));
+        }
+        out
     }
 
     /// Writes `<dir>/<id>.json`; creates `dir` if needed.
@@ -126,6 +141,18 @@ impl std::fmt::Display for Report {
         }
         Ok(())
     }
+}
+
+/// Reads the seed field: an exact integer in current documents, a decimal
+/// string in documents written before [`JsonValue::U64`] existed.
+fn parse_seed(v: &JsonValue) -> Result<u64, String> {
+    if let Some(x) = v.as_u64() {
+        return Ok(x);
+    }
+    v.as_str()
+        .ok_or("seed is neither an integer nor a string")?
+        .parse::<u64>()
+        .map_err(|e| format!("seed is not a u64: {e}"))
 }
 
 /// Extracts a JSON array of strings.
@@ -178,6 +205,26 @@ mod tests {
         r.seed = u64::MAX - 12345;
         let back = Report::from_json(&r.to_json()).expect("valid JSON");
         assert_eq!(back.seed, r.seed);
+    }
+
+    #[test]
+    fn legacy_string_seeds_still_parse() {
+        // PR-1 documents encoded the seed as a string to survive the
+        // f64-backed number type; they must keep loading.
+        let modern = sample_report().to_json();
+        assert!(modern.contains("\"seed\": 42"), "{modern}");
+        let legacy = modern.replace("\"seed\": 42", "\"seed\": \"42\"");
+        let back = Report::from_json(&legacy).expect("legacy document parses");
+        assert_eq!(back.seed, 42);
+    }
+
+    #[test]
+    fn csv_contains_tables_and_provenance() {
+        let csv = sample_report().to_csv();
+        assert!(csv.starts_with("# E99 — a demo (seed 42)\n"));
+        assert!(csv.contains("# table: demo table\n"));
+        assert!(csv.contains("x\n1\n"));
+        assert!(csv.contains("# note: hello"));
     }
 
     #[test]

@@ -2,6 +2,56 @@
 
 use rapid_sim::rng::Seed;
 
+/// Worker-thread policy for [`run_trials_on`].
+///
+/// Results never depend on this choice — trial seeds are derived from the
+/// trial index, not from scheduling — so it only trades wall-clock time
+/// for cores.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Threads {
+    /// One worker per available core (the default).
+    #[default]
+    Auto,
+    /// Exactly this many workers.
+    Fixed(usize),
+}
+
+impl Threads {
+    /// Shorthand for [`Threads::Auto`].
+    pub fn auto() -> Self {
+        Threads::Auto
+    }
+
+    /// An explicit worker count (`0` is treated as `Auto`).
+    pub fn fixed(n: usize) -> Self {
+        if n == 0 {
+            Threads::Auto
+        } else {
+            Threads::Fixed(n)
+        }
+    }
+
+    /// The concrete worker count for a run of `trials` trials.
+    pub fn resolve(self, trials: u64) -> usize {
+        let n = match self {
+            Threads::Auto => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            Threads::Fixed(n) => n.max(1),
+        };
+        n.min(trials.max(1) as usize)
+    }
+}
+
+impl std::fmt::Display for Threads {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Threads::Auto => write!(f, "auto"),
+            Threads::Fixed(n) => write!(f, "{n}"),
+        }
+    }
+}
+
 /// Runs `trials` independent trials of `f` across worker threads and
 /// returns the results **in trial order**.
 ///
@@ -27,11 +77,23 @@ use rapid_sim::rng::Seed;
 /// assert!(results.iter().enumerate().all(|(i, r)| r.0 == i as u64));
 /// ```
 pub fn run_trials<T: Send>(trials: u64, master: Seed, f: impl Fn(u64, Seed) -> T + Sync) -> Vec<T> {
+    run_trials_on(trials, master, Threads::Auto, f)
+}
+
+/// [`run_trials`] with an explicit [`Threads`] policy (the `xp --threads`
+/// path).
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or if any trial panics.
+pub fn run_trials_on<T: Send>(
+    trials: u64,
+    master: Seed,
+    threads: Threads,
+    f: impl Fn(u64, Seed) -> T + Sync,
+) -> Vec<T> {
     assert!(trials > 0, "need at least one trial");
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(trials as usize);
+    let threads = threads.resolve(trials);
 
     if threads <= 1 {
         return (0..trials).map(|i| f(i, master.child(i))).collect();
@@ -93,6 +155,32 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), seeds.len());
+    }
+
+    #[test]
+    fn forced_thread_counts_agree() {
+        // The satellite determinism guarantee: one worker and many workers
+        // produce identical result vectors for the same master seed.
+        let f = |i: u64, seed: Seed| {
+            let mut rng = SimRng::from_seed_value(seed);
+            (i, rng.bounded(1_000_000))
+        };
+        let one = run_trials_on(24, Seed::new(9), Threads::fixed(1), f);
+        let many = run_trials_on(24, Seed::new(9), Threads::fixed(8), f);
+        let auto = run_trials_on(24, Seed::new(9), Threads::Auto, f);
+        assert_eq!(one, many);
+        assert_eq!(one, auto);
+    }
+
+    #[test]
+    fn thread_policy_resolution() {
+        assert_eq!(Threads::fixed(0), Threads::Auto);
+        assert_eq!(Threads::fixed(3), Threads::Fixed(3));
+        assert_eq!(Threads::Fixed(8).resolve(2), 2);
+        assert_eq!(Threads::Fixed(2).resolve(100), 2);
+        assert!(Threads::Auto.resolve(100) >= 1);
+        assert_eq!(Threads::Auto.to_string(), "auto");
+        assert_eq!(Threads::Fixed(4).to_string(), "4");
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Integration tests for the `Experiment` trait, the registry and the
+//! param-map ⇄ legacy-`Config` equivalence the redesign promised: driving
+//! an experiment through `xp`'s path (registry + `ParamMap`) must produce
+//! *bit-identical* reports to the pre-redesign `Config` path.
+
+use rapid_experiments::prelude::*;
+use rapid_experiments::{
+    e01, e02, e03, e04, e05, e06, e07, e08, e09, e10, e11, e12, e13, e14, e15, e16,
+};
+
+/// Every experiment's `from_params` over both presets must reproduce the
+/// legacy `Config::default()` / `Config::quick()` exactly — this pins the
+/// declarative schemas to the historical configurations field by field.
+macro_rules! check_config_equivalence {
+    ($($module:ident => $entry:expr),+ $(,)?) => {
+        $(
+            {
+                let exp: &dyn Experiment = &$entry;
+                let schema = exp.params();
+                let full = $module::Config::from_params(&ParamMap::defaults(&schema));
+                assert_eq!(full, $module::Config::default(), "{}: full preset drifted", exp.id());
+                let quick = $module::Config::from_params(&ParamMap::quick(&schema));
+                assert_eq!(quick, $module::Config::quick(), "{}: quick preset drifted", exp.id());
+            }
+        )+
+    };
+}
+
+#[test]
+fn param_presets_match_legacy_configs_for_all_16() {
+    check_config_equivalence!(
+        e01 => e01::E01,
+        e02 => e02::E02,
+        e03 => e03::E03,
+        e04 => e04::E04,
+        e05 => e05::E05,
+        e06 => e06::E06,
+        e07 => e07::E07,
+        e08 => e08::E08,
+        e09 => e09::E09,
+        e10 => e10::E10,
+        e11 => e11::E11,
+        e12 => e12::E12,
+        e13 => e13::E13,
+        e14 => e14::E14,
+        e15 => e15::E15,
+        e16 => e16::E16,
+    );
+}
+
+/// The acceptance criterion: `xp run e06 --quick` (registry path, default
+/// seed, no overrides) emits byte-identical report JSON to the legacy
+/// `e06::run(&Config::quick())` path that the deleted
+/// `exp_e06_async_scaling --quick` binary used.
+#[test]
+fn e06_registry_quick_is_bit_identical_to_legacy_path() {
+    let exp = find("e06").expect("registered");
+    let map = ParamMap::quick(&exp.params());
+    let new = exp.run_map(&map, None, Threads::Auto);
+    let old = e06::run(&e06::Config::quick());
+    assert_eq!(new, old);
+    assert_eq!(new.to_json(), old.to_json());
+}
+
+/// Spot-check the same equivalence on a sync experiment (e01) and the
+/// cheapest one (e09) so the guarantee is not e06-specific.
+#[test]
+fn more_registry_quick_runs_match_their_legacy_paths() {
+    let exp = find("e09").expect("registered");
+    let map = ParamMap::quick(&exp.params());
+    assert_eq!(
+        exp.run_map(&map, None, Threads::Auto).to_json(),
+        e09::run(&e09::Config::quick()).to_json()
+    );
+
+    let exp = find("e01").expect("registered");
+    let map = ParamMap::quick(&exp.params());
+    assert_eq!(
+        exp.run_map(&map, None, Threads::Auto).to_json(),
+        e01::run(&e01::Config::quick()).to_json()
+    );
+}
+
+/// `--set` overrides flow into the run: changing `trials` must change the
+/// report's table while keeping the same seed.
+#[test]
+fn set_overrides_change_the_run() {
+    let exp = find("e09").expect("registered");
+    let mut map = ParamMap::quick(&exp.params());
+    map.set("trials", "2").expect("known key");
+    map.set("ns", "128,256").expect("known key");
+    let report = exp.run_map(&map, None, Threads::Auto);
+    let trials = report.tables[0].column_f64("trials");
+    assert_eq!(trials, vec![2.0, 2.0]);
+}
+
+/// `--seed` replaces the schema's master seed verbatim.
+#[test]
+fn seed_override_is_respected() {
+    let exp = find("e09").expect("registered");
+    let map = ParamMap::quick(&exp.params());
+    let a = exp.run_map(&map, Some(1234), Threads::Auto);
+    let b = exp.run_map(&map, Some(1234), Threads::Auto);
+    let c = exp.run_map(&map, None, Threads::Auto);
+    assert_eq!(a.seed, 1234);
+    assert_eq!(a, b, "same seed, same report");
+    assert_ne!(a, c, "default seed differs");
+}
+
+/// Thread count must never change results: forcing one worker and many
+/// workers produces identical reports through the registry path.
+#[test]
+fn forced_thread_counts_produce_identical_reports() {
+    let exp = find("e09").expect("registered");
+    let map = ParamMap::quick(&exp.params());
+    let one = exp.run_map(&map, None, Threads::fixed(1));
+    let many = exp.run_map(&map, None, Threads::fixed(8));
+    assert_eq!(one, many);
+    assert_eq!(one.to_json(), many.to_json());
+}
+
+/// Registry completeness: all 16 ids present, unique, sorted, findable.
+#[test]
+fn registry_is_complete() {
+    let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
+    let expected: Vec<String> = (1..=16).map(|i| format!("e{i:02}")).collect();
+    assert_eq!(ids, expected.iter().map(String::as_str).collect::<Vec<_>>());
+    for id in &expected {
+        assert!(find(id).is_some(), "{id} must resolve");
+        assert!(find(&id.to_uppercase()).is_some(), "{id} case-insensitive");
+    }
+}
+
+/// The README experiment catalog is generated from the registry
+/// (`xp list --markdown`); this keeps the docs pinned to the code.
+#[test]
+fn readme_catalog_matches_the_registry() {
+    let readme_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("README.md");
+    let readme = std::fs::read_to_string(&readme_path).expect("README.md readable");
+    let begin = "<!-- experiment-catalog:begin -->\n";
+    let end = "<!-- experiment-catalog:end -->";
+    let start = readme.find(begin).expect("catalog begin marker") + begin.len();
+    let stop = readme.find(end).expect("catalog end marker");
+    assert_eq!(
+        readme[start..stop],
+        rapid_experiments::registry::catalog_markdown(),
+        "README catalog is stale: regenerate with `xp list --markdown`"
+    );
+}
+
+/// The schema rejects unknown keys and malformed values for every
+/// experiment — no silent defaults anywhere in the registry.
+#[test]
+fn every_schema_rejects_unknown_keys_and_bad_values() {
+    for exp in registry() {
+        let mut map = ParamMap::defaults(&exp.params());
+        assert!(
+            matches!(
+                map.set("definitely_not_a_param", "1"),
+                Err(ParamError::UnknownKey { .. })
+            ),
+            "{}",
+            exp.id()
+        );
+        assert!(
+            matches!(
+                map.set("seed", "not-a-number"),
+                Err(ParamError::BadValue { .. })
+            ),
+            "{}",
+            exp.id()
+        );
+        // Failed sets leave the map untouched.
+        assert_eq!(map, ParamMap::defaults(&exp.params()), "{}", exp.id());
+    }
+}

@@ -1,10 +1,18 @@
-//! Smoke-runs every experiment in its CI preset: the full harness must
-//! produce non-empty, saveable reports. (Shape assertions live in each
-//! experiment module's own tests; this file guards the end-to-end plumbing
-//! plus the cross-experiment conventions.)
+//! Smoke-runs every experiment in its CI preset **through the registry**
+//! (the same path the `xp` binary uses): the full harness must produce
+//! non-empty, saveable reports. (Shape assertions live in each experiment
+//! module's own tests; this file guards the end-to-end plumbing plus the
+//! cross-experiment conventions.)
 
-use rapid_plurality::experiments as exp;
+use rapid_plurality::experiments::prelude::*;
 use rapid_plurality::experiments::Report;
+
+fn run_quick(id: &str) -> Report {
+    let exp = find(id).expect("id is registered");
+    assert_eq!(exp.id(), id);
+    let map = ParamMap::quick(&exp.params());
+    exp.run_map(&map, None, Threads::Auto)
+}
 
 fn check(report: &Report) {
     assert!(!report.id.is_empty());
@@ -20,97 +28,57 @@ fn check(report: &Report) {
             );
         }
     }
-    // Every report must render and serialise.
+    // Every report must render and serialise — as text, JSON and CSV.
     let text = report.to_string();
     assert!(text.contains(&report.id));
     let json = report.to_json();
     let back = Report::from_json(&json).expect("valid JSON");
     assert_eq!(&back, report);
+    let csv = report.to_csv();
+    assert!(csv.contains(&report.id));
 }
 
-#[test]
-fn e01_quick_report_is_well_formed() {
-    check(&exp::e01::run(&exp::e01::Config::quick()));
+macro_rules! quick_test {
+    ($($name:ident => $id:literal),+ $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                check(&run_quick($id));
+            }
+        )+
+    };
 }
 
-#[test]
-fn e02_quick_report_is_well_formed() {
-    check(&exp::e02::run(&exp::e02::Config::quick()));
-}
+quick_test!(
+    e01_quick_report_is_well_formed => "e01",
+    e02_quick_report_is_well_formed => "e02",
+    e03_quick_report_is_well_formed => "e03",
+    e04_quick_report_is_well_formed => "e04",
+    e05_quick_report_is_well_formed => "e05",
+    e06_quick_report_is_well_formed => "e06",
+    e07_quick_report_is_well_formed => "e07",
+    e08_quick_report_is_well_formed => "e08",
+    e09_quick_report_is_well_formed => "e09",
+    e10_quick_report_is_well_formed => "e10",
+    e11_quick_report_is_well_formed => "e11",
+    e12_quick_report_is_well_formed => "e12",
+    e13_quick_report_is_well_formed => "e13",
+    e14_quick_report_is_well_formed => "e14",
+    e15_quick_report_is_well_formed => "e15",
+    e16_quick_report_is_well_formed => "e16",
+);
 
 #[test]
-fn e03_quick_report_is_well_formed() {
-    check(&exp::e03::run(&exp::e03::Config::quick()));
-}
-
-#[test]
-fn e04_quick_report_is_well_formed() {
-    check(&exp::e04::run(&exp::e04::Config::quick()));
-}
-
-#[test]
-fn e05_quick_report_is_well_formed() {
-    check(&exp::e05::run(&exp::e05::Config::quick()));
-}
-
-#[test]
-fn e06_quick_report_is_well_formed() {
-    check(&exp::e06::run(&exp::e06::Config::quick()));
-}
-
-#[test]
-fn e07_quick_report_is_well_formed() {
-    check(&exp::e07::run(&exp::e07::Config::quick()));
-}
-
-#[test]
-fn e08_quick_report_is_well_formed() {
-    check(&exp::e08::run(&exp::e08::Config::quick()));
-}
-
-#[test]
-fn e09_quick_report_is_well_formed() {
-    check(&exp::e09::run(&exp::e09::Config::quick()));
-}
-
-#[test]
-fn e10_quick_report_is_well_formed() {
-    check(&exp::e10::run(&exp::e10::Config::quick()));
-}
-
-#[test]
-fn e11_quick_report_is_well_formed() {
-    check(&exp::e11::run(&exp::e11::Config::quick()));
-}
-
-#[test]
-fn e12_quick_report_is_well_formed() {
-    check(&exp::e12::run(&exp::e12::Config::quick()));
-}
-
-#[test]
-fn e13_quick_report_is_well_formed() {
-    check(&exp::e13::run(&exp::e13::Config::quick()));
-}
-
-#[test]
-fn e14_quick_report_is_well_formed() {
-    check(&exp::e14::run(&exp::e14::Config::quick()));
-}
-
-#[test]
-fn e15_quick_report_is_well_formed() {
-    check(&exp::e15::run(&exp::e15::Config::quick()));
-}
-
-#[test]
-fn e16_quick_report_is_well_formed() {
-    check(&exp::e16::run(&exp::e16::Config::quick()));
+fn registry_covers_exactly_the_16_experiments() {
+    assert_eq!(registry().len(), 16);
+    for (i, exp) in registry().iter().enumerate() {
+        assert_eq!(exp.id(), format!("e{:02}", i + 1));
+    }
 }
 
 #[test]
 fn reports_save_to_disk() {
-    let report = exp::e09::run(&exp::e09::Config::quick());
+    let report = run_quick("e09");
     let dir = std::env::temp_dir().join("rapid-experiments-it");
     let path = report.save_json(&dir).expect("writable temp dir");
     assert!(path.exists());
