@@ -1,46 +1,11 @@
 //! Benches for the activation schedulers: how fast can each engine hand
-//! out ticks?
+//! out ticks? Driven by the shared benchmark registry (`scheduler` group),
+//! so `cargo bench --bench engines` and `xp bench run scheduler` measure
+//! exactly the same kernels. Accepts `--quick` / `--budget-ms N` and a
+//! substring filter.
 
 use rapid_bench::harness::Harness;
-use rapid_sim::prelude::*;
-
-const BATCH: u64 = 10_000;
 
 fn main() {
-    let h = Harness::from_args();
-    for &n in &[1usize << 10, 1 << 16] {
-        h.bench(&format!("schedulers/sequential_expected/{n}"), BATCH, {
-            let mut s = SequentialScheduler::new(n, Seed::new(1));
-            move || {
-                for _ in 0..BATCH {
-                    std::hint::black_box(s.next_activation());
-                }
-            }
-        });
-        h.bench(&format!("schedulers/sequential_sampled/{n}"), BATCH, {
-            let mut s = SequentialScheduler::with_mode(n, Seed::new(2), TimeMode::Sampled);
-            move || {
-                for _ in 0..BATCH {
-                    std::hint::black_box(s.next_activation());
-                }
-            }
-        });
-        h.bench(&format!("schedulers/event_queue/{n}"), BATCH, {
-            let mut s = EventQueueScheduler::new(n, Seed::new(3), 1.0);
-            move || {
-                for _ in 0..BATCH {
-                    std::hint::black_box(s.next_activation());
-                }
-            }
-        });
-        h.bench(&format!("schedulers/jittered/{n}"), BATCH, {
-            let inner = SequentialScheduler::with_mode(n, Seed::new(4), TimeMode::Sampled);
-            let mut s = JitteredScheduler::new(inner, Seed::new(5), 2.0);
-            move || {
-                for _ in 0..BATCH {
-                    std::hint::black_box(s.next_activation());
-                }
-            }
-        });
-    }
+    Harness::from_args().run_groups(&["scheduler"]);
 }

@@ -1,90 +1,16 @@
 //! End-to-end smoke benches: a complete consensus run per iteration.
 //!
-//! These are the "table kernels": each experiment binary spends its time
-//! in exactly these loops, so tracking their wall-clock here catches
-//! performance regressions in the whole stack (scheduler → protocol →
-//! bookkeeping). Every run goes through the unified `Sim` builder, so the
-//! façade's dispatch overhead is measured too.
+//! These are the "table kernels": each experiment spends its time in
+//! exactly these loops, so tracking their wall-clock catches performance
+//! regressions in the whole stack (scheduler → protocol → bookkeeping).
+//! Every run goes through the unified `Sim` builder, so the façade's
+//! dispatch overhead is measured too. Driven by the shared benchmark
+//! registry (`consensus` group), so `cargo bench` and `xp bench` measure
+//! exactly the same kernels. Accepts `--quick` / `--budget-ms N` and a
+//! substring filter.
 
-use rapid_bench::bench_counts;
 use rapid_bench::harness::Harness;
-use rapid_core::facade::Sim;
-use rapid_core::prelude::*;
-use rapid_graph::prelude::*;
-use rapid_sim::prelude::*;
 
 fn main() {
-    let h = Harness::from_args();
-
-    h.bench("consensus_runs/sync_two_choices_n4096", 1, {
-        let counts = bench_counts(4096, 8, 0.5);
-        let mut seed = 0u64;
-        move || {
-            seed += 1;
-            let out = Sim::builder()
-                .topology(Complete::new(4096))
-                .counts(&counts)
-                .protocol(TwoChoices::new())
-                .seed(Seed::new(seed))
-                .stop(StopCondition::RoundBudget(100_000))
-                .build()
-                .expect("valid")
-                .run();
-            assert!(out.converged(), "converges");
-        }
-    });
-
-    h.bench("consensus_runs/sync_one_extra_bit_n4096", 1, {
-        let counts = bench_counts(4096, 8, 0.5);
-        let mut seed = 0u64;
-        move || {
-            seed += 1;
-            let out = Sim::builder()
-                .topology(Complete::new(4096))
-                .counts(&counts)
-                .protocol(OneExtraBit::for_network(4096, 8))
-                .seed(Seed::new(seed))
-                .stop(StopCondition::RoundBudget(100_000))
-                .build()
-                .expect("valid")
-                .run();
-            assert!(out.converged(), "converges");
-        }
-    });
-
-    h.bench("consensus_runs/rapid_async_n2048", 1, {
-        let counts = bench_counts(2048, 4, 0.5);
-        let params = Params::for_network_with_eps(2048, 4, 0.5);
-        let mut seed = 0u64;
-        move || {
-            seed += 1;
-            let out = Sim::builder()
-                .topology(Complete::new(2048))
-                .counts(&counts)
-                .rapid(params)
-                .seed(Seed::new(seed))
-                .build()
-                .expect("valid")
-                .run();
-            assert!(out.converged(), "converges");
-        }
-    });
-
-    h.bench("consensus_runs/async_gossip_endgame_n2048", 1, {
-        let mut seed = 0u64;
-        move || {
-            seed += 1;
-            let out = Sim::builder()
-                .topology(Complete::new(2048))
-                .counts(&[1948, 100])
-                .gossip(GossipRule::TwoChoices)
-                .halt_after(200)
-                .seed(Seed::new(seed))
-                .stop(StopCondition::StepBudget(50_000_000))
-                .build()
-                .expect("valid")
-                .run();
-            assert!(out.converged(), "converges");
-        }
-    });
+    Harness::from_args().run_groups(&["consensus"]);
 }

@@ -1,57 +1,12 @@
-//! Benches for the protocol kernels: one synchronous round of each
-//! protocol and batches of asynchronous ticks.
+//! Benches for the protocol kernels: batches of asynchronous ticks
+//! (gossip and the full Rapid two-phase step) and one synchronous round of
+//! each round-based protocol. Driven by the shared benchmark registry
+//! (`gossip` / `rapid` / `sync` groups), so `cargo bench` and `xp bench`
+//! measure exactly the same kernels. Accepts `--quick` / `--budget-ms N`
+//! and a substring filter.
 
-use rapid_bench::bench_counts;
 use rapid_bench::harness::Harness;
-use rapid_core::prelude::*;
-use rapid_graph::prelude::*;
-use rapid_sim::prelude::*;
 
 fn main() {
-    let h = Harness::from_args();
-
-    for &n in &[1usize << 10, 1 << 14] {
-        let counts = bench_counts(n as u64, 8, 0.3);
-        let g = Complete::new(n);
-
-        let sync_case = |name: &str, proto: &mut dyn SyncProtocol, seed: u64| {
-            let mut config = Configuration::from_counts(&counts).expect("valid");
-            let mut rng = SimRng::from_seed_value(Seed::new(seed));
-            h.bench(&format!("sync_round/{name}/{n}"), n as u64, || {
-                proto.round(&g, &mut config, &mut rng);
-            });
-        };
-        sync_case("two_choices", &mut TwoChoices::new(), 1);
-        sync_case("three_majority", &mut ThreeMajority::new(), 2);
-        sync_case("voter", &mut Voter::new(), 3);
-        sync_case("one_extra_bit", &mut OneExtraBit::for_network(n, 8), 4);
-
-        h.bench(&format!("async_ticks/rapid_sim_n_ticks/{n}"), n as u64, {
-            let params = Params::for_network(n, 8);
-            let config = Configuration::from_counts(&counts).expect("valid");
-            let source = SequentialScheduler::new(n, Seed::new(5));
-            let mut sim = RapidSim::new(Complete::new(n), config, params, source, Seed::new(15));
-            move || {
-                for _ in 0..n {
-                    sim.tick();
-                }
-            }
-        });
-        h.bench(&format!("async_ticks/gossip_n_ticks/{n}"), n as u64, {
-            let config = Configuration::from_counts(&counts).expect("valid");
-            let source = SequentialScheduler::new(n, Seed::new(6));
-            let mut sim = AsyncGossipSim::new(
-                Complete::new(n),
-                config,
-                GossipRule::TwoChoices,
-                source,
-                Seed::new(16),
-            );
-            move || {
-                for _ in 0..n {
-                    sim.tick();
-                }
-            }
-        });
-    }
+    Harness::from_args().run_groups(&["gossip", "rapid", "sync"]);
 }

@@ -1,91 +1,11 @@
 //! Benches for the low-level primitives: RNG output, bounded sampling,
-//! neighbor sampling, urn steps, Beta draws.
+//! neighbor sampling, urn steps and stats accumulators. Driven by the
+//! shared benchmark registry (`rng` / `topology` / `urn` / `stats`
+//! groups), so `cargo bench` and `xp bench` measure exactly the same
+//! kernels. Accepts `--quick` / `--budget-ms N` and a substring filter.
 
 use rapid_bench::harness::Harness;
-use rapid_graph::prelude::*;
-use rapid_sim::prelude::*;
-use rapid_urn::{BetaDistribution, PolyaUrn};
-
-const BATCH: u64 = 10_000;
 
 fn main() {
-    let h = Harness::from_args();
-
-    h.bench("rng/next_u64", BATCH, {
-        let mut rng = SimRng::from_seed_value(Seed::new(1));
-        move || {
-            let mut acc = 0u64;
-            for _ in 0..BATCH {
-                acc = acc.wrapping_add(rng.next_u64());
-            }
-            std::hint::black_box(acc);
-        }
-    });
-    h.bench("rng/bounded", BATCH, {
-        let mut rng = SimRng::from_seed_value(Seed::new(2));
-        move || {
-            let mut acc = 0u64;
-            for _ in 0..BATCH {
-                acc += rng.bounded(12345);
-            }
-            std::hint::black_box(acc);
-        }
-    });
-    h.bench("rng/unit_f64", BATCH, {
-        let mut rng = SimRng::from_seed_value(Seed::new(3));
-        move || {
-            let mut acc = 0.0;
-            for _ in 0..BATCH {
-                acc += rng.unit_f64();
-            }
-            std::hint::black_box(acc);
-        }
-    });
-
-    h.bench("sampling/complete_neighbor", BATCH, {
-        let g = Complete::new(1 << 16);
-        let mut rng = SimRng::from_seed_value(Seed::new(4));
-        let u = NodeId::new(7);
-        move || {
-            let mut acc = 0usize;
-            for _ in 0..BATCH {
-                acc += g.sample_neighbor(u, &mut rng).index();
-            }
-            std::hint::black_box(acc);
-        }
-    });
-    h.bench("sampling/regular_neighbor", BATCH, {
-        let g = RandomRegular::sample(1 << 12, 8, Seed::new(5)).expect("samplable");
-        let mut rng = SimRng::from_seed_value(Seed::new(6));
-        let u = NodeId::new(7);
-        move || {
-            let mut acc = 0usize;
-            for _ in 0..BATCH {
-                acc += g.sample_neighbor(u, &mut rng).index();
-            }
-            std::hint::black_box(acc);
-        }
-    });
-    h.bench("sampling/urn_step", BATCH, {
-        let mut urn = PolyaUrn::new(vec![100, 50, 25], 1).expect("valid");
-        let mut rng = SimRng::from_seed_value(Seed::new(7));
-        move || {
-            let mut acc = 0usize;
-            for _ in 0..BATCH {
-                acc += urn.step(&mut rng);
-            }
-            std::hint::black_box(acc);
-        }
-    });
-    h.bench("sampling/beta_sample", BATCH, {
-        let d = BetaDistribution::new(3.0, 7.0);
-        let mut rng = SimRng::from_seed_value(Seed::new(8));
-        move || {
-            let mut acc = 0.0;
-            for _ in 0..BATCH {
-                acc += d.sample(&mut rng);
-            }
-            std::hint::black_box(acc);
-        }
-    });
+    Harness::from_args().run_groups(&["rng", "topology", "urn", "stats"]);
 }

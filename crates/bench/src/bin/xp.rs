@@ -1,11 +1,17 @@
-//! `xp` — the single multiplexed experiment driver.
+//! `xp` — the single multiplexed experiment-and-benchmark driver.
 //!
-//! `xp list` enumerates the registry; `xp run <id> [--quick] [--set k=v]`
-//! runs any experiment with per-parameter overrides; `xp all` sweeps all
-//! sixteen. All behaviour lives in `rapid_experiments::cli` so it is unit
-//! tested; this binary only adapts process arguments and the exit code.
+//! `xp list` enumerates the experiment registry; `xp run <id> [--quick]
+//! [--set k=v]` runs any experiment with per-parameter overrides; `xp all`
+//! sweeps all sixteen; `xp bench …` drives the benchmark registry and the
+//! `BENCH_*.json` performance trajectory. All behaviour lives in
+//! `rapid_experiments::cli` and `rapid_bench::cli` so it is unit tested;
+//! this binary only dispatches the first word and adapts the exit code.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    std::process::exit(rapid_experiments::cli::run(&args));
+    let code = match args.first().map(String::as_str) {
+        Some("bench") => rapid_bench::cli::run(&args[1..]),
+        _ => rapid_experiments::cli::run(&args),
+    };
+    std::process::exit(code);
 }

@@ -1,0 +1,612 @@
+//! The `xp bench` command line: registry-driven micro-benchmarks.
+//!
+//! Mirrors the experiment CLI one level down:
+//!
+//! ```text
+//! xp bench list                       every bench: id, group, title
+//! xp bench run scheduler event_queue  run by group / id / substring
+//! xp bench all --budget-ms 50        the full registry, CI budget
+//! xp bench all --format json          machine-readable BENCH document
+//! xp bench all --baseline bench/baseline.json --gate 100
+//! ```
+//!
+//! Every `run`/`all` saves a timestamped `BENCH_<unix-ms>.json` under
+//! `<workspace>/target/benchmarks` (override with `--out DIR`) — the
+//! performance trajectory. With `--baseline FILE` the run is diffed
+//! against a previous document; with `--gate PCT` a median more than
+//! `PCT` percent slower (beyond an absolute noise floor) makes the
+//! process exit 1, which is what the CI perf job keys off.
+
+use std::path::{Path, PathBuf};
+
+use crate::registry;
+use crate::report::{gate, BenchReport, GateVerdict};
+use crate::sample::{Bench, BenchSample, BudgetCfg};
+
+/// How a run is rendered on stdout.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum BenchFormat {
+    /// Aligned text table (the default).
+    #[default]
+    Table,
+    /// The full `BENCH_*.json` document (plus the gate verdict, if any).
+    Json,
+}
+
+/// Options shared by `xp bench run` and `xp bench all`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchOpts {
+    /// `--budget-ms N` / `--quick` per-bench budget.
+    pub budget_ms: u64,
+    /// `--format table|json`.
+    pub format: BenchFormat,
+    /// `--out DIR` overrides the save directory.
+    pub out: Option<PathBuf>,
+    /// `--baseline FILE` to diff against.
+    pub baseline: Option<PathBuf>,
+    /// `--gate PCT`: fail (exit 1) on medians > PCT percent slower.
+    pub gate: Option<f64>,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts {
+            budget_ms: 300,
+            format: BenchFormat::default(),
+            out: None,
+            baseline: None,
+            gate: None,
+        }
+    }
+}
+
+/// A parsed `xp bench` invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BenchCommand {
+    /// `xp bench help` / no arguments.
+    Help,
+    /// `xp bench list`.
+    List,
+    /// `xp bench run <selector>... [options]`.
+    Run {
+        /// Id / group / substring selectors.
+        selectors: Vec<String>,
+        /// Shared options.
+        opts: BenchOpts,
+    },
+    /// `xp bench all [options]`.
+    All {
+        /// Shared options.
+        opts: BenchOpts,
+    },
+}
+
+/// A user error in the `xp bench` invocation (exit code 2).
+#[derive(Clone, Debug, PartialEq)]
+pub enum BenchCliError {
+    /// The first argument is not a known subcommand.
+    UnknownCommand(String),
+    /// A selector matched no registered bench.
+    UnknownBench(String),
+    /// A flag is not recognised here.
+    UnknownFlag(String),
+    /// A flag that needs a value was given none.
+    MissingValue(&'static str),
+    /// `xp bench run` without a selector.
+    MissingSelector,
+    /// A positional argument where none is accepted.
+    UnexpectedArg(String),
+    /// A numeric flag value failed to parse.
+    BadNumber {
+        /// The flag.
+        flag: &'static str,
+        /// The offending text.
+        value: String,
+    },
+    /// `--format` with something other than `table|json`.
+    BadFormat(String),
+    /// `--gate` without `--baseline`.
+    GateWithoutBaseline,
+    /// The baseline file failed to load or parse.
+    Baseline(String),
+}
+
+impl std::fmt::Display for BenchCliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchCliError::UnknownCommand(c) => {
+                write!(f, "unknown bench command {c:?} (try list, run, all)")
+            }
+            BenchCliError::UnknownBench(s) => {
+                write!(f, "no bench matches {s:?} (see `xp bench list`)")
+            }
+            BenchCliError::UnknownFlag(flag) => write!(f, "unknown flag {flag}"),
+            BenchCliError::MissingValue(flag) => write!(f, "{flag} needs a value"),
+            BenchCliError::MissingSelector => {
+                write!(f, "a bench id, group or substring is required")
+            }
+            BenchCliError::UnexpectedArg(a) => write!(f, "unexpected argument {a:?}"),
+            BenchCliError::BadNumber { flag, value } => {
+                write!(f, "{flag} needs a positive number, got {value:?}")
+            }
+            BenchCliError::BadFormat(v) => {
+                write!(f, "--format must be table or json, got {v:?}")
+            }
+            BenchCliError::GateWithoutBaseline => {
+                write!(f, "--gate needs --baseline FILE to compare against")
+            }
+            BenchCliError::Baseline(e) => write!(f, "baseline: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchCliError {}
+
+const USAGE: &str = "\
+xp bench — registry-driven micro-benchmarks with a BENCH_*.json trajectory
+
+USAGE:
+    xp bench list                      list every registered bench
+    xp bench run <sel>... [OPTIONS]    run benches by id, group or substring
+    xp bench all [OPTIONS]             run the full registry
+    xp bench help                      this message
+
+OPTIONS (run / all):
+    --budget-ms N          per-bench time budget (default: 300)
+    --quick                shorthand for --budget-ms 50 (the CI budget)
+    --format table|json    stdout rendering (default: table)
+    --out DIR              save directory (default: <workspace>/target/benchmarks)
+    --baseline FILE        diff this run against a previous BENCH_*.json
+    --gate PCT             with --baseline: exit 1 if any median is more
+                           than PCT percent slower (noise floor applies)
+
+A timestamped BENCH_<unix-ms>.json is saved on every run; commit one as
+bench/baseline.json to give CI a regression reference.
+";
+
+/// Parses an `xp bench` argument vector (after the `bench` word).
+///
+/// # Errors
+///
+/// Returns the first [`BenchCliError`] encountered, left to right.
+pub fn parse(args: &[String]) -> Result<BenchCommand, BenchCliError> {
+    let mut it = args.iter().map(String::as_str);
+    let Some(cmd) = it.next() else {
+        return Ok(BenchCommand::Help);
+    };
+    match cmd {
+        "help" | "--help" | "-h" => Ok(BenchCommand::Help),
+        "list" => {
+            if let Some(extra) = it.next() {
+                return Err(BenchCliError::UnexpectedArg(extra.to_string()));
+            }
+            Ok(BenchCommand::List)
+        }
+        "run" => {
+            let (selectors, opts) = parse_run_args(it)?;
+            if selectors.is_empty() {
+                return Err(BenchCliError::MissingSelector);
+            }
+            registry::select(&selectors).map_err(BenchCliError::UnknownBench)?;
+            Ok(BenchCommand::Run { selectors, opts })
+        }
+        "all" => {
+            let (selectors, opts) = parse_run_args(it)?;
+            if let Some(extra) = selectors.first() {
+                return Err(BenchCliError::UnexpectedArg(extra.clone()));
+            }
+            Ok(BenchCommand::All { opts })
+        }
+        other => Err(BenchCliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn parse_run_args<'a>(
+    mut it: impl Iterator<Item = &'a str>,
+) -> Result<(Vec<String>, BenchOpts), BenchCliError> {
+    let mut selectors = Vec::new();
+    let mut opts = BenchOpts::default();
+    while let Some(arg) = it.next() {
+        match arg {
+            "--quick" => opts.budget_ms = 50,
+            "--budget-ms" => {
+                let v = it
+                    .next()
+                    .ok_or(BenchCliError::MissingValue("--budget-ms"))?;
+                let n: u64 = v.parse().map_err(|_| BenchCliError::BadNumber {
+                    flag: "--budget-ms",
+                    value: v.to_string(),
+                })?;
+                if n == 0 {
+                    return Err(BenchCliError::BadNumber {
+                        flag: "--budget-ms",
+                        value: v.to_string(),
+                    });
+                }
+                opts.budget_ms = n;
+            }
+            "--format" => {
+                let v = it.next().ok_or(BenchCliError::MissingValue("--format"))?;
+                opts.format = match v {
+                    "table" => BenchFormat::Table,
+                    "json" => BenchFormat::Json,
+                    other => return Err(BenchCliError::BadFormat(other.to_string())),
+                };
+            }
+            "--out" => {
+                let v = it.next().ok_or(BenchCliError::MissingValue("--out"))?;
+                opts.out = Some(PathBuf::from(v));
+            }
+            "--baseline" => {
+                let v = it.next().ok_or(BenchCliError::MissingValue("--baseline"))?;
+                opts.baseline = Some(PathBuf::from(v));
+            }
+            "--gate" => {
+                let v = it.next().ok_or(BenchCliError::MissingValue("--gate"))?;
+                let pct: f64 = v.parse().map_err(|_| BenchCliError::BadNumber {
+                    flag: "--gate",
+                    value: v.to_string(),
+                })?;
+                if !pct.is_finite() || pct <= 0.0 {
+                    return Err(BenchCliError::BadNumber {
+                        flag: "--gate",
+                        value: v.to_string(),
+                    });
+                }
+                opts.gate = Some(pct);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(BenchCliError::UnknownFlag(flag.to_string()))
+            }
+            sel => selectors.push(sel.to_string()),
+        }
+    }
+    if opts.gate.is_some() && opts.baseline.is_none() {
+        return Err(BenchCliError::GateWithoutBaseline);
+    }
+    Ok((selectors, opts))
+}
+
+/// The save directory without `--out`: `target/benchmarks` under the
+/// workspace root (cwd-independent, like `xp`'s experiment reports).
+pub fn default_out_dir() -> PathBuf {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("manifest dir has a workspace root two levels up")
+        .to_path_buf();
+    if root.is_dir() {
+        root.join("target").join("benchmarks")
+    } else {
+        Path::new("target").join("benchmarks")
+    }
+}
+
+fn render_table(samples: &[BenchSample]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<42} {:>12} {:>12} {:>12} {:>14} {:>7}\n",
+        "bench", "p50/iter", "p10", "p90", "throughput", "iters"
+    ));
+    for s in samples {
+        let thr = if s.elements > 1 {
+            format!("{}/s", format_rate(s.throughput()))
+        } else {
+            "-".to_string()
+        };
+        out.push_str(&format!(
+            "{:<42} {:>12} {:>12} {:>12} {:>14} {:>7}\n",
+            s.id,
+            format_ns(s.p50_ns),
+            format_ns(s.p10_ns),
+            format_ns(s.p90_ns),
+            thr,
+            s.iters,
+        ));
+    }
+    out
+}
+
+/// Formats nanoseconds human-readably (`432 ns`, `1.4 µs`, `2.3 ms`).
+pub fn format_ns(ns: f64) -> String {
+    if ns < 10_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 10_000_000.0 {
+        format!("{:.1} µs", ns / 1e3)
+    } else if ns < 10_000_000_000.0 {
+        format!("{:.1} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Formats a per-second rate (`53.3 M`, `1.2 G`).
+pub fn format_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} k", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+fn execute(cmd: &BenchCommand) -> Result<bool, BenchCliError> {
+    match cmd {
+        BenchCommand::Help => {
+            print!("{USAGE}");
+            Ok(true)
+        }
+        BenchCommand::List => {
+            for b in registry::bench_registry() {
+                println!("{:<42} {:<10} {}", b.id(), b.group(), b.title());
+            }
+            Ok(true)
+        }
+        BenchCommand::Run { selectors, opts } => {
+            let benches = registry::select(selectors).map_err(BenchCliError::UnknownBench)?;
+            run_benches(&benches, opts)
+        }
+        BenchCommand::All { opts } => run_benches(&registry::bench_registry(), opts),
+    }
+}
+
+/// Runs `benches` under `opts`; returns whether the gate passed (always
+/// `true` without a gate).
+fn run_benches(benches: &[&'static dyn Bench], opts: &BenchOpts) -> Result<bool, BenchCliError> {
+    // Load the baseline *before* spending the measurement budget: a bad
+    // path must fail fast.
+    let baseline = match &opts.baseline {
+        Some(path) => Some(BenchReport::load(path).map_err(BenchCliError::Baseline)?),
+        None => None,
+    };
+    let cfg = BudgetCfg::from_millis(opts.budget_ms);
+    let mut samples = Vec::with_capacity(benches.len());
+    for b in benches {
+        eprintln!("[bench {} ...]", b.id());
+        samples.push(b.run(&cfg));
+    }
+    let report = BenchReport::new(opts.budget_ms, samples);
+    let verdict: Option<GateVerdict> = baseline
+        .as_ref()
+        .map(|base| gate(&report, base, opts.gate.unwrap_or(100.0)));
+
+    match opts.format {
+        BenchFormat::Table => {
+            print!("{}", render_table(&report.samples));
+            if let Some(v) = &verdict {
+                println!();
+                if opts.gate.is_some() {
+                    // Enforced: the PASS/FAIL line matches the exit code.
+                    println!("{v}");
+                } else {
+                    // Informational diff: no PASS/FAIL claim, since the
+                    // exit code will be 0 regardless.
+                    print!("{}", v.comparison_table());
+                    println!("baseline diff is informational; pass --gate PCT to enforce");
+                }
+            }
+        }
+        BenchFormat::Json => {
+            // One JSON document on stdout: the BENCH report, with the gate
+            // verdict embedded when a baseline was given. `enforced`
+            // records whether the verdict drives the exit code.
+            let mut doc = report.to_json_value();
+            if let (rapid_experiments::json::JsonValue::Object(map), Some(v)) = (&mut doc, &verdict)
+            {
+                let mut gate_doc = v.to_json_value();
+                if let rapid_experiments::json::JsonValue::Object(g) = &mut gate_doc {
+                    g.insert(
+                        "enforced".to_string(),
+                        rapid_experiments::json::JsonValue::Bool(opts.gate.is_some()),
+                    );
+                }
+                map.insert("gate".to_string(), gate_doc);
+            }
+            println!("{}", doc.to_pretty());
+        }
+    }
+
+    let out = opts.out.clone().unwrap_or_else(default_out_dir);
+    match report.save(&out) {
+        Ok(path) => eprintln!("[saved {}]", path.display()),
+        Err(e) => eprintln!("[warning: could not save BENCH json: {e}]"),
+    }
+
+    let passed = match (&verdict, opts.gate) {
+        (Some(v), Some(_)) => v.passed(),
+        _ => true,
+    };
+    if let (Some(v), Some(_)) = (&verdict, opts.gate) {
+        if !v.passed() {
+            for r in v.regressions() {
+                eprintln!(
+                    "xp bench: REGRESSION {} — {} → {} ({:.2}x, gate {:.0}%)",
+                    r.id,
+                    format_ns(r.baseline_ns),
+                    format_ns(r.current_ns),
+                    r.ratio,
+                    v.gate_pct
+                );
+            }
+        }
+    }
+    Ok(passed)
+}
+
+/// Full `xp bench` entry point: parse, execute, map to an exit code.
+///
+/// Exit codes: 0 success, 1 regression gate failed, 2 usage error.
+pub fn run(args: &[String]) -> i32 {
+    match parse(args) {
+        Ok(cmd) => match execute(&cmd) {
+            Ok(true) => 0,
+            Ok(false) => 1,
+            Err(e) => {
+                eprintln!("xp bench: {e}");
+                2
+            }
+        },
+        Err(e) => {
+            eprintln!("xp bench: {e}");
+            eprintln!("run `xp bench help` for usage");
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<BenchCommand, BenchCliError> {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn golden_parse_table() {
+        assert_eq!(p(&[]), Ok(BenchCommand::Help));
+        assert_eq!(p(&["help"]), Ok(BenchCommand::Help));
+        assert_eq!(p(&["list"]), Ok(BenchCommand::List));
+        assert_eq!(
+            p(&["run", "scheduler"]),
+            Ok(BenchCommand::Run {
+                selectors: vec!["scheduler".into()],
+                opts: BenchOpts::default(),
+            })
+        );
+        assert_eq!(
+            p(&[
+                "run",
+                "rng/next_u64",
+                "--budget-ms",
+                "25",
+                "--format",
+                "json"
+            ]),
+            Ok(BenchCommand::Run {
+                selectors: vec!["rng/next_u64".into()],
+                opts: BenchOpts {
+                    budget_ms: 25,
+                    format: BenchFormat::Json,
+                    ..BenchOpts::default()
+                },
+            })
+        );
+        assert_eq!(
+            p(&["all", "--quick", "--baseline", "b.json", "--gate", "100"]),
+            Ok(BenchCommand::All {
+                opts: BenchOpts {
+                    budget_ms: 50,
+                    baseline: Some(PathBuf::from("b.json")),
+                    gate: Some(100.0),
+                    ..BenchOpts::default()
+                },
+            })
+        );
+        assert_eq!(
+            p(&["all", "--out", "/tmp/x"]),
+            Ok(BenchCommand::All {
+                opts: BenchOpts {
+                    out: Some(PathBuf::from("/tmp/x")),
+                    ..BenchOpts::default()
+                },
+            })
+        );
+    }
+
+    #[test]
+    fn golden_error_table() {
+        assert_eq!(
+            p(&["bogus"]),
+            Err(BenchCliError::UnknownCommand("bogus".into()))
+        );
+        assert_eq!(p(&["run"]), Err(BenchCliError::MissingSelector));
+        assert_eq!(
+            p(&["run", "nope-никто"]),
+            Err(BenchCliError::UnknownBench("nope-никто".into()))
+        );
+        assert_eq!(
+            p(&["list", "extra"]),
+            Err(BenchCliError::UnexpectedArg("extra".into()))
+        );
+        assert_eq!(
+            p(&["all", "rng"]),
+            Err(BenchCliError::UnexpectedArg("rng".into()))
+        );
+        assert_eq!(
+            p(&["run", "rng", "--bogus"]),
+            Err(BenchCliError::UnknownFlag("--bogus".into()))
+        );
+        assert_eq!(
+            p(&["all", "--budget-ms"]),
+            Err(BenchCliError::MissingValue("--budget-ms"))
+        );
+        assert_eq!(
+            p(&["all", "--budget-ms", "0"]),
+            Err(BenchCliError::BadNumber {
+                flag: "--budget-ms",
+                value: "0".into()
+            })
+        );
+        assert_eq!(
+            p(&["all", "--format", "xml"]),
+            Err(BenchCliError::BadFormat("xml".into()))
+        );
+        assert_eq!(
+            p(&["all", "--gate", "100"]),
+            Err(BenchCliError::GateWithoutBaseline)
+        );
+        assert_eq!(
+            p(&["all", "--baseline", "b.json", "--gate", "-5"]),
+            Err(BenchCliError::BadNumber {
+                flag: "--gate",
+                value: "-5".into()
+            })
+        );
+    }
+
+    #[test]
+    fn errors_render_readably() {
+        for (err, needle) in [
+            (BenchCliError::UnknownCommand("x".into()), "unknown bench"),
+            (BenchCliError::UnknownBench("z".into()), "xp bench list"),
+            (BenchCliError::UnknownFlag("--x".into()), "--x"),
+            (BenchCliError::MissingValue("--gate"), "--gate"),
+            (BenchCliError::MissingSelector, "bench id"),
+            (BenchCliError::UnexpectedArg("q".into()), "q"),
+            (
+                BenchCliError::BadNumber {
+                    flag: "--budget-ms",
+                    value: "x".into(),
+                },
+                "--budget-ms",
+            ),
+            (BenchCliError::BadFormat("xml".into()), "xml"),
+            (BenchCliError::GateWithoutBaseline, "--baseline"),
+            (BenchCliError::Baseline("no file".into()), "no file"),
+        ] {
+            assert!(err.to_string().contains(needle), "{err:?}");
+        }
+    }
+
+    #[test]
+    fn default_out_dir_is_workspace_anchored() {
+        let dir = default_out_dir();
+        assert!(dir.ends_with("target/benchmarks"));
+    }
+
+    #[test]
+    fn formatting_spans_scales() {
+        assert!(format_ns(5.0).contains("ns"));
+        assert!(format_ns(50_000.0).contains("µs"));
+        assert!(format_ns(50_000_000.0).contains("ms"));
+        assert!(format_ns(50_000_000_000.0).contains('s'));
+        assert!(format_rate(2.5e9).contains('G'));
+        assert!(format_rate(2.5e6).contains('M'));
+        assert!(format_rate(2.5e3).contains('k'));
+        assert!(format_rate(2.5).contains("2.5"));
+    }
+}

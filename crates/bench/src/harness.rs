@@ -1,110 +1,149 @@
-//! A dependency-free micro-benchmark harness (`std::time` based).
+//! The `cargo bench` adapter over the benchmark registry.
 //!
 //! Each bench target is a plain `fn main` (`harness = false`) that builds
-//! a [`Harness`] and registers closures. The harness warms each closure
-//! up, runs it until a time budget is spent, and prints the per-iteration
-//! wall clock plus optional element throughput. A substring filter (the
-//! first free argument, as passed by `cargo bench -- <filter>`) selects
-//! benches by name.
+//! a [`Harness`] and asks it to run a slice of registry groups. The
+//! harness owns the CLI contract of `cargo bench -- <args>`:
+//!
+//! * the first free argument is a substring filter on bench ids;
+//! * `--quick` selects the CI budget (50 ms per bench);
+//! * `--budget-ms N` sets an explicit budget;
+//! * `--bench` (appended by cargo) and unknown flags are ignored.
+//!
+//! Measurement itself is delegated to the same [`crate::registry`]
+//! entries the `xp bench` subcommand runs, so `cargo bench` and
+//! `xp bench` can never disagree on what or how something is measured —
+//! only on where the output goes (human-readable lines here, a
+//! `BENCH_*.json` document there).
 
-use std::time::{Duration, Instant};
+use crate::cli::{format_ns, format_rate};
+use crate::sample::{BenchSample, BudgetCfg};
 
-/// Minimum measured iterations per bench.
-const MIN_ITERS: u32 = 5;
-/// Wall-clock budget per bench once warmed up.
-const BUDGET: Duration = Duration::from_millis(300);
-
-/// A named group of benchmark closures with a shared CLI filter.
+/// A named group of benchmark closures with a shared CLI filter/budget.
 pub struct Harness {
     filter: Option<String>,
+    cfg: BudgetCfg,
 }
 
 impl Harness {
-    /// Creates a harness, reading the filter from the process arguments.
-    ///
-    /// Flags (`--bench`, `--quick`, anything starting with `-`) are
-    /// ignored; the first free argument becomes the name filter.
+    /// Creates a harness, reading filter and budget from the process
+    /// arguments (see the module docs for the accepted grammar).
     pub fn from_args() -> Self {
-        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-        Harness { filter }
+        Self::from_arg_list(std::env::args().skip(1))
     }
 
-    /// Runs one benchmark unless the filter excludes it.
+    fn from_arg_list(args: impl Iterator<Item = String>) -> Self {
+        let mut filter = None;
+        let mut cfg = BudgetCfg::default();
+        let mut it = args.peekable();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => cfg = BudgetCfg::quick(),
+                "--budget-ms" => {
+                    if let Some(v) = it.next() {
+                        if let Ok(ms) = v.parse::<u64>() {
+                            if ms > 0 {
+                                cfg = BudgetCfg::from_millis(ms);
+                            }
+                        }
+                    }
+                }
+                flag if flag.starts_with('-') => {} // cargo's --bench etc.
+                free => {
+                    if filter.is_none() {
+                        filter = Some(free.to_string());
+                    }
+                }
+            }
+        }
+        Harness { filter, cfg }
+    }
+
+    /// The per-bench budget in force.
+    pub fn budget(&self) -> &BudgetCfg {
+        &self.cfg
+    }
+
+    /// Whether the CLI filter admits this bench name.
+    pub fn matches(&self, name: &str) -> bool {
+        self.filter
+            .as_ref()
+            .is_none_or(|f| name.contains(f.as_str()))
+    }
+
+    /// Runs every registry bench whose group is in `groups` (and whose id
+    /// passes the filter), printing one human-readable line each.
+    pub fn run_groups(&self, groups: &[&str]) {
+        for bench in crate::registry::bench_registry() {
+            if groups.contains(&bench.group()) && self.matches(bench.id()) {
+                print_line(&bench.run(&self.cfg));
+            }
+        }
+    }
+
+    /// Runs one ad-hoc closure under the harness budget (legacy entry
+    /// point; registry benches should go through [`Harness::run_groups`]).
     ///
     /// `elements` is the number of logical items one iteration processes
     /// (used to print a throughput figure); pass 1 for whole-run benches.
     pub fn bench(&self, name: &str, elements: u64, mut f: impl FnMut()) {
-        if let Some(filter) = &self.filter {
-            if !name.contains(filter.as_str()) {
-                return;
-            }
+        if !self.matches(name) {
+            return;
         }
-        // Warm-up: one untimed iteration (fills caches, faults pages).
-        f();
-        let mut iters = 0u32;
-        let start = Instant::now();
-        while iters < MIN_ITERS || start.elapsed() < BUDGET {
-            f();
-            iters += 1;
-        }
-        let per_iter = start.elapsed() / iters;
-        if elements > 1 {
-            let rate = elements as f64 / per_iter.as_secs_f64();
-            println!(
-                "{name:<40} {:>12} /iter  {:>14} elem/s  ({iters} iters)",
-                format_duration(per_iter),
-                format_rate(rate),
-            );
-        } else {
-            println!(
-                "{name:<40} {:>12} /iter  ({iters} iters)",
-                format_duration(per_iter)
-            );
-        }
+        let sample = crate::sample::measure(name, "adhoc", elements, &self.cfg, &mut f);
+        print_line(&sample);
     }
 }
 
-fn format_duration(d: Duration) -> String {
-    let ns = d.as_nanos();
-    if ns < 10_000 {
-        format!("{ns} ns")
-    } else if ns < 10_000_000 {
-        format!("{:.1} µs", ns as f64 / 1e3)
-    } else if ns < 10_000_000_000 {
-        format!("{:.1} ms", ns as f64 / 1e6)
+fn print_line(s: &BenchSample) {
+    if s.elements > 1 {
+        println!(
+            "{:<42} {:>12} /iter  {:>14} elem/s  ({} iters)",
+            s.id,
+            format_ns(s.p50_ns),
+            format_rate(s.throughput()),
+            s.iters,
+        );
     } else {
-        format!("{:.2} s", ns as f64 / 1e9)
-    }
-}
-
-fn format_rate(rate: f64) -> String {
-    if rate >= 1e9 {
-        format!("{:.2} G", rate / 1e9)
-    } else if rate >= 1e6 {
-        format!("{:.2} M", rate / 1e6)
-    } else if rate >= 1e3 {
-        format!("{:.2} k", rate / 1e3)
-    } else {
-        format!("{rate:.1}")
+        println!(
+            "{:<42} {:>12} /iter  ({} iters)",
+            s.id,
+            format_ns(s.p50_ns),
+            s.iters,
+        );
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
+
+    fn harness(args: &[&str]) -> Harness {
+        Harness::from_arg_list(args.iter().map(|s| s.to_string()))
+    }
 
     #[test]
     fn bench_runs_and_prints() {
-        let h = Harness { filter: None };
+        let h = Harness {
+            filter: None,
+            cfg: BudgetCfg {
+                budget: Duration::from_millis(1),
+                min_iters: 5,
+            },
+        };
         let mut count = 0u64;
         h.bench("noop", 1, || count += 1);
-        assert!(count >= u64::from(MIN_ITERS));
+        assert!(count >= 5);
     }
 
     #[test]
     fn filter_skips_nonmatching() {
         let h = Harness {
             filter: Some("match-me".into()),
+            cfg: BudgetCfg {
+                budget: Duration::from_millis(1),
+                min_iters: 1,
+            },
         };
         let mut ran = false;
         h.bench("other", 1, || ran = true);
@@ -114,14 +153,34 @@ mod tests {
     }
 
     #[test]
-    fn durations_format_across_scales() {
-        assert!(format_duration(Duration::from_nanos(5)).contains("ns"));
-        assert!(format_duration(Duration::from_micros(50)).contains("µs"));
-        assert!(format_duration(Duration::from_millis(50)).contains("ms"));
-        assert!(format_duration(Duration::from_secs(50)).contains("s"));
-        assert!(format_rate(2.5e9).contains('G'));
-        assert!(format_rate(2.5e6).contains('M'));
-        assert!(format_rate(2.5e3).contains('k'));
-        assert!(format_rate(2.5).contains("2.5"));
+    fn quick_flag_selects_the_ci_budget() {
+        // The seed harness silently ignored --quick; it must now bite.
+        let h = harness(&["--quick"]);
+        assert_eq!(h.budget(), &BudgetCfg::quick());
+        assert_eq!(h.budget().budget, Duration::from_millis(50));
+    }
+
+    #[test]
+    fn budget_ms_flag_is_wired() {
+        let h = harness(&["--budget-ms", "7"]);
+        assert_eq!(h.budget().budget, Duration::from_millis(7));
+        // Malformed or zero values keep the default instead of panicking
+        // (cargo bench forwards arbitrary user args).
+        assert_eq!(
+            harness(&["--budget-ms", "x"]).budget(),
+            &BudgetCfg::default()
+        );
+        assert_eq!(
+            harness(&["--budget-ms", "0"]).budget(),
+            &BudgetCfg::default()
+        );
+    }
+
+    #[test]
+    fn filter_and_flags_coexist() {
+        let h = harness(&["--bench", "--quick", "event_queue"]);
+        assert!(h.matches("scheduler/event_queue/1024"));
+        assert!(!h.matches("rng/next_u64"));
+        assert_eq!(h.budget(), &BudgetCfg::quick());
     }
 }

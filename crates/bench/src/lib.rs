@@ -1,16 +1,36 @@
-//! Shared helpers for the benchmark suite and the `xp` experiment driver.
+//! The benchmark subsystem and the `xp` driver binary.
 //!
 //! The scientific content lives in `rapid-experiments`; this crate hosts
-//! the benches (`benches/`, driven by the dependency-free [`harness`]
-//! below) and the single `xp` binary (`src/bin/xp.rs`) so that
-//! `cargo bench --workspace` exercises the protocol kernels and
-//! `cargo run -p rapid-bench --bin xp -- run e06` (etc.) regenerates any
-//! table/figure through the experiment registry.
+//! the *measurement layer* mirroring that crate's experiment registry one
+//! level down:
+//!
+//! * [`sample`] — the [`sample::Bench`] trait, time budgets and the
+//!   machine-readable [`sample::BenchSample`];
+//! * [`registry`] — the static list of hot-path kernels
+//!   ([`registry::bench_registry`]): protocol ticks, scheduler hand-out,
+//!   topology/urn/RNG primitives, stats accumulators, full consensus runs;
+//! * [`report`] — the `BENCH_<unix-ms>.json` trajectory document with
+//!   host/commit provenance, and the noise-aware regression gate;
+//! * [`cli`] — the `xp bench` subcommand (`list` / `run` / `all`,
+//!   `--budget-ms`, `--baseline`, `--gate`);
+//! * [`harness`] — the `cargo bench` adapter, which drives the *same*
+//!   registry so the two entry points cannot disagree.
+//!
+//! The single `xp` binary (`src/bin/xp.rs`) multiplexes: `xp bench …`
+//! lands here, everything else is the experiment CLI.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod harness;
+pub mod registry;
+pub mod report;
+pub mod sample;
+
+pub use registry::bench_registry;
+pub use report::{gate, BenchReport, GateVerdict};
+pub use sample::{Bench, BenchSample, BudgetCfg};
 
 /// Standard workload used by benches: multiplicative bias counts.
 ///

@@ -1,0 +1,641 @@
+//! The static benchmark registry.
+//!
+//! One entry per hot path, mirroring the experiment registry one level
+//! down: the `xp bench` CLI, the `cargo bench` targets and the CI perf
+//! gate all enumerate the same list, so a kernel cannot silently drop out
+//! of the measured set. Groups:
+//!
+//! * `gossip` / `rapid` — single asynchronous protocol ticks on `K_n`;
+//! * `sync` — one synchronous round of the round-based protocols;
+//! * `scheduler` — activation hand-out (sequential, event-queue, jittered);
+//! * `topology` — neighbor sampling;
+//! * `urn` / `rng` / `stats` — the primitive draws and accumulators;
+//! * `consensus` — a full run to unanimity per iteration (the end-to-end
+//!   smoke kernels every experiment binary spends its time in).
+
+use rapid_core::facade::{Sim, StopCondition};
+use rapid_core::prelude::*;
+use rapid_graph::prelude::*;
+use rapid_sim::prelude::*;
+use rapid_stats::{OnlineStats, P2Quantile};
+use rapid_urn::PolyaUrn;
+
+use crate::bench_counts;
+use crate::sample::{measure, Bench, BenchSample, BudgetCfg};
+
+/// Inner batch size for kernels too fast to time individually.
+const BATCH: u64 = 10_000;
+
+/// A registry entry: a named kernel whose setup builds the timed closure.
+///
+/// `setup` runs outside the timed region (population layout, graph
+/// sampling, scheduler heap fill); only the returned closure is measured.
+struct KernelBench {
+    id: &'static str,
+    title: &'static str,
+    group: &'static str,
+    elements: u64,
+    setup: fn() -> Box<dyn FnMut()>,
+}
+
+impl Bench for KernelBench {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+
+    fn title(&self) -> &'static str {
+        self.title
+    }
+
+    fn group(&self) -> &'static str {
+        self.group
+    }
+
+    fn run(&self, cfg: &BudgetCfg) -> BenchSample {
+        let mut f = (self.setup)();
+        measure(self.id, self.group, self.elements, cfg, &mut f)
+    }
+}
+
+fn gossip_tick_4096() -> Box<dyn FnMut()> {
+    let n = 4096;
+    let counts = bench_counts(n as u64, 8, 0.3);
+    let config = Configuration::from_counts(&counts).expect("valid");
+    let source = SequentialScheduler::new(n, Seed::new(6));
+    let mut sim = AsyncGossipSim::new(
+        Complete::new(n),
+        config,
+        GossipRule::TwoChoices,
+        source,
+        Seed::new(16),
+    );
+    Box::new(move || {
+        for _ in 0..BATCH {
+            sim.tick();
+        }
+    })
+}
+
+fn rapid_tick_4096() -> Box<dyn FnMut()> {
+    let n = 4096;
+    let counts = bench_counts(n as u64, 8, 0.3);
+    let params = Params::for_network(n, 8);
+    let config = Configuration::from_counts(&counts).expect("valid");
+    let source = SequentialScheduler::new(n, Seed::new(5));
+    let mut sim = RapidSim::new(Complete::new(n), config, params, source, Seed::new(15));
+    Box::new(move || {
+        for _ in 0..BATCH {
+            sim.tick();
+        }
+    })
+}
+
+fn sync_two_choices_round_4096() -> Box<dyn FnMut()> {
+    let n = 4096;
+    let counts = bench_counts(n as u64, 8, 0.3);
+    let g = Complete::new(n);
+    let mut config = Configuration::from_counts(&counts).expect("valid");
+    let mut rng = SimRng::from_seed_value(Seed::new(1));
+    let mut proto = TwoChoices::new();
+    Box::new(move || proto.round(&g, &mut config, &mut rng))
+}
+
+fn sync_three_majority_round_4096() -> Box<dyn FnMut()> {
+    let n = 4096;
+    let counts = bench_counts(n as u64, 8, 0.3);
+    let g = Complete::new(n);
+    let mut config = Configuration::from_counts(&counts).expect("valid");
+    let mut rng = SimRng::from_seed_value(Seed::new(2));
+    let mut proto = ThreeMajority::new();
+    Box::new(move || proto.round(&g, &mut config, &mut rng))
+}
+
+fn sync_voter_round_4096() -> Box<dyn FnMut()> {
+    let n = 4096;
+    let counts = bench_counts(n as u64, 8, 0.3);
+    let g = Complete::new(n);
+    let mut config = Configuration::from_counts(&counts).expect("valid");
+    let mut rng = SimRng::from_seed_value(Seed::new(3));
+    let mut proto = Voter::new();
+    Box::new(move || proto.round(&g, &mut config, &mut rng))
+}
+
+fn sync_one_extra_bit_round_4096() -> Box<dyn FnMut()> {
+    let n = 4096;
+    let counts = bench_counts(n as u64, 8, 0.3);
+    let g = Complete::new(n);
+    let mut config = Configuration::from_counts(&counts).expect("valid");
+    let mut rng = SimRng::from_seed_value(Seed::new(4));
+    let mut proto = OneExtraBit::for_network(n, 8);
+    Box::new(move || proto.round(&g, &mut config, &mut rng))
+}
+
+fn scheduler_sequential_expected_1024() -> Box<dyn FnMut()> {
+    let mut s = SequentialScheduler::new(1024, Seed::new(1));
+    Box::new(move || {
+        for _ in 0..BATCH {
+            std::hint::black_box(s.next_activation());
+        }
+    })
+}
+
+fn scheduler_sequential_sampled_1024() -> Box<dyn FnMut()> {
+    let mut s = SequentialScheduler::with_mode(1024, Seed::new(2), TimeMode::Sampled);
+    Box::new(move || {
+        for _ in 0..BATCH {
+            std::hint::black_box(s.next_activation());
+        }
+    })
+}
+
+fn scheduler_event_queue_1024() -> Box<dyn FnMut()> {
+    let mut s = EventQueueScheduler::new(1024, Seed::new(3), 1.0);
+    Box::new(move || {
+        for _ in 0..BATCH {
+            std::hint::black_box(s.next_activation());
+        }
+    })
+}
+
+fn scheduler_event_queue_65536() -> Box<dyn FnMut()> {
+    let mut s = EventQueueScheduler::new(1 << 16, Seed::new(3), 1.0);
+    Box::new(move || {
+        for _ in 0..BATCH {
+            std::hint::black_box(s.next_activation());
+        }
+    })
+}
+
+fn scheduler_jittered_1024() -> Box<dyn FnMut()> {
+    let inner = SequentialScheduler::with_mode(1024, Seed::new(4), TimeMode::Sampled);
+    let mut s = JitteredScheduler::new(inner, Seed::new(5), 2.0);
+    Box::new(move || {
+        for _ in 0..BATCH {
+            std::hint::black_box(s.next_activation());
+        }
+    })
+}
+
+fn topology_complete_sample_65536() -> Box<dyn FnMut()> {
+    let g = Complete::new(1 << 16);
+    let mut rng = SimRng::from_seed_value(Seed::new(4));
+    let u = NodeId::new(7);
+    Box::new(move || {
+        let mut acc = 0usize;
+        for _ in 0..BATCH {
+            acc += g.sample_neighbor(u, &mut rng).index();
+        }
+        std::hint::black_box(acc);
+    })
+}
+
+fn topology_regular_sample_4096() -> Box<dyn FnMut()> {
+    let g = RandomRegular::sample(1 << 12, 8, Seed::new(5)).expect("samplable");
+    let mut rng = SimRng::from_seed_value(Seed::new(6));
+    let u = NodeId::new(7);
+    Box::new(move || {
+        let mut acc = 0usize;
+        for _ in 0..BATCH {
+            acc += g.sample_neighbor(u, &mut rng).index();
+        }
+        std::hint::black_box(acc);
+    })
+}
+
+fn urn_polya_step() -> Box<dyn FnMut()> {
+    let mut urn = PolyaUrn::new(vec![100, 50, 25], 1).expect("valid");
+    let mut rng = SimRng::from_seed_value(Seed::new(7));
+    Box::new(move || {
+        let mut acc = 0usize;
+        for _ in 0..BATCH {
+            acc += urn.step(&mut rng);
+        }
+        std::hint::black_box(acc);
+    })
+}
+
+fn urn_beta_sample() -> Box<dyn FnMut()> {
+    let d = rapid_urn::BetaDistribution::new(3.0, 7.0);
+    let mut rng = SimRng::from_seed_value(Seed::new(8));
+    Box::new(move || {
+        let mut acc = 0.0;
+        for _ in 0..BATCH {
+            acc += d.sample(&mut rng);
+        }
+        std::hint::black_box(acc);
+    })
+}
+
+fn rng_next_u64() -> Box<dyn FnMut()> {
+    let mut rng = SimRng::from_seed_value(Seed::new(1));
+    Box::new(move || {
+        let mut acc = 0u64;
+        for _ in 0..BATCH {
+            acc = acc.wrapping_add(rng.next_u64());
+        }
+        std::hint::black_box(acc);
+    })
+}
+
+fn rng_bounded() -> Box<dyn FnMut()> {
+    let mut rng = SimRng::from_seed_value(Seed::new(2));
+    Box::new(move || {
+        let mut acc = 0u64;
+        for _ in 0..BATCH {
+            acc += rng.bounded(12_345);
+        }
+        std::hint::black_box(acc);
+    })
+}
+
+fn rng_unit_f64() -> Box<dyn FnMut()> {
+    let mut rng = SimRng::from_seed_value(Seed::new(3));
+    Box::new(move || {
+        let mut acc = 0.0;
+        for _ in 0..BATCH {
+            acc += rng.unit_f64();
+        }
+        std::hint::black_box(acc);
+    })
+}
+
+fn stats_online_push() -> Box<dyn FnMut()> {
+    let mut x = 0.0f64;
+    Box::new(move || {
+        let mut acc = OnlineStats::new();
+        for _ in 0..BATCH {
+            x = (x + 0.618_033_988_749_895) % 1.0;
+            acc.push(x);
+        }
+        std::hint::black_box(acc.mean());
+    })
+}
+
+fn stats_p2_quantile_push() -> Box<dyn FnMut()> {
+    let mut x = 0.0f64;
+    Box::new(move || {
+        let mut q = P2Quantile::new(0.5);
+        for _ in 0..BATCH {
+            x = (x + 0.618_033_988_749_895) % 1.0;
+            q.push(x);
+        }
+        std::hint::black_box(q.estimate());
+    })
+}
+
+fn consensus_gossip_run() -> Box<dyn FnMut()> {
+    let counts = bench_counts(4096, 8, 0.5);
+    let mut seed = 0u64;
+    Box::new(move || {
+        seed += 1;
+        let out = Sim::builder()
+            .topology(Complete::new(4096))
+            .counts(&counts)
+            .gossip(GossipRule::TwoChoices)
+            .seed(Seed::new(seed))
+            .stop(StopCondition::StepBudget(50_000_000))
+            .build()
+            .expect("valid")
+            .run();
+        assert!(out.converged(), "converges");
+    })
+}
+
+fn consensus_rapid_run() -> Box<dyn FnMut()> {
+    let counts = bench_counts(1024, 4, 0.5);
+    let params = Params::for_network_with_eps(1024, 4, 0.5);
+    let mut seed = 0u64;
+    Box::new(move || {
+        seed += 1;
+        let out = Sim::builder()
+            .topology(Complete::new(1024))
+            .counts(&counts)
+            .rapid(params)
+            .seed(Seed::new(seed))
+            .build()
+            .expect("valid")
+            .run();
+        assert!(out.converged(), "converges");
+    })
+}
+
+fn consensus_gossip_endgame_halt_run() -> Box<dyn FnMut()> {
+    // The Theorem 1.3 endgame: dominant start, per-node halt budget —
+    // exercises the freeze bookkeeping the plain gossip run never hits.
+    let mut seed = 0u64;
+    Box::new(move || {
+        seed += 1;
+        let out = Sim::builder()
+            .topology(Complete::new(2048))
+            .counts(&[1948, 100])
+            .gossip(GossipRule::TwoChoices)
+            .halt_after(200)
+            .seed(Seed::new(seed))
+            .stop(StopCondition::StepBudget(50_000_000))
+            .build()
+            .expect("valid")
+            .run();
+        assert!(out.converged(), "converges");
+    })
+}
+
+fn consensus_sync_two_choices_run() -> Box<dyn FnMut()> {
+    let counts = bench_counts(4096, 8, 0.5);
+    let mut seed = 0u64;
+    Box::new(move || {
+        seed += 1;
+        let out = Sim::builder()
+            .topology(Complete::new(4096))
+            .counts(&counts)
+            .protocol(TwoChoices::new())
+            .seed(Seed::new(seed))
+            .stop(StopCondition::RoundBudget(100_000))
+            .build()
+            .expect("valid")
+            .run();
+        assert!(out.converged(), "converges");
+    })
+}
+
+macro_rules! kernel {
+    ($id:literal, $title:literal, $group:literal, $elements:expr, $setup:path) => {
+        KernelBench {
+            id: $id,
+            title: $title,
+            group: $group,
+            elements: $elements,
+            setup: $setup,
+        }
+    };
+}
+
+static KERNELS: [KernelBench; 24] = [
+    kernel!(
+        "consensus/gossip_endgame_halt/2048",
+        "async Two-Choices endgame run with a 200-tick halt budget, n=2048",
+        "consensus",
+        1,
+        consensus_gossip_endgame_halt_run
+    ),
+    kernel!(
+        "consensus/gossip_two_choices/4096x8",
+        "full async Two-Choices run to unanimity, n=4096 k=8",
+        "consensus",
+        1,
+        consensus_gossip_run
+    ),
+    kernel!(
+        "consensus/rapid/1024x4",
+        "full Rapid protocol run to unanimity, n=1024 k=4",
+        "consensus",
+        1,
+        consensus_rapid_run
+    ),
+    kernel!(
+        "consensus/sync_two_choices/4096x8",
+        "full synchronous Two-Choices run to unanimity, n=4096 k=8",
+        "consensus",
+        1,
+        consensus_sync_two_choices_run
+    ),
+    kernel!(
+        "gossip/clique_tick/4096",
+        "10k async gossip ticks (Two-Choices) on K_4096, k=8",
+        "gossip",
+        BATCH,
+        gossip_tick_4096
+    ),
+    kernel!(
+        "rapid/clique_tick/4096",
+        "10k Rapid two-phase protocol ticks on K_4096, k=8",
+        "rapid",
+        BATCH,
+        rapid_tick_4096
+    ),
+    kernel!(
+        "rng/bounded",
+        "10k Lemire bounded draws",
+        "rng",
+        BATCH,
+        rng_bounded
+    ),
+    kernel!(
+        "rng/next_u64",
+        "10k raw xoshiro256++ outputs",
+        "rng",
+        BATCH,
+        rng_next_u64
+    ),
+    kernel!(
+        "rng/unit_f64",
+        "10k uniform [0,1) doubles",
+        "rng",
+        BATCH,
+        rng_unit_f64
+    ),
+    kernel!(
+        "scheduler/event_queue/1024",
+        "10k event-queue heap pops/pushes, n=1024",
+        "scheduler",
+        BATCH,
+        scheduler_event_queue_1024
+    ),
+    kernel!(
+        "scheduler/event_queue/65536",
+        "10k event-queue heap pops/pushes, n=65536",
+        "scheduler",
+        BATCH,
+        scheduler_event_queue_65536
+    ),
+    kernel!(
+        "scheduler/jittered/1024",
+        "10k jittered activations (exp. response delay), n=1024",
+        "scheduler",
+        BATCH,
+        scheduler_jittered_1024
+    ),
+    kernel!(
+        "scheduler/sequential_expected/1024",
+        "10k sequential-model activations, expected time",
+        "scheduler",
+        BATCH,
+        scheduler_sequential_expected_1024
+    ),
+    kernel!(
+        "scheduler/sequential_sampled/1024",
+        "10k sequential-model activations, sampled gaps",
+        "scheduler",
+        BATCH,
+        scheduler_sequential_sampled_1024
+    ),
+    kernel!(
+        "stats/online_push",
+        "10k Welford accumulator pushes",
+        "stats",
+        BATCH,
+        stats_online_push
+    ),
+    kernel!(
+        "stats/p2_quantile_push",
+        "10k P² streaming-median pushes",
+        "stats",
+        BATCH,
+        stats_p2_quantile_push
+    ),
+    kernel!(
+        "sync/one_extra_bit_round/4096",
+        "one synchronous OneExtraBit round on K_4096, k=8",
+        "sync",
+        4096,
+        sync_one_extra_bit_round_4096
+    ),
+    kernel!(
+        "sync/three_majority_round/4096",
+        "one synchronous 3-Majority round on K_4096, k=8",
+        "sync",
+        4096,
+        sync_three_majority_round_4096
+    ),
+    kernel!(
+        "sync/two_choices_round/4096",
+        "one synchronous Two-Choices round on K_4096, k=8",
+        "sync",
+        4096,
+        sync_two_choices_round_4096
+    ),
+    kernel!(
+        "sync/voter_round/4096",
+        "one synchronous Voter round on K_4096, k=8",
+        "sync",
+        4096,
+        sync_voter_round_4096
+    ),
+    kernel!(
+        "topology/complete_sample/65536",
+        "10k O(1) neighbor draws on K_65536",
+        "topology",
+        BATCH,
+        topology_complete_sample_65536
+    ),
+    kernel!(
+        "topology/regular_sample/4096",
+        "10k neighbor draws on an 8-regular random graph",
+        "topology",
+        BATCH,
+        topology_regular_sample_4096
+    ),
+    kernel!(
+        "urn/beta_sample",
+        "10k Beta(3,7) draws (the urn's limit law)",
+        "urn",
+        BATCH,
+        urn_beta_sample
+    ),
+    kernel!(
+        "urn/polya_step",
+        "10k Pólya urn reinforcement steps",
+        "urn",
+        BATCH,
+        urn_polya_step
+    ),
+];
+
+/// Every benchmark, sorted by [`Bench::id`].
+pub fn bench_registry() -> Vec<&'static dyn Bench> {
+    KERNELS.iter().map(|k| k as &dyn Bench).collect()
+}
+
+/// Looks up a benchmark by exact id (case-sensitive — ids are lowercase).
+pub fn find(id: &str) -> Option<&'static dyn Bench> {
+    KERNELS.iter().find(|k| k.id == id).map(|k| k as &dyn Bench)
+}
+
+/// Expands CLI selectors into registry benches: a selector matches on
+/// exact id, exact group, or id substring. Benches are returned in
+/// registry order, deduplicated. Unmatched selectors are reported.
+pub fn select(selectors: &[String]) -> Result<Vec<&'static dyn Bench>, String> {
+    let mut chosen: Vec<&'static dyn Bench> = Vec::new();
+    for sel in selectors {
+        let mut matched = false;
+        for k in &KERNELS {
+            if k.id == sel || k.group == sel || k.id.contains(sel.as_str()) {
+                matched = true;
+                if !chosen.iter().any(|b| b.id() == k.id) {
+                    chosen.push(k as &dyn Bench);
+                }
+            }
+        }
+        if !matched {
+            return Err(sel.clone());
+        }
+    }
+    chosen.sort_by_key(|b| b.id());
+    Ok(chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_sorted_and_grouped() {
+        let ids: Vec<&str> = bench_registry().iter().map(|b| b.id()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids, sorted, "ids must be unique and sorted");
+        for b in bench_registry() {
+            assert!(b.id().starts_with(b.group()), "{} not under group", b.id());
+            assert!(!b.title().is_empty());
+        }
+    }
+
+    #[test]
+    fn registry_covers_the_paper_hot_paths() {
+        let groups: std::collections::BTreeSet<&str> =
+            bench_registry().iter().map(|b| b.group()).collect();
+        for g in [
+            "consensus",
+            "gossip",
+            "rapid",
+            "rng",
+            "scheduler",
+            "stats",
+            "sync",
+            "topology",
+            "urn",
+        ] {
+            assert!(groups.contains(g), "no benches in group {g}");
+        }
+    }
+
+    #[test]
+    fn find_and_select_resolve() {
+        assert!(find("rng/next_u64").is_some());
+        assert!(find("nope").is_none());
+        let by_group = select(&["scheduler".to_string()]).expect("matches");
+        assert!(by_group.len() >= 4);
+        let by_substring = select(&["event_queue".to_string()]).expect("matches");
+        assert_eq!(by_substring.len(), 2);
+        let dedup = select(&["rng".to_string(), "rng/bounded".to_string()]).expect("matches");
+        assert_eq!(dedup.len(), 3, "selectors must not duplicate benches");
+        let err = match select(&["bogus".to_string()]) {
+            Err(sel) => sel,
+            Ok(_) => panic!("bogus selector must not match"),
+        };
+        assert_eq!(err, "bogus");
+    }
+
+    #[test]
+    fn a_fast_kernel_produces_a_plausible_sample() {
+        let cfg = BudgetCfg {
+            budget: std::time::Duration::from_millis(5),
+            min_iters: 3,
+        };
+        let s = find("rng/next_u64").expect("registered").run(&cfg);
+        assert_eq!(s.id, "rng/next_u64");
+        assert!(s.iters >= 3);
+        assert!(s.p50_ns > 0.0);
+        assert!(s.throughput() > 0.0);
+    }
+}

@@ -1,0 +1,529 @@
+//! The `BENCH_*.json` trajectory format and the regression gate.
+//!
+//! Every `xp bench` run emits one machine-readable document — per-bench
+//! nanoseconds/iteration quantiles plus host and commit provenance — named
+//! `BENCH_<unix-ms>.json` so a directory of them is a performance
+//! *trajectory*. Two documents can be diffed into a [`GateVerdict`]: the
+//! regression gate joins runs on bench id, compares medians (the
+//! noise-aware statistic), and fails only when a bench slowed beyond the
+//! configured percentage *and* a small absolute floor, so shared-runner
+//! jitter on nanosecond-scale kernels cannot flip CI.
+
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use rapid_experiments::json::JsonValue;
+
+use crate::sample::{BenchSample, SchemaError};
+
+/// The format tag written into every document.
+pub const SCHEMA: &str = "rapid-bench/1";
+
+/// Regressions smaller than this many ns/iter never fail the gate, no
+/// matter the ratio: at that scale the measurement is timer noise.
+pub const ABSOLUTE_FLOOR_NS: f64 = 100.0;
+
+/// Where the measurement ran (coarse provenance, std-only).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HostInfo {
+    /// `std::env::consts::OS`.
+    pub os: String,
+    /// `std::env::consts::ARCH`.
+    pub arch: String,
+    /// Available hardware parallelism (0 if unknown).
+    pub cpus: u64,
+}
+
+impl HostInfo {
+    /// Probes the current host.
+    pub fn current() -> Self {
+        HostInfo {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpus: std::thread::available_parallelism().map_or(0, |p| p.get() as u64),
+        }
+    }
+}
+
+/// One benchmark run: provenance plus every [`BenchSample`] measured.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Format tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Milliseconds since the Unix epoch when the run started; also the
+    /// file-name timestamp.
+    pub created_unix_ms: u64,
+    /// The per-bench budget in milliseconds.
+    pub budget_ms: u64,
+    /// Host provenance.
+    pub host: HostInfo,
+    /// The commit measured (`GITHUB_SHA`, else `git rev-parse HEAD`).
+    pub commit: Option<String>,
+    /// The measurements, in run order (registry order).
+    pub samples: Vec<BenchSample>,
+}
+
+impl BenchReport {
+    /// Wraps measured samples with current host/commit/time provenance.
+    pub fn new(budget_ms: u64, samples: Vec<BenchSample>) -> Self {
+        BenchReport {
+            schema: SCHEMA.to_string(),
+            created_unix_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map_or(0, |d| d.as_millis() as u64),
+            budget_ms,
+            host: HostInfo::current(),
+            commit: detect_commit(),
+            samples,
+        }
+    }
+
+    /// The canonical trajectory file name: `BENCH_<unix-ms>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.created_unix_ms)
+    }
+
+    /// The document as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_pretty()
+    }
+
+    /// The document as a [`JsonValue`] (so callers can graft extra
+    /// members, e.g. the CLI's embedded gate verdict).
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::object([
+            ("schema", JsonValue::String(self.schema.clone())),
+            ("created_unix_ms", JsonValue::U64(self.created_unix_ms)),
+            ("budget_ms", JsonValue::U64(self.budget_ms)),
+            (
+                "host",
+                JsonValue::object([
+                    ("os", JsonValue::String(self.host.os.clone())),
+                    ("arch", JsonValue::String(self.host.arch.clone())),
+                    ("cpus", JsonValue::U64(self.host.cpus)),
+                ]),
+            ),
+            (
+                "commit",
+                match &self.commit {
+                    Some(c) => JsonValue::String(c.clone()),
+                    None => JsonValue::Null,
+                },
+            ),
+            (
+                "samples",
+                JsonValue::Array(
+                    self.samples
+                        .iter()
+                        .map(BenchSample::to_json_value)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a document produced by [`BenchReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError`] naming the first missing or mistyped field
+    /// (malformed JSON maps to the synthetic field `"<json>"`).
+    pub fn from_json(doc: &str) -> Result<BenchReport, SchemaError> {
+        let v = rapid_experiments::json::parse(doc).map_err(|_| SchemaError {
+            path: "<json>",
+            expected: "valid JSON document",
+        })?;
+        let str_field = |key: &'static str| {
+            v.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or(SchemaError {
+                    path: key,
+                    expected: "string",
+                })
+        };
+        let u64_field = |key: &'static str| {
+            v.get(key).and_then(JsonValue::as_u64).ok_or(SchemaError {
+                path: key,
+                expected: "unsigned integer",
+            })
+        };
+        let schema = str_field("schema")?;
+        if schema != SCHEMA {
+            return Err(SchemaError {
+                path: "schema",
+                expected: "rapid-bench/1 document",
+            });
+        }
+        let host = v.get("host").ok_or(SchemaError {
+            path: "host",
+            expected: "object",
+        })?;
+        let samples = v
+            .get("samples")
+            .and_then(JsonValue::as_array)
+            .ok_or(SchemaError {
+                path: "samples",
+                expected: "array",
+            })?
+            .iter()
+            .map(BenchSample::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchReport {
+            schema,
+            created_unix_ms: u64_field("created_unix_ms")?,
+            budget_ms: u64_field("budget_ms")?,
+            host: HostInfo {
+                os: host
+                    .get("os")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                arch: host
+                    .get("arch")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                cpus: host.get("cpus").and_then(JsonValue::as_u64).unwrap_or(0),
+            },
+            commit: v
+                .get("commit")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
+            samples,
+        })
+    }
+
+    /// Loads a report from a file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors come back as `Err(Ok(_))`-free plain strings suitable for
+    /// CLI display: the file path plus the underlying cause.
+    pub fn load(path: &Path) -> Result<BenchReport, String> {
+        let doc = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        BenchReport::from_json(&doc).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Writes the document into `dir` under [`BenchReport::file_name`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and write errors.
+    pub fn save(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// A sample by bench id.
+    pub fn sample(&self, id: &str) -> Option<&BenchSample> {
+        self.samples.iter().find(|s| s.id == id)
+    }
+}
+
+fn detect_commit() -> Option<String> {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return Some(sha);
+        }
+    }
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let sha = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    (!sha.is_empty()).then_some(sha)
+}
+
+/// One bench's comparison against the baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateEntry {
+    /// The bench id both runs measured.
+    pub id: String,
+    /// Baseline median ns/iter.
+    pub baseline_ns: f64,
+    /// Current median ns/iter.
+    pub current_ns: f64,
+    /// `current / baseline` (> 1 means slower).
+    pub ratio: f64,
+    /// Whether this entry fails the gate.
+    pub regressed: bool,
+}
+
+/// The regression verdict for a run against a baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateVerdict {
+    /// Per-bench comparisons, in current-run order.
+    pub entries: Vec<GateEntry>,
+    /// Bench ids measured now but absent from the baseline (new benches —
+    /// informational, never a failure).
+    pub missing_in_baseline: Vec<String>,
+    /// Bench ids in the baseline but not measured now (retired or
+    /// filtered out — informational).
+    pub missing_in_current: Vec<String>,
+    /// The gate percentage applied.
+    pub gate_pct: f64,
+}
+
+impl GateVerdict {
+    /// Whether the run is regression-free.
+    pub fn passed(&self) -> bool {
+        self.entries.iter().all(|e| !e.regressed)
+    }
+
+    /// The entries that fail the gate.
+    pub fn regressions(&self) -> Vec<&GateEntry> {
+        self.entries.iter().filter(|e| e.regressed).collect()
+    }
+
+    /// The verdict as a JSON fragment (embedded in `--format json` output).
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::object([
+            ("gate_pct", JsonValue::Number(self.gate_pct)),
+            ("passed", JsonValue::Bool(self.passed())),
+            (
+                "entries",
+                JsonValue::Array(
+                    self.entries
+                        .iter()
+                        .map(|e| {
+                            JsonValue::object([
+                                ("id", JsonValue::String(e.id.clone())),
+                                ("baseline_ns", JsonValue::Number(e.baseline_ns)),
+                                ("current_ns", JsonValue::Number(e.current_ns)),
+                                ("ratio", JsonValue::Number(e.ratio)),
+                                ("regressed", JsonValue::Bool(e.regressed)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "missing_in_baseline",
+                JsonValue::strings(&self.missing_in_baseline),
+            ),
+            (
+                "missing_in_current",
+                JsonValue::strings(&self.missing_in_current),
+            ),
+        ])
+    }
+}
+
+impl GateVerdict {
+    /// The per-bench comparison table, without the enforcement line.
+    pub fn comparison_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<42} {:>14} {:>14} {:>8}  verdict",
+            "bench", "baseline", "current", "ratio"
+        );
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "{:<42} {:>11.1} ns {:>11.1} ns {:>8.3}  {}",
+                e.id,
+                e.baseline_ns,
+                e.current_ns,
+                e.ratio,
+                if e.regressed { "REGRESSED" } else { "ok" }
+            );
+        }
+        for id in &self.missing_in_baseline {
+            let _ = writeln!(out, "{id:<42} (not in baseline — skipped)");
+        }
+        for id in &self.missing_in_current {
+            let _ = writeln!(out, "{id:<42} (in baseline, not measured)");
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for GateVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.comparison_table())?;
+        write!(
+            f,
+            "gate: fail above {:.0}% slower (and > {ABSOLUTE_FLOOR_NS:.0} ns absolute) → {}",
+            self.gate_pct,
+            if self.passed() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// Compares `current` against `baseline` with a `gate_pct` threshold.
+///
+/// A bench regresses when its median slowed by more than `gate_pct`
+/// percent **and** by more than [`ABSOLUTE_FLOOR_NS`] absolute — the
+/// second clause keeps timer noise on nanosecond kernels from flipping
+/// CI. Benches present on only one side never fail the gate; they are
+/// listed in the verdict so a silently shrinking measured set is visible.
+pub fn gate(current: &BenchReport, baseline: &BenchReport, gate_pct: f64) -> GateVerdict {
+    let threshold = 1.0 + gate_pct / 100.0;
+    let mut entries = Vec::new();
+    let mut missing_in_baseline = Vec::new();
+    for s in &current.samples {
+        match baseline.sample(&s.id) {
+            None => missing_in_baseline.push(s.id.clone()),
+            Some(b) => {
+                let ratio = if b.p50_ns > 0.0 {
+                    s.p50_ns / b.p50_ns
+                } else {
+                    f64::INFINITY
+                };
+                let regressed = ratio > threshold && (s.p50_ns - b.p50_ns) > ABSOLUTE_FLOOR_NS;
+                entries.push(GateEntry {
+                    id: s.id.clone(),
+                    baseline_ns: b.p50_ns,
+                    current_ns: s.p50_ns,
+                    ratio,
+                    regressed,
+                });
+            }
+        }
+    }
+    let missing_in_current = baseline
+        .samples
+        .iter()
+        .filter(|b| current.sample(&b.id).is_none())
+        .map(|b| b.id.clone())
+        .collect();
+    GateVerdict {
+        entries,
+        missing_in_baseline,
+        missing_in_current,
+        gate_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(id: &str, p50: f64) -> BenchSample {
+        BenchSample {
+            id: id.into(),
+            group: id.split('/').next().expect("non-empty").into(),
+            elements: 1,
+            iters: 10,
+            total_ns: 1000,
+            mean_ns: p50,
+            min_ns: p50,
+            p10_ns: p50,
+            p50_ns: p50,
+            p90_ns: p50,
+            max_ns: p50,
+        }
+    }
+
+    fn report(samples: Vec<BenchSample>) -> BenchReport {
+        BenchReport::new(300, samples)
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = report(vec![sample("a/x", 1000.0), sample("b/y", 2000.0)]);
+        let parsed = BenchReport::from_json(&r.to_json()).expect("round-trip");
+        assert_eq!(parsed, r);
+        assert!(r.file_name().starts_with("BENCH_"));
+        assert!(r.file_name().ends_with(".json"));
+    }
+
+    #[test]
+    fn report_records_provenance() {
+        let r = report(vec![]);
+        assert_eq!(r.schema, SCHEMA);
+        assert!(!r.host.os.is_empty());
+        assert!(!r.host.arch.is_empty());
+        // Inside this repo the commit is detectable (git or GITHUB_SHA).
+        assert!(r.commit.is_some(), "commit provenance should resolve here");
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_field_names() {
+        assert_eq!(
+            BenchReport::from_json("not json")
+                .expect_err("rejected")
+                .path,
+            "<json>"
+        );
+        assert_eq!(
+            BenchReport::from_json("{}").expect_err("rejected").path,
+            "schema"
+        );
+        let wrong = r#"{"schema": "other/9"}"#;
+        assert_eq!(
+            BenchReport::from_json(wrong).expect_err("rejected").path,
+            "schema"
+        );
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_fails_beyond() {
+        let base = report(vec![sample("a/x", 1000.0), sample("b/y", 1000.0)]);
+        let ok = report(vec![sample("a/x", 1400.0), sample("b/y", 900.0)]);
+        let v = gate(&ok, &base, 100.0);
+        assert!(v.passed(), "{v}");
+        assert_eq!(v.entries.len(), 2);
+
+        let bad = report(vec![sample("a/x", 2500.0), sample("b/y", 900.0)]);
+        let v = gate(&bad, &base, 100.0);
+        assert!(!v.passed());
+        let regs = v.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].id, "a/x");
+        assert!((regs[0].ratio - 2.5).abs() < 1e-9);
+        assert!(v.to_string().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn gate_ignores_sub_floor_noise_even_at_huge_ratios() {
+        // 3x slower but only 80 ns absolute: timer noise, not a regression.
+        let base = report(vec![sample("a/x", 40.0)]);
+        let cur = report(vec![sample("a/x", 120.0)]);
+        assert!(gate(&cur, &base, 100.0).passed());
+    }
+
+    #[test]
+    fn gate_reports_missing_benches_without_failing() {
+        let base = report(vec![sample("a/x", 1000.0), sample("old/z", 1.0)]);
+        let cur = report(vec![sample("a/x", 1000.0), sample("new/w", 1.0)]);
+        let v = gate(&cur, &base, 100.0);
+        assert!(v.passed());
+        assert_eq!(v.missing_in_baseline, vec!["new/w".to_string()]);
+        assert_eq!(v.missing_in_current, vec!["old/z".to_string()]);
+        let txt = v.to_string();
+        assert!(txt.contains("not in baseline"));
+        assert!(txt.contains("not measured"));
+    }
+
+    #[test]
+    fn save_writes_the_timestamped_file() {
+        let dir = std::env::temp_dir().join("rapid-bench-save-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let r = report(vec![sample("a/x", 1.0)]);
+        let path = r.save(&dir).expect("saved");
+        assert_eq!(
+            path.file_name().expect("name").to_string_lossy(),
+            r.file_name()
+        );
+        let loaded = BenchReport::load(&path).expect("loads");
+        assert_eq!(loaded, r);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_a_readable_error() {
+        let err = BenchReport::load(Path::new("/nonexistent/baseline.json")).expect_err("missing");
+        assert!(err.contains("/nonexistent/baseline.json"));
+    }
+}

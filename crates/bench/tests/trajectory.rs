@@ -1,0 +1,126 @@
+//! End-to-end tests of the BENCH_*.json trajectory: measure through the
+//! real registry, serialise, reload, and gate — the exact path the CI
+//! perf job exercises.
+
+use std::time::Duration;
+
+use rapid_bench::report::{gate, BenchReport};
+use rapid_bench::sample::BudgetCfg;
+use rapid_bench::{bench_registry, BenchSample};
+
+fn tiny_budget() -> BudgetCfg {
+    BudgetCfg {
+        budget: Duration::from_millis(2),
+        min_iters: 2,
+    }
+}
+
+/// A cheap subset of the registry (skips whole-consensus runs so the
+/// suite stays fast).
+fn quick_samples() -> Vec<BenchSample> {
+    bench_registry()
+        .iter()
+        .filter(|b| ["rng", "stats", "urn"].contains(&b.group()))
+        .map(|b| b.run(&tiny_budget()))
+        .collect()
+}
+
+#[test]
+fn registry_measurements_round_trip_through_bench_json() {
+    let samples = quick_samples();
+    assert!(samples.len() >= 5);
+    let report = BenchReport::new(2, samples);
+    let doc = report.to_json();
+    let parsed = BenchReport::from_json(&doc).expect("schema-valid document");
+    assert_eq!(parsed, report);
+    // The document carries the machine-checkable essentials.
+    assert!(doc.contains("\"schema\": \"rapid-bench/1\""));
+    assert!(doc.contains("\"throughput_elem_per_s\""));
+    assert!(doc.contains("\"p50\""));
+}
+
+#[test]
+fn self_gate_passes_and_saved_file_reloads() {
+    let report = BenchReport::new(2, quick_samples());
+    let verdict = gate(&report, &report, 100.0);
+    assert!(verdict.passed(), "a run can never regress against itself");
+    assert_eq!(verdict.entries.len(), report.samples.len());
+    assert!(verdict.missing_in_baseline.is_empty());
+    assert!(verdict.missing_in_current.is_empty());
+
+    let dir = std::env::temp_dir().join("rapid-bench-trajectory-test");
+    std::fs::remove_dir_all(&dir).ok();
+    let path = report.save(&dir).expect("saved");
+    assert!(path
+        .file_name()
+        .expect("file name")
+        .to_string_lossy()
+        .starts_with("BENCH_"));
+    let reloaded = BenchReport::load(&path).expect("reloads");
+    assert_eq!(reloaded, report);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn doubled_medians_fail_a_100_percent_gate() {
+    let baseline = BenchReport::new(2, quick_samples());
+    let mut current = baseline.clone();
+    for s in &mut current.samples {
+        s.p50_ns = s.p50_ns * 2.0 + 10_000.0; // beyond ratio and floor
+    }
+    let verdict = gate(&current, &baseline, 100.0);
+    assert!(!verdict.passed());
+    assert_eq!(verdict.regressions().len(), current.samples.len());
+    // The same slowdown passes a sufficiently generous gate.
+    let generous = gate(&current, &baseline, 10_000.0);
+    assert!(generous.passed());
+}
+
+#[test]
+fn readme_performance_table_matches_the_committed_baseline() {
+    // The README's hot-path table is generated from bench/baseline.json;
+    // this keeps the two from drifting (refresh procedure: README
+    // § Performance).
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let baseline = BenchReport::load(&root.join("bench").join("baseline.json")).expect("parses");
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("README exists");
+    let table = readme
+        .split("<!-- bench-baseline:begin -->")
+        .nth(1)
+        .and_then(|s| s.split("<!-- bench-baseline:end -->").next())
+        .expect("README has the bench-baseline markers");
+    for s in &baseline.samples {
+        let row_prefix = format!("| `{}` | {} |", s.id, rapid_bench::cli::format_ns(s.p50_ns));
+        assert!(
+            table.contains(&row_prefix),
+            "README row for {} out of sync with bench/baseline.json \
+             (expected a row starting {row_prefix:?})",
+            s.id
+        );
+    }
+}
+
+#[test]
+fn committed_ci_baseline_stays_schema_valid_and_covers_the_registry() {
+    // The CI perf job diffs against this file; a malformed or stale
+    // baseline must fail here, at test time, not on a runner.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("bench")
+        .join("baseline.json");
+    let baseline = BenchReport::load(&path).expect("bench/baseline.json parses");
+    for b in bench_registry() {
+        assert!(
+            baseline.sample(b.id()).is_some(),
+            "bench {} missing from bench/baseline.json — refresh it \
+             (see README § Performance)",
+            b.id()
+        );
+    }
+}

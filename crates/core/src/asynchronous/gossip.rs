@@ -252,11 +252,17 @@ impl<G: Topology, S: ActivationSource> AsyncGossipSim<G, S> {
                 steps: self.steps,
             });
         }
+        let n = self.config.n() as u64;
         for _ in 0..max_steps {
-            self.tick();
-            if let Some(winner) = self.config.unanimous() {
+            let a = self.tick();
+            // A non-unanimous configuration can only become unanimous by
+            // the ticked node adopting the winning color, so one histogram
+            // lookup on that node's (possibly new) color replaces the O(k)
+            // full scan — same outcome, same RNG stream.
+            let cu = self.config.color(a.node);
+            if self.config.counts().count(cu) == n {
                 return Ok(AsyncOutcome {
-                    winner,
+                    winner: cu,
                     time: self.now,
                     steps: self.steps,
                 });

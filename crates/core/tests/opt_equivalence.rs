@@ -1,0 +1,162 @@
+//! Pins asynchronous simulation outcomes across the hot-path optimizations.
+//!
+//! `AsyncGossipSim::run_until_consensus` replaced its per-tick O(k)
+//! unanimity scan with a single histogram lookup on the ticked node's
+//! color, and the schedulers underneath were optimized (in-place heap root
+//! replacement, precomputed expected gap). None of these may change a
+//! simulation result: the golden values below — winner, step count, and
+//! the exact bit pattern of the consensus time — were captured from the
+//! pre-optimization code, and every path (sequential and event-queue
+//! clocks, halt budgets, the full Rapid protocol) must still reproduce
+//! them exactly.
+
+use rapid_core::facade::{Clock, Sim, StopCondition};
+use rapid_core::prelude::*;
+use rapid_graph::prelude::*;
+use rapid_sim::prelude::*;
+
+struct Golden {
+    rule: GossipRule,
+    counts: &'static [u64],
+    seed: u64,
+    event_queue: bool,
+    winner: usize,
+    steps: u64,
+    time_bits: u64,
+}
+
+const GOLDENS: &[Golden] = &[
+    Golden {
+        rule: GossipRule::TwoChoices,
+        counts: &[400, 100],
+        seed: 1,
+        event_queue: false,
+        winner: 0,
+        steps: 3662,
+        time_bits: 0x401d_4bc6_a7ef_9b20,
+    },
+    Golden {
+        rule: GossipRule::TwoChoices,
+        counts: &[400, 100],
+        seed: 2,
+        event_queue: true,
+        winner: 0,
+        steps: 2828,
+        time_bits: 0x4017_370f_7c03_5e22,
+    },
+    Golden {
+        rule: GossipRule::Voter,
+        counts: &[60, 40],
+        seed: 3,
+        event_queue: false,
+        winner: 0,
+        steps: 3732,
+        time_bits: 0x4042_a8f5_c28f_5cca,
+    },
+    Golden {
+        rule: GossipRule::ThreeMajority,
+        counts: &[300, 100, 100],
+        seed: 4,
+        event_queue: true,
+        winner: 0,
+        steps: 3627,
+        time_bits: 0x401d_b757_2116_5651,
+    },
+];
+
+#[test]
+fn gossip_outcomes_match_pre_optimization_goldens() {
+    for g in GOLDENS {
+        let mut b = Sim::builder()
+            .topology(Complete::new(g.counts.iter().sum::<u64>() as usize))
+            .counts(g.counts)
+            .gossip(g.rule)
+            .seed(Seed::new(g.seed))
+            .stop(StopCondition::StepBudget(50_000_000));
+        if g.event_queue {
+            b = b.clock(Clock::EventQueue { rate: 1.0 });
+        }
+        let mut sim = b.build().expect("valid").into_gossip().expect("gossip");
+        let out = sim.run_until_consensus(50_000_000).expect("converges");
+        let label = format!("{} seed={} eq={}", g.rule, g.seed, g.event_queue);
+        assert_eq!(out.winner.index(), g.winner, "{label}: winner");
+        assert_eq!(out.steps, g.steps, "{label}: steps");
+        assert_eq!(
+            out.time.as_secs().to_bits(),
+            g.time_bits,
+            "{label}: consensus time"
+        );
+    }
+}
+
+#[test]
+fn gossip_with_halt_budget_matches_golden() {
+    let mut sim = Sim::builder()
+        .topology(Complete::new(2000))
+        .counts(&[1900, 100])
+        .gossip(GossipRule::TwoChoices)
+        .halt_after(100)
+        .seed(Seed::new(9))
+        .stop(StopCondition::StepBudget(50_000_000))
+        .build()
+        .expect("valid")
+        .into_gossip()
+        .expect("gossip");
+    let out = sim.run_until_consensus(50_000_000).expect("converges");
+    assert_eq!(out.winner.index(), 0);
+    assert_eq!(out.steps, 11_423);
+    assert_eq!(out.time.as_secs().to_bits(), 0x4016_d893_74bc_6889);
+    assert_eq!(sim.halted_count(), 0);
+    assert_eq!(sim.first_halt(), None);
+}
+
+#[test]
+fn rapid_on_event_queue_matches_golden() {
+    let counts = [472u64, 200, 200, 152];
+    let params = Params::for_network(1024, 4);
+    let mut sim = Sim::builder()
+        .topology(Complete::new(1024))
+        .counts(&counts)
+        .rapid(params)
+        .clock(Clock::EventQueue { rate: 1.0 })
+        .seed(Seed::new(5))
+        .build()
+        .expect("valid")
+        .into_rapid()
+        .expect("rapid");
+    let budget = sim.default_step_budget();
+    let out = sim.run_until_consensus(budget).expect("converges");
+    assert_eq!(out.winner.index(), 0);
+    assert_eq!(out.steps, 295_105);
+    assert_eq!(out.time.as_secs().to_bits(), 0x4071_ff64_354a_a829);
+    assert!(out.before_first_halt);
+}
+
+/// The O(1) unanimity check must agree with the full O(k) scan at every
+/// step, not only at the golden endpoints: run tick-by-tick and compare
+/// the two detectors on each activation.
+#[test]
+fn fast_unanimity_detector_agrees_with_full_scan_stepwise() {
+    let mut sim = Sim::builder()
+        .topology(Complete::new(200))
+        .counts(&[120, 50, 30])
+        .gossip(GossipRule::TwoChoices)
+        .seed(Seed::new(21))
+        .stop(StopCondition::StepBudget(10_000_000))
+        .build()
+        .expect("valid")
+        .into_gossip()
+        .expect("gossip");
+    let n = sim.config().n() as u64;
+    for _ in 0..10_000_000u64 {
+        let a = sim.tick();
+        let cu = sim.config().color(a.node);
+        let fast = sim.config().counts().count(cu) == n;
+        let slow = sim.config().unanimous().is_some();
+        assert_eq!(fast, slow, "detectors disagree at step {}", sim.steps());
+        if slow {
+            return;
+        }
+    }
+    panic!("no consensus within budget");
+}

@@ -363,6 +363,7 @@ USAGE:
     xp info <id>                  show an experiment's parameter schema
     xp run <id>... [OPTIONS]      run one or more experiments
     xp all [OPTIONS]              run all sixteen experiments
+    xp bench ...                  micro-benchmarks (see `xp bench help`)
     xp help                       this message
 
 OPTIONS (run / all):
