@@ -2,7 +2,7 @@
 //!
 //! `xp list` enumerates the experiment registry; `xp run <id> [--quick]
 //! [--set k=v]` runs any experiment with per-parameter overrides; `xp all`
-//! sweeps all sixteen; `xp bench …` drives the benchmark registry and the
+//! sweeps the whole registry; `xp bench …` drives the benchmark registry and the
 //! `BENCH_*.json` performance trajectory. All behaviour lives in
 //! `rapid_experiments::cli` and `rapid_bench::cli` so it is unit tested;
 //! this binary only dispatches the first word and adapts the exit code.

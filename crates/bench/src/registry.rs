@@ -5,9 +5,11 @@
 //! gate all enumerate the same list, so a kernel cannot silently drop out
 //! of the measured set. Groups:
 //!
-//! * `gossip` / `rapid` — single asynchronous protocol ticks on `K_n`;
+//! * `gossip` / `rapid` — single asynchronous protocol ticks on `K_n`,
+//!   clean and under the fault layer (loss + churn + adversary);
 //! * `sync` — one synchronous round of the round-based protocols;
-//! * `scheduler` — activation hand-out (sequential, event-queue, jittered);
+//! * `scheduler` — activation hand-out (sequential, event-queue, jittered,
+//!   heavy-tailed latency wrap);
 //! * `topology` — neighbor sampling;
 //! * `urn` / `rng` / `stats` — the primitive draws and accumulators;
 //! * `consensus` — a full run to unanimity per iteration (the end-to-end
@@ -16,6 +18,9 @@
 use rapid_core::facade::{Sim, StopCondition};
 use rapid_core::prelude::*;
 use rapid_graph::prelude::*;
+use rapid_sim::fault::{
+    AdversaryKind, AdversaryPlan, ChurnEvent, FaultPlan, LatencyModel, LatencyScheduler,
+};
 use rapid_sim::prelude::*;
 use rapid_stats::{OnlineStats, P2Quantile};
 use rapid_urn::PolyaUrn;
@@ -69,6 +74,64 @@ fn gossip_tick_4096() -> Box<dyn FnMut()> {
         source,
         Seed::new(16),
     );
+    Box::new(move || {
+        for _ in 0..BATCH {
+            sim.tick();
+        }
+    })
+}
+
+/// The standard faulty-run plan the tick kernels use: 10% loss, a churn
+/// window over 1/16 of the population, and an oblivious adversary.
+fn bench_fault_plan(n: usize) -> FaultPlan {
+    let churn: Vec<ChurnEvent> = (0..n / 16)
+        .map(|i| {
+            ChurnEvent::window(
+                NodeId::new(i * 16),
+                SimTime::from_secs(2.0),
+                SimTime::from_secs(50.0),
+            )
+        })
+        .collect();
+    FaultPlan::none()
+        .with_loss(0.1)
+        .with_churn(churn)
+        .with_adversary(AdversaryPlan {
+            kind: AdversaryKind::Oblivious,
+            budget: u64::MAX,
+            start: SimTime::from_secs(1.0),
+            interval: 0.5,
+        })
+}
+
+fn gossip_tick_faulty_4096() -> Box<dyn FnMut()> {
+    let n = 4096;
+    let counts = bench_counts(n as u64, 8, 0.3);
+    let config = Configuration::from_counts(&counts).expect("valid");
+    let source = SequentialScheduler::new(n, Seed::new(6));
+    let mut sim = AsyncGossipSim::new(
+        Complete::new(n),
+        config,
+        GossipRule::TwoChoices,
+        source,
+        Seed::new(16),
+    )
+    .with_faults(&bench_fault_plan(n), Seed::new(26));
+    Box::new(move || {
+        for _ in 0..BATCH {
+            sim.tick();
+        }
+    })
+}
+
+fn rapid_tick_faulty_4096() -> Box<dyn FnMut()> {
+    let n = 4096;
+    let counts = bench_counts(n as u64, 8, 0.3);
+    let params = Params::for_network(n, 8);
+    let config = Configuration::from_counts(&counts).expect("valid");
+    let source = SequentialScheduler::new(n, Seed::new(5));
+    let mut sim = RapidSim::new(Complete::new(n), config, params, source, Seed::new(15))
+        .with_faults(&bench_fault_plan(n), Seed::new(25));
     Box::new(move || {
         for _ in 0..BATCH {
             sim.tick();
@@ -169,6 +232,20 @@ fn scheduler_event_queue_65536() -> Box<dyn FnMut()> {
 fn scheduler_jittered_1024() -> Box<dyn FnMut()> {
     let inner = SequentialScheduler::with_mode(1024, Seed::new(4), TimeMode::Sampled);
     let mut s = JitteredScheduler::new(inner, Seed::new(5), 2.0);
+    Box::new(move || {
+        for _ in 0..BATCH {
+            std::hint::black_box(s.next_activation());
+        }
+    })
+}
+
+fn scheduler_latency_pareto_1024() -> Box<dyn FnMut()> {
+    let inner = SequentialScheduler::with_mode(1024, Seed::new(4), TimeMode::Sampled);
+    let model = LatencyModel::Pareto {
+        scale: 0.1,
+        shape: 1.5,
+    };
+    let mut s = LatencyScheduler::new(inner, Seed::new(5), model);
     Box::new(move || {
         for _ in 0..BATCH {
             std::hint::black_box(s.next_activation());
@@ -369,7 +446,7 @@ macro_rules! kernel {
     };
 }
 
-static KERNELS: [KernelBench; 24] = [
+static KERNELS: [KernelBench; 27] = [
     kernel!(
         "consensus/gossip_endgame_halt/2048",
         "async Two-Choices endgame run with a 200-tick halt budget, n=2048",
@@ -406,11 +483,25 @@ static KERNELS: [KernelBench; 24] = [
         gossip_tick_4096
     ),
     kernel!(
+        "gossip/clique_tick_faulty/4096",
+        "10k async gossip ticks under loss+churn+adversary, K_4096, k=8",
+        "gossip",
+        BATCH,
+        gossip_tick_faulty_4096
+    ),
+    kernel!(
         "rapid/clique_tick/4096",
         "10k Rapid two-phase protocol ticks on K_4096, k=8",
         "rapid",
         BATCH,
         rapid_tick_4096
+    ),
+    kernel!(
+        "rapid/clique_tick_faulty/4096",
+        "10k Rapid protocol ticks under loss+churn+adversary, K_4096, k=8",
+        "rapid",
+        BATCH,
+        rapid_tick_faulty_4096
     ),
     kernel!(
         "rng/bounded",
@@ -453,6 +544,13 @@ static KERNELS: [KernelBench; 24] = [
         "scheduler",
         BATCH,
         scheduler_jittered_1024
+    ),
+    kernel!(
+        "scheduler/latency_pareto/1024",
+        "10k activations through a heavy-tailed Pareto latency wrap, n=1024",
+        "scheduler",
+        BATCH,
+        scheduler_latency_pareto_1024
     ),
     kernel!(
         "scheduler/sequential_expected/1024",

@@ -12,6 +12,7 @@
 //! run succeeds only if unanimity arrives before the first freeze.
 
 use rapid_graph::topology::Topology;
+use rapid_sim::fault::{FaultPlan, FaultState};
 use rapid_sim::node::NodeId;
 use rapid_sim::rng::SimRng;
 use rapid_sim::scheduler::{Activation, ActivationSource};
@@ -85,6 +86,7 @@ pub struct AsyncGossipSim<G, S> {
     first_halt: Option<SimTime>,
     steps: u64,
     now: SimTime,
+    faults: Option<FaultState>,
 }
 
 impl<G: Topology, S: ActivationSource> AsyncGossipSim<G, S> {
@@ -119,7 +121,26 @@ impl<G: Topology, S: ActivationSource> AsyncGossipSim<G, S> {
             first_halt: None,
             steps: 0,
             now: SimTime::ZERO,
+            faults: None,
         }
+    }
+
+    /// Installs a fault layer driven by `plan` (loss, churn, adversary;
+    /// latency is realised one level down, by the activation source). A
+    /// [neutral](FaultPlan::is_neutral) plan leaves the run bit-identical
+    /// to one without a fault layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::check`] for this population.
+    pub fn with_faults(mut self, plan: &FaultPlan, seed: rapid_sim::rng::Seed) -> Self {
+        self.faults = Some(FaultState::new(plan, self.config.n(), seed));
+        self
+    }
+
+    /// The fault layer, if one is installed.
+    pub fn faults(&self) -> Option<&FaultState> {
+        self.faults.as_ref()
     }
 
     /// Makes every node freeze its color after `ticks` of its own ticks
@@ -177,6 +198,13 @@ impl<G: Topology, S: ActivationSource> AsyncGossipSim<G, S> {
         let u = a.node;
         let i = u.index();
 
+        if self.faults.is_some() {
+            crate::faults::pre_tick(&mut self.faults, &mut self.config, a.time);
+            if self.faults.as_ref().is_some_and(|f| f.is_down(u)) {
+                // Crashed: the clock tick is consumed, the state is frozen.
+                return a;
+            }
+        }
         if let Some(budget) = self.halt_after {
             if self.ticks[i] >= budget {
                 // Frozen: clock ticks, state does not change.
@@ -196,39 +224,58 @@ impl<G: Topology, S: ActivationSource> AsyncGossipSim<G, S> {
         a
     }
 
+    /// Pulls one neighbor: the sample always comes from the main RNG
+    /// stream (so fault-free runs are bit-identical to the pre-fault
+    /// implementation), then the fault layer may void the response — the
+    /// contacted node is down, or the message is lost.
+    fn pull(&mut self, u: NodeId) -> Option<NodeId> {
+        let v = self.topology.sample_neighbor(u, &mut self.rng);
+        if let Some(f) = self.faults.as_mut() {
+            if f.is_down(v) || f.message_lost() {
+                return None;
+            }
+        }
+        Some(v)
+    }
+
+    // An interaction aborts (the node keeps its color) unless every pulled
+    // response arrives; all samples are drawn regardless, so the main RNG
+    // stream does not depend on which responses were lost.
     fn apply_rule(&mut self, u: NodeId) {
         match self.rule {
             GossipRule::Voter => {
-                let v = self.topology.sample_neighbor(u, &mut self.rng);
-                let c = self.config.color(v);
-                self.config.set_color(u, c);
+                if let Some(v) = self.pull(u) {
+                    let c = self.config.color(v);
+                    self.config.set_color(u, c);
+                }
             }
             GossipRule::TwoChoices => {
-                let v = self.topology.sample_neighbor(u, &mut self.rng);
-                let w = self.topology.sample_neighbor(u, &mut self.rng);
-                let cv = self.config.color(v);
-                if cv == self.config.color(w) {
-                    self.config.set_color(u, cv);
+                let v = self.pull(u);
+                let w = self.pull(u);
+                if let (Some(v), Some(w)) = (v, w) {
+                    let cv = self.config.color(v);
+                    if cv == self.config.color(w) {
+                        self.config.set_color(u, cv);
+                    }
                 }
             }
             GossipRule::ThreeMajority => {
-                let a = self
-                    .config
-                    .color(self.topology.sample_neighbor(u, &mut self.rng));
-                let b = self
-                    .config
-                    .color(self.topology.sample_neighbor(u, &mut self.rng));
-                let c = self
-                    .config
-                    .color(self.topology.sample_neighbor(u, &mut self.rng));
-                let winner = if a == b || a == c {
-                    a
-                } else if b == c {
-                    b
-                } else {
-                    a
-                };
-                self.config.set_color(u, winner);
+                let x = self.pull(u);
+                let y = self.pull(u);
+                let z = self.pull(u);
+                if let (Some(x), Some(y), Some(z)) = (x, y, z) {
+                    let a = self.config.color(x);
+                    let b = self.config.color(y);
+                    let c = self.config.color(z);
+                    let winner = if a == b || a == c {
+                        a
+                    } else if b == c {
+                        b
+                    } else {
+                        a
+                    };
+                    self.config.set_color(u, winner);
+                }
             }
         }
     }
@@ -285,50 +332,30 @@ impl<G: Topology, S: ActivationSource> AsyncGossipSim<G, S> {
     }
 }
 
-/// Convenience alias: async gossip on the clique under the sequential model.
-#[deprecated(
-    since = "0.1.0",
-    note = "use Sim::builder() and the unified Outcome instead"
-)]
-pub type CliqueGossip = AsyncGossipSim<crate::facade::BoxedTopology, crate::facade::BoxedSource>;
-
-/// Builds an async-gossip simulation on `K_n` under the sequential model.
-///
-/// Deprecated shim over the unified builder; the builder derives the same
-/// seed streams, so results are bit-identical to the historical
-/// behaviour.
-///
-/// # Panics
-///
-/// Panics if `counts` is not a valid configuration (see
-/// [`Configuration::from_counts`]).
-#[deprecated(
-    since = "0.1.0",
-    note = "use Sim::builder().topology(Complete::new(n)).counts(counts).gossip(rule)"
-)]
-pub fn clique_gossip(
-    counts: &[u64],
-    rule: GossipRule,
-    seed: rapid_sim::rng::Seed,
-) -> AsyncGossipSim<crate::facade::BoxedTopology, crate::facade::BoxedSource> {
-    let n: u64 = counts.iter().sum();
-    crate::facade::Sim::builder()
-        .topology(rapid_graph::complete::Complete::new(n as usize))
-        .counts(counts)
-        .gossip(rule)
-        .seed(seed)
-        .build()
-        .expect("valid configuration")
-        .into_gossip()
-        .expect("gossip rule was selected")
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the legacy shims stay covered until removal
 mod tests {
     use super::*;
     use crate::opinion::Color;
     use rapid_sim::rng::Seed;
+
+    /// Async gossip on `K_n` under the sequential model, built through the
+    /// façade (the same streams the removed `clique_gossip` shim derived).
+    fn clique_gossip(
+        counts: &[u64],
+        rule: GossipRule,
+        seed: Seed,
+    ) -> AsyncGossipSim<crate::facade::BoxedTopology, crate::facade::BoxedSource> {
+        let n: u64 = counts.iter().sum();
+        crate::facade::Sim::builder()
+            .topology(rapid_graph::complete::Complete::new(n as usize))
+            .counts(counts)
+            .gossip(rule)
+            .seed(seed)
+            .build()
+            .expect("valid configuration")
+            .into_gossip()
+            .expect("gossip rule was selected")
+    }
 
     #[test]
     fn two_choices_converges_to_strong_plurality() {

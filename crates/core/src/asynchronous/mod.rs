@@ -23,12 +23,8 @@ pub mod params;
 pub mod rapid;
 pub mod schedule;
 
-#[allow(deprecated)]
-pub use gossip::clique_gossip;
 pub use gossip::{AsyncGossipSim, GossipRule};
 pub use node::NodeState;
 pub use params::Params;
-#[allow(deprecated)]
-pub use rapid::clique_rapid;
 pub use rapid::{RapidOutcome, RapidSim};
 pub use schedule::{Action, Schedule};

@@ -22,6 +22,8 @@
 //! event is unanimity on the plurality *before the first halt*.
 
 use rapid_graph::topology::Topology;
+use rapid_sim::fault::{FaultPlan, FaultState};
+use rapid_sim::node::NodeId;
 use rapid_sim::rng::{Seed, SimRng};
 use rapid_sim::scheduler::{Activation, ActivationSource};
 use rapid_sim::time::SimTime;
@@ -129,6 +131,8 @@ pub struct RapidSim<G, S> {
     first_halt: Option<SimTime>,
     jumps: u64,
     max_jump_displacement: u64,
+    faults: Option<FaultState>,
+    adversary_struck: bool,
 }
 
 impl<G: Topology, S: ActivationSource> RapidSim<G, S> {
@@ -159,7 +163,35 @@ impl<G: Topology, S: ActivationSource> RapidSim<G, S> {
             first_halt: None,
             jumps: 0,
             max_jump_displacement: 0,
+            faults: None,
+            adversary_struck: false,
         }
+    }
+
+    /// Installs a fault layer driven by `plan` (loss, churn, adversary;
+    /// latency is realised one level down, by the activation source). A
+    /// [neutral](FaultPlan::is_neutral) plan leaves the run bit-identical
+    /// to one without a fault layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::check`] for this population.
+    pub fn with_faults(mut self, plan: &FaultPlan, seed: Seed) -> Self {
+        self.faults = Some(FaultState::new(plan, self.config.n(), seed));
+        self
+    }
+
+    /// The fault layer, if one is installed.
+    pub fn faults(&self) -> Option<&FaultState> {
+        self.faults.as_ref()
+    }
+
+    /// Whether the latest [`tick`](Self::tick) applied at least one
+    /// adversary corruption. Corruptions change colors outside any
+    /// protocol action, so unanimity fast paths gated on
+    /// [`Action::changes_color`] must also check after a strike.
+    pub fn adversary_struck(&self) -> bool {
+        self.adversary_struck
     }
 
     /// The current configuration.
@@ -245,7 +277,26 @@ impl<G: Topology, S: ActivationSource> RapidSim<G, S> {
         counts
     }
 
+    /// Pulls one neighbor: the sample always comes from the main RNG
+    /// stream (so fault-free runs are bit-identical to the pre-fault
+    /// implementation), then the fault layer may void the response — the
+    /// contacted node is down, or the message is lost.
+    fn pull(&mut self, u: NodeId) -> Option<NodeId> {
+        let v = self.topology.sample_neighbor(u, &mut self.rng);
+        if let Some(f) = self.faults.as_mut() {
+            if f.is_down(v) || f.message_lost() {
+                return None;
+            }
+        }
+        Some(v)
+    }
+
     /// Executes one activation; returns it with the action performed.
+    ///
+    /// With a fault layer installed, a crashed node's tick is consumed as
+    /// [`Action::Wait`], and any step whose pulled responses are voided
+    /// (loss, crashed neighbor) aborts: all samples are still drawn from
+    /// the main stream, but the node's state does not change.
     pub fn tick(&mut self) -> (Activation, Action) {
         let a = self.source.next_activation();
         self.now = a.time;
@@ -253,6 +304,15 @@ impl<G: Topology, S: ActivationSource> RapidSim<G, S> {
         let u = a.node;
         let i = u.index();
 
+        if self.faults.is_some() {
+            let strikes = crate::faults::pre_tick(&mut self.faults, &mut self.config, a.time);
+            self.adversary_struck = strikes > 0;
+            if self.faults.as_ref().is_some_and(|f| f.is_down(u)) {
+                // Crashed: the clock tick is consumed, the state (working
+                // time included) is frozen until the node rejoins.
+                return (a, Action::Wait);
+            }
+        }
         if self.nodes[i].halted {
             self.nodes[i].real_time += 1;
             return (a, Action::Halt);
@@ -264,11 +324,13 @@ impl<G: Topology, S: ActivationSource> RapidSim<G, S> {
             Action::Wait => {}
             Action::TwoChoicesSample => {
                 self.nodes[i].reset_phase_state();
-                let v = self.topology.sample_neighbor(u, &mut self.rng);
-                let w = self.topology.sample_neighbor(u, &mut self.rng);
-                let cv = self.config.color(v);
-                if cv == self.config.color(w) {
-                    self.nodes[i].intermediate = Some(cv);
+                let v = self.pull(u);
+                let w = self.pull(u);
+                if let (Some(v), Some(w)) = (v, w) {
+                    let cv = self.config.color(v);
+                    if cv == self.config.color(w) {
+                        self.nodes[i].intermediate = Some(cv);
+                    }
                 }
             }
             Action::Commit => {
@@ -281,19 +343,21 @@ impl<G: Topology, S: ActivationSource> RapidSim<G, S> {
             }
             Action::BitPropagation => {
                 if !self.nodes[i].bit {
-                    let v = self.topology.sample_neighbor(u, &mut self.rng);
-                    if self.nodes[v.index()].bit {
-                        let c = self.config.color(v);
-                        self.config.set_color(u, c);
-                        self.nodes[i].bit = true;
+                    if let Some(v) = self.pull(u) {
+                        if self.nodes[v.index()].bit {
+                            let c = self.config.color(v);
+                            self.config.set_color(u, c);
+                            self.nodes[i].bit = true;
+                        }
                     }
                 }
             }
             Action::SyncSample => {
-                let v = self.topology.sample_neighbor(u, &mut self.rng);
-                let t_v = self.nodes[v.index()].real_time;
-                let r_u = self.nodes[i].real_time;
-                self.nodes[i].samples.push((t_v, r_u));
+                if let Some(v) = self.pull(u) {
+                    let t_v = self.nodes[v.index()].real_time;
+                    let r_u = self.nodes[i].real_time;
+                    self.nodes[i].samples.push((t_v, r_u));
+                }
             }
             Action::Jump => {
                 let phase = self.schedule.phase_of(self.nodes[i].working_time);
@@ -310,11 +374,13 @@ impl<G: Topology, S: ActivationSource> RapidSim<G, S> {
                 }
             }
             Action::Endgame => {
-                let v = self.topology.sample_neighbor(u, &mut self.rng);
-                let w = self.topology.sample_neighbor(u, &mut self.rng);
-                let cv = self.config.color(v);
-                if cv == self.config.color(w) {
-                    self.config.set_color(u, cv);
+                let v = self.pull(u);
+                let w = self.pull(u);
+                if let (Some(v), Some(w)) = (v, w) {
+                    let cv = self.config.color(v);
+                    if cv == self.config.color(w) {
+                        self.config.set_color(u, cv);
+                    }
                 }
             }
             Action::Halt => {
@@ -351,9 +417,11 @@ impl<G: Topology, S: ActivationSource> RapidSim<G, S> {
         }
         for _ in 0..max_steps {
             let (a, action) = self.tick();
-            // Only color-changing actions can create unanimity; check the
-            // ticked node's (possibly new) color in O(1).
-            if action.changes_color() {
+            // Only color-changing actions — or an adversary strike, which
+            // recolors outside any action — can create unanimity; check
+            // the ticked node's color in O(1) (under unanimity every
+            // node's color count is n, whoever changed).
+            if action.changes_color() || self.adversary_struck {
                 let cu = self.config.color(a.node);
                 if self.config.counts().count(cu) == n {
                     return Ok(self.outcome(cu));
@@ -380,40 +448,29 @@ impl<G: Topology, S: ActivationSource> RapidSim<G, S> {
     }
 }
 
-/// Builds the paper's setting: `K_n` under the sequential model.
-///
-/// Deprecated shim over the unified builder; the builder derives the same
-/// seed streams, so results are bit-identical to the historical
-/// behaviour.
-///
-/// # Panics
-///
-/// Panics if `counts` is not a valid configuration.
-#[deprecated(
-    since = "0.1.0",
-    note = "use Sim::builder().topology(Complete::new(n)).counts(counts).rapid(params)"
-)]
-pub fn clique_rapid(
-    counts: &[u64],
-    params: Params,
-    seed: Seed,
-) -> RapidSim<crate::facade::BoxedTopology, crate::facade::BoxedSource> {
-    let n: u64 = counts.iter().sum();
-    crate::facade::Sim::builder()
-        .topology(rapid_graph::complete::Complete::new(n as usize))
-        .counts(counts)
-        .rapid(params)
-        .seed(seed)
-        .build()
-        .expect("valid configuration")
-        .into_rapid()
-        .expect("rapid protocol was selected")
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the legacy shims stay covered until removal
 mod tests {
     use super::*;
+
+    /// The paper's setting — `K_n` under the sequential model — built
+    /// through the façade (the same streams the removed `clique_rapid`
+    /// shim derived).
+    fn clique_rapid(
+        counts: &[u64],
+        params: Params,
+        seed: Seed,
+    ) -> RapidSim<crate::facade::BoxedTopology, crate::facade::BoxedSource> {
+        let n: u64 = counts.iter().sum();
+        crate::facade::Sim::builder()
+            .topology(rapid_graph::complete::Complete::new(n as usize))
+            .counts(counts)
+            .rapid(params)
+            .seed(seed)
+            .build()
+            .expect("valid configuration")
+            .into_rapid()
+            .expect("rapid protocol was selected")
+    }
 
     fn biased_counts(n: u64, k: usize, eps: f64) -> Vec<u64> {
         // c_1 = (1+eps) * c, others equal: c*(k-1) + (1+eps)c = n.

@@ -37,9 +37,8 @@
 //! assert!(outcome.converged());
 //! ```
 //!
-//! Everything the three legacy drivers (`run_sync_to_consensus`,
-//! `clique_gossip`, `clique_rapid`) hard-wired is now an explicit,
-//! composable axis:
+//! Every knob the original drivers hard-wired is an explicit, composable
+//! axis:
 //!
 //! * **topology** — any [`Topology`];
 //! * **initial state** — explicit counts, a full [`Configuration`], or an
@@ -49,6 +48,10 @@
 //! * **clock** — the sequential model, per-node Poisson clocks, skewed
 //!   clock rates, optionally wrapped in exponential response delays
 //!   ([`SimBuilder::jitter`]);
+//! * **faults** — a [`FaultPlan`] composing message loss, per-edge
+//!   latency distributions, churn schedules, and budgeted
+//!   opinion-corrupting adversaries ([`SimBuilder::faults`]; asynchronous
+//!   protocols only);
 //! * **stopping** — composable [`StopCondition`]s on top of the implicit
 //!   unanimity check;
 //! * **observation** — [`Observer`] hooks with a per-round /
@@ -60,6 +63,7 @@
 //! [`Outcome`].
 
 use rapid_graph::topology::Topology;
+use rapid_sim::fault::{FaultError, FaultPlan, LatencyScheduler};
 use rapid_sim::rng::{Seed, SimRng};
 use rapid_sim::scheduler::{
     ActivationSource, EventQueueScheduler, HeterogeneousScheduler, JitteredScheduler,
@@ -229,6 +233,14 @@ pub enum BuildError {
     /// `halt_after` requires an asynchronous gossip protocol (the rapid
     /// protocol halts by its own schedule), and must be positive.
     InvalidHaltBudget,
+    /// The fault plan is invalid (bad loss probability, latency
+    /// parameters, churn schedule, or adversary interval).
+    Faults(FaultError),
+    /// A non-neutral fault plan was combined with a synchronous protocol;
+    /// the fault layer models the asynchronous setting (crashes, lost
+    /// pulls, late adversaries) and only the asynchronous engines consult
+    /// it.
+    FaultsRequireAsync,
 }
 
 impl std::fmt::Display for BuildError {
@@ -266,11 +278,22 @@ impl std::fmt::Display for BuildError {
                 f,
                 "halt_after requires an asynchronous gossip protocol and a positive budget"
             ),
+            BuildError::Faults(e) => write!(f, "invalid fault plan: {e}"),
+            BuildError::FaultsRequireAsync => write!(
+                f,
+                "a non-neutral fault plan requires an asynchronous protocol (gossip or rapid)"
+            ),
         }
     }
 }
 
 impl std::error::Error for BuildError {}
+
+impl From<FaultError> for BuildError {
+    fn from(e: FaultError) -> Self {
+        BuildError::Faults(e)
+    }
+}
 
 impl From<ConfigError> for BuildError {
     fn from(e: ConfigError) -> Self {
@@ -476,6 +499,7 @@ pub struct SimBuilder {
     protocol: Option<Protocol>,
     clock: Clock,
     jitter: Option<f64>,
+    faults: Option<FaultPlan>,
     seed: Seed,
     stops: Vec<StopCondition>,
     shuffle: bool,
@@ -490,6 +514,7 @@ impl SimBuilder {
             protocol: None,
             clock: Clock::default(),
             jitter: None,
+            faults: None,
             seed: Seed::default(),
             stops: Vec::new(),
             shuffle: false,
@@ -564,6 +589,16 @@ impl SimBuilder {
     /// (the discussion-section extension).
     pub fn jitter(mut self, delay_rate: f64) -> Self {
         self.jitter = Some(delay_rate);
+        self
+    }
+
+    /// Sets the fault & adversary plan (asynchronous protocols only):
+    /// per-message loss, per-edge latency distributions, node crash /
+    /// rejoin schedules, and a budgeted opinion-corrupting adversary. A
+    /// [neutral](FaultPlan::is_neutral) plan is equivalent — bit for bit —
+    /// to not calling this at all.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -650,6 +685,22 @@ impl SimBuilder {
         // sync-vs-async sweep should fail on the sync entrants too, not
         // only when the protocol axis flips to asynchronous.
         check_clock(&self.clock, n)?;
+        // Fault plans are validated unconditionally, then a neutral plan
+        // is dropped so the zero-fault path stays bit-identical to a
+        // build without the axis.
+        let faults = match self.faults {
+            None => None,
+            Some(plan) => {
+                plan.check(n)?;
+                if plan.is_neutral() {
+                    None
+                } else if matches!(protocol, Protocol::Sync(_)) {
+                    return Err(BuildError::FaultsRequireAsync);
+                } else {
+                    Some(plan)
+                }
+            }
+        };
 
         if self.shuffle {
             config.shuffle(&mut SimRng::from_seed_value(self.seed.child(2)));
@@ -669,23 +720,24 @@ impl SimBuilder {
                 rounds: 0,
             },
             Protocol::Gossip(rule) => {
-                let source = build_source(&self.clock, self.jitter, n, self.seed);
+                let source = build_source(&self.clock, self.jitter, faults.as_ref(), n, self.seed);
                 let mut sim =
                     AsyncGossipSim::new(topology, config, rule, source, self.seed.child(1));
                 if let Some(ticks) = self.halt_after {
                     sim = sim.with_halt_after(ticks);
                 }
+                if let Some(plan) = &faults {
+                    sim = sim.with_faults(plan, self.seed.child(4));
+                }
                 Engine::Gossip(Box::new(sim))
             }
             Protocol::Rapid(params) => {
-                let source = build_source(&self.clock, self.jitter, n, self.seed);
-                Engine::Rapid(Box::new(RapidSim::new(
-                    topology,
-                    config,
-                    params,
-                    source,
-                    self.seed.child(1),
-                )))
+                let source = build_source(&self.clock, self.jitter, faults.as_ref(), n, self.seed);
+                let mut sim = RapidSim::new(topology, config, params, source, self.seed.child(1));
+                if let Some(plan) = &faults {
+                    sim = sim.with_faults(plan, self.seed.child(4));
+                }
+                Engine::Rapid(Box::new(sim))
             }
         };
 
@@ -730,13 +782,21 @@ fn check_clock(clock: &Clock, n: usize) -> Result<(), BuildError> {
 }
 
 /// Builds an activation source from a clock already vetted by
-/// [`check_clock`].
+/// [`check_clock`] (and a fault plan already vetted by
+/// [`FaultPlan::check`]).
 ///
-/// Stream derivation matches the legacy constructors: the scheduler uses
-/// `seed.child(0)` and (with jitter) the delay stream uses
-/// `seed.child(3)`, so a default-clock builder run reproduces
-/// `clique_gossip` / `clique_rapid` byte for byte.
-fn build_source(clock: &Clock, jitter: Option<f64>, n: usize, seed: Seed) -> BoxedSource {
+/// Stream derivation is pinned: the scheduler uses `seed.child(0)`, the
+/// jitter delay stream `seed.child(3)`, the fault layer `seed.child(4)`
+/// and the fault latency stream `seed.child(5)` — so a builder run with
+/// the default clock and no (or a neutral) fault plan reproduces the
+/// historical streams byte for byte.
+fn build_source(
+    clock: &Clock,
+    jitter: Option<f64>,
+    faults: Option<&FaultPlan>,
+    n: usize,
+    seed: Seed,
+) -> BoxedSource {
     let inner: BoxedSource = match clock {
         Clock::Sequential(mode) => {
             Box::new(SequentialScheduler::with_mode(n, seed.child(0), *mode))
@@ -749,9 +809,15 @@ fn build_source(clock: &Clock, jitter: Option<f64>, n: usize, seed: Seed) -> Box
         )),
         Clock::Rates(rates) => Box::new(HeterogeneousScheduler::new(rates.clone(), seed.child(0))),
     };
-    match jitter {
-        Some(rate) => Box::new(JitteredScheduler::new(inner, seed.child(3), rate)),
+    let inner = match jitter {
+        Some(rate) => Box::new(JitteredScheduler::new(inner, seed.child(3), rate)) as BoxedSource,
         None => inner,
+    };
+    match faults.map(|f| f.latency) {
+        Some(model) if !model.is_none() => {
+            Box::new(LatencyScheduler::new(inner, seed.child(5), model))
+        }
+        _ => inner,
     }
 }
 
@@ -800,7 +866,7 @@ impl Sim {
     }
 
     /// Unwraps the underlying rapid-protocol engine, if that protocol was
-    /// selected (the legacy `clique_rapid` shim is built on this).
+    /// selected (for callers that want to drive it tick by tick).
     pub fn into_rapid(self) -> Option<RapidSim<BoxedTopology, BoxedSource>> {
         match self.engine {
             Engine::Rapid(sim) => Some(*sim),
@@ -809,7 +875,7 @@ impl Sim {
     }
 
     /// Unwraps the underlying gossip engine, if a gossip rule was
-    /// selected (the legacy `clique_gossip` shim is built on this).
+    /// selected (for callers that want to drive it tick by tick).
     pub fn into_gossip(self) -> Option<AsyncGossipSim<BoxedTopology, BoxedSource>> {
         match self.engine {
             Engine::Gossip(sim) => Some(*sim),
@@ -1000,8 +1066,10 @@ impl Sim {
             }
             Engine::Rapid(sim) => {
                 let (a, action) = sim.tick();
-                // Only color-changing actions can create unanimity.
-                if action.changes_color() {
+                // Only color-changing actions — or an adversary strike,
+                // which recolors outside any action — can create
+                // unanimity.
+                if action.changes_color() || sim.adversary_struck() {
                     let cu = sim.config().color(a.node);
                     if sim.config().counts().count(cu) == sim.config().n() as u64 {
                         return Some(cu);

@@ -28,9 +28,11 @@
 //! * [`convergence`] — outcome and error types.
 //!
 //! * [`facade`] — the unified [`Sim`] builder: one entry
-//!   point composing any topology, initial state, protocol, clock model
-//!   and stop conditions into a run with one serialisable
-//!   [`Outcome`].
+//!   point composing any topology, initial state, protocol, clock model,
+//!   fault plan and stop conditions into a run with one serialisable
+//!   [`Outcome`]. The fault axis
+//!   ([`rapid_sim::fault::FaultPlan`]) adds message loss, edge latency,
+//!   churn and budgeted adversaries to both asynchronous engines.
 //!
 //! # Quickstart
 //!
@@ -61,11 +63,10 @@ pub mod asynchronous;
 pub mod convergence;
 pub mod distributions;
 pub mod facade;
+mod faults;
 pub mod opinion;
 pub mod sync;
 
-#[allow(deprecated)]
-pub use asynchronous::{clique_gossip, clique_rapid};
 pub use asynchronous::{
     Action, AsyncGossipSim, GossipRule, NodeState, Params, RapidOutcome, RapidSim, Schedule,
 };
@@ -76,18 +77,12 @@ pub use facade::{
     StopCondition, StopReason,
 };
 pub use opinion::{Color, ColorCounts, ConfigError, Configuration, TopTwo};
-#[allow(deprecated)]
-pub use sync::run_sync_to_consensus;
 pub use sync::{OneExtraBit, OneExtraBitParams, SyncProtocol, ThreeMajority, TwoChoices, Voter};
 
 /// Convenient glob-import of the most used items.
 pub mod prelude {
-    #[allow(deprecated)]
-    pub use crate::asynchronous::gossip::clique_gossip;
     pub use crate::asynchronous::gossip::{AsyncGossipSim, GossipRule};
     pub use crate::asynchronous::params::Params;
-    #[allow(deprecated)]
-    pub use crate::asynchronous::rapid::clique_rapid;
     pub use crate::asynchronous::rapid::{RapidOutcome, RapidSim};
     pub use crate::asynchronous::schedule::{Action, Schedule};
     pub use crate::convergence::{AsyncOutcome, ConvergenceError, SyncOutcome};
@@ -97,8 +92,6 @@ pub mod prelude {
         StopCondition, StopReason,
     };
     pub use crate::opinion::{Color, ColorCounts, Configuration, TopTwo};
-    #[allow(deprecated)]
-    pub use crate::sync::engine::run_sync_to_consensus;
     pub use crate::sync::engine::{run_sync_traced, RoundTrace, SyncProtocol};
     pub use crate::sync::one_extra_bit::{OneExtraBit, OneExtraBitParams};
     pub use crate::sync::three_majority::ThreeMajority;

@@ -79,51 +79,12 @@ impl RoundTrace {
     }
 }
 
-/// Runs `proto` on `config` until unanimity or `max_rounds`.
-///
-/// Returns the winning color and the number of rounds taken. The protocol
-/// is [`reset`](SyncProtocol::reset) first, so a protocol value can be
-/// reused across runs.
-///
-/// # Errors
-///
-/// [`ConvergenceError::BudgetExhausted`] if `max_rounds` rounds pass
-/// without unanimity.
-///
-/// # Example (replacement)
-///
-/// ```
-/// use rapid_core::prelude::*;
-/// use rapid_graph::prelude::*;
-/// use rapid_sim::prelude::*;
-///
-/// let out = Sim::builder()
-///     .topology(Complete::new(200))
-///     .counts(&[150, 50])
-///     .protocol(TwoChoices::new())
-///     .seed(Seed::new(1))
-///     .stop(StopCondition::RoundBudget(10_000))
-///     .build()
-///     .expect("valid experiment")
-///     .run_to_consensus()
-///     .expect("converges");
-/// assert_eq!(out.winner, Some(Color::new(0)));
-/// ```
-#[deprecated(
-    since = "0.1.0",
-    note = "use Sim::builder().topology(g).counts(...).protocol(proto) and run_to_consensus()"
-)]
-pub fn run_sync_to_consensus(
-    proto: &mut dyn SyncProtocol,
-    g: &dyn Topology,
-    config: &mut Configuration,
-    rng: &mut SimRng,
-    max_rounds: u64,
-) -> Result<SyncOutcome, ConvergenceError> {
-    run_sync_traced(proto, g, config, rng, max_rounds, None).map(|(o, _)| o)
-}
-
-/// Like [`run_sync_to_consensus`], optionally recording a [`RoundTrace`].
+/// Runs `proto` on `config` until unanimity or `max_rounds`, optionally
+/// recording a [`RoundTrace`]. The protocol is
+/// [`reset`](SyncProtocol::reset) first, so a protocol value can be
+/// reused across runs. (Most callers want the `Sim` builder instead —
+/// `Sim::builder().topology(g).counts(…).protocol(proto)` — which drives
+/// this engine with stop conditions and observers on top.)
 ///
 /// # Errors
 ///
@@ -168,8 +129,20 @@ pub fn run_sync_traced(
     Err(ConvergenceError::BudgetExhausted { budget: max_rounds })
 }
 
+/// Test-only untraced driver, shared by the protocol unit tests (the
+/// behaviour of the removed `run_sync_to_consensus` shim).
 #[cfg(test)]
-#[allow(deprecated)] // the legacy shims stay covered until removal
+pub(crate) fn run_sync_to_consensus(
+    proto: &mut dyn SyncProtocol,
+    g: &dyn Topology,
+    config: &mut Configuration,
+    rng: &mut SimRng,
+    max_rounds: u64,
+) -> Result<SyncOutcome, ConvergenceError> {
+    run_sync_traced(proto, g, config, rng, max_rounds, None).map(|(o, _)| o)
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use rapid_graph::complete::Complete;

@@ -8,9 +8,11 @@
 //! * [`Voter`] and [`ThreeMajority`] — standard baselines from the
 //!   plurality-consensus literature, used by the comparison experiment.
 //!
-//! All protocols implement [`SyncProtocol`] and run under
-//! [`run_sync_to_consensus`] with snapshot semantics: within one round all
-//! nodes observe the configuration as it was at the start of the round.
+//! All protocols implement [`SyncProtocol`] and run with snapshot
+//! semantics: within one round all nodes observe the configuration as it
+//! was at the start of the round. Drive them through the
+//! [`Sim`](crate::facade::Sim) builder, or directly via
+//! [`engine::run_sync_traced`].
 
 pub mod engine;
 pub mod one_extra_bit;
@@ -18,8 +20,6 @@ pub mod three_majority;
 pub mod two_choices;
 pub mod voter;
 
-#[allow(deprecated)]
-pub use engine::run_sync_to_consensus;
 pub use engine::{simultaneous_color_update, RoundTrace, SyncProtocol};
 pub use one_extra_bit::{OneExtraBit, OneExtraBitParams};
 pub use three_majority::ThreeMajority;

@@ -207,12 +207,12 @@ impl SyncProtocol for OneExtraBit {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy shims stay covered until removal
 mod tests {
     use super::*;
-    use crate::sync::engine::run_sync_to_consensus;
     use rapid_graph::complete::Complete;
     use rapid_sim::rng::Seed;
+
+    use crate::sync::engine::run_sync_to_consensus;
 
     #[test]
     fn params_scale_with_k_and_n() {

@@ -65,13 +65,13 @@ impl SyncProtocol for ThreeMajority {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy shims stay covered until removal
 mod tests {
     use super::*;
     use crate::opinion::Color;
-    use crate::sync::engine::run_sync_to_consensus;
     use rapid_graph::complete::Complete;
     use rapid_sim::rng::Seed;
+
+    use crate::sync::engine::run_sync_to_consensus;
 
     #[test]
     fn strong_plurality_wins() {

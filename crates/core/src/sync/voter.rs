@@ -56,13 +56,13 @@ impl SyncProtocol for Voter {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy shims stay covered until removal
 mod tests {
     use super::*;
     use crate::opinion::Color;
-    use crate::sync::engine::run_sync_to_consensus;
     use rapid_graph::complete::Complete;
     use rapid_sim::rng::Seed;
+
+    use crate::sync::engine::run_sync_to_consensus;
 
     #[test]
     fn converges_on_small_clique() {

@@ -188,62 +188,83 @@ fn same_seed_means_identical_outcome_for_every_engine() {
     );
 }
 
-// ---------------------------------------------- legacy-driver equivalence
+// ------------------------------------------- direct-engine equivalence
 
 #[test]
-#[allow(deprecated)]
-fn builder_sync_run_matches_legacy_run_sync_to_consensus() {
+fn builder_sync_run_matches_the_direct_engine() {
     let counts = [150u64, 80, 70];
     for seed in [1u64, 7, 42] {
         let g = Complete::new(300);
         let mut config = Configuration::from_counts(&counts).expect("valid");
         let mut rng = SimRng::from_seed_value(Seed::new(seed));
-        let legacy =
-            run_sync_to_consensus(&mut TwoChoices::new(), &g, &mut config, &mut rng, 10_000)
-                .expect("converges");
+        let (direct, _) = run_sync_traced(
+            &mut TwoChoices::new(),
+            &g,
+            &mut config,
+            &mut rng,
+            10_000,
+            None,
+        )
+        .expect("converges");
 
         let outcome = two_choices_on_clique(300, &counts, seed)
             .run_to_consensus()
             .expect("converges");
-        assert_eq!(outcome.as_sync(), Some(legacy), "seed {seed}");
+        assert_eq!(outcome.as_sync(), Some(direct), "seed {seed}");
         assert_eq!(outcome.final_counts, config.counts().as_slice());
     }
 }
 
 #[test]
-#[allow(deprecated)]
-fn builder_async_runs_match_legacy_clique_helpers() {
-    // The builder derives the same child-seed streams as the shims, so the
-    // runs must be bit-identical, not merely statistically equivalent.
+fn builder_async_runs_match_directly_constructed_engines() {
+    // The builder's seed derivation is a documented contract — scheduler
+    // from child(0), engine from child(1) — so a builder run must be
+    // bit-identical to a hand-assembled engine, not merely statistically
+    // equivalent.
     let counts = [90u64, 38];
-    let legacy = clique_gossip(&counts, GossipRule::TwoChoices, Seed::new(5))
-        .run_until_consensus(10_000_000)
-        .expect("converges");
+    let seed = Seed::new(5);
+    let config = Configuration::from_counts(&counts).expect("valid");
+    let mut direct = AsyncGossipSim::new(
+        Complete::new(128),
+        config,
+        GossipRule::TwoChoices,
+        SequentialScheduler::new(128, seed.child(0)),
+        seed.child(1),
+    );
+    let direct = direct.run_until_consensus(10_000_000).expect("converges");
     let built = Sim::builder()
         .topology(Complete::new(128))
         .counts(&counts)
         .gossip(GossipRule::TwoChoices)
-        .seed(Seed::new(5))
+        .seed(seed)
         .build()
         .expect("valid experiment")
         .run_to_consensus()
         .expect("converges");
-    assert_eq!(built.as_async(), Some(legacy));
+    assert_eq!(built.as_async(), Some(direct));
 
     let params = Params::for_network(128, 2);
-    let mut legacy_sim = clique_rapid(&counts, params, Seed::new(6));
-    let budget = legacy_sim.default_step_budget();
-    let legacy = legacy_sim.run_until_consensus(budget).expect("converges");
+    let seed = Seed::new(6);
+    let config = Configuration::from_counts(&counts).expect("valid");
+    let mut direct_sim = RapidSim::new(
+        Complete::new(128),
+        config,
+        params,
+        SequentialScheduler::new(128, seed.child(0)),
+        seed.child(1),
+    );
+    let budget = direct_sim.default_step_budget();
+    let direct = direct_sim.run_until_consensus(budget).expect("converges");
     let built = Sim::builder()
         .topology(Complete::new(128))
         .counts(&counts)
         .rapid(params)
-        .seed(Seed::new(6))
+        .seed(seed)
         .build()
         .expect("valid experiment")
         .run_to_consensus()
         .expect("converges");
-    assert_eq!(built.as_rapid(), Some(legacy));
+    assert_eq!(built.as_rapid(), Some(direct));
 }
 
 // -------------------------------------------------------- stop conditions

@@ -2,14 +2,30 @@
 //! and protocol invariants that must hold for *every* parameterisation.
 //! Driven by the deterministic [`rapid_sim::testkit`] harness.
 
-#![allow(deprecated)] // exercises the legacy shims on purpose
-
 use rapid_core::asynchronous::{Action, Params, Schedule};
 use rapid_core::opinion::{Color, ColorCounts, Configuration};
 use rapid_core::prelude::*;
 use rapid_graph::prelude::*;
 use rapid_sim::prelude::*;
 use rapid_sim::testkit::{cases, Gen};
+
+/// The paper's setting on `K_n`, built through the façade.
+fn clique_rapid(
+    counts: &[u64],
+    params: Params,
+    seed: Seed,
+) -> RapidSim<rapid_core::facade::BoxedTopology, rapid_core::facade::BoxedSource> {
+    let n: u64 = counts.iter().sum();
+    Sim::builder()
+        .topology(Complete::new(n as usize))
+        .counts(counts)
+        .rapid(params)
+        .seed(seed)
+        .build()
+        .expect("valid configuration")
+        .into_rapid()
+        .expect("rapid protocol was selected")
+}
 
 /// 2–7 colors with counts in 0..200 and a non-empty population.
 fn gen_counts(g: &mut Gen) -> Vec<u64> {

@@ -362,7 +362,7 @@ USAGE:
     xp list [--markdown]          list every experiment
     xp info <id>                  show an experiment's parameter schema
     xp run <id>... [OPTIONS]      run one or more experiments
-    xp all [OPTIONS]              run all sixteen experiments
+    xp all [OPTIONS]              run every registered experiment
     xp bench ...                  micro-benchmarks (see `xp bench help`)
     xp help                       this message
 
@@ -580,8 +580,8 @@ mod tests {
     fn golden_error_table() {
         assert_eq!(p(&["bogus"]), Err(CliError::UnknownCommand("bogus".into())));
         assert_eq!(
-            p(&["run", "e17"]),
-            Err(CliError::UnknownExperiment("e17".into()))
+            p(&["run", "e20"]),
+            Err(CliError::UnknownExperiment("e20".into()))
         );
         assert_eq!(p(&["run"]), Err(CliError::MissingExperiment));
         assert_eq!(p(&["info"]), Err(CliError::MissingExperiment));

@@ -1,0 +1,207 @@
+//! **E17 / Table 9 (extension)** — robustness to message loss.
+//!
+//! The paper's protocol assumes every pull is answered. Real gossip
+//! networks drop messages; the fault layer models this with a per-message
+//! loss probability `p`: each pulled response is lost independently with
+//! probability `p`, and an interaction aborts unless every response
+//! arrives (the node keeps its color for that tick).
+//!
+//! This experiment sweeps `p` and runs the unmodified rapid protocol on
+//! top. A lost Two-Choices sample merely wastes a slot, and the schedule
+//! has slack, so moderate loss should cost a constant factor in time while
+//! success stays high — until loss starves Bit-Propagation faster than a
+//! phase can spread the bit, and the success probability collapses.
+
+use rapid_core::prelude::*;
+use rapid_graph::prelude::*;
+use rapid_sim::fault::FaultPlan;
+use rapid_sim::prelude::*;
+use rapid_stats::OnlineStats;
+
+use crate::distributions::InitialDistribution;
+use crate::experiment::Experiment;
+use crate::params::{ParamMap, ParamSchema, ParamSpec};
+use crate::report::Report;
+use crate::runner::{run_trials_on, Threads};
+use crate::table::Table;
+
+/// Report title (also the registry's [`Experiment::title`]).
+const TITLE: &str = "Fault extension: robustness of the rapid protocol to message loss";
+
+/// Configuration for E17.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Config {
+    /// Population size.
+    pub n: u64,
+    /// Number of opinions.
+    pub k: usize,
+    /// Multiplicative lead `ε`.
+    pub eps: f64,
+    /// Per-message loss probabilities to test.
+    pub losses: Vec<f64>,
+    /// Trials per loss level.
+    pub trials: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 1 << 13,
+            k: 4,
+            eps: 0.5,
+            losses: vec![0.0, 0.05, 0.1, 0.2, 0.4],
+            trials: 10,
+            seed: 0xE17,
+        }
+    }
+}
+
+impl Config {
+    /// CI-scale preset.
+    pub fn quick() -> Self {
+        Config {
+            n: 1 << 10,
+            losses: vec![0.0, 0.2],
+            trials: 4,
+            ..Config::default()
+        }
+    }
+
+    /// Rebuilds a typed config from a validated [`ParamMap`].
+    pub fn from_params(p: &ParamMap) -> Config {
+        Config {
+            n: p.u64("n"),
+            k: p.usize("k"),
+            eps: p.f64("eps"),
+            losses: p.f64_list("losses"),
+            trials: p.u64("trials"),
+            seed: p.u64("seed"),
+        }
+    }
+}
+
+/// Declarative schema mirroring [`Config`].
+fn schema() -> ParamSchema {
+    let d = Config::default();
+    let q = Config::quick();
+    ParamSchema::new(vec![
+        ParamSpec::u64("n", "population size", d.n).quick(q.n),
+        ParamSpec::u64("k", "number of opinions", d.k as u64).quick(q.k as u64),
+        ParamSpec::f64("eps", "multiplicative lead", d.eps).quick(q.eps),
+        ParamSpec::f64_list("losses", "per-message loss probabilities", &d.losses).quick(q.losses),
+        ParamSpec::u64("trials", "trials per loss level", d.trials).quick(q.trials),
+        ParamSpec::u64("seed", "master seed", d.seed).quick(q.seed),
+    ])
+}
+
+/// Registry entry for this experiment.
+pub struct E17;
+
+impl Experiment for E17 {
+    fn id(&self) -> &'static str {
+        "e17"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn claim(&self) -> &'static str {
+        "fault model: message loss / Table 9"
+    }
+    fn params(&self) -> ParamSchema {
+        schema()
+    }
+    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+        let mut cfg = Config::from_params(params);
+        cfg.seed = seed.value();
+        run_on(&cfg, threads)
+    }
+}
+
+fn run_one(n: u64, k: usize, eps: f64, loss: f64, seed: Seed) -> Option<(f64, bool)> {
+    let params = Params::for_network_with_eps(n as usize, k, eps);
+    let outcome = Sim::builder()
+        .topology(Complete::new(n as usize))
+        .distribution(InitialDistribution::multiplicative_bias(k, eps))
+        .rapid(params)
+        .faults(FaultPlan::none().with_loss(loss))
+        .seed(seed)
+        .build()
+        .ok()?
+        .run();
+    let ok = outcome.converged()
+        && outcome.winner == Some(Color::new(0))
+        && outcome.before_first_halt == Some(true);
+    Some((outcome.time?.as_secs(), ok))
+}
+
+/// Runs E17 and returns its report.
+pub fn run(cfg: &Config) -> Report {
+    run_on(cfg, Threads::Auto)
+}
+
+/// [`run`] with an explicit worker policy (the registry path).
+pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+    let mut report = Report::new("E17", TITLE, cfg.seed);
+    let mut table = Table::new(
+        format!(
+            "RapidSim with per-message loss p, n = {}, k = {}, eps = {}",
+            cfg.n, cfg.k, cfg.eps
+        ),
+        &[
+            "loss p",
+            "time",
+            "stderr",
+            "time/ln(n)",
+            "success",
+            "trials",
+        ],
+    );
+
+    for &loss in &cfg.losses {
+        let results = run_trials_on(
+            cfg.trials,
+            Seed::new(cfg.seed ^ (loss * 1000.0) as u64),
+            threads,
+            move |_, seed| run_one(cfg.n, cfg.k, cfg.eps, loss, seed),
+        );
+        let valid: Vec<&(f64, bool)> = results.iter().flatten().collect();
+        if valid.is_empty() {
+            continue;
+        }
+        let ok: Vec<f64> = valid.iter().filter(|r| r.1).map(|r| r.0).collect();
+        let time: OnlineStats = ok.iter().copied().collect();
+        let success = valid.iter().filter(|r| r.1).count() as f64 / results.len().max(1) as f64;
+        table.push_row(vec![
+            format!("{loss}"),
+            format!("{:.1}", time.mean()),
+            format!("{:.1}", time.std_err()),
+            format!("{:.2}", time.mean() / (cfg.n as f64).ln()),
+            format!("{success:.2}"),
+            cfg.trials.to_string(),
+        ]);
+    }
+    table.push_note(
+        "an interaction aborts unless every pulled response arrives; losses waste \
+         schedule slots, so expect a graceful constant-factor slowdown before \
+         Bit-Propagation starves and success collapses",
+    );
+    report.push_table(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moderate_loss_is_tolerated() {
+        let report = run(&Config::quick());
+        let table = &report.tables[0];
+        assert_eq!(table.len(), 2);
+        let success = table.column_f64("success");
+        assert!(success[0] >= 0.75, "lossless success {}", success[0]);
+        assert!(success[1] >= 0.5, "loss-0.2 success {}", success[1]);
+    }
+}

@@ -1,0 +1,234 @@
+//! **E18 / Table 10 (extension)** — convergence under churn.
+//!
+//! Nodes crash and rejoin. A crashed node neither acts on its clock ticks
+//! nor answers pulls, but it keeps its opinion and still counts toward
+//! unanimity — so consensus must wait for it to rejoin and be converted.
+//!
+//! The schedule here crashes a fraction `f` of the population (spread
+//! evenly across the initial color blocks, so both opinions lose support)
+//! during a window in the early protocol, then rejoins all of them
+//! mid-run with their stale opinions intact. Asynchronous Two-Choices
+//! runs on top: the surviving majority keeps amplifying while the crashed
+//! nodes are away, and the rejoined stale minority is converted by the
+//! same drift — so success should stay high even for large `f`, at a
+//! time cost that grows with the window.
+
+use rapid_core::prelude::*;
+use rapid_graph::prelude::*;
+use rapid_sim::fault::{ChurnEvent, FaultPlan};
+use rapid_sim::prelude::*;
+use rapid_stats::OnlineStats;
+
+use crate::distributions::InitialDistribution;
+use crate::experiment::Experiment;
+use crate::params::{ParamMap, ParamSchema, ParamSpec};
+use crate::report::Report;
+use crate::runner::{run_trials_on, Threads};
+use crate::table::Table;
+
+/// Report title (also the registry's [`Experiment::title`]).
+const TITLE: &str = "Fault extension: convergence of async Two-Choices under churn";
+
+/// Configuration for E18.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Config {
+    /// Population size.
+    pub n: u64,
+    /// Multiplicative lead `ε` (two opinions).
+    pub eps: f64,
+    /// Fractions of the population crashed during the window.
+    pub crash_fracs: Vec<f64>,
+    /// When the crashed nodes go down.
+    pub down_at: f64,
+    /// When they rejoin.
+    pub up_at: f64,
+    /// Trials per fraction.
+    pub trials: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 1 << 13,
+            eps: 0.5,
+            crash_fracs: vec![0.0, 0.1, 0.25, 0.5],
+            down_at: 0.5,
+            up_at: 4.0,
+            trials: 10,
+            seed: 0xE18,
+        }
+    }
+}
+
+impl Config {
+    /// CI-scale preset.
+    pub fn quick() -> Self {
+        Config {
+            n: 1 << 10,
+            crash_fracs: vec![0.0, 0.25],
+            trials: 4,
+            ..Config::default()
+        }
+    }
+
+    /// Rebuilds a typed config from a validated [`ParamMap`].
+    pub fn from_params(p: &ParamMap) -> Config {
+        Config {
+            n: p.u64("n"),
+            eps: p.f64("eps"),
+            crash_fracs: p.f64_list("fracs"),
+            down_at: p.f64("down_at"),
+            up_at: p.f64("up_at"),
+            trials: p.u64("trials"),
+            seed: p.u64("seed"),
+        }
+    }
+}
+
+/// Declarative schema mirroring [`Config`].
+fn schema() -> ParamSchema {
+    let d = Config::default();
+    let q = Config::quick();
+    ParamSchema::new(vec![
+        ParamSpec::u64("n", "population size", d.n).quick(q.n),
+        ParamSpec::f64("eps", "multiplicative lead", d.eps).quick(q.eps),
+        ParamSpec::f64_list(
+            "fracs",
+            "crashed fractions of the population",
+            &d.crash_fracs,
+        )
+        .quick(q.crash_fracs),
+        ParamSpec::f64("down_at", "crash time", d.down_at).quick(q.down_at),
+        ParamSpec::f64("up_at", "rejoin time", d.up_at).quick(q.up_at),
+        ParamSpec::u64("trials", "trials per fraction", d.trials).quick(q.trials),
+        ParamSpec::u64("seed", "master seed", d.seed).quick(q.seed),
+    ])
+}
+
+/// Registry entry for this experiment.
+pub struct E18;
+
+impl Experiment for E18 {
+    fn id(&self) -> &'static str {
+        "e18"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn claim(&self) -> &'static str {
+        "fault model: churn / Table 10"
+    }
+    fn params(&self) -> ParamSchema {
+        schema()
+    }
+    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+        let mut cfg = Config::from_params(params);
+        cfg.seed = seed.value();
+        run_on(&cfg, threads)
+    }
+}
+
+/// The churn schedule: `m = frac·n` nodes, spread evenly over `0..n` (so
+/// both initial color blocks lose support), all down during
+/// `[down_at, up_at)`.
+fn churn_schedule(n: u64, frac: f64, down_at: f64, up_at: f64) -> Vec<ChurnEvent> {
+    let m = (frac * n as f64).round() as u64;
+    (0..m)
+        .map(|i| {
+            ChurnEvent::window(
+                NodeId::new((i * n / m.max(1)) as usize),
+                SimTime::from_secs(down_at),
+                SimTime::from_secs(up_at),
+            )
+        })
+        .collect()
+}
+
+fn run_one(cfg: &Config, frac: f64, seed: Seed) -> Option<(f64, bool)> {
+    let plan = FaultPlan::none().with_churn(churn_schedule(cfg.n, frac, cfg.down_at, cfg.up_at));
+    let outcome = Sim::builder()
+        .topology(Complete::new(cfg.n as usize))
+        .distribution(InitialDistribution::multiplicative_bias(2, cfg.eps))
+        .gossip(GossipRule::TwoChoices)
+        .faults(plan)
+        .seed(seed)
+        .build()
+        .ok()?
+        .run();
+    let ok = outcome.converged() && outcome.winner == Some(Color::new(0));
+    Some((outcome.time?.as_secs(), ok))
+}
+
+/// Runs E18 and returns its report.
+pub fn run(cfg: &Config) -> Report {
+    run_on(cfg, Threads::Auto)
+}
+
+/// [`run`] with an explicit worker policy (the registry path).
+pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+    let mut report = Report::new("E18", TITLE, cfg.seed);
+    let mut table = Table::new(
+        format!(
+            "async Two-Choices with frac*n nodes down during [{}, {}), n = {}, eps = {}",
+            cfg.down_at, cfg.up_at, cfg.n, cfg.eps
+        ),
+        &["crashed frac", "time", "stderr", "success", "trials"],
+    );
+
+    for &frac in &cfg.crash_fracs {
+        let cfg2 = cfg.clone();
+        let results = run_trials_on(
+            cfg.trials,
+            Seed::new(cfg.seed ^ (frac * 1000.0) as u64),
+            threads,
+            move |_, seed| run_one(&cfg2, frac, seed),
+        );
+        let valid: Vec<&(f64, bool)> = results.iter().flatten().collect();
+        if valid.is_empty() {
+            continue;
+        }
+        let ok: Vec<f64> = valid.iter().filter(|r| r.1).map(|r| r.0).collect();
+        let time: OnlineStats = ok.iter().copied().collect();
+        let success = valid.iter().filter(|r| r.1).count() as f64 / results.len().max(1) as f64;
+        table.push_row(vec![
+            format!("{frac}"),
+            format!("{:.1}", time.mean()),
+            format!("{:.1}", time.std_err()),
+            format!("{success:.2}"),
+            cfg.trials.to_string(),
+        ]);
+    }
+    table.push_note(
+        "crashed nodes freeze their opinion and still count toward unanimity; \
+         they rejoin stale and must be converted, so time grows with the churn \
+         window while the plurality's drift keeps success high",
+    );
+    report.push_table(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_schedule_spreads_over_the_population() {
+        let events = churn_schedule(100, 0.25, 0.5, 4.0);
+        assert_eq!(events.len(), 25);
+        let max = events.iter().map(|e| e.node.index()).max().expect("events");
+        assert!(max >= 90, "stride sampling must reach the last color block");
+        assert!(churn_schedule(100, 0.0, 0.5, 4.0).is_empty());
+    }
+
+    #[test]
+    fn heavy_churn_still_converges() {
+        let report = run(&Config::quick());
+        let table = &report.tables[0];
+        assert_eq!(table.len(), 2);
+        let success = table.column_f64("success");
+        assert!(success[0] >= 0.75, "churn-free success {}", success[0]);
+        assert!(success[1] >= 0.5, "25%-churn success {}", success[1]);
+    }
+}

@@ -25,11 +25,14 @@
 //! | [`e14`] | extension (§4): the protocols beyond the complete graph |
 //! | [`e15`] | extension (§4): heterogeneous clock rates |
 //! | [`e16`] | §3: quadratic amplification inside the asynchronous protocol |
+//! | [`e17`] | fault model: robustness to per-message loss |
+//! | [`e18`] | fault model: convergence under churn (crash + rejoin) |
+//! | [`e19`] | fault model: budgeted oblivious / adaptive adversaries |
 //!
 //! Each module exposes a `Config` (with [`Default`] = paper scale and a
 //! `quick()` preset for CI), a `run(&Config) -> Report`, and a zero-sized
-//! registry entry (`E01` … `E16`) implementing the [`Experiment`] trait.
-//! The [`registry::registry`] collects all sixteen entries; the `xp`
+//! registry entry (`E01` … `E19`) implementing the [`Experiment`] trait.
+//! The [`registry::registry`] collects every entry; the `xp`
 //! binary in `rapid-bench` multiplexes them behind one CLI:
 //!
 //! ```text
@@ -68,6 +71,9 @@ pub mod e13;
 pub mod e14;
 pub mod e15;
 pub mod e16;
+pub mod e17;
+pub mod e18;
+pub mod e19;
 
 pub use distributions::InitialDistribution;
 pub use experiment::Experiment;

@@ -6,9 +6,11 @@
 //! it.
 
 use crate::experiment::Experiment;
-use crate::{e01, e02, e03, e04, e05, e06, e07, e08, e09, e10, e11, e12, e13, e14, e15, e16};
+use crate::{
+    e01, e02, e03, e04, e05, e06, e07, e08, e09, e10, e11, e12, e13, e14, e15, e16, e17, e18, e19,
+};
 
-static REGISTRY: [&dyn Experiment; 16] = [
+static REGISTRY: [&dyn Experiment; 19] = [
     &e01::E01,
     &e02::E02,
     &e03::E03,
@@ -25,6 +27,9 @@ static REGISTRY: [&dyn Experiment; 16] = [
     &e14::E14,
     &e15::E15,
     &e16::E16,
+    &e17::E17,
+    &e18::E18,
+    &e19::E19,
 ];
 
 /// Every experiment, sorted by [`Experiment::id`].
@@ -76,12 +81,12 @@ mod tests {
     #[test]
     fn registry_is_complete_unique_and_sorted() {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
-        assert_eq!(ids.len(), 16);
+        assert_eq!(ids.len(), 19);
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(ids, sorted, "ids must be unique and sorted");
-        for i in 1..=16 {
+        for i in 1..=19 {
             assert!(
                 ids.contains(&format!("e{i:02}").as_str()),
                 "missing e{i:02}"
@@ -93,7 +98,7 @@ mod tests {
     fn find_is_case_insensitive() {
         assert_eq!(find("e06").expect("exists").id(), "e06");
         assert_eq!(find("E06").expect("exists").id(), "e06");
-        assert!(find("e17").is_none());
+        assert!(find("e20").is_none());
         assert!(find("").is_none());
     }
 

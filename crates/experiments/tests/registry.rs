@@ -5,7 +5,7 @@
 
 use rapid_experiments::prelude::*;
 use rapid_experiments::{
-    e01, e02, e03, e04, e05, e06, e07, e08, e09, e10, e11, e12, e13, e14, e15, e16,
+    e01, e02, e03, e04, e05, e06, e07, e08, e09, e10, e11, e12, e13, e14, e15, e16, e17, e18, e19,
 };
 
 /// Every experiment's `from_params` over both presets must reproduce the
@@ -27,7 +27,7 @@ macro_rules! check_config_equivalence {
 }
 
 #[test]
-fn param_presets_match_legacy_configs_for_all_16() {
+fn param_presets_match_legacy_configs_for_all_experiments() {
     check_config_equivalence!(
         e01 => e01::E01,
         e02 => e02::E02,
@@ -45,6 +45,9 @@ fn param_presets_match_legacy_configs_for_all_16() {
         e14 => e14::E14,
         e15 => e15::E15,
         e16 => e16::E16,
+        e17 => e17::E17,
+        e18 => e18::E18,
+        e19 => e19::E19,
     );
 }
 
@@ -119,11 +122,11 @@ fn forced_thread_counts_produce_identical_reports() {
     assert_eq!(one.to_json(), many.to_json());
 }
 
-/// Registry completeness: all 16 ids present, unique, sorted, findable.
+/// Registry completeness: all 19 ids present, unique, sorted, findable.
 #[test]
 fn registry_is_complete() {
     let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
-    let expected: Vec<String> = (1..=16).map(|i| format!("e{i:02}")).collect();
+    let expected: Vec<String> = (1..=19).map(|i| format!("e{i:02}")).collect();
     assert_eq!(ids, expected.iter().map(String::as_str).collect::<Vec<_>>());
     for id in &expected {
         assert!(find(id).is_some(), "{id} must resolve");

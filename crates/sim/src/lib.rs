@@ -17,6 +17,9 @@
 //!   equivalence can be tested rather than assumed.
 //! * [`delay`] — response-delay models for the discussion-section extension
 //!   (exponentially distributed pull latencies).
+//! * [`fault`] — the fault & adversary layer: message loss, per-edge
+//!   latency distributions (including heavy-tailed), churn schedules, and
+//!   budgeted opinion-corrupting adversaries, all seed-deterministic.
 //! * [`trace`] — recording and replaying activation sequences.
 //! * [`metrics`] — per-node activation statistics (tick concentration).
 //!
@@ -42,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod delay;
+pub mod fault;
 pub mod metrics;
 pub mod node;
 pub mod poisson;
@@ -52,6 +56,10 @@ pub mod time;
 pub mod trace;
 
 pub use delay::ResponseDelay;
+pub use fault::{
+    AdversaryKind, AdversaryPlan, ChurnEvent, FaultError, FaultPlan, FaultState, LatencyModel,
+    LatencyScheduler,
+};
 pub use metrics::ActivationStats;
 pub use node::NodeId;
 pub use poisson::{sample_exponential, sample_poisson, PoissonProcess};
@@ -66,6 +74,10 @@ pub use trace::{ActivationTrace, TraceReplay};
 /// Convenient glob-import of the most used items.
 pub mod prelude {
     pub use crate::delay::ResponseDelay;
+    pub use crate::fault::{
+        AdversaryKind, AdversaryPlan, ChurnEvent, FaultPlan, FaultState, LatencyModel,
+        LatencyScheduler,
+    };
     pub use crate::metrics::ActivationStats;
     pub use crate::node::NodeId;
     pub use crate::poisson::{sample_exponential, PoissonProcess};

@@ -16,6 +16,32 @@
 //!   continuous-time schedulers agree and that Bit-Propagation matches the
 //!   Pólya-urn prediction.
 //! * [`summary`] — one-line numeric summaries for table cells.
+//!
+//! # Example
+//!
+//! The typical experiment pipeline end to end: accumulate trial outputs
+//! in one pass, read off moments and quantiles, and fit the shape:
+//!
+//! ```
+//! use rapid_stats::{fit_line, quantile, OnlineStats};
+//!
+//! // "Measured time" growing like 2x + noise-free intercept 1.
+//! let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+//!
+//! let stats: OnlineStats = ys.iter().copied().collect();
+//! assert_eq!(stats.count(), 100);
+//! assert!((stats.mean() - 102.0).abs() < 1e-9);
+//! assert!(stats.std_err() > 0.0);
+//!
+//! let median = quantile(&ys, 0.5);
+//! assert!((median - 102.0).abs() <= 2.0);
+//!
+//! let fit = fit_line(&xs, &ys);
+//! assert!((fit.slope - 2.0).abs() < 1e-9);
+//! assert!((fit.intercept - 1.0).abs() < 1e-6);
+//! assert!(fit.r_squared > 0.999);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

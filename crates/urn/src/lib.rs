@@ -18,6 +18,27 @@
 //!   Marsaglia–Tsang sampler for KS comparisons;
 //! * [`coupling`] — the explicit Bit-Propagation ⇄ urn coupling used by
 //!   experiment E10.
+//!
+//! # Example
+//!
+//! Run a two-color urn and compare the empirical fraction against the
+//! exact martingale mean — the property the paper's Lemma rests on:
+//!
+//! ```
+//! use rapid_sim::rng::{Seed, SimRng};
+//! use rapid_urn::{fraction_mean, PolyaUrn};
+//!
+//! let mut urn = PolyaUrn::new(vec![30, 10], 1).expect("two colors");
+//! let mut rng = SimRng::from_seed_value(Seed::new(7));
+//! for _ in 0..1000 {
+//!     urn.step(&mut rng);
+//! }
+//! // The fraction of color 0 is a martingale: its mean stays 30/40.
+//! assert!((fraction_mean(30, 10) - 0.75).abs() < 1e-12);
+//! let frac = urn.counts()[0] as f64 / urn.total() as f64;
+//! assert!((0.0..=1.0).contains(&frac));
+//! assert_eq!(urn.total(), 30 + 10 + 1000);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

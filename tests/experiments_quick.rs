@@ -66,11 +66,14 @@ quick_test!(
     e14_quick_report_is_well_formed => "e14",
     e15_quick_report_is_well_formed => "e15",
     e16_quick_report_is_well_formed => "e16",
+    e17_quick_report_is_well_formed => "e17",
+    e18_quick_report_is_well_formed => "e18",
+    e19_quick_report_is_well_formed => "e19",
 );
 
 #[test]
-fn registry_covers_exactly_the_16_experiments() {
-    assert_eq!(registry().len(), 16);
+fn registry_covers_exactly_the_19_experiments() {
+    assert_eq!(registry().len(), 19);
     for (i, exp) in registry().iter().enumerate() {
         assert_eq!(exp.id(), format!("e{:02}", i + 1));
     }
