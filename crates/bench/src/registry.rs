@@ -12,12 +12,15 @@
 //!   heavy-tailed latency wrap);
 //! * `topology` — neighbor sampling;
 //! * `urn` / `rng` / `stats` — the primitive draws and accumulators;
+//! * `macro` — the population-level engine: one τ-leap batch, and a full
+//!   run to unanimity at `n = 10⁶`;
 //! * `consensus` — a full run to unanimity per iteration (the end-to-end
 //!   smoke kernels every experiment binary spends its time in).
 
-use rapid_core::facade::{Sim, StopCondition};
+use rapid_core::facade::{EngineKind, Sim, StopCondition};
 use rapid_core::prelude::*;
 use rapid_graph::prelude::*;
+use rapid_macro::MacroSim;
 use rapid_sim::fault::{
     AdversaryKind, AdversaryPlan, ChurnEvent, FaultPlan, LatencyModel, LatencyScheduler,
 };
@@ -303,6 +306,59 @@ fn urn_beta_sample() -> Box<dyn FnMut()> {
     })
 }
 
+fn rng_multinomial_64() -> Box<dyn FnMut()> {
+    // One multinomial draw = 64 conditional binomials (the τ-leap's
+    // per-bucket splitting primitive); 100 draws per iteration.
+    let weights: Vec<f64> = (1..=64).map(|i| i as f64).collect();
+    let mut rng = SimRng::from_seed_value(Seed::new(9));
+    let mut counts = vec![0u64; 64];
+    Box::new(move || {
+        let mut acc = 0u64;
+        for _ in 0..100 {
+            rng.multinomial_into(1_000_000, &weights, &mut counts);
+            acc = acc.wrapping_add(counts[0]);
+        }
+        std::hint::black_box(acc);
+    })
+}
+
+fn macro_gossip_sim(n: usize, seed: u64) -> MacroSim {
+    let counts = bench_counts(n as u64, 8, 0.3);
+    MacroSim::from_builder(
+        Sim::builder()
+            .topology(Complete::new(n))
+            .counts(&counts)
+            .gossip(GossipRule::TwoChoices)
+            .engine(EngineKind::Macro)
+            .seed(Seed::new(seed)),
+    )
+    .expect("valid macro assembly")
+}
+
+fn macro_tau_leap_tick() -> Box<dyn FnMut()> {
+    // One τ-leap batch (n/8 activations over 8 color buckets) per call;
+    // the sim keeps advancing across iterations like the micro tick
+    // kernels do. n = 10⁸ so the state never reaches absorption within a
+    // bench budget.
+    let mut sim = macro_gossip_sim(100_000_000, 10);
+    Box::new(move || {
+        sim.tau_leap_tick();
+        std::hint::black_box(sim.counts()[0]);
+    })
+}
+
+fn macro_full_run_1e6() -> Box<dyn FnMut()> {
+    // A whole population-level run to unanimity at n = 10⁶ per iteration
+    // (τ-leap bulk + exact single-event tail).
+    let mut seed = 0u64;
+    Box::new(move || {
+        seed += 1;
+        let mut sim = macro_gossip_sim(1_000_000, seed);
+        let out = sim.run();
+        assert!(out.converged(), "macro run converges");
+    })
+}
+
 fn rng_next_u64() -> Box<dyn FnMut()> {
     let mut rng = SimRng::from_seed_value(Seed::new(1));
     Box::new(move || {
@@ -446,7 +502,7 @@ macro_rules! kernel {
     };
 }
 
-static KERNELS: [KernelBench; 27] = [
+static KERNELS: [KernelBench; 30] = [
     kernel!(
         "consensus/gossip_endgame_halt/2048",
         "async Two-Choices endgame run with a 200-tick halt budget, n=2048",
@@ -490,6 +546,20 @@ static KERNELS: [KernelBench; 27] = [
         gossip_tick_faulty_4096
     ),
     kernel!(
+        "macro/full_run/1e6",
+        "full population-level Two-Choices run to unanimity, n=10^6 k=8",
+        "macro",
+        1,
+        macro_full_run_1e6
+    ),
+    kernel!(
+        "macro/tau_leap_tick",
+        "one tau-leap batch (n/8 activations) of the macro engine, n=10^8 k=8",
+        "macro",
+        1,
+        macro_tau_leap_tick
+    ),
+    kernel!(
         "rapid/clique_tick/4096",
         "10k Rapid two-phase protocol ticks on K_4096, k=8",
         "rapid",
@@ -509,6 +579,13 @@ static KERNELS: [KernelBench; 27] = [
         "rng",
         BATCH,
         rng_bounded
+    ),
+    kernel!(
+        "rng/multinomial/64",
+        "100 multinomial draws over 64 categories (n=10^6 each)",
+        "rng",
+        100,
+        rng_multinomial_64
     ),
     kernel!(
         "rng/next_u64",
@@ -695,6 +772,7 @@ mod tests {
         for g in [
             "consensus",
             "gossip",
+            "macro",
             "rapid",
             "rng",
             "scheduler",
@@ -716,7 +794,7 @@ mod tests {
         let by_substring = select(&["event_queue".to_string()]).expect("matches");
         assert_eq!(by_substring.len(), 2);
         let dedup = select(&["rng".to_string(), "rng/bounded".to_string()]).expect("matches");
-        assert_eq!(dedup.len(), 3, "selectors must not duplicate benches");
+        assert_eq!(dedup.len(), 4, "selectors must not duplicate benches");
         let err = match select(&["bogus".to_string()]) {
             Err(sel) => sel,
             Ok(_) => panic!("bogus selector must not match"),

@@ -113,6 +113,103 @@ impl std::fmt::Debug for Protocol {
     }
 }
 
+/// The engine axis: at what resolution the dynamics are simulated.
+///
+/// * [`EngineKind::Micro`] — one struct per node (every engine that
+///   existed before the macro subsystem). The only kind [`SimBuilder::build`]
+///   accepts; exact, but state is `O(n)`.
+/// * [`EngineKind::Macro`] — population-level stochastic simulation:
+///   occupancy counts per (opinion, protocol-state) bucket, advanced by
+///   τ-leaped multinomial batches with an exact single-event fallback.
+///   State is `O(k · levels)`, so `n = 10⁸–10⁹` is practical. Built via
+///   [`SimBuilder::build_macro_spec`] and executed by the `rapid-macro`
+///   crate.
+/// * [`EngineKind::MeanField`] — the deterministic `n → ∞` limit: RK4
+///   over the expected-drift equations (no randomness, no seed
+///   dependence). Also executed by `rapid-macro`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Per-node simulation (the default).
+    #[default]
+    Micro,
+    /// Count-based population dynamics (τ-leap + exact fallback).
+    Macro,
+    /// Deterministic mean-field ODE integration.
+    MeanField,
+}
+
+impl EngineKind {
+    /// Stable lower-case label for tables and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Micro => "micro",
+            EngineKind::Macro => "macro",
+            EngineKind::MeanField => "mean-field",
+        }
+    }
+}
+
+/// The protocol selection of a macro-engine run: the subset of
+/// [`Protocol`] whose dynamics are exchangeable (identical update rule for
+/// every node), which is what a count-based engine can represent.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum MacroProtocol {
+    /// Plain asynchronous gossip under one update rule.
+    Gossip(GossipRule),
+    /// The paper's full working-time-scheduled protocol.
+    Rapid(Params),
+}
+
+impl MacroProtocol {
+    /// Short human-readable name for tables and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MacroProtocol::Gossip(rule) => rule.name(),
+            MacroProtocol::Rapid(_) => "rapid",
+        }
+    }
+}
+
+/// A fully validated description of a population-level run: everything a
+/// macro engine needs, with **no per-node state** — building one at
+/// `n = 10⁹` allocates `O(k)`, not `O(n)`.
+///
+/// Produced by [`SimBuilder::build_macro_spec`]; executed by
+/// `rapid_macro::MacroSim` ([`EngineKind::Macro`]) or
+/// `rapid_macro::MeanFieldSim` ([`EngineKind::MeanField`]). The spec is
+/// pure data so the builder (validation) and the engines (execution) can
+/// live on opposite sides of the crate graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MacroSpec {
+    /// Which macro engine was selected ([`EngineKind::Macro`] or
+    /// [`EngineKind::MeanField`], never [`EngineKind::Micro`]).
+    pub kind: EngineKind,
+    /// Population size.
+    pub n: u64,
+    /// Per-color initial support counts (color 0 first, sums to `n`).
+    pub counts: Vec<u64>,
+    /// The protocol to run.
+    pub protocol: MacroProtocol,
+    /// Poisson clock rate (ticks per node per time unit). The macro
+    /// engine simulates the embedded activation chain, so the rate only
+    /// scales reported times.
+    pub rate: f64,
+    /// Per-message loss probability (`0.0` when no fault plan was set —
+    /// the only fault knob whose semantics survive aggregation).
+    pub loss: f64,
+    /// Master seed (ignored by the deterministic mean-field engine).
+    pub seed: Seed,
+    /// Stop conditions, checked on top of the implicit unanimity check.
+    pub stops: Vec<StopCondition>,
+}
+
+impl MacroSpec {
+    /// Number of opinions.
+    pub fn k(&self) -> usize {
+        self.counts.len()
+    }
+}
+
 /// The clock axis: how asynchronous activations are generated.
 ///
 /// Ignored by synchronous protocols, which run in lockstep rounds.
@@ -241,6 +338,19 @@ pub enum BuildError {
     /// pulls, late adversaries) and only the asynchronous engines consult
     /// it.
     FaultsRequireAsync,
+    /// The macro / mean-field engines require the complete graph: a
+    /// count-based state assumes every node samples uniformly from the
+    /// whole population (exchangeability).
+    MacroRequiresComplete,
+    /// The selected axis combination has no population-level semantics;
+    /// the payload names the axis (synchronous protocols, per-node halt
+    /// budgets, jitter, non-exchangeable clocks, per-node fault knobs).
+    MacroUnsupported(&'static str),
+    /// The wrong build entry point was called for the selected
+    /// [`EngineKind`]: `build()` constructs micro engines only, macro and
+    /// mean-field assemblies go through `build_macro_spec()`. The payload
+    /// names the method to call instead.
+    EngineMismatch(&'static str),
 }
 
 impl std::fmt::Display for BuildError {
@@ -283,6 +393,20 @@ impl std::fmt::Display for BuildError {
                 f,
                 "a non-neutral fault plan requires an asynchronous protocol (gossip or rapid)"
             ),
+            BuildError::MacroRequiresComplete => write!(
+                f,
+                "the macro and mean-field engines require the complete graph \
+                 (count-based state assumes exchangeable sampling)"
+            ),
+            BuildError::MacroUnsupported(what) => {
+                write!(f, "the macro and mean-field engines do not support {what}")
+            }
+            BuildError::EngineMismatch(instead) => {
+                write!(
+                    f,
+                    "wrong build entry point for this engine kind; use {instead}"
+                )
+            }
         }
     }
 }
@@ -497,6 +621,7 @@ pub struct SimBuilder {
     topology: Option<BoxedTopology>,
     init: Option<Init>,
     protocol: Option<Protocol>,
+    engine: EngineKind,
     clock: Clock,
     jitter: Option<f64>,
     faults: Option<FaultPlan>,
@@ -512,6 +637,7 @@ impl SimBuilder {
             topology: None,
             init: None,
             protocol: None,
+            engine: EngineKind::default(),
             clock: Clock::default(),
             jitter: None,
             faults: None,
@@ -579,6 +705,17 @@ impl SimBuilder {
         self
     }
 
+    /// Selects the simulation engine (default: [`EngineKind::Micro`]).
+    ///
+    /// [`EngineKind::Macro`] and [`EngineKind::MeanField`] assemblies are
+    /// finalised with [`SimBuilder::build_macro_spec`] (and executed by the
+    /// `rapid-macro` crate); [`SimBuilder::build`] rejects them with
+    /// [`BuildError::EngineMismatch`].
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.engine = kind;
+        self
+    }
+
     /// Sets the clock model for asynchronous protocols.
     pub fn clock(mut self, clock: Clock) -> Self {
         self.clock = clock;
@@ -637,6 +774,11 @@ impl SimBuilder {
     /// Returns a [`BuildError`] naming the first inconsistency: a missing
     /// axis, an `n` mismatch, invalid parameters, or an unusable clock.
     pub fn build(self) -> Result<Sim, BuildError> {
+        if self.engine != EngineKind::Micro {
+            return Err(BuildError::EngineMismatch(
+                "SimBuilder::build_macro_spec (run via rapid_macro) for Engine::Macro/MeanField",
+            ));
+        }
         let topology = self.topology.ok_or(BuildError::MissingTopology)?;
         let n = topology.n();
         let init = self.init.ok_or(BuildError::MissingInitialState)?;
@@ -743,6 +885,147 @@ impl SimBuilder {
 
         Ok(Sim {
             engine,
+            stops: self.stops,
+        })
+    }
+
+    /// Validates the assembly for a population-level engine
+    /// ([`EngineKind::Macro`] or [`EngineKind::MeanField`]) and returns
+    /// the pure-data [`MacroSpec`] the `rapid-macro` crate executes.
+    ///
+    /// Unlike [`SimBuilder::build`], no per-node state is materialised:
+    /// the spec is `O(k)`, so `n = 10⁹` builds instantly. Macro semantics
+    /// constrain the axes:
+    ///
+    /// * the topology must be the complete graph
+    ///   ([`BuildError::MacroRequiresComplete`]);
+    /// * the protocol must be asynchronous gossip or rapid, without a
+    ///   per-node halt budget;
+    /// * the clock must be exchangeable — [`Clock::Sequential`] or
+    ///   [`Clock::EventQueue`]; skewed or per-node rates have no
+    ///   count-level representation;
+    /// * of the fault axis only per-message **loss** composes (it scales
+    ///   every interaction identically); latency, churn and adversaries
+    ///   are per-node / per-edge and are rejected
+    ///   ([`BuildError::MacroUnsupported`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] naming the first inconsistency, including
+    /// [`BuildError::EngineMismatch`] when the builder's engine kind is
+    /// [`EngineKind::Micro`].
+    pub fn build_macro_spec(self) -> Result<MacroSpec, BuildError> {
+        let kind = self.engine;
+        if kind == EngineKind::Micro {
+            return Err(BuildError::EngineMismatch(
+                "SimBuilder::build for Engine::Micro",
+            ));
+        }
+        let topology = self.topology.ok_or(BuildError::MissingTopology)?;
+        if !topology.is_complete() {
+            return Err(BuildError::MacroRequiresComplete);
+        }
+        let n = topology.n() as u64;
+        let init = self.init.ok_or(BuildError::MissingInitialState)?;
+        let protocol = match self.protocol.ok_or(BuildError::MissingProtocol)? {
+            Protocol::Gossip(rule) => MacroProtocol::Gossip(rule),
+            Protocol::Rapid(params) => {
+                params.check().map_err(BuildError::InvalidParams)?;
+                MacroProtocol::Rapid(params)
+            }
+            Protocol::Sync(_) => {
+                return Err(BuildError::MacroUnsupported(
+                    "synchronous protocols (population dynamics model the Poisson-clock chain)",
+                ))
+            }
+        };
+
+        // Counts only — never a per-node assignment. (A caller-supplied
+        // Configuration is accepted and reduced to its histogram: on the
+        // complete graph the assignment carries no extra information.)
+        let counts = match init {
+            Init::Counts(counts) => {
+                // Reuse the histogram validation without the O(n) colors vec.
+                let c = crate::opinion::ColorCounts::from_counts(&counts)
+                    .map_err(BuildError::Config)?;
+                if c.n() != n {
+                    return Err(BuildError::SizeMismatch {
+                        topology_n: n as usize,
+                        config_n: c.n() as usize,
+                    });
+                }
+                counts
+            }
+            Init::Assignment(config) => {
+                if config.n() as u64 != n {
+                    return Err(BuildError::SizeMismatch {
+                        topology_n: n as usize,
+                        config_n: config.n(),
+                    });
+                }
+                config.counts().as_slice().to_vec()
+            }
+            Init::Distribution(dist) => dist.counts(n)?,
+        };
+
+        if self.halt_after.is_some() {
+            return Err(BuildError::MacroUnsupported(
+                "per-node halt budgets (bucket state carries no per-node tick counts)",
+            ));
+        }
+        if let Some(rate) = self.jitter {
+            if !(rate.is_finite() && rate > 0.0) {
+                return Err(BuildError::InvalidJitter(rate));
+            }
+            return Err(BuildError::MacroUnsupported(
+                "jitter (response delays reorder individual activations)",
+            ));
+        }
+        check_clock(&self.clock, n as usize)?;
+        let rate = match self.clock {
+            Clock::Sequential(_) => 1.0,
+            Clock::EventQueue { rate } => rate,
+            Clock::UniformSkew { .. } | Clock::Rates(_) => {
+                return Err(BuildError::MacroUnsupported(
+                    "heterogeneous clock rates (buckets assume exchangeable nodes)",
+                ))
+            }
+        };
+        // Faults: validate the full plan, then keep only what composes.
+        let loss = match self.faults {
+            None => 0.0,
+            Some(plan) => {
+                plan.check(n as usize)?;
+                if !plan.latency.is_none() {
+                    return Err(BuildError::MacroUnsupported(
+                        "latency models (per-edge delays reorder individual activations)",
+                    ));
+                }
+                if !plan.churn.is_empty() {
+                    return Err(BuildError::MacroUnsupported(
+                        "churn (crash/rejoin schedules name individual nodes)",
+                    ));
+                }
+                if plan.adversary.is_some_and(|a| a.budget > 0) {
+                    return Err(BuildError::MacroUnsupported(
+                        "adversaries (corruptions target individual nodes)",
+                    ));
+                }
+                plan.loss
+            }
+        };
+
+        // `shuffle` permutes the node–color assignment, which a histogram
+        // cannot see: accept it silently, exactly like micro runs on the
+        // complete graph where it is equally irrelevant.
+        Ok(MacroSpec {
+            kind,
+            n,
+            counts,
+            protocol,
+            rate,
+            loss,
+            seed: self.seed,
             stops: self.stops,
         })
     }

@@ -580,8 +580,8 @@ mod tests {
     fn golden_error_table() {
         assert_eq!(p(&["bogus"]), Err(CliError::UnknownCommand("bogus".into())));
         assert_eq!(
-            p(&["run", "e20"]),
-            Err(CliError::UnknownExperiment("e20".into()))
+            p(&["run", "e23"]),
+            Err(CliError::UnknownExperiment("e23".into()))
         );
         assert_eq!(p(&["run"]), Err(CliError::MissingExperiment));
         assert_eq!(p(&["info"]), Err(CliError::MissingExperiment));

@@ -1,0 +1,197 @@
+//! **E20 / macro validation** — micro/macro cross-validation sweep.
+//!
+//! The macro engine (`rapid-macro`) claims to simulate the *same*
+//! stochastic process as the per-node engines, three orders of magnitude
+//! further up in `n`. This experiment is the evidence: for each `n` in
+//! the sweep it runs matched micro and macro trial sets of asynchronous
+//! Two-Choices and of the full rapid protocol, records the occupancy
+//! trajectories at a grid of time checkpoints, and reports the
+//! total-variation distance between the mean trajectories together with
+//! the bootstrap-CI overlap verdict from `rapid_macro::crossval`.
+
+use rapid_core::facade::MacroProtocol;
+use rapid_core::prelude::*;
+use rapid_macro::crossval::{cross_validate, CrossValConfig};
+use rapid_sim::rng::Seed;
+
+use crate::experiment::Experiment;
+use crate::params::{ParamMap, ParamSchema, ParamSpec};
+use crate::report::Report;
+use crate::runner::Threads;
+use crate::table::Table;
+
+/// Report title (also the registry's [`Experiment::title`]).
+const TITLE: &str = "Macro validation: micro vs macro occupancy trajectories agree";
+
+/// Configuration for E20.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Config {
+    /// Population sizes to cross-validate at (micro must be feasible).
+    pub ns: Vec<u64>,
+    /// Number of opinions.
+    pub k: usize,
+    /// Multiplicative lead `ε` of the plurality.
+    pub eps: f64,
+    /// Whether to validate the rapid protocol as well as gossip.
+    pub rapid: bool,
+    /// Trials per engine per configuration.
+    pub trials: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            ns: vec![1 << 10, 1 << 14],
+            k: 2,
+            eps: 0.5,
+            rapid: true,
+            trials: 8,
+            seed: 0xE20,
+        }
+    }
+}
+
+impl Config {
+    /// CI-scale preset.
+    pub fn quick() -> Self {
+        Config {
+            ns: vec![1 << 10],
+            trials: 4,
+            ..Config::default()
+        }
+    }
+
+    /// Rebuilds a typed config from a validated [`ParamMap`].
+    pub fn from_params(p: &ParamMap) -> Config {
+        Config {
+            ns: p.u64_list("ns"),
+            k: p.usize("k"),
+            eps: p.f64("eps"),
+            rapid: p.bool("rapid"),
+            trials: p.u64("trials"),
+            seed: p.u64("seed"),
+        }
+    }
+}
+
+/// Declarative schema mirroring [`Config`].
+fn schema() -> ParamSchema {
+    let d = Config::default();
+    let q = Config::quick();
+    ParamSchema::new(vec![
+        ParamSpec::u64_list("ns", "population sizes", &d.ns).quick(q.ns),
+        ParamSpec::u64("k", "number of opinions", d.k as u64).quick(q.k as u64),
+        ParamSpec::f64("eps", "multiplicative lead", d.eps).quick(q.eps),
+        ParamSpec::bool("rapid", "also validate the rapid protocol", d.rapid).quick(q.rapid),
+        ParamSpec::u64("trials", "trials per engine", d.trials).quick(q.trials),
+        ParamSpec::u64("seed", "master seed", d.seed).quick(q.seed),
+    ])
+}
+
+/// Registry entry for this experiment.
+pub struct E20;
+
+impl Experiment for E20 {
+    fn id(&self) -> &'static str {
+        "e20"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn claim(&self) -> &'static str {
+        "macro engine: micro/macro agreement"
+    }
+    fn params(&self) -> ParamSchema {
+        schema()
+    }
+    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+        let mut cfg = Config::from_params(params);
+        cfg.seed = seed.value();
+        run_on(&cfg, threads)
+    }
+}
+
+fn biased_counts(n: u64, k: usize, eps: f64) -> Vec<u64> {
+    let c = (n as f64 / (k as f64 + eps)).floor() as u64;
+    let mut counts = vec![c; k];
+    counts[0] = n - c * (k as u64 - 1);
+    counts
+}
+
+/// Runs E20 and returns its report.
+pub fn run(cfg: &Config) -> Report {
+    run_on(cfg, Threads::Auto)
+}
+
+/// [`run`] with an explicit worker policy (the registry path). The
+/// cross-validation harness is deliberately single-threaded (its trial
+/// seeds are part of the comparison contract), so `threads` is unused.
+pub fn run_on(cfg: &Config, _threads: Threads) -> Report {
+    let mut report = Report::new("E20", TITLE, cfg.seed);
+    let mut table = Table::new(
+        format!(
+            "micro vs macro mean occupancy at shared checkpoints, k = {}, eps = {}, {} trials/engine",
+            cfg.k, cfg.eps, cfg.trials
+        ),
+        &[
+            "protocol", "n", "t", "micro c1", "macro c1", "TV", "agree",
+        ],
+    );
+
+    for &n in &cfg.ns {
+        let mut protocols = vec![MacroProtocol::Gossip(GossipRule::TwoChoices)];
+        if cfg.rapid {
+            protocols.push(MacroProtocol::Rapid(Params::for_network_with_eps(
+                n as usize, cfg.k, cfg.eps,
+            )));
+        }
+        for protocol in protocols {
+            let mut cv = CrossValConfig::new(n, biased_counts(n, cfg.k, cfg.eps), protocol);
+            cv.trials = cfg.trials;
+            cv.seed = cfg.seed ^ n;
+            let result = cross_validate(&cv);
+            for c in &result.checkpoints {
+                table.push_row(vec![
+                    protocol.name().to_string(),
+                    n.to_string(),
+                    format!("{:.1}", c.time),
+                    format!("{:.4}", c.micro_mean[0]),
+                    format!("{:.4}", c.macro_mean[0]),
+                    format!("{:.4}", c.tv),
+                    if c.agree { "1" } else { "0" }.to_string(),
+                ]);
+            }
+        }
+    }
+    table.push_note(
+        "agree = bootstrap CIs of the mean occupancy overlap for every color; \
+         TV = total-variation distance between the mean occupancy vectors. \
+         The macro engine simulates the same embedded chain, so both columns \
+         should track within trial noise at every checkpoint",
+    );
+    report.push_table(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_cross_validation_agrees() {
+        let report = run(&Config::quick());
+        let table = &report.tables[0];
+        assert!(!table.is_empty());
+        let agree = table.column_f64("agree");
+        let ok = agree.iter().filter(|&&a| a == 1.0).count();
+        assert!(
+            ok * 10 >= agree.len() * 9,
+            "agreement below 90%: {ok}/{}",
+            agree.len()
+        );
+        let tv = table.column_f64("TV");
+        assert!(tv.iter().all(|&t| t < 0.1), "TV outlier: {tv:?}");
+    }
+}

@@ -28,10 +28,13 @@
 //! | [`e17`] | fault model: robustness to per-message loss |
 //! | [`e18`] | fault model: convergence under churn (crash + rejoin) |
 //! | [`e19`] | fault model: budgeted oblivious / adaptive adversaries |
+//! | [`e20`] | macro engine: micro vs macro occupancy trajectories agree |
+//! | [`e21`] | macro engine: time-to-plurality at `n` up to `10⁹` |
+//! | [`e22`] | macro engine: the `√(n log n)` bias threshold at scale |
 //!
 //! Each module exposes a `Config` (with [`Default`] = paper scale and a
 //! `quick()` preset for CI), a `run(&Config) -> Report`, and a zero-sized
-//! registry entry (`E01` … `E19`) implementing the [`Experiment`] trait.
+//! registry entry (`E01` … `E22`) implementing the [`Experiment`] trait.
 //! The [`registry::registry`] collects every entry; the `xp`
 //! binary in `rapid-bench` multiplexes them behind one CLI:
 //!
@@ -74,6 +77,9 @@ pub mod e16;
 pub mod e17;
 pub mod e18;
 pub mod e19;
+pub mod e20;
+pub mod e21;
+pub mod e22;
 
 pub use distributions::InitialDistribution;
 pub use experiment::Experiment;

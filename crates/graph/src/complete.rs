@@ -75,6 +75,10 @@ impl Topology for Complete {
     fn edge_count(&self) -> usize {
         self.n * (self.n - 1) / 2
     }
+
+    fn is_complete(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

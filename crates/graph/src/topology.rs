@@ -58,6 +58,16 @@ pub trait Topology {
             .sum::<usize>()
             / 2
     }
+
+    /// Whether this topology is (known to be) the complete graph `K_n`.
+    ///
+    /// Mean-field engines require exchangeable uniform sampling over the
+    /// whole population, which only `K_n` provides; the macro builder path
+    /// consults this. The default is conservative: `false` even for graphs
+    /// that happen to be complete (e.g. a dense Erdős–Rényi draw).
+    fn is_complete(&self) -> bool {
+        false
+    }
 }
 
 impl Topology for Box<dyn Topology + Send + Sync> {
@@ -83,6 +93,10 @@ impl Topology for Box<dyn Topology + Send + Sync> {
 
     fn edge_count(&self) -> usize {
         (**self).edge_count()
+    }
+
+    fn is_complete(&self) -> bool {
+        (**self).is_complete()
     }
 }
 

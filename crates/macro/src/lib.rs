@@ -1,0 +1,63 @@
+//! Population-level ("macro") simulation of the paper's dynamics.
+//!
+//! Every other engine in this workspace is **micro**: one struct per
+//! node, which caps experiments near `n ≈ 10⁵`. The paper, however, is a
+//! statement about the large-`n` limit — and on the complete graph its
+//! dynamics are *exchangeable*: what happens next depends only on **how
+//! many** nodes occupy each (opinion, protocol-state) bucket, never on
+//! *which* nodes. This crate exploits that:
+//!
+//! * [`MacroSim`] — the stochastic population engine. State is the
+//!   occupancy histogram (`O(k)` for gossip, `O(k · schedule levels)` for
+//!   the rapid protocol); time advances by τ-leaped multinomial batches
+//!   over the embedded Poisson-clock chain, dropping to exact
+//!   Gillespie-style single events when buckets are small, so absorption
+//!   and tie-breaking remain faithful. `n = 10⁸–10⁹` runs in seconds.
+//! * [`MeanFieldSim`] — the deterministic `n → ∞` limit: RK4 over the
+//!   expected-drift ODEs, and the paper's per-phase quadratic
+//!   amplification map for the rapid protocol (reusing the exact Pólya
+//!   urn moments from `rapid-urn` for the Bit-Propagation step).
+//! * [`crossval`] — the harness that proves the three tiers simulate the
+//!   same process: micro vs macro occupancy trajectories compared under
+//!   bootstrap confidence intervals (experiment E20).
+//!
+//! Assembly goes through the same `Sim` facade as every other run — add
+//! `.engine(EngineKind::Macro)` (or `MeanField`) and hand the builder to
+//! this crate:
+//!
+//! ```
+//! use rapid_core::prelude::*;
+//! use rapid_graph::prelude::*;
+//! use rapid_macro::MacroSim;
+//! use rapid_sim::prelude::*;
+//!
+//! let mut sim = MacroSim::from_builder(
+//!     Sim::builder()
+//!         .topology(Complete::new(100_000_000))
+//!         .distribution(InitialDistribution::multiplicative_bias(2, 0.5))
+//!         .gossip(GossipRule::TwoChoices)
+//!         .engine(EngineKind::Macro)
+//!         .seed(Seed::new(1)),
+//! )
+//! .expect("valid macro assembly");
+//! let out = sim.run();
+//! assert_eq!(out.winner, Some(Color::new(0)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crossval;
+pub mod engine;
+pub mod meanfield;
+
+pub use crossval::{cross_validate, CheckpointAgreement, CrossValConfig, CrossValReport};
+pub use engine::{MacroMode, MacroSim, MACRO_STREAM_INDEX};
+pub use meanfield::{MeanFieldOutcome, MeanFieldSim, PhasePrediction};
+
+/// Convenient glob-import of the macro-engine surface.
+pub mod prelude {
+    pub use crate::crossval::{cross_validate, CrossValConfig, CrossValReport};
+    pub use crate::engine::{MacroMode, MacroSim};
+    pub use crate::meanfield::{MeanFieldOutcome, MeanFieldSim};
+}

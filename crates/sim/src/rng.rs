@@ -240,6 +240,275 @@ impl SimRng {
     }
 }
 
+/// Below this expected value, binomial sampling uses CDF inversion
+/// (BINV); above it, the BTPE rejection sampler. BINV's loop runs ~`np`
+/// iterations, so the threshold trades a short loop against BTPE's setup.
+const BINOMIAL_INVERSION_THRESHOLD: f64 = 10.0;
+
+impl SimRng {
+    /// Draws `Binomial(n, p)`: the number of successes in `n` independent
+    /// trials of probability `p`.
+    ///
+    /// Exact for all `n` (no normal approximation): small means use CDF
+    /// inversion (BINV), large means the BTPE rejection algorithm of
+    /// Kachitvichyanukul & Schmeiser (1988), so a single draw is O(1) even
+    /// at `n = 10⁹` — the primitive behind the macro engine's τ-leaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rapid_sim::rng::{Seed, SimRng};
+    /// let mut rng = SimRng::from_seed_value(Seed::new(7));
+    /// let x = rng.binomial(1_000_000_000, 0.25);
+    /// assert!((x as f64 - 2.5e8).abs() < 1e6);
+    /// ```
+    pub fn binomial(&mut self, n: u64, p: f64) -> u64 {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "binomial probability must lie in [0, 1], got {p}"
+        );
+        if n == 0 || p == 0.0 {
+            return 0;
+        }
+        if p == 1.0 {
+            return n;
+        }
+        // Work with p ≤ 1/2 (both BINV and BTPE require it); flip back at
+        // the end.
+        let flipped = p > 0.5;
+        let q = if flipped { 1.0 - p } else { p };
+        let draw = if n as f64 * q < BINOMIAL_INVERSION_THRESHOLD {
+            self.binomial_inversion(n, q)
+        } else {
+            self.binomial_btpe(n, q)
+        };
+        if flipped {
+            n - draw
+        } else {
+            draw
+        }
+    }
+
+    /// BINV: walk the CDF from 0. Requires `n·p` below the threshold (the
+    /// loop runs ~`np` steps) and `p ≤ 1/2` (no `q^n` underflow there).
+    fn binomial_inversion(&mut self, n: u64, p: f64) -> u64 {
+        let q = 1.0 - p;
+        let s = p / q;
+        let a = (n as f64 + 1.0) * s;
+        let mut r = q.powf(n as f64);
+        let mut u = self.unit_f64();
+        let mut x = 0u64;
+        loop {
+            if u < r || x >= n {
+                return x;
+            }
+            u -= r;
+            x += 1;
+            r *= a / x as f64 - s;
+            if r <= 0.0 {
+                // pmf underflowed: the remaining mass is numerically zero.
+                return x;
+            }
+        }
+    }
+
+    /// BTPE (Binomial, Triangle, Parallelogram, Exponential): rejection
+    /// from a four-part majorising envelope around the binomial pmf, with
+    /// squeeze tests so most candidates accept without evaluating the pmf.
+    /// Requires `p ≤ 1/2` and `n·p` at least the inversion threshold.
+    fn binomial_btpe(&mut self, n: u64, p: f64) -> u64 {
+        // Step 0: set up the envelope (notation follows the 1988 paper).
+        let n_f = n as f64;
+        let q = 1.0 - p;
+        let np = n_f * p;
+        let npq = np * q;
+        let f_m = np + p;
+        let m = f_m.floor(); // the mode
+        let p1 = (2.195 * npq.sqrt() - 4.6 * q).floor() + 0.5;
+        let x_m = m + 0.5;
+        let x_l = x_m - p1;
+        let x_r = x_m + p1;
+        let c = 0.134 + 20.5 / (15.3 + m);
+        let al = (f_m - x_l) / (f_m - x_l * p);
+        let lambda_l = al * (1.0 + 0.5 * al);
+        let ar = (x_r - f_m) / (x_r * q);
+        let lambda_r = ar * (1.0 + 0.5 * ar);
+        let p2 = p1 * (1.0 + 2.0 * c);
+        let p3 = p2 + c / lambda_l;
+        let p4 = p3 + c / lambda_r;
+
+        loop {
+            // Step 1: region select.
+            let u = self.unit_f64() * p4;
+            let mut v = self.unit_f64();
+            let y: f64;
+            if u <= p1 {
+                // Triangular region: accept immediately.
+                return (x_m - p1 * v + u) as u64;
+            } else if u <= p2 {
+                // Step 2: parallelogram region.
+                let x = x_l + (u - p1) / c;
+                v = v * c + 1.0 - (x - x_m).abs() / p1;
+                if v > 1.0 || v <= 0.0 {
+                    continue;
+                }
+                y = x.floor();
+            } else if u <= p3 {
+                // Step 3: left exponential tail.
+                y = (x_l + v.ln() / lambda_l).floor();
+                if y < 0.0 {
+                    continue;
+                }
+                v *= (u - p2) * lambda_l;
+            } else {
+                // Step 4: right exponential tail.
+                y = (x_r - v.ln() / lambda_r).floor();
+                if y > n_f {
+                    continue;
+                }
+                v *= (u - p3) * lambda_r;
+            }
+
+            // Step 5: acceptance — compare v against f(y)/f(m).
+            let k = (y - m).abs();
+            if k <= 20.0 || k >= npq / 2.0 - 1.0 {
+                // 5.1: evaluate the ratio by pmf recursion (few terms).
+                let s = p / q;
+                let a = s * (n_f + 1.0);
+                let mut f = 1.0;
+                if m < y {
+                    let mut i = m;
+                    while i < y {
+                        i += 1.0;
+                        f *= a / i - s;
+                    }
+                } else if m > y {
+                    let mut i = y;
+                    while i < m {
+                        i += 1.0;
+                        f /= a / i - s;
+                    }
+                }
+                if v <= f {
+                    return y as u64;
+                }
+                continue;
+            }
+            // 5.2: squeeze around exp(-k²/2npq).
+            let rho = (k / npq) * ((k * (k / 3.0 + 0.625) + 1.0 / 6.0) / npq + 0.5);
+            let t = -k * k / (2.0 * npq);
+            let alv = v.ln();
+            if alv < t - rho {
+                return y as u64;
+            }
+            if alv > t + rho {
+                continue;
+            }
+            // 5.3: the exact test via Stirling-corrected log factorials.
+            let x1 = y + 1.0;
+            let f1 = m + 1.0;
+            let z = n_f + 1.0 - m;
+            let w = n_f - y + 1.0;
+            let stirling = |x: f64| {
+                let x2 = x * x;
+                (13860.0 - (462.0 - (132.0 - (99.0 - 140.0 / x2) / x2) / x2) / x2) / x / 166320.0
+            };
+            let bound = x_m * (f1 / x1).ln()
+                + (n_f - m + 0.5) * (z / w).ln()
+                + (y - m) * (w * p / (x1 * q)).ln()
+                + stirling(f1)
+                + stirling(z)
+                + stirling(x1)
+                + stirling(w);
+            if alv <= bound {
+                return y as u64;
+            }
+        }
+    }
+
+    /// Draws a multinomial sample: `n` items distributed over
+    /// `weights.len()` categories with probabilities proportional to
+    /// `weights`. Returns one count per category, summing to exactly `n`.
+    ///
+    /// Implemented as the chain of conditional binomials, so a draw costs
+    /// `O(k)` binomials regardless of `n` — the macro engine's τ-leap
+    /// splits a batch of activations over (opinion, state) buckets with
+    /// one call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, any weight is negative or non-finite,
+    /// or all weights are zero.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rapid_sim::rng::{Seed, SimRng};
+    /// let mut rng = SimRng::from_seed_value(Seed::new(9));
+    /// let counts = rng.multinomial(1_000_000, &[1.0, 2.0, 1.0]);
+    /// assert_eq!(counts.iter().sum::<u64>(), 1_000_000);
+    /// assert!(counts[1] > counts[0] && counts[1] > counts[2]);
+    /// ```
+    pub fn multinomial(&mut self, n: u64, weights: &[f64]) -> Vec<u64> {
+        let mut counts = vec![0u64; weights.len()];
+        self.multinomial_into(n, weights, &mut counts);
+        counts
+    }
+
+    /// [`SimRng::multinomial`] into a caller-provided buffer (the τ-leap
+    /// hot path, avoiding one allocation per bucket per leap).
+    ///
+    /// # Panics
+    ///
+    /// As [`SimRng::multinomial`]; also panics if `counts.len()` differs
+    /// from `weights.len()`.
+    pub fn multinomial_into(&mut self, n: u64, weights: &[f64], counts: &mut [u64]) {
+        assert!(
+            !weights.is_empty(),
+            "multinomial needs at least one category"
+        );
+        assert_eq!(
+            weights.len(),
+            counts.len(),
+            "weights/counts length mismatch"
+        );
+        let mut total: f64 = 0.0;
+        for &w in weights {
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "multinomial weights must be finite and non-negative, got {w}"
+            );
+            total += w;
+        }
+        assert!(total > 0.0, "multinomial weights must not all be zero");
+
+        let mut remaining = n;
+        let mut rest = total;
+        for (i, &w) in weights.iter().enumerate() {
+            if remaining == 0 || w == 0.0 {
+                counts[i] = 0;
+                continue;
+            }
+            // This is the last category carrying any weight (exactly, or
+            // up to floating-point drift in `rest`): it takes the whole
+            // remainder, so the counts always sum to exactly `n`.
+            if rest <= w {
+                counts[i] = remaining;
+                remaining = 0;
+                continue;
+            }
+            let draw = self.binomial(remaining, w / rest);
+            counts[i] = draw;
+            remaining -= draw;
+            rest -= w;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,6 +629,189 @@ mod tests {
         let mut a = SimRng::from_seed_value(Seed::new(8));
         let mut b = SimRng::from_seed_value(Seed::new(8));
         assert_eq!(a.next_u32(), (b.next_u64() >> 32) as u32);
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = SimRng::from_seed_value(Seed::new(20));
+        assert_eq!(rng.binomial(0, 0.5), 0);
+        assert_eq!(rng.binomial(100, 0.0), 0);
+        assert_eq!(rng.binomial(100, 1.0), 100);
+        for _ in 0..100 {
+            let x = rng.binomial(7, 0.3);
+            assert!(x <= 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn binomial_rejects_bad_probability() {
+        let mut rng = SimRng::from_seed_value(Seed::new(20));
+        let _ = rng.binomial(10, 1.5);
+    }
+
+    #[test]
+    fn binomial_small_mean_uses_inversion_and_matches_moments() {
+        // np = 5 < threshold: BINV path.
+        let mut rng = SimRng::from_seed_value(Seed::new(21));
+        let (n, p) = (50u64, 0.1);
+        let trials = 40_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..trials {
+            let x = rng.binomial(n, p) as f64;
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / trials as f64;
+        let var = sumsq / trials as f64 - mean * mean;
+        let (em, ev) = (n as f64 * p, n as f64 * p * (1.0 - p));
+        assert!((mean - em).abs() < 0.05, "mean {mean} vs {em}");
+        assert!((var - ev).abs() < 0.15, "var {var} vs {ev}");
+    }
+
+    #[test]
+    fn binomial_large_mean_uses_btpe_and_matches_moments() {
+        // np = 40k: BTPE path, flipped p.
+        let mut rng = SimRng::from_seed_value(Seed::new(22));
+        let (n, p) = (100_000u64, 0.4);
+        let trials = 20_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..trials {
+            let x = rng.binomial(n, p) as f64;
+            assert!(x <= n as f64);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / trials as f64;
+        let var = sumsq / trials as f64 - mean * mean;
+        let (em, ev) = (n as f64 * p, n as f64 * p * (1.0 - p));
+        assert!((mean - em).abs() < 3.0 * (ev / trials as f64).sqrt() + 0.5);
+        assert!((var - ev).abs() < 0.05 * ev, "var {var} vs {ev}");
+    }
+
+    #[test]
+    fn binomial_flip_symmetry_in_distribution() {
+        // X ~ B(n, p) and n − Y with Y ~ B(n, 1−p) must have equal moments.
+        let mut a = SimRng::from_seed_value(Seed::new(23));
+        let mut b = SimRng::from_seed_value(Seed::new(24));
+        let n = 10_000u64;
+        let trials = 20_000;
+        let mean_a: f64 =
+            (0..trials).map(|_| a.binomial(n, 0.7) as f64).sum::<f64>() / trials as f64;
+        let mean_b: f64 = (0..trials)
+            .map(|_| (n - b.binomial(n, 0.3)) as f64)
+            .sum::<f64>()
+            / trials as f64;
+        assert!((mean_a - mean_b).abs() < 5.0, "{mean_a} vs {mean_b}");
+    }
+
+    #[test]
+    fn binomial_chi_square_against_exact_pmf() {
+        // BTPE correctness at a paper-relevant size: B(200, 0.3), np = 60.
+        // Exact pmf by recurrence; chi-square over a trimmed support.
+        let (n, p) = (200u64, 0.3f64);
+        let q = 1.0 - p;
+        let mut pmf = vec![0.0f64; n as usize + 1];
+        pmf[0] = q.powf(n as f64);
+        for x in 1..=n as usize {
+            pmf[x] = pmf[x - 1] * ((n as usize - x + 1) as f64 / x as f64) * (p / q);
+        }
+        let (lo, hi) = (35usize, 86usize); // ±~3.9 sd around the mean
+        let mut rng = SimRng::from_seed_value(Seed::new(25));
+        let trials = 60_000usize;
+        let mut counts = vec![0u64; hi - lo + 2]; // last cell = outside
+        for _ in 0..trials {
+            let x = rng.binomial(n, p) as usize;
+            if (lo..=hi).contains(&x) {
+                counts[x - lo] += 1;
+            } else {
+                counts[hi - lo + 1] += 1;
+            }
+        }
+        let mut chi2 = 0.0;
+        let mut outside_mass = 1.0;
+        for x in lo..=hi {
+            let e = pmf[x] * trials as f64;
+            outside_mass -= pmf[x];
+            let d = counts[x - lo] as f64 - e;
+            chi2 += d * d / e;
+        }
+        let e_out = outside_mass * trials as f64;
+        let d = counts[hi - lo + 1] as f64 - e_out;
+        chi2 += d * d / e_out.max(1.0);
+        // 52 df (well, 52 cells): 99.9% critical value ≈ 93.2.
+        assert!(chi2 < 93.2, "chi2 {chi2} exceeds the 99.9% critical value");
+    }
+
+    /// Golden pins: the sampler consumes a pinned number of stream draws
+    /// per call on these inputs. Any change to these values is a breaking
+    /// change for macro-run reproducibility.
+    #[test]
+    fn binomial_golden_stream_is_stable() {
+        let mut rng = SimRng::from_seed_value(Seed::new(0xB10));
+        let small: Vec<u64> = (0..4).map(|_| rng.binomial(40, 0.2)).collect();
+        let large: Vec<u64> = (0..4).map(|_| rng.binomial(1_000_000, 0.37)).collect();
+        let huge = rng.binomial(1_000_000_000, 0.5);
+        assert_eq!(small, vec![8, 8, 13, 7]);
+        assert_eq!(large, vec![370_191, 370_182, 370_247, 370_549]);
+        assert_eq!(huge, 499_990_214);
+    }
+
+    #[test]
+    fn multinomial_sums_and_golden_stream() {
+        let mut rng = SimRng::from_seed_value(Seed::new(0x3117));
+        let c = rng.multinomial(1_000_000, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.iter().sum::<u64>(), 1_000_000);
+        assert_eq!(c, vec![99_798, 200_554, 299_887, 399_761]);
+    }
+
+    #[test]
+    fn multinomial_handles_zero_weights_and_small_n() {
+        let mut rng = SimRng::from_seed_value(Seed::new(27));
+        for _ in 0..200 {
+            let c = rng.multinomial(5, &[0.0, 1.0, 0.0, 2.0, 0.0]);
+            assert_eq!(c.iter().sum::<u64>(), 5);
+            assert_eq!(c[0] + c[2] + c[4], 0, "zero-weight cells must stay empty");
+        }
+        let c = rng.multinomial(0, &[1.0, 1.0]);
+        assert_eq!(c, vec![0, 0]);
+        let c = rng.multinomial(9, &[3.0]);
+        assert_eq!(c, vec![9]);
+    }
+
+    #[test]
+    fn multinomial_into_matches_allocating_version() {
+        let mut a = SimRng::from_seed_value(Seed::new(28));
+        let mut b = SimRng::from_seed_value(Seed::new(28));
+        let w = [0.5, 1.5, 2.0, 0.0, 1.0];
+        let mut buf = [0u64; 5];
+        for n in [0u64, 1, 17, 100_000] {
+            b.multinomial_into(n, &w, &mut buf);
+            assert_eq!(a.multinomial(n, &w), buf);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one category")]
+    fn multinomial_rejects_empty_weights() {
+        let mut rng = SimRng::from_seed_value(Seed::new(29));
+        let _ = rng.multinomial(10, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn multinomial_rejects_all_zero_weights() {
+        let mut rng = SimRng::from_seed_value(Seed::new(29));
+        let _ = rng.multinomial(10, &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn multinomial_rejects_negative_weights() {
+        let mut rng = SimRng::from_seed_value(Seed::new(29));
+        let _ = rng.multinomial(10, &[1.0, -0.5]);
     }
 
     #[test]

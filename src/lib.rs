@@ -10,6 +10,8 @@
 //! * [`urn`] — Pólya urn processes (the paper's analysis device).
 //! * [`stats`] — statistics toolkit.
 //! * [`core`] — the consensus protocols themselves.
+//! * [`macro_engine`] — population-level simulation to `n = 10⁹` and
+//!   mean-field predictions (`rapid-macro`).
 //! * [`experiments`] — the experiment harness reproducing every claim.
 //!
 //! # Quickstart
@@ -56,6 +58,9 @@
 pub use rapid_core as core;
 pub use rapid_experiments as experiments;
 pub use rapid_graph as graph;
+// `macro` is a reserved word; the population-level engine re-exports
+// under `macro_engine`.
+pub use rapid_macro as macro_engine;
 pub use rapid_sim as sim;
 pub use rapid_stats as stats;
 pub use rapid_urn as urn;
@@ -65,5 +70,6 @@ pub mod prelude {
     pub use rapid_core::prelude::*;
     pub use rapid_experiments::prelude::*;
     pub use rapid_graph::prelude::*;
+    pub use rapid_macro::prelude::*;
     pub use rapid_sim::prelude::*;
 }

@@ -69,11 +69,25 @@ quick_test!(
     e17_quick_report_is_well_formed => "e17",
     e18_quick_report_is_well_formed => "e18",
     e19_quick_report_is_well_formed => "e19",
+    e20_quick_report_is_well_formed => "e20",
+    e22_quick_report_is_well_formed => "e22",
 );
 
+/// E21's quick preset deliberately reaches n = 10^8 (the macro engine
+/// makes it cheap, but not free); the plumbing smoke test trims it to
+/// n = 10^6 so the suite stays snappy while still exercising the full
+/// registry path.
 #[test]
-fn registry_covers_exactly_the_19_experiments() {
-    assert_eq!(registry().len(), 19);
+fn e21_quick_report_is_well_formed() {
+    let exp = find("e21").expect("id is registered");
+    let mut map = ParamMap::quick(&exp.params());
+    map.set("ns", "1000000").expect("known key");
+    check(&exp.run_map(&map, None, Threads::Auto));
+}
+
+#[test]
+fn registry_covers_exactly_the_22_experiments() {
+    assert_eq!(registry().len(), 22);
     for (i, exp) in registry().iter().enumerate() {
         assert_eq!(exp.id(), format!("e{:02}", i + 1));
     }
