@@ -359,6 +359,84 @@ fn macro_full_run_1e6() -> Box<dyn FnMut()> {
     })
 }
 
+/// The channel cluster the net kernels step: Two-Choices on K_1024.
+fn net_channel_cluster(n: usize, seed: u64) -> rapid_net::Cluster {
+    let counts = bench_counts(n as u64, 2, 0.3);
+    rapid_net::Cluster::from_builder(
+        Sim::builder()
+            .topology(Complete::new(n))
+            .counts(&counts)
+            .gossip(GossipRule::TwoChoices)
+            .engine(EngineKind::Net)
+            .seed(Seed::new(seed)),
+    )
+    .expect("valid net assembly")
+}
+
+fn net_codec_round_trip() -> Box<dyn FnMut()> {
+    use rapid_net::codec::{Envelope, Payload};
+    let env = Envelope {
+        src: 17,
+        dst: 40_961,
+        seq: 0x00C0_FFEE,
+        payload: Payload::PullReply {
+            color: 5,
+            bit: true,
+            beacon: false,
+            real_time: 321,
+        },
+    };
+    let mut buf = Vec::new();
+    Box::new(move || {
+        for _ in 0..BATCH {
+            buf.clear();
+            env.encode_into(&mut buf);
+            let (back, _) = Envelope::decode(&buf).expect("round-trips");
+            std::hint::black_box(back.seq);
+        }
+    })
+}
+
+fn net_machine_on_message() -> Box<dyn FnMut()> {
+    use rapid_core::facade::MacroProtocol;
+    use rapid_net::codec::{Envelope, Payload};
+    use rapid_net::NodeMachine;
+    // One node machine answering a stream of pull requests: the hot
+    // receive path of every deployment (decode is measured separately).
+    let mut machine = NodeMachine::new(
+        0,
+        std::sync::Arc::new(Complete::new(1024)),
+        Color::new(0),
+        &MacroProtocol::Gossip(GossipRule::TwoChoices),
+        1.0,
+        Seed::new(7),
+        rapid_net::machine::default_beacon_threshold(1024),
+    );
+    let req = Envelope {
+        src: 1,
+        dst: 0,
+        seq: 1,
+        payload: Payload::PullRequest { beacon: false },
+    };
+    Box::new(move || {
+        for _ in 0..BATCH {
+            let replies = machine.on_message(&req);
+            std::hint::black_box(replies.len());
+        }
+    })
+}
+
+fn net_channel_step() -> Box<dyn FnMut()> {
+    // One full channel-driver activation per inner iteration: heap pop,
+    // tick, frame encode/route/decode, reply dispatch, quiescence pump.
+    let mut cluster = net_channel_cluster(1024, 8);
+    Box::new(move || {
+        for _ in 0..1000 {
+            cluster.step_channel();
+        }
+    })
+}
+
 fn rng_next_u64() -> Box<dyn FnMut()> {
     let mut rng = SimRng::from_seed_value(Seed::new(1));
     Box::new(move || {
@@ -502,7 +580,7 @@ macro_rules! kernel {
     };
 }
 
-static KERNELS: [KernelBench; 30] = [
+static KERNELS: [KernelBench; 33] = [
     kernel!(
         "consensus/gossip_endgame_halt/2048",
         "async Two-Choices endgame run with a 200-tick halt budget, n=2048",
@@ -558,6 +636,27 @@ static KERNELS: [KernelBench; 30] = [
         "macro",
         1,
         macro_tau_leap_tick
+    ),
+    kernel!(
+        "net/channel_step/1024",
+        "1k channel-cluster activations (tick + frames + pump), n=1024",
+        "net",
+        1000,
+        net_channel_step
+    ),
+    kernel!(
+        "net/codec_round_trip",
+        "10k envelope encode+decode round trips (pull-reply frame)",
+        "net",
+        BATCH,
+        net_codec_round_trip
+    ),
+    kernel!(
+        "net/machine_on_message/1024",
+        "10k pull-request dispatches through one node machine",
+        "net",
+        BATCH,
+        net_machine_on_message
     ),
     kernel!(
         "rapid/clique_tick/4096",
@@ -773,6 +872,7 @@ mod tests {
             "consensus",
             "gossip",
             "macro",
+            "net",
             "rapid",
             "rng",
             "scheduler",

@@ -127,6 +127,10 @@ impl std::fmt::Debug for Protocol {
 /// * [`EngineKind::MeanField`] — the deterministic `n → ∞` limit: RK4
 ///   over the expected-drift equations (no randomness, no seed
 ///   dependence). Also executed by `rapid-macro`.
+/// * [`EngineKind::Net`] — not a simulator at all: real per-node state
+///   machines exchanging serialized messages over a transport. Built via
+///   [`SimBuilder::build_net_spec`] and executed by the `rapid-net`
+///   crate, with the micro engine as statistical oracle.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
 pub enum EngineKind {
     /// Per-node simulation (the default).
@@ -136,6 +140,8 @@ pub enum EngineKind {
     Macro,
     /// Deterministic mean-field ODE integration.
     MeanField,
+    /// Real message-passing runtime (`rapid-net`).
+    Net,
 }
 
 impl EngineKind {
@@ -145,6 +151,7 @@ impl EngineKind {
             EngineKind::Micro => "micro",
             EngineKind::Macro => "macro",
             EngineKind::MeanField => "mean-field",
+            EngineKind::Net => "net",
         }
     }
 }
@@ -207,6 +214,57 @@ impl MacroSpec {
     /// Number of opinions.
     pub fn k(&self) -> usize {
         self.counts.len()
+    }
+}
+
+/// A fully validated description of a real message-passing deployment:
+/// everything the `rapid-net` cluster orchestrator needs to boot `n`
+/// node state machines, with execution (transports, event loops) kept
+/// entirely on the other side of the crate graph.
+///
+/// Produced by [`SimBuilder::build_net_spec`]; executed by
+/// `rapid_net::Cluster` ([`EngineKind::Net`]). Unlike [`MacroSpec`] the
+/// spec carries the full per-node initial assignment — a deployment has
+/// per-node state by definition, and on structured topologies the
+/// placement of opinions matters.
+pub struct NetSpec {
+    /// The topology nodes sample their pull targets from.
+    pub topology: BoxedTopology,
+    /// Per-node initial opinions (shuffled already if requested).
+    pub config: Configuration,
+    /// The protocol every node runs (the same exchangeable subset the
+    /// macro engine accepts: asynchronous gossip or rapid).
+    pub protocol: MacroProtocol,
+    /// Local Poisson clock rate (activations per node per time unit).
+    pub rate: f64,
+    /// Master seed (per-node RNG streams are derived from it).
+    pub seed: Seed,
+    /// Stop conditions, checked on top of the beacon-based termination.
+    pub stops: Vec<StopCondition>,
+}
+
+impl NetSpec {
+    /// Population size.
+    pub fn n(&self) -> usize {
+        self.config.n()
+    }
+
+    /// Number of opinions.
+    pub fn k(&self) -> usize {
+        self.config.k()
+    }
+}
+
+impl std::fmt::Debug for NetSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetSpec")
+            .field("n", &self.n())
+            .field("k", &self.k())
+            .field("protocol", &self.protocol)
+            .field("rate", &self.rate)
+            .field("seed", &self.seed)
+            .field("stops", &self.stops)
+            .finish_non_exhaustive()
     }
 }
 
@@ -346,6 +404,11 @@ pub enum BuildError {
     /// the payload names the axis (synchronous protocols, per-node halt
     /// budgets, jitter, non-exchangeable clocks, per-node fault knobs).
     MacroUnsupported(&'static str),
+    /// The selected axis combination has no meaning for a real
+    /// message-passing deployment; the payload names the axis
+    /// (synchronous protocols, injected faults, modeled jitter, skewed
+    /// clocks, simulator-only stop conditions).
+    NetUnsupported(&'static str),
     /// The wrong build entry point was called for the selected
     /// [`EngineKind`]: `build()` constructs micro engines only, macro and
     /// mean-field assemblies go through `build_macro_spec()`. The payload
@@ -400,6 +463,9 @@ impl std::fmt::Display for BuildError {
             ),
             BuildError::MacroUnsupported(what) => {
                 write!(f, "the macro and mean-field engines do not support {what}")
+            }
+            BuildError::NetUnsupported(what) => {
+                write!(f, "the message-passing runtime does not support {what}")
             }
             BuildError::EngineMismatch(instead) => {
                 write!(
@@ -921,6 +987,11 @@ impl SimBuilder {
                 "SimBuilder::build for Engine::Micro",
             ));
         }
+        if kind == EngineKind::Net {
+            return Err(BuildError::EngineMismatch(
+                "SimBuilder::build_net_spec (run via rapid_net) for Engine::Net",
+            ));
+        }
         let topology = self.topology.ok_or(BuildError::MissingTopology)?;
         if !topology.is_complete() {
             return Err(BuildError::MacroRequiresComplete);
@@ -1025,6 +1096,137 @@ impl SimBuilder {
             protocol,
             rate,
             loss,
+            seed: self.seed,
+            stops: self.stops,
+        })
+    }
+
+    /// Validates the assembly for the real message-passing runtime
+    /// ([`EngineKind::Net`]) and returns the pure-data [`NetSpec`] the
+    /// `rapid-net` crate executes.
+    ///
+    /// The runtime runs the same exchangeable protocol subset as the
+    /// macro engine (asynchronous gossip or rapid), but on *any*
+    /// topology and with the full per-node initial assignment. Axes that
+    /// are simulator artifacts are rejected with
+    /// [`BuildError::NetUnsupported`]:
+    ///
+    /// * synchronous protocols (a deployment has no round barrier);
+    /// * `halt_after` budgets (termination is the gossiped beacon's job);
+    /// * jitter and fault plans (a real transport's delays and losses
+    ///   are observed, not injected);
+    /// * skewed or per-node clock rates (each node runs one local
+    ///   Poisson clock at the common rate);
+    /// * [`StopCondition::FirstHalt`] and
+    ///   [`StopCondition::RoundBudget`] (a deployment observes halts
+    ///   only through messages, and has no rounds).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] naming the first inconsistency, including
+    /// [`BuildError::EngineMismatch`] when the builder's engine kind is
+    /// not [`EngineKind::Net`].
+    pub fn build_net_spec(self) -> Result<NetSpec, BuildError> {
+        if self.engine != EngineKind::Net {
+            return Err(BuildError::EngineMismatch(
+                "SimBuilder::build / build_macro_spec for non-net engines",
+            ));
+        }
+        let topology = self.topology.ok_or(BuildError::MissingTopology)?;
+        let n = topology.n();
+        let init = self.init.ok_or(BuildError::MissingInitialState)?;
+        let protocol = match self.protocol.ok_or(BuildError::MissingProtocol)? {
+            Protocol::Gossip(rule) => MacroProtocol::Gossip(rule),
+            Protocol::Rapid(params) => {
+                params.check().map_err(BuildError::InvalidParams)?;
+                MacroProtocol::Rapid(params)
+            }
+            Protocol::Sync(_) => {
+                return Err(BuildError::NetUnsupported(
+                    "synchronous protocols (a deployment has no global round barrier)",
+                ))
+            }
+        };
+
+        let mut config = match init {
+            Init::Counts(counts) => {
+                let config = Configuration::from_counts(&counts)?;
+                if config.n() != n {
+                    return Err(BuildError::SizeMismatch {
+                        topology_n: n,
+                        config_n: config.n(),
+                    });
+                }
+                config
+            }
+            Init::Assignment(config) => {
+                if config.n() != n {
+                    return Err(BuildError::SizeMismatch {
+                        topology_n: n,
+                        config_n: config.n(),
+                    });
+                }
+                config
+            }
+            Init::Distribution(dist) => Configuration::from_counts(&dist.counts(n as u64)?)?,
+        };
+
+        if self.halt_after.is_some() {
+            return Err(BuildError::NetUnsupported(
+                "per-node halt budgets (termination is detected by the gossiped beacon)",
+            ));
+        }
+        if let Some(rate) = self.jitter {
+            if !(rate.is_finite() && rate > 0.0) {
+                return Err(BuildError::InvalidJitter(rate));
+            }
+            return Err(BuildError::NetUnsupported(
+                "jitter (a real transport's response delays are observed, not modeled)",
+            ));
+        }
+        check_clock(&self.clock, n)?;
+        let rate = match self.clock {
+            Clock::Sequential(_) => 1.0,
+            Clock::EventQueue { rate } => rate,
+            Clock::UniformSkew { .. } | Clock::Rates(_) => {
+                return Err(BuildError::NetUnsupported(
+                    "heterogeneous clock rates (every node runs one local Poisson clock)",
+                ))
+            }
+        };
+        if let Some(plan) = self.faults {
+            plan.check(n)?;
+            if !plan.is_neutral() {
+                return Err(BuildError::NetUnsupported(
+                    "fault plans (a deployment's losses and delays are real, not injected)",
+                ));
+            }
+        }
+        for stop in &self.stops {
+            match stop {
+                StopCondition::FirstHalt => {
+                    return Err(BuildError::NetUnsupported(
+                        "the first-halt stop (a deployment observes halts only via messages)",
+                    ))
+                }
+                StopCondition::RoundBudget(_) => {
+                    return Err(BuildError::NetUnsupported(
+                        "round budgets (a deployment has no synchronous rounds)",
+                    ))
+                }
+                StopCondition::TimeHorizon(_) | StopCondition::StepBudget(_) => {}
+            }
+        }
+
+        if self.shuffle {
+            config.shuffle(&mut SimRng::from_seed_value(self.seed.child(2)));
+        }
+
+        Ok(NetSpec {
+            topology,
+            config,
+            protocol,
+            rate,
             seed: self.seed,
             stops: self.stops,
         })

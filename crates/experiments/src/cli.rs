@@ -364,6 +364,7 @@ USAGE:
     xp run <id>... [OPTIONS]      run one or more experiments
     xp all [OPTIONS]              run every registered experiment
     xp bench ...                  micro-benchmarks (see `xp bench help`)
+    xp net run [OPTIONS]          boot a real deployment (see `xp net help`)
     xp help                       this message
 
 OPTIONS (run / all):
@@ -580,8 +581,8 @@ mod tests {
     fn golden_error_table() {
         assert_eq!(p(&["bogus"]), Err(CliError::UnknownCommand("bogus".into())));
         assert_eq!(
-            p(&["run", "e23"]),
-            Err(CliError::UnknownExperiment("e23".into()))
+            p(&["run", "e99"]),
+            Err(CliError::UnknownExperiment("e99".into()))
         );
         assert_eq!(p(&["run"]), Err(CliError::MissingExperiment));
         assert_eq!(p(&["info"]), Err(CliError::MissingExperiment));

@@ -1,0 +1,200 @@
+//! **E24 / UDP loopback deployment** — plurality consensus over real
+//! datagrams.
+//!
+//! The strongest form of "the protocol is implementable as stated": boot
+//! `n` node machines over real non-blocking `UdpSocket`s on loopback —
+//! worker threads, bounded drop-on-full outboxes, datagrams that can
+//! genuinely be lost — and watch the population converge and detect its
+//! own convergence through the gossiped termination beacon. Message loss
+//! here is *real* (kernel buffers, not a sampled fault), which is
+//! exactly the asynchrony the paper's protocol is designed to shrug off.
+//!
+//! Sandboxed runners may forbid socket creation; the experiment then
+//! reports the skip instead of failing, and the module test that binds
+//! sockets is `#[ignore]`-gated.
+
+use rapid_net::cli::{execute, RunOpts, TransportKind};
+use rapid_sim::rng::Seed;
+
+use crate::experiment::Experiment;
+use crate::params::{ParamMap, ParamSchema, ParamSpec};
+use crate::report::Report;
+use crate::runner::Threads;
+use crate::table::Table;
+
+/// The protocols every run deploys.
+const PROTOCOLS: [&str; 2] = ["two-choices", "rapid"];
+
+/// Report title (also the registry's [`Experiment::title`]).
+const TITLE: &str = "Real deployment: UDP loopback cluster converges end to end";
+
+/// Configuration for E24.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Config {
+    /// Population size.
+    pub n: u64,
+    /// Trials per protocol.
+    pub trials: u64,
+    /// Worker threads (0 = one per core).
+    pub workers: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 256,
+            trials: 4,
+            workers: 0,
+            seed: 0xE24,
+        }
+    }
+}
+
+impl Config {
+    /// CI-scale preset.
+    pub fn quick() -> Self {
+        Config {
+            n: 128,
+            trials: 2,
+            ..Config::default()
+        }
+    }
+
+    /// Rebuilds a typed config from a validated [`ParamMap`].
+    pub fn from_params(p: &ParamMap) -> Config {
+        Config {
+            n: p.u64("n"),
+            trials: p.u64("trials"),
+            workers: p.u64("workers"),
+            seed: p.u64("seed"),
+        }
+    }
+}
+
+/// Declarative schema mirroring [`Config`].
+fn schema() -> ParamSchema {
+    let d = Config::default();
+    let q = Config::quick();
+    ParamSchema::new(vec![
+        ParamSpec::u64("n", "population size", d.n).quick(q.n),
+        ParamSpec::u64("trials", "trials per protocol", d.trials).quick(q.trials),
+        ParamSpec::u64("workers", "udp worker threads (0 = auto)", d.workers),
+        ParamSpec::u64("seed", "master seed", d.seed).quick(q.seed),
+    ])
+}
+
+/// Registry entry for this experiment.
+pub struct E24;
+
+impl Experiment for E24 {
+    fn id(&self) -> &'static str {
+        "e24"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn claim(&self) -> &'static str {
+        "rapid-net: UDP loopback convergence"
+    }
+    fn params(&self) -> ParamSchema {
+        schema()
+    }
+    fn run(&self, params: &ParamMap, seed: Seed, _threads: Threads) -> Report {
+        let mut cfg = Config::from_params(params);
+        cfg.seed = seed.value();
+        run(&cfg)
+    }
+}
+
+/// Runs E24 and returns its report.
+pub fn run(cfg: &Config) -> Report {
+    let mut report = Report::new("E24", TITLE, cfg.seed);
+    let mut table = Table::new(
+        format!(
+            "UDP loopback deployment, n = {}, {} trials",
+            cfg.n, cfg.trials
+        ),
+        &[
+            "protocol",
+            "trial",
+            "converged",
+            "steps",
+            "dropped frames",
+            "wall ms",
+        ],
+    );
+
+    let mut skipped = false;
+    for protocol in PROTOCOLS {
+        for trial in 0..cfg.trials {
+            let opts = RunOpts {
+                n: cfg.n as usize,
+                protocol: protocol.to_string(),
+                transport: TransportKind::Udp,
+                seed: cfg.seed ^ (trial + 1),
+                workers: cfg.workers as usize,
+                ..RunOpts::default()
+            };
+            match execute(&opts) {
+                Ok(run) => table.push_row(vec![
+                    protocol.to_string(),
+                    trial.to_string(),
+                    run.outcome.converged().to_string(),
+                    run.outcome.steps.to_string(),
+                    run.dropped_frames.to_string(),
+                    format!("{:.1}", run.wall_ms),
+                ]),
+                Err(e) => {
+                    // Sockets unavailable (sandboxed runner): report the
+                    // skip; convergence is still covered by e23's channel
+                    // transport and by the ignored loopback test.
+                    skipped = true;
+                    table.push_row(vec![
+                        protocol.to_string(),
+                        trial.to_string(),
+                        format!("skipped ({e})"),
+                        "-".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                    ]);
+                }
+            }
+        }
+    }
+    table.push_note(
+        "every trial binds real non-blocking UDP sockets on 127.0.0.1 and runs \
+         one thread per core; frames the kernel or a full outbox drops are \
+         genuinely lost, and the run ends when the gossiped termination beacon \
+         has reached every node",
+    );
+    if skipped {
+        table.push_note("some trials were skipped: this runner forbids socket creation");
+    }
+    report.push_table(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_preset_has_the_expected_shape() {
+        // Socket-free shape check: config plumbing and schema round-trip.
+        let map = ParamMap::defaults(&schema());
+        assert_eq!(Config::from_params(&map), Config::default());
+    }
+
+    #[test]
+    #[ignore = "binds many loopback UDP sockets; run explicitly on hosts that allow it"]
+    fn loopback_deployment_converges() {
+        let report = run(&Config::quick());
+        let table = &report.tables[0];
+        assert_eq!(table.len(), 4);
+        for c in table.column("converged") {
+            assert_eq!(c, "true");
+        }
+    }
+}

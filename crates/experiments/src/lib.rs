@@ -31,6 +31,8 @@
 //! | [`e20`] | macro engine: micro vs macro occupancy trajectories agree |
 //! | [`e21`] | macro engine: time-to-plurality at `n` up to `10⁹` |
 //! | [`e22`] | macro engine: the `√(n log n)` bias threshold at scale |
+//! | [`e23`] | rapid-net: the channel deployment agrees with the micro engine |
+//! | [`e24`] | rapid-net: a UDP loopback deployment converges end to end |
 //!
 //! Each module exposes a `Config` (with [`Default`] = paper scale and a
 //! `quick()` preset for CI), a `run(&Config) -> Report`, and a zero-sized
@@ -80,6 +82,8 @@ pub mod e19;
 pub mod e20;
 pub mod e21;
 pub mod e22;
+pub mod e23;
+pub mod e24;
 
 pub use distributions::InitialDistribution;
 pub use experiment::Experiment;

@@ -69,6 +69,15 @@ impl Table {
         self.rows.is_empty()
     }
 
+    /// Returns one column's cells verbatim; empty if the column does not
+    /// exist.
+    pub fn column(&self, name: &str) -> Vec<String> {
+        let Some(idx) = self.columns.iter().position(|c| c == name) else {
+            return Vec::new();
+        };
+        self.rows.iter().map(|r| r[idx].clone()).collect()
+    }
+
     /// Returns one column's cells parsed as `f64` (for shape checks in
     /// tests). Cells that fail to parse are skipped.
     pub fn column_f64(&self, name: &str) -> Vec<f64> {

@@ -1,0 +1,289 @@
+//! The `xp net` subcommand: boot a real deployment from the command
+//! line and print the engine-shaped outcome.
+//!
+//! ```text
+//! xp net run [--n N] [--k K] [--eps F] [--protocol P] [--transport T]
+//!            [--seed S] [--workers W]
+//! ```
+//!
+//! `--transport channel` (default) is the deterministic in-process
+//! fast path; `--transport udp` boots the real loopback deployment.
+
+use rapid_core::asynchronous::{GossipRule, Params};
+use rapid_core::facade::{EngineKind, MacroProtocol, Sim};
+use rapid_graph::complete::Complete;
+use rapid_sim::rng::Seed;
+
+use crate::cluster::{Cluster, NetRun, UdpOpts};
+
+/// Usage text for `xp net`.
+pub const USAGE: &str = "\
+usage: xp net run [options]
+       xp net help
+
+options:
+  --n N            population size            (default 256)
+  --k K            number of opinions        (default 2)
+  --eps F          plurality bias            (default 0.5)
+  --protocol P     two-choices | voter | 3-majority | rapid
+                                             (default two-choices)
+  --transport T    channel | udp             (default channel)
+  --seed S         master seed               (default 7)
+  --workers W      udp worker threads        (default: one per core)
+";
+
+/// Which transport to drive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Deterministic in-process FIFO transport.
+    Channel,
+    /// Real UDP loopback sockets.
+    Udp,
+}
+
+/// A parsed `xp net run` invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunOpts {
+    /// Population size.
+    pub n: usize,
+    /// Number of opinions.
+    pub k: usize,
+    /// Multiplicative plurality bias.
+    pub eps: f64,
+    /// Protocol name as given on the command line.
+    pub protocol: String,
+    /// Transport selection.
+    pub transport: TransportKind,
+    /// Master seed.
+    pub seed: u64,
+    /// UDP worker threads (0 = auto).
+    pub workers: usize,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            n: 256,
+            k: 2,
+            eps: 0.5,
+            protocol: "two-choices".to_string(),
+            transport: TransportKind::Channel,
+            seed: 7,
+            workers: 0,
+        }
+    }
+}
+
+/// Parses `xp net ...` arguments (without the leading `net`).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, unknown
+/// flags, or malformed values.
+pub fn parse(args: &[String]) -> Result<Option<RunOpts>, String> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(None),
+        Some("run") => {
+            let mut opts = RunOpts::default();
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .map(String::as_str)
+                        .ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--n" => {
+                        opts.n = value("--n")?
+                            .parse()
+                            .map_err(|_| "--n expects an integer".to_string())?
+                    }
+                    "--k" => {
+                        opts.k = value("--k")?
+                            .parse()
+                            .map_err(|_| "--k expects an integer".to_string())?
+                    }
+                    "--eps" => {
+                        opts.eps = value("--eps")?
+                            .parse()
+                            .map_err(|_| "--eps expects a number".to_string())?
+                    }
+                    "--seed" => {
+                        opts.seed = value("--seed")?
+                            .parse()
+                            .map_err(|_| "--seed expects an integer".to_string())?
+                    }
+                    "--workers" => {
+                        opts.workers = value("--workers")?
+                            .parse()
+                            .map_err(|_| "--workers expects an integer".to_string())?
+                    }
+                    "--protocol" => opts.protocol = value("--protocol")?.to_string(),
+                    "--transport" => {
+                        opts.transport = match value("--transport")? {
+                            "channel" => TransportKind::Channel,
+                            "udp" => TransportKind::Udp,
+                            other => return Err(format!("unknown transport '{other}'")),
+                        }
+                    }
+                    other => return Err(format!("unknown flag '{other}'")),
+                }
+            }
+            if opts.n < 2 || opts.k < 2 {
+                return Err("need --n >= 2 and --k >= 2".to_string());
+            }
+            protocol_of(&opts)?;
+            Ok(Some(opts))
+        }
+        Some(other) => Err(format!("unknown net command '{other}'")),
+    }
+}
+
+/// Resolves the protocol named in the options.
+fn protocol_of(opts: &RunOpts) -> Result<MacroProtocol, String> {
+    match opts.protocol.as_str() {
+        "two-choices" => Ok(MacroProtocol::Gossip(GossipRule::TwoChoices)),
+        "voter" => Ok(MacroProtocol::Gossip(GossipRule::Voter)),
+        "3-majority" => Ok(MacroProtocol::Gossip(GossipRule::ThreeMajority)),
+        "rapid" => Ok(MacroProtocol::Rapid(Params::for_network_with_eps(
+            opts.n, opts.k, opts.eps,
+        ))),
+        other => Err(format!("unknown protocol '{other}'")),
+    }
+}
+
+/// Executes a parsed run; returns the deployment result.
+///
+/// # Errors
+///
+/// Returns a message when the assembly is invalid or the transport
+/// cannot be set up (e.g. sockets forbidden).
+pub fn execute(opts: &RunOpts) -> Result<NetRun, String> {
+    let protocol = protocol_of(opts)?;
+    let mut builder = Sim::builder()
+        .topology(Complete::new(opts.n))
+        .distribution(rapid_core::InitialDistribution::multiplicative_bias(
+            opts.k, opts.eps,
+        ))
+        .engine(EngineKind::Net)
+        .seed(Seed::new(opts.seed));
+    builder = match protocol {
+        MacroProtocol::Gossip(rule) => builder.gossip(rule),
+        MacroProtocol::Rapid(params) => builder.rapid(params),
+    };
+    let mut cluster = Cluster::from_builder(builder).map_err(|e| e.to_string())?;
+    match opts.transport {
+        TransportKind::Channel => Ok(cluster.run_channel()),
+        TransportKind::Udp => cluster
+            .run_udp(&UdpOpts {
+                workers: opts.workers,
+                ..UdpOpts::default()
+            })
+            .map_err(|e| e.to_string()),
+    }
+}
+
+/// Entry point for `xp net ...` (arguments exclude the leading `net`).
+/// Returns the process exit code.
+pub fn run(args: &[String]) -> i32 {
+    match parse(args) {
+        Ok(None) => {
+            print!("{USAGE}");
+            0
+        }
+        Ok(Some(opts)) => match execute(&opts) {
+            Ok(run) => {
+                println!("{}", run.outcome.to_json());
+                eprintln!(
+                    "net: {} nodes, {} activations total, {} dropped frames, \
+                     {} decode errors, {:.1} ms",
+                    opts.n, run.total_steps, run.dropped_frames, run.decode_errors, run.wall_ms
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Option<RunOpts>, String> {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn help_variants_print_usage() {
+        assert_eq!(p(&[]), Ok(None));
+        assert_eq!(p(&["help"]), Ok(None));
+        assert_eq!(p(&["--help"]), Ok(None));
+    }
+
+    #[test]
+    fn run_defaults_parse() {
+        let opts = p(&["run"]).expect("parses").expect("run command");
+        assert_eq!(opts, RunOpts::default());
+    }
+
+    #[test]
+    fn run_flags_override_defaults() {
+        let opts = p(&[
+            "run",
+            "--n",
+            "64",
+            "--k",
+            "3",
+            "--eps",
+            "0.4",
+            "--protocol",
+            "voter",
+            "--transport",
+            "udp",
+            "--seed",
+            "11",
+            "--workers",
+            "2",
+        ])
+        .expect("parses")
+        .expect("run command");
+        assert_eq!(opts.n, 64);
+        assert_eq!(opts.k, 3);
+        assert_eq!(opts.eps, 0.4);
+        assert_eq!(opts.protocol, "voter");
+        assert_eq!(opts.transport, TransportKind::Udp);
+        assert_eq!(opts.seed, 11);
+        assert_eq!(opts.workers, 2);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(p(&["frobnicate"]).is_err());
+        assert!(p(&["run", "--n"]).is_err());
+        assert!(p(&["run", "--n", "zero"]).is_err());
+        assert!(p(&["run", "--n", "1"]).is_err());
+        assert!(p(&["run", "--transport", "carrier-pigeon"]).is_err());
+        assert!(p(&["run", "--protocol", "nope"]).is_err());
+        assert!(p(&["run", "--frobnicate", "1"]).is_err());
+    }
+
+    #[test]
+    fn channel_smoke_run_converges() {
+        let opts = RunOpts {
+            n: 64,
+            ..RunOpts::default()
+        };
+        let run = execute(&opts).expect("channel run");
+        assert!(run.outcome.converged(), "{:?}", run.outcome.stop);
+        assert_eq!(run.dropped_frames, 0);
+        assert_eq!(run.decode_errors, 0);
+    }
+}

@@ -1,0 +1,603 @@
+//! The cluster orchestrator: boot `n` machines, drive them over a
+//! transport, return the simulators' [`Outcome`].
+//!
+//! Two drivers share the same machines and codec:
+//!
+//! * **channel** ([`Cluster::run_channel`]) — single-threaded and
+//!   deterministic: a global event heap of per-node Poisson activations
+//!   (each node's exponential gaps drawn from its own seeded stream),
+//!   with every outbox routed through a [`ChannelTransport`] and pumped
+//!   to quiescence before the next activation. Messages are delivered
+//!   "within" the activation that provoked them, which is exactly the
+//!   micro engine's atomic-interaction semantics — this is the oracle
+//!   fast path.
+//! * **UDP loopback** ([`Cluster::run_udp`]) — thread-per-core workers,
+//!   each owning a shard of machines and one non-blocking socket
+//!   ([`crate::udp::UdpTransport`]). Real datagrams, real interleaving,
+//!   real loss under pressure; termination is aggregated from the
+//!   gossiped beacons each worker observes on its own shard.
+//!
+//! The run ends when every machine has raised its termination beacon
+//! (rapid machines raise it when their schedule halts), or when a
+//! configured stop fires; the driver separately records the first moment
+//! its population histogram hit unanimity, which is what [`Outcome`]
+//! reports as `steps`/`time` — the same convention as the simulators,
+//! whose runs stop at unanimity.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use rapid_core::facade::{
+    BuildError, MacroProtocol, NetSpec, Outcome, SimBuilder, StopCondition, StopReason,
+};
+use rapid_core::opinion::Color;
+use rapid_sim::time::SimTime;
+
+use crate::codec::Envelope;
+use crate::machine::{default_beacon_threshold, NodeMachine};
+use crate::transport::{ChannelTransport, Transport};
+use crate::udp::{bind_loopback, UdpTransport, DEFAULT_OUTBOX_CAP};
+
+/// Per-node seed stream offset: machine `i` draws from
+/// `seed.child(NODE_STREAM + i)`, far above the simulator's reserved
+/// children (scheduler 0, engine 1, shuffle 2, jitter 3, faults 4–5,
+/// macro 6).
+const NODE_STREAM: u64 = 10_000;
+
+/// How many frames a UDP worker drains per loop iteration before it
+/// fires the next local activation.
+const UDP_RECV_BATCH: usize = 64;
+
+/// Errors a deployment run can hit beyond build-time validation.
+#[derive(Debug)]
+pub enum NetError {
+    /// The builder rejected the assembly.
+    Build(BuildError),
+    /// A transport could not be set up (e.g. sockets are forbidden in
+    /// this sandbox).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Build(e) => write!(f, "invalid deployment spec: {e}"),
+            NetError::Io(e) => write!(f, "transport setup failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<BuildError> for NetError {
+    fn from(e: BuildError) -> Self {
+        NetError::Build(e)
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// Knobs of a UDP loopback run.
+#[derive(Clone, Debug)]
+pub struct UdpOpts {
+    /// Worker threads (0 = one per available core, capped by `n`).
+    pub workers: usize,
+    /// Per-socket outbox bound (frames).
+    pub outbox_cap: usize,
+    /// Wall-clock safety net: the run is stopped (and reported as a
+    /// time-horizon stop) after this many milliseconds.
+    pub wall_timeout_ms: u64,
+}
+
+impl Default for UdpOpts {
+    fn default() -> Self {
+        UdpOpts {
+            workers: 0,
+            outbox_cap: DEFAULT_OUTBOX_CAP,
+            wall_timeout_ms: 30_000,
+        }
+    }
+}
+
+/// What a deployment run produced: the simulators' [`Outcome`] plus
+/// transport-level accounting no simulator has.
+#[derive(Clone, Debug)]
+pub struct NetRun {
+    /// The protocol-level outcome, same shape as every engine's.
+    pub outcome: Outcome,
+    /// Total activations executed (the outcome's `steps` reports the
+    /// count at unanimity, this one the whole run).
+    pub total_steps: u64,
+    /// Frames dropped by transports (full outboxes, unroutable ids).
+    pub dropped_frames: u64,
+    /// Frames that failed to decode (never fatal: counted and skipped).
+    pub decode_errors: u64,
+    /// Wall-clock duration of the drive loop, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// A booted deployment: `n` machines plus the channel-driver state.
+pub struct Cluster {
+    machines: Vec<NodeMachine>,
+    protocol: MacroProtocol,
+    stops: Vec<StopCondition>,
+    transport: ChannelTransport,
+    heap: BinaryHeap<Reverse<(SimTime, u32)>>,
+    counts: Vec<u64>,
+    now: SimTime,
+    steps: u64,
+    beacons: usize,
+    halted: usize,
+    first_halt: Option<SimTime>,
+    /// `(steps, time)` at the first moment the histogram was unanimous.
+    unanimity: Option<(u64, SimTime)>,
+    decode_errors: u64,
+}
+
+impl Cluster {
+    /// Boots a cluster from a validated [`NetSpec`].
+    pub fn from_spec(spec: NetSpec) -> Self {
+        let n = spec.n();
+        let k = spec.k();
+        let topology: Arc<dyn rapid_graph::topology::Topology + Send + Sync> =
+            Arc::from(spec.topology);
+        let threshold = default_beacon_threshold(n);
+        let mut machines = Vec::with_capacity(n);
+        for i in 0..n {
+            machines.push(NodeMachine::new(
+                i as u32,
+                Arc::clone(&topology),
+                spec.config.color(rapid_sim::node::NodeId::new(i)),
+                &spec.protocol,
+                spec.rate,
+                spec.seed.child(NODE_STREAM + i as u64),
+                threshold,
+            ));
+        }
+        let mut counts = vec![0u64; k];
+        for m in &machines {
+            counts[m.color().index()] += 1;
+        }
+        let mut heap = BinaryHeap::with_capacity(n);
+        for m in machines.iter_mut() {
+            let gap = m.sample_gap();
+            heap.push(Reverse((SimTime::from_secs(gap), m.id())));
+        }
+        Cluster {
+            transport: ChannelTransport::new(n),
+            machines,
+            protocol: spec.protocol,
+            stops: spec.stops,
+            heap,
+            counts,
+            now: SimTime::ZERO,
+            steps: 0,
+            beacons: 0,
+            halted: 0,
+            first_halt: None,
+            unanimity: None,
+            decode_errors: 0,
+        }
+    }
+
+    /// Boots a cluster straight from a [`SimBuilder`] with
+    /// [`rapid_core::facade::EngineKind::Net`] selected.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`BuildError`] of
+    /// [`SimBuilder::build_net_spec`] for invalid assemblies.
+    pub fn from_builder(builder: SimBuilder) -> Result<Self, BuildError> {
+        Ok(Cluster::from_spec(builder.build_net_spec()?))
+    }
+
+    /// Population size.
+    pub fn n(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// The current support histogram.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Activations executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// How many machines currently hold a raised termination beacon.
+    pub fn beacons(&self) -> usize {
+        self.beacons
+    }
+
+    /// Runs `machines[i].on_tick()` / `on_message` bookkeeping: apply the
+    /// closure, then fold the machine's color/beacon/halt transitions
+    /// into the cluster counters.
+    fn dispatch<F>(&mut self, i: usize, f: F) -> Vec<Envelope>
+    where
+        F: FnOnce(&mut NodeMachine) -> Vec<Envelope>,
+    {
+        let m = &mut self.machines[i];
+        let (c0, b0, h0) = (m.color(), m.beacon(), m.halted());
+        let out = f(m);
+        let (c1, b1, h1) = (m.color(), m.beacon(), m.halted());
+        if c1 != c0 {
+            self.counts[c0.index()] -= 1;
+            self.counts[c1.index()] += 1;
+        }
+        match (b0, b1) {
+            (false, true) => self.beacons += 1,
+            (true, false) => self.beacons -= 1,
+            _ => {}
+        }
+        if !h0 && h1 {
+            self.halted += 1;
+            if self.first_halt.is_none() {
+                self.first_halt = Some(self.now);
+            }
+        }
+        out
+    }
+
+    /// Routes an outbox into the channel transport.
+    fn route(&mut self, outbox: &[Envelope]) {
+        let mut buf = Vec::new();
+        for env in outbox {
+            buf.clear();
+            env.encode_into(&mut buf);
+            self.transport.send(env.dst, &buf);
+        }
+    }
+
+    /// Delivers queued frames until the network is quiet.
+    fn pump_to_quiescence(&mut self) {
+        while let Some(frame) = self.transport.recv() {
+            match Envelope::decode(&frame) {
+                Ok((env, _)) => {
+                    if (env.dst as usize) < self.machines.len() {
+                        let replies = self.dispatch(env.dst as usize, |m| m.on_message(&env));
+                        self.route(&replies);
+                    }
+                }
+                Err(_) => self.decode_errors += 1,
+            }
+        }
+    }
+
+    /// One channel-driver step: fire the earliest pending activation and
+    /// deliver every message it provokes (and their cascading replies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster is empty.
+    pub fn step_channel(&mut self) {
+        let Reverse((t, id)) = self.heap.pop().expect("non-empty cluster");
+        self.now = t;
+        self.steps += 1;
+        let i = id as usize;
+        let outbox = self.dispatch(i, |m| m.on_tick());
+        self.route(&outbox);
+        self.pump_to_quiescence();
+        let gap = self.machines[i].sample_gap();
+        self.heap.push(Reverse((t + SimTime::from_secs(gap), id)));
+        if self.unanimity.is_none() && self.counts.iter().any(|&c| c == self.n() as u64) {
+            self.unanimity = Some((self.steps, self.now));
+        }
+    }
+
+    /// The generous fallback activation budget, mirroring
+    /// `Sim::default_budget` (gossip) and `RapidSim::default_step_budget`.
+    pub fn default_budget(&self) -> u64 {
+        let n = self.n() as u64;
+        match self.protocol {
+            MacroProtocol::Gossip(_) => {
+                let ln_n = (n.max(2) as f64).ln();
+                (n as f64 * (ln_n + 1.0) * 200.0) as u64
+            }
+            MacroProtocol::Rapid(p) => 3 * n * p.total_len(),
+        }
+    }
+
+    /// The configured explicit budgets, if any.
+    fn explicit_stops(&self) -> (Option<u64>, Option<SimTime>) {
+        let mut budget = None;
+        let mut horizon = None;
+        for stop in &self.stops {
+            match stop {
+                StopCondition::StepBudget(b) => budget = Some(*b),
+                StopCondition::TimeHorizon(t) => horizon = Some(*t),
+                _ => {}
+            }
+        }
+        (budget, horizon)
+    }
+
+    /// Drives the deterministic channel transport to termination.
+    pub fn run_channel(&mut self) -> NetRun {
+        let start = std::time::Instant::now();
+        let n = self.n();
+        let (budget, horizon) = self.explicit_stops();
+        let cap = budget.unwrap_or_else(|| self.default_budget());
+        let reason = loop {
+            if self.beacons == n || (self.halted == n && n > 0) {
+                break StopReason::AllHalted;
+            }
+            if self.steps >= cap {
+                break if budget.is_some() {
+                    StopReason::StepBudget
+                } else {
+                    StopReason::DefaultBudget
+                };
+            }
+            if let Some(h) = horizon {
+                if self.now >= h {
+                    break StopReason::TimeHorizon;
+                }
+            }
+            self.step_channel();
+        };
+        NetRun {
+            outcome: self.outcome(reason),
+            total_steps: self.steps,
+            dropped_frames: self.transport.dropped(),
+            decode_errors: self.decode_errors,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+
+    /// Assembles the engine-shaped [`Outcome`]. Unanimity (reached and
+    /// still standing) takes precedence over `fallback`, and reports the
+    /// steps/time at which it was first observed — the moment at which a
+    /// simulator run would have stopped.
+    fn outcome(&self, fallback: StopReason) -> Outcome {
+        let n = self.n() as u64;
+        let winner = self.counts.iter().position(|&c| c == n).map(Color::new);
+        let rapid = matches!(self.protocol, MacroProtocol::Rapid(_));
+        match (winner, self.unanimity) {
+            (Some(w), Some((steps, time))) => Outcome {
+                stop: StopReason::Unanimity,
+                winner: Some(w),
+                steps,
+                rounds: None,
+                time: Some(time),
+                first_halt: self.first_halt,
+                before_first_halt: rapid.then(|| match self.first_halt {
+                    None => true,
+                    Some(t) => time < t,
+                }),
+                final_counts: self.counts.clone(),
+            },
+            _ => Outcome {
+                stop: fallback,
+                winner: None,
+                steps: self.steps,
+                rounds: None,
+                time: Some(self.now),
+                first_halt: self.first_halt,
+                before_first_halt: rapid.then_some(false),
+                final_counts: self.counts.clone(),
+            },
+        }
+    }
+
+    /// Drives a real UDP loopback deployment: `workers` threads, each
+    /// owning a shard of the machines and one non-blocking socket.
+    ///
+    /// Virtual per-node Poisson clocks still pace each node relative to
+    /// its shard, but delivery order, cross-shard interleaving and drops
+    /// are real. The run stops when every machine's beacon is up, the
+    /// step budget (explicit or default) is exhausted, or the wall-clock
+    /// safety net fires. Time-based [`Outcome`] fields are `None`: a
+    /// distributed run has no global clock.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] when sockets cannot be bound (sandboxed
+    /// runners) — the channel driver remains available there.
+    pub fn run_udp(&mut self, opts: &UdpOpts) -> Result<NetRun, NetError> {
+        let n = self.n();
+        let workers = if opts.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(2)
+        } else {
+            opts.workers
+        }
+        .clamp(1, n.max(1));
+        let shard = n.div_ceil(workers);
+        let (sockets, worker_addrs) = bind_loopback(workers)?;
+        // Routing table: node id -> its worker's socket address.
+        let addr_of = Arc::new(
+            (0..n)
+                .map(|i| worker_addrs[(i / shard).min(workers - 1)])
+                .collect::<Vec<_>>(),
+        );
+
+        let (budget, _) = self.explicit_stops();
+        let cap = budget.unwrap_or_else(|| self.default_budget());
+        let stop = AtomicBool::new(false);
+        let steps = AtomicU64::new(0);
+        let beacons = AtomicUsize::new(0);
+        let halted = AtomicUsize::new(0);
+        let dropped = AtomicU64::new(0);
+        let decode_errors = AtomicU64::new(0);
+
+        let start = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            let mut shards: Vec<&mut [NodeMachine]> = Vec::with_capacity(workers);
+            let mut rest = self.machines.as_mut_slice();
+            for _ in 0..workers {
+                let cut = shard.min(rest.len());
+                let (head, tail) = rest.split_at_mut(cut);
+                shards.push(head);
+                rest = tail;
+            }
+            for (w, (shard_machines, socket)) in
+                shards.into_iter().zip(sockets).enumerate()
+            {
+                let transport = UdpTransport::new(socket, Arc::clone(&addr_of), opts.outbox_cap);
+                let base = w * shard;
+                let stop = &stop;
+                let steps = &steps;
+                let beacons = &beacons;
+                let halted = &halted;
+                let dropped = &dropped;
+                let decode_errors = &decode_errors;
+                scope.spawn(move || {
+                    udp_worker(
+                        shard_machines,
+                        transport,
+                        base,
+                        stop,
+                        steps,
+                        beacons,
+                        halted,
+                        dropped,
+                        decode_errors,
+                    );
+                });
+            }
+            // Supervisor: aggregate the workers' beacon counts and stop
+            // the world on termination, budget, or the wall safety net.
+            loop {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                let done = beacons.load(Ordering::Relaxed) >= n
+                    || steps.load(Ordering::Relaxed) >= cap
+                    || start.elapsed().as_millis() as u64 >= opts.wall_timeout_ms;
+                if done {
+                    stop.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+        });
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        // Reconcile the counters with the collected machines.
+        self.steps = steps.load(Ordering::Relaxed);
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.beacons = 0;
+        self.halted = 0;
+        for m in &self.machines {
+            self.counts[m.color().index()] += 1;
+            self.beacons += m.beacon() as usize;
+            self.halted += m.halted() as usize;
+        }
+        let unanimous = self.counts.contains(&(n as u64));
+        if unanimous {
+            // No global virtual clock: report the total steps as the
+            // unanimity point (the driver cannot observe an earlier one).
+            self.unanimity = Some((self.steps, self.now));
+        }
+        let reason = if self.beacons == n || self.halted == n {
+            StopReason::AllHalted
+        } else if steps.load(Ordering::Relaxed) >= cap {
+            if budget.is_some() {
+                StopReason::StepBudget
+            } else {
+                StopReason::DefaultBudget
+            }
+        } else {
+            StopReason::TimeHorizon
+        };
+        let mut outcome = self.outcome(reason);
+        // A deployment has no global clock: never report virtual times,
+        // and halt ordering relative to unanimity is unobservable.
+        outcome.time = None;
+        outcome.first_halt = None;
+        outcome.before_first_halt = None;
+        Ok(NetRun {
+            outcome,
+            total_steps: self.steps,
+            dropped_frames: dropped.load(Ordering::Relaxed),
+            decode_errors: decode_errors.load(Ordering::Relaxed),
+            wall_ms,
+        })
+    }
+}
+
+/// One UDP worker's event loop: pump the socket, fire the next local
+/// activation, flush — never block.
+#[allow(clippy::too_many_arguments)]
+fn udp_worker(
+    machines: &mut [NodeMachine],
+    mut transport: UdpTransport,
+    base: usize,
+    stop: &AtomicBool,
+    steps: &AtomicU64,
+    beacons: &AtomicUsize,
+    halted: &AtomicUsize,
+    dropped: &AtomicU64,
+    decode_errors: &AtomicU64,
+) {
+    if machines.is_empty() {
+        return;
+    }
+    let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = BinaryHeap::with_capacity(machines.len());
+    for (li, m) in machines.iter_mut().enumerate() {
+        let gap = m.sample_gap();
+        heap.push(Reverse((SimTime::from_secs(gap), li)));
+    }
+    let mut buf = Vec::new();
+    // Tracks each machine call's beacon/halt transition into the shared
+    // counters; colors are reconciled by the supervisor after the run.
+    let call = |m: &mut NodeMachine, out: &mut Vec<Envelope>, msg: Option<&Envelope>| {
+        let (b0, h0) = (m.beacon(), m.halted());
+        match msg {
+            Some(env) => out.extend(m.on_message(env)),
+            None => out.extend(m.on_tick()),
+        }
+        let (b1, h1) = (m.beacon(), m.halted());
+        match (b0, b1) {
+            (false, true) => {
+                beacons.fetch_add(1, Ordering::Relaxed);
+            }
+            (true, false) => {
+                beacons.fetch_sub(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        if !h0 && h1 {
+            halted.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+    let mut outbox: Vec<Envelope> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        // Receive pump: drain a batch of inbound datagrams.
+        for _ in 0..UDP_RECV_BATCH {
+            let Some(frame) = transport.recv() else { break };
+            match Envelope::decode(&frame) {
+                Ok((env, _)) => {
+                    let li = env.dst as usize;
+                    if li >= base && li < base + machines.len() {
+                        call(&mut machines[li - base], &mut outbox, Some(&env));
+                    }
+                }
+                Err(_) => {
+                    decode_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        // Fire the next local activation by virtual time.
+        if let Some(Reverse((t, li))) = heap.pop() {
+            call(&mut machines[li], &mut outbox, None);
+            let gap = machines[li].sample_gap();
+            heap.push(Reverse((t + SimTime::from_secs(gap), li)));
+            steps.fetch_add(1, Ordering::Relaxed);
+        }
+        // Route everything produced this iteration, then flush.
+        for env in outbox.drain(..) {
+            buf.clear();
+            env.encode_into(&mut buf);
+            transport.send(env.dst, &buf);
+        }
+        transport.flush();
+    }
+    dropped.fetch_add(transport.dropped(), Ordering::Relaxed);
+}

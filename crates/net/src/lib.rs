@@ -1,0 +1,46 @@
+//! rapid-net: a real message-passing runtime for the rapid protocols,
+//! with the simulators as oracle.
+//!
+//! The simulator crates answer "what does the protocol do?" by modeling
+//! it. This crate answers "does the *implementation* do the same?" by
+//! actually running it: every node is a [`machine::NodeMachine`] — a
+//! pure state machine whose only I/O is serialized [`codec::Envelope`]
+//! frames — and a [`cluster::Cluster`] boots `n` of them over a
+//! [`transport::Transport`]:
+//!
+//! * the **channel transport** ([`transport::ChannelTransport`]) is the
+//!   deterministic in-process fast path, driven to quiescence after each
+//!   Poisson activation so runs are reproducible and byte-for-byte
+//!   comparable with the micro engine;
+//! * the **UDP transport** ([`udp::UdpTransport`]) is a real loopback
+//!   deployment — one non-blocking socket per worker thread, bounded
+//!   drop-on-full outboxes, datagrams that can be lost.
+//!
+//! The contract that keeps the simulator honest is in [`oracle`]: a
+//! channel cluster and a micro simulation of the same workload must
+//! agree on the winner and on the activation count at unanimity (to
+//! bootstrap-CI overlap). Termination is detected in-band by a gossiped
+//! beacon, not by a global observer — see [`machine`].
+//!
+//! Assemble a deployment through the same builder the simulators use
+//! (`Sim::builder().engine(EngineKind::Net)`); axes a real deployment
+//! cannot honor (synchronous rounds, injected faults, heterogeneous
+//! clock rates) are rejected at build time with a typed error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod cluster;
+pub mod codec;
+pub mod machine;
+pub mod oracle;
+pub mod transport;
+pub mod udp;
+
+pub use cluster::{Cluster, NetError, NetRun, UdpOpts};
+pub use codec::{CodecError, Envelope, Payload};
+pub use machine::NodeMachine;
+pub use oracle::{validate_against_micro, OracleConfig, OracleReport};
+pub use transport::{ChannelTransport, Transport};
+pub use udp::UdpTransport;

@@ -1,0 +1,695 @@
+//! One node as a pure message-driven state machine.
+//!
+//! A [`NodeMachine`] owns one node's opinion and protocol state and
+//! advances through exactly two entry points, both of which *return*
+//! their outbox instead of touching a socket:
+//!
+//! * [`NodeMachine::on_tick`] — one local Poisson-clock activation: the
+//!   protocol's pull step becomes a batch of [`Payload::PullRequest`]
+//!   frames tagged with a fresh sequence number;
+//! * [`NodeMachine::on_message`] — one inbound frame: requests are
+//!   answered immediately, replies are matched to the pending query by
+//!   `(src, seq)` and applied when the query completes.
+//!
+//! The handler-returns-outbox shape keeps the machine transport-agnostic
+//! and single-threaded-testable; the cluster drivers own delivery.
+//!
+//! **Interaction semantics match the micro engine**: a query applies
+//! only when *every* pulled response has arrived (a dropped reply aborts
+//! the interaction, exactly like the simulator's message-loss fault),
+//! and the rapid schedule — sample, commit, bit-propagation, sync
+//! gadget, endgame, halt — is decoded from the same working-time
+//! [`Schedule`] the simulator uses.
+//!
+//! # Termination beacon
+//!
+//! A real deployment cannot inspect global state, so convergence is
+//! detected by a gossiped **beacon**: a gossip node raises it after
+//! enough consecutive interactions in which every sampled neighbor
+//! agreed with it (a rapid node raises it when its schedule halts), then
+//! announces it with [`Payload::Opinion`] pushes; beacons also piggyback
+//! on every reply. Seeing a peer's beacon for one's own color halves the
+//! remaining stability requirement, so quiescence detection itself
+//! spreads epidemically. The cluster supervisor aggregates per-node
+//! beacon flags — local state only — to decide when to stop the world.
+
+use std::sync::Arc;
+
+use rapid_core::asynchronous::node::NodeState;
+use rapid_core::asynchronous::schedule::{Action, Schedule};
+use rapid_core::facade::MacroProtocol;
+use rapid_core::opinion::Color;
+use rapid_graph::topology::Topology;
+use rapid_sim::node::NodeId;
+use rapid_sim::poisson::sample_exponential;
+use rapid_sim::rng::{Seed, SimRng};
+
+use crate::codec::{Envelope, Payload};
+
+/// How many random peers a freshly raised beacon is pushed to.
+const BEACON_FANOUT: usize = 2;
+
+/// Most pending queries a node keeps; the oldest is evicted beyond this
+/// (a query whose replies were lost would otherwise leak forever).
+const PENDING_CAP: usize = 32;
+
+/// The default number of consecutive all-agreeing interactions before a
+/// gossip node raises its termination beacon.
+pub fn default_beacon_threshold(n: usize) -> u32 {
+    ((3.0 * (n.max(2) as f64).ln()).ceil() as u32).max(8)
+}
+
+/// What a pending query is waiting to decide.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum QueryKind {
+    /// A plain gossip interaction (Voter / Two-Choices / 3-Majority).
+    Gossip,
+    /// Rapid: the Two-Choices sample feeding the next commit.
+    TcSample,
+    /// Rapid: a Bit-Propagation pull by a node without the bit.
+    BitProp,
+    /// Rapid: a Sync-Gadget real-time sample.
+    SyncSample,
+    /// Rapid: an endgame Two-Choices interaction.
+    Endgame,
+}
+
+/// One reply to a pending query.
+#[derive(Clone, Copy, Debug)]
+struct Reply {
+    color: Color,
+    bit: bool,
+    real_time: u64,
+}
+
+/// A query in flight: `want` requests tagged with one sequence number.
+#[derive(Debug)]
+struct Pending {
+    seq: u64,
+    kind: QueryKind,
+    want: usize,
+    replies: Vec<Reply>,
+    /// The node's real time when the query was issued (Sync Gadget).
+    issued_rt: u64,
+}
+
+/// Protocol-specific state.
+#[derive(Debug)]
+enum Proto {
+    Gossip(rapid_core::asynchronous::GossipRule),
+    Rapid {
+        schedule: Schedule,
+        state: NodeState,
+    },
+}
+
+/// One node's complete runtime state machine.
+pub struct NodeMachine {
+    id: u32,
+    topology: Arc<dyn Topology + Send + Sync>,
+    rng: SimRng,
+    rate: f64,
+    color: Color,
+    proto: Proto,
+    next_seq: u64,
+    pending: Vec<Pending>,
+    /// Own activations performed (the gossip node's "real time").
+    ticks: u64,
+    /// Consecutive all-agreeing completed interactions.
+    stable: u32,
+    threshold: u32,
+    /// Whether a peer's beacon for this node's color has been seen.
+    boosted: bool,
+    beacon: bool,
+}
+
+impl std::fmt::Debug for NodeMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeMachine")
+            .field("id", &self.id)
+            .field("color", &self.color)
+            .field("ticks", &self.ticks)
+            .field("beacon", &self.beacon)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NodeMachine {
+    /// Boots one node: its id, the shared topology view, its initial
+    /// opinion, the protocol, the local Poisson clock rate, and its own
+    /// RNG stream (derived per node by the cluster).
+    pub fn new(
+        id: u32,
+        topology: Arc<dyn Topology + Send + Sync>,
+        color: Color,
+        protocol: &MacroProtocol,
+        rate: f64,
+        seed: Seed,
+        beacon_threshold: u32,
+    ) -> Self {
+        let proto = match protocol {
+            MacroProtocol::Gossip(rule) => Proto::Gossip(*rule),
+            MacroProtocol::Rapid(params) => Proto::Rapid {
+                schedule: Schedule::new(*params),
+                state: NodeState::new(),
+            },
+        };
+        NodeMachine {
+            id,
+            topology,
+            rng: SimRng::from_seed_value(seed),
+            rate,
+            color,
+            proto,
+            next_seq: 0,
+            pending: Vec::new(),
+            ticks: 0,
+            stable: 0,
+            threshold: beacon_threshold.max(1),
+            boosted: false,
+            beacon: false,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Current opinion.
+    pub fn color(&self) -> Color {
+        self.color
+    }
+
+    /// Whether the termination beacon is raised.
+    pub fn beacon(&self) -> bool {
+        self.beacon
+    }
+
+    /// Whether the node has halted (rapid schedules only).
+    pub fn halted(&self) -> bool {
+        match &self.proto {
+            Proto::Gossip(_) => false,
+            Proto::Rapid { state, .. } => state.halted,
+        }
+    }
+
+    /// Own activations performed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Draws the exponential gap (time units) to this node's next
+    /// activation from its own RNG stream — the local Poisson clock.
+    pub fn sample_gap(&mut self) -> f64 {
+        sample_exponential(&mut self.rng, self.rate)
+    }
+
+    /// Samples one pull target from the topology.
+    fn sample_peer(&mut self) -> u32 {
+        self.topology
+            .sample_neighbor(NodeId::new(self.id as usize), &mut self.rng)
+            .index() as u32
+    }
+
+    /// Issues a `want`-pull query: one request frame per sampled peer,
+    /// all tagged with the same fresh sequence number.
+    fn issue(&mut self, kind: QueryKind, want: usize, issued_rt: u64, out: &mut Vec<Envelope>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.pending.len() >= PENDING_CAP {
+            self.pending.remove(0);
+        }
+        self.pending.push(Pending {
+            seq,
+            kind,
+            want,
+            replies: Vec::with_capacity(want),
+            issued_rt,
+        });
+        for _ in 0..want {
+            let dst = self.sample_peer();
+            out.push(Envelope {
+                src: self.id,
+                dst,
+                seq,
+                payload: Payload::PullRequest {
+                    beacon: self.beacon,
+                },
+            });
+        }
+    }
+
+    /// Raises the beacon (idempotent) and pushes it to a few peers.
+    fn raise_beacon(&mut self, out: &mut Vec<Envelope>) {
+        if self.beacon {
+            return;
+        }
+        self.beacon = true;
+        for _ in 0..BEACON_FANOUT {
+            let dst = self.sample_peer();
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            out.push(Envelope {
+                src: self.id,
+                dst,
+                seq,
+                payload: Payload::Opinion {
+                    color: self.color.index() as u32,
+                    beacon: true,
+                },
+            });
+        }
+    }
+
+    /// Notes a peer's raised beacon: for this node's own color it halves
+    /// the remaining stability requirement.
+    fn observe_beacon(&mut self, color: Color, beacon: bool) {
+        if beacon && color == self.color {
+            self.boosted = true;
+        }
+    }
+
+    /// The stability target currently in force.
+    fn effective_threshold(&self) -> u32 {
+        if self.boosted {
+            (self.threshold / 2).max(1)
+        } else {
+            self.threshold
+        }
+    }
+
+    /// The rapid node state, for rapid machines only.
+    fn rapid_state(&mut self) -> &mut NodeState {
+        match &mut self.proto {
+            Proto::Rapid { state, .. } => state,
+            Proto::Gossip(_) => unreachable!("rapid_state on a gossip machine"),
+        }
+    }
+
+    /// One local Poisson-clock activation. Returns the outbox.
+    pub fn on_tick(&mut self) -> Vec<Envelope> {
+        self.ticks += 1;
+        let mut out = Vec::new();
+        // Decide what this tick does under a short read-only borrow,
+        // then act with the borrow released.
+        enum Step {
+            Gossip(usize),
+            HaltedTick,
+            Rapid(Action),
+        }
+        let step = match &self.proto {
+            Proto::Gossip(rule) => Step::Gossip(match rule {
+                rapid_core::asynchronous::GossipRule::Voter => 1,
+                rapid_core::asynchronous::GossipRule::TwoChoices => 2,
+                rapid_core::asynchronous::GossipRule::ThreeMajority => 3,
+            }),
+            Proto::Rapid { schedule, state } => {
+                if state.halted {
+                    Step::HaltedTick
+                } else {
+                    Step::Rapid(schedule.action_at(state.working_time))
+                }
+            }
+        };
+        match step {
+            Step::Gossip(want) => self.issue(QueryKind::Gossip, want, 0, &mut out),
+            Step::HaltedTick => self.rapid_state().real_time += 1,
+            Step::Rapid(action) => self.rapid_tick(action, &mut out),
+        }
+        out
+    }
+
+    /// One activation of the rapid schedule — the same per-action
+    /// semantics as the micro engine's `RapidSim::tick`, with pulls
+    /// turned into queries.
+    fn rapid_tick(&mut self, action: Action, out: &mut Vec<Envelope>) {
+        let mut jumped = false;
+        match action {
+            Action::Wait => {}
+            Action::TwoChoicesSample => {
+                self.rapid_state().reset_phase_state();
+                // Queries from the previous phase are stale now.
+                self.pending.clear();
+                self.issue(QueryKind::TcSample, 2, 0, out);
+            }
+            Action::Commit => {
+                let state = self.rapid_state();
+                let committed = state.intermediate.take();
+                state.bit = committed.is_some();
+                if let Some(c) = committed {
+                    self.color = c;
+                }
+            }
+            Action::BitPropagation => {
+                if !self.rapid_state().bit {
+                    self.issue(QueryKind::BitProp, 1, 0, out);
+                }
+            }
+            Action::SyncSample => {
+                let rt = self.rapid_state().real_time;
+                self.issue(QueryKind::SyncSample, 1, rt, out);
+            }
+            Action::Jump => {
+                if let Proto::Rapid { schedule, state } = &mut self.proto {
+                    let phase = schedule.phase_of(state.working_time);
+                    if !state.jumped_in(phase) {
+                        if let Some(target) = state.median_time_estimate() {
+                            state.working_time = target;
+                            state.mark_jumped(phase);
+                            jumped = true;
+                        }
+                    }
+                }
+            }
+            Action::Endgame => {
+                self.issue(QueryKind::Endgame, 2, 0, out);
+            }
+            Action::Halt => {
+                let state = self.rapid_state();
+                state.halted = true;
+                state.working_time += 1;
+                state.real_time += 1;
+                self.raise_beacon(out);
+                return;
+            }
+        }
+        let state = self.rapid_state();
+        if !jumped {
+            state.working_time += 1;
+        }
+        state.real_time += 1;
+    }
+
+    /// Handles one inbound frame addressed to this node. Returns the
+    /// outbox (replies, beacon pushes).
+    pub fn on_message(&mut self, env: &Envelope) -> Vec<Envelope> {
+        let mut out = Vec::new();
+        match env.payload {
+            Payload::PullRequest { beacon: _ } => {
+                let (bit, real_time) = match &self.proto {
+                    Proto::Gossip(_) => (false, self.ticks),
+                    Proto::Rapid { state, .. } => (state.bit, state.real_time),
+                };
+                out.push(Envelope {
+                    src: self.id,
+                    dst: env.src,
+                    seq: env.seq,
+                    payload: Payload::PullReply {
+                        color: self.color.index() as u32,
+                        bit,
+                        beacon: self.beacon,
+                        real_time,
+                    },
+                });
+            }
+            Payload::PullReply {
+                color,
+                bit,
+                beacon,
+                real_time,
+            } => {
+                let color = Color::new(color as usize);
+                self.observe_beacon(color, beacon);
+                if let Some(i) = self.pending.iter().position(|p| p.seq == env.seq) {
+                    self.pending[i].replies.push(Reply {
+                        color,
+                        bit,
+                        real_time,
+                    });
+                    if self.pending[i].replies.len() >= self.pending[i].want {
+                        let query = self.pending.swap_remove(i);
+                        self.complete(query, &mut out);
+                    }
+                }
+            }
+            Payload::Opinion { color, beacon } => {
+                self.observe_beacon(Color::new(color as usize), beacon);
+            }
+        }
+        out
+    }
+
+    /// Applies a completed query — the protocol's decision step.
+    fn complete(&mut self, query: Pending, out: &mut Vec<Envelope>) {
+        let replies = &query.replies;
+        let old = self.color;
+        match query.kind {
+            QueryKind::Gossip => {
+                let rule = match &self.proto {
+                    Proto::Gossip(rule) => *rule,
+                    Proto::Rapid { .. } => return,
+                };
+                match rule {
+                    rapid_core::asynchronous::GossipRule::Voter => {
+                        self.color = replies[0].color;
+                    }
+                    rapid_core::asynchronous::GossipRule::TwoChoices => {
+                        if replies[0].color == replies[1].color {
+                            self.color = replies[0].color;
+                        }
+                    }
+                    rapid_core::asynchronous::GossipRule::ThreeMajority => {
+                        let (a, b, c) = (replies[0].color, replies[1].color, replies[2].color);
+                        self.color = if a == b || a == c {
+                            a
+                        } else if b == c {
+                            b
+                        } else {
+                            a
+                        };
+                    }
+                }
+            }
+            QueryKind::TcSample => {
+                if matches!(self.proto, Proto::Rapid { .. }) && replies[0].color == replies[1].color
+                {
+                    self.rapid_state().intermediate = Some(replies[0].color);
+                }
+            }
+            QueryKind::BitProp => {
+                if matches!(self.proto, Proto::Rapid { .. }) {
+                    let state = self.rapid_state();
+                    if !state.bit && replies[0].bit {
+                        state.bit = true;
+                        self.color = replies[0].color;
+                    }
+                }
+            }
+            QueryKind::SyncSample => {
+                if matches!(self.proto, Proto::Rapid { .. }) {
+                    self.rapid_state()
+                        .samples
+                        .push((replies[0].real_time, query.issued_rt));
+                }
+            }
+            QueryKind::Endgame => {
+                if replies[0].color == replies[1].color {
+                    self.color = replies[0].color;
+                }
+            }
+        }
+
+        // Stability bookkeeping (gossip termination): an interaction in
+        // which nothing changed and every sampled neighbor already agreed
+        // is one step of evidence that the network has converged.
+        if matches!(self.proto, Proto::Gossip(_)) {
+            if self.color == old && replies.iter().all(|r| r.color == old) {
+                self.stable = self.stable.saturating_add(1);
+                if self.stable >= self.effective_threshold() {
+                    self.raise_beacon(out);
+                }
+            } else {
+                self.stable = 0;
+                if self.color != old {
+                    self.beacon = false;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_core::asynchronous::GossipRule;
+    use rapid_graph::complete::Complete;
+
+    fn machine(id: u32, color: usize, rule: GossipRule) -> NodeMachine {
+        NodeMachine::new(
+            id,
+            Arc::new(Complete::new(8)),
+            Color::new(color),
+            &MacroProtocol::Gossip(rule),
+            1.0,
+            Seed::new(7).child(id as u64),
+            4,
+        )
+    }
+
+    fn reply_to(req: &Envelope, color: usize, beacon: bool) -> Envelope {
+        Envelope {
+            src: req.dst,
+            dst: req.src,
+            seq: req.seq,
+            payload: Payload::PullReply {
+                color: color as u32,
+                bit: false,
+                beacon,
+                real_time: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn voter_adopts_the_single_reply() {
+        let mut m = machine(0, 0, GossipRule::Voter);
+        let out = m.on_tick();
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].payload, Payload::PullRequest { .. }));
+        m.on_message(&reply_to(&out[0], 1, false));
+        assert_eq!(m.color(), Color::new(1));
+    }
+
+    #[test]
+    fn two_choices_requires_agreement() {
+        let mut m = machine(0, 0, GossipRule::TwoChoices);
+        let out = m.on_tick();
+        assert_eq!(out.len(), 2);
+        m.on_message(&reply_to(&out[0], 1, false));
+        m.on_message(&reply_to(&out[1], 2, false));
+        assert_eq!(m.color(), Color::new(0), "disagreeing pair is a no-op");
+
+        let out = m.on_tick();
+        m.on_message(&reply_to(&out[0], 2, false));
+        m.on_message(&reply_to(&out[1], 2, false));
+        assert_eq!(m.color(), Color::new(2));
+    }
+
+    #[test]
+    fn pull_requests_are_answered_with_the_current_color() {
+        let mut m = machine(3, 2, GossipRule::Voter);
+        let req = Envelope {
+            src: 5,
+            dst: 3,
+            seq: 9,
+            payload: Payload::PullRequest { beacon: false },
+        };
+        let out = m.on_message(&req);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, 5);
+        assert_eq!(out[0].seq, 9);
+        assert!(matches!(
+            out[0].payload,
+            Payload::PullReply { color: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn stale_or_unknown_replies_are_dropped() {
+        let mut m = machine(0, 0, GossipRule::Voter);
+        let phantom = Envelope {
+            src: 1,
+            dst: 0,
+            seq: 999,
+            payload: Payload::PullReply {
+                color: 1,
+                bit: false,
+                beacon: false,
+                real_time: 0,
+            },
+        };
+        m.on_message(&phantom);
+        assert_eq!(m.color(), Color::new(0));
+    }
+
+    #[test]
+    fn beacon_rises_after_stable_agreement_and_falls_on_change() {
+        let mut m = machine(0, 0, GossipRule::Voter);
+        for _ in 0..4 {
+            let out = m.on_tick();
+            m.on_message(&reply_to(&out[0], 0, false));
+        }
+        assert!(m.beacon(), "threshold 4 reached");
+        // A color change revokes the beacon.
+        let out = m.on_tick();
+        m.on_message(&reply_to(&out[0], 1, false));
+        assert!(!m.beacon());
+        assert_eq!(m.color(), Color::new(1));
+    }
+
+    #[test]
+    fn observed_beacon_halves_the_threshold() {
+        let mut m = machine(0, 0, GossipRule::Voter);
+        let opinion = Envelope {
+            src: 2,
+            dst: 0,
+            seq: 0,
+            payload: Payload::Opinion {
+                color: 0,
+                beacon: true,
+            },
+        };
+        m.on_message(&opinion);
+        for _ in 0..2 {
+            let out = m.on_tick();
+            m.on_message(&reply_to(&out[0], 0, false));
+        }
+        assert!(m.beacon(), "boosted threshold 4/2 = 2 reached");
+    }
+
+    #[test]
+    fn raised_beacon_is_pushed_as_opinions() {
+        let mut m = machine(0, 0, GossipRule::Voter);
+        let mut pushes = 0;
+        for _ in 0..4 {
+            let out = m.on_tick();
+            let replies = m.on_message(&reply_to(&out[0], 0, false));
+            pushes += replies
+                .iter()
+                .filter(|e| matches!(e.payload, Payload::Opinion { beacon: true, .. }))
+                .count();
+        }
+        assert_eq!(pushes, BEACON_FANOUT);
+    }
+
+    #[test]
+    fn rapid_machine_halts_by_schedule_and_raises_the_beacon() {
+        use rapid_core::asynchronous::Params;
+        let params = Params::for_network(8, 2);
+        let mut m = NodeMachine::new(
+            0,
+            Arc::new(Complete::new(8)),
+            Color::new(0),
+            &MacroProtocol::Rapid(params),
+            1.0,
+            Seed::new(1),
+            8,
+        );
+        // Drive the machine alone past its whole schedule: with no
+        // replies ever arriving every pull aborts, and the node still
+        // walks working time to the halt slot.
+        for _ in 0..params.total_len() + 2 {
+            m.on_tick();
+        }
+        assert!(m.halted());
+        assert!(m.beacon());
+        // A halted node still answers pulls with its frozen color.
+        let req = Envelope {
+            src: 1,
+            dst: 0,
+            seq: 1,
+            payload: Payload::PullRequest { beacon: false },
+        };
+        assert_eq!(m.on_message(&req).len(), 1);
+    }
+
+    #[test]
+    fn sample_gap_is_positive_and_seed_dependent() {
+        let mut a = machine(0, 0, GossipRule::Voter);
+        let mut b = machine(1, 0, GossipRule::Voter);
+        let ga = a.sample_gap();
+        assert!(ga > 0.0);
+        assert_ne!(ga, b.sample_gap(), "distinct per-node streams");
+    }
+}

@@ -1,0 +1,35 @@
+//! Simulator-as-oracle acceptance: a channel-transport deployment at
+//! n = 2^10 must agree with the micro engine on the winner in ≥ 95% of
+//! seeded trials, and its activation count at unanimity must sit inside
+//! the micro distribution (bootstrap-CI overlap).
+
+use rapid_core::asynchronous::Params;
+use rapid_core::facade::MacroProtocol;
+use rapid_core::GossipRule;
+use rapid_net::{validate_against_micro, OracleConfig};
+
+const N: usize = 1 << 10;
+
+/// 60/40 split: a clear plurality, so trials converge to color 0 with
+/// overwhelming probability and winner agreement is informative.
+fn counts() -> Vec<u64> {
+    vec![(N as u64 * 3) / 5, N as u64 - (N as u64 * 3) / 5]
+}
+
+#[test]
+fn channel_cluster_matches_micro_for_two_choices() {
+    let cfg = OracleConfig::new(N, counts(), MacroProtocol::Gossip(GossipRule::TwoChoices));
+    let report = validate_against_micro(&cfg);
+    assert_eq!(report.micro_converged, report.trials, "{report:?}");
+    assert_eq!(report.net_converged, report.trials, "{report:?}");
+    assert!(report.agrees(0.95), "{report:?}");
+}
+
+#[test]
+fn channel_cluster_matches_micro_for_rapid() {
+    let params = Params::for_network_with_eps(N, 2, 0.5);
+    let cfg = OracleConfig::new(N, counts(), MacroProtocol::Rapid(params));
+    let report = validate_against_micro(&cfg);
+    assert!(report.net_converged > 0, "{report:?}");
+    assert!(report.agrees(0.95), "{report:?}");
+}

@@ -1,0 +1,98 @@
+//! The UDP transport's liveness contract: a slow (or dead) receiver can
+//! cost frames, but it can never block or deadlock a sender's event
+//! loop. Plus the real thing: a loopback deployment converging end to
+//! end (ignored by default for sandboxed runners that forbid sockets).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rapid_net::cli::{self, RunOpts, TransportKind};
+use rapid_net::codec::{Envelope, Payload};
+use rapid_net::udp::{bind_loopback, UdpTransport};
+use rapid_net::Transport;
+
+fn frame() -> Vec<u8> {
+    Envelope {
+        src: 0,
+        dst: 1,
+        seq: 9,
+        payload: Payload::Opinion {
+            color: 0,
+            beacon: false,
+        },
+    }
+    .encode()
+}
+
+#[test]
+fn slow_receiver_cannot_deadlock_the_event_loop() {
+    // Skip gracefully on runners that forbid socket creation; the
+    // contract is still covered by `full_outbox_drops_and_counts`.
+    let Ok((sockets, addrs)) = bind_loopback(2) else {
+        eprintln!("skipping: loopback sockets unavailable");
+        return;
+    };
+    let addr_of = Arc::new(addrs);
+    let mut it = sockets.into_iter();
+    let mut sender = UdpTransport::new(it.next().unwrap(), Arc::clone(&addr_of), 8);
+    // The receiver's socket stays bound but is never read: kernel
+    // buffers fill, then datagrams vanish. The sender must not care.
+    let _silent_receiver = it.next().unwrap();
+
+    let frame = frame();
+    let start = Instant::now();
+    for _ in 0..50_000 {
+        sender.send(1, &frame);
+        sender.flush();
+    }
+    // Non-blocking by contract: tens of thousands of sends into a dead
+    // peer finish quickly instead of wedging on a full buffer.
+    assert!(
+        start.elapsed() < Duration::from_secs(20),
+        "sender wedged on a slow receiver"
+    );
+    assert!(sender.queued() <= sender.capacity());
+}
+
+#[test]
+fn full_outbox_drops_and_counts_instead_of_blocking() {
+    // No sockets needed to prove the bound: with flushing suppressed,
+    // the outbox saturates at its capacity and every further send is a
+    // counted drop.
+    let Ok((sockets, addrs)) = bind_loopback(1) else {
+        eprintln!("skipping: loopback sockets unavailable");
+        return;
+    };
+    let addr_of = Arc::new(vec![addrs[0], addrs[0]]);
+    let mut t = UdpTransport::new(sockets.into_iter().next().unwrap(), addr_of, 4);
+    let frame = frame();
+    for i in 0..4 {
+        assert!(t.send(1, &frame), "send {i} fits the outbox");
+    }
+    for _ in 0..10 {
+        assert!(!t.send(1, &frame), "full outbox must drop");
+    }
+    assert_eq!(t.queued(), 4);
+    assert_eq!(t.dropped(), 10);
+    // Unknown destinations are also drops, not panics.
+    assert!(!t.send(99, &frame));
+    assert_eq!(t.dropped(), 11);
+}
+
+#[test]
+#[ignore = "binds many loopback UDP sockets; run explicitly on hosts that allow it"]
+fn loopback_deployment_converges_at_n_256() {
+    let opts = RunOpts {
+        n: 256,
+        transport: TransportKind::Udp,
+        ..RunOpts::default()
+    };
+    let run = cli::execute(&opts).expect("udp run");
+    assert!(
+        run.outcome.converged(),
+        "stop = {:?}, winner = {:?}",
+        run.outcome.stop,
+        run.outcome.winner
+    );
+    assert!(run.outcome.winner.is_some());
+}

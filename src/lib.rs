@@ -13,6 +13,8 @@
 //! * [`macro_engine`] — population-level simulation to `n = 10⁹` and
 //!   mean-field predictions (`rapid-macro`).
 //! * [`experiments`] — the experiment harness reproducing every claim.
+//! * [`net`] — a real message-passing runtime (channel or UDP loopback)
+//!   with the simulator as its correctness oracle (`rapid-net`).
 //!
 //! # Quickstart
 //!
@@ -61,6 +63,7 @@ pub use rapid_graph as graph;
 // `macro` is a reserved word; the population-level engine re-exports
 // under `macro_engine`.
 pub use rapid_macro as macro_engine;
+pub use rapid_net as net;
 pub use rapid_sim as sim;
 pub use rapid_stats as stats;
 pub use rapid_urn as urn;

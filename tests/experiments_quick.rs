@@ -71,6 +71,8 @@ quick_test!(
     e19_quick_report_is_well_formed => "e19",
     e20_quick_report_is_well_formed => "e20",
     e22_quick_report_is_well_formed => "e22",
+    e23_quick_report_is_well_formed => "e23",
+    e24_quick_report_is_well_formed => "e24",
 );
 
 /// E21's quick preset deliberately reaches n = 10^8 (the macro engine
@@ -86,8 +88,8 @@ fn e21_quick_report_is_well_formed() {
 }
 
 #[test]
-fn registry_covers_exactly_the_22_experiments() {
-    assert_eq!(registry().len(), 22);
+fn registry_covers_exactly_the_24_experiments() {
+    assert_eq!(registry().len(), 24);
     for (i, exp) in registry().iter().enumerate() {
         assert_eq!(exp.id(), format!("e{:02}", i + 1));
     }
