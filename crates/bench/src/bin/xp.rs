@@ -4,16 +4,18 @@
 //! [--set k=v]` runs any experiment with per-parameter overrides; `xp all`
 //! sweeps the whole registry; `xp bench …` drives the benchmark registry and the
 //! `BENCH_*.json` performance trajectory; `xp net run …` boots a real
-//! message-passing deployment (channel or UDP loopback). All behaviour lives in
-//! `rapid_experiments::cli`, `rapid_bench::cli` and `rapid_net::cli` so it is
-//! unit tested; this binary only dispatches the first word and adapts the exit
-//! code.
+//! message-passing deployment (channel or UDP loopback); `xp lint` runs the
+//! determinism & hygiene static-analysis pass over the workspace's own source.
+//! All behaviour lives in `rapid_experiments::cli`, `rapid_bench::cli`,
+//! `rapid_net::cli` and `rapid_lint::cli` so it is unit tested; this binary
+//! only dispatches the first word and adapts the exit code.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("bench") => rapid_bench::cli::run(&args[1..]),
         Some("net") => rapid_net::cli::run(&args[1..]),
+        Some("lint") => rapid_lint::cli::run(&args[1..]),
         _ => rapid_experiments::cli::run(&args),
     };
     std::process::exit(code);

@@ -273,6 +273,7 @@ pub fn default_out_dir() -> PathBuf {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
+        // lint: allow(panic-hygiene): CARGO_MANIFEST_DIR of a workspace member always has the workspace root two levels up
         .expect("manifest dir has a workspace root two levels up")
         .to_path_buf();
     if root.is_dir() {

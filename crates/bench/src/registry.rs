@@ -68,6 +68,7 @@ impl Bench for KernelBench {
 fn gossip_tick_4096() -> Box<dyn FnMut()> {
     let n = 4096;
     let counts = bench_counts(n as u64, 8, 0.3);
+    // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
     let config = Configuration::from_counts(&counts).expect("valid");
     let source = SequentialScheduler::new(n, Seed::new(6));
     let mut sim = AsyncGossipSim::new(
@@ -110,6 +111,7 @@ fn bench_fault_plan(n: usize) -> FaultPlan {
 fn gossip_tick_faulty_4096() -> Box<dyn FnMut()> {
     let n = 4096;
     let counts = bench_counts(n as u64, 8, 0.3);
+    // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
     let config = Configuration::from_counts(&counts).expect("valid");
     let source = SequentialScheduler::new(n, Seed::new(6));
     let mut sim = AsyncGossipSim::new(
@@ -131,6 +133,7 @@ fn rapid_tick_faulty_4096() -> Box<dyn FnMut()> {
     let n = 4096;
     let counts = bench_counts(n as u64, 8, 0.3);
     let params = Params::for_network(n, 8);
+    // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
     let config = Configuration::from_counts(&counts).expect("valid");
     let source = SequentialScheduler::new(n, Seed::new(5));
     let mut sim = RapidSim::new(Complete::new(n), config, params, source, Seed::new(15))
@@ -146,6 +149,7 @@ fn rapid_tick_4096() -> Box<dyn FnMut()> {
     let n = 4096;
     let counts = bench_counts(n as u64, 8, 0.3);
     let params = Params::for_network(n, 8);
+    // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
     let config = Configuration::from_counts(&counts).expect("valid");
     let source = SequentialScheduler::new(n, Seed::new(5));
     let mut sim = RapidSim::new(Complete::new(n), config, params, source, Seed::new(15));
@@ -160,6 +164,7 @@ fn sync_two_choices_round_4096() -> Box<dyn FnMut()> {
     let n = 4096;
     let counts = bench_counts(n as u64, 8, 0.3);
     let g = Complete::new(n);
+    // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
     let mut config = Configuration::from_counts(&counts).expect("valid");
     let mut rng = SimRng::from_seed_value(Seed::new(1));
     let mut proto = TwoChoices::new();
@@ -170,6 +175,7 @@ fn sync_three_majority_round_4096() -> Box<dyn FnMut()> {
     let n = 4096;
     let counts = bench_counts(n as u64, 8, 0.3);
     let g = Complete::new(n);
+    // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
     let mut config = Configuration::from_counts(&counts).expect("valid");
     let mut rng = SimRng::from_seed_value(Seed::new(2));
     let mut proto = ThreeMajority::new();
@@ -180,6 +186,7 @@ fn sync_voter_round_4096() -> Box<dyn FnMut()> {
     let n = 4096;
     let counts = bench_counts(n as u64, 8, 0.3);
     let g = Complete::new(n);
+    // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
     let mut config = Configuration::from_counts(&counts).expect("valid");
     let mut rng = SimRng::from_seed_value(Seed::new(3));
     let mut proto = Voter::new();
@@ -190,6 +197,7 @@ fn sync_one_extra_bit_round_4096() -> Box<dyn FnMut()> {
     let n = 4096;
     let counts = bench_counts(n as u64, 8, 0.3);
     let g = Complete::new(n);
+    // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
     let mut config = Configuration::from_counts(&counts).expect("valid");
     let mut rng = SimRng::from_seed_value(Seed::new(4));
     let mut proto = OneExtraBit::for_network(n, 8);
@@ -270,6 +278,7 @@ fn topology_complete_sample_65536() -> Box<dyn FnMut()> {
 }
 
 fn topology_regular_sample_4096() -> Box<dyn FnMut()> {
+    // lint: allow(panic-hygiene): fixed n and even degree make the regular graph samplable by construction
     let g = RandomRegular::sample(1 << 12, 8, Seed::new(5)).expect("samplable");
     let mut rng = SimRng::from_seed_value(Seed::new(6));
     let u = NodeId::new(7);
@@ -283,6 +292,7 @@ fn topology_regular_sample_4096() -> Box<dyn FnMut()> {
 }
 
 fn urn_polya_step() -> Box<dyn FnMut()> {
+    // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
     let mut urn = PolyaUrn::new(vec![100, 50, 25], 1).expect("valid");
     let mut rng = SimRng::from_seed_value(Seed::new(7));
     Box::new(move || {
@@ -332,6 +342,7 @@ fn macro_gossip_sim(n: usize, seed: u64) -> MacroSim {
             .engine(EngineKind::Macro)
             .seed(Seed::new(seed)),
     )
+    // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
     .expect("valid macro assembly")
 }
 
@@ -370,6 +381,7 @@ fn net_channel_cluster(n: usize, seed: u64) -> rapid_net::Cluster {
             .engine(EngineKind::Net)
             .seed(Seed::new(seed)),
     )
+    // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
     .expect("valid net assembly")
 }
 
@@ -391,6 +403,7 @@ fn net_codec_round_trip() -> Box<dyn FnMut()> {
         for _ in 0..BATCH {
             buf.clear();
             env.encode_into(&mut buf);
+            // lint: allow(panic-hygiene): the codec round-trip property is pinned by rapid-net unit tests; a bench failure is a programming error
             let (back, _) = Envelope::decode(&buf).expect("round-trips");
             std::hint::black_box(back.seq);
         }
@@ -506,6 +519,7 @@ fn consensus_gossip_run() -> Box<dyn FnMut()> {
             .seed(Seed::new(seed))
             .stop(StopCondition::StepBudget(50_000_000))
             .build()
+            // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
             .expect("valid")
             .run();
         assert!(out.converged(), "converges");
@@ -524,6 +538,7 @@ fn consensus_rapid_run() -> Box<dyn FnMut()> {
             .rapid(params)
             .seed(Seed::new(seed))
             .build()
+            // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
             .expect("valid")
             .run();
         assert!(out.converged(), "converges");
@@ -544,6 +559,7 @@ fn consensus_gossip_endgame_halt_run() -> Box<dyn FnMut()> {
             .seed(Seed::new(seed))
             .stop(StopCondition::StepBudget(50_000_000))
             .build()
+            // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
             .expect("valid")
             .run();
         assert!(out.converged(), "converges");
@@ -562,6 +578,7 @@ fn consensus_sync_two_choices_run() -> Box<dyn FnMut()> {
             .seed(Seed::new(seed))
             .stop(StopCondition::RoundBudget(100_000))
             .build()
+            // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
             .expect("valid")
             .run();
         assert!(out.converged(), "converges");

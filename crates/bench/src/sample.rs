@@ -248,7 +248,7 @@ pub fn measure(
     for &t in &timings_ns {
         acc.push(t);
     }
-    timings_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are never NaN"));
+    timings_ns.sort_by(f64::total_cmp);
     BenchSample {
         id: id.to_string(),
         group: group.to_string(),
@@ -260,6 +260,7 @@ pub fn measure(
         p10_ns: quantile_sorted(&timings_ns, 0.10),
         p50_ns: quantile_sorted(&timings_ns, 0.50),
         p90_ns: quantile_sorted(&timings_ns, 0.90),
+        // lint: allow(panic-hygiene): the sampling loop always records at least one timing
         max_ns: *timings_ns.last().expect("at least min_iters timings"),
     }
 }

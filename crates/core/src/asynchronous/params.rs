@@ -189,6 +189,7 @@ impl Params {
     /// Panics if [`Params::check`] fails.
     pub fn validate(&self) {
         if let Err(why) = self.check() {
+            // lint: allow(panic-hygiene): documented panic — validate() exists to turn check() failures into a panic
             panic!("invalid Params: {why}");
         }
     }

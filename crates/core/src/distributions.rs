@@ -223,7 +223,7 @@ fn weights_to_counts(n: u64, weights: Vec<f64>) -> Result<Vec<u64>, Distribution
         .enumerate()
         .map(|(i, w)| (i, w / total * n as f64 - counts[i] as f64))
         .collect();
-    frac.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("weights are finite"));
+    frac.sort_by(|a, b| b.1.total_cmp(&a.1));
     let mut idx = 0;
     while assigned < n {
         counts[frac[idx % frac.len()].0] += 1;

@@ -1705,6 +1705,7 @@ impl Sim {
         let success = stop == StopReason::Unanimity
             && match self.first_halt() {
                 None => true,
+                // lint: allow(panic-hygiene): first_halt is only set by halting engines, which always carry virtual time
                 Some(halt) => self.now().expect("halting engines are asynchronous") < halt,
             };
         let before_first_halt = match &self.engine {

@@ -33,6 +33,7 @@ pub(crate) fn pre_tick(
 /// Performs one adversary corruption, drawing any randomness from the
 /// fault layer's dedicated stream.
 fn corrupt_one(config: &mut Configuration, f: &mut FaultState) {
+    // lint: allow(panic-hygiene): strikes are only scheduled when the plan configures an adversary
     match f.adversary_kind().expect("a strike implies an adversary") {
         AdversaryKind::Oblivious => {
             // Blind: random node, random color, no peek at the state.

@@ -297,6 +297,7 @@ fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
+        // lint: allow(panic-hygiene): CARGO_MANIFEST_DIR of a workspace member always has the workspace root two levels up
         .expect("manifest dir has a workspace root two levels up")
         .to_path_buf()
 }

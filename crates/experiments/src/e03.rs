@@ -159,6 +159,7 @@ pub fn run_on(cfg: &Config, threads: Threads) -> Report {
                     .seed(seed)
                     .stop(StopCondition::RoundBudget(budget))
                     .build()
+                    // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
                     .expect("validated")
                     .run()
                     .winner

@@ -170,6 +170,7 @@ fn run_sync(
         .seed(seed)
         .stop(StopCondition::RoundBudget(budget))
         .build()
+        // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
         .expect("validated")
         .run();
     match out.as_sync() {

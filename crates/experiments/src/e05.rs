@@ -126,6 +126,7 @@ fn trace_ratios(n: u64, k: usize, eps: f64, max_phases: u32, seed: Seed) -> Vec<
         .protocol(proto)
         .seed(seed)
         .build()
+        // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
         .expect("valid workload");
     let mut ratios = vec![sim.config().counts().top_two().ratio()];
     for _ in 0..max_phases {

@@ -149,6 +149,7 @@ pub fn run_on(cfg: &Config, threads: Threads) -> Report {
                         .rapid(params)
                         .seed(seed)
                         .build()
+                        // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
                         .expect("validated")
                         .run();
                     match outcome.as_rapid() {

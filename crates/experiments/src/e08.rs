@@ -121,6 +121,7 @@ fn measure(n: u64, k: usize, eps: f64, gadget: bool, seed: Seed) -> Vec<(f64, u6
         .rapid(params)
         .seed(seed)
         .build()
+        // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
         .expect("valid workload");
     let per_phase = n * params.phase_len();
     let tolerance = 2 * params.delta as u64;
@@ -129,6 +130,7 @@ fn measure(n: u64, k: usize, eps: f64, gadget: bool, seed: Seed) -> Vec<(f64, u6
         for _ in 0..per_phase {
             sim.step();
         }
+        // lint: allow(panic-hygiene): this experiment always assembles the rapid engine, which provides working-time metrics
         let stats = sim.working_time_stats(tolerance).expect("rapid engine");
         out.push((stats.poorly_synced, stats.max - stats.min));
     }

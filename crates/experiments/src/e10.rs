@@ -131,6 +131,7 @@ fn trial(n: u64, k: usize, eps: f64, seed: Seed) -> Option<(f64, f64, f64)> {
     // chunks so the O(n log n) median computation stays off the hot path.
     let chunk = n / 8 + 1;
     let advance_to = |sim: &mut Sim, target: u64| {
+        // lint: allow(panic-hygiene): this experiment always assembles the rapid engine, which provides working-time metrics
         while sim.median_working_time().expect("rapid engine") < target {
             for _ in 0..chunk {
                 sim.step();
@@ -141,6 +142,7 @@ fn trial(n: u64, k: usize, eps: f64, seed: Seed) -> Option<(f64, f64, f64)> {
     // Advance until the bulk has completed the commit step of phase 0.
     let commit_slot = (params.tc_blocks as u64) * params.delta as u64; // first BP slot
     advance_to(&mut sim, commit_slot);
+    // lint: allow(panic-hygiene): this experiment always assembles the rapid engine, which provides working-time metrics
     let comp0 = sim.bit_composition().expect("rapid engine");
     let total0: u64 = comp0.iter().sum();
     if total0 == 0 {
@@ -151,6 +153,7 @@ fn trial(n: u64, k: usize, eps: f64, seed: Seed) -> Option<(f64, f64, f64)> {
     // Advance to the end of the BP sub-phase (bulk at sync start).
     let sync_start = commit_slot + params.bp_len();
     advance_to(&mut sim, sync_start);
+    // lint: allow(panic-hygiene): this experiment always assembles the rapid engine, which provides working-time metrics
     let comp1 = sim.bit_composition().expect("rapid engine");
     let total1: u64 = comp1.iter().sum();
     let f1 = comp1[0] as f64 / total1 as f64;

@@ -156,11 +156,13 @@ pub fn run_on(cfg: &Config, threads: Threads) -> Report {
                         .seed(seed)
                         .stop(StopCondition::StepBudget(4 * n * halt))
                         .build()
+                        // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
                         .expect("validated")
                         .run();
                     if outcome.converged() {
                         let ok = outcome.winner == Some(Color::new(0))
                             && outcome.before_first_halt == Some(true);
+                        // lint: allow(panic-hygiene): asynchronous engines always carry virtual time
                         (outcome.time.expect("async engine").as_secs(), ok, true)
                     } else {
                         (0.0, false, false)

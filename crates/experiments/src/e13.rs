@@ -185,6 +185,7 @@ fn run_entrant(
     if !matches!(e, Entrant::Rapid) {
         builder = builder.stop(StopCondition::RoundBudget(budget));
     }
+    // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
     let outcome = builder.build().expect("valid").run();
     match e {
         Entrant::Rapid => match outcome.as_rapid() {

@@ -172,10 +172,13 @@ fn run_cell(
             // engine, shuffle, jitter); sample graphs from disjoint ones
             // so graph structure and protocol randomness stay independent.
             Topo::Regular => Box::new(
+                // lint: allow(rng-stream-registry): experiment-local topology-sampling stream, disjoint from the registry by construction
+                // lint: allow(panic-hygiene): n and d are drawn from the experiment grid, which only contains even stub counts
                 RandomRegular::sample(n, d.min(n - 1), seed.child(20)).expect("even stub count"),
             ),
             Topo::ErdosRenyi => {
                 let p = 2.0 * (n as f64).ln() / n as f64;
+                // lint: allow(rng-stream-registry): experiment-local topology-sampling stream, disjoint from the registry by construction
                 Box::new(ErdosRenyi::sample(n, p.min(1.0), seed.child(21)))
             }
             Topo::Torus => Box::new(Torus2d::new(side, side)),
@@ -191,6 +194,7 @@ fn run_cell(
             // No explicit stop: the facade's fallback is the rapid
             // engine's schedule-derived budget.
             let params = Params::for_network_with_eps(n, k, eps);
+            // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
             let outcome = builder.rapid(params).build().expect("validated").run();
             match outcome.as_rapid() {
                 Some(out) => (
@@ -205,6 +209,7 @@ fn run_cell(
                 .protocol(TwoChoices::new())
                 .stop(StopCondition::RoundBudget(200_000))
                 .build()
+                // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
                 .expect("validated")
                 .run();
             match outcome.as_sync() {

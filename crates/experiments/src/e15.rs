@@ -144,13 +144,16 @@ fn run_one(n: u64, k: usize, eps: f64, skew: f64, seed: Seed) -> Option<(f64, bo
     let mut outcome = None;
     while sim.steps() < budget {
         sim.step();
+        // lint: allow(panic-hygiene): this experiment always assembles the rapid engine, which provides working-time metrics
         if spread.is_nan() && sim.median_working_time().expect("rapid engine") >= spread_probe {
             let stats = sim
                 .working_time_stats(2 * params.delta as u64)
+                // lint: allow(panic-hygiene): this experiment always assembles the rapid engine, which provides working-time metrics
                 .expect("rapid");
             spread = stats.poorly_synced;
         }
         if let Some(winner) = sim.config().unanimous() {
+            // lint: allow(panic-hygiene): asynchronous engines always carry virtual time
             outcome = Some((sim.now().expect("async engine"), winner));
             break;
         }

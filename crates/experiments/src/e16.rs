@@ -129,11 +129,13 @@ fn trace_ratios(n: u64, k: usize, eps: f64, max_phases: u32, seed: Seed) -> Vec<
         .rapid(params)
         .seed(seed)
         .build()
+        // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
         .expect("feasible workload");
     let chunk = n / 8 + 1;
     let mut ratios = vec![sim.config().counts().top_two().ratio()];
     for p in 1..=max_phases.min(params.phases) as u64 {
         let boundary = p * params.phase_len();
+        // lint: allow(panic-hygiene): this experiment always assembles the rapid engine, which provides working-time metrics
         while sim.median_working_time().expect("rapid engine") < boundary {
             for _ in 0..chunk {
                 sim.step();

@@ -125,6 +125,7 @@ impl Experiment for E21 {
 }
 
 fn run_one(n: u64, k: usize, eps: f64, rapid: bool, seed: Seed) -> Option<(f64, bool, f64)> {
+    // lint: allow(no-wall-clock): wall-clock throughput is the quantity this experiment measures; it never influences the run
     let wall = std::time::Instant::now();
     let mut builder = Sim::builder()
         .topology(Complete::new(n as usize))

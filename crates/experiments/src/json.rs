@@ -263,7 +263,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, byte: u8, message: &'static str) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, byte: u8, message: &'static str) -> Result<(), JsonError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -295,7 +295,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<JsonValue, JsonError> {
-        self.expect(b'{', "expected '{'")?;
+        self.expect_byte(b'{', "expected '{'")?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -306,7 +306,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':', "expected ':'")?;
+            self.expect_byte(b':', "expected ':'")?;
             self.skip_ws();
             let value = self.value()?;
             map.insert(key, value);
@@ -323,7 +323,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<JsonValue, JsonError> {
-        self.expect(b'[', "expected '['")?;
+        self.expect_byte(b'[', "expected '['")?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -346,7 +346,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"', "expected '\"'")?;
+        self.expect_byte(b'"', "expected '\"'")?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -423,6 +423,7 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            // lint: allow(panic-hygiene): the scan above only accepts ASCII digit/sign/exponent bytes, so UTF-8 validation cannot fail
             .expect("digits and sign characters are ASCII");
         // Plain unsigned integers keep full 64-bit precision; everything
         // else (signs, fractions, exponents, overflow) falls back to f64.

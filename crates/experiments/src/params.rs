@@ -413,6 +413,7 @@ impl ParamMap {
     fn value(&self, key: &str) -> &ParamValue {
         self.values
             .get(key)
+            // lint: allow(panic-hygiene): documented panic — schema mismatches are experiment programming errors, not user errors
             .unwrap_or_else(|| panic!("parameter {key:?} not in schema — experiment bug"))
     }
 
@@ -422,17 +423,20 @@ impl ParamMap {
     pub fn u64(&self, key: &str) -> u64 {
         match self.value(key) {
             ParamValue::U64(x) => *x,
+            // lint: allow(panic-hygiene): documented panic — typed getters turn schema mismatches into programming-error panics
             v => panic!("parameter {key:?} is a {}, not u64", v.kind().name()),
         }
     }
 
     /// Typed getter for `u32` parameters (declared via [`ParamSpec::u32`]).
     pub fn u32(&self, key: &str) -> u32 {
+        // lint: allow(panic-hygiene): documented panic — typed getters turn schema mismatches into programming-error panics
         u32::try_from(self.u64(key)).expect("u32 params are bound-checked on assignment")
     }
 
     /// Typed getter returning `usize` (for opinion counts and the like).
     pub fn usize(&self, key: &str) -> usize {
+        // lint: allow(panic-hygiene): documented panic — typed getters turn schema mismatches into programming-error panics
         usize::try_from(self.u64(key)).expect("u64 fits usize on supported targets")
     }
 
@@ -440,6 +444,7 @@ impl ParamMap {
     pub fn f64(&self, key: &str) -> f64 {
         match self.value(key) {
             ParamValue::F64(x) => *x,
+            // lint: allow(panic-hygiene): documented panic — typed getters turn schema mismatches into programming-error panics
             v => panic!("parameter {key:?} is a {}, not f64", v.kind().name()),
         }
     }
@@ -448,6 +453,7 @@ impl ParamMap {
     pub fn bool(&self, key: &str) -> bool {
         match self.value(key) {
             ParamValue::Bool(b) => *b,
+            // lint: allow(panic-hygiene): documented panic — typed getters turn schema mismatches into programming-error panics
             v => panic!("parameter {key:?} is a {}, not bool", v.kind().name()),
         }
     }
@@ -457,6 +463,7 @@ impl ParamMap {
     pub fn u64_list(&self, key: &str) -> Vec<u64> {
         match self.value(key) {
             ParamValue::U64List(xs) => xs.clone(),
+            // lint: allow(panic-hygiene): documented panic — typed getters turn schema mismatches into programming-error panics
             v => panic!("parameter {key:?} is a {}, not a u64 list", v.kind().name()),
         }
     }
@@ -465,6 +472,7 @@ impl ParamMap {
     pub fn usize_list(&self, key: &str) -> Vec<usize> {
         self.u64_list(key)
             .into_iter()
+            // lint: allow(panic-hygiene): documented panic — typed getters turn schema mismatches into programming-error panics
             .map(|x| usize::try_from(x).expect("u64 fits usize on supported targets"))
             .collect()
     }
@@ -474,6 +482,7 @@ impl ParamMap {
     pub fn f64_list(&self, key: &str) -> Vec<f64> {
         match self.value(key) {
             ParamValue::F64List(xs) => xs.clone(),
+            // lint: allow(panic-hygiene): documented panic — typed getters turn schema mismatches into programming-error panics
             v => panic!(
                 "parameter {key:?} is a {}, not an f64 list",
                 v.kind().name()

@@ -113,6 +113,7 @@ pub fn run_trials_on<T: Send>(
                 let result = f(i, master.child(i));
                 slots_mutex
                     .lock()
+                    // lint: allow(panic-hygiene): a poisoned lock means a trial panicked; re-raising that panic is the correct propagation
                     .expect("no trial panicked holding the lock")[i as usize] = Some(result);
             });
         }
@@ -120,6 +121,7 @@ pub fn run_trials_on<T: Send>(
 
     slots
         .into_iter()
+        // lint: allow(panic-hygiene): the scoped threads above write every slot exactly once before joining
         .map(|s| s.expect("every trial index was claimed exactly once"))
         .collect()
 }

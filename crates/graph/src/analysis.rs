@@ -23,6 +23,7 @@ pub fn bfs_distances(g: &dyn Topology, source: NodeId) -> Vec<Option<usize>> {
     dist[source.index()] = Some(0);
     let mut queue = VecDeque::from([source]);
     while let Some(u) = queue.pop_front() {
+        // lint: allow(panic-hygiene): BFS assigns a node's distance before queueing it
         let du = dist[u.index()].expect("queued nodes have distances");
         for v in g.neighbors(u) {
             if dist[v.index()].is_none() {

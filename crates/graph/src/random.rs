@@ -219,6 +219,7 @@ impl RandomRegular {
         'attempt: for _ in 0..attempts {
             let mut stubs: Vec<usize> = (0..n).flat_map(|i| std::iter::repeat_n(i, d)).collect();
             let mut edges: Vec<(usize, usize)> = Vec::with_capacity(stubs.len() / 2);
+            // lint: allow(no-unordered-iteration): membership-only duplicate-edge set; it is never iterated, so its order cannot reach any outcome
             let mut seen = std::collections::HashSet::with_capacity(stubs.len() / 2);
             let mut failures = 0usize;
             while stubs.len() >= 2 {

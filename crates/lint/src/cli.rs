@@ -1,0 +1,245 @@
+//! The `xp lint` command line.
+//!
+//! ```text
+//! xp lint                        lint the workspace, table output
+//! xp lint --format json          machine-readable findings document
+//! xp lint --root DIR             lint another tree (fixture testing)
+//! xp lint rules                  list every rule with its description
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/IO error — mirroring the
+//! other `xp` subcommands so CI can gate on the process status alone.
+
+use std::path::{Path, PathBuf};
+
+use crate::rules::{self, RULE_IDS};
+use crate::source::Workspace;
+
+/// Output rendering for `xp lint`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum LintFormat {
+    /// Human-readable findings list (the default).
+    #[default]
+    Table,
+    /// The JSON findings document.
+    Json,
+}
+
+/// A parsed `xp lint` invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LintCommand {
+    /// `xp lint help`.
+    Help,
+    /// `xp lint rules`.
+    Rules,
+    /// `xp lint [--format F] [--root DIR]`.
+    Run {
+        /// Output format.
+        format: LintFormat,
+        /// Workspace root override.
+        root: Option<PathBuf>,
+    },
+}
+
+/// A user error in the invocation (exit code 2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LintCliError {
+    /// Unknown positional word.
+    UnknownCommand(String),
+    /// Unknown flag.
+    UnknownFlag(String),
+    /// Flag without its value.
+    MissingValue(&'static str),
+    /// `--format` with something other than `table|json`.
+    BadFormat(String),
+}
+
+impl std::fmt::Display for LintCliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintCliError::UnknownCommand(c) => {
+                write!(
+                    f,
+                    "unknown lint command {c:?} (try `xp lint` or `xp lint rules`)"
+                )
+            }
+            LintCliError::UnknownFlag(flag) => write!(f, "unknown flag {flag}"),
+            LintCliError::MissingValue(flag) => write!(f, "{flag} needs a value"),
+            LintCliError::BadFormat(v) => write!(f, "--format must be table or json, got {v:?}"),
+        }
+    }
+}
+
+impl std::error::Error for LintCliError {}
+
+const USAGE: &str = "\
+xp lint — determinism & hygiene static analysis over the workspace's own source
+
+USAGE:
+    xp lint [OPTIONS]      lint every member crate; exit 1 on findings
+    xp lint rules          list the rules
+    xp lint help           this message
+
+OPTIONS:
+    --format table|json    stdout rendering (default: table)
+    --root DIR             workspace root (default: this checkout)
+
+Suppress a finding at one site with a reasoned marker on or above the line:
+    // lint: allow(<rule-id>): <why this site is sound>
+Manifests use `#` comments. Markers without a reason are findings themselves.
+";
+
+/// Parses an `xp lint` argument vector (after the `lint` word).
+///
+/// # Errors
+///
+/// Returns the first [`LintCliError`] encountered, left to right.
+pub fn parse(args: &[String]) -> Result<LintCommand, LintCliError> {
+    let mut it = args.iter().map(String::as_str);
+    let mut format = LintFormat::default();
+    let mut root = None;
+    let mut saw_flag = false;
+    while let Some(arg) = it.next() {
+        match arg {
+            "help" | "--help" | "-h" => return Ok(LintCommand::Help),
+            "rules" => return Ok(LintCommand::Rules),
+            "--format" => {
+                saw_flag = true;
+                let v = it.next().ok_or(LintCliError::MissingValue("--format"))?;
+                format = match v {
+                    "table" => LintFormat::Table,
+                    "json" => LintFormat::Json,
+                    other => return Err(LintCliError::BadFormat(other.to_string())),
+                };
+            }
+            "--root" => {
+                saw_flag = true;
+                let v = it.next().ok_or(LintCliError::MissingValue("--root"))?;
+                root = Some(PathBuf::from(v));
+            }
+            flag if flag.starts_with('-') => {
+                return Err(LintCliError::UnknownFlag(flag.to_string()))
+            }
+            other => return Err(LintCliError::UnknownCommand(other.to_string())),
+        }
+    }
+    let _ = saw_flag;
+    Ok(LintCommand::Run { format, root })
+}
+
+/// The workspace root when `--root` is absent: two levels above this
+/// crate's manifest directory (same anchoring as the other `xp`
+/// subcommands).
+pub fn default_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Full `xp lint` entry point: parse, execute, map to an exit code.
+pub fn run(args: &[String]) -> i32 {
+    let cmd = match parse(args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("xp lint: {e}");
+            eprintln!("run `xp lint help` for usage");
+            return 2;
+        }
+    };
+    match cmd {
+        LintCommand::Help => {
+            print!("{USAGE}");
+            0
+        }
+        LintCommand::Rules => {
+            for rule in RULE_IDS {
+                println!("{rule:<24} {}", rules::rule_description(rule));
+            }
+            0
+        }
+        LintCommand::Run { format, root } => {
+            let root = root.unwrap_or_else(default_root);
+            let ws = match Workspace::discover(&root) {
+                Ok(ws) => ws,
+                Err(e) => {
+                    eprintln!("xp lint: {e}");
+                    return 2;
+                }
+            };
+            let report = rules::run(&ws);
+            match format {
+                LintFormat::Table => print!("{}", report.to_table()),
+                LintFormat::Json => println!("{}", report.to_json().to_pretty()),
+            }
+            i32::from(!report.clean())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<LintCommand, LintCliError> {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn golden_parse_table() {
+        assert_eq!(
+            p(&[]),
+            Ok(LintCommand::Run {
+                format: LintFormat::Table,
+                root: None
+            })
+        );
+        assert_eq!(p(&["help"]), Ok(LintCommand::Help));
+        assert_eq!(p(&["rules"]), Ok(LintCommand::Rules));
+        assert_eq!(
+            p(&["--format", "json", "--root", "/tmp/ws"]),
+            Ok(LintCommand::Run {
+                format: LintFormat::Json,
+                root: Some(PathBuf::from("/tmp/ws"))
+            })
+        );
+    }
+
+    #[test]
+    fn golden_error_table() {
+        assert_eq!(
+            p(&["bogus"]),
+            Err(LintCliError::UnknownCommand("bogus".into()))
+        );
+        assert_eq!(
+            p(&["--nope"]),
+            Err(LintCliError::UnknownFlag("--nope".into()))
+        );
+        assert_eq!(
+            p(&["--format"]),
+            Err(LintCliError::MissingValue("--format"))
+        );
+        assert_eq!(
+            p(&["--format", "xml"]),
+            Err(LintCliError::BadFormat("xml".into()))
+        );
+    }
+
+    #[test]
+    fn errors_render_readably() {
+        for (err, needle) in [
+            (LintCliError::UnknownCommand("x".into()), "unknown lint"),
+            (LintCliError::UnknownFlag("--x".into()), "--x"),
+            (LintCliError::MissingValue("--root"), "--root"),
+            (LintCliError::BadFormat("xml".into()), "xml"),
+        ] {
+            assert!(err.to_string().contains(needle), "{err:?}");
+        }
+    }
+
+    #[test]
+    fn default_root_is_the_workspace_checkout() {
+        assert!(default_root().join("Cargo.toml").is_file());
+    }
+}

@@ -1,0 +1,359 @@
+//! A comment- and string-stripping lexer for Rust source.
+//!
+//! The rule engine never looks at raw source: it looks at the **code
+//! view** (comments blanked, string/char literal *contents* blanked but
+//! delimiters kept) so that a `panic!` inside a doc example or an
+//! `Instant::now` inside an error message cannot fire a rule, and at the
+//! **comment view** (comment text only) where allow-markers live.
+//!
+//! This is not a full Rust lexer — it recognises exactly the token
+//! classes that decide "is this byte code or not": line comments, nested
+//! block comments, string literals (including raw strings with any
+//! number of `#`s and byte/raw-byte prefixes), char and byte-char
+//! literals, and lifetimes. That is sufficient to classify every byte of
+//! the workspace, and small enough to audit by eye.
+//!
+//! A third per-line channel marks `#[cfg(test)]` regions: the attribute
+//! plus the braced item that follows it. Rules that exempt test code key
+//! off it.
+
+/// The per-line views of one source file produced by [`lex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lexed {
+    /// Line `i` with comments removed and literal contents blanked.
+    pub code: Vec<String>,
+    /// Line `i`'s comment text only (without the `//` / `/*` markers).
+    pub comments: Vec<String>,
+    /// Whether line `i` lies inside a `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+}
+
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth.
+    BlockComment(u32),
+    /// Inside `"…"`; the flag records whether the previous char escaped.
+    Str(bool),
+    /// Inside `r##"…"##` with the given number of `#`s.
+    RawStr(u32),
+    /// Inside `'…'`; the flag records whether the previous char escaped.
+    CharLit(bool),
+}
+
+/// Lexes `source` into per-line code/comment views. See the module docs
+/// for exactly which token classes are recognised.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut code_line = String::new();
+    let mut comment_line = String::new();
+    let mut code = Vec::new();
+    let mut comments = Vec::new();
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // A line comment ends at the newline; every other state
+            // carries across (block comments and raw strings span lines).
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            code.push(std::mem::take(&mut code_line));
+            comments.push(std::mem::take(&mut comment_line));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        i += 2;
+                        // Skip the doc-comment sigil too, so the comment
+                        // view starts at the text.
+                        if matches!(chars.get(i), Some('/' | '!')) {
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        code_line.push('"');
+                        state = State::Str(false);
+                    }
+                    'r' | 'b' => {
+                        // Possible raw/byte string or byte-char prefix:
+                        // r" r#" br" b" rb#" b'.
+                        if let Some((kind, consumed)) = literal_prefix(&chars, i) {
+                            match kind {
+                                Prefix::RawStr(hashes) => {
+                                    code_line.push_str(
+                                        &chars[i..i + consumed].iter().collect::<String>(),
+                                    );
+                                    state = State::RawStr(hashes);
+                                }
+                                Prefix::Str => {
+                                    code_line.push_str(
+                                        &chars[i..i + consumed].iter().collect::<String>(),
+                                    );
+                                    state = State::Str(false);
+                                }
+                                Prefix::Char => {
+                                    code_line.push_str(
+                                        &chars[i..i + consumed].iter().collect::<String>(),
+                                    );
+                                    state = State::CharLit(false);
+                                }
+                            }
+                            i += consumed;
+                            continue;
+                        }
+                        code_line.push(c);
+                    }
+                    '\'' => {
+                        // Char literal or lifetime. `'\…` and `'x'` are
+                        // char literals; `'ident` (no closing quote right
+                        // after one char) is a lifetime, which the code
+                        // view keeps verbatim.
+                        code_line.push('\'');
+                        let is_char = next == Some('\\')
+                            || (chars.get(i + 2) == Some(&'\'') && next != Some('\''));
+                        if is_char {
+                            state = State::CharLit(false);
+                        }
+                    }
+                    _ => code_line.push(c),
+                }
+            }
+            State::LineComment => comment_line.push(c),
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                    continue;
+                }
+                comment_line.push(c);
+            }
+            State::Str(escaped) => {
+                if escaped {
+                    state = State::Str(false);
+                } else if c == '\\' {
+                    state = State::Str(true);
+                } else if c == '"' {
+                    code_line.push('"');
+                    state = State::Code;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let closes = (0..hashes as usize).all(|k| chars.get(i + 1 + k) == Some(&'#'));
+                    if closes {
+                        code_line.push('"');
+                        for _ in 0..hashes {
+                            code_line.push('#');
+                        }
+                        i += 1 + hashes as usize;
+                        state = State::Code;
+                        continue;
+                    }
+                }
+            }
+            State::CharLit(escaped) => {
+                if escaped {
+                    state = State::CharLit(false);
+                } else if c == '\\' {
+                    state = State::CharLit(true);
+                } else if c == '\'' {
+                    code_line.push('\'');
+                    state = State::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+    // A final line without a terminating newline.
+    if !code_line.is_empty() || !comment_line.is_empty() {
+        code.push(code_line);
+        comments.push(comment_line);
+    }
+    let in_test = mark_test_regions(&code);
+    Lexed {
+        code,
+        comments,
+        in_test,
+    }
+}
+
+enum Prefix {
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// If `chars[i..]` starts a prefixed literal (`r"`, `r#"`, `b"`, `br#"`,
+/// `b'`, …), returns its kind and how many chars the opener spans.
+fn literal_prefix(chars: &[char], i: usize) -> Option<(Prefix, usize)> {
+    let mut j = i;
+    let mut raw = false;
+    // Up to two prefix letters in either order (b, r).
+    for _ in 0..2 {
+        match chars.get(j) {
+            Some('r') => {
+                raw = true;
+                j += 1;
+            }
+            Some('b') => j += 1,
+            _ => break,
+        }
+    }
+    if j == i {
+        return None;
+    }
+    if raw {
+        let mut hashes = 0u32;
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if chars.get(j) == Some(&'"') {
+            return Some((Prefix::RawStr(hashes), j + 1 - i));
+        }
+        return None;
+    }
+    match chars.get(j) {
+        Some('"') => Some((Prefix::Str, j + 1 - i)),
+        Some('\'') => Some((Prefix::Char, j + 1 - i)),
+        _ => None,
+    }
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` item: the attribute
+/// line(s), then everything through the close of the first brace block
+/// that follows.
+fn mark_test_regions(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut pending = false; // saw the attribute, waiting for `{`
+    let mut depth = 0i64;
+    let mut active = false;
+    for (idx, line) in code.iter().enumerate() {
+        if !active && !pending && (line.contains("#[cfg(test)]") || line.contains("cfg(all(test")) {
+            pending = true;
+        }
+        if pending || active {
+            in_test[idx] = true;
+        }
+        if pending || active {
+            for ch in line.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        if pending {
+                            pending = false;
+                            active = true;
+                        }
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if active && depth <= 0 {
+                            active = false;
+                            depth = 0;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // An attribute applied to a braceless item (e.g. a `use`)
+            // ends at the first `;` before any `{`.
+            if pending && line.contains(';') {
+                pending = false;
+            }
+        }
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_doc_comments() {
+        let l = lex("let x = 1; // panic! here\n/// docs with Instant::now()\nlet y = 2;\n");
+        assert_eq!(l.code[0], "let x = 1; ");
+        assert!(l.comments[0].contains("panic!"));
+        assert_eq!(l.code[1], "");
+        assert!(l.comments[1].contains("Instant::now"));
+        assert_eq!(l.code[2], "let y = 2;");
+    }
+
+    #[test]
+    fn blanks_string_contents_but_keeps_delimiters() {
+        let l = lex("call(\"panic! Instant::now\");\n");
+        assert_eq!(l.code[0], "call(\"\");");
+    }
+
+    #[test]
+    fn nested_block_comments_and_multiline_strings() {
+        let l = lex("a /* one /* two */ still */ b\nlet s = \"line1\nline2\"; c\n");
+        assert_eq!(l.code[0], "a  b");
+        assert_eq!(l.code[1], "let s = \"");
+        assert_eq!(l.code[2], "\"; c");
+    }
+
+    #[test]
+    fn raw_strings_span_until_matching_hashes() {
+        let l = lex("let s = r#\"has \" quote and panic!\"# ; done\n");
+        assert_eq!(l.code[0], "let s = r#\"\"# ; done");
+        let l = lex("let b = br\"bytes panic!\";\n");
+        assert_eq!(l.code[0], "let b = br\"\";");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let l = lex("let c = '\\''; let q = '\"'; fn f<'a>(x: &'a str) {}\n");
+        assert!(!l.code[0].contains('"') || !l.code[0].contains("= '\"'"));
+        assert!(l.code[0].contains("fn f<'a>(x: &'a str) {}"));
+        let l = lex("self.expect(b'{', \"msg\")\n");
+        assert_eq!(l.code[0], "self.expect(b'', \"\")");
+    }
+
+    #[test]
+    fn cfg_test_region_covers_module_body() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let l = lex(src);
+        assert_eq!(l.in_test, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_on_single_item() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() {}\n";
+        let l = lex(src);
+        assert!(l.in_test[0] && l.in_test[1]);
+        assert!(!l.in_test[2]);
+    }
+
+    #[test]
+    fn comment_inside_string_is_code() {
+        let l = lex("let url = \"https://example.com\"; after\n");
+        assert_eq!(l.code[0], "let url = \"\"; after");
+        assert_eq!(l.comments[0], "");
+    }
+}

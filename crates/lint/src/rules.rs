@@ -1,0 +1,555 @@
+//! The six determinism & hygiene rules, and the engine that runs them.
+//!
+//! Each rule is a function from a lexed [`SourceFile`] (or [`Manifest`])
+//! to findings; the engine applies scoping (which trees, which crates,
+//! test-code exemption), then the allow-marker filter. Every rule can be
+//! suppressed per-site with a reasoned
+//! `// lint: allow(<rule-id>): <reason>` marker — suppressions are
+//! counted, and malformed markers are themselves findings
+//! (`marker-syntax`), so the escape hatch stays auditable.
+
+use crate::findings::{Finding, Report};
+use crate::registry;
+use crate::source::{FileKind, Manifest, SourceFile, Workspace};
+
+/// The crates whose iteration order can leak into simulation outcomes.
+const ENGINE_CRATES: &[&str] = &[
+    "crates/sim",
+    "crates/core",
+    "crates/macro",
+    "crates/graph",
+    "crates/net",
+];
+
+/// Rule ids, in the order they run. `marker-syntax` is the engine's own
+/// rule for malformed allow-markers.
+pub const RULE_IDS: &[&str] = &[
+    "rng-stream-registry",
+    "no-wall-clock",
+    "no-unordered-iteration",
+    "panic-hygiene",
+    "zero-deps-policy",
+    "crate-header-policy",
+    "marker-syntax",
+];
+
+/// One-line description per rule, for `xp lint rules`.
+pub fn rule_description(rule: &str) -> &'static str {
+    match rule {
+        "rng-stream-registry" => {
+            "literal Seed::child(N) indices must appear in the declared stream registry"
+        }
+        "no-wall-clock" => "Instant::now / SystemTime::now are forbidden outside crates/bench",
+        "no-unordered-iteration" => {
+            "HashMap/HashSet in engine crates need a marker explaining why order cannot leak"
+        }
+        "panic-hygiene" => {
+            "no unwrap() in non-test library code; expect()/panic! need reasoned markers"
+        }
+        "zero-deps-policy" => "every manifest dependency must be a path or workspace dependency",
+        "crate-header-policy" => {
+            "every lib.rs must carry #![forbid(unsafe_code)] and #![deny(missing_docs)]"
+        }
+        "marker-syntax" => "allow-markers must parse and carry a non-empty reason",
+        _ => "unknown rule",
+    }
+}
+
+/// Runs every rule over a discovered workspace.
+pub fn run(ws: &Workspace) -> Report {
+    let mut report = Report {
+        files_scanned: ws.files.len(),
+        manifests_scanned: ws.manifests.len(),
+        ..Report::default()
+    };
+    // Registry self-check: a duplicate id in the declared table is a
+    // workspace finding against the table itself.
+    if let Err(dup) = registry::duplicate_id() {
+        report.findings.push(Finding {
+            rule: "rng-stream-registry",
+            file: "crates/lint/src/registry.rs".into(),
+            line: 1,
+            message: format!("stream registry declares child index {dup} twice"),
+            snippet: "STREAM_REGISTRY".into(),
+        });
+    }
+    for file in &ws.files {
+        check_file(file, &mut report);
+    }
+    for manifest in &ws.manifests {
+        check_manifest(manifest, &mut report);
+    }
+    check_crate_headers(ws, &mut report);
+    report.sort();
+    report
+}
+
+/// Applies every per-line source rule to one file.
+pub fn check_file(file: &SourceFile, report: &mut Report) {
+    for bad in &file.bad_markers {
+        report.findings.push(Finding {
+            rule: "marker-syntax",
+            file: file.rel.clone(),
+            line: bad.line,
+            message: bad.why.clone(),
+            snippet: file.snippet(bad.line - 1),
+        });
+    }
+    // Rules below only police shipping code: `tests/`, `examples/` and
+    // `#[cfg(test)]` regions are exempt by design.
+    if file.kind != FileKind::Src {
+        return;
+    }
+    for i in 0..file.lexed.code.len() {
+        if file.lexed.in_test[i] {
+            continue;
+        }
+        let code = file.lexed.code[i].as_str();
+        rng_stream_registry(file, i, code, report);
+        no_wall_clock(file, i, code, report);
+        no_unordered_iteration(file, i, code, report);
+        panic_hygiene(file, i, code, report);
+    }
+}
+
+/// Emits `finding` unless an allow-marker covers it; counts honored
+/// markers.
+fn emit(file: &SourceFile, i: usize, rule: &'static str, message: String, report: &mut Report) {
+    if file.allowed(rule, i) {
+        report.markers_honored += 1;
+        return;
+    }
+    report.findings.push(Finding {
+        rule,
+        file: file.rel.clone(),
+        line: i + 1,
+        message,
+        snippet: file.snippet(i),
+    });
+}
+
+/// Rule 1: every literal `seed.child(N)` must use a registered stream
+/// index. Identifier arguments are resolved against `const NAME: u64 =
+/// <literal>` declarations in the same file; computed offsets (for
+/// example `NODE_STREAM + i`) are out of static reach and skipped.
+fn rng_stream_registry(file: &SourceFile, i: usize, code: &str, report: &mut Report) {
+    let mut rest = code;
+    while let Some(at) = rest.find(".child(") {
+        // Only `…seed.child(`-shaped receivers: the token before `.child`
+        // must end with `seed` (covers `seed`, `self.seed`, `spec.seed`).
+        let before = &rest[..at];
+        let recv_ok = before
+            .trim_end()
+            .rfind(|c: char| !(c.is_alphanumeric() || c == '_' || c == '.'))
+            .map_or(before.trim_end(), |p| &before.trim_end()[p + 1..])
+            .ends_with("seed");
+        let args = &rest[at + ".child(".len()..];
+        rest = args;
+        if !recv_ok {
+            continue;
+        }
+        let Some(close) = args.find(')') else {
+            continue;
+        };
+        let arg = args[..close].trim();
+        let value = parse_u64_literal(arg).or_else(|| resolve_const(file, arg));
+        if let Some(id) = value {
+            if !registry::is_registered(id) {
+                emit(
+                    file,
+                    i,
+                    "rng-stream-registry",
+                    format!(
+                        "seed.child({id}) uses an unregistered RNG stream index — declare it \
+                         in rapid_lint::registry::STREAM_REGISTRY (and ARCHITECTURE.md) or \
+                         justify an experiment-local stream with a marker"
+                    ),
+                    report,
+                );
+            }
+        }
+    }
+}
+
+fn parse_u64_literal(text: &str) -> Option<u64> {
+    let cleaned: String = text.chars().filter(|&c| c != '_').collect();
+    if cleaned.is_empty() || !cleaned.chars().all(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    cleaned.parse().ok()
+}
+
+/// Resolves a bare identifier against `const NAME: u64 = <literal>;` (or
+/// `u32`/`usize`) anywhere in the same file's code view.
+fn resolve_const(file: &SourceFile, ident: &str) -> Option<u64> {
+    if ident.is_empty() || !ident.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return None;
+    }
+    for line in &file.lexed.code {
+        let Some(at) = line.find("const ") else {
+            continue;
+        };
+        let decl = &line[at + "const ".len()..];
+        let Some((name, rest)) = decl.split_once(':') else {
+            continue;
+        };
+        if name.trim() != ident {
+            continue;
+        }
+        let Some((_, value)) = rest.split_once('=') else {
+            continue;
+        };
+        let value = value.trim().trim_end_matches(';').trim();
+        if let Some(v) = parse_u64_literal(value) {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// Rule 2: wall-clock reads are forbidden outside `crates/bench` (the
+/// measurement layer). Timing that is *reported but never steers
+/// behaviour* gets a marker saying exactly that.
+fn no_wall_clock(file: &SourceFile, i: usize, code: &str, report: &mut Report) {
+    if file.crate_dir() == "crates/bench" {
+        return;
+    }
+    for token in ["Instant::now", "SystemTime::now"] {
+        if code.contains(token) {
+            emit(
+                file,
+                i,
+                "no-wall-clock",
+                format!(
+                    "{token} outside crates/bench — wall-clock reads break seeded \
+                     reproducibility when they influence behaviour; prefer a deterministic \
+                     activation/step budget, or mark measurement-only use"
+                ),
+                report,
+            );
+        }
+    }
+}
+
+/// Rule 3: `HashMap`/`HashSet` in engine crates. Randomised iteration
+/// order is invisible to every equivalence test until it leaks into an
+/// outcome, so each use must say why it cannot.
+fn no_unordered_iteration(file: &SourceFile, i: usize, code: &str, report: &mut Report) {
+    if !ENGINE_CRATES.contains(&file.crate_dir()) {
+        return;
+    }
+    for token in ["HashMap", "HashSet"] {
+        if code.contains(token) {
+            emit(
+                file,
+                i,
+                "no-unordered-iteration",
+                format!(
+                    "{token} in an engine crate — iteration order is unseeded; use \
+                     BTreeMap/BTreeSet/Vec, or mark why order cannot reach any outcome"
+                ),
+                report,
+            );
+        }
+    }
+}
+
+/// Rule 4: panic hygiene in shipping code. `unwrap()` is always a
+/// finding (convert to `expect` + marker, or a typed error); `expect(`
+/// and `panic!`/`unreachable!` need a reasoned marker.
+fn panic_hygiene(file: &SourceFile, i: usize, code: &str, report: &mut Report) {
+    if code.contains(".unwrap()") {
+        emit(
+            file,
+            i,
+            "panic-hygiene",
+            "unwrap() in library code — return a typed error, or use expect() with a \
+             reasoned allow-marker"
+                .to_string(),
+            report,
+        );
+    }
+    for token in [".expect(", "panic!", "unreachable!"] {
+        if code.contains(token) {
+            emit(
+                file,
+                i,
+                "panic-hygiene",
+                format!(
+                    "{} in library code without a reasoned allow-marker — convert to a \
+                     typed error or justify the invariant",
+                    token.trim_matches(|c| c == '.' || c == '(')
+                ),
+                report,
+            );
+        }
+    }
+}
+
+/// Rule 5: zero-deps policy over one manifest. Every entry in a
+/// dependency table must be a path or workspace dependency; anything
+/// version- or git-shaped would reach outside the repository.
+pub fn check_manifest(manifest: &Manifest, report: &mut Report) {
+    for bad in &manifest.bad_markers {
+        report.findings.push(Finding {
+            rule: "marker-syntax",
+            file: manifest.rel.clone(),
+            line: bad.line,
+            message: bad.why.clone(),
+            snippet: manifest.lines[bad.line - 1].trim().to_string(),
+        });
+    }
+    let mut in_dep_table = false;
+    let mut in_dep_subtable = false;
+    let mut subtable_ok = false;
+    let mut subtable_start = 0usize;
+    for (i, raw) in manifest.lines.iter().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            // Close a `[dependencies.foo]`-style subtable first.
+            if in_dep_subtable && !subtable_ok {
+                flag_dep(manifest, subtable_start, report);
+            }
+            in_dep_subtable = false;
+            let section = line.trim_matches(['[', ']']);
+            let last = section.rsplit('.').next().unwrap_or(section);
+            let parent: Vec<&str> = section.split('.').collect();
+            in_dep_table = matches!(
+                last,
+                "dependencies" | "dev-dependencies" | "build-dependencies"
+            );
+            // `[dependencies.foo]` — a single-dependency subtable.
+            if !in_dep_table
+                && parent.len() >= 2
+                && matches!(
+                    parent[parent.len() - 2],
+                    "dependencies" | "dev-dependencies" | "build-dependencies"
+                )
+            {
+                in_dep_subtable = true;
+                subtable_ok = false;
+                subtable_start = i;
+            }
+            continue;
+        }
+        if in_dep_subtable {
+            if line.starts_with("path") || line == "workspace = true" {
+                subtable_ok = true;
+            }
+            continue;
+        }
+        if !in_dep_table || line.is_empty() {
+            continue;
+        }
+        // An entry line: `name = …` / `name.workspace = true`.
+        if !line.contains('=') {
+            continue;
+        }
+        let ok = line.contains("workspace = true") || line.contains("path =");
+        if !ok {
+            flag_dep(manifest, i, report);
+        }
+    }
+    if in_dep_subtable && !subtable_ok {
+        flag_dep(manifest, subtable_start, report);
+    }
+}
+
+fn flag_dep(manifest: &Manifest, i: usize, report: &mut Report) {
+    if manifest.allowed("zero-deps-policy", i) {
+        report.markers_honored += 1;
+        return;
+    }
+    report.findings.push(Finding {
+        rule: "zero-deps-policy",
+        file: manifest.rel.clone(),
+        line: i + 1,
+        message: "dependency is not a path/workspace dependency — the workspace builds \
+                  from the repository alone; vendor or gate the code instead"
+            .to_string(),
+        snippet: manifest.lines[i].trim().to_string(),
+    });
+}
+
+/// Rule 6: crate headers. Every member's `lib.rs` must forbid unsafe
+/// code and deny missing docs, so the guarantees hold workspace-wide
+/// rather than per-crate-by-convention.
+pub fn check_crate_headers(ws: &Workspace, report: &mut Report) {
+    for file in ws.lib_files() {
+        for required in ["#![forbid(unsafe_code)]", "#![deny(missing_docs)]"] {
+            let present = file
+                .lexed
+                .code
+                .iter()
+                .any(|line| line.replace(' ', "").contains(&required.replace(' ', "")));
+            if present {
+                continue;
+            }
+            // Line 1 is the natural anchor; a marker there can suppress.
+            if file.allowed("crate-header-policy", 0) {
+                report.markers_honored += 1;
+                continue;
+            }
+            report.findings.push(Finding {
+                rule: "crate-header-policy",
+                file: file.rel.clone(),
+                line: 1,
+                message: format!("crate root is missing `{required}`"),
+                snippet: "(crate attributes)".to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+
+    fn lint_src(rel: &str, src: &str) -> Report {
+        let file = SourceFile::from_source(rel, FileKind::Src, src);
+        let mut report = Report::default();
+        check_file(&file, &mut report);
+        report.sort();
+        report
+    }
+
+    #[test]
+    fn every_rule_has_a_description() {
+        for rule in RULE_IDS {
+            assert_ne!(rule_description(rule), "unknown rule", "{rule}");
+        }
+    }
+
+    #[test]
+    fn child_receiver_must_be_seed_shaped() {
+        let r = lint_src("crates/sim/src/x.rs", "let c = parent.child(9);\n");
+        assert!(r.clean(), "non-seed receivers are out of scope: {r:?}");
+        let r = lint_src("crates/sim/src/x.rs", "let c = spec.seed.child(9);\n");
+        assert_eq!(r.findings.len(), 1);
+    }
+
+    #[test]
+    fn const_indirection_is_resolved() {
+        let src = "const MY_STREAM: u64 = 11;\nlet r = seed.child(MY_STREAM);\n";
+        let r = lint_src("crates/sim/src/x.rs", src);
+        assert_eq!(r.findings.len(), 1, "{r:?}");
+        assert!(r.findings[0].message.contains("child(11)"));
+        let src =
+            "const MACRO_STREAM_INDEX: u64 = 6;\nlet r = spec.seed.child(MACRO_STREAM_INDEX);\n";
+        assert!(lint_src("crates/macro/src/x.rs", src).clean());
+    }
+
+    #[test]
+    fn computed_offsets_are_skipped() {
+        let r = lint_src(
+            "crates/net/src/x.rs",
+            "const NODE_STREAM: u64 = 10_000;\nlet s = spec.seed.child(NODE_STREAM + i as u64);\n",
+        );
+        assert!(r.clean(), "{r:?}");
+    }
+
+    #[test]
+    fn wall_clock_exempts_bench_crate() {
+        let src = "let t = std::time::Instant::now();\n";
+        assert!(lint_src("crates/bench/src/x.rs", src).clean());
+        let r = lint_src("crates/net/src/x.rs", src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "no-wall-clock");
+    }
+
+    #[test]
+    fn unordered_iteration_scopes_to_engine_crates() {
+        let src = "use std::collections::HashSet;\n";
+        assert!(lint_src("crates/experiments/src/x.rs", src).clean());
+        let r = lint_src("crates/graph/src/x.rs", src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "no-unordered-iteration");
+    }
+
+    #[test]
+    fn panic_hygiene_fires_on_each_form() {
+        let r = lint_src(
+            "crates/core/src/x.rs",
+            "a.unwrap();\nb.expect(\"msg\");\npanic!(\"boom\");\nunreachable!();\n",
+        );
+        assert_eq!(r.findings.len(), 4);
+        assert!(r.findings.iter().all(|f| f.rule == "panic-hygiene"));
+    }
+
+    #[test]
+    fn test_code_and_doc_comments_are_exempt() {
+        let src = "\
+/// ```
+/// x.unwrap();
+/// ```
+fn f() {}
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); panic!(); }
+}
+";
+        assert!(lint_src("crates/core/src/x.rs", src).clean());
+    }
+
+    #[test]
+    fn markers_suppress_and_are_counted() {
+        let src = "\
+// lint: allow(panic-hygiene): heap is refilled two lines up, never empty here.
+let top = heap.peek_mut().expect(\"non-empty\");
+";
+        let r = lint_src("crates/sim/src/x.rs", src);
+        assert!(r.clean(), "{r:?}");
+        assert_eq!(r.markers_honored, 1);
+    }
+
+    #[test]
+    fn bad_marker_is_a_finding_even_in_tests_tree() {
+        let file = SourceFile::from_source(
+            "crates/sim/tests/t.rs",
+            FileKind::Test,
+            "// lint: allow(panic-hygiene)\nfoo();\n",
+        );
+        let mut r = Report::default();
+        check_file(&file, &mut r);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "marker-syntax");
+    }
+
+    #[test]
+    fn manifest_rule_accepts_path_and_workspace_deps_only() {
+        let m = Manifest::from_source(
+            "crates/x/Cargo.toml",
+            "[dependencies]\nrapid-sim.workspace = true\nlocal = { path = \"../local\" }\nserde = \"1\"\n",
+        );
+        let mut r = Report::default();
+        check_manifest(&m, &mut r);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].line, 4);
+        assert_eq!(r.findings[0].rule, "zero-deps-policy");
+    }
+
+    #[test]
+    fn manifest_rule_handles_subtables_and_markers() {
+        let m = Manifest::from_source(
+            "Cargo.toml",
+            "[dependencies.foo]\nversion = \"1\"\n\n[dev-dependencies]\n# lint: allow(zero-deps-policy): test-only vendored shim\nbar = \"2\"\n",
+        );
+        let mut r = Report::default();
+        check_manifest(&m, &mut r);
+        assert_eq!(r.findings.len(), 1, "{r:?}");
+        assert_eq!(r.findings[0].line, 1);
+        assert_eq!(r.markers_honored, 1);
+    }
+
+    #[test]
+    fn non_dependency_version_keys_are_fine() {
+        let m = Manifest::from_source(
+            "crates/x/Cargo.toml",
+            "[package]\nname = \"x\"\nversion = \"0.1.0\"\nedition = \"2021\"\n\n[dependencies]\n",
+        );
+        let mut r = Report::default();
+        check_manifest(&m, &mut r);
+        assert!(r.clean(), "{r:?}");
+    }
+}

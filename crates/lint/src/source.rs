@@ -1,0 +1,469 @@
+//! Workspace discovery and the per-file source model.
+//!
+//! [`Workspace::discover`] reads the root `Cargo.toml` for the member
+//! list, then walks every member's `src/`, `tests/` and `examples/`
+//! trees (plus the root package's) collecting Rust files and manifests.
+//! The walk is sorted, so findings come out in a stable order on every
+//! machine.
+//!
+//! Allow-markers are parsed here, once per file, from the comment view:
+//!
+//! ```text
+//! // lint: allow(<rule-id>): <reason>
+//! ```
+//!
+//! A marker must carry a non-empty reason — a bare `allow` is itself
+//! reported by the rule engine. A marker written on the offending line
+//! (trailing comment) applies to that line; a marker on its own line
+//! applies to the next code line, looking through further comment-only
+//! lines so multi-line justifications work.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Lexed};
+
+/// Which tree of a crate a file came from; rules scope on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Under some `src/`: shipping library/binary code.
+    Src,
+    /// Under some `tests/`: integration tests.
+    Test,
+    /// Under some `examples/`.
+    Example,
+}
+
+/// One allow-marker parsed from a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Marker {
+    /// The rule the marker suppresses.
+    pub rule: String,
+    /// The justification after the colon; never empty for a valid marker.
+    pub reason: String,
+}
+
+/// A malformed marker (missing reason, unparseable shape) — reported as
+/// a finding so markers cannot silently rot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadMarker {
+    /// 1-based line.
+    pub line: usize,
+    /// What is wrong.
+    pub why: String,
+}
+
+/// One Rust source file with its lexed views and parsed markers.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Which tree the file belongs to.
+    pub kind: FileKind,
+    /// Lexed code/comment/test views.
+    pub lexed: Lexed,
+    /// `markers[i]` = markers written on line `i` (0-based).
+    pub markers: Vec<Vec<Marker>>,
+    /// Malformed markers to report.
+    pub bad_markers: Vec<BadMarker>,
+}
+
+impl SourceFile {
+    /// Builds a source file from text (the fixture-test entry point).
+    pub fn from_source(rel: &str, kind: FileKind, text: &str) -> SourceFile {
+        let lexed = lex(text);
+        let mut markers = vec![Vec::new(); lexed.comments.len()];
+        let mut bad_markers = Vec::new();
+        for (i, comment) in lexed.comments.iter().enumerate() {
+            parse_markers(comment, i, &mut markers[i], &mut bad_markers);
+        }
+        SourceFile {
+            rel: rel.to_string(),
+            kind,
+            lexed,
+            markers,
+            bad_markers,
+        }
+    }
+
+    /// The crate subdirectory (`crates/sim`) or `"."` for the root package.
+    pub fn crate_dir(&self) -> &str {
+        match self.rel.strip_prefix("crates/") {
+            Some(rest) => {
+                let end = rest.find('/').map_or(rest.len(), |i| i);
+                &self.rel[..("crates/".len() + end)]
+            }
+            None => ".",
+        }
+    }
+
+    /// Whether a finding of `rule` at 0-based line `i` is covered by a
+    /// reasoned allow-marker: on the line itself, or on the run of
+    /// comment-only lines directly above it.
+    pub fn allowed(&self, rule: &str, i: usize) -> bool {
+        let hit = |line: usize| self.markers[line].iter().any(|m| m.rule == rule);
+        if hit(i) {
+            return true;
+        }
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let comment_only =
+                self.lexed.code[j].trim().is_empty() && !self.lexed.comments[j].trim().is_empty();
+            if !comment_only {
+                return false;
+            }
+            if hit(j) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The trimmed raw-ish snippet for a finding: the code view plus the
+    /// comment, enough to recognise the line.
+    pub fn snippet(&self, i: usize) -> String {
+        let code = self.lexed.code[i].trim();
+        if code.is_empty() {
+            format!("// {}", self.lexed.comments[i].trim())
+        } else {
+            code.to_string()
+        }
+    }
+}
+
+/// Parses every `lint: allow(rule): reason` occurrence in one comment
+/// line. TOML manifests reuse this on `#` comment text.
+pub fn parse_markers(
+    comment: &str,
+    line_idx: usize,
+    out: &mut Vec<Marker>,
+    bad: &mut Vec<BadMarker>,
+) {
+    let mut rest = comment;
+    while let Some(at) = rest.find("lint: allow") {
+        let tail = &rest[at + "lint: allow".len()..];
+        match parse_one_marker(tail) {
+            Ok(m) => out.push(m),
+            Err(why) => bad.push(BadMarker {
+                line: line_idx + 1,
+                why,
+            }),
+        }
+        rest = tail;
+    }
+}
+
+fn parse_one_marker(tail: &str) -> Result<Marker, String> {
+    let tail = tail
+        .strip_prefix('(')
+        .ok_or("expected `(` after `lint: allow`")?;
+    let close = tail.find(')').ok_or("unclosed `(` in allow-marker")?;
+    let rule = tail[..close].trim();
+    if rule.is_empty() {
+        return Err("empty rule id in allow-marker".into());
+    }
+    let after = tail[close + 1..].trim_start();
+    let reason = after.strip_prefix(':').map(str::trim).unwrap_or_default();
+    if reason.is_empty() {
+        return Err(format!(
+            "allow({rule}) without a reason — write `lint: allow({rule}): <why>`"
+        ));
+    }
+    Ok(Marker {
+        rule: rule.to_string(),
+        reason: reason.to_string(),
+    })
+}
+
+/// One `Cargo.toml`, raw lines plus `#`-comment markers.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Raw lines.
+    pub lines: Vec<String>,
+    /// Markers per line.
+    pub markers: Vec<Vec<Marker>>,
+    /// Malformed markers.
+    pub bad_markers: Vec<BadMarker>,
+}
+
+impl Manifest {
+    /// Builds a manifest from text (the fixture-test entry point).
+    pub fn from_source(rel: &str, text: &str) -> Manifest {
+        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let mut markers = vec![Vec::new(); lines.len()];
+        let mut bad_markers = Vec::new();
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(hash) = line.find('#') {
+                parse_markers(&line[hash + 1..], i, &mut markers[i], &mut bad_markers);
+            }
+        }
+        Manifest {
+            rel: rel.to_string(),
+            lines,
+            markers,
+            bad_markers,
+        }
+    }
+
+    /// Same-line / preceding-comment-line marker lookup as
+    /// [`SourceFile::allowed`].
+    pub fn allowed(&self, rule: &str, i: usize) -> bool {
+        let hit = |line: usize| self.markers[line].iter().any(|m| m.rule == rule);
+        if hit(i) {
+            return true;
+        }
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            if !self.lines[j].trim_start().starts_with('#') {
+                return false;
+            }
+            if hit(j) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// The discovered workspace: every Rust file and manifest under lint.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// Member directories relative to the root (`crates/sim`, …), plus
+    /// `"."` for the root package.
+    pub members: Vec<String>,
+    /// All Rust files, sorted by path.
+    pub files: Vec<SourceFile>,
+    /// All member manifests plus the root manifest, sorted by path.
+    pub manifests: Vec<Manifest>,
+}
+
+/// An I/O or structure problem while discovering the workspace.
+#[derive(Debug)]
+pub enum DiscoverError {
+    /// The root manifest could not be read.
+    RootManifest(PathBuf, std::io::Error),
+    /// A file under a member tree could not be read.
+    File(PathBuf, std::io::Error),
+}
+
+impl std::fmt::Display for DiscoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiscoverError::RootManifest(p, e) => {
+                write!(f, "cannot read workspace manifest {}: {e}", p.display())
+            }
+            DiscoverError::File(p, e) => write!(f, "cannot read {}: {e}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for DiscoverError {}
+
+impl Workspace {
+    /// Walks the workspace rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`DiscoverError`] when the root manifest or any discovered file
+    /// cannot be read.
+    pub fn discover(root: &Path) -> Result<Workspace, DiscoverError> {
+        let manifest_path = root.join("Cargo.toml");
+        let manifest_text = std::fs::read_to_string(&manifest_path)
+            .map_err(|e| DiscoverError::RootManifest(manifest_path.clone(), e))?;
+        let mut members = parse_members(&manifest_text);
+        // The root package, when the manifest also declares `[package]`.
+        if manifest_text.lines().any(|l| l.trim() == "[package]") {
+            members.push(".".to_string());
+        }
+        members.sort();
+        members.dedup();
+
+        let mut files = Vec::new();
+        let mut manifests = vec![Manifest::from_source("Cargo.toml", &manifest_text)];
+        for member in &members {
+            let dir = if member == "." {
+                root.to_path_buf()
+            } else {
+                root.join(member)
+            };
+            if member != "." {
+                let mp = dir.join("Cargo.toml");
+                if let Ok(text) = std::fs::read_to_string(&mp) {
+                    manifests.push(Manifest::from_source(&rel_of(root, &mp), &text));
+                }
+            }
+            for (tree, kind) in [
+                ("src", FileKind::Src),
+                ("tests", FileKind::Test),
+                // `benches/` targets are measurement drivers, policed
+                // like tests: markers are validated, source rules skip.
+                ("benches", FileKind::Test),
+                ("examples", FileKind::Example),
+            ] {
+                // The root package's trees coincide with the workspace
+                // root; members own theirs.
+                let tree_dir = dir.join(tree);
+                if tree_dir.is_dir() {
+                    walk_rs(root, &tree_dir, kind, &mut files)?;
+                }
+            }
+        }
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        files.dedup_by(|a, b| a.rel == b.rel);
+        manifests.sort_by(|a, b| a.rel.cmp(&b.rel));
+        Ok(Workspace {
+            members,
+            files,
+            manifests,
+        })
+    }
+
+    /// The `src/lib.rs` path of each member that has one (the
+    /// crate-header rule's targets).
+    pub fn lib_files(&self) -> Vec<&SourceFile> {
+        self.files
+            .iter()
+            .filter(|f| {
+                f.rel == "src/lib.rs"
+                    || (f.rel.starts_with("crates/") && f.rel.ends_with("/src/lib.rs"))
+            })
+            .collect()
+    }
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn walk_rs(
+    root: &Path,
+    dir: &Path,
+    kind: FileKind,
+    out: &mut Vec<SourceFile>,
+) -> Result<(), DiscoverError> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(()),
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            walk_rs(root, &path, kind, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| DiscoverError::File(path.clone(), e))?;
+            out.push(SourceFile::from_source(&rel_of(root, &path), kind, &text));
+        }
+    }
+    Ok(())
+}
+
+/// Extracts the `members = [ … ]` list from the root manifest.
+fn parse_members(manifest: &str) -> Vec<String> {
+    let mut members = Vec::new();
+    let mut in_workspace = false;
+    let mut in_members = false;
+    for line in manifest.lines() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            in_workspace = t == "[workspace]";
+            in_members = false;
+        }
+        if in_workspace && t.starts_with("members") {
+            in_members = true;
+        }
+        if in_members {
+            for piece in t.split('"').skip(1).step_by(2) {
+                if piece != "." {
+                    members.push(piece.to_string());
+                }
+            }
+            if t.contains(']') {
+                in_members = false;
+            }
+        }
+    }
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markers_parse_rule_and_reason() {
+        let f = SourceFile::from_source(
+            "x.rs",
+            FileKind::Src,
+            "foo(); // lint: allow(no-wall-clock): measurement only\n",
+        );
+        assert_eq!(f.markers[0].len(), 1);
+        assert_eq!(f.markers[0][0].rule, "no-wall-clock");
+        assert_eq!(f.markers[0][0].reason, "measurement only");
+        assert!(f.allowed("no-wall-clock", 0));
+        assert!(!f.allowed("panic-hygiene", 0));
+    }
+
+    #[test]
+    fn marker_without_reason_is_reported_not_honored() {
+        let f = SourceFile::from_source(
+            "x.rs",
+            FileKind::Src,
+            "foo(); // lint: allow(panic-hygiene)\n",
+        );
+        assert!(f.markers[0].is_empty());
+        assert_eq!(f.bad_markers.len(), 1);
+        assert!(f.bad_markers[0].why.contains("without a reason"));
+    }
+
+    #[test]
+    fn standalone_marker_covers_next_code_line_through_comments() {
+        let src = "\
+// lint: allow(no-unordered-iteration): membership-only; order never
+// leaks into any outcome.
+let s = HashSet::new();
+let t = HashSet::new();
+";
+        let f = SourceFile::from_source("x.rs", FileKind::Src, src);
+        assert!(f.allowed("no-unordered-iteration", 2));
+        assert!(
+            !f.allowed("no-unordered-iteration", 3),
+            "only the next code line"
+        );
+    }
+
+    #[test]
+    fn manifest_markers_use_hash_comments() {
+        let m = Manifest::from_source(
+            "Cargo.toml",
+            "[dependencies]\n# lint: allow(zero-deps-policy): vendored stub\nweird = \"1\"\n",
+        );
+        assert!(m.allowed("zero-deps-policy", 2));
+        assert!(!m.allowed("zero-deps-policy", 0));
+    }
+
+    #[test]
+    fn member_parsing_reads_the_workspace_table() {
+        let members = parse_members(
+            "[workspace]\nmembers = [\n  \"crates/a\",\n  \"crates/b\",\n]\n[package]\n",
+        );
+        assert_eq!(members, vec!["crates/a", "crates/b"]);
+    }
+
+    #[test]
+    fn crate_dir_classifies_root_and_members() {
+        let f = SourceFile::from_source("crates/sim/src/rng.rs", FileKind::Src, "");
+        assert_eq!(f.crate_dir(), "crates/sim");
+        let f = SourceFile::from_source("src/lib.rs", FileKind::Src, "");
+        assert_eq!(f.crate_dir(), ".");
+    }
+}

@@ -1,0 +1,50 @@
+//! The live workspace is pinned clean: `cargo test` is itself the merge
+//! gate for every lint rule, independent of whether CI runs `xp lint`.
+
+use rapid_lint::rules;
+use rapid_lint::source::Workspace;
+
+fn workspace_root() -> std::path::PathBuf {
+    // crates/lint -> crates -> workspace root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("manifest dir has a workspace root two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn live_workspace_is_clean() {
+    let ws = Workspace::discover(&workspace_root()).expect("workspace discovery");
+    let report = rules::run(&ws);
+    assert!(
+        report.clean(),
+        "the workspace has lint findings — run `xp lint` for the list:\n{}",
+        report.to_table()
+    );
+}
+
+#[test]
+fn discovery_sees_the_whole_workspace() {
+    let ws = Workspace::discover(&workspace_root()).expect("workspace discovery");
+    // 9 member crates + the lint crate itself + the root package.
+    assert_eq!(ws.members.len(), 11, "members: {:?}", ws.members);
+    assert!(
+        ws.members.iter().any(|m| m == "crates/lint"),
+        "the lint crate must lint itself"
+    );
+    // Workspace manifest + one per member with its own Cargo.toml (the
+    // root package shares the workspace manifest).
+    assert_eq!(ws.manifests.len(), 11);
+    let report = rules::run(&ws);
+    assert!(
+        report.files_scanned > 100,
+        "only {} files scanned — discovery lost a tree",
+        report.files_scanned
+    );
+    assert!(
+        report.markers_honored >= 80,
+        "only {} markers honored — marker parsing regressed",
+        report.markers_honored
+    );
+}

@@ -160,6 +160,7 @@ fn micro_trial(cfg: &CrossValConfig, seed: Seed, horizon: f64) -> Vec<(f64, Vec<
         MacroProtocol::Gossip(rule) => builder.gossip(rule),
         MacroProtocol::Rapid(params) => builder.rapid(params),
     };
+    // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
     let mut sim = builder.build().expect("validated micro assembly");
     let mut observer = TrajectoryObserver {
         snapshots: Vec::new(),
@@ -180,6 +181,7 @@ fn macro_trial(cfg: &CrossValConfig, seed: Seed, horizon: f64) -> Vec<(f64, Vec<
         MacroProtocol::Rapid(params) => builder.rapid(params),
     };
     let mut sim = MacroSim::from_builder(builder)
+        // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
         .expect("validated macro assembly")
         .with_mode(cfg.mode);
     let mut snapshots = Vec::new();

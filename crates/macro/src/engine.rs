@@ -653,6 +653,7 @@ impl MacroSim {
             let &(_, i, j) = cum
                 .iter()
                 .find(|&&(c, _, _)| target < c)
+                // lint: allow(panic-hygiene): the caller only leaps when p_change > 0, so cum is non-empty
                 .unwrap_or(cum.last().expect("p_change > 0 implies a change exists"));
             self.counts[i] -= 1;
             self.counts[j] += 1;
@@ -675,6 +676,7 @@ impl MacroSim {
             first_halt,
         } = &mut self.state
         else {
+            // lint: allow(panic-hygiene): internal dispatch invariant — callers match on the protocol before calling
             unreachable!("leap_rapid on a gossip state");
         };
         let n = self.spec.n;

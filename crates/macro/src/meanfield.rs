@@ -251,7 +251,7 @@ fn finish(
     let winner = x
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("fractions are finite"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .filter(|&(_, &f)| f >= threshold)
         .map(|(j, _)| Color::new(j));
     MeanFieldOutcome {

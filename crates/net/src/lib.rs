@@ -28,7 +28,7 @@
 //! clock rates) are rejected at build time with a typed error.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cli;
 pub mod cluster;

@@ -283,6 +283,7 @@ impl NodeMachine {
     fn rapid_state(&mut self) -> &mut NodeState {
         match &mut self.proto {
             Proto::Rapid { state, .. } => state,
+            // lint: allow(panic-hygiene): internal dispatch invariant — callers match on the protocol before calling
             Proto::Gossip(_) => unreachable!("rapid_state on a gossip machine"),
         }
     }

@@ -415,6 +415,7 @@ impl FaultState {
     /// Panics if `plan.check(n)` fails — validate first (the `Sim`
     /// builder maps failures into its typed `BuildError`).
     pub fn new(plan: &FaultPlan, n: usize, seed: Seed) -> Self {
+        // lint: allow(panic-hygiene): documented panic — the # Panics section requires a pre-validated plan
         plan.check(n).expect("fault plan must be validated");
         let mut transitions: Vec<(SimTime, NodeId, bool)> = Vec::new();
         for ev in &plan.churn {
@@ -541,6 +542,7 @@ impl<S: ActivationSource> LatencyScheduler<S> {
     /// Panics if the model fails [`LatencyModel::check`].
     pub fn new(inner: S, seed: Seed, model: LatencyModel) -> Self {
         if let Err(why) = model.check() {
+            // lint: allow(panic-hygiene): documented panic — the # Panics section requires a checked model
             panic!("invalid latency model: {why}");
         }
         // Same buffering rationale as JitteredScheduler: keep enough
@@ -578,6 +580,7 @@ impl<S: ActivationSource> ActivationSource for LatencyScheduler<S> {
 
     fn next_activation(&mut self) -> Activation {
         self.refill();
+        // lint: allow(panic-hygiene): refill() above guarantees the buffer is non-empty
         let Reverse((time, _, node)) = self.pending.pop().expect("pending refilled");
         let a = Activation {
             step: self.step_out,

@@ -88,7 +88,9 @@ impl ActivationStats {
 
     /// Minimum and maximum per-node tick counts.
     pub fn count_range(&self) -> (u64, u64) {
+        // lint: allow(panic-hygiene): constructors reject n = 0, so the per-node collections are non-empty
         let min = *self.counts.iter().min().expect("n > 0");
+        // lint: allow(panic-hygiene): constructors reject n = 0, so the per-node collections are non-empty
         let max = *self.counts.iter().max().expect("n > 0");
         (min, max)
     }
@@ -112,6 +114,7 @@ impl ActivationStats {
             .iter()
             .copied()
             .collect::<Option<Vec<_>>>()
+            // lint: allow(panic-hygiene): constructors reject n = 0, so the per-node collections are non-empty
             .map(|ts| ts.into_iter().max().expect("n > 0"))
     }
 

@@ -266,6 +266,7 @@ impl ActivationSource for EventQueueScheduler {
         // the same (time, seq, node) multiset — and the RNG draw sequence
         // is identical (one exponential per activation), so activation
         // streams are bit-for-bit those of the pop+push implementation.
+        // lint: allow(panic-hygiene): the heap is seeded with one event per node and every pop is followed by a push
         let mut top = self.heap.peek_mut().expect("event queue is never empty");
         let Reverse((time, _, node)) = *top;
         let next = time + SimTime::from_secs(sample_exponential(&mut self.rng, self.rate));
@@ -382,6 +383,7 @@ impl ActivationSource for HeterogeneousScheduler {
     fn next_activation(&mut self) -> Activation {
         // In-place root replacement; see `EventQueueScheduler` for why this
         // is bit-identical to pop + push.
+        // lint: allow(panic-hygiene): the heap is seeded with one event per node and every pop is followed by a push
         let mut top = self.heap.peek_mut().expect("event queue is never empty");
         let Reverse((time, _, node)) = *top;
         let rate = self.rates[node.index()];
@@ -475,6 +477,7 @@ impl<S: ActivationSource> ActivationSource for JitteredScheduler<S> {
 
     fn next_activation(&mut self) -> Activation {
         self.refill();
+        // lint: allow(panic-hygiene): refill() above guarantees the buffer is non-empty
         let Reverse((time, _, node)) = self.pending.pop().expect("pending refilled");
         let a = Activation {
             step: self.step_out,

@@ -79,8 +79,9 @@ impl PartialOrd for SimTime {
 
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Values are guaranteed finite at construction, so this never sees NaN.
-        self.0.partial_cmp(&other.0).expect("SimTime is finite")
+        // Values are guaranteed finite and non-negative at construction,
+        // so IEEE total order coincides with numeric order here.
+        self.0.total_cmp(&other.0)
     }
 }
 

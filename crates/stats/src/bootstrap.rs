@@ -64,7 +64,7 @@ pub fn bootstrap_ci(
         }
         replicates.push(statistic(&buf));
     }
-    replicates.sort_by(|a, b| a.partial_cmp(b).expect("statistics must not be NaN"));
+    replicates.sort_by(f64::total_cmp);
     let alpha = (1.0 - level) / 2.0;
     let lo = crate::quantile::quantile_sorted(&replicates, alpha);
     let hi = crate::quantile::quantile_sorted(&replicates, 1.0 - alpha);

@@ -24,7 +24,7 @@ pub fn quantile(data: &[f64], q: f64) -> f64 {
         sorted.iter().all(|x| !x.is_nan()),
         "quantile data must not contain NaN"
     );
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    sorted.sort_by(f64::total_cmp);
     quantile_sorted(&sorted, q)
 }
 
@@ -125,8 +125,7 @@ impl P2Quantile {
         if self.initial.len() < 5 {
             self.initial.push(x);
             if self.initial.len() == 5 {
-                self.initial
-                    .sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                self.initial.sort_by(f64::total_cmp);
                 self.heights.copy_from_slice(&self.initial);
             }
             return;
@@ -142,6 +141,7 @@ impl P2Quantile {
         } else {
             (0..4)
                 .find(|&i| x < self.heights[i + 1])
+                // lint: allow(panic-hygiene): the branch above established heights[0] <= x < heights[4]
                 .expect("x within [h0, h4)")
         };
 
@@ -200,7 +200,7 @@ impl P2Quantile {
         assert!(self.count > 0, "estimate with no observations");
         if self.initial.len() < 5 {
             let mut v = self.initial.clone();
-            v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            v.sort_by(f64::total_cmp);
             return quantile_sorted(&v, self.q);
         }
         self.heights[2]

@@ -36,8 +36,8 @@ pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
         xs.iter().chain(ys.iter()).all(|v| !v.is_nan()),
         "KS samples must not contain NaN"
     );
-    xs.sort_by(|p, q| p.partial_cmp(q).expect("no NaN"));
-    ys.sort_by(|p, q| p.partial_cmp(q).expect("no NaN"));
+    xs.sort_by(f64::total_cmp);
+    ys.sort_by(f64::total_cmp);
 
     let (mut i, mut j) = (0usize, 0usize);
     let (n, m) = (xs.len(), ys.len());

@@ -15,6 +15,8 @@
 //! * [`experiments`] — the experiment harness reproducing every claim.
 //! * [`net`] — a real message-passing runtime (channel or UDP loopback)
 //!   with the simulator as its correctness oracle (`rapid-net`).
+//! * [`lint`] — the in-repo determinism & hygiene static-analysis pass
+//!   behind `xp lint` (`rapid-lint`).
 //!
 //! # Quickstart
 //!
@@ -57,9 +59,13 @@
 //! assert_eq!(out.before_first_halt, Some(true));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use rapid_core as core;
 pub use rapid_experiments as experiments;
 pub use rapid_graph as graph;
+pub use rapid_lint as lint;
 // `macro` is a reserved word; the population-level engine re-exports
 // under `macro_engine`.
 pub use rapid_macro as macro_engine;
