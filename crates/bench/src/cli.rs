@@ -284,9 +284,17 @@ pub fn default_out_dir() -> PathBuf {
 }
 
 fn render_table(samples: &[BenchSample]) -> String {
+    // Size the id column to its content: fixed widths mis-aligned every
+    // row once multi-digit kernel ids outgrew them.
+    let w = samples
+        .iter()
+        .map(|s| s.id.len())
+        .chain(std::iter::once("bench".len()))
+        .max()
+        .unwrap_or(0);
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<42} {:>12} {:>12} {:>12} {:>14} {:>7}\n",
+        "{:<w$} {:>12} {:>12} {:>12} {:>14} {:>7}\n",
         "bench", "p50/iter", "p10", "p90", "throughput", "iters"
     ));
     for s in samples {
@@ -296,7 +304,7 @@ fn render_table(samples: &[BenchSample]) -> String {
             "-".to_string()
         };
         out.push_str(&format!(
-            "{:<42} {:>12} {:>12} {:>12} {:>14} {:>7}\n",
+            "{:<w$} {:>12} {:>12} {:>12} {:>14} {:>7}\n",
             s.id,
             format_ns(s.p50_ns),
             format_ns(s.p10_ns),
@@ -341,8 +349,9 @@ fn execute(cmd: &BenchCommand) -> Result<bool, BenchCliError> {
             Ok(true)
         }
         BenchCommand::List => {
+            let w = registry::id_width();
             for b in registry::bench_registry() {
-                println!("{:<42} {:<10} {}", b.id(), b.group(), b.title());
+                println!("{:<w$} {:<10} {}", b.id(), b.group(), b.title());
             }
             Ok(true)
         }
@@ -591,6 +600,37 @@ mod tests {
         ] {
             assert!(err.to_string().contains(needle), "{err:?}");
         }
+    }
+
+    #[test]
+    fn render_table_golden_sizes_the_id_column() {
+        // Pins the run-table layout: the id column grows to the widest
+        // id in the run (29 chars here), so long kernel ids no longer
+        // shear the numeric columns out of alignment.
+        let sample =
+            |id: &str, elements: u64, p10: f64, p50: f64, p90: f64, iters: u64| BenchSample {
+                id: id.into(),
+                group: id.split('/').next().unwrap_or("").into(),
+                elements,
+                iters,
+                total_ns: 0,
+                mean_ns: p50,
+                min_ns: p10,
+                p10_ns: p10,
+                p50_ns: p50,
+                p90_ns: p90,
+                max_ns: p90,
+            };
+        let table = render_table(&[
+            sample("micro/full_run_sequential/1e6", 1, 1.5e9, 2e9, 2.5e9, 4),
+            sample("rng/next_u64", 10_000, 4000.0, 5000.0, 6000.0, 250),
+        ]);
+        let expected = "\
+bench                             p50/iter          p10          p90     throughput   iters
+micro/full_run_sequential/1e6    2000.0 ms    1500.0 ms    2500.0 ms              -       4
+rng/next_u64                       5000 ns      4000 ns      6000 ns       2.00 G/s     250
+";
+        assert_eq!(table, expected);
     }
 
     #[test]

@@ -95,9 +95,13 @@ impl Harness {
 }
 
 fn print_line(s: &BenchSample) {
+    // Lines print one at a time, so the column is sized to the widest
+    // *registered* id (ad-hoc names longer than that pad to themselves) —
+    // a fixed width mis-aligned rows once ids outgrew it.
+    let w = crate::registry::id_width().max(s.id.len());
     if s.elements > 1 {
         println!(
-            "{:<42} {:>12} /iter  {:>14} elem/s  ({} iters)",
+            "{:<w$} {:>12} /iter  {:>14} elem/s  ({} iters)",
             s.id,
             format_ns(s.p50_ns),
             format_rate(s.throughput()),
@@ -105,7 +109,7 @@ fn print_line(s: &BenchSample) {
         );
     } else {
         println!(
-            "{:<42} {:>12} /iter  ({} iters)",
+            "{:<w$} {:>12} /iter  ({} iters)",
             s.id,
             format_ns(s.p50_ns),
             s.iters,

@@ -14,11 +14,15 @@
 //! * `urn` / `rng` / `stats` — the primitive draws and accumulators;
 //! * `macro` — the population-level engine: one τ-leap batch, and a full
 //!   run to unanimity at `n = 10⁶`;
+//! * `micro` — the sharded per-node epoch engine at `n = 10⁶`: one epoch
+//!   advance, plus full sequential-vs-sharded runs to unanimity (the pair
+//!   the scaling claim in the README is measured on);
 //! * `consensus` — a full run to unanimity per iteration (the end-to-end
 //!   smoke kernels every experiment binary spends its time in).
 
-use rapid_core::facade::{EngineKind, Sim, StopCondition};
+use rapid_core::facade::{EngineKind, Sim, SimBuilder, StopCondition};
 use rapid_core::prelude::*;
+use rapid_core::{ShardedProtocol, ShardedSim};
 use rapid_graph::prelude::*;
 use rapid_macro::MacroSim;
 use rapid_sim::fault::{
@@ -370,6 +374,72 @@ fn macro_full_run_1e6() -> Box<dyn FnMut()> {
     })
 }
 
+/// The micro full-run assembly both scaling kernels share: Two-Choices
+/// on K_n with k=2 and a 0.5 multiplicative bias, so a run converges in
+/// a benchmarkable number of activations even at n = 10⁶.
+fn micro_two_choices_builder(n: usize, seed: u64) -> SimBuilder {
+    let counts = bench_counts(n as u64, 2, 0.5);
+    Sim::builder()
+        .topology(Complete::new(n))
+        .counts(&counts)
+        .gossip(GossipRule::TwoChoices)
+        .seed(Seed::new(seed))
+}
+
+fn micro_full_run_sequential_1e6() -> Box<dyn FnMut()> {
+    // The per-activation baseline: one whole facade run to unanimity at
+    // n = 10⁶ through the sequential scheduler per iteration.
+    let mut seed = 0u64;
+    Box::new(move || {
+        seed += 1;
+        let out = micro_two_choices_builder(1_000_000, seed)
+            .build()
+            // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
+            .expect("valid")
+            .run();
+        assert!(out.converged(), "sequential micro run converges");
+    })
+}
+
+fn micro_full_run_sharded_1e6() -> Box<dyn FnMut()> {
+    // The same run through the sharded epoch engine at 4 shards — the
+    // pair of kernels the README scaling table compares.
+    let mut seed = 0u64;
+    Box::new(move || {
+        seed += 1;
+        let out = micro_two_choices_builder(1_000_000, seed)
+            // lint: allow(panic-hygiene): the spec literal is well-formed; parse failure is a programming error
+            .parallelism(Parallelism::parse("1x4").expect("well-formed spec"))
+            .build()
+            // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
+            .expect("valid")
+            .run();
+        assert!(out.converged(), "sharded micro run converges");
+    })
+}
+
+fn micro_sharded_epoch_1e6() -> Box<dyn FnMut()> {
+    // One τ-sized epoch (≈ n Poisson activations in expectation) of the
+    // sharded engine per call; k=8 with a small bias keeps the state away
+    // from absorption within a bench budget, like the tick kernels.
+    let n = 1_000_000;
+    let counts = bench_counts(n as u64, 8, 0.3);
+    // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
+    let config = Configuration::from_counts(&counts).expect("valid");
+    let mut sim = ShardedSim::new(
+        Box::new(Complete::new(n)),
+        config,
+        ShardedProtocol::Gossip(GossipRule::TwoChoices),
+        Seed::new(12),
+        1.0,
+        4,
+    );
+    Box::new(move || {
+        sim.run_epoch();
+        std::hint::black_box(sim.steps());
+    })
+}
+
 /// The channel cluster the net kernels step: Two-Choices on K_1024.
 fn net_channel_cluster(n: usize, seed: u64) -> rapid_net::Cluster {
     let counts = bench_counts(n as u64, 2, 0.3);
@@ -597,7 +667,7 @@ macro_rules! kernel {
     };
 }
 
-static KERNELS: [KernelBench; 33] = [
+static KERNELS: [KernelBench; 36] = [
     kernel!(
         "consensus/gossip_endgame_halt/2048",
         "async Two-Choices endgame run with a 200-tick halt budget, n=2048",
@@ -653,6 +723,27 @@ static KERNELS: [KernelBench; 33] = [
         "macro",
         1,
         macro_tau_leap_tick
+    ),
+    kernel!(
+        "micro/full_run_sequential/1e6",
+        "full per-node Two-Choices run to unanimity, sequential scheduler, n=10^6 k=2",
+        "micro",
+        1,
+        micro_full_run_sequential_1e6
+    ),
+    kernel!(
+        "micro/full_run_sharded/1e6",
+        "full per-node Two-Choices run to unanimity, sharded epoch engine (4 shards), n=10^6 k=2",
+        "micro",
+        1,
+        micro_full_run_sharded_1e6
+    ),
+    kernel!(
+        "micro/sharded_epoch/1e6",
+        "one tau-sized epoch of the sharded engine (~10^6 activations), n=10^6 k=8",
+        "micro",
+        1_000_000,
+        micro_sharded_epoch_1e6
     ),
     kernel!(
         "net/channel_step/1024",
@@ -836,6 +927,13 @@ pub fn bench_registry() -> Vec<&'static dyn Bench> {
     KERNELS.iter().map(|k| k as &dyn Bench).collect()
 }
 
+/// The widest registered bench id — every rendered table sizes its id
+/// column from this (a fixed width silently mis-aligned once ids grew
+/// past it).
+pub fn id_width() -> usize {
+    KERNELS.iter().map(|k| k.id.len()).max().unwrap_or(0)
+}
+
 /// Looks up a benchmark by exact id (case-sensitive — ids are lowercase).
 pub fn find(id: &str) -> Option<&'static dyn Bench> {
     KERNELS.iter().find(|k| k.id == id).map(|k| k as &dyn Bench)
@@ -889,6 +987,7 @@ mod tests {
             "consensus",
             "gossip",
             "macro",
+            "micro",
             "net",
             "rapid",
             "rng",

@@ -319,18 +319,30 @@ impl GateVerdict {
 
 impl GateVerdict {
     /// The per-bench comparison table, without the enforcement line.
+    ///
+    /// The id column is sized to the widest id in the verdict (a fixed
+    /// width broke alignment once multi-digit kernel ids outgrew it).
     pub fn comparison_table(&self) -> String {
         use std::fmt::Write as _;
+        let w = self
+            .entries
+            .iter()
+            .map(|e| e.id.len())
+            .chain(self.missing_in_baseline.iter().map(String::len))
+            .chain(self.missing_in_current.iter().map(String::len))
+            .chain(std::iter::once("bench".len()))
+            .max()
+            .unwrap_or(0);
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<42} {:>14} {:>14} {:>8}  verdict",
+            "{:<w$} {:>14} {:>14} {:>8}  verdict",
             "bench", "baseline", "current", "ratio"
         );
         for e in &self.entries {
             let _ = writeln!(
                 out,
-                "{:<42} {:>11.1} ns {:>11.1} ns {:>8.3}  {}",
+                "{:<w$} {:>11.1} ns {:>11.1} ns {:>8.3}  {}",
                 e.id,
                 e.baseline_ns,
                 e.current_ns,
@@ -339,10 +351,10 @@ impl GateVerdict {
             );
         }
         for id in &self.missing_in_baseline {
-            let _ = writeln!(out, "{id:<42} (not in baseline — skipped)");
+            let _ = writeln!(out, "{id:<w$} (not in baseline — skipped)");
         }
         for id in &self.missing_in_current {
-            let _ = writeln!(out, "{id:<42} (in baseline, not measured)");
+            let _ = writeln!(out, "{id:<w$} (in baseline, not measured)");
         }
         out
     }
@@ -504,6 +516,41 @@ mod tests {
         let txt = v.to_string();
         assert!(txt.contains("not in baseline"));
         assert!(txt.contains("not measured"));
+    }
+
+    #[test]
+    fn comparison_table_golden_render_sizes_the_id_column() {
+        // Pins the table layout: the id column is as wide as the widest
+        // id (here the 29-char micro kernel), so multi-digit / long
+        // kernel ids keep every numeric column aligned.
+        let v = GateVerdict {
+            entries: vec![
+                GateEntry {
+                    id: "a/x".into(),
+                    baseline_ns: 1000.0,
+                    current_ns: 1500.0,
+                    ratio: 1.5,
+                    regressed: false,
+                },
+                GateEntry {
+                    id: "micro/full_run_sequential/1e6".into(),
+                    baseline_ns: 100.0,
+                    current_ns: 400.0,
+                    ratio: 4.0,
+                    regressed: true,
+                },
+            ],
+            missing_in_baseline: vec![],
+            missing_in_current: vec!["old/z".into()],
+            gate_pct: 100.0,
+        };
+        let expected = "\
+bench                               baseline        current    ratio  verdict
+a/x                                1000.0 ns      1500.0 ns    1.500  ok
+micro/full_run_sequential/1e6       100.0 ns       400.0 ns    4.000  REGRESSED
+old/z                         (in baseline, not measured)
+";
+        assert_eq!(v.comparison_table(), expected);
     }
 
     #[test]

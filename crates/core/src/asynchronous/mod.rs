@@ -11,6 +11,11 @@
 //!   `k = O(exp(log n/log log n))`, consensus on the plurality is reached
 //!   in `Θ(log n)` time w.h.p.
 //!
+//! * [`ShardedSim`] — the same two protocols advanced in deterministic
+//!   τ-sized epochs across worker threads, with struct-of-arrays node
+//!   state and per-(epoch, node) RNG streams: the scaling engine for
+//!   `n = 10⁷` (see [`sharded`]).
+//!
 //! The working-time machinery lives in [`params`] (sub-phase lengths,
 //! theory-guided defaults) and [`schedule`] (pure working-time → action
 //! decoding, exhaustively unit-tested). The Sync Gadget — sample real
@@ -22,9 +27,11 @@ pub mod node;
 pub mod params;
 pub mod rapid;
 pub mod schedule;
+pub mod sharded;
 
 pub use gossip::{AsyncGossipSim, GossipRule};
 pub use node::NodeState;
 pub use params::Params;
 pub use rapid::{RapidOutcome, RapidSim};
 pub use schedule::{Action, Schedule};
+pub use sharded::{ShardedProtocol, ShardedSim};

@@ -1,0 +1,810 @@
+//! The sharded epoch engine: one micro run split across worker threads.
+//!
+//! The sequential micro engines ([`AsyncGossipSim`], [`RapidSim`])
+//! advance one activation at a time through a single RNG stream, which
+//! caps practical sizes near `n = 10⁵–10⁶` on non-complete topologies.
+//! This engine scales the *same protocols* to `n = 10⁷` by advancing
+//! the global Poisson clock in deterministic τ-sized **epochs**:
+//!
+//! 1. **Snapshot** — the epoch freezes the externally visible state
+//!    (colors; for the full protocol also the memory bit and real
+//!    time) at the epoch start.
+//! 2. **Shards** — nodes are partitioned into contiguous shards, one
+//!    per worker. Each node draws its activation count for the epoch
+//!    as `Poisson(rate · τ)` and its protocol randomness from a
+//!    dedicated child stream `seed.child(7).child(epoch).child(node)`
+//!    (stream 7 of the master seed; see the rapid-lint stream
+//!    registry). Every *pull* resolves against the frozen snapshot;
+//!    a node's own state evolves live inside its shard. On complete
+//!    graphs a gossip pull never touches the O(n) snapshot array: a
+//!    uniform neighbor's snapshot color is distributed exactly as the
+//!    frozen histogram (minus the puller), so it is drawn from the
+//!    k-bucket snapshot counts in O(k) — the memory traffic that
+//!    dominates large-n runs disappears on the paper's main topology.
+//! 3. **Merge** — workers return per-shard histogram deltas and
+//!    counters; the merge commits them in shard order, checks
+//!    unanimity, and advances `now` by τ.
+//!
+//! Because a node's epoch evolution depends only on the snapshot and
+//! its private stream, the result is **bit-identical under any shard
+//! count** (including 1) and any thread interleaving — sharding is a
+//! pure throughput knob. The engine is *not* activation-for-activation
+//! identical to the sequential engines: those interleave activations
+//! through one global stream, while here neighbor state is at most one
+//! epoch (τ time units) stale, exactly like a tau-leap discretisation
+//! of the Poisson dynamics. That documented stream split is pinned by
+//! `tests/sharding.rs`, and fidelity against the mean-field/macro
+//! predictions is revalidated at `n = 10⁶` by experiment e25.
+//!
+//! Node state is kept as struct-of-arrays (opinion, schedule position,
+//! bit, pending samples as parallel vectors) so per-epoch updates
+//! stream through memory instead of hopping across an array of structs.
+//!
+//! [`AsyncGossipSim`]: crate::asynchronous::AsyncGossipSim
+//! [`RapidSim`]: crate::asynchronous::RapidSim
+
+use rapid_graph::topology::Topology;
+use rapid_sim::node::NodeId;
+use rapid_sim::poisson::sample_poisson;
+use rapid_sim::rng::{Seed, SimRng};
+use rapid_sim::time::SimTime;
+
+use crate::asynchronous::gossip::GossipRule;
+use crate::asynchronous::schedule::{Action, Schedule};
+use crate::opinion::{Color, Configuration};
+
+/// Epoch length τ in simulation-time units.
+///
+/// One unit is the natural step: each node performs one expected
+/// activation per epoch (at unit rate), matching the granularity at
+/// which the paper's analysis discretises the Poisson clock.
+pub const DEFAULT_TAU: f64 = 1.0;
+
+/// Sentinel for "no intermediate color" in the SoA encoding of
+/// [`crate::asynchronous::NodeState::intermediate`].
+const NO_COLOR: u32 = u32::MAX;
+
+/// Sentinel for "never jumped" (mirrors the sequential node state).
+const NO_PHASE: u32 = u32::MAX;
+
+/// Which protocol the epoch engine advances.
+#[derive(Clone, Debug)]
+pub enum ShardedProtocol {
+    /// Plain asynchronous gossip under one rule.
+    Gossip(GossipRule),
+    /// The paper's full protocol, driven by a working-time schedule.
+    Rapid(Schedule),
+}
+
+/// Struct-of-arrays node state for the full protocol (the SoA mirror of
+/// [`crate::asynchronous::NodeState`]).
+#[derive(Clone, Debug)]
+struct RapidSoa {
+    schedule: Schedule,
+    working_time: Vec<u64>,
+    real_time: Vec<u64>,
+    /// `NO_COLOR` encodes `None`.
+    intermediate: Vec<u32>,
+    bit: Vec<bool>,
+    /// `NO_PHASE` encodes "never jumped".
+    last_jump_phase: Vec<u32>,
+    halted: Vec<bool>,
+    /// Sync-Gadget samples `(their_real_time, my_real_time)`.
+    samples: Vec<Vec<(u64, u64)>>,
+}
+
+impl RapidSoa {
+    fn new(schedule: Schedule, n: usize) -> Self {
+        RapidSoa {
+            schedule,
+            working_time: vec![0; n],
+            real_time: vec![0; n],
+            intermediate: vec![NO_COLOR; n],
+            bit: vec![false; n],
+            last_jump_phase: vec![NO_PHASE; n],
+            halted: vec![false; n],
+            samples: vec![Vec::new(); n],
+        }
+    }
+}
+
+/// What one shard reports back at the epoch merge.
+#[derive(Clone, Debug)]
+struct EpochDelta {
+    steps: u64,
+    count_delta: Vec<i64>,
+    newly_halted: usize,
+    jumps: u64,
+    max_jump_displacement: u64,
+}
+
+impl EpochDelta {
+    fn new(k: usize) -> Self {
+        EpochDelta {
+            steps: 0,
+            count_delta: vec![0; k],
+            newly_halted: 0,
+            jumps: 0,
+            max_jump_displacement: 0,
+        }
+    }
+
+    fn recolor(&mut self, slot: &mut Color, new: Color) {
+        if new != *slot {
+            self.count_delta[slot.index()] -= 1;
+            self.count_delta[new.index()] += 1;
+            *slot = new;
+        }
+    }
+}
+
+/// The per-node RNG for one epoch: `epoch_seed` is stream 7 of the
+/// master seed split by epoch (`master.child(7).child(epoch)`, derived
+/// once per epoch outside the node loop), split here by node — so a
+/// node's draws are independent of the shard partition and of every
+/// other node.
+fn epoch_node_rng(epoch_seed: Seed, node: u64) -> SimRng {
+    SimRng::from_seed_value(epoch_seed.child(node))
+}
+
+/// Contiguous shard sizes: `n` split into `workers` near-equal chunks
+/// (the first `n % workers` shards get one extra node). Shard counts
+/// that do not divide `n` are handled without bias — the partition only
+/// decides which thread executes a node, never what the node draws.
+fn shard_sizes(n: usize, workers: usize) -> Vec<usize> {
+    let w = workers.clamp(1, n.max(1));
+    let base = n / w;
+    let extra = n % w;
+    (0..w)
+        .map(|i| if i < extra { base + 1 } else { base })
+        .collect()
+}
+
+/// Splits one SoA vector into per-shard mutable slices.
+fn split_by_sizes<'a, T>(mut s: &'a mut [T], sizes: &[usize]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(sizes.len());
+    for &len in sizes {
+        let (head, rest) = s.split_at_mut(len);
+        out.push(head);
+        s = rest;
+    }
+    out
+}
+
+/// The median real-time estimate of the Sync Gadget (mirrors
+/// [`crate::asynchronous::NodeState::median_time_estimate`]).
+fn median_estimate(samples: &[(u64, u64)], real_time: u64) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut ests: Vec<u64> = samples
+        .iter()
+        .map(|&(t_v, r_u)| t_v + (real_time - r_u))
+        .collect();
+    ests.sort_unstable();
+    Some(ests[ests.len() / 2])
+}
+
+/// One shard's mutable view of the rapid SoA state.
+struct RapidShard<'a> {
+    colors: &'a mut [Color],
+    working_time: &'a mut [u64],
+    real_time: &'a mut [u64],
+    intermediate: &'a mut [u32],
+    bit: &'a mut [bool],
+    last_jump_phase: &'a mut [u32],
+    halted: &'a mut [bool],
+    samples: &'a mut [Vec<(u64, u64)>],
+}
+
+/// The frozen epoch-start state every pull resolves against.
+#[derive(Clone, Copy)]
+struct SnapView<'a> {
+    colors: &'a [Color],
+    bit: &'a [bool],
+    real_time: &'a [u64],
+}
+
+/// A micro run advanced epoch-by-epoch across `workers` threads.
+///
+/// Build one through the facade
+/// ([`crate::SimBuilder::parallelism`]) or directly with
+/// [`ShardedSim::new`]; drive it with [`ShardedSim::run_epoch`].
+pub struct ShardedSim {
+    topology: Box<dyn Topology + Send + Sync>,
+    proto: ShardedProtocol,
+    config: Configuration,
+    rapid: Option<RapidSoa>,
+    snap_colors: Vec<Color>,
+    snap_counts: Vec<u64>,
+    snap_bit: Vec<bool>,
+    snap_real_time: Vec<u64>,
+    seed: Seed,
+    tau: f64,
+    /// Expected activations per node per epoch (= clock rate × τ).
+    lambda: f64,
+    workers: usize,
+    epoch: u64,
+    steps: u64,
+    halted_count: usize,
+    first_halt: Option<SimTime>,
+    jumps: u64,
+    max_jump_displacement: u64,
+}
+
+impl std::fmt::Debug for ShardedSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSim")
+            .field("n", &self.config.n())
+            .field("proto", &self.proto)
+            .field("workers", &self.workers)
+            .field("tau", &self.tau)
+            .field("epoch", &self.epoch)
+            .field("steps", &self.steps)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedSim {
+    /// Assembles a sharded run.
+    ///
+    /// `rate` is each node's Poisson clock rate (activations per time
+    /// unit); the epoch length is [`DEFAULT_TAU`]. `workers` is clamped
+    /// to `[1, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology size and configuration size disagree, or
+    /// if `rate` is not finite and positive (the facade validates both).
+    pub fn new(
+        topology: Box<dyn Topology + Send + Sync>,
+        config: Configuration,
+        proto: ShardedProtocol,
+        seed: Seed,
+        rate: f64,
+        workers: usize,
+    ) -> Self {
+        assert_eq!(topology.n(), config.n(), "topology/config size mismatch");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "clock rate must be finite and positive"
+        );
+        let n = config.n();
+        let rapid = match &proto {
+            ShardedProtocol::Gossip(_) => None,
+            ShardedProtocol::Rapid(schedule) => Some(RapidSoa::new(*schedule, n)),
+        };
+        ShardedSim {
+            topology,
+            proto,
+            config,
+            rapid,
+            snap_colors: Vec::with_capacity(n),
+            snap_counts: Vec::new(),
+            snap_bit: Vec::new(),
+            snap_real_time: Vec::new(),
+            seed,
+            tau: DEFAULT_TAU,
+            lambda: rate * DEFAULT_TAU,
+            workers: workers.clamp(1, n.max(1)),
+            epoch: 0,
+            steps: 0,
+            halted_count: 0,
+            first_halt: None,
+            jumps: 0,
+            max_jump_displacement: 0,
+        }
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &Configuration {
+        &self.config
+    }
+
+    /// Worker threads the engine was built with.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The protocol being advanced.
+    pub fn protocol(&self) -> &ShardedProtocol {
+        &self.proto
+    }
+
+    /// Completed epochs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total activations executed (every node's per-epoch Poisson draw
+    /// is counted, including ticks consumed by halted nodes).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Simulation time at the last epoch boundary (`epochs × τ`).
+    pub fn now(&self) -> SimTime {
+        SimTime::from_secs(self.epoch as f64 * self.tau)
+    }
+
+    /// End of the epoch in which the first node halted, if any.
+    ///
+    /// The sequential engine records the halting activation's exact
+    /// time; the epoch engine resolves time at epoch boundaries, so the
+    /// value is the boundary that committed the halt (within τ of the
+    /// sequential notion).
+    pub fn first_halt(&self) -> Option<SimTime> {
+        self.first_halt
+    }
+
+    /// How many nodes have halted (always 0 for gossip rules).
+    pub fn halted_count(&self) -> usize {
+        self.halted_count
+    }
+
+    /// Total Sync-Gadget jumps executed so far.
+    pub fn jump_count(&self) -> u64 {
+        self.jumps
+    }
+
+    /// Largest |working-time displacement| any jump has caused.
+    pub fn max_jump_displacement(&self) -> u64 {
+        self.max_jump_displacement
+    }
+
+    /// Per-node working times (full protocol only).
+    pub fn working_times(&self) -> Option<Vec<u64>> {
+        self.rapid.as_ref().map(|soa| soa.working_time.clone())
+    }
+
+    /// Color histogram over the bit-set nodes (full protocol only).
+    pub fn bit_composition(&self) -> Option<Vec<u64>> {
+        let soa = self.rapid.as_ref()?;
+        let mut counts = vec![0u64; self.config.k()];
+        for (i, &b) in soa.bit.iter().enumerate() {
+            if b {
+                counts[self.config.colors()[i].index()] += 1;
+            }
+        }
+        Some(counts)
+    }
+
+    /// A conservative activation budget, matching the sequential
+    /// engines: [`crate::asynchronous::RapidSim::default_step_budget`]'s
+    /// formula for the full protocol, the facade's gossip default
+    /// otherwise.
+    pub fn default_step_budget(&self) -> u64 {
+        let n = self.config.n() as u64;
+        match (&self.proto, &self.rapid) {
+            (ShardedProtocol::Rapid(_), Some(soa)) => 3 * n * soa.schedule.params().total_len(),
+            _ => {
+                let ln_n = (n.max(2) as f64).ln();
+                ((n as f64) * (ln_n + 1.0)).ceil() as u64 * 200
+            }
+        }
+    }
+
+    /// Advances one τ-sized epoch: snapshot, sharded execution, merge.
+    pub fn run_epoch(&mut self) {
+        let n = self.config.n();
+        let epoch = self.epoch;
+        let sizes = shard_sizes(n, self.workers);
+
+        // Snapshot the externally visible epoch-start state.
+        self.snap_colors.clear();
+        self.snap_colors.extend_from_slice(self.config.colors());
+        self.snap_counts.clear();
+        self.snap_counts
+            .extend_from_slice(self.config.counts().as_slice());
+        if let Some(soa) = &self.rapid {
+            self.snap_bit.clear();
+            self.snap_bit.extend_from_slice(&soa.bit);
+            self.snap_real_time.clear();
+            self.snap_real_time.extend_from_slice(&soa.real_time);
+        }
+
+        let topo: &(dyn Topology + Send + Sync) = &*self.topology;
+        // Stream 7 split by epoch, hoisted: the per-node loop only pays
+        // one further child derivation per node.
+        let epoch_seed = self.seed.child(7).child(epoch);
+        let lambda = self.lambda;
+        let k = self.config.k();
+        let (colors, counts) = self.config.split_mut();
+        let color_shards = split_by_sizes(colors, &sizes);
+
+        let deltas: Vec<EpochDelta> = match (&self.proto, &mut self.rapid) {
+            (ShardedProtocol::Gossip(rule), _) => {
+                let rule = *rule;
+                let snap: &[Color] = &self.snap_colors;
+                let snap_counts: &[u64] = &self.snap_counts;
+                run_shards(color_shards, &sizes, self.workers, move |lo, shard| {
+                    gossip_epoch_shard(rule, topo, snap, snap_counts, epoch_seed, lambda, lo, shard)
+                })
+            }
+            (ShardedProtocol::Rapid(_), Some(soa)) => {
+                let snap = SnapView {
+                    colors: &self.snap_colors,
+                    bit: &self.snap_bit,
+                    real_time: &self.snap_real_time,
+                };
+                let schedule = &soa.schedule;
+                let shards: Vec<RapidShard<'_>> = {
+                    let wt = split_by_sizes(&mut soa.working_time, &sizes);
+                    let rt = split_by_sizes(&mut soa.real_time, &sizes);
+                    let inter = split_by_sizes(&mut soa.intermediate, &sizes);
+                    let bit = split_by_sizes(&mut soa.bit, &sizes);
+                    let ljp = split_by_sizes(&mut soa.last_jump_phase, &sizes);
+                    let halted = split_by_sizes(&mut soa.halted, &sizes);
+                    let samples = split_by_sizes(&mut soa.samples, &sizes);
+                    color_shards
+                        .into_iter()
+                        .zip(wt)
+                        .zip(rt)
+                        .zip(inter)
+                        .zip(bit)
+                        .zip(ljp)
+                        .zip(halted)
+                        .zip(samples)
+                        .map(
+                            |(((((((colors, wt), rt), inter), bit), ljp), halted), samples)| {
+                                RapidShard {
+                                    colors,
+                                    working_time: wt,
+                                    real_time: rt,
+                                    intermediate: inter,
+                                    bit,
+                                    last_jump_phase: ljp,
+                                    halted,
+                                    samples,
+                                }
+                            },
+                        )
+                        .collect()
+                };
+                run_shards(shards, &sizes, self.workers, move |lo, shard| {
+                    rapid_epoch_shard(schedule, topo, snap, epoch_seed, lambda, k, lo, shard)
+                })
+            }
+            // lint: allow(panic-hygiene): new() allocates SoA state iff the protocol is Rapid, in the same match
+            (ShardedProtocol::Rapid(_), None) => unreachable!("rapid proto implies SoA state"),
+        };
+
+        // Merge in shard order: commutative aggregates, deterministic
+        // under any worker count.
+        for d in &deltas {
+            counts.apply_delta(&d.count_delta);
+            self.steps += d.steps;
+            self.jumps += d.jumps;
+            self.max_jump_displacement = self.max_jump_displacement.max(d.max_jump_displacement);
+            self.halted_count += d.newly_halted;
+        }
+        self.epoch += 1;
+        if self.first_halt.is_none() && deltas.iter().any(|d| d.newly_halted > 0) {
+            self.first_halt = Some(self.now());
+        }
+    }
+
+    /// Runs epochs until unanimity, all nodes halted, or `max_epochs`.
+    /// Returns the winner on unanimity, `None` otherwise.
+    pub fn run_until_consensus(&mut self, max_epochs: u64) -> Option<Color> {
+        if let Some(w) = self.config.counts().unanimous() {
+            return Some(w);
+        }
+        for _ in 0..max_epochs {
+            self.run_epoch();
+            if let Some(w) = self.config.counts().unanimous() {
+                return Some(w);
+            }
+            if self.halted_count == self.config.n() {
+                return None;
+            }
+        }
+        None
+    }
+}
+
+/// Executes one closure per shard, inline for one worker and on scoped
+/// threads otherwise. Shard results come back in shard order.
+fn run_shards<S, F>(shards: Vec<S>, sizes: &[usize], workers: usize, f: F) -> Vec<EpochDelta>
+where
+    S: Send,
+    F: Fn(usize, S) -> EpochDelta + Sync,
+{
+    // Shard start offsets (prefix sums of the sizes).
+    let mut starts = Vec::with_capacity(sizes.len());
+    let mut acc = 0usize;
+    for &len in sizes {
+        starts.push(acc);
+        acc += len;
+    }
+    if workers <= 1 || shards.len() <= 1 {
+        return shards
+            .into_iter()
+            .zip(starts)
+            .map(|(shard, lo)| f(lo, shard))
+            .collect();
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .zip(starts)
+            .map(|(shard, lo)| scope.spawn(move || f(lo, shard)))
+            .collect();
+        handles
+            .into_iter()
+            // lint: allow(panic-hygiene): propagating a worker panic is the only sound response — the epoch is lost
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
+}
+
+/// The snapshot color of a uniform neighbor of a clique node whose own
+/// snapshot color has index `self_snap`: a uniform draw over the other
+/// `n − 1` nodes, answered from the frozen histogram in O(k) without
+/// touching the O(n) snapshot array (the epoch engine's clique fast
+/// path — at n = 10⁶ the array walk is a cache miss per pull, the
+/// histogram walk stays in registers).
+#[inline]
+fn clique_snapshot_pull(
+    snap_counts: &[u64],
+    self_snap: usize,
+    n: usize,
+    rng: &mut SimRng,
+) -> Color {
+    let mut r = rng.bounded(n as u64 - 1);
+    // The adjusted buckets sum to exactly n − 1, so the walk always
+    // lands; the init value is only reachable through that last bucket.
+    let mut pick = snap_counts.len() - 1;
+    for (c, &count) in snap_counts.iter().enumerate() {
+        let count = count - u64::from(c == self_snap);
+        if r < count {
+            pick = c;
+            break;
+        }
+        r -= count;
+    }
+    Color::new(pick)
+}
+
+/// One gossip shard's epoch: every pull reads the frozen snapshot, own
+/// colors evolve live (mirrors
+/// [`crate::asynchronous::AsyncGossipSim`]'s per-tick rules). On
+/// complete graphs pulls are answered by [`clique_snapshot_pull`].
+#[allow(clippy::too_many_arguments)]
+fn gossip_epoch_shard(
+    rule: GossipRule,
+    topology: &(dyn Topology + Send + Sync),
+    snap_colors: &[Color],
+    snap_counts: &[u64],
+    epoch_seed: Seed,
+    lambda: f64,
+    lo: usize,
+    colors: &mut [Color],
+) -> EpochDelta {
+    let k = snap_counts.len();
+    let clique = topology.complete_n();
+    let mut delta = EpochDelta::new(k);
+    for (local, slot) in colors.iter_mut().enumerate() {
+        let g = lo + local;
+        let u = NodeId::new(g);
+        let mut rng = epoch_node_rng(epoch_seed, g as u64);
+        let activations = sample_poisson(&mut rng, lambda);
+        if activations == 0 {
+            continue;
+        }
+        let self_snap = snap_colors[g].index();
+        for _ in 0..activations {
+            delta.steps += 1;
+            let pull = |rng: &mut SimRng| match clique {
+                Some(n) => clique_snapshot_pull(snap_counts, self_snap, n, rng),
+                None => snap_colors[topology.sample_neighbor(u, rng).index()],
+            };
+            let new = match rule {
+                GossipRule::Voter => pull(&mut rng),
+                GossipRule::TwoChoices => {
+                    let a = pull(&mut rng);
+                    let b = pull(&mut rng);
+                    if a == b {
+                        a
+                    } else {
+                        *slot
+                    }
+                }
+                GossipRule::ThreeMajority => {
+                    let a = pull(&mut rng);
+                    let b = pull(&mut rng);
+                    let c = pull(&mut rng);
+                    if a == b || a == c {
+                        a
+                    } else if b == c {
+                        b
+                    } else {
+                        a
+                    }
+                }
+            };
+            delta.recolor(slot, new);
+        }
+    }
+    delta
+}
+
+/// One full-protocol shard's epoch (mirrors
+/// [`crate::asynchronous::RapidSim::tick`] with pulls resolved against
+/// the snapshot).
+#[allow(clippy::too_many_arguments)]
+fn rapid_epoch_shard(
+    schedule: &Schedule,
+    topology: &(dyn Topology + Send + Sync),
+    snap: SnapView<'_>,
+    epoch_seed: Seed,
+    lambda: f64,
+    k: usize,
+    lo: usize,
+    st: RapidShard<'_>,
+) -> EpochDelta {
+    let mut delta = EpochDelta::new(k);
+    for local in 0..st.colors.len() {
+        let g = lo + local;
+        let u = NodeId::new(g);
+        let mut rng = epoch_node_rng(epoch_seed, g as u64);
+        let activations = sample_poisson(&mut rng, lambda);
+        for _ in 0..activations {
+            delta.steps += 1;
+            if st.halted[local] {
+                st.real_time[local] += 1;
+                continue;
+            }
+            let action = schedule.action_at(st.working_time[local]);
+            let mut jumped = false;
+            match action {
+                Action::Wait => {}
+                Action::TwoChoicesSample => {
+                    // reset_phase_state
+                    st.intermediate[local] = NO_COLOR;
+                    st.bit[local] = false;
+                    st.samples[local].clear();
+                    let v = topology.sample_neighbor(u, &mut rng);
+                    let w = topology.sample_neighbor(u, &mut rng);
+                    let cv = snap.colors[v.index()];
+                    if cv == snap.colors[w.index()] {
+                        st.intermediate[local] = cv.index() as u32;
+                    }
+                }
+                Action::Commit => {
+                    if st.intermediate[local] != NO_COLOR {
+                        let c = Color::new(st.intermediate[local] as usize);
+                        st.intermediate[local] = NO_COLOR;
+                        delta.recolor(&mut st.colors[local], c);
+                        st.bit[local] = true;
+                    } else {
+                        st.bit[local] = false;
+                    }
+                }
+                Action::BitPropagation => {
+                    if !st.bit[local] {
+                        let v = topology.sample_neighbor(u, &mut rng);
+                        if snap.bit[v.index()] {
+                            delta.recolor(&mut st.colors[local], snap.colors[v.index()]);
+                            st.bit[local] = true;
+                        }
+                    }
+                }
+                Action::SyncSample => {
+                    let v = topology.sample_neighbor(u, &mut rng);
+                    st.samples[local].push((snap.real_time[v.index()], st.real_time[local]));
+                }
+                Action::Jump => {
+                    let phase = schedule.phase_of(st.working_time[local]);
+                    if st.last_jump_phase[local] != phase {
+                        if let Some(target) =
+                            median_estimate(&st.samples[local], st.real_time[local])
+                        {
+                            let from = st.working_time[local];
+                            st.working_time[local] = target;
+                            st.last_jump_phase[local] = phase;
+                            delta.jumps += 1;
+                            delta.max_jump_displacement =
+                                delta.max_jump_displacement.max(from.abs_diff(target));
+                            jumped = true;
+                        }
+                    }
+                }
+                Action::Endgame => {
+                    let v = topology.sample_neighbor(u, &mut rng);
+                    let w = topology.sample_neighbor(u, &mut rng);
+                    let cv = snap.colors[v.index()];
+                    if cv == snap.colors[w.index()] {
+                        delta.recolor(&mut st.colors[local], cv);
+                    }
+                }
+                Action::Halt => {
+                    st.halted[local] = true;
+                    delta.newly_halted += 1;
+                }
+            }
+            if !jumped {
+                st.working_time[local] += 1;
+            }
+            st.real_time[local] += 1;
+        }
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asynchronous::params::Params;
+    use rapid_graph::complete::Complete;
+
+    fn gossip_sim(n: usize, workers: usize, seed: u64) -> ShardedSim {
+        let topology = Box::new(Complete::new(n));
+        let counts = vec![(n / 2 + n / 8) as u64, (n - n / 2 - n / 8) as u64];
+        let config = Configuration::from_counts(&counts).expect("valid");
+        ShardedSim::new(
+            topology,
+            config,
+            ShardedProtocol::Gossip(GossipRule::TwoChoices),
+            Seed::new(seed),
+            1.0,
+            workers,
+        )
+    }
+
+    #[test]
+    fn shard_sizes_cover_everything() {
+        assert_eq!(shard_sizes(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(shard_sizes(8, 4), vec![2, 2, 2, 2]);
+        assert_eq!(shard_sizes(3, 8), vec![1, 1, 1]);
+        assert_eq!(shard_sizes(5, 1), vec![5]);
+        for (n, w) in [(1000, 8), (1024, 4), (7, 3)] {
+            assert_eq!(shard_sizes(n, w).iter().sum::<usize>(), n);
+        }
+    }
+
+    #[test]
+    fn gossip_converges_and_is_worker_independent() {
+        let mut a = gossip_sim(512, 1, 42);
+        let mut b = gossip_sim(512, 4, 42);
+        let wa = a.run_until_consensus(10_000).expect("consensus");
+        let wb = b.run_until_consensus(10_000).expect("consensus");
+        assert_eq!(wa, wb);
+        assert_eq!(a.epoch(), b.epoch());
+        assert_eq!(a.steps(), b.steps());
+        assert_eq!(a.config().colors(), b.config().colors());
+    }
+
+    #[test]
+    fn rapid_run_reaches_consensus() {
+        let n = 512;
+        let params = Params::for_network(n, 2);
+        let schedule = Schedule::new(params);
+        let topology = Box::new(Complete::new(n));
+        let config = Configuration::from_counts(&[320, 192]).expect("valid");
+        let mut sim = ShardedSim::new(
+            topology,
+            config,
+            ShardedProtocol::Rapid(schedule),
+            Seed::new(7),
+            1.0,
+            2,
+        );
+        let winner = sim.run_until_consensus(100_000).expect("consensus");
+        assert_eq!(winner, Color::new(0));
+        assert!(sim.steps() > 0);
+        assert!(sim.now().as_secs() > 0.0);
+    }
+
+    #[test]
+    fn epoch_counters_are_monotone() {
+        let mut sim = gossip_sim(100, 3, 9);
+        sim.run_epoch();
+        let s1 = sim.steps();
+        sim.run_epoch();
+        assert!(sim.steps() >= s1);
+        assert_eq!(sim.epoch(), 2);
+        assert!((sim.now().as_secs() - 2.0 * DEFAULT_TAU).abs() < 1e-12);
+    }
+}

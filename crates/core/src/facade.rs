@@ -64,6 +64,7 @@
 
 use rapid_graph::topology::Topology;
 use rapid_sim::fault::{FaultError, FaultPlan, LatencyScheduler};
+use rapid_sim::parallelism::Parallelism;
 use rapid_sim::rng::{Seed, SimRng};
 use rapid_sim::scheduler::{
     ActivationSource, EventQueueScheduler, HeterogeneousScheduler, JitteredScheduler,
@@ -74,6 +75,7 @@ use rapid_sim::time::SimTime;
 use crate::asynchronous::gossip::{AsyncGossipSim, GossipRule};
 use crate::asynchronous::params::Params;
 use crate::asynchronous::rapid::{RapidOutcome, RapidSim, WorkingTimeStats};
+use crate::asynchronous::sharded::{ShardedProtocol, ShardedSim};
 use crate::convergence::{AsyncOutcome, ConvergenceError, SyncOutcome};
 use crate::distributions::{DistributionError, InitialDistribution};
 use crate::opinion::{Color, ConfigError, Configuration};
@@ -268,6 +270,67 @@ impl std::fmt::Debug for NetSpec {
     }
 }
 
+/// A validated assembly, finalised for the engine the builder selected.
+///
+/// Returned by [`SimBuilder::build_spec`], the engine-dispatching build
+/// entry point. Each variant carries the artifact its runner executes:
+/// [`Sim`] runs in this crate; [`MacroSpec`] is executed by the
+/// `rapid-macro` crate (stochastic buckets for [`Spec::Macro`], the
+/// deterministic ODE limit for [`Spec::MeanField`]); [`NetSpec`] is
+/// executed by the `rapid-net` crate.
+#[derive(Debug)]
+pub enum Spec {
+    /// A ready-to-run micro simulation ([`EngineKind::Micro`]).
+    Micro(Sim),
+    /// A population-level spec for the stochastic macro engine
+    /// ([`EngineKind::Macro`]).
+    Macro(MacroSpec),
+    /// A population-level spec for the deterministic mean-field engine
+    /// ([`EngineKind::MeanField`]).
+    MeanField(MacroSpec),
+    /// A deployment spec for the message-passing runtime
+    /// ([`EngineKind::Net`]).
+    Net(NetSpec),
+}
+
+impl Spec {
+    /// The engine kind this spec was finalised for.
+    pub fn kind(&self) -> EngineKind {
+        match self {
+            Spec::Micro(_) => EngineKind::Micro,
+            Spec::Macro(_) => EngineKind::Macro,
+            Spec::MeanField(_) => EngineKind::MeanField,
+            Spec::Net(_) => EngineKind::Net,
+        }
+    }
+
+    /// The micro simulation, if that is what was built.
+    pub fn into_micro(self) -> Option<Sim> {
+        match self {
+            Spec::Micro(sim) => Some(sim),
+            _ => None,
+        }
+    }
+
+    /// The population-level spec, if that is what was built. Covers both
+    /// [`Spec::Macro`] and [`Spec::MeanField`] — the returned
+    /// [`MacroSpec`] records which via [`MacroSpec::kind`].
+    pub fn into_macro(self) -> Option<MacroSpec> {
+        match self {
+            Spec::Macro(spec) | Spec::MeanField(spec) => Some(spec),
+            _ => None,
+        }
+    }
+
+    /// The deployment spec, if that is what was built.
+    pub fn into_net(self) -> Option<NetSpec> {
+        match self {
+            Spec::Net(spec) => Some(spec),
+            _ => None,
+        }
+    }
+}
+
 /// The clock axis: how asynchronous activations are generated.
 ///
 /// Ignored by synchronous protocols, which run in lockstep rounds.
@@ -414,6 +477,11 @@ pub enum BuildError {
     /// mean-field assemblies go through `build_macro_spec()`. The payload
     /// names the method to call instead.
     EngineMismatch(&'static str),
+    /// The selected axis combination is not supported by the sharded
+    /// epoch engine ([`SimBuilder::parallelism`]); the payload names the
+    /// axis (synchronous protocols, jitter, fault plans, per-node halt
+    /// budgets, heterogeneous clocks).
+    ShardedUnsupported(&'static str),
 }
 
 impl std::fmt::Display for BuildError {
@@ -472,6 +540,9 @@ impl std::fmt::Display for BuildError {
                     f,
                     "wrong build entry point for this engine kind; use {instead}"
                 )
+            }
+            BuildError::ShardedUnsupported(what) => {
+                write!(f, "the sharded epoch engine does not support {what}")
             }
         }
     }
@@ -695,6 +766,7 @@ pub struct SimBuilder {
     stops: Vec<StopCondition>,
     shuffle: bool,
     halt_after: Option<u64>,
+    parallelism: Option<Parallelism>,
 }
 
 impl SimBuilder {
@@ -711,6 +783,7 @@ impl SimBuilder {
             stops: Vec::new(),
             shuffle: false,
             halt_after: None,
+            parallelism: None,
         }
     }
 
@@ -773,13 +846,20 @@ impl SimBuilder {
 
     /// Selects the simulation engine (default: [`EngineKind::Micro`]).
     ///
-    /// [`EngineKind::Macro`] and [`EngineKind::MeanField`] assemblies are
-    /// finalised with [`SimBuilder::build_macro_spec`] (and executed by the
-    /// `rapid-macro` crate); [`SimBuilder::build`] rejects them with
-    /// [`BuildError::EngineMismatch`].
+    /// [`SimBuilder::build_spec`] finalises the assembly for whichever
+    /// kind was selected. The kind-specific entry points still exist —
+    /// [`SimBuilder::build`] for [`EngineKind::Micro`] plus the
+    /// deprecated `build_macro_spec` / `build_net_spec` shims — and
+    /// reject a mismatched kind with [`BuildError::EngineMismatch`].
     pub fn engine(mut self, kind: EngineKind) -> Self {
         self.engine = kind;
         self
+    }
+
+    /// The engine kind this builder is currently set to (what
+    /// [`SimBuilder::build_spec`] will dispatch on).
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine
     }
 
     /// Sets the clock model for asynchronous protocols.
@@ -830,6 +910,28 @@ impl SimBuilder {
     /// (asynchronous gossip only — the endgame's finish line).
     pub fn halt_after(mut self, ticks: u64) -> Self {
         self.halt_after = Some(ticks);
+        self
+    }
+
+    /// Selects the sharded epoch engine
+    /// ([`crate::asynchronous::ShardedSim`]) for this micro run, with
+    /// the shard worker count taken from `parallelism.shard_workers`.
+    ///
+    /// Setting this axis — even with one shard worker — switches the
+    /// run from the sequential activation-at-a-time engines to the
+    /// epoch engine, whose randomness comes from per-(epoch, node)
+    /// child streams (`seed.child(7)`): results are bit-identical under
+    /// any worker count, but *not* activation-for-activation identical
+    /// to the unsharded engines (a documented, tested stream split; see
+    /// the module docs of [`crate::asynchronous::sharded`]).
+    ///
+    /// The epoch engine supports asynchronous gossip and the rapid
+    /// protocol on any topology, with [`Clock::Sequential`] or
+    /// [`Clock::EventQueue`]; jitter, fault plans, per-node halt
+    /// budgets and heterogeneous clocks are rejected at build time with
+    /// [`BuildError::ShardedUnsupported`].
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = Some(parallelism);
         self
     }
 
@@ -914,6 +1016,53 @@ impl SimBuilder {
             config.shuffle(&mut SimRng::from_seed_value(self.seed.child(2)));
         }
 
+        // An explicit parallelism axis selects the sharded epoch engine
+        // (even at one shard worker): same protocols, different —
+        // documented and registry-declared — stream layout.
+        if let Some(par) = self.parallelism {
+            let proto = match protocol {
+                Protocol::Gossip(rule) => ShardedProtocol::Gossip(rule),
+                Protocol::Rapid(params) => {
+                    ShardedProtocol::Rapid(crate::asynchronous::Schedule::new(params))
+                }
+                Protocol::Sync(_) => {
+                    return Err(BuildError::ShardedUnsupported(
+                        "synchronous protocols (epochs discretise the Poisson clock)",
+                    ))
+                }
+            };
+            if self.halt_after.is_some() {
+                return Err(BuildError::ShardedUnsupported(
+                    "per-node halt budgets (epoch merges carry no per-node tick counts)",
+                ));
+            }
+            if self.jitter.is_some() {
+                return Err(BuildError::ShardedUnsupported(
+                    "jitter (response delays reorder activations across the epoch boundary)",
+                ));
+            }
+            if faults.is_some() {
+                return Err(BuildError::ShardedUnsupported(
+                    "fault plans (crash/loss bookkeeping is per-activation, not per-epoch)",
+                ));
+            }
+            let rate = match self.clock {
+                Clock::Sequential(_) => 1.0,
+                Clock::EventQueue { rate } => rate,
+                Clock::UniformSkew { .. } | Clock::Rates(_) => {
+                    return Err(BuildError::ShardedUnsupported(
+                        "heterogeneous clock rates (every node draws one Poisson(rate·τ) count)",
+                    ))
+                }
+            };
+            let workers = par.shard_workers.resolve(n);
+            let sim = ShardedSim::new(topology, config, proto, self.seed, rate, workers);
+            return Ok(Sim {
+                engine: Engine::Sharded(Box::new(sim)),
+                stops: self.stops,
+            });
+        }
+
         let engine = match protocol {
             Protocol::Sync(mut proto) => Engine::Sync {
                 proto: {
@@ -955,6 +1104,36 @@ impl SimBuilder {
         })
     }
 
+    /// Validates the assembly and finalises it for whichever engine the
+    /// builder selected, dispatching on [`SimBuilder::engine`].
+    ///
+    /// This is the single build entry point: it returns a [`Spec`] whose
+    /// variant matches the engine kind — a ready-to-run [`Sim`] for
+    /// [`EngineKind::Micro`], a pure-data [`MacroSpec`] for
+    /// [`EngineKind::Macro`] / [`EngineKind::MeanField`] (executed by the
+    /// `rapid-macro` crate), and a [`NetSpec`] for [`EngineKind::Net`]
+    /// (executed by the `rapid-net` crate). The kind-specific entry
+    /// points ([`SimBuilder::build`], the deprecated
+    /// [`SimBuilder::build_macro_spec`] / [`SimBuilder::build_net_spec`])
+    /// apply exactly the same validation; `build_spec` merely removes
+    /// the caller's obligation to pick the matching method.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] naming the first inconsistency, exactly
+    /// as the kind-specific builders do. [`BuildError::EngineMismatch`]
+    /// can no longer arise from this method itself — the dispatch is the
+    /// point — only from downstream consumers that received the wrong
+    /// variant.
+    pub fn build_spec(self) -> Result<Spec, BuildError> {
+        match self.engine {
+            EngineKind::Micro => self.build().map(Spec::Micro),
+            EngineKind::Macro => self.finish_macro_spec().map(Spec::Macro),
+            EngineKind::MeanField => self.finish_macro_spec().map(Spec::MeanField),
+            EngineKind::Net => self.finish_net_spec().map(Spec::Net),
+        }
+    }
+
     /// Validates the assembly for a population-level engine
     /// ([`EngineKind::Macro`] or [`EngineKind::MeanField`]) and returns
     /// the pure-data [`MacroSpec`] the `rapid-macro` crate executes.
@@ -980,6 +1159,8 @@ impl SimBuilder {
     /// Returns a [`BuildError`] naming the first inconsistency, including
     /// [`BuildError::EngineMismatch`] when the builder's engine kind is
     /// [`EngineKind::Micro`].
+    #[deprecated(note = "use `SimBuilder::build_spec` and match on `Spec::Macro` / \
+                         `Spec::MeanField`")]
     pub fn build_macro_spec(self) -> Result<MacroSpec, BuildError> {
         let kind = self.engine;
         if kind == EngineKind::Micro {
@@ -992,6 +1173,14 @@ impl SimBuilder {
                 "SimBuilder::build_net_spec (run via rapid_net) for Engine::Net",
             ));
         }
+        self.finish_macro_spec()
+    }
+
+    /// The macro-spec assembly shared by [`SimBuilder::build_spec`] and
+    /// the deprecated [`SimBuilder::build_macro_spec`] shim. Engine-kind
+    /// dispatch has already happened by the time this runs.
+    fn finish_macro_spec(self) -> Result<MacroSpec, BuildError> {
+        let kind = self.engine;
         let topology = self.topology.ok_or(BuildError::MissingTopology)?;
         if !topology.is_complete() {
             return Err(BuildError::MacroRequiresComplete);
@@ -1126,12 +1315,20 @@ impl SimBuilder {
     /// Returns a [`BuildError`] naming the first inconsistency, including
     /// [`BuildError::EngineMismatch`] when the builder's engine kind is
     /// not [`EngineKind::Net`].
+    #[deprecated(note = "use `SimBuilder::build_spec` and match on `Spec::Net`")]
     pub fn build_net_spec(self) -> Result<NetSpec, BuildError> {
         if self.engine != EngineKind::Net {
             return Err(BuildError::EngineMismatch(
                 "SimBuilder::build / build_macro_spec for non-net engines",
             ));
         }
+        self.finish_net_spec()
+    }
+
+    /// The net-spec assembly shared by [`SimBuilder::build_spec`] and the
+    /// deprecated [`SimBuilder::build_net_spec`] shim. Engine-kind
+    /// dispatch has already happened by the time this runs.
+    fn finish_net_spec(self) -> Result<NetSpec, BuildError> {
         let topology = self.topology.ok_or(BuildError::MissingTopology)?;
         let n = topology.n();
         let init = self.init.ok_or(BuildError::MissingInitialState)?;
@@ -1316,6 +1513,7 @@ enum Engine {
     },
     Gossip(Box<AsyncGossipSim<BoxedTopology, BoxedSource>>),
     Rapid(Box<RapidSim<BoxedTopology, BoxedSource>>),
+    Sharded(Box<ShardedSim>),
 }
 
 /// A fully assembled simulation, ready to run or single-step.
@@ -1334,6 +1532,10 @@ impl std::fmt::Debug for Sim {
             Engine::Sync { proto, .. } => proto.name(),
             Engine::Gossip(sim) => sim.rule().name(),
             Engine::Rapid(_) => "rapid",
+            Engine::Sharded(sim) => match sim.protocol() {
+                ShardedProtocol::Gossip(_) => "sharded-gossip",
+                ShardedProtocol::Rapid(_) => "sharded-rapid",
+            },
         };
         f.debug_struct("Sim")
             .field("engine", &engine)
@@ -1374,6 +1576,7 @@ impl Sim {
             Engine::Sync { config, .. } => config,
             Engine::Gossip(sim) => sim.config(),
             Engine::Rapid(sim) => sim.config(),
+            Engine::Sharded(sim) => sim.config(),
         }
     }
 
@@ -1389,6 +1592,7 @@ impl Sim {
             Engine::Sync { rounds, .. } => *rounds,
             Engine::Gossip(sim) => sim.steps(),
             Engine::Rapid(sim) => sim.steps(),
+            Engine::Sharded(sim) => sim.steps(),
         }
     }
 
@@ -1406,6 +1610,7 @@ impl Sim {
             Engine::Sync { .. } => None,
             Engine::Gossip(sim) => Some(sim.now()),
             Engine::Rapid(sim) => Some(sim.now()),
+            Engine::Sharded(sim) => Some(sim.now()),
         }
     }
 
@@ -1415,6 +1620,7 @@ impl Sim {
             Engine::Sync { .. } => None,
             Engine::Gossip(sim) => sim.first_halt(),
             Engine::Rapid(sim) => sim.first_halt(),
+            Engine::Sharded(sim) => sim.first_halt(),
         }
     }
 
@@ -1424,6 +1630,7 @@ impl Sim {
             Engine::Sync { .. } => None,
             Engine::Gossip(sim) => Some(sim.halted_count()),
             Engine::Rapid(sim) => Some(sim.halted_count()),
+            Engine::Sharded(sim) => Some(sim.halted_count()),
         }
     }
 
@@ -1431,6 +1638,7 @@ impl Sim {
     pub fn working_times(&self) -> Option<Vec<u64>> {
         match &self.engine {
             Engine::Rapid(sim) => Some(sim.working_times()),
+            Engine::Sharded(sim) => sim.working_times(),
             _ => None,
         }
     }
@@ -1439,6 +1647,10 @@ impl Sim {
     pub fn working_time_stats(&self, tolerance: u64) -> Option<WorkingTimeStats> {
         match &self.engine {
             Engine::Rapid(sim) => Some(sim.working_time_stats(tolerance)),
+            Engine::Sharded(sim) => {
+                let mut wts = sim.working_times()?;
+                Some(WorkingTimeStats::from_times(&mut wts, tolerance))
+            }
             _ => None,
         }
     }
@@ -1447,6 +1659,11 @@ impl Sim {
     pub fn median_working_time(&self) -> Option<u64> {
         match &self.engine {
             Engine::Rapid(sim) => Some(sim.median_working_time()),
+            Engine::Sharded(sim) => {
+                let mut wts = sim.working_times()?;
+                wts.sort_unstable();
+                Some(wts[wts.len() / 2])
+            }
             _ => None,
         }
     }
@@ -1455,6 +1672,7 @@ impl Sim {
     pub fn bit_composition(&self) -> Option<Vec<u64>> {
         match &self.engine {
             Engine::Rapid(sim) => Some(sim.bit_composition()),
+            Engine::Sharded(sim) => sim.bit_composition(),
             _ => None,
         }
     }
@@ -1463,6 +1681,9 @@ impl Sim {
     pub fn jump_count(&self) -> Option<u64> {
         match &self.engine {
             Engine::Rapid(sim) => Some(sim.jump_count()),
+            Engine::Sharded(sim) if matches!(sim.protocol(), ShardedProtocol::Rapid(_)) => {
+                Some(sim.jump_count())
+            }
             _ => None,
         }
     }
@@ -1472,6 +1693,9 @@ impl Sim {
     pub fn max_jump_displacement(&self) -> Option<u64> {
         match &self.engine {
             Engine::Rapid(sim) => Some(sim.max_jump_displacement()),
+            Engine::Sharded(sim) if matches!(sim.protocol(), ShardedProtocol::Rapid(_)) => {
+                Some(sim.max_jump_displacement())
+            }
             _ => None,
         }
     }
@@ -1488,6 +1712,7 @@ impl Sim {
                 (n as f64 * (ln_n + 1.0) * 200.0) as u64
             }
             Engine::Rapid(sim) => sim.default_step_budget(),
+            Engine::Sharded(sim) => sim.default_step_budget(),
         }
     }
 
@@ -1510,6 +1735,11 @@ impl Sim {
             }
             Engine::Rapid(sim) => {
                 sim.tick();
+            }
+            // One "step" of the epoch engine is one τ-sized epoch (≈ one
+            // expected activation per node), not a single activation.
+            Engine::Sharded(sim) => {
+                sim.run_epoch();
             }
         }
     }
@@ -1548,6 +1778,12 @@ impl Sim {
             Engine::Gossip(sim) => {
                 sim.tick();
                 sim.config().unanimous()
+            }
+            // Epoch granularity: the O(k) histogram scan once per epoch
+            // is far cheaper than any per-activation check.
+            Engine::Sharded(sim) => {
+                sim.run_epoch();
+                sim.config().counts().unanimous()
             }
             Engine::Rapid(sim) => {
                 let (a, action) = sim.tick();
@@ -1643,6 +1879,7 @@ impl Sim {
         }
         let working_times = match &self.engine {
             Engine::Rapid(sim) => Some(sim.working_times()),
+            Engine::Sharded(sim) => sim.working_times(),
             _ => None,
         };
         let progress = Progress {
@@ -1666,6 +1903,7 @@ impl Sim {
             Engine::Sync { .. } => false,
             Engine::Gossip(sim) => sim.halted_count() == n,
             Engine::Rapid(sim) => sim.halted_count() == n,
+            Engine::Sharded(sim) => sim.halted_count() == n,
         };
         if all_halted {
             return Some(StopReason::AllHalted);
@@ -1712,6 +1950,12 @@ impl Sim {
             Engine::Sync { .. } => None,
             Engine::Gossip(sim) => sim.halt_budget().map(|_| success),
             Engine::Rapid(_) => Some(success),
+            // Sharded gossip has no halt budget; sharded rapid halts by
+            // schedule, exactly like the sequential engine.
+            Engine::Sharded(sim) => match sim.protocol() {
+                ShardedProtocol::Gossip(_) => None,
+                ShardedProtocol::Rapid(_) => Some(success),
+            },
         };
         Outcome {
             stop,

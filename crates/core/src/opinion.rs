@@ -213,6 +213,27 @@ impl ColorCounts {
         self.counts.iter().filter(|&&c| c > 0).count()
     }
 
+    /// Applies a signed per-color delta in one batch.
+    ///
+    /// This is the sharded engine's epoch merge: workers accumulate
+    /// `(-1, +1)` transfers locally and the merge commits them here, so
+    /// the histogram stays exact without per-activation synchronisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds via the overflow check) if a delta would
+    /// drive a count negative — that would mean a worker recorded a
+    /// transfer from a color its nodes never held.
+    pub(crate) fn apply_delta(&mut self, delta: &[i64]) {
+        debug_assert_eq!(delta.len(), self.counts.len(), "delta arity");
+        for (c, &d) in self.counts.iter_mut().zip(delta) {
+            *c = c
+                .checked_add_signed(d)
+                // lint: allow(panic-hygiene): a negative count means a shard recorded an impossible transfer -- state is corrupt
+                .expect("epoch merge drove a color count negative");
+        }
+    }
+
     fn transfer(&mut self, from: Color, to: Color) {
         if from == to {
             return;
@@ -346,6 +367,17 @@ impl Configuration {
         let old = self.colors[u.index()];
         self.counts.transfer(old, c);
         self.colors[u.index()] = c;
+    }
+
+    /// Splits the configuration into independent mutable borrows of the
+    /// per-node colors and the histogram.
+    ///
+    /// Only the sharded epoch engine uses this: workers write disjoint
+    /// slices of the color vector while the histogram is updated once
+    /// per epoch from the merged count deltas ([`ColorCounts::apply_delta`]).
+    /// Callers are responsible for keeping the two halves consistent.
+    pub(crate) fn split_mut(&mut self) -> (&mut [Color], &mut ColorCounts) {
+        (&mut self.colors, &mut self.counts)
     }
 
     /// Randomly permutes the node–color assignment (Fisher–Yates).

@@ -2,6 +2,10 @@
 //! macro-specific validation rules (complete topology, exchangeable
 //! clocks, loss-only faults).
 
+// This file deliberately exercises the deprecated kind-specific shim;
+// `spec_equivalence.rs` pins it against `build_spec`.
+#![allow(deprecated)]
+
 use rapid_core::prelude::*;
 use rapid_graph::prelude::*;
 use rapid_sim::fault::{AdversaryKind, AdversaryPlan, ChurnEvent, FaultPlan, LatencyModel};

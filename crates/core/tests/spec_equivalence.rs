@@ -1,0 +1,122 @@
+//! `SimBuilder::build_spec` vs the kind-specific entry points.
+//!
+//! The dispatching builder is new API surface; the deprecated
+//! `build_macro_spec` / `build_net_spec` shims (and `build` for micro)
+//! stay for one release. These tests pin that both paths produce the
+//! same artifact from the same assembly — field-for-field for the
+//! pure-data specs, config-and-debug for the stateful micro engine —
+//! so callers can migrate without re-validating behavior.
+
+// The whole point of this file is to compare against the deprecated shims.
+#![allow(deprecated)]
+
+use rapid_core::prelude::*;
+use rapid_graph::prelude::*;
+use rapid_sim::prelude::*;
+
+fn builder(n: usize, kind: EngineKind) -> SimBuilder {
+    Sim::builder()
+        .topology(Complete::new(n))
+        .counts(&[3 * n as u64 / 4, n as u64 - 3 * n as u64 / 4])
+        .gossip(GossipRule::TwoChoices)
+        .seed(Seed::new(11))
+        .engine(kind)
+}
+
+#[test]
+fn micro_spec_matches_build() {
+    let old = builder(64, EngineKind::Micro).build().expect("build");
+    let new = builder(64, EngineKind::Micro)
+        .build_spec()
+        .expect("build_spec");
+    assert_eq!(new.kind(), EngineKind::Micro);
+    let new = new.into_micro().expect("micro variant");
+    assert_eq!(old.config(), new.config());
+    assert_eq!(format!("{old:?}"), format!("{new:?}"));
+}
+
+#[test]
+fn macro_spec_matches_build_macro_spec() {
+    for kind in [EngineKind::Macro, EngineKind::MeanField] {
+        let old = builder(1000, kind).build_macro_spec().expect("shim");
+        let new = builder(1000, kind).build_spec().expect("build_spec");
+        assert_eq!(new.kind(), kind);
+        let new = new.into_macro().expect("macro variant");
+        assert_eq!(old, new);
+        assert_eq!(new.kind, kind);
+    }
+}
+
+#[test]
+fn net_spec_matches_build_net_spec() {
+    let old = builder(64, EngineKind::Net).build_net_spec().expect("shim");
+    let new = builder(64, EngineKind::Net)
+        .build_spec()
+        .expect("build_spec");
+    assert_eq!(new.kind(), EngineKind::Net);
+    let new = new.into_net().expect("net variant");
+    assert_eq!(old.topology.n(), new.topology.n());
+    assert_eq!(old.config, new.config);
+    assert_eq!(old.protocol, new.protocol);
+    assert_eq!(old.rate, new.rate);
+    assert_eq!(old.seed, new.seed);
+    assert_eq!(old.stops, new.stops);
+}
+
+#[test]
+fn build_spec_reports_the_same_validation_errors() {
+    // A missing protocol fails identically through either entry point,
+    // for every engine kind.
+    for kind in [
+        EngineKind::Micro,
+        EngineKind::Macro,
+        EngineKind::MeanField,
+        EngineKind::Net,
+    ] {
+        let bare = || {
+            Sim::builder()
+                .topology(Complete::new(16))
+                .counts(&[12, 4])
+                .engine(kind)
+        };
+        let old = match kind {
+            EngineKind::Micro => bare().build().expect_err("micro"),
+            EngineKind::Macro | EngineKind::MeanField => {
+                bare().build_macro_spec().expect_err("macro")
+            }
+            EngineKind::Net => bare().build_net_spec().expect_err("net"),
+        };
+        let new = bare().build_spec().expect_err("build_spec");
+        assert_eq!(old, new);
+        assert_eq!(new, BuildError::MissingProtocol);
+    }
+}
+
+#[test]
+fn into_helpers_reject_the_other_variants() {
+    let spec = builder(64, EngineKind::Macro).build_spec().expect("macro");
+    assert!(spec.into_micro().is_none());
+    let spec = builder(64, EngineKind::Net).build_spec().expect("net");
+    assert!(spec.into_macro().is_none());
+    let spec = builder(64, EngineKind::Micro).build_spec().expect("micro");
+    assert!(spec.into_net().is_none());
+    // Mean-field specs surface through the shared macro accessor.
+    let spec = builder(64, EngineKind::MeanField)
+        .build_spec()
+        .expect("mean-field");
+    assert!(spec.into_macro().is_some());
+}
+
+#[test]
+fn deprecated_shims_still_guard_engine_kinds() {
+    // The shims keep their historical mismatch errors so existing
+    // callers that relied on them see unchanged behavior.
+    let err = builder(64, EngineKind::Micro)
+        .build_macro_spec()
+        .expect_err("micro via macro shim");
+    assert!(matches!(err, BuildError::EngineMismatch(_)));
+    let err = builder(64, EngineKind::Macro)
+        .build_net_spec()
+        .expect_err("macro via net shim");
+    assert!(matches!(err, BuildError::EngineMismatch(_)));
+}

@@ -26,7 +26,7 @@ use crate::json::JsonValue;
 use crate::params::{ParamError, ParamMap, Preset};
 use crate::registry;
 use crate::report::Report;
-use crate::runner::Threads;
+use crate::runner::{Parallelism, Workers};
 
 /// How a report is rendered on stdout.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
@@ -60,8 +60,10 @@ pub struct RunOpts {
     pub sets: Vec<(String, String)>,
     /// `--seed N` overrides every experiment's master seed.
     pub seed: Option<u64>,
-    /// `--threads N` bounds trial-runner workers (default: all cores).
-    pub threads: Threads,
+    /// `--parallelism SPEC` sets trial (and, as `TRIALSxSHARDS`, shard)
+    /// workers; `--threads N` is the back-compat alias for the trial
+    /// axis (default: all cores for trials, one shard worker).
+    pub parallelism: Parallelism,
     /// `--format table|json|csv`.
     pub format: OutputFormat,
     /// `--out DIR` overrides the save directory.
@@ -123,6 +125,8 @@ pub enum CliError {
     BadFormat(String),
     /// `--set` without a `key=value` payload.
     BadSet(String),
+    /// `--parallelism` with an unparsable worker spec.
+    BadParallelism(String),
     /// A `--set` rejected by the experiment's schema.
     Param {
         /// The experiment whose schema rejected it.
@@ -152,6 +156,11 @@ impl std::fmt::Display for CliError {
                 write!(f, "--format must be table, json or csv, got {v:?}")
             }
             CliError::BadSet(v) => write!(f, "--set needs KEY=VALUE, got {v:?}"),
+            CliError::BadParallelism(v) => write!(
+                f,
+                "--parallelism needs N, TRIALSxSHARDS or auto (each axis a \
+                 positive count or `auto`), got {v:?}"
+            ),
             CliError::Param { id, error } => write!(f, "{id}: {error}"),
         }
     }
@@ -248,7 +257,14 @@ fn parse_run_args<'a>(
                         })?,
                 );
             }
+            "--parallelism" => {
+                let v = it.next().ok_or(CliError::MissingValue("--parallelism"))?;
+                opts.parallelism =
+                    Parallelism::parse(v).map_err(|_| CliError::BadParallelism(v.to_string()))?;
+            }
             "--threads" => {
+                // Back-compat alias for `--parallelism N` (trial workers
+                // only), with its historical strict-integer errors.
                 let v = it.next().ok_or(CliError::MissingValue("--threads"))?;
                 let n: usize = v.parse().map_err(|_| CliError::BadNumber {
                     flag: "--threads",
@@ -260,7 +276,10 @@ fn parse_run_args<'a>(
                         value: v.to_string(),
                     });
                 }
-                opts.threads = Threads::fixed(n);
+                opts.parallelism = Parallelism {
+                    trial_workers: Workers::fixed(n),
+                    ..Parallelism::default()
+                };
             }
             "--format" => {
                 let v = it.next().ok_or(CliError::MissingValue("--format"))?;
@@ -373,7 +392,9 @@ OPTIONS (run / all):
     --set KEY=VALUE        override one parameter (repeatable; lists are
                            comma-separated, e.g. --set ns=4096,8192)
     --seed N               override the master seed
-    --threads N            worker threads for trials (default: all cores)
+    --parallelism SPEC     worker counts: N, TRIALSxSHARDS or auto, each
+                           axis a count or `auto` (default: autox1)
+    --threads N            alias for `--parallelism N` (trial workers only)
     --format table|json|csv   stdout rendering (default: table)
     --out DIR              save directory (default: <workspace>/target/experiments)
 ";
@@ -451,7 +472,7 @@ fn execute(cmd: &Command) -> Result<(), CliError> {
 fn run_jobs(jobs: Vec<Job>, opts: &RunOpts) {
     let out = opts.out.clone().unwrap_or_else(default_out_dir);
     for job in jobs {
-        let report = job.exp.run_map(&job.map, opts.seed, opts.threads);
+        let report = job.exp.run_map(&job.map, opts.seed, opts.parallelism);
         emit(&report, opts.format, &out);
         save_params(&job, &report, &out);
     }
@@ -559,12 +580,51 @@ mod tests {
                 ids: vec!["e01".into(), "e02".into()],
                 opts: RunOpts {
                     seed: Some(7),
-                    threads: Threads::Fixed(2),
+                    parallelism: Parallelism {
+                        trial_workers: Workers::fixed(2),
+                        ..Parallelism::default()
+                    },
                     format: OutputFormat::Csv,
                     out: Some(PathBuf::from("/tmp/x")),
                     ..RunOpts::default()
                 },
             })
+        );
+        // `--parallelism` accepts a bare trial count, a TRIALSxSHARDS
+        // pair, and `auto` on either axis; `--threads N` is its alias.
+        for (spec, expected) in [
+            ("4", Parallelism::parse("4").expect("valid")),
+            (
+                "2x4",
+                Parallelism {
+                    trial_workers: Workers::fixed(2),
+                    shard_workers: Workers::fixed(4),
+                },
+            ),
+            (
+                "autox4",
+                Parallelism {
+                    trial_workers: Workers::Auto,
+                    shard_workers: Workers::fixed(4),
+                },
+            ),
+            ("auto", Parallelism::auto()),
+        ] {
+            assert_eq!(
+                p(&["run", "e06", "--parallelism", spec]),
+                Ok(Command::Run {
+                    ids: vec!["e06".into()],
+                    opts: RunOpts {
+                        parallelism: expected,
+                        ..RunOpts::default()
+                    },
+                }),
+                "--parallelism {spec}"
+            );
+        }
+        assert_eq!(
+            p(&["run", "e06", "--threads", "2"]),
+            p(&["run", "e06", "--parallelism", "2"])
         );
         assert_eq!(
             p(&["all", "--quick", "--format", "json"]),
@@ -616,6 +676,17 @@ mod tests {
                 flag: "--threads",
                 value: "0".into()
             })
+        );
+        for bad in ["0", "2x0", "0x2", "x4", "2x", "fast", "2x2x2"] {
+            assert_eq!(
+                p(&["run", "e06", "--parallelism", bad]),
+                Err(CliError::BadParallelism(bad.into())),
+                "--parallelism {bad}"
+            );
+        }
+        assert_eq!(
+            p(&["run", "e06", "--parallelism"]),
+            Err(CliError::MissingValue("--parallelism"))
         );
         assert_eq!(
             p(&["run", "e06", "--format", "xml"]),
@@ -683,6 +754,7 @@ mod tests {
             ),
             (CliError::BadFormat("xml".into()), "xml"),
             (CliError::BadSet("kv".into()), "KEY=VALUE"),
+            (CliError::BadParallelism("2x".into()), "--parallelism"),
         ] {
             assert!(err.to_string().contains(needle), "{err:?}");
         }

@@ -17,7 +17,7 @@ use crate::experiment::Experiment;
 use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::predictions;
 use crate::report::Report;
-use crate::runner::{run_trials_on, Threads};
+use crate::runner::{run_trials_on, Parallelism};
 use crate::table::Table;
 
 /// Report title (also the registry's [`Experiment::title`]).
@@ -103,20 +103,20 @@ impl Experiment for E01 {
     fn params(&self) -> ParamSchema {
         schema()
     }
-    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+    fn run(&self, params: &ParamMap, seed: Seed, parallelism: Parallelism) -> Report {
         let mut cfg = Config::from_params(params);
         cfg.seed = seed.value();
-        run_on(&cfg, threads)
+        run_on(&cfg, parallelism)
     }
 }
 
 /// Runs E01 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    run_on(cfg, Threads::Auto)
+    run_on(cfg, Parallelism::default())
 }
 
 /// [`run`] with an explicit worker policy (the registry path).
-pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+pub fn run_on(cfg: &Config, parallelism: Parallelism) -> Report {
     let mut report = Report::new("E01", TITLE, cfg.seed);
     let mut table = Table::new(
         "Sync Two-Choices with gap z*sqrt(n ln n)",
@@ -138,7 +138,7 @@ pub fn run_on(cfg: &Config, threads: Threads) -> Report {
             let results = run_trials_on(
                 cfg.trials,
                 Seed::new(cfg.seed ^ (n << 8) ^ k as u64),
-                threads,
+                parallelism,
                 {
                     let counts = counts.clone();
                     move |_, seed| {

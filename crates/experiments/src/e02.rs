@@ -17,7 +17,7 @@ use crate::distributions::{theorem_11_gap, InitialDistribution};
 use crate::experiment::Experiment;
 use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::{run_trials_on, Threads};
+use crate::runner::{run_trials_on, Parallelism};
 use crate::table::Table;
 
 /// Report title (also the registry's [`Experiment::title`]).
@@ -103,20 +103,20 @@ impl Experiment for E02 {
     fn params(&self) -> ParamSchema {
         schema()
     }
-    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+    fn run(&self, params: &ParamMap, seed: Seed, parallelism: Parallelism) -> Report {
         let mut cfg = Config::from_params(params);
         cfg.seed = seed.value();
-        run_on(&cfg, threads)
+        run_on(&cfg, parallelism)
     }
 }
 
 /// Runs E02 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    run_on(cfg, Threads::Auto)
+    run_on(cfg, Parallelism::default())
 }
 
 /// [`run`] with an explicit worker policy (the registry path).
-pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+pub fn run_on(cfg: &Config, parallelism: Parallelism) -> Report {
     let mut report = Report::new("E02", TITLE, cfg.seed);
     let mut table = Table::new(
         format!("Sync Two-Choices at n = {}, gap z*sqrt(n ln n)", cfg.n),
@@ -137,7 +137,7 @@ pub fn run_on(cfg: &Config, threads: Threads) -> Report {
         let results = run_trials_on(
             cfg.trials,
             Seed::new(cfg.seed ^ (k as u64) << 3),
-            threads,
+            parallelism,
             {
                 let counts = counts.clone();
                 move |_, seed| {

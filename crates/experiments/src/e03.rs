@@ -15,7 +15,7 @@ use crate::distributions::{theorem_11_gap, InitialDistribution};
 use crate::experiment::Experiment;
 use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::{run_trials_on, Threads};
+use crate::runner::{run_trials_on, Parallelism};
 use crate::table::Table;
 
 /// Report title (also the registry's [`Experiment::title`]).
@@ -104,20 +104,20 @@ impl Experiment for E03 {
     fn params(&self) -> ParamSchema {
         schema()
     }
-    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+    fn run(&self, params: &ParamMap, seed: Seed, parallelism: Parallelism) -> Report {
         let mut cfg = Config::from_params(params);
         cfg.seed = seed.value();
-        run_on(&cfg, threads)
+        run_on(&cfg, parallelism)
     }
 }
 
 /// Runs E03 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    run_on(cfg, Threads::Auto)
+    run_on(cfg, Parallelism::default())
 }
 
 /// [`run`] with an explicit worker policy (the registry path).
-pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+pub fn run_on(cfg: &Config, parallelism: Parallelism) -> Report {
     let mut report = Report::new("E03", TITLE, cfg.seed);
     let mut table = Table::new(
         format!(
@@ -149,7 +149,7 @@ pub fn run_on(cfg: &Config, threads: Threads) -> Report {
         let Ok(counts) = dist.counts(n) else { continue };
         let budget = 200_000;
 
-        let results = run_trials_on(cfg.trials, Seed::new(cfg.seed ^ gap), threads, {
+        let results = run_trials_on(cfg.trials, Seed::new(cfg.seed ^ gap), parallelism, {
             let counts = counts.clone();
             move |_, seed| {
                 Sim::builder()

@@ -18,7 +18,7 @@ use crate::distributions::InitialDistribution;
 use crate::experiment::Experiment;
 use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::{run_trials_on, Threads};
+use crate::runner::{run_trials_on, Parallelism};
 use crate::table::Table;
 
 /// Report title (also the registry's [`Experiment::title`]).
@@ -107,20 +107,20 @@ impl Experiment for E06 {
     fn params(&self) -> ParamSchema {
         schema()
     }
-    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+    fn run(&self, params: &ParamMap, seed: Seed, parallelism: Parallelism) -> Report {
         let mut cfg = Config::from_params(params);
         cfg.seed = seed.value();
-        run_on(&cfg, threads)
+        run_on(&cfg, parallelism)
     }
 }
 
 /// Runs E06 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    run_on(cfg, Threads::Auto)
+    run_on(cfg, Parallelism::default())
 }
 
 /// [`run`] with an explicit worker policy (the registry path).
-pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+pub fn run_on(cfg: &Config, parallelism: Parallelism) -> Report {
     let mut report = Report::new("E06", TITLE, cfg.seed);
     let mut table = Table::new(
         format!(
@@ -147,7 +147,7 @@ pub fn run_on(cfg: &Config, threads: Threads) -> Report {
         };
         let params = Params::for_network_with_eps(n as usize, cfg.k, cfg.eps);
 
-        let results = run_trials_on(cfg.trials, Seed::new(cfg.seed ^ (n << 4)), threads, {
+        let results = run_trials_on(cfg.trials, Seed::new(cfg.seed ^ (n << 4)), parallelism, {
             let counts = counts.clone();
             move |_, seed| {
                 let outcome = Sim::builder()

@@ -18,7 +18,7 @@ use crate::experiment::Experiment;
 use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::predictions;
 use crate::report::Report;
-use crate::runner::{run_trials_on, Threads};
+use crate::runner::{run_trials_on, Parallelism};
 use crate::table::Table;
 
 /// Report title (also the registry's [`Experiment::title`]).
@@ -108,20 +108,20 @@ impl Experiment for E07 {
     fn params(&self) -> ParamSchema {
         schema()
     }
-    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+    fn run(&self, params: &ParamMap, seed: Seed, parallelism: Parallelism) -> Report {
         let mut cfg = Config::from_params(params);
         cfg.seed = seed.value();
-        run_on(&cfg, threads)
+        run_on(&cfg, parallelism)
     }
 }
 
 /// Runs E07 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    run_on(cfg, Threads::Auto)
+    run_on(cfg, Parallelism::default())
 }
 
 /// [`run`] with an explicit worker policy (the registry path).
-pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+pub fn run_on(cfg: &Config, parallelism: Parallelism) -> Report {
     let mut report = Report::new("E07", TITLE, cfg.seed);
     let mut table = Table::new(
         format!("RapidSim at n = {}, eps = {}", cfg.n, cfg.eps),
@@ -139,7 +139,7 @@ pub fn run_on(cfg: &Config, threads: Threads) -> Report {
         let results = run_trials_on(
             cfg.trials,
             Seed::new(cfg.seed ^ (k as u64) << 5),
-            threads,
+            parallelism,
             {
                 let counts = counts.clone();
                 move |_, seed| {

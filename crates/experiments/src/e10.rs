@@ -21,7 +21,7 @@ use crate::distributions::InitialDistribution;
 use crate::experiment::Experiment;
 use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::{run_trials_on, Threads};
+use crate::runner::{run_trials_on, Parallelism};
 use crate::table::Table;
 
 /// Report title (also the registry's [`Experiment::title`]).
@@ -107,10 +107,10 @@ impl Experiment for E10 {
     fn params(&self) -> ParamSchema {
         schema()
     }
-    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+    fn run(&self, params: &ParamMap, seed: Seed, parallelism: Parallelism) -> Report {
         let mut cfg = Config::from_params(params);
         cfg.seed = seed.value();
-        run_on(&cfg, threads)
+        run_on(&cfg, parallelism)
     }
 }
 
@@ -170,11 +170,11 @@ fn trial(n: u64, k: usize, eps: f64, seed: Seed) -> Option<(f64, f64, f64)> {
 
 /// Runs E10 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    run_on(cfg, Threads::Auto)
+    run_on(cfg, Parallelism::default())
 }
 
 /// [`run`] with an explicit worker policy (the registry path).
-pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+pub fn run_on(cfg: &Config, parallelism: Parallelism) -> Report {
     let mut report = Report::new("E10", TITLE, cfg.seed);
     let mut table = Table::new(
         format!(
@@ -196,7 +196,7 @@ pub fn run_on(cfg: &Config, threads: Threads) -> Report {
         let results = run_trials_on(
             cfg.trials,
             Seed::new(cfg.seed ^ (k as u64) << 6),
-            threads,
+            parallelism,
             |_, seed| trial(cfg.n, k, cfg.eps, seed),
         );
         let valid: Vec<(f64, f64, f64)> = results.into_iter().flatten().collect();

@@ -15,7 +15,7 @@ use rapid_stats::OnlineStats;
 use crate::experiment::Experiment;
 use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::{run_trials_on, Threads};
+use crate::runner::{run_trials_on, Parallelism};
 use crate::table::Table;
 
 /// Report title (also the registry's [`Experiment::title`]).
@@ -106,20 +106,20 @@ impl Experiment for E11 {
     fn params(&self) -> ParamSchema {
         schema()
     }
-    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+    fn run(&self, params: &ParamMap, seed: Seed, parallelism: Parallelism) -> Report {
         let mut cfg = Config::from_params(params);
         cfg.seed = seed.value();
-        run_on(&cfg, threads)
+        run_on(&cfg, parallelism)
     }
 }
 
 /// Runs E11 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    run_on(cfg, Threads::Auto)
+    run_on(cfg, Parallelism::default())
 }
 
 /// [`run`] with an explicit worker policy (the registry path).
-pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+pub fn run_on(cfg: &Config, parallelism: Parallelism) -> Report {
     let mut report = Report::new("E11", TITLE, cfg.seed);
     let mut table = Table::new(
         format!(
@@ -146,7 +146,7 @@ pub fn run_on(cfg: &Config, threads: Threads) -> Report {
             let results = run_trials_on(
                 cfg.trials,
                 Seed::new(cfg.seed ^ (n << 3) ^ (eps * 100.0) as u64),
-                threads,
+                parallelism,
                 move |_, seed| {
                     let outcome = Sim::builder()
                         .topology(Complete::new(n as usize))

@@ -21,7 +21,7 @@ use crate::distributions::InitialDistribution;
 use crate::experiment::Experiment;
 use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::{run_trials_on, Threads};
+use crate::runner::{run_trials_on, Parallelism};
 use crate::table::Table;
 
 /// Report title (also the registry's [`Experiment::title`]).
@@ -116,10 +116,10 @@ impl Experiment for E12 {
     fn params(&self) -> ParamSchema {
         schema()
     }
-    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+    fn run(&self, params: &ParamMap, seed: Seed, parallelism: Parallelism) -> Report {
         let mut cfg = Config::from_params(params);
         cfg.seed = seed.value();
-        run_on(&cfg, threads)
+        run_on(&cfg, parallelism)
     }
 }
 
@@ -147,11 +147,11 @@ fn run_one(n: u64, k: usize, eps: f64, rate: f64, seed: Seed) -> Option<(f64, bo
 
 /// Runs E12 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    run_on(cfg, Threads::Auto)
+    run_on(cfg, Parallelism::default())
 }
 
 /// [`run`] with an explicit worker policy (the registry path).
-pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+pub fn run_on(cfg: &Config, parallelism: Parallelism) -> Report {
     let mut report = Report::new("E12", TITLE, cfg.seed);
     let mut table = Table::new(
         format!(
@@ -174,7 +174,7 @@ pub fn run_on(cfg: &Config, threads: Threads) -> Report {
             let results = run_trials_on(
                 cfg.trials,
                 Seed::new(cfg.seed ^ (n << 5) ^ (rate * 8.0) as u64),
-                threads,
+                parallelism,
                 move |_, seed| run_one(n, cfg.k, cfg.eps, rate, seed),
             );
             let valid: Vec<(f64, bool)> = results.into_iter().flatten().collect();

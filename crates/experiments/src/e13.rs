@@ -20,7 +20,7 @@ use crate::distributions::InitialDistribution;
 use crate::experiment::Experiment;
 use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::{run_trials_on, Threads};
+use crate::runner::{run_trials_on, Parallelism};
 use crate::table::Table;
 
 /// Report title (also the registry's [`Experiment::title`]).
@@ -118,10 +118,10 @@ impl Experiment for E13 {
     fn params(&self) -> ParamSchema {
         schema()
     }
-    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+    fn run(&self, params: &ParamMap, seed: Seed, parallelism: Parallelism) -> Report {
         let mut cfg = Config::from_params(params);
         cfg.seed = seed.value();
-        run_on(&cfg, threads)
+        run_on(&cfg, parallelism)
     }
 }
 
@@ -205,11 +205,11 @@ fn run_entrant(
 
 /// Runs E13 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    run_on(cfg, Threads::Auto)
+    run_on(cfg, Parallelism::default())
 }
 
 /// [`run`] with an explicit worker policy (the registry path).
-pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+pub fn run_on(cfg: &Config, parallelism: Parallelism) -> Report {
     let mut report = Report::new("E13", TITLE, cfg.seed);
     let mut table = Table::new(
         format!(
@@ -244,7 +244,7 @@ pub fn run_on(cfg: &Config, threads: Threads) -> Report {
             let results = run_trials_on(
                 cfg.trials,
                 Seed::new(cfg.seed ^ (k as u64) << 7 ^ e.name().len() as u64),
-                threads,
+                parallelism,
                 {
                     let counts = counts.clone();
                     move |_, seed| run_entrant(e, cfg.n, k, cfg.eps, &counts, seed)

@@ -28,7 +28,7 @@ use crate::distributions::InitialDistribution;
 use crate::experiment::Experiment;
 use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::{run_trials_on, Threads};
+use crate::runner::{run_trials_on, Parallelism};
 use crate::table::Table;
 
 /// Report title (also the registry's [`Experiment::title`]).
@@ -117,10 +117,10 @@ impl Experiment for E14 {
     fn params(&self) -> ParamSchema {
         schema()
     }
-    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+    fn run(&self, params: &ParamMap, seed: Seed, parallelism: Parallelism) -> Report {
         let mut cfg = Config::from_params(params);
         cfg.seed = seed.value();
-        run_on(&cfg, threads)
+        run_on(&cfg, parallelism)
     }
 }
 
@@ -149,7 +149,7 @@ fn run_cell(
     asynchronous: bool,
     cfg: &Config,
     master: Seed,
-    threads: Threads,
+    parallelism: Parallelism,
 ) -> Option<(OnlineStats, f64)> {
     let side = (cfg.n as f64).sqrt() as usize;
     let n = match topo {
@@ -164,7 +164,7 @@ fn run_cell(
     let k = cfg.k;
     let trials = cfg.trials;
 
-    let results = run_trials_on(trials, master, threads, move |_, seed| {
+    let results = run_trials_on(trials, master, parallelism, move |_, seed| {
         // Build the topology fresh per trial (random graphs resample).
         let topology: rapid_core::facade::BoxedTopology = match topo {
             Topo::Clique => Box::new(Complete::new(n)),
@@ -226,11 +226,11 @@ fn run_cell(
 
 /// Runs E14 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    run_on(cfg, Threads::Auto)
+    run_on(cfg, Parallelism::default())
 }
 
 /// [`run`] with an explicit worker policy (the registry path).
-pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+pub fn run_on(cfg: &Config, parallelism: Parallelism) -> Report {
     let mut report = Report::new("E14", TITLE, cfg.seed);
     let mut table = Table::new(
         format!(
@@ -247,7 +247,7 @@ pub fn run_on(cfg: &Config, threads: Threads) -> Report {
                 asynchronous,
                 cfg,
                 Seed::new(cfg.seed ^ topo.label().len() as u64 ^ (asynchronous as u64) << 9),
-                threads,
+                parallelism,
             ) else {
                 continue;
             };

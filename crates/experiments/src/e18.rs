@@ -23,7 +23,7 @@ use crate::distributions::InitialDistribution;
 use crate::experiment::Experiment;
 use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::{run_trials_on, Threads};
+use crate::runner::{run_trials_on, Parallelism};
 use crate::table::Table;
 
 /// Report title (also the registry's [`Experiment::title`]).
@@ -123,10 +123,10 @@ impl Experiment for E18 {
     fn params(&self) -> ParamSchema {
         schema()
     }
-    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+    fn run(&self, params: &ParamMap, seed: Seed, parallelism: Parallelism) -> Report {
         let mut cfg = Config::from_params(params);
         cfg.seed = seed.value();
-        run_on(&cfg, threads)
+        run_on(&cfg, parallelism)
     }
 }
 
@@ -163,11 +163,11 @@ fn run_one(cfg: &Config, frac: f64, seed: Seed) -> Option<(f64, bool)> {
 
 /// Runs E18 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    run_on(cfg, Threads::Auto)
+    run_on(cfg, Parallelism::default())
 }
 
 /// [`run`] with an explicit worker policy (the registry path).
-pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+pub fn run_on(cfg: &Config, parallelism: Parallelism) -> Report {
     let mut report = Report::new("E18", TITLE, cfg.seed);
     let mut table = Table::new(
         format!(
@@ -182,7 +182,7 @@ pub fn run_on(cfg: &Config, threads: Threads) -> Report {
         let results = run_trials_on(
             cfg.trials,
             Seed::new(cfg.seed ^ (frac * 1000.0) as u64),
-            threads,
+            parallelism,
             move |_, seed| run_one(&cfg2, frac, seed),
         );
         let valid: Vec<&(f64, bool)> = results.iter().flatten().collect();

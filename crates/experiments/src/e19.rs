@@ -25,7 +25,7 @@ use crate::distributions::InitialDistribution;
 use crate::experiment::Experiment;
 use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::{run_trials_on, Threads};
+use crate::runner::{run_trials_on, Parallelism};
 use crate::table::Table;
 
 /// Report title (also the registry's [`Experiment::title`]).
@@ -125,10 +125,10 @@ impl Experiment for E19 {
     fn params(&self) -> ParamSchema {
         schema()
     }
-    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+    fn run(&self, params: &ParamMap, seed: Seed, parallelism: Parallelism) -> Report {
         let mut cfg = Config::from_params(params);
         cfg.seed = seed.value();
-        run_on(&cfg, threads)
+        run_on(&cfg, parallelism)
     }
 }
 
@@ -157,11 +157,11 @@ fn run_one(cfg: &Config, kind: AdversaryKind, budget: u64, seed: Seed) -> Option
 
 /// Runs E19 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    run_on(cfg, Threads::Auto)
+    run_on(cfg, Parallelism::default())
 }
 
 /// [`run`] with an explicit worker policy (the registry path).
-pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+pub fn run_on(cfg: &Config, parallelism: Parallelism) -> Report {
     let mut report = Report::new("E19", TITLE, cfg.seed);
     let mut table = Table::new(
         format!(
@@ -186,7 +186,7 @@ pub fn run_on(cfg: &Config, threads: Threads) -> Report {
             let results = run_trials_on(
                 cfg.trials,
                 Seed::new(cfg.seed ^ (frac * 1000.0) as u64 ^ ((kind as u64) << 40)),
-                threads,
+                parallelism,
                 move |_, seed| run_one(&cfg2, kind, budget, seed),
             );
             let valid: Vec<&(f64, bool)> = results.iter().flatten().collect();

@@ -17,7 +17,7 @@ use rapid_sim::rng::Seed;
 use crate::experiment::Experiment;
 use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::Threads;
+use crate::runner::Parallelism;
 use crate::table::Table;
 
 /// Report title (also the registry's [`Experiment::title`]).
@@ -106,10 +106,10 @@ impl Experiment for E20 {
     fn params(&self) -> ParamSchema {
         schema()
     }
-    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+    fn run(&self, params: &ParamMap, seed: Seed, parallelism: Parallelism) -> Report {
         let mut cfg = Config::from_params(params);
         cfg.seed = seed.value();
-        run_on(&cfg, threads)
+        run_on(&cfg, parallelism)
     }
 }
 
@@ -122,13 +122,13 @@ fn biased_counts(n: u64, k: usize, eps: f64) -> Vec<u64> {
 
 /// Runs E20 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    run_on(cfg, Threads::Auto)
+    run_on(cfg, Parallelism::default())
 }
 
 /// [`run`] with an explicit worker policy (the registry path). The
 /// cross-validation harness is deliberately single-threaded (its trial
-/// seeds are part of the comparison contract), so `threads` is unused.
-pub fn run_on(cfg: &Config, _threads: Threads) -> Report {
+/// seeds are part of the comparison contract), so `parallelism` is unused.
+pub fn run_on(cfg: &Config, _parallelism: Parallelism) -> Report {
     let mut report = Report::new("E20", TITLE, cfg.seed);
     let mut table = Table::new(
         format!(

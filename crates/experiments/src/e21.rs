@@ -20,7 +20,7 @@ use crate::distributions::InitialDistribution;
 use crate::experiment::Experiment;
 use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::{run_trials_on, Threads};
+use crate::runner::{run_trials_on, Parallelism};
 use crate::table::Table;
 
 /// Report title (also the registry's [`Experiment::title`]).
@@ -117,10 +117,10 @@ impl Experiment for E21 {
     fn params(&self) -> ParamSchema {
         schema()
     }
-    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report {
+    fn run(&self, params: &ParamMap, seed: Seed, parallelism: Parallelism) -> Report {
         let mut cfg = Config::from_params(params);
         cfg.seed = seed.value();
-        run_on(&cfg, threads)
+        run_on(&cfg, parallelism)
     }
 }
 
@@ -148,11 +148,11 @@ fn run_one(n: u64, k: usize, eps: f64, rapid: bool, seed: Seed) -> Option<(f64, 
 
 /// Runs E21 and returns its report.
 pub fn run(cfg: &Config) -> Report {
-    run_on(cfg, Threads::Auto)
+    run_on(cfg, Parallelism::default())
 }
 
 /// [`run`] with an explicit worker policy (the registry path).
-pub fn run_on(cfg: &Config, threads: Threads) -> Report {
+pub fn run_on(cfg: &Config, parallelism: Parallelism) -> Report {
     let mut report = Report::new("E21", TITLE, cfg.seed);
     let mut table = Table::new(
         format!(
@@ -181,7 +181,7 @@ pub fn run_on(cfg: &Config, threads: Threads) -> Report {
                 let results = run_trials_on(
                     cfg.trials,
                     Seed::new(cfg.seed ^ n ^ ((k as u64) << 32) ^ u64::from(rapid)),
-                    threads,
+                    parallelism,
                     move |_, seed| run_one(n, k, cfg.eps, rapid, seed),
                 );
                 let valid: Vec<&(f64, bool, f64)> = results.iter().flatten().collect();

@@ -18,7 +18,7 @@ use rapid_sim::rng::Seed;
 use crate::experiment::Experiment;
 use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::Threads;
+use crate::runner::Parallelism;
 use crate::table::Table;
 
 /// Report title (also the registry's [`Experiment::title`]).
@@ -96,7 +96,7 @@ impl Experiment for E23 {
     fn params(&self) -> ParamSchema {
         schema()
     }
-    fn run(&self, params: &ParamMap, seed: Seed, _threads: Threads) -> Report {
+    fn run(&self, params: &ParamMap, seed: Seed, _parallelism: Parallelism) -> Report {
         let mut cfg = Config::from_params(params);
         cfg.seed = seed.value();
         run(&cfg)

@@ -19,7 +19,7 @@ use rapid_sim::rng::Seed;
 use crate::experiment::Experiment;
 use crate::params::{ParamMap, ParamSchema, ParamSpec};
 use crate::report::Report;
-use crate::runner::Threads;
+use crate::runner::{Parallelism, Workers};
 use crate::table::Table;
 
 /// The protocols every run deploys.
@@ -101,7 +101,7 @@ impl Experiment for E24 {
     fn params(&self) -> ParamSchema {
         schema()
     }
-    fn run(&self, params: &ParamMap, seed: Seed, _threads: Threads) -> Report {
+    fn run(&self, params: &ParamMap, seed: Seed, _parallelism: Parallelism) -> Report {
         let mut cfg = Config::from_params(params);
         cfg.seed = seed.value();
         run(&cfg)
@@ -134,7 +134,10 @@ pub fn run(cfg: &Config) -> Report {
                 protocol: protocol.to_string(),
                 transport: TransportKind::Udp,
                 seed: cfg.seed ^ (trial + 1),
-                workers: cfg.workers as usize,
+                parallelism: Parallelism {
+                    trial_workers: Workers::fixed(cfg.workers as usize),
+                    ..Parallelism::default()
+                },
                 ..RunOpts::default()
             };
             match execute(&opts) {

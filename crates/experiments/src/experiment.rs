@@ -12,7 +12,7 @@ use rapid_sim::rng::Seed;
 
 use crate::params::{ParamMap, ParamSchema, Preset};
 use crate::report::Report;
-use crate::runner::Threads;
+use crate::runner::Parallelism;
 
 /// One reproducible experiment from the paper.
 ///
@@ -34,8 +34,10 @@ pub trait Experiment: Sync {
     fn params(&self) -> ParamSchema;
 
     /// Runs the experiment. `seed` overrides the map's `seed` parameter
-    /// as the master seed; `threads` bounds `run_trials` workers.
-    fn run(&self, params: &ParamMap, seed: Seed, threads: Threads) -> Report;
+    /// as the master seed; `parallelism.trial_workers` bounds
+    /// `run_trials` workers and `parallelism.shard_workers` is forwarded
+    /// to sharded micro runs where the experiment uses them.
+    fn run(&self, params: &ParamMap, seed: Seed, parallelism: Parallelism) -> Report;
 
     /// A parameter map initialised from `preset`.
     fn preset(&self, preset: Preset) -> ParamMap {
@@ -44,8 +46,13 @@ pub trait Experiment: Sync {
 
     /// Runs with the map's own `seed` parameter unless `seed_override`
     /// is given — the CLI's `--seed` semantics.
-    fn run_map(&self, params: &ParamMap, seed_override: Option<u64>, threads: Threads) -> Report {
+    fn run_map(
+        &self,
+        params: &ParamMap,
+        seed_override: Option<u64>,
+        parallelism: Parallelism,
+    ) -> Report {
         let seed = seed_override.unwrap_or_else(|| params.u64("seed"));
-        self.run(params, Seed::new(seed), threads)
+        self.run(params, Seed::new(seed), parallelism)
     }
 }

@@ -33,6 +33,7 @@
 //! | [`e22`] | macro engine: the `√(n log n)` bias threshold at scale |
 //! | [`e23`] | rapid-net: the channel deployment agrees with the micro engine |
 //! | [`e24`] | rapid-net: a UDP loopback deployment converges end to end |
+//! | [`e25`] | sharded micro engine: per-node runs to n = 10^7 across topologies |
 //!
 //! Each module exposes a `Config` (with [`Default`] = paper scale and a
 //! `quick()` preset for CI), a `run(&Config) -> Report`, and a zero-sized
@@ -84,13 +85,15 @@ pub mod e21;
 pub mod e22;
 pub mod e23;
 pub mod e24;
+pub mod e25;
 
 pub use distributions::InitialDistribution;
 pub use experiment::Experiment;
 pub use params::{ParamError, ParamMap, ParamSchema, ParamSpec, ParamValue, Preset};
 pub use registry::{find, registry};
 pub use report::Report;
-pub use runner::{run_trials, run_trials_on, Threads};
+#[allow(deprecated)]
+pub use runner::{run_trials, run_trials_on, Parallelism, Threads, Workers};
 pub use table::Table;
 
 /// Convenient glob-import of the harness surface.
@@ -100,6 +103,7 @@ pub mod prelude {
     pub use crate::params::{ParamError, ParamMap, ParamSchema, ParamSpec, ParamValue, Preset};
     pub use crate::registry::{find, registry};
     pub use crate::report::Report;
-    pub use crate::runner::{run_trials, run_trials_on, Threads};
+    #[allow(deprecated)]
+    pub use crate::runner::{run_trials, run_trials_on, Parallelism, Threads, Workers};
     pub use crate::table::Table;
 }

@@ -2,20 +2,33 @@
 
 use rapid_sim::rng::Seed;
 
+pub use rapid_sim::parallelism::{Parallelism, Workers};
+
 /// Worker-thread policy for [`run_trials_on`].
 ///
 /// Results never depend on this choice — trial seeds are derived from the
 /// trial index, not from scheduling — so it only trades wall-clock time
 /// for cores.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+#[deprecated(note = "use `Parallelism` (the shared trial/shard worker axis); \
+                     `Threads::Fixed(n)` maps to `Parallelism::parse(\"n\")`")]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Threads {
     /// One worker per available core (the default).
-    #[default]
     Auto,
     /// Exactly this many workers.
     Fixed(usize),
 }
 
+// Not derived: the derive expansion would reference the deprecated
+// variant outside this module's `#[allow(deprecated)]` scope.
+#[allow(deprecated, clippy::derivable_impls)]
+impl Default for Threads {
+    fn default() -> Self {
+        Threads::Auto
+    }
+}
+
+#[allow(deprecated)]
 impl Threads {
     /// Shorthand for [`Threads::Auto`].
     pub fn auto() -> Self {
@@ -33,21 +46,34 @@ impl Threads {
 
     /// The concrete worker count for a run of `trials` trials.
     pub fn resolve(self, trials: u64) -> usize {
-        let n = match self {
-            Threads::Auto => std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1),
-            Threads::Fixed(n) => n.max(1),
-        };
-        n.min(trials.max(1) as usize)
+        Parallelism::from(self)
+            .trial_workers
+            .resolve(trials.max(1) as usize)
     }
 }
 
+#[allow(deprecated)]
 impl std::fmt::Display for Threads {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Threads::Auto => write!(f, "auto"),
             Threads::Fixed(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<Threads> for Parallelism {
+    /// The legacy policy named only the trial axis; shard workers stay at
+    /// their sequential default — exactly what `--threads N` used to mean.
+    fn from(threads: Threads) -> Self {
+        let trial_workers = match threads {
+            Threads::Auto => Workers::Auto,
+            Threads::Fixed(n) => Workers::fixed(n),
+        };
+        Parallelism {
+            trial_workers,
+            ..Parallelism::default()
         }
     }
 }
@@ -77,11 +103,21 @@ impl std::fmt::Display for Threads {
 /// assert!(results.iter().enumerate().all(|(i, r)| r.0 == i as u64));
 /// ```
 pub fn run_trials<T: Send>(trials: u64, master: Seed, f: impl Fn(u64, Seed) -> T + Sync) -> Vec<T> {
-    run_trials_on(trials, master, Threads::Auto, f)
+    run_trials_on(
+        trials,
+        master,
+        Parallelism {
+            trial_workers: Workers::Auto,
+            ..Parallelism::default()
+        },
+        f,
+    )
 }
 
-/// [`run_trials`] with an explicit [`Threads`] policy (the `xp --threads`
-/// path).
+/// [`run_trials`] with an explicit [`Parallelism`] policy (the
+/// `xp --parallelism` path); only the `trial_workers` axis applies here —
+/// `shard_workers` is consumed inside each trial by the sharded micro
+/// engine.
 ///
 /// # Panics
 ///
@@ -89,11 +125,11 @@ pub fn run_trials<T: Send>(trials: u64, master: Seed, f: impl Fn(u64, Seed) -> T
 pub fn run_trials_on<T: Send>(
     trials: u64,
     master: Seed,
-    threads: Threads,
+    parallelism: Parallelism,
     f: impl Fn(u64, Seed) -> T + Sync,
 ) -> Vec<T> {
     assert!(trials > 0, "need at least one trial");
-    let threads = threads.resolve(trials);
+    let threads = parallelism.trial_workers.resolve(trials as usize);
 
     if threads <= 1 {
         return (0..trials).map(|i| f(i, master.child(i))).collect();
@@ -160,24 +196,42 @@ mod tests {
     }
 
     #[test]
-    fn forced_thread_counts_agree() {
-        // The satellite determinism guarantee: one worker and many workers
-        // produce identical result vectors for the same master seed.
+    fn forced_worker_counts_agree() {
+        // The determinism guarantee: one worker and many workers produce
+        // identical result vectors for the same master seed.
         let f = |i: u64, seed: Seed| {
             let mut rng = SimRng::from_seed_value(seed);
             (i, rng.bounded(1_000_000))
         };
-        let one = run_trials_on(24, Seed::new(9), Threads::fixed(1), f);
-        let many = run_trials_on(24, Seed::new(9), Threads::fixed(8), f);
-        let auto = run_trials_on(24, Seed::new(9), Threads::Auto, f);
+        let fixed = |n| Parallelism {
+            trial_workers: Workers::fixed(n),
+            ..Parallelism::default()
+        };
+        let one = run_trials_on(24, Seed::new(9), fixed(1), f);
+        let many = run_trials_on(24, Seed::new(9), fixed(8), f);
+        let auto = run_trials_on(24, Seed::new(9), Parallelism::auto(), f);
         assert_eq!(one, many);
         assert_eq!(one, auto);
     }
 
     #[test]
-    fn thread_policy_resolution() {
+    #[allow(deprecated)]
+    fn threads_shim_maps_onto_parallelism() {
+        // The deprecated policy and its Parallelism image resolve to the
+        // same worker counts, so migrated call sites behave identically.
+        assert_eq!(
+            Parallelism::from(Threads::Auto),
+            Parallelism {
+                trial_workers: Workers::Auto,
+                shard_workers: Workers::fixed(1),
+            }
+        );
+        assert_eq!(
+            Parallelism::from(Threads::Fixed(4)).trial_workers,
+            Workers::fixed(4)
+        );
+        // `fixed(0)` kept its 0-means-auto contract through the shim.
         assert_eq!(Threads::fixed(0), Threads::Auto);
-        assert_eq!(Threads::fixed(3), Threads::Fixed(3));
         assert_eq!(Threads::Fixed(8).resolve(2), 2);
         assert_eq!(Threads::Fixed(2).resolve(100), 2);
         assert!(Threads::Auto.resolve(100) >= 1);

@@ -6,7 +6,7 @@
 use rapid_experiments::prelude::*;
 use rapid_experiments::{
     e01, e02, e03, e04, e05, e06, e07, e08, e09, e10, e11, e12, e13, e14, e15, e16, e17, e18, e19,
-    e20, e21, e22, e23, e24,
+    e20, e21, e22, e23, e24, e25,
 };
 
 /// Every experiment's `from_params` over both presets must reproduce the
@@ -54,6 +54,7 @@ fn param_presets_match_legacy_configs_for_all_experiments() {
         e22 => e22::E22,
         e23 => e23::E23,
         e24 => e24::E24,
+        e25 => e25::E25,
     );
 }
 
@@ -65,7 +66,7 @@ fn param_presets_match_legacy_configs_for_all_experiments() {
 fn e06_registry_quick_is_bit_identical_to_legacy_path() {
     let exp = find("e06").expect("registered");
     let map = ParamMap::quick(&exp.params());
-    let new = exp.run_map(&map, None, Threads::Auto);
+    let new = exp.run_map(&map, None, Parallelism::default());
     let old = e06::run(&e06::Config::quick());
     assert_eq!(new, old);
     assert_eq!(new.to_json(), old.to_json());
@@ -78,14 +79,14 @@ fn more_registry_quick_runs_match_their_legacy_paths() {
     let exp = find("e09").expect("registered");
     let map = ParamMap::quick(&exp.params());
     assert_eq!(
-        exp.run_map(&map, None, Threads::Auto).to_json(),
+        exp.run_map(&map, None, Parallelism::default()).to_json(),
         e09::run(&e09::Config::quick()).to_json()
     );
 
     let exp = find("e01").expect("registered");
     let map = ParamMap::quick(&exp.params());
     assert_eq!(
-        exp.run_map(&map, None, Threads::Auto).to_json(),
+        exp.run_map(&map, None, Parallelism::default()).to_json(),
         e01::run(&e01::Config::quick()).to_json()
     );
 }
@@ -98,7 +99,7 @@ fn set_overrides_change_the_run() {
     let mut map = ParamMap::quick(&exp.params());
     map.set("trials", "2").expect("known key");
     map.set("ns", "128,256").expect("known key");
-    let report = exp.run_map(&map, None, Threads::Auto);
+    let report = exp.run_map(&map, None, Parallelism::default());
     let trials = report.tables[0].column_f64("trials");
     assert_eq!(trials, vec![2.0, 2.0]);
 }
@@ -108,9 +109,9 @@ fn set_overrides_change_the_run() {
 fn seed_override_is_respected() {
     let exp = find("e09").expect("registered");
     let map = ParamMap::quick(&exp.params());
-    let a = exp.run_map(&map, Some(1234), Threads::Auto);
-    let b = exp.run_map(&map, Some(1234), Threads::Auto);
-    let c = exp.run_map(&map, None, Threads::Auto);
+    let a = exp.run_map(&map, Some(1234), Parallelism::default());
+    let b = exp.run_map(&map, Some(1234), Parallelism::default());
+    let c = exp.run_map(&map, None, Parallelism::default());
     assert_eq!(a.seed, 1234);
     assert_eq!(a, b, "same seed, same report");
     assert_ne!(a, c, "default seed differs");
@@ -122,17 +123,21 @@ fn seed_override_is_respected() {
 fn forced_thread_counts_produce_identical_reports() {
     let exp = find("e09").expect("registered");
     let map = ParamMap::quick(&exp.params());
-    let one = exp.run_map(&map, None, Threads::fixed(1));
-    let many = exp.run_map(&map, None, Threads::fixed(8));
+    let fixed = |n| Parallelism {
+        trial_workers: Workers::fixed(n),
+        ..Parallelism::default()
+    };
+    let one = exp.run_map(&map, None, fixed(1));
+    let many = exp.run_map(&map, None, fixed(8));
     assert_eq!(one, many);
     assert_eq!(one.to_json(), many.to_json());
 }
 
-/// Registry completeness: all 24 ids present, unique, sorted, findable.
+/// Registry completeness: all 25 ids present, unique, sorted, findable.
 #[test]
 fn registry_is_complete() {
     let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
-    let expected: Vec<String> = (1..=24).map(|i| format!("e{i:02}")).collect();
+    let expected: Vec<String> = (1..=25).map(|i| format!("e{i:02}")).collect();
     assert_eq!(ids, expected.iter().map(String::as_str).collect::<Vec<_>>());
     for id in &expected {
         assert!(find(id).is_some(), "{id} must resolve");

@@ -56,6 +56,10 @@ impl Topology for Complete {
         NodeId::new(if r >= u.index() { r + 1 } else { r })
     }
 
+    fn complete_n(&self) -> Option<usize> {
+        Some(self.n)
+    }
+
     fn neighbors(&self, u: NodeId) -> Vec<NodeId> {
         assert!(u.index() < self.n, "node {u} out of range");
         (0..self.n)

@@ -51,6 +51,18 @@ pub trait Topology {
         self.neighbors(u).contains(&v)
     }
 
+    /// For complete graphs, the node count; `None` otherwise.
+    ///
+    /// A uniform neighbor of any node in `K_n` is a uniform draw over
+    /// the other `n − 1` nodes, so engines that only need an aggregate
+    /// of the neighbor's state (e.g. its color under a frozen snapshot)
+    /// can answer the pull from a histogram instead of a per-node
+    /// lookup. Implementations must return `Some` only when the graph
+    /// really is complete.
+    fn complete_n(&self) -> Option<usize> {
+        None
+    }
+
     /// Total number of undirected edges.
     fn edge_count(&self) -> usize {
         (0..self.n())

@@ -75,6 +75,13 @@ pub const STREAM_REGISTRY: &[StreamEntry] = &[
         consumer: "`MacroSim` τ-leap and Gillespie draws",
         introduced_in: "PR 5",
     },
+    StreamEntry {
+        id: 7,
+        owner: "sharded",
+        consumer: "`ShardedSim` per-(epoch, node) activation streams \
+                   (`child(7).child(epoch).child(node)`)",
+        introduced_in: "PR 8",
+    },
 ];
 
 /// Whether `id` is a declared stream index.
@@ -105,11 +112,11 @@ mod tests {
     }
 
     #[test]
-    fn registry_covers_exactly_children_zero_through_six() {
+    fn registry_covers_exactly_children_zero_through_seven() {
         let mut ids: Vec<u64> = STREAM_REGISTRY.iter().map(|e| e.id).collect();
         ids.sort_unstable();
-        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5, 6]);
-        assert!(is_registered(6));
-        assert!(!is_registered(7));
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert!(is_registered(7));
+        assert!(!is_registered(8));
     }
 }

@@ -28,7 +28,7 @@
 
 use std::collections::BTreeMap;
 
-use rapid_core::facade::{BuildError, EngineKind, MacroProtocol, MacroSpec, SimBuilder};
+use rapid_core::facade::{BuildError, EngineKind, MacroProtocol, MacroSpec, SimBuilder, Spec};
 use rapid_core::prelude::*;
 use rapid_sim::rng::SimRng;
 use rapid_sim::time::SimTime;
@@ -143,17 +143,37 @@ impl MacroSim {
     ///
     /// # Errors
     ///
-    /// Any [`BuildError`] from [`SimBuilder::build_macro_spec`], plus
-    /// [`BuildError::EngineMismatch`] if the builder selected
-    /// [`EngineKind::MeanField`] (use [`crate::MeanFieldSim`] for that).
+    /// Any [`BuildError`] from [`SimBuilder::build_spec`], plus
+    /// [`BuildError::EngineMismatch`] if the builder selected any other
+    /// engine kind (use [`crate::MeanFieldSim`] for
+    /// [`EngineKind::MeanField`]).
     pub fn from_builder(builder: SimBuilder) -> Result<Self, BuildError> {
-        let spec = builder.build_macro_spec()?;
-        if spec.kind != EngineKind::Macro {
-            return Err(BuildError::EngineMismatch(
-                "MeanFieldSim::from_builder for Engine::MeanField",
-            ));
+        // Dispatch on the kind before building: a mismatched micro
+        // assembly should fail fast, not materialise O(n) state first.
+        match builder.engine_kind() {
+            EngineKind::Macro => {}
+            EngineKind::MeanField => {
+                return Err(BuildError::EngineMismatch(
+                    "MeanFieldSim::from_builder for Engine::MeanField",
+                ))
+            }
+            EngineKind::Micro => {
+                return Err(BuildError::EngineMismatch(
+                    "SimBuilder::build for Engine::Micro",
+                ))
+            }
+            EngineKind::Net => {
+                return Err(BuildError::EngineMismatch(
+                    "SimBuilder::build_net_spec (run via rapid_net) for Engine::Net",
+                ))
+            }
         }
-        Ok(Self::from_spec(spec))
+        match builder.build_spec()? {
+            Spec::Macro(spec) => Ok(Self::from_spec(spec)),
+            _ => Err(BuildError::EngineMismatch(
+                "MacroSim::from_builder for Engine::Macro assemblies",
+            )),
+        }
     }
 
     /// Builds the engine from an already validated spec.
@@ -923,6 +943,8 @@ impl MacroSim {
 }
 
 #[cfg(test)]
+// The deprecated shim stays under test until it is removed.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use rapid_core::facade::Sim;

@@ -23,7 +23,7 @@
 //! predictions from [`rapid_urn::moments::fraction_variance`]). The
 //! endgame is the Two-Choices ODE from the post-amplification state.
 
-use rapid_core::facade::{BuildError, EngineKind, MacroProtocol, MacroSpec, SimBuilder};
+use rapid_core::facade::{BuildError, EngineKind, MacroProtocol, MacroSpec, SimBuilder, Spec};
 use rapid_core::prelude::*;
 
 /// RK4 time step (time units).
@@ -116,17 +116,36 @@ impl MeanFieldSim {
     ///
     /// # Errors
     ///
-    /// Any [`BuildError`] from [`SimBuilder::build_macro_spec`], plus
-    /// [`BuildError::EngineMismatch`] if the builder selected
-    /// [`EngineKind::Macro`] (use [`crate::MacroSim`] for that).
+    /// Any [`BuildError`] from [`SimBuilder::build_spec`], plus
+    /// [`BuildError::EngineMismatch`] if the builder selected any other
+    /// engine kind (use [`crate::MacroSim`] for [`EngineKind::Macro`]).
     pub fn from_builder(builder: SimBuilder) -> Result<Self, BuildError> {
-        let spec = builder.build_macro_spec()?;
-        if spec.kind != EngineKind::MeanField {
-            return Err(BuildError::EngineMismatch(
-                "MacroSim::from_builder for Engine::Macro",
-            ));
+        // Dispatch on the kind before building: a mismatched micro
+        // assembly should fail fast, not materialise O(n) state first.
+        match builder.engine_kind() {
+            EngineKind::MeanField => {}
+            EngineKind::Macro => {
+                return Err(BuildError::EngineMismatch(
+                    "MacroSim::from_builder for Engine::Macro",
+                ))
+            }
+            EngineKind::Micro => {
+                return Err(BuildError::EngineMismatch(
+                    "SimBuilder::build for Engine::Micro",
+                ))
+            }
+            EngineKind::Net => {
+                return Err(BuildError::EngineMismatch(
+                    "SimBuilder::build_net_spec (run via rapid_net) for Engine::Net",
+                ))
+            }
         }
-        Ok(Self::from_spec(spec))
+        match builder.build_spec()? {
+            Spec::MeanField(spec) => Ok(Self::from_spec(spec)),
+            _ => Err(BuildError::EngineMismatch(
+                "MeanFieldSim::from_builder for Engine::MeanField assemblies",
+            )),
+        }
     }
 
     /// Builds the engine from an already validated spec.

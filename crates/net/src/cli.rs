@@ -3,15 +3,20 @@
 //!
 //! ```text
 //! xp net run [--n N] [--k K] [--eps F] [--protocol P] [--transport T]
-//!            [--seed S] [--workers W]
+//!            [--seed S] [--parallelism SPEC]
 //! ```
 //!
 //! `--transport channel` (default) is the deterministic in-process
 //! fast path; `--transport udp` boots the real loopback deployment.
+//! `--parallelism` shares the workspace-wide worker grammar (a count or
+//! `auto`; the first axis of a `TRIALSxSHARDS` pair): for UDP runs it
+//! sizes the socket worker pool. `--workers W` stays as the historical
+//! alias.
 
 use rapid_core::asynchronous::{GossipRule, Params};
 use rapid_core::facade::{EngineKind, MacroProtocol, Sim};
 use rapid_graph::complete::Complete;
+use rapid_sim::parallelism::{Parallelism, Workers};
 use rapid_sim::rng::Seed;
 
 use crate::cluster::{Cluster, NetRun, UdpOpts};
@@ -29,7 +34,9 @@ options:
                                              (default two-choices)
   --transport T    channel | udp             (default channel)
   --seed S         master seed               (default 7)
-  --workers W      udp worker threads        (default: one per core)
+  --parallelism P  udp worker threads: a count or `auto`
+                                             (default: one per core)
+  --workers W      alias for --parallelism W (0 = auto)
 ";
 
 /// Which transport to drive.
@@ -56,8 +63,8 @@ pub struct RunOpts {
     pub transport: TransportKind,
     /// Master seed.
     pub seed: u64,
-    /// UDP worker threads (0 = auto).
-    pub workers: usize,
+    /// Worker policy; the first axis sizes the UDP worker pool.
+    pub parallelism: Parallelism,
 }
 
 impl Default for RunOpts {
@@ -69,7 +76,7 @@ impl Default for RunOpts {
             protocol: "two-choices".to_string(),
             transport: TransportKind::Channel,
             seed: 7,
-            workers: 0,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -113,10 +120,21 @@ pub fn parse(args: &[String]) -> Result<Option<RunOpts>, String> {
                             .parse()
                             .map_err(|_| "--seed expects an integer".to_string())?
                     }
+                    "--parallelism" => {
+                        opts.parallelism =
+                            Parallelism::parse(value("--parallelism")?).map_err(|_| {
+                                "--parallelism expects a count, COUNTxCOUNT or auto".to_string()
+                            })?
+                    }
                     "--workers" => {
-                        opts.workers = value("--workers")?
+                        // Historical alias; 0 keeps its means-auto contract.
+                        let w: usize = value("--workers")?
                             .parse()
-                            .map_err(|_| "--workers expects an integer".to_string())?
+                            .map_err(|_| "--workers expects an integer".to_string())?;
+                        opts.parallelism = Parallelism {
+                            trial_workers: Workers::fixed(w),
+                            ..Parallelism::default()
+                        };
                     }
                     "--protocol" => opts.protocol = value("--protocol")?.to_string(),
                     "--transport" => {
@@ -176,7 +194,11 @@ pub fn execute(opts: &RunOpts) -> Result<NetRun, String> {
         TransportKind::Channel => Ok(cluster.run_channel()),
         TransportKind::Udp => cluster
             .run_udp(&UdpOpts {
-                workers: opts.workers,
+                // UdpOpts keeps its 0-means-auto convention.
+                workers: match opts.parallelism.trial_workers {
+                    Workers::Auto => 0,
+                    Workers::Fixed(n) => n,
+                },
                 ..UdpOpts::default()
             })
             .map_err(|e| e.to_string()),
@@ -261,7 +283,25 @@ mod tests {
         assert_eq!(opts.protocol, "voter");
         assert_eq!(opts.transport, TransportKind::Udp);
         assert_eq!(opts.seed, 11);
-        assert_eq!(opts.workers, 2);
+        assert_eq!(opts.parallelism.trial_workers, Workers::fixed(2));
+    }
+
+    #[test]
+    fn parallelism_flag_and_workers_alias_agree() {
+        let via_alias = p(&["run", "--workers", "3"]).expect("parses").expect("run");
+        let via_spec = p(&["run", "--parallelism", "3"])
+            .expect("parses")
+            .expect("run");
+        assert_eq!(via_alias, via_spec);
+        // 0 and `auto` both mean one worker per core.
+        let zero = p(&["run", "--workers", "0"]).expect("parses").expect("run");
+        let auto = p(&["run", "--parallelism", "auto"])
+            .expect("parses")
+            .expect("run");
+        assert_eq!(zero.parallelism.trial_workers, Workers::Auto);
+        assert_eq!(auto.parallelism.trial_workers, Workers::Auto);
+        assert!(p(&["run", "--parallelism", "fast"]).is_err());
+        assert!(p(&["run", "--parallelism", "0"]).is_err());
     }
 
     #[test]

@@ -30,7 +30,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use rapid_core::facade::{
-    BuildError, MacroProtocol, NetSpec, Outcome, SimBuilder, StopCondition, StopReason,
+    BuildError, EngineKind, MacroProtocol, NetSpec, Outcome, SimBuilder, Spec, StopCondition,
+    StopReason,
 };
 use rapid_core::opinion::Color;
 use rapid_sim::time::SimTime;
@@ -191,10 +192,23 @@ impl Cluster {
     ///
     /// # Errors
     ///
-    /// Returns the [`BuildError`] of
-    /// [`SimBuilder::build_net_spec`] for invalid assemblies.
+    /// Returns the [`BuildError`] of [`SimBuilder::build_spec`] for
+    /// invalid assemblies, including [`BuildError::EngineMismatch`] when
+    /// the builder selected a non-net engine kind.
     pub fn from_builder(builder: SimBuilder) -> Result<Self, BuildError> {
-        Ok(Cluster::from_spec(builder.build_net_spec()?))
+        // Dispatch on the kind before building: a mismatched micro
+        // assembly should fail fast, not materialise O(n) state first.
+        if builder.engine_kind() != EngineKind::Net {
+            return Err(BuildError::EngineMismatch(
+                "SimBuilder::build / build_macro_spec for non-net engines",
+            ));
+        }
+        match builder.build_spec()? {
+            Spec::Net(spec) => Ok(Cluster::from_spec(spec)),
+            _ => Err(BuildError::EngineMismatch(
+                "Cluster::from_builder for Engine::Net assemblies",
+            )),
+        }
     }
 
     /// Population size.

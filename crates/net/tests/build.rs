@@ -1,6 +1,10 @@
 //! Build-time contract: the builder rejects every axis a real
 //! deployment cannot honor, with a typed error naming the axis.
 
+// This file deliberately exercises the deprecated kind-specific shim;
+// `rapid-core/tests/spec_equivalence.rs` pins it against `build_spec`.
+#![allow(deprecated)]
+
 use rapid_core::facade::{BuildError, EngineKind, Sim, SimBuilder, StopCondition};
 use rapid_core::{Clock, GossipRule, TwoChoices};
 use rapid_graph::complete::Complete;

@@ -22,6 +22,9 @@
 //!   budgeted opinion-corrupting adversaries, all seed-deterministic.
 //! * [`trace`] — recording and replaying activation sequences.
 //! * [`metrics`] — per-node activation statistics (tick concentration).
+//! * [`parallelism`] — the shared worker-count vocabulary
+//!   ([`Parallelism`], [`Workers`]) used by trial fan-out, the sharded
+//!   micro engine, and the deployment transport.
 //!
 //! # Example
 //!
@@ -48,6 +51,7 @@ pub mod delay;
 pub mod fault;
 pub mod metrics;
 pub mod node;
+pub mod parallelism;
 pub mod poisson;
 pub mod rng;
 pub mod scheduler;
@@ -62,6 +66,7 @@ pub use fault::{
 };
 pub use metrics::ActivationStats;
 pub use node::NodeId;
+pub use parallelism::{Parallelism, Workers};
 pub use poisson::{sample_exponential, sample_poisson, PoissonProcess};
 pub use rng::{Seed, SimRng, SplitMix64};
 pub use scheduler::{
@@ -80,6 +85,7 @@ pub mod prelude {
     };
     pub use crate::metrics::ActivationStats;
     pub use crate::node::NodeId;
+    pub use crate::parallelism::{Parallelism, Workers};
     pub use crate::poisson::{sample_exponential, PoissonProcess};
     pub use crate::rng::{Seed, SimRng};
     pub use crate::scheduler::{

@@ -11,7 +11,7 @@ fn run_quick(id: &str) -> Report {
     let exp = find(id).expect("id is registered");
     assert_eq!(exp.id(), id);
     let map = ParamMap::quick(&exp.params());
-    exp.run_map(&map, None, Threads::Auto)
+    exp.run_map(&map, None, Parallelism::default())
 }
 
 fn check(report: &Report) {
@@ -73,6 +73,7 @@ quick_test!(
     e22_quick_report_is_well_formed => "e22",
     e23_quick_report_is_well_formed => "e23",
     e24_quick_report_is_well_formed => "e24",
+    e25_quick_report_is_well_formed => "e25",
 );
 
 /// E21's quick preset deliberately reaches n = 10^8 (the macro engine
@@ -84,12 +85,12 @@ fn e21_quick_report_is_well_formed() {
     let exp = find("e21").expect("id is registered");
     let mut map = ParamMap::quick(&exp.params());
     map.set("ns", "1000000").expect("known key");
-    check(&exp.run_map(&map, None, Threads::Auto));
+    check(&exp.run_map(&map, None, Parallelism::default()));
 }
 
 #[test]
-fn registry_covers_exactly_the_24_experiments() {
-    assert_eq!(registry().len(), 24);
+fn registry_covers_exactly_the_25_experiments() {
+    assert_eq!(registry().len(), 25);
     for (i, exp) in registry().iter().enumerate() {
         assert_eq!(exp.id(), format!("e{:02}", i + 1));
     }
