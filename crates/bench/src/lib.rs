@@ -14,10 +14,14 @@
 //! * [`cli`] — the `xp bench` subcommand (`list` / `run` / `all`,
 //!   `--budget-ms`, `--baseline`, `--gate`);
 //! * [`harness`] — the `cargo bench` adapter, which drives the *same*
-//!   registry so the two entry points cannot disagree.
+//!   registry so the two entry points cannot disagree;
+//! * [`trajectory`] — the flat, queryable view over a directory of
+//!   `BENCH_*.json` documents, served by `xp serve`'s `GET /bench`.
 //!
 //! The single `xp` binary (`src/bin/xp.rs`) multiplexes: `xp bench …`
-//! lands here, everything else is the experiment CLI.
+//! lands here, `xp sweep` / `xp serve` go to `rapid_sweep::cli` (with
+//! the [`trajectory`] provider injected), everything else is the
+//! experiment CLI.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -27,6 +31,7 @@ pub mod harness;
 pub mod registry;
 pub mod report;
 pub mod sample;
+pub mod trajectory;
 
 pub use registry::bench_registry;
 pub use report::{gate, BenchReport, GateVerdict};

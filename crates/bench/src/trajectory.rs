@@ -1,0 +1,209 @@
+//! Reading a directory of `BENCH_*.json` documents as one flat,
+//! queryable trajectory.
+//!
+//! Each document is a snapshot of every registered benchmark at one
+//! commit and time; the *trajectory* is the concatenation. This module
+//! flattens the per-document sample arrays into one row per
+//! (document, bench id) — the shape `xp serve`'s `GET /bench` exposes,
+//! where query parameters filter rows by field equality (`?group=
+//! scheduler`, `?commit=<sha>`). Parsing is lenient by design: the
+//! serving layer must keep answering when a directory mixes schema
+//! generations or contains a half-written document, so malformed files
+//! are skipped and reported in the `skipped` field rather than failing
+//! the endpoint.
+
+use std::path::{Path, PathBuf};
+
+use rapid_experiments::json::{self, JsonValue};
+
+/// The default trajectory directory: `target/benchmarks` under the
+/// workspace root, where `xp bench` saves its documents.
+pub fn default_dir() -> PathBuf {
+    crate::cli::default_out_dir()
+}
+
+/// Flattens every readable `BENCH_*.json` under `dir` into
+/// `{"rows": [...], "skipped": [...]}`. Rows are sorted by
+/// (`created_unix_ms`, `id`) so the document is deterministic for a
+/// given directory; files that fail to parse land in `skipped` by name.
+///
+/// # Errors
+///
+/// Returns an error string only when `dir` exists but cannot be
+/// enumerated; a missing directory is an empty trajectory.
+pub fn load(dir: &Path) -> Result<JsonValue, String> {
+    let mut rows: Vec<(u64, String, JsonValue)> = Vec::new();
+    let mut skipped: Vec<String> = Vec::new();
+    if dir.is_dir() {
+        let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        let mut names: Vec<String> = entries
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+            .collect();
+        names.sort();
+        for name in names {
+            match flatten_document(dir, &name, &mut rows) {
+                Ok(()) => {}
+                Err(()) => skipped.push(name),
+            }
+        }
+    }
+    rows.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    Ok(JsonValue::object([
+        (
+            "rows",
+            JsonValue::Array(rows.into_iter().map(|(_, _, row)| row).collect()),
+        ),
+        ("skipped", JsonValue::strings(&skipped)),
+    ]))
+}
+
+/// A ready-made `/bench` provider over `dir` for `xp serve`.
+pub fn provider(dir: PathBuf) -> rapid_sweep::BenchProvider {
+    Box::new(move || load(&dir))
+}
+
+/// Parses one document and appends its sample rows; `Err(())` marks the
+/// file as skipped.
+fn flatten_document(
+    dir: &Path,
+    name: &str,
+    rows: &mut Vec<(u64, String, JsonValue)>,
+) -> Result<(), ()> {
+    let text = std::fs::read_to_string(dir.join(name)).map_err(|_| ())?;
+    let doc = json::parse(&text).map_err(|_| ())?;
+    let created = doc
+        .get("created_unix_ms")
+        .and_then(JsonValue::as_u64)
+        .ok_or(())?;
+    let commit = doc
+        .get("commit")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("-")
+        .to_string();
+    let samples = doc.get("samples").and_then(JsonValue::as_array).ok_or(())?;
+    for sample in samples {
+        let id = sample
+            .get("id")
+            .and_then(JsonValue::as_str)
+            .ok_or(())?
+            .to_string();
+        let field = |key: &str| sample.get(key).cloned().unwrap_or(JsonValue::Null);
+        let quantile = |key: &str| {
+            sample
+                .get("ns_per_iter")
+                .and_then(|q| q.get(key))
+                .cloned()
+                .unwrap_or(JsonValue::Null)
+        };
+        let row = JsonValue::object([
+            ("file", JsonValue::String(name.to_string())),
+            ("created_unix_ms", JsonValue::U64(created)),
+            ("commit", JsonValue::String(commit.clone())),
+            ("id", JsonValue::String(id.clone())),
+            ("group", field("group")),
+            ("elements", field("elements")),
+            ("iters", field("iters")),
+            ("p50_ns", quantile("p50")),
+            ("p10_ns", quantile("p10")),
+            ("p90_ns", quantile("p90")),
+            ("throughput_elem_per_s", field("throughput_elem_per_s")),
+        ]);
+        rows.push((created, id, row));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::BenchReport;
+    use crate::sample::BenchSample;
+
+    fn sample(id: &str, p50: f64) -> BenchSample {
+        BenchSample {
+            id: id.to_string(),
+            group: "g".to_string(),
+            elements: 10,
+            iters: 100,
+            total_ns: 1000,
+            mean_ns: p50,
+            min_ns: p50,
+            p10_ns: p50,
+            p50_ns: p50,
+            p90_ns: p50,
+            max_ns: p50,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rapid-trajectory-{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_trajectory() {
+        let doc = load(Path::new("/nonexistent/rapid-trajectory")).expect("empty ok");
+        assert_eq!(doc.get("rows").and_then(JsonValue::as_array), Some(&[][..]));
+    }
+
+    #[test]
+    fn flattens_sorts_and_skips_garbage() {
+        let dir = tmp_dir("flatten");
+        let mut newer = BenchReport::new(10, vec![sample("b", 2.0), sample("a", 1.0)]);
+        newer.created_unix_ms = 2000;
+        newer.commit = Some("feedc0de".to_string());
+        let mut older = BenchReport::new(10, vec![sample("a", 3.0)]);
+        older.created_unix_ms = 1000;
+        older.commit = None;
+        std::fs::write(dir.join(newer.file_name()), newer.to_json()).expect("write");
+        std::fs::write(dir.join(older.file_name()), older.to_json()).expect("write");
+        std::fs::write(dir.join("BENCH_notjson.json"), "{").expect("write");
+        std::fs::write(dir.join("unrelated.txt"), "ignored").expect("write");
+
+        let doc = load(&dir).expect("loads");
+        let rows = doc.get("rows").and_then(JsonValue::as_array).expect("rows");
+        assert_eq!(rows.len(), 3);
+        let ids: Vec<&str> = rows
+            .iter()
+            .map(|r| r.get("id").and_then(JsonValue::as_str).expect("id"))
+            .collect();
+        // Sorted by (created_unix_ms, id): the 1000-ms doc first.
+        assert_eq!(ids, vec!["a", "a", "b"]);
+        assert_eq!(
+            rows[0].get("commit").and_then(JsonValue::as_str),
+            Some("-"),
+            "absent commit renders as '-'"
+        );
+        assert_eq!(
+            rows[1].get("commit").and_then(JsonValue::as_str),
+            Some("feedc0de")
+        );
+        assert_eq!(
+            doc.get("skipped")
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
+            Some(1)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn provider_closure_serves_the_directory() {
+        let dir = tmp_dir("provider");
+        let report = BenchReport::new(10, vec![sample("only", 5.0)]);
+        std::fs::write(dir.join(report.file_name()), report.to_json()).expect("write");
+        let p = provider(dir.clone());
+        let doc = p().expect("loads");
+        assert_eq!(
+            doc.get("rows")
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
+            Some(1)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -124,14 +124,14 @@ impl std::fmt::Debug for Protocol {
 ///   occupancy counts per (opinion, protocol-state) bucket, advanced by
 ///   τ-leaped multinomial batches with an exact single-event fallback.
 ///   State is `O(k · levels)`, so `n = 10⁸–10⁹` is practical. Built via
-///   [`SimBuilder::build_macro_spec`] and executed by the `rapid-macro`
+///   [`SimBuilder::build_spec`] and executed by the `rapid-macro`
 ///   crate.
 /// * [`EngineKind::MeanField`] — the deterministic `n → ∞` limit: RK4
 ///   over the expected-drift equations (no randomness, no seed
 ///   dependence). Also executed by `rapid-macro`.
 /// * [`EngineKind::Net`] — not a simulator at all: real per-node state
 ///   machines exchanging serialized messages over a transport. Built via
-///   [`SimBuilder::build_net_spec`] and executed by the `rapid-net`
+///   [`SimBuilder::build_spec`] and executed by the `rapid-net`
 ///   crate, with the micro engine as statistical oracle.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
 pub enum EngineKind {
@@ -183,7 +183,7 @@ impl MacroProtocol {
 /// macro engine needs, with **no per-node state** — building one at
 /// `n = 10⁹` allocates `O(k)`, not `O(n)`.
 ///
-/// Produced by [`SimBuilder::build_macro_spec`]; executed by
+/// Produced by [`SimBuilder::build_spec`]; executed by
 /// `rapid_macro::MacroSim` ([`EngineKind::Macro`]) or
 /// `rapid_macro::MeanFieldSim` ([`EngineKind::MeanField`]). The spec is
 /// pure data so the builder (validation) and the engines (execution) can
@@ -224,7 +224,7 @@ impl MacroSpec {
 /// node state machines, with execution (transports, event loops) kept
 /// entirely on the other side of the crate graph.
 ///
-/// Produced by [`SimBuilder::build_net_spec`]; executed by
+/// Produced by [`SimBuilder::build_spec`]; executed by
 /// `rapid_net::Cluster` ([`EngineKind::Net`]). Unlike [`MacroSpec`] the
 /// spec carries the full per-node initial assignment — a deployment has
 /// per-node state by definition, and on structured topologies the
@@ -473,9 +473,9 @@ pub enum BuildError {
     /// clocks, simulator-only stop conditions).
     NetUnsupported(&'static str),
     /// The wrong build entry point was called for the selected
-    /// [`EngineKind`]: `build()` constructs micro engines only, macro and
-    /// mean-field assemblies go through `build_macro_spec()`. The payload
-    /// names the method to call instead.
+    /// [`EngineKind`]: `build()` constructs micro engines only; every
+    /// other kind goes through `build_spec()`. The payload names the
+    /// method to call instead.
     EngineMismatch(&'static str),
     /// The selected axis combination is not supported by the sharded
     /// epoch engine ([`SimBuilder::parallelism`]); the payload names the
@@ -847,10 +847,9 @@ impl SimBuilder {
     /// Selects the simulation engine (default: [`EngineKind::Micro`]).
     ///
     /// [`SimBuilder::build_spec`] finalises the assembly for whichever
-    /// kind was selected. The kind-specific entry points still exist —
-    /// [`SimBuilder::build`] for [`EngineKind::Micro`] plus the
-    /// deprecated `build_macro_spec` / `build_net_spec` shims — and
-    /// reject a mismatched kind with [`BuildError::EngineMismatch`].
+    /// kind was selected. The one kind-specific entry point,
+    /// [`SimBuilder::build`] for [`EngineKind::Micro`], rejects a
+    /// mismatched kind with [`BuildError::EngineMismatch`].
     pub fn engine(mut self, kind: EngineKind) -> Self {
         self.engine = kind;
         self
@@ -944,7 +943,7 @@ impl SimBuilder {
     pub fn build(self) -> Result<Sim, BuildError> {
         if self.engine != EngineKind::Micro {
             return Err(BuildError::EngineMismatch(
-                "SimBuilder::build_macro_spec (run via rapid_macro) for Engine::Macro/MeanField",
+                "SimBuilder::build_spec (run via rapid_macro / rapid_net) for non-micro engines",
             ));
         }
         let topology = self.topology.ok_or(BuildError::MissingTopology)?;
@@ -1112,11 +1111,10 @@ impl SimBuilder {
     /// [`EngineKind::Micro`], a pure-data [`MacroSpec`] for
     /// [`EngineKind::Macro`] / [`EngineKind::MeanField`] (executed by the
     /// `rapid-macro` crate), and a [`NetSpec`] for [`EngineKind::Net`]
-    /// (executed by the `rapid-net` crate). The kind-specific entry
-    /// points ([`SimBuilder::build`], the deprecated
-    /// [`SimBuilder::build_macro_spec`] / [`SimBuilder::build_net_spec`])
-    /// apply exactly the same validation; `build_spec` merely removes
-    /// the caller's obligation to pick the matching method.
+    /// (executed by the `rapid-net` crate). The micro-only entry point
+    /// [`SimBuilder::build`] applies exactly the same validation;
+    /// `build_spec` merely removes the caller's obligation to pick the
+    /// matching method.
     ///
     /// # Errors
     ///
@@ -1156,29 +1154,10 @@ impl SimBuilder {
     ///
     /// # Errors
     ///
-    /// Returns a [`BuildError`] naming the first inconsistency, including
-    /// [`BuildError::EngineMismatch`] when the builder's engine kind is
-    /// [`EngineKind::Micro`].
-    #[deprecated(note = "use `SimBuilder::build_spec` and match on `Spec::Macro` / \
-                         `Spec::MeanField`")]
-    pub fn build_macro_spec(self) -> Result<MacroSpec, BuildError> {
-        let kind = self.engine;
-        if kind == EngineKind::Micro {
-            return Err(BuildError::EngineMismatch(
-                "SimBuilder::build for Engine::Micro",
-            ));
-        }
-        if kind == EngineKind::Net {
-            return Err(BuildError::EngineMismatch(
-                "SimBuilder::build_net_spec (run via rapid_net) for Engine::Net",
-            ));
-        }
-        self.finish_macro_spec()
-    }
-
-    /// The macro-spec assembly shared by [`SimBuilder::build_spec`] and
-    /// the deprecated [`SimBuilder::build_macro_spec`] shim. Engine-kind
-    /// dispatch has already happened by the time this runs.
+    /// Returns a [`BuildError`] naming the first inconsistency.
+    ///
+    /// Engine-kind dispatch has already happened by the time this runs —
+    /// [`SimBuilder::build_spec`] is the only caller.
     fn finish_macro_spec(self) -> Result<MacroSpec, BuildError> {
         let kind = self.engine;
         let topology = self.topology.ok_or(BuildError::MissingTopology)?;
@@ -1312,22 +1291,10 @@ impl SimBuilder {
     ///
     /// # Errors
     ///
-    /// Returns a [`BuildError`] naming the first inconsistency, including
-    /// [`BuildError::EngineMismatch`] when the builder's engine kind is
-    /// not [`EngineKind::Net`].
-    #[deprecated(note = "use `SimBuilder::build_spec` and match on `Spec::Net`")]
-    pub fn build_net_spec(self) -> Result<NetSpec, BuildError> {
-        if self.engine != EngineKind::Net {
-            return Err(BuildError::EngineMismatch(
-                "SimBuilder::build / build_macro_spec for non-net engines",
-            ));
-        }
-        self.finish_net_spec()
-    }
-
-    /// The net-spec assembly shared by [`SimBuilder::build_spec`] and the
-    /// deprecated [`SimBuilder::build_net_spec`] shim. Engine-kind
-    /// dispatch has already happened by the time this runs.
+    /// Returns a [`BuildError`] naming the first inconsistency.
+    ///
+    /// Engine-kind dispatch has already happened by the time this runs —
+    /// [`SimBuilder::build_spec`] is the only caller.
     fn finish_net_spec(self) -> Result<NetSpec, BuildError> {
         let topology = self.topology.ok_or(BuildError::MissingTopology)?;
         let n = topology.n();

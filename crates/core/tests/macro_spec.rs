@@ -1,10 +1,6 @@
-//! The engine axis: `build()` vs `build_macro_spec()` dispatch and the
+//! The engine axis: `build()` vs `build_spec()` dispatch and the
 //! macro-specific validation rules (complete topology, exchangeable
 //! clocks, loss-only faults).
-
-// This file deliberately exercises the deprecated kind-specific shim;
-// `spec_equivalence.rs` pins it against `build_spec`.
-#![allow(deprecated)]
 
 use rapid_core::prelude::*;
 use rapid_graph::prelude::*;
@@ -17,6 +13,14 @@ fn gossip_builder(n: usize) -> SimBuilder {
         .counts(&[3 * n as u64 / 4, n as u64 - 3 * n as u64 / 4])
         .gossip(GossipRule::TwoChoices)
         .seed(Seed::new(1))
+}
+
+/// Builds through the unified entry point and unwraps the macro-family
+/// variant; validation errors pass through untouched.
+fn macro_spec(builder: SimBuilder) -> Result<MacroSpec, BuildError> {
+    builder
+        .build_spec()
+        .map(|spec| spec.into_macro().expect("macro-family assembly"))
 }
 
 #[test]
@@ -33,20 +37,22 @@ fn micro_is_the_default_and_macro_kinds_are_rejected_by_build() {
 }
 
 #[test]
-fn build_macro_spec_rejects_the_micro_kind() {
-    let err = gossip_builder(100).build_macro_spec().expect_err("micro");
-    assert!(matches!(err, BuildError::EngineMismatch(_)), "{err}");
+fn build_spec_dispatches_the_micro_kind_to_a_micro_sim() {
+    let spec = gossip_builder(100).build_spec().expect("micro default");
+    assert_eq!(spec.kind(), EngineKind::Micro);
+    assert!(spec.into_micro().is_some());
 }
 
 #[test]
 fn macro_spec_carries_the_assembly() {
-    let spec = gossip_builder(1000)
-        .engine(EngineKind::Macro)
-        .clock(Clock::EventQueue { rate: 2.0 })
-        .faults(FaultPlan::none().with_loss(0.1))
-        .stop(StopCondition::StepBudget(123))
-        .build_macro_spec()
-        .expect("valid macro assembly");
+    let spec = macro_spec(
+        gossip_builder(1000)
+            .engine(EngineKind::Macro)
+            .clock(Clock::EventQueue { rate: 2.0 })
+            .faults(FaultPlan::none().with_loss(0.1))
+            .stop(StopCondition::StepBudget(123)),
+    )
+    .expect("valid macro assembly");
     assert_eq!(spec.kind, EngineKind::Macro);
     assert_eq!(spec.n, 1000);
     assert_eq!(spec.counts, vec![750, 250]);
@@ -61,13 +67,14 @@ fn macro_spec_carries_the_assembly() {
 fn macro_spec_materialises_distributions_without_per_node_state() {
     // n = 10⁹: would be gigabytes as a per-node Configuration; the spec
     // path must stay O(k).
-    let spec = Sim::builder()
-        .topology(Complete::new(1_000_000_000))
-        .distribution(InitialDistribution::multiplicative_bias(4, 0.5))
-        .rapid(Params::for_network_with_eps(1_000_000_000, 4, 0.5))
-        .engine(EngineKind::Macro)
-        .build_macro_spec()
-        .expect("valid at n = 1e9");
+    let spec = macro_spec(
+        Sim::builder()
+            .topology(Complete::new(1_000_000_000))
+            .distribution(InitialDistribution::multiplicative_bias(4, 0.5))
+            .rapid(Params::for_network_with_eps(1_000_000_000, 4, 0.5))
+            .engine(EngineKind::Macro),
+    )
+    .expect("valid at n = 1e9");
     assert_eq!(spec.n, 1_000_000_000);
     assert_eq!(spec.counts.iter().sum::<u64>(), 1_000_000_000);
     assert_eq!(spec.protocol.name(), "rapid");
@@ -75,31 +82,30 @@ fn macro_spec_materialises_distributions_without_per_node_state() {
 
 #[test]
 fn macro_requires_the_complete_graph() {
-    let err = Sim::builder()
-        .topology(Cycle::new(100))
-        .counts(&[75, 25])
-        .gossip(GossipRule::TwoChoices)
-        .engine(EngineKind::Macro)
-        .build_macro_spec()
-        .expect_err("cycle has no mean-field semantics");
+    let err = macro_spec(
+        Sim::builder()
+            .topology(Cycle::new(100))
+            .counts(&[75, 25])
+            .gossip(GossipRule::TwoChoices)
+            .engine(EngineKind::Macro),
+    )
+    .expect_err("cycle has no mean-field semantics");
     assert_eq!(err, BuildError::MacroRequiresComplete);
 }
 
 #[test]
 fn macro_rejects_sync_protocols_and_halt_budgets() {
-    let err = Sim::builder()
-        .topology(Complete::new(100))
-        .counts(&[75, 25])
-        .protocol(TwoChoices::new())
-        .engine(EngineKind::Macro)
-        .build_macro_spec()
-        .expect_err("sync protocol");
+    let err = macro_spec(
+        Sim::builder()
+            .topology(Complete::new(100))
+            .counts(&[75, 25])
+            .protocol(TwoChoices::new())
+            .engine(EngineKind::Macro),
+    )
+    .expect_err("sync protocol");
     assert!(matches!(err, BuildError::MacroUnsupported(_)), "{err}");
 
-    let err = gossip_builder(100)
-        .halt_after(50)
-        .engine(EngineKind::Macro)
-        .build_macro_spec()
+    let err = macro_spec(gossip_builder(100).halt_after(50).engine(EngineKind::Macro))
         .expect_err("halt budget");
     assert!(matches!(err, BuildError::MacroUnsupported(_)), "{err}");
 }
@@ -110,42 +116,39 @@ fn macro_rejects_non_exchangeable_clocks_and_jitter() {
         Clock::UniformSkew { skew: 0.3 },
         Clock::Rates(vec![1.0; 100]),
     ] {
-        let err = gossip_builder(100)
-            .engine(EngineKind::Macro)
-            .clock(clock)
-            .build_macro_spec()
+        let err = macro_spec(gossip_builder(100).engine(EngineKind::Macro).clock(clock))
             .expect_err("heterogeneous clock");
         assert!(matches!(err, BuildError::MacroUnsupported(_)), "{err}");
     }
-    let err = gossip_builder(100)
-        .engine(EngineKind::Macro)
-        .jitter(2.0)
-        .build_macro_spec()
-        .expect_err("jitter");
+    let err =
+        macro_spec(gossip_builder(100).engine(EngineKind::Macro).jitter(2.0)).expect_err("jitter");
     assert!(matches!(err, BuildError::MacroUnsupported(_)), "{err}");
     // Invalid knobs still surface as their own errors, not as unsupported.
-    let err = gossip_builder(100)
-        .engine(EngineKind::Macro)
-        .clock(Clock::EventQueue { rate: -1.0 })
-        .build_macro_spec()
-        .expect_err("bad rate");
+    let err = macro_spec(
+        gossip_builder(100)
+            .engine(EngineKind::Macro)
+            .clock(Clock::EventQueue { rate: -1.0 }),
+    )
+    .expect_err("bad rate");
     assert!(matches!(err, BuildError::InvalidClock(_)), "{err}");
 }
 
 #[test]
 fn macro_faults_compose_for_loss_only() {
     // Loss composes.
-    assert!(gossip_builder(100)
-        .engine(EngineKind::Macro)
-        .faults(FaultPlan::none().with_loss(0.2))
-        .build_macro_spec()
-        .is_ok());
+    assert!(macro_spec(
+        gossip_builder(100)
+            .engine(EngineKind::Macro)
+            .faults(FaultPlan::none().with_loss(0.2))
+    )
+    .is_ok());
     // A fully neutral plan is fine too.
-    let spec = gossip_builder(100)
-        .engine(EngineKind::Macro)
-        .faults(FaultPlan::none())
-        .build_macro_spec()
-        .expect("neutral plan");
+    let spec = macro_spec(
+        gossip_builder(100)
+            .engine(EngineKind::Macro)
+            .faults(FaultPlan::none()),
+    )
+    .expect("neutral plan");
     assert_eq!(spec.loss, 0.0);
     // Latency, churn and adversaries have no count-level semantics.
     let latency = FaultPlan::none().with_latency(LatencyModel::Exponential { rate: 2.0 });
@@ -160,31 +163,30 @@ fn macro_faults_compose_for_loss_only() {
         interval: 1.0,
     });
     for plan in [latency, churn, adversary] {
-        let err = gossip_builder(100)
-            .engine(EngineKind::Macro)
-            .faults(plan)
-            .build_macro_spec()
+        let err = macro_spec(gossip_builder(100).engine(EngineKind::Macro).faults(plan))
             .expect_err("per-node fault knob");
         assert!(matches!(err, BuildError::MacroUnsupported(_)), "{err}");
     }
     // Invalid plans are still typed fault errors.
-    let err = gossip_builder(100)
-        .engine(EngineKind::Macro)
-        .faults(FaultPlan::none().with_loss(1.5))
-        .build_macro_spec()
-        .expect_err("bad loss");
+    let err = macro_spec(
+        gossip_builder(100)
+            .engine(EngineKind::Macro)
+            .faults(FaultPlan::none().with_loss(1.5)),
+    )
+    .expect_err("bad loss");
     assert!(matches!(err, BuildError::Faults(_)), "{err}");
 }
 
 #[test]
 fn macro_size_mismatch_is_detected() {
-    let err = Sim::builder()
-        .topology(Complete::new(100))
-        .counts(&[75, 20])
-        .gossip(GossipRule::Voter)
-        .engine(EngineKind::MeanField)
-        .build_macro_spec()
-        .expect_err("95 != 100");
+    let err = macro_spec(
+        Sim::builder()
+            .topology(Complete::new(100))
+            .counts(&[75, 20])
+            .gossip(GossipRule::Voter)
+            .engine(EngineKind::MeanField),
+    )
+    .expect_err("95 != 100");
     assert!(matches!(err, BuildError::SizeMismatch { .. }), "{err}");
 }
 

@@ -1,14 +1,11 @@
-//! `SimBuilder::build_spec` vs the kind-specific entry points.
+//! `SimBuilder::build_spec` as the single build entry point.
 //!
-//! The dispatching builder is new API surface; the deprecated
-//! `build_macro_spec` / `build_net_spec` shims (and `build` for micro)
-//! stay for one release. These tests pin that both paths produce the
-//! same artifact from the same assembly — field-for-field for the
-//! pure-data specs, config-and-debug for the stateful micro engine —
-//! so callers can migrate without re-validating behavior.
-
-// The whole point of this file is to compare against the deprecated shims.
-#![allow(deprecated)]
+//! `build_spec` dispatches on the engine kind and returns the matching
+//! [`Spec`] variant. These tests pin that the micro variant is the same
+//! artifact `build()` produces (config-and-debug equality for the
+//! stateful engine), that every kind lands in its own variant, that
+//! validation errors are kind-independent, and that the micro-only
+//! `build()` keeps rejecting non-micro kinds.
 
 use rapid_core::prelude::*;
 use rapid_graph::prelude::*;
@@ -36,60 +33,54 @@ fn micro_spec_matches_build() {
 }
 
 #[test]
-fn macro_spec_matches_build_macro_spec() {
+fn build_spec_yields_the_macro_variants() {
     for kind in [EngineKind::Macro, EngineKind::MeanField] {
-        let old = builder(1000, kind).build_macro_spec().expect("shim");
         let new = builder(1000, kind).build_spec().expect("build_spec");
         assert_eq!(new.kind(), kind);
         let new = new.into_macro().expect("macro variant");
-        assert_eq!(old, new);
         assert_eq!(new.kind, kind);
+        assert_eq!(new.n, 1000);
+        assert_eq!(new.counts, vec![750, 250]);
     }
 }
 
 #[test]
-fn net_spec_matches_build_net_spec() {
-    let old = builder(64, EngineKind::Net).build_net_spec().expect("shim");
+fn build_spec_yields_the_net_variant() {
     let new = builder(64, EngineKind::Net)
         .build_spec()
         .expect("build_spec");
     assert_eq!(new.kind(), EngineKind::Net);
     let new = new.into_net().expect("net variant");
-    assert_eq!(old.topology.n(), new.topology.n());
-    assert_eq!(old.config, new.config);
-    assert_eq!(old.protocol, new.protocol);
-    assert_eq!(old.rate, new.rate);
-    assert_eq!(old.seed, new.seed);
-    assert_eq!(old.stops, new.stops);
+    assert_eq!(new.topology.n(), 64);
+    assert_eq!(new.config.n(), 64);
+    assert_eq!(new.seed, Seed::new(11));
+    assert!(new.stops.is_empty());
 }
 
 #[test]
-fn build_spec_reports_the_same_validation_errors() {
-    // A missing protocol fails identically through either entry point,
-    // for every engine kind.
+fn build_spec_reports_kind_independent_validation_errors() {
+    // A missing protocol fails identically for every engine kind.
     for kind in [
         EngineKind::Micro,
         EngineKind::Macro,
         EngineKind::MeanField,
         EngineKind::Net,
     ] {
-        let bare = || {
-            Sim::builder()
-                .topology(Complete::new(16))
-                .counts(&[12, 4])
-                .engine(kind)
-        };
-        let old = match kind {
-            EngineKind::Micro => bare().build().expect_err("micro"),
-            EngineKind::Macro | EngineKind::MeanField => {
-                bare().build_macro_spec().expect_err("macro")
-            }
-            EngineKind::Net => bare().build_net_spec().expect_err("net"),
-        };
-        let new = bare().build_spec().expect_err("build_spec");
-        assert_eq!(old, new);
-        assert_eq!(new, BuildError::MissingProtocol);
+        let err = Sim::builder()
+            .topology(Complete::new(16))
+            .counts(&[12, 4])
+            .engine(kind)
+            .build_spec()
+            .expect_err("build_spec");
+        assert_eq!(err, BuildError::MissingProtocol);
     }
+    // The micro-only entry point agrees with the dispatcher.
+    let old = Sim::builder()
+        .topology(Complete::new(16))
+        .counts(&[12, 4])
+        .build()
+        .expect_err("build");
+    assert_eq!(old, BuildError::MissingProtocol);
 }
 
 #[test]
@@ -108,15 +99,9 @@ fn into_helpers_reject_the_other_variants() {
 }
 
 #[test]
-fn deprecated_shims_still_guard_engine_kinds() {
-    // The shims keep their historical mismatch errors so existing
-    // callers that relied on them see unchanged behavior.
-    let err = builder(64, EngineKind::Micro)
-        .build_macro_spec()
-        .expect_err("micro via macro shim");
-    assert!(matches!(err, BuildError::EngineMismatch(_)));
-    let err = builder(64, EngineKind::Macro)
-        .build_net_spec()
-        .expect_err("macro via net shim");
-    assert!(matches!(err, BuildError::EngineMismatch(_)));
+fn build_remains_micro_only() {
+    for kind in [EngineKind::Macro, EngineKind::MeanField, EngineKind::Net] {
+        let err = builder(64, kind).build().expect_err("non-micro via build");
+        assert!(matches!(err, BuildError::EngineMismatch(_)), "{err}");
+    }
 }

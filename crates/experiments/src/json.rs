@@ -104,6 +104,50 @@ impl JsonValue {
         out
     }
 
+    /// Serialises on a single line with no whitespace — the JSONL form
+    /// used by the sweep result stream and the content-addressed cache,
+    /// where one value must occupy exactly one line. Object keys are
+    /// sorted (BTreeMap), so equal values serialise byte-identically.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::U64(x) => {
+                let _ = write!(out, "{x}");
+            }
+            JsonValue::Number(x) => write_number(out, *x),
+            JsonValue::String(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             JsonValue::Null => out.push_str("null"),
@@ -554,5 +598,24 @@ mod tests {
         assert!(v.as_f64().is_none());
         assert!(v.as_array().is_none());
         assert!(v.get("x").is_none());
+    }
+
+    #[test]
+    fn compact_is_one_line_and_round_trips() {
+        let v = JsonValue::object([
+            (
+                "b",
+                JsonValue::Array(vec![JsonValue::U64(1), JsonValue::Null]),
+            ),
+            ("a", JsonValue::String("x\ny".to_string())),
+            ("c", JsonValue::object([("d", JsonValue::Bool(false))])),
+        ]);
+        let line = v.to_compact();
+        assert!(!line.contains('\n'), "{line:?}");
+        assert_eq!(line, "{\"a\":\"x\\ny\",\"b\":[1,null],\"c\":{\"d\":false}}");
+        assert_eq!(parse(&line).expect("compact output parses"), v);
+        // Empty containers keep their short forms.
+        assert_eq!(JsonValue::Array(vec![]).to_compact(), "[]");
+        assert_eq!(JsonValue::Object(Default::default()).to_compact(), "{}");
     }
 }

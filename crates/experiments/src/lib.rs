@@ -92,8 +92,7 @@ pub use experiment::Experiment;
 pub use params::{ParamError, ParamMap, ParamSchema, ParamSpec, ParamValue, Preset};
 pub use registry::{find, registry};
 pub use report::Report;
-#[allow(deprecated)]
-pub use runner::{run_trials, run_trials_on, Parallelism, Threads, Workers};
+pub use runner::{run_trials, run_trials_on, Parallelism, Workers};
 pub use table::Table;
 
 /// Convenient glob-import of the harness surface.
@@ -103,7 +102,6 @@ pub mod prelude {
     pub use crate::params::{ParamError, ParamMap, ParamSchema, ParamSpec, ParamValue, Preset};
     pub use crate::registry::{find, registry};
     pub use crate::report::Report;
-    #[allow(deprecated)]
-    pub use crate::runner::{run_trials, run_trials_on, Parallelism, Threads, Workers};
+    pub use crate::runner::{run_trials, run_trials_on, Parallelism, Workers};
     pub use crate::table::Table;
 }

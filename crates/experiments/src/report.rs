@@ -42,8 +42,9 @@ impl Report {
         self.notes.push(note.into());
     }
 
-    /// Serialises the report as pretty JSON.
-    pub fn to_json(&self) -> String {
+    /// The report as a JSON value (the document [`Report::to_json`]
+    /// pretty-prints; sweep result lines render it compactly instead).
+    pub fn to_json_value(&self) -> JsonValue {
         JsonValue::object([
             ("id", JsonValue::String(self.id.clone())),
             ("title", JsonValue::String(self.title.clone())),
@@ -54,7 +55,11 @@ impl Report {
             ("notes", JsonValue::strings(&self.notes)),
             ("seed", JsonValue::U64(self.seed)),
         ])
-        .to_pretty()
+    }
+
+    /// Serialises the report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_pretty()
     }
 
     /// Parses a report previously produced by [`Report::to_json`].

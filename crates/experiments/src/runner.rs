@@ -4,80 +4,6 @@ use rapid_sim::rng::Seed;
 
 pub use rapid_sim::parallelism::{Parallelism, Workers};
 
-/// Worker-thread policy for [`run_trials_on`].
-///
-/// Results never depend on this choice — trial seeds are derived from the
-/// trial index, not from scheduling — so it only trades wall-clock time
-/// for cores.
-#[deprecated(note = "use `Parallelism` (the shared trial/shard worker axis); \
-                     `Threads::Fixed(n)` maps to `Parallelism::parse(\"n\")`")]
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub enum Threads {
-    /// One worker per available core (the default).
-    Auto,
-    /// Exactly this many workers.
-    Fixed(usize),
-}
-
-// Not derived: the derive expansion would reference the deprecated
-// variant outside this module's `#[allow(deprecated)]` scope.
-#[allow(deprecated, clippy::derivable_impls)]
-impl Default for Threads {
-    fn default() -> Self {
-        Threads::Auto
-    }
-}
-
-#[allow(deprecated)]
-impl Threads {
-    /// Shorthand for [`Threads::Auto`].
-    pub fn auto() -> Self {
-        Threads::Auto
-    }
-
-    /// An explicit worker count (`0` is treated as `Auto`).
-    pub fn fixed(n: usize) -> Self {
-        if n == 0 {
-            Threads::Auto
-        } else {
-            Threads::Fixed(n)
-        }
-    }
-
-    /// The concrete worker count for a run of `trials` trials.
-    pub fn resolve(self, trials: u64) -> usize {
-        Parallelism::from(self)
-            .trial_workers
-            .resolve(trials.max(1) as usize)
-    }
-}
-
-#[allow(deprecated)]
-impl std::fmt::Display for Threads {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Threads::Auto => write!(f, "auto"),
-            Threads::Fixed(n) => write!(f, "{n}"),
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl From<Threads> for Parallelism {
-    /// The legacy policy named only the trial axis; shard workers stay at
-    /// their sequential default — exactly what `--threads N` used to mean.
-    fn from(threads: Threads) -> Self {
-        let trial_workers = match threads {
-            Threads::Auto => Workers::Auto,
-            Threads::Fixed(n) => Workers::fixed(n),
-        };
-        Parallelism {
-            trial_workers,
-            ..Parallelism::default()
-        }
-    }
-}
-
 /// Runs `trials` independent trials of `f` across worker threads and
 /// returns the results **in trial order**.
 ///
@@ -212,31 +138,6 @@ mod tests {
         let auto = run_trials_on(24, Seed::new(9), Parallelism::auto(), f);
         assert_eq!(one, many);
         assert_eq!(one, auto);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn threads_shim_maps_onto_parallelism() {
-        // The deprecated policy and its Parallelism image resolve to the
-        // same worker counts, so migrated call sites behave identically.
-        assert_eq!(
-            Parallelism::from(Threads::Auto),
-            Parallelism {
-                trial_workers: Workers::Auto,
-                shard_workers: Workers::fixed(1),
-            }
-        );
-        assert_eq!(
-            Parallelism::from(Threads::Fixed(4)).trial_workers,
-            Workers::fixed(4)
-        );
-        // `fixed(0)` kept its 0-means-auto contract through the shim.
-        assert_eq!(Threads::fixed(0), Threads::Auto);
-        assert_eq!(Threads::Fixed(8).resolve(2), 2);
-        assert_eq!(Threads::Fixed(2).resolve(100), 2);
-        assert!(Threads::Auto.resolve(100) >= 1);
-        assert_eq!(Threads::Auto.to_string(), "auto");
-        assert_eq!(Threads::Fixed(4).to_string(), "4");
     }
 
     #[test]

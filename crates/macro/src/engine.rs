@@ -164,7 +164,7 @@ impl MacroSim {
             }
             EngineKind::Net => {
                 return Err(BuildError::EngineMismatch(
-                    "SimBuilder::build_net_spec (run via rapid_net) for Engine::Net",
+                    "SimBuilder::build_spec (run via rapid_net) for Engine::Net",
                 ))
             }
         }
@@ -943,8 +943,6 @@ impl MacroSim {
 }
 
 #[cfg(test)]
-// The deprecated shim stays under test until it is removed.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use rapid_core::facade::Sim;
@@ -1037,8 +1035,10 @@ mod tests {
                 .rapid(Params::for_network(1024, 2))
                 .engine(EngineKind::Macro)
                 .seed(Seed::new(9))
-                .build_macro_spec()
-                .expect("valid"),
+                .build_spec()
+                .expect("valid")
+                .into_macro()
+                .expect("macro variant"),
         );
         let out = sim.run();
         // Either one side won the coin-flip (fine) or everyone halted.
@@ -1059,8 +1059,10 @@ mod tests {
                 .engine(EngineKind::Macro)
                 .seed(Seed::new(4))
                 .stop(StopCondition::StepBudget(1_000_000))
-                .build_macro_spec()
-                .expect("valid"),
+                .build_spec()
+                .expect("valid")
+                .into_macro()
+                .expect("macro variant"),
         );
         let out = sim.run();
         assert_eq!(out.stop, StopReason::StepBudget);
@@ -1074,8 +1076,10 @@ mod tests {
                 .engine(EngineKind::Macro)
                 .seed(Seed::new(4))
                 .stop(StopCondition::TimeHorizon(SimTime::from_secs(2.0)))
-                .build_macro_spec()
-                .expect("valid"),
+                .build_spec()
+                .expect("valid")
+                .into_macro()
+                .expect("macro variant"),
         );
         let out = sim.run();
         assert_eq!(out.stop, StopReason::TimeHorizon);
@@ -1101,8 +1105,10 @@ mod tests {
                 .faults(rapid_sim::fault::FaultPlan::none().with_loss(1.0))
                 .seed(Seed::new(6))
                 .stop(StopCondition::StepBudget(10_000))
-                .build_macro_spec()
-                .expect("valid"),
+                .build_spec()
+                .expect("valid")
+                .into_macro()
+                .expect("macro variant"),
         );
         let out = sim.run();
         assert_eq!(out.stop, StopReason::StepBudget);

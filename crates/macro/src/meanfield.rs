@@ -136,7 +136,7 @@ impl MeanFieldSim {
             }
             EngineKind::Net => {
                 return Err(BuildError::EngineMismatch(
-                    "SimBuilder::build_net_spec (run via rapid_net) for Engine::Net",
+                    "SimBuilder::build_spec (run via rapid_net) for Engine::Net",
                 ))
             }
         }

@@ -200,7 +200,7 @@ impl Cluster {
         // assembly should fail fast, not materialise O(n) state first.
         if builder.engine_kind() != EngineKind::Net {
             return Err(BuildError::EngineMismatch(
-                "SimBuilder::build / build_macro_spec for non-net engines",
+                "SimBuilder::build / build_spec for non-net engines",
             ));
         }
         match builder.build_spec()? {

@@ -1,11 +1,7 @@
 //! Build-time contract: the builder rejects every axis a real
 //! deployment cannot honor, with a typed error naming the axis.
 
-// This file deliberately exercises the deprecated kind-specific shim;
-// `rapid-core/tests/spec_equivalence.rs` pins it against `build_spec`.
-#![allow(deprecated)]
-
-use rapid_core::facade::{BuildError, EngineKind, Sim, SimBuilder, StopCondition};
+use rapid_core::facade::{BuildError, EngineKind, NetSpec, Sim, SimBuilder, StopCondition};
 use rapid_core::{Clock, GossipRule, TwoChoices};
 use rapid_graph::complete::Complete;
 use rapid_net::Cluster;
@@ -23,30 +19,36 @@ fn base() -> SimBuilder {
         .seed(Seed::new(3))
 }
 
-#[test]
-fn net_specs_build_for_gossip_and_rapid() {
-    assert!(base().build_net_spec().is_ok());
-    let params = rapid_core::asynchronous::Params::for_network_with_eps(64, 2, 0.5);
-    assert!(base().rapid(params).build_net_spec().is_ok());
+/// Builds through the unified entry point and unwraps the net variant;
+/// validation errors pass through untouched.
+fn net_spec(builder: SimBuilder) -> Result<NetSpec, BuildError> {
+    builder
+        .build_spec()
+        .map(|spec| spec.into_net().expect("net assembly"))
 }
 
 #[test]
-fn non_net_engines_reject_the_net_spec_path() {
-    let err = base()
-        .engine(EngineKind::Micro)
-        .build_net_spec()
-        .unwrap_err();
-    assert!(matches!(err, BuildError::EngineMismatch(_)), "{err}");
-    // ...and the other build paths reject the net engine.
+fn net_specs_build_for_gossip_and_rapid() {
+    assert!(net_spec(base()).is_ok());
+    let params = rapid_core::asynchronous::Params::for_network_with_eps(64, 2, 0.5);
+    assert!(net_spec(base().rapid(params)).is_ok());
+}
+
+#[test]
+fn kind_mismatches_stay_typed_errors() {
+    // The micro-only entry point rejects the net engine...
     let err = base().build().unwrap_err();
     assert!(matches!(err, BuildError::EngineMismatch(_)), "{err}");
-    let err = base().build_macro_spec().unwrap_err();
-    assert!(matches!(err, BuildError::EngineMismatch(_)), "{err}");
+    // ...and the cluster front door rejects non-net assemblies.
+    match Cluster::from_builder(base().engine(EngineKind::Micro)) {
+        Err(err) => assert!(matches!(err, BuildError::EngineMismatch(_)), "{err}"),
+        Ok(_) => panic!("micro assembly must not boot a cluster"),
+    }
 }
 
 #[test]
 fn synchronous_protocols_are_unsupported() {
-    let err = base().protocol(TwoChoices).build_net_spec().unwrap_err();
+    let err = net_spec(base().protocol(TwoChoices)).unwrap_err();
     assert!(matches!(err, BuildError::NetUnsupported(_)), "{err}");
     assert!(err.to_string().contains("synchronous"), "{err}");
 }
@@ -62,7 +64,7 @@ fn modeled_axes_are_unsupported_with_named_reasons() {
         (base().stop(StopCondition::RoundBudget(5)), "round"),
     ];
     for (builder, what) in cases {
-        let err = builder.build_net_spec().unwrap_err();
+        let err = net_spec(builder).unwrap_err();
         assert!(
             matches!(err, BuildError::NetUnsupported(_)),
             "{what}: {err}"
@@ -73,19 +75,20 @@ fn modeled_axes_are_unsupported_with_named_reasons() {
 
 #[test]
 fn invalid_jitter_is_still_the_jitter_error() {
-    let err = base().jitter(-1.0).build_net_spec().unwrap_err();
+    let err = net_spec(base().jitter(-1.0)).unwrap_err();
     assert!(matches!(err, BuildError::InvalidJitter(_)), "{err}");
 }
 
 #[test]
 fn neutral_faults_and_supported_stops_pass() {
-    let spec = base()
-        .faults(FaultPlan::none())
-        .stop(StopCondition::StepBudget(10_000))
-        .stop(StopCondition::TimeHorizon(SimTime::from_secs(50.0)))
-        .clock(Clock::Sequential(TimeMode::Expected))
-        .build_net_spec()
-        .expect("neutral axes are fine");
+    let spec = net_spec(
+        base()
+            .faults(FaultPlan::none())
+            .stop(StopCondition::StepBudget(10_000))
+            .stop(StopCondition::TimeHorizon(SimTime::from_secs(50.0)))
+            .clock(Clock::Sequential(TimeMode::Expected)),
+    )
+    .expect("neutral axes are fine");
     assert_eq!(spec.n(), 64);
     assert_eq!(spec.k(), 2);
     let cluster = Cluster::from_spec(spec);

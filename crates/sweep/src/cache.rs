@@ -1,0 +1,516 @@
+//! The content-addressed result cache.
+//!
+//! A sweep trial is pure: its report depends only on (experiment id,
+//! canonical parameter assignment, seed, backend, commit). That tuple is
+//! canonicalised into one string (parameters serialised as sorted-key
+//! compact JSON, so assignment *order* can never leak) and hashed with
+//! FNV-1a 64 into a [`CacheKey`]. Storage is a single append-only JSONL
+//! file, `cache.jsonl`, conventionally under `out/cache/`: one compact
+//! JSON record per line, last record per key wins, so concurrent jobs
+//! appending whole lines cannot corrupt earlier entries and a crashed
+//! run loses at most its final line. [`ResultCache`] keeps the in-memory
+//! index, bounds it to a capacity with oldest-first eviction, and counts
+//! hits / misses / insertions / evictions so callers (and CI) can assert
+//! "this sweep was served from cache".
+//!
+//! The canonical string and the FNV constants are a stable on-disk
+//! contract, pinned by golden keys in `tests/cache_key.rs` — change
+//! either and every existing cache silently invalidates.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use rapid_experiments::json::{self, JsonValue};
+use rapid_experiments::params::ParamMap;
+
+/// Version tag leading every canonical key string; bump it to invalidate
+/// all existing caches on a format change.
+pub const KEY_SCHEMA: &str = "rapid-sweep/1";
+
+/// Default in-memory index bound (entries), chosen to hold several full
+/// quick-preset sweeps while keeping worst-case memory tame.
+pub const DEFAULT_CAPACITY: usize = 8192;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte string (the workspace's standard golden-hash
+/// primitive; also used by the sharding and scheduler equivalence pins).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A content address: FNV-1a 64 of the canonical trial description.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CacheKey(pub u64);
+
+impl CacheKey {
+    /// The key as the fixed-width lower-hex string stored on disk.
+    pub fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parses the on-disk hex form.
+    pub fn from_hex(s: &str) -> Option<CacheKey> {
+        (s.len() == 16)
+            .then(|| u64::from_str_radix(s, 16).ok())
+            .flatten()
+            .map(CacheKey)
+    }
+}
+
+impl std::fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// The canonical, order-independent description of one trial. Parameters
+/// are rendered as compact JSON with sorted keys (the `ParamMap` is
+/// BTreeMap-backed), so two assignments built in different orders — or
+/// from different presets that resolve to the same values — canonicalise
+/// identically.
+pub fn canonical_string(
+    experiment: &str,
+    params: &ParamMap,
+    seed: u64,
+    backend: &str,
+    commit: Option<&str>,
+) -> String {
+    format!(
+        "{KEY_SCHEMA}|exp={experiment}|seed={seed}|backend={backend}|commit={}|params={}",
+        commit.unwrap_or("-"),
+        params.to_json_value().to_compact(),
+    )
+}
+
+/// The content address of one trial: FNV-1a 64 over
+/// [`canonical_string`].
+pub fn cache_key(
+    experiment: &str,
+    params: &ParamMap,
+    seed: u64,
+    backend: &str,
+    commit: Option<&str>,
+) -> CacheKey {
+    CacheKey(fnv1a64(
+        canonical_string(experiment, params, seed, backend, commit).as_bytes(),
+    ))
+}
+
+/// The commit the cache keys against: `GITHUB_SHA` when CI provides it,
+/// else `git rev-parse HEAD` in this checkout, else `None` (keys then
+/// carry the `-` placeholder — still correct, just never invalidated by
+/// commits).
+pub fn detect_commit() -> Option<String> {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return Some(sha);
+        }
+    }
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let sha = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    (!sha.is_empty()).then_some(sha)
+}
+
+/// One cached trial result, as stored on disk.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheRecord {
+    /// Experiment id.
+    pub experiment: String,
+    /// The assignment's master seed.
+    pub seed: u64,
+    /// The canonical compact-JSON parameter assignment.
+    pub params_json: String,
+    /// Backend label the result was computed on.
+    pub backend: String,
+    /// Commit provenance (`"-"` when unknown).
+    pub commit: String,
+    /// The trial's report as compact JSON.
+    pub report_json: String,
+}
+
+impl CacheRecord {
+    /// Renders the JSONL line for `key` (compact, no trailing newline).
+    fn to_line(&self, key: CacheKey) -> String {
+        // Precomposed JSON fragments are re-parsed rather than string-
+        // spliced so escaping stays the writer's job alone.
+        let params = json::parse(&self.params_json).unwrap_or(JsonValue::Null);
+        let report = json::parse(&self.report_json).unwrap_or(JsonValue::Null);
+        JsonValue::object([
+            ("key", JsonValue::String(key.hex())),
+            ("experiment", JsonValue::String(self.experiment.clone())),
+            ("seed", JsonValue::U64(self.seed)),
+            ("params", params),
+            ("backend", JsonValue::String(self.backend.clone())),
+            ("commit", JsonValue::String(self.commit.clone())),
+            ("report", report),
+        ])
+        .to_compact()
+    }
+
+    /// Parses one JSONL line; `None` for malformed or foreign lines
+    /// (a truncated final line from a crashed writer must not poison
+    /// the rest of the file).
+    fn from_line(line: &str) -> Option<(CacheKey, CacheRecord)> {
+        let v = json::parse(line).ok()?;
+        let key = CacheKey::from_hex(v.get("key")?.as_str()?)?;
+        Some((
+            key,
+            CacheRecord {
+                experiment: v.get("experiment")?.as_str()?.to_string(),
+                seed: v.get("seed")?.as_u64()?,
+                params_json: v.get("params")?.to_compact(),
+                backend: v.get("backend")?.as_str()?.to_string(),
+                commit: v.get("commit")?.as_str()?.to_string(),
+                report_json: v.get("report")?.to_compact(),
+            },
+        ))
+    }
+}
+
+/// Hit / miss / insertion / eviction counters for one cache session.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups answered from the index.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Records inserted this session.
+    pub insertions: u64,
+    /// Records dropped to stay under capacity (load-time truncation
+    /// included).
+    pub evictions: u64,
+}
+
+impl CacheCounters {
+    /// The session's hit rate in percent (`100 · hits / lookups`);
+    /// `100` when nothing was looked up.
+    pub fn hit_rate_percent(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            100.0
+        } else {
+            100.0 * self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// The counters as a JSON object for summaries and `/status`.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::object([
+            ("hits", JsonValue::U64(self.hits)),
+            ("misses", JsonValue::U64(self.misses)),
+            ("insertions", JsonValue::U64(self.insertions)),
+            ("evictions", JsonValue::U64(self.evictions)),
+        ])
+    }
+}
+
+/// A bounded, content-addressed result store over one `cache.jsonl`.
+#[derive(Debug)]
+pub struct ResultCache {
+    path: PathBuf,
+    index: BTreeMap<CacheKey, CacheRecord>,
+    /// Insertion order for oldest-first eviction.
+    order: VecDeque<CacheKey>,
+    capacity: usize,
+    counters: CacheCounters,
+}
+
+impl ResultCache {
+    /// Opens (or initialises) the cache under `dir` with the
+    /// [`DEFAULT_CAPACITY`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory creation or an unreadable
+    /// existing file. Malformed lines are skipped, not fatal.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        Self::open_with_capacity(dir, DEFAULT_CAPACITY)
+    }
+
+    /// [`ResultCache::open`] with an explicit entry capacity (≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory creation or an unreadable
+    /// existing file.
+    pub fn open_with_capacity(dir: impl AsRef<Path>, capacity: usize) -> std::io::Result<Self> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("cache.jsonl");
+        let mut cache = ResultCache {
+            path,
+            index: BTreeMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+            counters: CacheCounters::default(),
+        };
+        if cache.path.exists() {
+            let text = std::fs::read_to_string(&cache.path)?;
+            for line in text.lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if let Some((key, record)) = CacheRecord::from_line(line) {
+                    cache.index_insert(key, record);
+                }
+            }
+            // Load-time evictions do not belong to this session's story.
+            cache.counters = CacheCounters::default();
+        }
+        Ok(cache)
+    }
+
+    /// The backing JSONL file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// This session's counters.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Looks up a key, counting the hit or miss.
+    pub fn lookup(&mut self, key: CacheKey) -> Option<&CacheRecord> {
+        match self.index.get(&key) {
+            Some(record) => {
+                self.counters.hits += 1;
+                Some(record)
+            }
+            None => {
+                self.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a record: appends its line to `cache.jsonl` (one
+    /// `write_all` of a whole line, so concurrent appenders interleave
+    /// at line granularity) and indexes it, evicting the oldest entry
+    /// when over capacity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the append; the in-memory index is
+    /// only updated after the line is durably queued.
+    pub fn insert(&mut self, key: CacheKey, record: CacheRecord) -> std::io::Result<()> {
+        let mut line = record.to_line(key);
+        line.push('\n');
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        file.write_all(line.as_bytes())?;
+        self.index_insert(key, record);
+        self.counters.insertions += 1;
+        Ok(())
+    }
+
+    fn index_insert(&mut self, key: CacheKey, record: CacheRecord) {
+        if self.index.insert(key, record).is_none() {
+            self.order.push_back(key);
+        } else {
+            // Re-insert refreshes recency.
+            self.order.retain(|k| *k != key);
+            self.order.push_back(key);
+        }
+        while self.index.len() > self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.index.remove(&oldest);
+                self.counters.evictions += 1;
+            }
+        }
+    }
+
+    /// Rewrites `cache.jsonl` to exactly the live index (insertion
+    /// order), dropping evicted and superseded lines. Call after a sweep
+    /// that evicted, or periodically; never required for correctness.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the rewrite.
+    pub fn compact(&mut self) -> std::io::Result<()> {
+        let mut out = String::new();
+        for key in &self.order {
+            if let Some(record) = self.index.get(key) {
+                out.push_str(&record.to_line(*key));
+                out.push('\n');
+            }
+        }
+        // Write-then-rename so a reader never sees a half-written file.
+        let tmp = self.path.with_extension("jsonl.tmp");
+        std::fs::write(&tmp, out)?;
+        std::fs::rename(&tmp, &self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_experiments::registry;
+
+    fn quick_map() -> ParamMap {
+        registry::find("e06")
+            .expect("registered")
+            .preset(rapid_experiments::params::Preset::Quick)
+    }
+
+    fn record(report: &str) -> CacheRecord {
+        CacheRecord {
+            experiment: "e06".into(),
+            seed: 7,
+            params_json: quick_map().to_json_value().to_compact(),
+            backend: "registry".into(),
+            commit: "-".into(),
+            report_json: report.into(),
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rapid-sweep-cache-{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn key_hex_round_trips() {
+        let key = CacheKey(0x0123_4567_89ab_cdef);
+        assert_eq!(key.hex(), "0123456789abcdef");
+        assert_eq!(CacheKey::from_hex(&key.hex()), Some(key));
+        assert_eq!(CacheKey::from_hex("xyz"), None);
+        assert_eq!(CacheKey::from_hex("123"), None);
+        assert_eq!(key.to_string(), key.hex());
+    }
+
+    #[test]
+    fn round_trip_through_disk() {
+        let dir = tmp_dir("roundtrip");
+        let key = cache_key("e06", &quick_map(), 7, "registry", None);
+        {
+            let mut cache = ResultCache::open(&dir).expect("open");
+            assert!(cache.lookup(key).is_none());
+            cache
+                .insert(key, record("{\"id\":\"E06\"}"))
+                .expect("insert");
+        }
+        let mut cache = ResultCache::open(&dir).expect("reopen");
+        assert_eq!(cache.len(), 1);
+        let hit = cache.lookup(key).expect("persisted");
+        assert_eq!(hit.report_json, "{\"id\":\"E06\"}");
+        assert_eq!(hit.experiment, "e06");
+        assert_eq!(
+            cache.counters(),
+            CacheCounters {
+                hits: 1,
+                ..CacheCounters::default()
+            }
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_and_compact_drops_them() {
+        let dir = tmp_dir("evict");
+        let mut cache = ResultCache::open_with_capacity(&dir, 2).expect("open");
+        for i in 0..4u64 {
+            cache
+                .insert(CacheKey(i), record(&format!("{{\"i\":{i}}}")))
+                .expect("insert");
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.counters().evictions, 2);
+        assert!(cache.lookup(CacheKey(0)).is_none());
+        assert!(cache.lookup(CacheKey(3)).is_some());
+        // The file still holds all four lines until compaction.
+        let lines = std::fs::read_to_string(cache.path()).expect("readable");
+        assert_eq!(lines.lines().count(), 4);
+        cache.compact().expect("compact");
+        let lines = std::fs::read_to_string(cache.path()).expect("readable");
+        assert_eq!(lines.lines().count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_and_truncated_lines_are_skipped() {
+        let dir = tmp_dir("garbage");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let key = CacheKey(42);
+        let good = record("{\"ok\":true}").to_line(key);
+        std::fs::write(
+            dir.join("cache.jsonl"),
+            format!(
+                "not json\n{good}\n{{\"key\":\"zz\"}}\n{}",
+                &good[..good.len() / 2]
+            ),
+        )
+        .expect("write");
+        let mut cache = ResultCache::open(&dir).expect("open survives garbage");
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(key).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn last_write_wins_on_duplicate_keys() {
+        let dir = tmp_dir("dup");
+        let key = CacheKey(9);
+        {
+            let mut cache = ResultCache::open(&dir).expect("open");
+            cache.insert(key, record("{\"v\":1}")).expect("first");
+            cache.insert(key, record("{\"v\":2}")).expect("second");
+        }
+        let mut cache = ResultCache::open(&dir).expect("reopen");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(key).expect("hit").report_json, "{\"v\":2}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hit_rate_handles_zero_lookups() {
+        let c = CacheCounters::default();
+        assert_eq!(c.hit_rate_percent(), 100.0);
+        let c = CacheCounters {
+            hits: 3,
+            misses: 1,
+            ..CacheCounters::default()
+        };
+        assert_eq!(c.hit_rate_percent(), 75.0);
+        assert!(c.to_json_value().to_compact().contains("\"hits\":3"));
+    }
+}

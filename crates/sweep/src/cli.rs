@@ -1,0 +1,391 @@
+//! `xp sweep` and `xp serve` — the command-line front ends.
+//!
+//! `xp sweep <id> --grid k=v1,v2 …` expands a grid, runs it through the
+//! scheduler and *streams* each trial's result line to stdout the moment
+//! it completes (arrival order; add `--out FILE` for the canonical
+//! index-sorted document). Summary and provenance go to stderr so stdout
+//! stays machine-readable, matching `xp run --format json`.
+//!
+//! `xp serve` binds the HTTP front end. The `/bench` data source is
+//! injected by the `xp` binary (the bench crate depends on this one, so
+//! the arrow cannot point back).
+//!
+//! Exit codes: `0` success, `1` trial failures, `2` usage errors,
+//! `3` `--require-hit-rate` unmet (the CI cache-smoke contract).
+
+use std::path::PathBuf;
+
+use rapid_sim::parallelism::Parallelism;
+
+use crate::cache::{detect_commit, ResultCache};
+use crate::scheduler::{run_sweep, TrialStatus};
+use crate::serve::{BenchProvider, ServeConfig, Server};
+use crate::spec::SweepSpec;
+
+const SWEEP_USAGE: &str = "\
+xp sweep — run a parameter grid over one experiment, cache-served
+
+USAGE:
+    xp sweep <id> [OPTIONS]
+
+OPTIONS:
+    --quick                start each grid point from the quick preset
+    --set KEY=VALUE        base override applied to every point (repeatable)
+    --grid KEY=V1,V2,...   sweep axis (repeatable; axes cross-multiply,
+                           first axis slowest; `--grid seed=1,2,3` sweeps
+                           trials)
+    --parallelism SPEC     trial workers: N or `auto` (default: auto)
+    --out FILE             also write the index-sorted result JSONL here
+    --cache-dir DIR        result cache location (default: <workspace>/out/cache)
+    --no-cache             recompute everything, touch no cache
+    --require-hit-rate PCT fail (exit 3) when the cache hit rate is below
+                           PCT percent — the CI cache-effectiveness gate
+";
+
+const SERVE_USAGE: &str = "\
+xp serve — HTTP front end for sweeps (POST /run, GET /status/<job>,
+GET /result/<job>, GET /bench)
+
+USAGE:
+    xp serve [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT       bind address (default: 127.0.0.1:7878; port 0
+                           picks an ephemeral port, printed on stderr)
+    --parallelism SPEC     default trial workers per job (default: auto)
+    --cache-dir DIR        shared result cache (default: <workspace>/out/cache)
+    --no-cache             serve without a result cache
+";
+
+/// Parsed `xp sweep` invocation.
+struct SweepOpts {
+    spec: SweepSpec,
+    parallelism: Parallelism,
+    out: Option<PathBuf>,
+    cache_dir: Option<PathBuf>,
+    require_hit_rate: Option<f64>,
+}
+
+/// The workspace root (`crates/sweep` → `crates` → root), the anchor for
+/// the default `out/cache` so every invocation shares one cache
+/// regardless of cwd.
+fn workspace_root() -> PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        // lint: allow(panic-hygiene): CARGO_MANIFEST_DIR of a workspace member always has the workspace root two levels up
+        .expect("manifest dir has a workspace root two levels up")
+        .to_path_buf()
+}
+
+fn default_cache_dir() -> PathBuf {
+    workspace_root().join("out").join("cache")
+}
+
+fn parse_sweep(args: &[String]) -> Result<SweepOpts, String> {
+    let mut iter = args.iter();
+    let id = match iter.next() {
+        Some(id) if !id.starts_with('-') => id.clone(),
+        Some(flag) if flag == "--help" || flag == "help" => return Err(String::new()),
+        _ => return Err("expected an experiment id (`xp sweep e06 …`)".into()),
+    };
+    let mut opts = SweepOpts {
+        spec: SweepSpec::new(id),
+        parallelism: Parallelism::default(),
+        out: None,
+        cache_dir: Some(default_cache_dir()),
+        require_hit_rate: None,
+    };
+    let value = |iter: &mut std::slice::Iter<'_, String>, flag: &str| {
+        iter.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => opts.spec.preset = rapid_experiments::params::Preset::Quick,
+            "--set" => {
+                let raw = value(&mut iter, "--set")?;
+                let (k, v) = raw
+                    .split_once('=')
+                    .ok_or_else(|| format!("--set {raw:?}: expected KEY=VALUE"))?;
+                opts.spec.sets.push((k.to_string(), v.to_string()));
+            }
+            "--grid" => {
+                let raw = value(&mut iter, "--grid")?;
+                let (k, vs) = raw
+                    .split_once('=')
+                    .ok_or_else(|| format!("--grid {raw:?}: expected KEY=V1,V2,..."))?;
+                opts.spec
+                    .grid
+                    .push((k.to_string(), vs.split(',').map(str::to_string).collect()));
+            }
+            "--parallelism" => {
+                let raw = value(&mut iter, "--parallelism")?;
+                opts.parallelism = Parallelism::parse(&raw).map_err(|e| e.to_string())?;
+            }
+            "--out" => opts.out = Some(PathBuf::from(value(&mut iter, "--out")?)),
+            "--cache-dir" => {
+                opts.cache_dir = Some(PathBuf::from(value(&mut iter, "--cache-dir")?));
+            }
+            "--no-cache" => opts.cache_dir = None,
+            "--require-hit-rate" => {
+                let raw = value(&mut iter, "--require-hit-rate")?;
+                let pct: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("--require-hit-rate {raw:?}: expected a percentage"))?;
+                if !(0.0..=100.0).contains(&pct) {
+                    return Err(format!("--require-hit-rate {raw}: outside 0..=100"));
+                }
+                opts.require_hit_rate = Some(pct);
+            }
+            "--help" | "help" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// `xp sweep` entry point (args exclude the word `sweep`).
+pub fn sweep(args: &[String]) -> i32 {
+    let opts = match parse_sweep(args) {
+        Ok(opts) => opts,
+        Err(message) if message.is_empty() => {
+            print!("{SWEEP_USAGE}");
+            return 0;
+        }
+        Err(message) => {
+            eprintln!("xp sweep: {message}");
+            eprintln!("run `xp sweep --help` for usage");
+            return 2;
+        }
+    };
+    let mut cache = match &opts.cache_dir {
+        Some(dir) => match ResultCache::open(dir) {
+            Ok(cache) => Some(cache),
+            Err(error) => {
+                eprintln!("xp sweep: cannot open cache at {}: {error}", dir.display());
+                return 2;
+            }
+        },
+        None => None,
+    };
+    let commit = detect_commit();
+    let outcome = run_sweep(
+        &opts.spec,
+        opts.parallelism,
+        cache.as_mut(),
+        commit.as_deref(),
+        |record| {
+            // Incremental stream: one line per trial, completion order.
+            if let Some(line) = record.result_line() {
+                println!("{line}");
+            } else if let TrialStatus::Failed(message) = &record.status {
+                eprintln!("[trial {} failed: {message}]", record.index);
+            }
+        },
+    );
+    let outcome = match outcome {
+        Ok(outcome) => outcome,
+        Err(error) => {
+            eprintln!("xp sweep: {error}");
+            return 2;
+        }
+    };
+    if let Some(path) = &opts.out {
+        let write = |p: &std::path::Path| -> std::io::Result<()> {
+            if let Some(parent) = p.parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(p, outcome.result_jsonl())
+        };
+        match write(path) {
+            Ok(()) => eprintln!("[saved {}]", path.display()),
+            Err(error) => {
+                eprintln!("xp sweep: cannot write {}: {error}", path.display());
+                return 2;
+            }
+        }
+    }
+    let counters = outcome.counters;
+    eprintln!(
+        "[sweep {}: {} trials — {} computed, {} cached, {} failed; cache {} hits / {} misses / {} insertions / {} evictions]",
+        opts.spec.experiment,
+        outcome.records.len(),
+        outcome.computed(),
+        outcome.cached(),
+        outcome.failures.len(),
+        counters.hits,
+        counters.misses,
+        counters.insertions,
+        counters.evictions,
+    );
+    if let Some(required) = opts.require_hit_rate {
+        let rate = counters.hit_rate_percent();
+        if rate < required {
+            eprintln!("xp sweep: cache hit rate {rate:.1}% is below the required {required:.1}%");
+            return 3;
+        }
+        eprintln!("[cache hit rate {rate:.1}% >= required {required:.1}%]");
+    }
+    if outcome.is_success() {
+        0
+    } else {
+        1
+    }
+}
+
+/// Parsed `xp serve` invocation.
+struct ServeOpts {
+    addr: String,
+    config: ServeConfig,
+}
+
+fn parse_serve(args: &[String], bench: Option<BenchProvider>) -> Result<ServeOpts, String> {
+    let mut opts = ServeOpts {
+        addr: "127.0.0.1:7878".to_string(),
+        config: ServeConfig {
+            cache_dir: Some(default_cache_dir()),
+            parallelism: Parallelism::default(),
+            commit: detect_commit(),
+            bench,
+        },
+    };
+    let mut iter = args.iter();
+    let value = |iter: &mut std::slice::Iter<'_, String>, flag: &str| {
+        iter.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = value(&mut iter, "--addr")?,
+            "--parallelism" => {
+                let raw = value(&mut iter, "--parallelism")?;
+                opts.config.parallelism = Parallelism::parse(&raw).map_err(|e| e.to_string())?;
+            }
+            "--cache-dir" => {
+                opts.config.cache_dir = Some(PathBuf::from(value(&mut iter, "--cache-dir")?));
+            }
+            "--no-cache" => opts.config.cache_dir = None,
+            "--help" | "help" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// `xp serve` entry point (args exclude the word `serve`). `bench` is
+/// the `/bench` data source injected by the binary.
+pub fn serve(args: &[String], bench: Option<BenchProvider>) -> i32 {
+    let opts = match parse_serve(args, bench) {
+        Ok(opts) => opts,
+        Err(message) if message.is_empty() => {
+            print!("{SERVE_USAGE}");
+            return 0;
+        }
+        Err(message) => {
+            eprintln!("xp serve: {message}");
+            eprintln!("run `xp serve --help` for usage");
+            return 2;
+        }
+    };
+    let server = match Server::bind(&opts.addr, opts.config) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("xp serve: cannot bind {}: {error}", opts.addr);
+            return 2;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => eprintln!("[serving on http://{addr}]"),
+        Err(error) => eprintln!("[serving; local_addr unavailable: {error}]"),
+    }
+    match server.run() {
+        Ok(()) => 0,
+        Err(error) => {
+            eprintln!("xp serve: listener failed: {error}");
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn sweep_parse_builds_the_spec() {
+        let opts = parse_sweep(&strings(&[
+            "e06",
+            "--quick",
+            "--set",
+            "trials=1",
+            "--grid",
+            "k=2,3",
+            "--grid",
+            "seed=7,8",
+            "--parallelism",
+            "4",
+            "--no-cache",
+            "--require-hit-rate",
+            "90",
+        ]))
+        .expect("parses");
+        assert_eq!(opts.spec.experiment, "e06");
+        assert_eq!(opts.spec.preset, rapid_experiments::params::Preset::Quick);
+        assert_eq!(
+            opts.spec.sets,
+            vec![("trials".to_string(), "1".to_string())]
+        );
+        assert_eq!(opts.spec.grid.len(), 2);
+        assert_eq!(opts.spec.grid[0].1, vec!["2", "3"]);
+        assert_eq!(opts.cache_dir, None);
+        assert_eq!(opts.require_hit_rate, Some(90.0));
+        assert_eq!(
+            opts.parallelism,
+            Parallelism::parse("4").expect("valid spec")
+        );
+    }
+
+    #[test]
+    fn sweep_parse_rejects_bad_flags() {
+        assert!(parse_sweep(&strings(&[])).is_err());
+        assert!(parse_sweep(&strings(&["e06", "--set", "notkv"])).is_err());
+        assert!(parse_sweep(&strings(&["e06", "--grid"])).is_err());
+        assert!(parse_sweep(&strings(&["e06", "--require-hit-rate", "150"])).is_err());
+        assert!(parse_sweep(&strings(&["e06", "--wat"])).is_err());
+        // `--help` is the empty-message sentinel.
+        assert!(matches!(parse_sweep(&strings(&["--help"])), Err(m) if m.is_empty()));
+    }
+
+    #[test]
+    fn sweep_default_cache_dir_is_workspace_anchored() {
+        let opts = parse_sweep(&strings(&["e06"])).expect("parses");
+        let dir = opts.cache_dir.expect("default cache on");
+        assert!(dir.ends_with("out/cache"));
+        assert!(dir
+            .parent()
+            .expect("parent")
+            .parent()
+            .expect("root")
+            .join("Cargo.toml")
+            .exists());
+    }
+
+    #[test]
+    fn serve_parse_handles_flags() {
+        let opts = parse_serve(
+            &strings(&["--addr", "127.0.0.1:0", "--parallelism", "2", "--no-cache"]),
+            None,
+        )
+        .expect("parses");
+        assert_eq!(opts.addr, "127.0.0.1:0");
+        assert_eq!(opts.config.cache_dir, None);
+        assert!(parse_serve(&strings(&["--bogus"]), None).is_err());
+    }
+}

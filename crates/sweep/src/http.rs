@@ -1,0 +1,468 @@
+//! A minimal, defensive HTTP/1.1 message layer over `std::io`.
+//!
+//! `xp serve` needs exactly enough HTTP to accept JSON requests from
+//! `curl` and test clients: request-line + headers + optional
+//! `Content-Length` body in, status + JSON body out, one request per
+//! connection (`Connection: close`). The parser is written against
+//! hostile input — every limit is explicit, every malformed byte
+//! becomes a typed [`HttpError`], and nothing panics — because the
+//! fuzz suite in `tests/http.rs` feeds it garbage, truncations and
+//! oversized headers and asserts exactly that.
+
+use std::io::{BufRead, Write};
+
+/// Longest accepted request line (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Cap on the *total* header bytes of one request.
+pub const MAX_HEADER_BYTES: usize = 32 * 1024;
+/// Cap on a request body (`Content-Length`).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// The request methods the server understands.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST`
+    Post,
+}
+
+/// One parsed HTTP request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// `GET` or `POST`.
+    pub method: Method,
+    /// The raw request target (`/status/job-3`), no normalisation.
+    pub target: String,
+    /// Header `(name, value)` pairs in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of `name` (ASCII case-insensitive lookup; names were
+    /// lower-cased at parse time).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Reads and validates one request from `stream`.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`HttpError`] for every way a request can be malformed:
+    /// truncation, an unparsable request line, an unsupported method or
+    /// version, a header without `:`, non-UTF-8 bytes, or any size
+    /// limit being exceeded. I/O failures surface as [`HttpError::Io`].
+    pub fn read_from(stream: &mut impl BufRead) -> Result<Request, HttpError> {
+        let line = read_crlf_line(stream, MAX_REQUEST_LINE, "request line")?;
+        let mut parts = line.split(' ');
+        let (method, target, version) =
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+                _ => return Err(HttpError::BadRequestLine(line.clone())),
+            };
+        let method = match method {
+            "GET" => Method::Get,
+            "POST" => Method::Post,
+            other => return Err(HttpError::UnsupportedMethod(other.to_string())),
+        };
+        if version != "HTTP/1.1" && version != "HTTP/1.0" {
+            return Err(HttpError::BadRequestLine(line.clone()));
+        }
+        if !target.starts_with('/') {
+            return Err(HttpError::BadRequestLine(line.clone()));
+        }
+
+        let mut headers = Vec::new();
+        let mut header_bytes = 0usize;
+        loop {
+            let line = read_crlf_line(stream, MAX_HEADER_BYTES, "header")?;
+            if line.is_empty() {
+                break;
+            }
+            header_bytes = header_bytes.saturating_add(line.len());
+            if header_bytes > MAX_HEADER_BYTES {
+                return Err(HttpError::TooLarge {
+                    what: "headers",
+                    limit: MAX_HEADER_BYTES,
+                });
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| HttpError::BadHeader(line.clone()))?;
+            if name.is_empty() || name.contains(' ') {
+                return Err(HttpError::BadHeader(line.clone()));
+            }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let mut body = Vec::new();
+        let content_length = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .map(|(_, v)| v.clone());
+        if let Some(raw) = content_length {
+            let len: usize = raw
+                .parse()
+                .map_err(|_| HttpError::BadContentLength(raw.clone()))?;
+            if len > MAX_BODY_BYTES {
+                return Err(HttpError::TooLarge {
+                    what: "body",
+                    limit: MAX_BODY_BYTES,
+                });
+            }
+            body.resize(len, 0);
+            stream.read_exact(&mut body).map_err(|e| {
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    HttpError::Truncated("body")
+                } else {
+                    HttpError::Io(e.to_string())
+                }
+            })?;
+        }
+
+        Ok(Request {
+            method,
+            target: target.to_string(),
+            headers,
+            body,
+        })
+    }
+
+    /// Splits the target into non-empty `/`-separated segments, with
+    /// the query string (anything from `?`) dropped.
+    pub fn path_segments(&self) -> Vec<&str> {
+        let path = self.target.split('?').next().unwrap_or("");
+        path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line of at most `cap`
+/// bytes, validated as UTF-8, with the terminator stripped.
+fn read_crlf_line(
+    stream: &mut impl BufRead,
+    cap: usize,
+    what: &'static str,
+) -> Result<String, HttpError> {
+    let mut buf = Vec::new();
+    // `take` bounds the worst case: a peer streaming an endless line
+    // can cost at most cap + 1 bytes of memory before we bail.
+    let n = std::io::Read::take(&mut *stream, cap as u64 + 1)
+        .read_until(b'\n', &mut buf)
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    if n == 0 {
+        return Err(HttpError::Truncated(what));
+    }
+    match buf.last() {
+        Some(b'\n') => {
+            buf.pop();
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+        }
+        // No terminator: either the cap cut us off or the peer hung up
+        // mid-line.
+        _ if buf.len() > cap => {
+            return Err(HttpError::TooLarge { what, limit: cap });
+        }
+        _ => return Err(HttpError::Truncated(what)),
+    }
+    String::from_utf8(buf).map_err(|_| HttpError::NotUtf8(what))
+}
+
+/// Every way a request can fail to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// The stream ended mid-element.
+    Truncated(&'static str),
+    /// The request line is not `METHOD target HTTP/1.x`.
+    BadRequestLine(String),
+    /// A method other than GET/POST.
+    UnsupportedMethod(String),
+    /// A header line without a `name:` prefix.
+    BadHeader(String),
+    /// A size limit was exceeded.
+    TooLarge {
+        /// Which element (`"request line"`, `"headers"`, `"body"`).
+        what: &'static str,
+        /// The enforced byte limit.
+        limit: usize,
+    },
+    /// `Content-Length` is not a usize.
+    BadContentLength(String),
+    /// An element contained invalid UTF-8.
+    NotUtf8(&'static str),
+    /// Transport-level I/O failure.
+    Io(String),
+}
+
+impl HttpError {
+    /// The status code this parse failure maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::UnsupportedMethod(_) => 405,
+            HttpError::TooLarge { what: "body", .. } => 413,
+            HttpError::TooLarge { .. } => 431,
+            _ => 400,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Truncated(what) => write!(f, "stream ended inside the {what}"),
+            HttpError::BadRequestLine(line) => write!(f, "bad request line {line:?}"),
+            HttpError::UnsupportedMethod(m) => write!(f, "unsupported method {m:?}"),
+            HttpError::BadHeader(line) => write!(f, "malformed header {line:?}"),
+            HttpError::TooLarge { what, limit } => {
+                write!(f, "{what} exceeds the {limit}-byte limit")
+            }
+            HttpError::BadContentLength(v) => write!(f, "bad content-length {v:?}"),
+            HttpError::NotUtf8(what) => write!(f, "{what} is not valid UTF-8"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// One response, always `Connection: close`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// The canonical JSON error body `{"error": …}` for `status`.
+    pub fn error(status: u16, message: &str) -> Self {
+        use rapid_experiments::json::JsonValue;
+        Response::json(
+            status,
+            JsonValue::object([("error", JsonValue::String(message.to_string()))]).to_compact(),
+        )
+    }
+
+    /// Serialises status line, headers and body to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport I/O errors.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// The reason phrase for the status codes the server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        Request::read_from(&mut Cursor::new(raw.to_vec()))
+    }
+
+    #[test]
+    fn parses_get_with_headers() {
+        let req = parse(b"GET /status/j1?v=2 HTTP/1.1\r\nHost: x\r\nX-A: b c \r\n\r\n")
+            .expect("valid request");
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.target, "/status/j1?v=2");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("X-A"), Some("b c"));
+        assert_eq!(req.path_segments(), vec!["status", "j1"]);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length() {
+        let req =
+            parse(b"POST /run HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"").expect("valid request");
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn bare_lf_lines_are_tolerated() {
+        let req = parse(b"GET / HTTP/1.1\nHost: x\n\n").expect("lenient line endings");
+        assert_eq!(req.path_segments(), Vec::<&str>::new());
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn typed_errors_for_malformed_requests() {
+        assert_eq!(parse(b""), Err(HttpError::Truncated("request line")));
+        assert!(matches!(
+            parse(b"GET /\r\n\r\n"),
+            Err(HttpError::BadRequestLine(_))
+        ));
+        assert!(matches!(
+            parse(b"BREW /pot HTTP/1.1\r\n\r\n"),
+            Err(HttpError::UnsupportedMethod(m)) if m == "BREW"
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/2.0\r\n\r\n"),
+            Err(HttpError::BadRequestLine(_))
+        ));
+        assert!(matches!(
+            parse(b"GET no-slash HTTP/1.1\r\n\r\n"),
+            Err(HttpError::BadRequestLine(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nnocolon\r\n\r\n"),
+            Err(HttpError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nContent-Length: chunky\r\n\r\n"),
+            Err(HttpError::BadContentLength(_))
+        ));
+        assert_eq!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::Truncated("body"))
+        );
+        assert_eq!(
+            parse(b"GET / HTTP/1.1\r\nHost: x"),
+            Err(HttpError::Truncated("header"))
+        );
+    }
+
+    #[test]
+    fn size_limits_are_enforced() {
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE));
+        assert_eq!(
+            parse(long_line.as_bytes()),
+            Err(HttpError::TooLarge {
+                what: "request line",
+                limit: MAX_REQUEST_LINE
+            })
+        );
+        let mut big_headers = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..5000 {
+            big_headers.push_str(&format!("X-{i}: {}\r\n", "v".repeat(16)));
+        }
+        big_headers.push_str("\r\n");
+        assert!(matches!(
+            parse(big_headers.as_bytes()),
+            Err(HttpError::TooLarge {
+                what: "headers",
+                ..
+            })
+        ));
+        let huge_body = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(
+            parse(huge_body.as_bytes()),
+            Err(HttpError::TooLarge {
+                what: "body",
+                limit: MAX_BODY_BYTES
+            })
+        );
+    }
+
+    #[test]
+    fn error_statuses_map_sensibly() {
+        assert_eq!(HttpError::UnsupportedMethod("BREW".into()).status(), 405);
+        assert_eq!(
+            HttpError::TooLarge {
+                what: "body",
+                limit: 1
+            }
+            .status(),
+            413
+        );
+        assert_eq!(
+            HttpError::TooLarge {
+                what: "headers",
+                limit: 1
+            }
+            .status(),
+            431
+        );
+        assert_eq!(HttpError::Truncated("body").status(), 400);
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        Response::json(200, "{}")
+            .write_to(&mut out)
+            .expect("writes");
+        let text = String::from_utf8(out).expect("ascii");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+        let mut out = Vec::new();
+        Response::error(404, "no such job")
+            .write_to(&mut out)
+            .expect("writes");
+        let text = String::from_utf8(out).expect("ascii");
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.ends_with("{\"error\":\"no such job\"}"));
+    }
+
+    #[test]
+    fn non_utf8_bytes_are_rejected() {
+        assert_eq!(
+            parse(b"GET /\xff\xfe HTTP/1.1\r\n\r\n"),
+            Err(HttpError::NotUtf8("request line"))
+        );
+    }
+}

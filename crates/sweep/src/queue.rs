@@ -1,0 +1,139 @@
+//! A work-stealing deque set for fanning sweep items across workers.
+//!
+//! Each worker owns a deque, seeded round-robin from the expanded item
+//! list so the initial split is deterministic. A worker pops its own
+//! deque from the *front* (preserving enumeration order locally) and,
+//! when empty, steals from the *back* of a victim — the classic split
+//! that keeps owners and thieves off the same end. Deques are plain
+//! `Mutex<VecDeque>`s: sweep items are whole experiment trials (≫ ms),
+//! so lock traffic is noise and the simplicity buys a trivially
+//! data-race-free structure for the TSan suite to confirm.
+//!
+//! The queue never re-orders *results* — the scheduler sorts by item
+//! index — so stealing affects wall-clock only, never output bytes.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A fixed set of per-worker deques over items of type `T`.
+#[derive(Debug)]
+pub struct StealQueue<T> {
+    deques: Vec<Mutex<VecDeque<T>>>,
+}
+
+impl<T> StealQueue<T> {
+    /// Builds `workers` deques (at least one) and deals `items` into
+    /// them round-robin: item `i` lands in deque `i % workers`.
+    pub fn new(workers: usize, items: impl IntoIterator<Item = T>) -> Self {
+        let workers = workers.max(1);
+        let mut deques: Vec<VecDeque<T>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            deques[i % workers].push_back(item);
+        }
+        StealQueue {
+            deques: deques.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Number of worker deques.
+    pub fn workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Takes the next item for `worker`: front of its own deque, else
+    /// the back of the first non-empty victim (scanning `worker + 1`,
+    /// `worker + 2`, … cyclically). `None` means every deque is empty
+    /// *at the instants each lock was held* — with no concurrent
+    /// producers (the scheduler seeds everything up front), that is a
+    /// permanent "queue drained".
+    pub fn pop(&self, worker: usize) -> Option<T> {
+        let n = self.deques.len();
+        let own = worker % n;
+        if let Some(item) = self.lock(own).pop_front() {
+            return Some(item);
+        }
+        for offset in 1..n {
+            let victim = (own + offset) % n;
+            if let Some(item) = self.lock(victim).pop_back() {
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    /// Total items currently queued (racy under concurrency; exact when
+    /// quiescent).
+    pub fn len(&self) -> usize {
+        (0..self.deques.len()).map(|i| self.lock(i).len()).sum()
+    }
+
+    /// Whether every deque is empty (same caveat as [`StealQueue::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self, i: usize) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        // lint: allow(panic-hygiene): a poisoned deque mutex means a
+        // worker panicked while holding it; pop/push on a VecDeque
+        // cannot leave it inconsistent, so clearing the poison is safe.
+        self.deques[i]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn round_robin_seed_and_owner_pop_order() {
+        let q = StealQueue::new(2, 0..6);
+        // Worker 0 owns [0, 2, 4]; it pops front-first.
+        assert_eq!(q.pop(0), Some(0));
+        assert_eq!(q.pop(0), Some(2));
+        assert_eq!(q.pop(0), Some(4));
+        // Own deque empty: steal from the back of worker 1's [1, 3, 5].
+        assert_eq!(q.pop(0), Some(5));
+        assert_eq!(q.pop(1), Some(1));
+        assert_eq!(q.pop(1), Some(3));
+        assert_eq!(q.pop(0), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let q = StealQueue::new(0, ["only"]);
+        assert_eq!(q.workers(), 1);
+        assert_eq!(q.pop(0), Some("only"));
+    }
+
+    #[test]
+    fn out_of_range_worker_index_wraps() {
+        let q = StealQueue::new(2, 0..2);
+        assert_eq!(q.pop(7), Some(1)); // 7 % 2 == 1 owns [1]
+        assert_eq!(q.pop(7), Some(0)); // then steals from worker 0
+    }
+
+    #[test]
+    fn concurrent_drain_pops_every_item_exactly_once() {
+        const ITEMS: usize = 10_000;
+        const WORKERS: usize = 4;
+        let q = StealQueue::new(WORKERS, 0..ITEMS);
+        let seen: Vec<AtomicUsize> = (0..ITEMS).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|scope| {
+            for w in 0..WORKERS {
+                let q = &q;
+                let seen = &seen;
+                scope.spawn(move || {
+                    while let Some(item) = q.pop(w) {
+                        seen[item].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert!(q.is_empty());
+        assert!(seen.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+}

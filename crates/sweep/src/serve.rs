@@ -1,0 +1,446 @@
+//! `xp serve`: the std-only HTTP front end over the sweep scheduler.
+//!
+//! One `TcpListener`, one thread per connection, one request per
+//! connection. Four endpoints:
+//!
+//! | endpoint              | method | behaviour                                      |
+//! |-----------------------|--------|------------------------------------------------|
+//! | `/run`                | POST   | submit a sweep job; returns `{"job": id}` (202)|
+//! | `/status/<job>`       | GET    | live progress + cache counters                 |
+//! | `/result/<job>`       | GET    | the finished job's result JSONL                |
+//! | `/bench`              | GET    | the benchmark trajectory, filterable by query  |
+//!
+//! Jobs run on their own thread against their own [`ResultCache`]
+//! session over the shared `cache.jsonl` (append-only lines make the
+//! file multi-writer safe), so a re-submitted sweep is answered from
+//! cache. Job ids are sequential (`job-1`, `job-2`, …): the server
+//! deliberately has no clock — the workspace's no-wall-clock rule
+//! holds everywhere outside `crates/bench` — and needs none.
+
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rapid_experiments::json::{self, JsonValue};
+use rapid_experiments::params::Preset;
+use rapid_sim::parallelism::Parallelism;
+
+use crate::cache::{CacheCounters, ResultCache};
+use crate::http::{Method, Request, Response};
+use crate::scheduler::{run_sweep, TrialStatus};
+use crate::spec::SweepSpec;
+
+/// Supplies the `/bench` document (injected by the `xp` binary, which
+/// owns the benchmark directory; the sweep crate stays independent of
+/// the bench crate).
+pub type BenchProvider = Box<dyn Fn() -> Result<JsonValue, String> + Send + Sync>;
+
+/// Server configuration.
+#[derive(Default)]
+pub struct ServeConfig {
+    /// Directory for the shared result cache; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+    /// Default parallelism for jobs that do not specify their own.
+    pub parallelism: Parallelism,
+    /// Commit recorded in cache keys.
+    pub commit: Option<String>,
+    /// `/bench` data source; `None` makes the endpoint 404.
+    pub bench: Option<BenchProvider>,
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum JobStatus {
+    Queued,
+    Running,
+    Done,
+    Failed(String),
+}
+
+impl JobStatus {
+    fn label(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Mutable record of one submitted sweep.
+#[derive(Debug)]
+struct Job {
+    experiment: String,
+    status: JobStatus,
+    total: usize,
+    completed: usize,
+    cached: usize,
+    computed: usize,
+    failures: Vec<(usize, String)>,
+    counters: CacheCounters,
+    result_jsonl: Option<String>,
+}
+
+impl Job {
+    fn status_json(&self, id: &str) -> JsonValue {
+        let mut obj = vec![
+            ("job", JsonValue::String(id.to_string())),
+            ("experiment", JsonValue::String(self.experiment.clone())),
+            ("status", JsonValue::String(self.status.label().to_string())),
+            ("total", JsonValue::U64(self.total as u64)),
+            ("completed", JsonValue::U64(self.completed as u64)),
+            ("cached", JsonValue::U64(self.cached as u64)),
+            ("computed", JsonValue::U64(self.computed as u64)),
+            ("cache", self.counters.to_json_value()),
+            (
+                "failures",
+                JsonValue::Array(
+                    self.failures
+                        .iter()
+                        .map(|(index, message)| {
+                            JsonValue::object([
+                                ("index", JsonValue::U64(*index as u64)),
+                                ("message", JsonValue::String(message.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ];
+        if let JobStatus::Failed(why) = &self.status {
+            obj.push(("error", JsonValue::String(why.clone())));
+        }
+        JsonValue::object(obj)
+    }
+}
+
+/// Shared state behind the listener threads.
+struct ServerState {
+    config: ServeConfig,
+    jobs: Mutex<BTreeMap<String, Job>>,
+    next_job: AtomicU64,
+}
+
+impl ServerState {
+    // lint: allow(panic-hygiene): job-table mutex poisoning is unreachable
+    // (no panicking code runs under the lock); recover the data if it
+    // ever happens rather than cascading.
+    fn jobs(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Job>> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// The bound, not-yet-serving HTTP server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds `addr` (`"127.0.0.1:0"` for an ephemeral test port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, config: ServeConfig) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            state: Arc::new(ServerState {
+                config,
+                jobs: Mutex::new(BTreeMap::new()),
+                next_job: AtomicU64::new(1),
+            }),
+        })
+    }
+
+    /// The bound address (the ephemeral port the OS picked).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket introspection failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept loop: one detached thread per connection, forever (the
+    /// process, not the API, decides when serving stops).
+    ///
+    /// # Errors
+    ///
+    /// Returns only if the listener itself fails.
+    pub fn run(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            let stream = stream?;
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || handle_connection(&state, stream));
+        }
+        Ok(())
+    }
+}
+
+/// Reads one request off `stream` and writes one response.
+fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let response = match Request::read_from(&mut reader) {
+        Ok(request) => route(state, &request),
+        Err(error) => Response::error(error.status(), &error.to_string()),
+    };
+    let mut stream = stream;
+    let _ = response.write_to(&mut stream);
+}
+
+/// Dispatches one parsed request.
+fn route(state: &Arc<ServerState>, request: &Request) -> Response {
+    let segments = request.path_segments();
+    match (request.method, segments.as_slice()) {
+        (Method::Post, ["run"]) => submit_job(state, &request.body),
+        (Method::Get, ["status", id]) => job_status(state, id),
+        (Method::Get, ["result", id]) => job_result(state, id),
+        (Method::Get, ["bench"]) => bench(state, request),
+        (Method::Post, _) | (Method::Get, _) => {
+            Response::error(404, &format!("no route for {}", request.target))
+        }
+    }
+}
+
+/// `POST /run`: parse the job document, validate by expanding, record
+/// the job, then hand the sweep to its own thread.
+fn submit_job(state: &Arc<ServerState>, body: &[u8]) -> Response {
+    let (spec, parallelism) = match parse_job(body, state.config.parallelism) {
+        Ok(parsed) => parsed,
+        Err(message) => return Response::error(422, &message),
+    };
+    let total = match spec.expand() {
+        Ok(items) => items.len(),
+        Err(error) => return Response::error(422, &error.to_string()),
+    };
+    let id = format!("job-{}", state.next_job.fetch_add(1, Ordering::Relaxed));
+    state.jobs().insert(
+        id.clone(),
+        Job {
+            experiment: spec.experiment.clone(),
+            status: JobStatus::Queued,
+            total,
+            completed: 0,
+            cached: 0,
+            computed: 0,
+            failures: Vec::new(),
+            counters: CacheCounters::default(),
+            result_jsonl: None,
+        },
+    );
+    let response = Response::json(
+        202,
+        JsonValue::object([
+            ("job", JsonValue::String(id.clone())),
+            ("items", JsonValue::U64(total as u64)),
+        ])
+        .to_compact(),
+    );
+    let state = Arc::clone(state);
+    std::thread::spawn(move || run_job(&state, &id, &spec, parallelism));
+    response
+}
+
+/// `GET /status/<id>`.
+fn job_status(state: &ServerState, id: &str) -> Response {
+    match state.jobs().get(id) {
+        Some(job) => Response::json(200, job.status_json(id).to_compact()),
+        None => Response::error(404, &format!("no job {id:?}")),
+    }
+}
+
+/// `GET /result/<id>`: the canonical result JSONL, only once done.
+fn job_result(state: &ServerState, id: &str) -> Response {
+    let jobs = state.jobs();
+    let Some(job) = jobs.get(id) else {
+        return Response::error(404, &format!("no job {id:?}"));
+    };
+    match (&job.status, &job.result_jsonl) {
+        (JobStatus::Done, Some(doc)) => Response {
+            status: 200,
+            content_type: "application/x-ndjson",
+            body: doc.clone().into_bytes(),
+        },
+        (JobStatus::Failed(why), _) => Response::error(500, why),
+        _ => Response::error(409, &format!("job {id:?} is {}", job.status.label())),
+    }
+}
+
+/// `GET /bench`: the provider document, optionally filtered by query
+/// parameters (each `k=v` keeps array elements whose field `k` equals
+/// `v` as a string or integer).
+fn bench(state: &ServerState, request: &Request) -> Response {
+    let Some(provider) = &state.config.bench else {
+        return Response::error(404, "no benchmark data directory configured");
+    };
+    let doc = match provider() {
+        Ok(doc) => doc,
+        Err(message) => return Response::error(500, &message),
+    };
+    let filters = query_pairs(&request.target);
+    let doc = if filters.is_empty() {
+        doc
+    } else {
+        filter_array(doc, &filters)
+    };
+    Response::json(200, doc.to_compact())
+}
+
+/// `?a=b&c=d` → `[("a","b"), ("c","d")]`.
+fn query_pairs(target: &str) -> Vec<(String, String)> {
+    let Some((_, query)) = target.split_once('?') else {
+        return Vec::new();
+    };
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+/// Keeps array elements whose field `k` stringifies to `v` for every
+/// filter; non-arrays pass through untouched.
+fn filter_array(doc: JsonValue, filters: &[(String, String)]) -> JsonValue {
+    let JsonValue::Array(items) = doc else {
+        return doc;
+    };
+    JsonValue::Array(
+        items
+            .into_iter()
+            .filter(|item| {
+                filters.iter().all(|(k, v)| match item.get(k) {
+                    Some(JsonValue::String(s)) => s == v,
+                    Some(other) => other.to_compact() == *v,
+                    None => false,
+                })
+            })
+            .collect(),
+    )
+}
+
+/// Runs one job to completion, mirroring progress into the job table.
+fn run_job(state: &ServerState, id: &str, spec: &SweepSpec, parallelism: Parallelism) {
+    if let Some(job) = state.jobs().get_mut(id) {
+        job.status = JobStatus::Running;
+    }
+    let mut cache = match &state.config.cache_dir {
+        Some(dir) => match ResultCache::open(dir) {
+            Ok(cache) => Some(cache),
+            Err(error) => {
+                fail_job(state, id, &format!("cache: {error}"));
+                return;
+            }
+        },
+        None => None,
+    };
+    let commit = state.config.commit.clone();
+    let outcome = run_sweep(
+        spec,
+        parallelism,
+        cache.as_mut(),
+        commit.as_deref(),
+        |record| {
+            if let Some(job) = state.jobs().get_mut(id) {
+                job.completed += 1;
+                match &record.status {
+                    TrialStatus::Cached => job.cached += 1,
+                    TrialStatus::Computed => job.computed += 1,
+                    TrialStatus::Failed(message) => {
+                        job.failures.push((record.index, message.clone()));
+                    }
+                }
+            }
+        },
+    );
+    match outcome {
+        Ok(outcome) => {
+            if let Some(job) = state.jobs().get_mut(id) {
+                job.status = JobStatus::Done;
+                job.counters = outcome.counters;
+                job.failures = outcome.failures.clone();
+                job.result_jsonl = Some(outcome.result_jsonl());
+            }
+        }
+        Err(error) => fail_job(state, id, &error.to_string()),
+    }
+}
+
+fn fail_job(state: &ServerState, id: &str, why: &str) {
+    if let Some(job) = state.jobs().get_mut(id) {
+        job.status = JobStatus::Failed(why.to_string());
+    }
+}
+
+/// Parses the `POST /run` document:
+///
+/// ```json
+/// {
+///   "experiment": "e06",
+///   "preset": "quick",
+///   "set": {"trials": 2},
+///   "grid": {"k": [2, 3], "seed": [7, 8]},
+///   "parallelism": "4"
+/// }
+/// ```
+///
+/// Grid and set values may be JSON strings or numbers; both are fed
+/// through the schema's string parser. Grid axes run in key order
+/// (sorted — the object form has no other order).
+fn parse_job(body: &[u8], default: Parallelism) -> Result<(SweepSpec, Parallelism), String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = json::parse(text).map_err(|e| format!("body is not JSON: {e}"))?;
+    let experiment = doc
+        .get("experiment")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing \"experiment\"")?;
+    let mut spec = SweepSpec::new(experiment);
+    match doc.get("preset").and_then(JsonValue::as_str) {
+        None | Some("full") => {}
+        Some("quick") => spec.preset = Preset::Quick,
+        Some(other) => return Err(format!("unknown preset {other:?}")),
+    }
+    if let Some(sets) = doc.get("set") {
+        let JsonValue::Object(map) = sets else {
+            return Err("\"set\" must be an object".into());
+        };
+        for (key, value) in map {
+            spec.sets.push((key.clone(), raw_value(value)?));
+        }
+    }
+    if let Some(grid) = doc.get("grid") {
+        let JsonValue::Object(map) = grid else {
+            return Err("\"grid\" must be an object of arrays".into());
+        };
+        for (key, values) in map {
+            let values = values
+                .as_array()
+                .ok_or_else(|| format!("grid axis {key:?} must be an array"))?;
+            let raws: Vec<String> = values.iter().map(raw_value).collect::<Result<_, _>>()?;
+            spec.grid.push((key.clone(), raws));
+        }
+    }
+    let parallelism = match doc.get("parallelism").and_then(JsonValue::as_str) {
+        Some(token) => Parallelism::parse(token).map_err(|e| e.to_string())?,
+        None => default,
+    };
+    Ok((spec, parallelism))
+}
+
+/// A scalar JSON value as the raw string the schema parser expects.
+fn raw_value(value: &JsonValue) -> Result<String, String> {
+    match value {
+        JsonValue::String(s) => Ok(s.clone()),
+        JsonValue::U64(_) | JsonValue::Number(_) | JsonValue::Bool(_) => Ok(value.to_compact()),
+        _ => Err("parameter values must be scalars".into()),
+    }
+}

@@ -1,0 +1,323 @@
+//! Declaring a sweep and expanding it into trial-granular work items.
+//!
+//! A [`SweepSpec`] names one registered experiment, a preset, base
+//! parameter overrides and a *grid*: an ordered list of axes, each a
+//! parameter name with a list of candidate values. Expansion takes the
+//! cross product of the axes (first axis slowest, last fastest — odometer
+//! order), applies each combination on top of the preset + overrides, and
+//! yields one [`WorkItem`] per resulting assignment. The enumeration
+//! order is part of the determinism contract: item indices, and therefore
+//! the sorted result JSONL, depend only on the spec — never on worker
+//! count or completion order.
+//!
+//! `seed` is an ordinary schema parameter, so a seed axis is just
+//! `--grid seed=1,2,3`: trial granularity falls out of the same
+//! machinery as any other axis.
+
+use rapid_experiments::params::{ParamError, ParamMap, Preset};
+use rapid_experiments::registry;
+use rapid_experiments::Experiment;
+
+/// Backend label recorded in cache keys when the sweep drives the
+/// experiment registry (whose experiments pick their own engines).
+pub const REGISTRY_BACKEND: &str = "registry";
+
+/// Upper bound on expanded work items per sweep: a typo like
+/// `--grid seed=1..10000` on four axes must fail loudly, not OOM the
+/// scheduler or flood the cache.
+pub const MAX_ITEMS: usize = 65_536;
+
+/// A declared parameter sweep over one registered experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepSpec {
+    /// Registry id of the experiment to sweep (`"e06"`).
+    pub experiment: String,
+    /// Preset the assignments start from.
+    pub preset: Preset,
+    /// Base `key=value` overrides applied before the grid, in order.
+    pub sets: Vec<(String, String)>,
+    /// Grid axes: parameter name plus its candidate raw values, in
+    /// declaration order. Empty grid = a single-item sweep.
+    pub grid: Vec<(String, Vec<String>)>,
+    /// Backend label for cache keys (defaults to [`REGISTRY_BACKEND`]).
+    pub backend: String,
+}
+
+impl SweepSpec {
+    /// A sweep with no overrides and no grid over `experiment`.
+    pub fn new(experiment: impl Into<String>) -> Self {
+        SweepSpec {
+            experiment: experiment.into(),
+            preset: Preset::Full,
+            sets: Vec::new(),
+            grid: Vec::new(),
+            backend: REGISTRY_BACKEND.to_string(),
+        }
+    }
+
+    /// Switches to the `--quick` preset.
+    pub fn quick(mut self) -> Self {
+        self.preset = Preset::Quick;
+        self
+    }
+
+    /// Adds a base override (applied to every grid point).
+    pub fn set(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.sets.push((key.into(), value.into()));
+        self
+    }
+
+    /// Adds a grid axis from raw values.
+    pub fn axis<S: Into<String>>(
+        mut self,
+        key: impl Into<String>,
+        values: impl IntoIterator<Item = S>,
+    ) -> Self {
+        self.grid
+            .push((key.into(), values.into_iter().map(Into::into).collect()));
+        self
+    }
+
+    /// The registry experiment this spec names.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::UnknownExperiment`] when the id is not registered.
+    pub fn experiment_entry(&self) -> Result<&'static dyn Experiment, SweepError> {
+        registry::find(&self.experiment)
+            .ok_or_else(|| SweepError::UnknownExperiment(self.experiment.clone()))
+    }
+
+    /// Expands the grid into work items, odometer order (first axis
+    /// slowest). Every assignment is validated against the experiment's
+    /// schema before anything runs, so a typo cannot abort a sweep
+    /// halfway through.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::UnknownExperiment`], [`SweepError::EmptyAxis`],
+    /// [`SweepError::DuplicateAxis`], [`SweepError::TooManyItems`], or
+    /// [`SweepError::Param`] when a value is rejected by the schema.
+    pub fn expand(&self) -> Result<Vec<WorkItem>, SweepError> {
+        let exp = self.experiment_entry()?;
+        for (i, (key, values)) in self.grid.iter().enumerate() {
+            if values.is_empty() {
+                return Err(SweepError::EmptyAxis(key.clone()));
+            }
+            if self.grid[i + 1..].iter().any(|(other, _)| other == key) {
+                return Err(SweepError::DuplicateAxis(key.clone()));
+            }
+        }
+
+        let total: usize = self
+            .grid
+            .iter()
+            .map(|(_, values)| values.len())
+            .try_fold(1usize, |acc, len| acc.checked_mul(len))
+            .filter(|&total| total <= MAX_ITEMS)
+            .ok_or(SweepError::TooManyItems { cap: MAX_ITEMS })?;
+
+        let mut base = exp.preset(self.preset);
+        for (key, value) in &self.sets {
+            base.set(key, value).map_err(|error| SweepError::Param {
+                experiment: exp.id().to_string(),
+                error,
+            })?;
+        }
+
+        let mut items = Vec::with_capacity(total);
+        for index in 0..total {
+            let mut map = base.clone();
+            // Odometer decode: the last axis cycles fastest.
+            let mut rest = index;
+            for (key, values) in self.grid.iter().rev() {
+                let value = &values[rest % values.len()];
+                rest /= values.len();
+                map.set(key, value).map_err(|error| SweepError::Param {
+                    experiment: exp.id().to_string(),
+                    error,
+                })?;
+            }
+            items.push(WorkItem {
+                index,
+                experiment: exp.id().to_string(),
+                seed: map.u64("seed"),
+                params: map,
+            });
+        }
+        Ok(items)
+    }
+}
+
+/// One trial-granular unit of sweep work: a fully validated parameter
+/// assignment for one experiment, plus its position in the deterministic
+/// enumeration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkItem {
+    /// Position in the spec's expansion order (the sort key of the
+    /// result JSONL).
+    pub index: usize,
+    /// Registry id (lower-case).
+    pub experiment: String,
+    /// The validated assignment this trial runs.
+    pub params: ParamMap,
+    /// The master seed (the assignment's `seed` parameter, extracted
+    /// for cache keys and result lines).
+    pub seed: u64,
+}
+
+/// Error from building or expanding a [`SweepSpec`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SweepError {
+    /// The id does not name a registry experiment.
+    UnknownExperiment(String),
+    /// A grid axis has no values.
+    EmptyAxis(String),
+    /// The same parameter appears as two axes.
+    DuplicateAxis(String),
+    /// The cross product exceeds [`MAX_ITEMS`].
+    TooManyItems {
+        /// The enforced cap.
+        cap: usize,
+    },
+    /// A value was rejected by the experiment's schema.
+    Param {
+        /// The experiment whose schema rejected it.
+        experiment: String,
+        /// The underlying error.
+        error: ParamError,
+    },
+    /// The result cache failed to persist a record (I/O).
+    Cache(String),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::UnknownExperiment(id) => {
+                write!(f, "no experiment {id:?} (see `xp list`)")
+            }
+            SweepError::EmptyAxis(key) => write!(f, "grid axis {key:?} has no values"),
+            SweepError::DuplicateAxis(key) => write!(f, "grid axis {key:?} declared twice"),
+            SweepError::TooManyItems { cap } => {
+                write!(f, "grid expands past the {cap}-item sweep cap")
+            }
+            SweepError::Param { experiment, error } => write!(f, "{experiment}: {error}"),
+            SweepError::Cache(message) => write!(f, "result cache: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_grid_is_one_item() {
+        let items = SweepSpec::new("e06").quick().expand().expect("expands");
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].index, 0);
+        assert_eq!(items[0].experiment, "e06");
+        assert_eq!(items[0].seed, items[0].params.u64("seed"));
+    }
+
+    #[test]
+    fn odometer_order_is_first_axis_slowest() {
+        let items = SweepSpec::new("e06")
+            .quick()
+            .axis("k", ["2", "4"])
+            .axis("seed", ["7", "8", "9"])
+            .expand()
+            .expect("expands");
+        assert_eq!(items.len(), 6);
+        let got: Vec<(u64, u64)> = items
+            .iter()
+            .map(|it| (it.params.u64("k"), it.seed))
+            .collect();
+        assert_eq!(
+            got,
+            vec![(2, 7), (2, 8), (2, 9), (4, 7), (4, 8), (4, 9)],
+            "last axis cycles fastest"
+        );
+        assert!(items.iter().enumerate().all(|(i, it)| it.index == i));
+    }
+
+    #[test]
+    fn list_params_take_single_value_axes() {
+        // An axis over a list-typed parameter makes each grid point a
+        // one-element list — the natural way to sweep `ns`.
+        let items = SweepSpec::new("e06")
+            .quick()
+            .axis("ns", ["256", "512"])
+            .expand()
+            .expect("expands");
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].params.u64_list("ns"), vec![256]);
+        assert_eq!(items[1].params.u64_list("ns"), vec![512]);
+    }
+
+    #[test]
+    fn typed_errors_cover_the_failure_modes() {
+        assert!(matches!(
+            SweepSpec::new("e99").expand(),
+            Err(SweepError::UnknownExperiment(id)) if id == "e99"
+        ));
+        assert!(matches!(
+            SweepSpec::new("e06").axis("k", Vec::<String>::new()).expand(),
+            Err(SweepError::EmptyAxis(k)) if k == "k"
+        ));
+        assert!(matches!(
+            SweepSpec::new("e06")
+                .axis("k", ["2"])
+                .axis("k", ["3"])
+                .expand(),
+            Err(SweepError::DuplicateAxis(k)) if k == "k"
+        ));
+        assert!(matches!(
+            SweepSpec::new("e06").axis("k", ["two"]).expand(),
+            Err(SweepError::Param { experiment, .. }) if experiment == "e06"
+        ));
+        assert!(matches!(
+            SweepSpec::new("e06").set("bogus", "1").expand(),
+            Err(SweepError::Param { .. })
+        ));
+        let big: Vec<String> = (0..300).map(|i| i.to_string()).collect();
+        assert!(matches!(
+            SweepSpec::new("e06")
+                .axis("seed", big.clone())
+                .axis("k", big.clone())
+                .axis("trials", big)
+                .expand(),
+            Err(SweepError::TooManyItems { .. })
+        ));
+        for err in [
+            SweepError::UnknownExperiment("e99".into()),
+            SweepError::EmptyAxis("k".into()),
+            SweepError::DuplicateAxis("k".into()),
+            SweepError::TooManyItems { cap: MAX_ITEMS },
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sets_apply_before_the_grid() {
+        let items = SweepSpec::new("e06")
+            .quick()
+            .set("trials", "1")
+            .axis("k", ["2", "3"])
+            .expand()
+            .expect("expands");
+        assert!(items.iter().all(|it| it.params.u64("trials") == 1));
+        // A grid axis overrides a base set for the same key.
+        let items = SweepSpec::new("e06")
+            .quick()
+            .set("k", "5")
+            .axis("k", ["2", "3"])
+            .expand()
+            .expect("expands");
+        assert_eq!(items[0].params.u64("k"), 2);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for cache-key canonicalization.
+//!
+//! The cache key is an on-disk contract: two runs that should share a
+//! result must hash identically (order independence), and two runs that
+//! must not (different preset, seed, backend, or commit) must not. The
+//! golden pins at the bottom freeze the canonical string and the FNV-1a
+//! key byte-for-byte — if they fail, every existing `cache.jsonl` has
+//! been silently invalidated, and that must be a deliberate
+//! `KEY_SCHEMA` bump, not an accident.
+
+use rapid_experiments::params::ParamMap;
+use rapid_sweep::cache::{cache_key, canonical_string, fnv1a64, CacheKey, KEY_SCHEMA};
+use rapid_sweep::spec::SweepSpec;
+
+/// Expands a one-point sweep and returns its validated assignment.
+fn params_of(spec: SweepSpec) -> ParamMap {
+    let items = spec.expand().expect("expands");
+    assert_eq!(items.len(), 1, "helper expects a single grid point");
+    items.into_iter().next().expect("one item").params
+}
+
+#[test]
+fn key_is_independent_of_assignment_order() {
+    // The same overrides applied in every possible order canonicalise
+    // to the same key: the ParamMap sorts, the key string cannot leak
+    // insertion order.
+    let overrides = [("k", "3"), ("eps", "0.4"), ("seed", "11"), ("trials", "2")];
+    let mut keys = Vec::new();
+    type Order = [(&'static str, &'static str); 4];
+    let mut perm: Order = overrides;
+    // Heap's algorithm over the 4 overrides: all 24 orders.
+    fn heaps(n: usize, perm: &mut Order, out: &mut Vec<Order>) {
+        if n == 1 {
+            out.push(*perm);
+            return;
+        }
+        for i in 0..n {
+            heaps(n - 1, perm, out);
+            if n.is_multiple_of(2) {
+                perm.swap(i, n - 1);
+            } else {
+                perm.swap(0, n - 1);
+            }
+        }
+    }
+    let mut orders = Vec::new();
+    heaps(overrides.len(), &mut perm, &mut orders);
+    assert_eq!(orders.len(), 24);
+    for order in orders {
+        let mut spec = SweepSpec::new("e06").quick();
+        for (k, v) in order {
+            spec = spec.set(k, v);
+        }
+        let params = params_of(spec);
+        keys.push(cache_key("e06", &params, 11, "registry", None));
+    }
+    assert!(
+        keys.windows(2).all(|w| w[0] == w[1]),
+        "assignment order leaked into the cache key: {keys:?}"
+    );
+}
+
+#[test]
+fn quick_and_full_presets_key_differently() {
+    let quick = params_of(SweepSpec::new("e06").quick());
+    let full = params_of(SweepSpec::new("e06"));
+    let kq = cache_key("e06", &quick, quick.u64("seed"), "registry", None);
+    let kf = cache_key("e06", &full, full.u64("seed"), "registry", None);
+    assert_ne!(
+        kq, kf,
+        "quick and full presets resolve to different assignments and must not share results"
+    );
+}
+
+#[test]
+fn every_tuple_component_is_key_sensitive() {
+    let params = params_of(SweepSpec::new("e06").quick().set("seed", "7"));
+    let base = cache_key("e06", &params, 7, "registry", Some("aaaa"));
+    // Seed.
+    assert_ne!(base, cache_key("e06", &params, 8, "registry", Some("aaaa")));
+    // Experiment id.
+    assert_ne!(base, cache_key("e07", &params, 7, "registry", Some("aaaa")));
+    // Backend.
+    assert_ne!(base, cache_key("e06", &params, 7, "net", Some("aaaa")));
+    // Commit, including present-vs-absent.
+    assert_ne!(base, cache_key("e06", &params, 7, "registry", Some("bbbb")));
+    assert_ne!(base, cache_key("e06", &params, 7, "registry", None));
+    // A single parameter nudge.
+    let nudged = params_of(SweepSpec::new("e06").quick().set("seed", "7").set("k", "5"));
+    assert_ne!(base, cache_key("e06", &nudged, 7, "registry", Some("aaaa")));
+}
+
+#[test]
+fn key_ignores_how_a_value_was_supplied() {
+    // `--set k=3` and `--grid k=3` (one-point axis) are the same
+    // assignment, so they must share a cache entry.
+    let via_set = params_of(SweepSpec::new("e06").quick().set("k", "3"));
+    let via_grid = params_of(SweepSpec::new("e06").quick().axis("k", ["3"]));
+    assert_eq!(
+        cache_key("e06", &via_set, via_set.u64("seed"), "registry", None),
+        cache_key("e06", &via_grid, via_grid.u64("seed"), "registry", None),
+    );
+}
+
+#[test]
+fn golden_canonical_string_and_key_are_pinned() {
+    // Every axis pinned explicitly so the string below is a full
+    // spelling of the on-disk contract. A FIXED commit — never
+    // `detect_commit()` — keeps the pin machine-independent.
+    let params = params_of(
+        SweepSpec::new("e06")
+            .quick()
+            .set("ns", "256")
+            .set("k", "2")
+            .set("eps", "0.5")
+            .set("trials", "1")
+            .set("seed", "7"),
+    );
+    let canonical = canonical_string("e06", &params, 7, "registry", Some("fixedcommit"));
+    assert_eq!(
+        canonical,
+        "rapid-sweep/1|exp=e06|seed=7|backend=registry|commit=fixedcommit|\
+         params={\"eps\":0.5,\"k\":2,\"ns\":[256],\"seed\":7,\"trials\":1}",
+    );
+    let key = cache_key("e06", &params, 7, "registry", Some("fixedcommit"));
+    assert_eq!(key, CacheKey(fnv1a64(canonical.as_bytes())));
+    // The golden key itself.
+    assert_eq!(key.hex(), "61146d440e13d228");
+}
+
+#[test]
+fn key_schema_version_leads_the_canonical_string() {
+    let params = params_of(SweepSpec::new("e06").quick());
+    let canonical = canonical_string("e06", &params, params.u64("seed"), "registry", None);
+    assert!(canonical.starts_with(KEY_SCHEMA));
+    assert!(canonical.contains("|commit=-|"), "absent commit is `-`");
+}

@@ -1,0 +1,194 @@
+//! The sweep concurrency/determinism contract.
+//!
+//! Same grid + same seed ⇒ bit-identical sorted result JSONL, no matter
+//! how many workers ran it, in what order trials completed, or whether
+//! results came from the cache or fresh computation. Pinned by a golden
+//! FNV-1a hash so a regression cannot hide behind "it still agrees with
+//! itself". This suite runs under TSan in the nightly analysis job.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rapid_experiments::report::Report;
+use rapid_sim::parallelism::Parallelism;
+use rapid_sweep::cache::{fnv1a64, ResultCache};
+use rapid_sweep::scheduler::{run_sweep_with, SweepOutcome, TrialRecord};
+use rapid_sweep::spec::{SweepSpec, WorkItem};
+
+/// The reference sweep: 3 × 2 × 2 = 12 trial-granular items.
+fn spec() -> SweepSpec {
+    SweepSpec::new("e06")
+        .quick()
+        .set("trials", "1")
+        .axis("k", ["2", "3", "4"])
+        .axis("eps", ["0.3", "0.5"])
+        .axis("seed", ["7", "8"])
+}
+
+/// A deterministic stand-in for a real experiment: depends only on
+/// (params, seed), like the scheduler contract requires, but costs
+/// nothing — the suite exercises scheduling, not simulation.
+fn stub(item: &WorkItem) -> Report {
+    let mut report = Report::new("E06-STUB", "sweep determinism stub", item.seed);
+    report.push_note(format!(
+        "k={} eps={} seed={}",
+        item.params.u64("k"),
+        item.params.f64("eps"),
+        item.seed
+    ));
+    report
+}
+
+fn run(parallelism: &str, cache: Option<&mut ResultCache>) -> SweepOutcome {
+    run_sweep_with(
+        &spec(),
+        Parallelism::parse(parallelism).expect("valid parallelism"),
+        cache,
+        Some("fixedcommit"),
+        |_| {},
+        stub,
+    )
+    .expect("sweep runs")
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rapid-sweep-determinism-{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn result_jsonl_is_identical_across_worker_counts() {
+    let one = run("1", None).result_jsonl();
+    let four = run("4", None).result_jsonl();
+    let auto = run("auto", None).result_jsonl();
+    assert_eq!(one, four, "1 worker vs 4 workers");
+    assert_eq!(one, auto, "1 worker vs auto");
+    assert_eq!(one.lines().count(), 12);
+    // The golden hash: any change to expansion order, result-line
+    // shape, or report serialisation shows up here first.
+    assert_eq!(fnv1a64(one.as_bytes()), 0xc00b_94dc_2b99_253d);
+}
+
+#[test]
+fn cache_state_never_changes_the_bytes() {
+    let dir = tmp_dir("bytes");
+    let fresh = {
+        let mut cache = ResultCache::open(&dir).expect("open");
+        run("4", Some(&mut cache))
+    };
+    assert_eq!(fresh.computed(), 12);
+    assert_eq!(fresh.cached(), 0);
+    assert_eq!(fresh.counters.misses, 12);
+    assert_eq!(fresh.counters.insertions, 12);
+
+    // Second run, fresh cache session over the same file: fully served.
+    let served = {
+        let mut cache = ResultCache::open(&dir).expect("reopen");
+        run("4", Some(&mut cache))
+    };
+    assert_eq!(served.cached(), 12, "second run recomputes nothing");
+    assert_eq!(served.computed(), 0);
+    assert_eq!(served.counters.hits, 12);
+    assert_eq!(served.counters.misses, 0);
+    assert_eq!(served.counters.insertions, 0);
+    assert_eq!(
+        fresh.result_jsonl(),
+        served.result_jsonl(),
+        "cache-served bytes must equal computed bytes"
+    );
+
+    // Partial cache (drop half the entries): mixed hit/miss, same bytes.
+    let mixed = {
+        let mut cache = ResultCache::open_with_capacity(&dir, 6).expect("reopen small");
+        run("1", Some(&mut cache))
+    };
+    assert_eq!(mixed.cached() + mixed.computed(), 12);
+    assert!(mixed.cached() > 0, "some hits survive the truncation");
+    assert!(mixed.computed() > 0, "some misses after the truncation");
+    assert_eq!(fresh.result_jsonl(), mixed.result_jsonl());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cached_rerun_runs_zero_trials() {
+    let dir = tmp_dir("zero");
+    {
+        let mut cache = ResultCache::open(&dir).expect("open");
+        run("auto", Some(&mut cache));
+    }
+    let executions = AtomicUsize::new(0);
+    let mut cache = ResultCache::open(&dir).expect("reopen");
+    let outcome = run_sweep_with(
+        &spec(),
+        Parallelism::parse("auto").expect("valid"),
+        Some(&mut cache),
+        Some("fixedcommit"),
+        |_| {},
+        |item| {
+            executions.fetch_add(1, Ordering::Relaxed);
+            stub(item)
+        },
+    )
+    .expect("runs");
+    assert_eq!(
+        executions.load(Ordering::Relaxed),
+        0,
+        "a fully cached sweep must not execute a single trial"
+    );
+    assert_eq!(outcome.counters.hits, 12);
+    assert_eq!(outcome.counters.hit_rate_percent(), 100.0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn streaming_order_may_vary_but_sorted_output_cannot() {
+    // Collect arrival order at high parallelism; whatever it was, the
+    // sorted records and the document are canonical.
+    let mut arrivals: Vec<usize> = Vec::new();
+    let outcome = run_sweep_with(
+        &spec(),
+        Parallelism::parse("4").expect("valid"),
+        None,
+        Some("fixedcommit"),
+        |record: &TrialRecord| arrivals.push(record.index),
+        stub,
+    )
+    .expect("runs");
+    assert_eq!(arrivals.len(), 12, "every record streamed exactly once");
+    let mut sorted = arrivals.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..12).collect::<Vec<_>>());
+    let indices: Vec<usize> = outcome.records.iter().map(|r| r.index).collect();
+    assert_eq!(indices, sorted, "returned records are index-sorted");
+}
+
+#[test]
+fn commit_change_invalidates_the_cache() {
+    let dir = tmp_dir("commit");
+    {
+        let mut cache = ResultCache::open(&dir).expect("open");
+        run_sweep_with(
+            &spec(),
+            Parallelism::parse("1").expect("valid"),
+            Some(&mut cache),
+            Some("commit-a"),
+            |_| {},
+            stub,
+        )
+        .expect("runs");
+    }
+    let mut cache = ResultCache::open(&dir).expect("reopen");
+    let outcome = run_sweep_with(
+        &spec(),
+        Parallelism::parse("1").expect("valid"),
+        Some(&mut cache),
+        Some("commit-b"),
+        |_| {},
+        stub,
+    )
+    .expect("runs");
+    assert_eq!(outcome.cached(), 0, "a new commit must not reuse results");
+    assert_eq!(outcome.counters.misses, 12);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,263 @@
+//! The HTTP layer under hostile input, and the golden end-to-end flow.
+//!
+//! Part 1 fuzzes the request parser with garbage, truncations and
+//! oversized elements — every input must produce a typed [`HttpError`],
+//! never a panic. Part 2 boots a real server on an ephemeral port and
+//! drives the documented lifecycle: `POST /run` → poll `GET /status` →
+//! `GET /result` → resubmit and observe the cache serving the repeat.
+
+use std::io::{Cursor, Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use rapid_experiments::json;
+use rapid_sim::parallelism::Parallelism;
+use rapid_sweep::http::{HttpError, Request};
+use rapid_sweep::serve::{ServeConfig, Server};
+
+// ---------------------------------------------------------------- fuzz
+
+/// xorshift64*: a tiny deterministic generator so the fuzz corpus is
+/// reproducible run-to-run (no wall clock, no OS entropy).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+    Request::read_from(&mut Cursor::new(raw.to_vec()))
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    let mut rng = XorShift(0x9e37_79b9_7f4a_7c15);
+    for round in 0..2000 {
+        let len = (rng.next() % 256) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next() & 0xff) as u8).collect();
+        // Any Result is fine; a panic would abort the test binary.
+        let _ = parse(&bytes);
+        let _ = round;
+    }
+}
+
+#[test]
+fn truncations_of_a_valid_request_never_panic() {
+    let valid =
+        b"POST /run HTTP/1.1\r\nHost: localhost\r\nContent-Length: 13\r\n\r\n{\"a\":\"hello\"}";
+    for cut in 0..valid.len() {
+        let result = parse(&valid[..cut]);
+        assert!(result.is_err(), "cut at {cut} still parsed: {result:?}");
+    }
+    assert!(parse(valid).is_ok(), "the uncut request parses");
+}
+
+#[test]
+fn bit_flips_of_a_valid_request_never_panic() {
+    let valid: &[u8] = b"GET /status/job-1 HTTP/1.1\r\nHost: x\r\n\r\n";
+    let mut rng = XorShift(42);
+    for _ in 0..2000 {
+        let mut mutated = valid.to_vec();
+        let flips = 1 + (rng.next() % 4) as usize;
+        for _ in 0..flips {
+            let at = (rng.next() as usize) % mutated.len();
+            mutated[at] ^= 1 << (rng.next() % 8);
+        }
+        let _ = parse(&mutated);
+    }
+}
+
+#[test]
+fn oversized_elements_get_the_sizing_errors() {
+    let long_target = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(64 * 1024));
+    assert!(matches!(
+        parse(long_target.as_bytes()),
+        Err(HttpError::TooLarge {
+            what: "request line",
+            ..
+        })
+    ));
+    let huge_body = b"POST /run HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n";
+    assert!(matches!(
+        parse(huge_body),
+        Err(HttpError::TooLarge { what: "body", .. })
+    ));
+}
+
+// ------------------------------------------------------------ end-to-end
+
+/// Sends one raw HTTP request and returns (status, body).
+fn http(addr: &str, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: &str, path: &str) -> (u16, String) {
+    http(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+fn post(addr: &str, path: &str, body: &str) -> (u16, String) {
+    http(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// Boots a server on an ephemeral port and returns its address.
+fn boot(config: ServeConfig) -> String {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral");
+    let addr = server.local_addr().expect("addr").to_string();
+    std::thread::spawn(move || {
+        let _ = server.run();
+    });
+    addr
+}
+
+/// Polls `/status/<job>` until it leaves queued/running.
+fn wait_done(addr: &str, job: &str) -> json::JsonValue {
+    for _ in 0..600 {
+        let (status, body) = get(addr, &format!("/status/{job}"));
+        assert_eq!(status, 200, "{body}");
+        let doc = json::parse(&body).expect("status json");
+        let state = doc.get("status").and_then(|s| s.as_str()).expect("status");
+        if state == "done" || state == "failed" {
+            return doc;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("job {job} never finished");
+}
+
+const JOB: &str = r#"{"experiment":"e06","preset":"quick","set":{"trials":1},"grid":{"seed":[7,8]},"parallelism":"2"}"#;
+
+#[test]
+fn golden_end_to_end_flow_with_cache_hit_on_rerun() {
+    let dir = std::env::temp_dir().join("rapid-sweep-http-e2e");
+    std::fs::remove_dir_all(&dir).ok();
+    let addr = boot(ServeConfig {
+        cache_dir: Some(dir.clone()),
+        parallelism: Parallelism::default(),
+        commit: Some("fixedcommit".to_string()),
+        bench: Some(Box::new(|| {
+            Ok(json::JsonValue::object([(
+                "rows",
+                json::JsonValue::Array(Vec::new()),
+            )]))
+        })),
+    });
+
+    // Submit.
+    let (status, body) = post(&addr, "/run", JOB);
+    assert_eq!(status, 202, "{body}");
+    let doc = json::parse(&body).expect("submit json");
+    let job = doc
+        .get("job")
+        .and_then(|j| j.as_str())
+        .expect("job id")
+        .to_string();
+    assert_eq!(doc.get("items").and_then(|i| i.as_u64()), Some(2));
+
+    // Result before completion is 409 or, if the tiny job already won
+    // the race, 200 — never a parse error.
+    let (early, _) = get(&addr, &format!("/result/{job}"));
+    assert!(early == 409 || early == 200, "got {early}");
+
+    // Poll to done; the first run computes everything.
+    let done = wait_done(&addr, &job);
+    assert_eq!(done.get("status").and_then(|s| s.as_str()), Some("done"));
+    assert_eq!(done.get("completed").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(done.get("computed").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(done.get("cached").and_then(|v| v.as_u64()), Some(0));
+
+    // Fetch the result document.
+    let (status, first_doc) = get(&addr, &format!("/result/{job}"));
+    assert_eq!(status, 200);
+    assert_eq!(first_doc.lines().count(), 2);
+    for line in first_doc.lines() {
+        let parsed = json::parse(line).expect("result line is JSON");
+        assert_eq!(
+            parsed.get("experiment").and_then(|e| e.as_str()),
+            Some("e06")
+        );
+    }
+
+    // Resubmit the identical job: served entirely from cache, and the
+    // document bytes are identical.
+    let (status, body) = post(&addr, "/run", JOB);
+    assert_eq!(status, 202);
+    let rerun = json::parse(&body)
+        .expect("submit json")
+        .get("job")
+        .and_then(|j| j.as_str())
+        .expect("job id")
+        .to_string();
+    assert_ne!(rerun, job, "job ids are unique");
+    let done = wait_done(&addr, &rerun);
+    assert_eq!(done.get("cached").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(done.get("computed").and_then(|v| v.as_u64()), Some(0));
+    let hits = done
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(|h| h.as_u64());
+    assert_eq!(hits, Some(2), "cache counters surface in /status");
+    let (status, second_doc) = get(&addr, &format!("/result/{rerun}"));
+    assert_eq!(status, 200);
+    assert_eq!(first_doc, second_doc, "cache-served bytes are identical");
+
+    // /bench responds with the injected provider document.
+    let (status, bench) = get(&addr, "/bench");
+    assert_eq!(status, 200);
+    assert!(bench.contains("\"rows\""));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn server_rejects_bad_requests_with_typed_statuses() {
+    let addr = boot(ServeConfig::default());
+    // Unknown route.
+    let (status, body) = get(&addr, "/nope");
+    assert_eq!(status, 404);
+    assert!(body.contains("error"));
+    // Unknown job.
+    let (status, _) = get(&addr, "/status/job-999");
+    assert_eq!(status, 404);
+    // Submit with a bad body.
+    let (status, _) = post(&addr, "/run", "not json");
+    assert_eq!(status, 422);
+    // Submit an unknown experiment.
+    let (status, body) = post(&addr, "/run", r#"{"experiment":"e99"}"#);
+    assert_eq!(status, 422);
+    assert!(body.contains("e99"));
+    // Malformed request line straight over the socket.
+    let (status, _) = http(&addr, "BREW /pot HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 405);
+    // /bench without a provider.
+    let (status, _) = get(&addr, "/bench");
+    assert_eq!(status, 404);
+}

@@ -1,0 +1,151 @@
+//! Scheduler fault containment under concurrency.
+//!
+//! A panicking trial ("poisoned worker") must fail exactly its own
+//! record: the work-stealing queue still drains, every other trial
+//! completes, the failure is reported with its index and message, and
+//! failed trials are absent from the result document but present in the
+//! outcome. Runs under TSan in the nightly analysis job alongside
+//! `determinism.rs`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rapid_experiments::report::Report;
+use rapid_sim::parallelism::Parallelism;
+use rapid_sweep::cache::ResultCache;
+use rapid_sweep::scheduler::{run_sweep_with, TrialStatus};
+use rapid_sweep::spec::{SweepSpec, WorkItem};
+
+/// 16 items: k × seed = 4 × 4.
+fn spec() -> SweepSpec {
+    SweepSpec::new("e06")
+        .quick()
+        .set("trials", "1")
+        .axis("k", ["2", "3", "4", "5"])
+        .axis("seed", ["1", "2", "3", "4"])
+}
+
+fn stub(item: &WorkItem) -> Report {
+    Report::new("STUB", "scheduler suite stub", item.seed)
+}
+
+#[test]
+fn poisoned_trials_fail_alone_and_the_queue_drains() {
+    // Poison every trial with k == 3 (4 of 16), at every worker count:
+    // the failure set must be identical whether the poisoned items all
+    // land on one worker or spread across four.
+    for workers in ["1", "2", "4", "auto"] {
+        let executed = AtomicUsize::new(0);
+        let outcome = run_sweep_with(
+            &spec(),
+            Parallelism::parse(workers).expect("valid"),
+            None,
+            None,
+            |_| {},
+            |item: &WorkItem| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                if item.params.u64("k") == 3 {
+                    // lint: allow(panic-hygiene): deliberate poisoned-trial stub.
+                    panic!("poisoned k=3 seed={}", item.seed);
+                }
+                stub(item)
+            },
+        )
+        .expect("the sweep itself survives poisoned trials");
+        assert_eq!(
+            executed.load(Ordering::Relaxed),
+            16,
+            "workers={workers}: the queue drained every item"
+        );
+        assert_eq!(outcome.records.len(), 16);
+        assert_eq!(outcome.failures.len(), 4, "workers={workers}");
+        assert!(!outcome.is_success());
+        // Failures carry index and message, sorted by index.
+        let indices: Vec<usize> = outcome.failures.iter().map(|(i, _)| *i).collect();
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        assert_eq!(indices, sorted);
+        for (index, message) in &outcome.failures {
+            assert!(message.starts_with("poisoned k=3"), "{message}");
+            assert!(matches!(
+                outcome.records[*index].status,
+                TrialStatus::Failed(_)
+            ));
+        }
+        // Failed trials never reach the result document.
+        assert_eq!(outcome.result_jsonl().lines().count(), 12);
+        assert!(!outcome.result_jsonl().contains("poisoned"));
+    }
+}
+
+#[test]
+fn failed_trials_are_not_cached() {
+    let dir = std::env::temp_dir().join("rapid-sweep-scheduler-nofailcache");
+    std::fs::remove_dir_all(&dir).ok();
+    {
+        let mut cache = ResultCache::open(&dir).expect("open");
+        let outcome = run_sweep_with(
+            &spec(),
+            Parallelism::parse("4").expect("valid"),
+            Some(&mut cache),
+            None,
+            |_| {},
+            |item: &WorkItem| {
+                if item.index == 0 {
+                    // lint: allow(panic-hygiene): deliberate poisoned-trial stub.
+                    panic!("first item poisoned");
+                }
+                stub(item)
+            },
+        )
+        .expect("survives");
+        assert_eq!(outcome.failures.len(), 1);
+        assert_eq!(outcome.counters.insertions, 15, "only successes persist");
+    }
+    // Re-run clean: the poisoned item is a miss (recomputed), the rest hit.
+    let mut cache = ResultCache::open(&dir).expect("reopen");
+    let outcome = run_sweep_with(
+        &spec(),
+        Parallelism::parse("4").expect("valid"),
+        Some(&mut cache),
+        None,
+        |_| {},
+        stub,
+    )
+    .expect("runs clean");
+    assert!(outcome.is_success());
+    assert_eq!(outcome.cached(), 15);
+    assert_eq!(outcome.computed(), 1, "the failed trial is retried");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn single_worker_executes_in_expansion_order() {
+    // With one worker there is no stealing: arrival order is expansion
+    // order, the strictest determinism case.
+    let mut arrivals = Vec::new();
+    run_sweep_with(
+        &spec(),
+        Parallelism::parse("1").expect("valid"),
+        None,
+        None,
+        |record| arrivals.push(record.index),
+        stub,
+    )
+    .expect("runs");
+    assert_eq!(arrivals, (0..16).collect::<Vec<_>>());
+}
+
+#[test]
+fn worker_count_exceeding_items_is_harmless() {
+    let outcome = run_sweep_with(
+        &SweepSpec::new("e06").quick().set("trials", "1"),
+        Parallelism::parse("64").expect("valid"),
+        None,
+        None,
+        |_| {},
+        stub,
+    )
+    .expect("runs");
+    assert_eq!(outcome.records.len(), 1);
+    assert!(outcome.is_success());
+}

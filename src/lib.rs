@@ -17,6 +17,8 @@
 //!   with the simulator as its correctness oracle (`rapid-net`).
 //! * [`lint`] — the in-repo determinism & hygiene static-analysis pass
 //!   behind `xp lint` (`rapid-lint`).
+//! * [`sweep`] — the sweep scheduler, content-addressed result cache
+//!   and the `xp serve` HTTP front end (`rapid-sweep`).
 //!
 //! # Quickstart
 //!
@@ -72,6 +74,7 @@ pub use rapid_macro as macro_engine;
 pub use rapid_net as net;
 pub use rapid_sim as sim;
 pub use rapid_stats as stats;
+pub use rapid_sweep as sweep;
 pub use rapid_urn as urn;
 
 /// One-stop import of the most used items across the workspace.
