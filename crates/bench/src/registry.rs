@@ -25,6 +25,7 @@ use rapid_core::prelude::*;
 use rapid_core::{ShardedProtocol, ShardedSim};
 use rapid_graph::prelude::*;
 use rapid_macro::MacroSim;
+use rapid_obs::{Obs, ObsHandle, TraceEvent};
 use rapid_sim::fault::{
     AdversaryKind, AdversaryPlan, ChurnEvent, FaultPlan, LatencyModel, LatencyScheduler,
 };
@@ -655,6 +656,65 @@ fn consensus_sync_two_choices_run() -> Box<dyn FnMut()> {
     })
 }
 
+fn obs_counter_inc() -> Box<dyn FnMut()> {
+    // A pre-resolved handle, exactly as engine instrumentation holds it:
+    // registry lookups happen at attach time, the hot path is one
+    // relaxed atomic add.
+    let obs = Obs::new();
+    let counter = obs.registry.counter("bench.obs.counter");
+    Box::new(move || {
+        for _ in 0..BATCH {
+            counter.inc();
+        }
+    })
+}
+
+fn obs_trace_event_enabled() -> Box<dyn FnMut()> {
+    let obs = Obs::new();
+    let mut t = 0u64;
+    Box::new(move || {
+        for _ in 0..BATCH {
+            t += 1;
+            obs.trace.emit(
+                "bench",
+                TraceEvent::BiasSample {
+                    time: t as f64,
+                    leader: 0,
+                    support: 60,
+                    runner_up: 40,
+                    total: 100,
+                },
+            );
+        }
+    })
+}
+
+fn obs_trace_event_disabled() -> Box<dyn FnMut()> {
+    // The branch-away fast path every engine takes when no Obs is
+    // attached: one `Option` test, no event construction. black_box
+    // keeps the optimizer from deleting the check outright — this is the
+    // kernel the zero-overhead contract is gated on.
+    let obs: ObsHandle = None;
+    let mut t = 0u64;
+    Box::new(move || {
+        for _ in 0..BATCH {
+            t += 1;
+            if let Some(o) = std::hint::black_box(&obs) {
+                o.trace.emit(
+                    "bench",
+                    TraceEvent::BiasSample {
+                        time: t as f64,
+                        leader: 0,
+                        support: 60,
+                        runner_up: 40,
+                        total: 100,
+                    },
+                );
+            }
+        }
+    })
+}
+
 macro_rules! kernel {
     ($id:literal, $title:literal, $group:literal, $elements:expr, $setup:path) => {
         KernelBench {
@@ -667,7 +727,7 @@ macro_rules! kernel {
     };
 }
 
-static KERNELS: [KernelBench; 36] = [
+static KERNELS: [KernelBench; 39] = [
     kernel!(
         "consensus/gossip_endgame_halt/2048",
         "async Two-Choices endgame run with a 200-tick halt budget, n=2048",
@@ -765,6 +825,27 @@ static KERNELS: [KernelBench; 36] = [
         "net",
         BATCH,
         net_machine_on_message
+    ),
+    kernel!(
+        "obs/counter_inc",
+        "10k pre-resolved metric counter increments (one relaxed atomic add each)",
+        "obs",
+        BATCH,
+        obs_counter_inc
+    ),
+    kernel!(
+        "obs/trace_event_disabled",
+        "10k disabled-tracing checks (the None branch engines take with no Obs attached)",
+        "obs",
+        BATCH,
+        obs_trace_event_disabled
+    ),
+    kernel!(
+        "obs/trace_event_enabled",
+        "10k structured bias-sample emissions into the trace ring",
+        "obs",
+        BATCH,
+        obs_trace_event_enabled
     ),
     kernel!(
         "rapid/clique_tick/4096",
@@ -989,6 +1070,7 @@ mod tests {
             "macro",
             "micro",
             "net",
+            "obs",
             "rapid",
             "rng",
             "scheduler",

@@ -43,7 +43,10 @@
 //! [`AsyncGossipSim`]: crate::asynchronous::AsyncGossipSim
 //! [`RapidSim`]: crate::asynchronous::RapidSim
 
+use std::sync::Arc;
+
 use rapid_graph::topology::Topology;
+use rapid_obs::{Counter, Gauge, Obs, TraceEvent};
 use rapid_sim::node::NodeId;
 use rapid_sim::poisson::sample_poisson;
 use rapid_sim::rng::{Seed, SimRng};
@@ -116,6 +119,10 @@ struct EpochDelta {
     newly_halted: usize,
     jumps: u64,
     max_jump_displacement: u64,
+    /// Pulls answered by the O(k) clique histogram fast path. Counted
+    /// locally and flushed at the merge so instrumentation costs the hot
+    /// loop one register increment, never an atomic.
+    clique_pulls: u64,
 }
 
 impl EpochDelta {
@@ -126,6 +133,7 @@ impl EpochDelta {
             newly_halted: 0,
             jumps: 0,
             max_jump_displacement: 0,
+            clique_pulls: 0,
         }
     }
 
@@ -230,6 +238,19 @@ pub struct ShardedSim {
     first_halt: Option<SimTime>,
     jumps: u64,
     max_jump_displacement: u64,
+    obs: Option<ShardObs>,
+}
+
+/// Pre-registered metric handles for the epoch engine, created once at
+/// [`ShardedSim::attach_obs`] so the per-epoch flush is a handful of
+/// atomic ops with no registry lookups.
+struct ShardObs {
+    obs: Arc<Obs>,
+    steps: Counter,
+    epochs: Counter,
+    clique_pulls: Counter,
+    shard_steps_min: Gauge,
+    shard_steps_max: Gauge,
 }
 
 impl std::fmt::Debug for ShardedSim {
@@ -293,7 +314,25 @@ impl ShardedSim {
             first_halt: None,
             jumps: 0,
             max_jump_displacement: 0,
+            obs: None,
         }
+    }
+
+    /// Attaches an observability handle. Instrumentation is flushed once
+    /// per epoch at the merge (trace events `epoch_merge`/`bias_sample`,
+    /// the `sharded.*` counters and work-balance gauges); the sharded
+    /// hot loops only bump plain per-shard integers, so an attached
+    /// handle changes no RNG draw and no outcome byte (pinned by
+    /// `tests/obs.rs` against the golden hashes in `tests/sharding.rs`).
+    pub fn attach_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = Some(ShardObs {
+            steps: obs.registry.counter("sharded.steps"),
+            epochs: obs.registry.counter("sharded.epochs"),
+            clique_pulls: obs.registry.counter("sharded.clique_pulls"),
+            shard_steps_min: obs.registry.gauge("sharded.shard_steps_min"),
+            shard_steps_max: obs.registry.gauge("sharded.shard_steps_max"),
+            obs,
+        });
     }
 
     /// The current configuration.
@@ -482,6 +521,43 @@ impl ShardedSim {
         if self.first_halt.is_none() && deltas.iter().any(|d| d.newly_halted > 0) {
             self.first_halt = Some(self.now());
         }
+
+        // Post-merge observability flush: a few atomics and two trace
+        // records per epoch, outside every shard loop and after all
+        // state is committed — no RNG stream is reachable from here.
+        if let Some(cells) = &self.obs {
+            let epoch_steps: u64 = deltas.iter().map(|d| d.steps).sum();
+            let min = deltas.iter().map(|d| d.steps).min().unwrap_or(0);
+            let max = deltas.iter().map(|d| d.steps).max().unwrap_or(0);
+            cells.steps.add(epoch_steps);
+            cells.epochs.inc();
+            cells
+                .clique_pulls
+                .add(deltas.iter().map(|d| d.clique_pulls).sum());
+            cells.shard_steps_min.set(min);
+            cells.shard_steps_max.set(max);
+            cells.obs.trace.emit(
+                "sharded",
+                TraceEvent::EpochMerge {
+                    epoch,
+                    steps: epoch_steps,
+                    shards: deltas.len() as u64,
+                    min_shard_steps: min,
+                    max_shard_steps: max,
+                },
+            );
+            let top = self.config.counts().top_two();
+            cells.obs.trace.emit(
+                "sharded",
+                TraceEvent::BiasSample {
+                    time: self.now().as_secs(),
+                    leader: top.leader.index() as u64,
+                    support: top.c1,
+                    runner_up: top.c2,
+                    total: self.config.counts().n(),
+                },
+            );
+        }
     }
 
     /// Runs epochs until unanimity, all nodes halted, or `max_epochs`.
@@ -596,15 +672,18 @@ fn gossip_epoch_shard(
         let self_snap = snap_colors[g].index();
         for _ in 0..activations {
             delta.steps += 1;
-            let pull = |rng: &mut SimRng| match clique {
-                Some(n) => clique_snapshot_pull(snap_counts, self_snap, n, rng),
+            let pull = |rng: &mut SimRng, delta: &mut EpochDelta| match clique {
+                Some(n) => {
+                    delta.clique_pulls += 1;
+                    clique_snapshot_pull(snap_counts, self_snap, n, rng)
+                }
                 None => snap_colors[topology.sample_neighbor(u, rng).index()],
             };
             let new = match rule {
-                GossipRule::Voter => pull(&mut rng),
+                GossipRule::Voter => pull(&mut rng, &mut delta),
                 GossipRule::TwoChoices => {
-                    let a = pull(&mut rng);
-                    let b = pull(&mut rng);
+                    let a = pull(&mut rng, &mut delta);
+                    let b = pull(&mut rng, &mut delta);
                     if a == b {
                         a
                     } else {
@@ -612,9 +691,9 @@ fn gossip_epoch_shard(
                     }
                 }
                 GossipRule::ThreeMajority => {
-                    let a = pull(&mut rng);
-                    let b = pull(&mut rng);
-                    let c = pull(&mut rng);
+                    let a = pull(&mut rng, &mut delta);
+                    let b = pull(&mut rng, &mut delta);
+                    let c = pull(&mut rng, &mut delta);
                     if a == b || a == c {
                         a
                     } else if b == c {

@@ -62,7 +62,10 @@
 //! instead of panicking; every run produces the same serialisable
 //! [`Outcome`].
 
+use std::sync::Arc;
+
 use rapid_graph::topology::Topology;
+use rapid_obs::{Obs, TraceEvent};
 use rapid_sim::fault::{FaultError, FaultPlan, LatencyScheduler};
 use rapid_sim::parallelism::Parallelism;
 use rapid_sim::rng::{Seed, SimRng};
@@ -75,6 +78,7 @@ use rapid_sim::time::SimTime;
 use crate::asynchronous::gossip::{AsyncGossipSim, GossipRule};
 use crate::asynchronous::params::Params;
 use crate::asynchronous::rapid::{RapidOutcome, RapidSim, WorkingTimeStats};
+use crate::asynchronous::schedule::Schedule;
 use crate::asynchronous::sharded::{ShardedProtocol, ShardedSim};
 use crate::convergence::{AsyncOutcome, ConvergenceError, SyncOutcome};
 use crate::distributions::{DistributionError, InitialDistribution};
@@ -747,6 +751,105 @@ impl Observer for SpreadTrace {
     }
 }
 
+/// The obs layer's standard `Sim` hook: a phase-resolved trace observer.
+///
+/// At every progress snapshot it emits a
+/// [`TraceEvent::BiasSample`] with the histogram's top two entries,
+/// a full [`TraceEvent::OccupancySample`] when `k` is at most
+/// [`ObsObserver::occupancy_limit`], and — when built
+/// [`ObsObserver::with_schedule`] — a [`TraceEvent::PhaseEnter`] whenever
+/// the population's *median* working time crosses a rapid phase boundary
+/// (`phase == phases` marks part 2, the endgame).
+///
+/// The observer reads [`Progress`] and nothing else: it has no path to
+/// the run's RNG streams, so attaching it never changes an outcome.
+/// `crates/core/tests/obs.rs` pins that bit-for-bit against the sharded
+/// golden hashes.
+pub struct ObsObserver {
+    obs: Arc<Obs>,
+    stream: String,
+    schedule: Option<Schedule>,
+    /// Emit [`TraceEvent::OccupancySample`] only while `k` is at most
+    /// this (full occupancy vectors at large `k` would swamp the ring).
+    pub occupancy_limit: usize,
+    last_phase: Option<u64>,
+}
+
+impl ObsObserver {
+    /// An observer emitting on trace stream `stream`.
+    pub fn new(obs: Arc<Obs>, stream: impl Into<String>) -> Self {
+        ObsObserver {
+            obs,
+            stream: stream.into(),
+            schedule: None,
+            occupancy_limit: 32,
+            last_phase: None,
+        }
+    }
+
+    /// Enables phase decoding against a rapid [`Schedule`].
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// The phase the median working time `w` sits in: a part-1 phase
+    /// index, or `phases` once the median node reaches part 2.
+    fn phase_of_median(schedule: &Schedule, w: u64) -> u64 {
+        let params = schedule.params();
+        if w < params.part1_len() {
+            u64::from(schedule.phase_of(w))
+        } else {
+            u64::from(params.phases)
+        }
+    }
+}
+
+impl Observer for ObsObserver {
+    fn observe(&mut self, progress: &Progress<'_>) {
+        let time = progress
+            .time
+            .map(|t| t.as_secs())
+            .or_else(|| progress.rounds.map(|r| r as f64))
+            .unwrap_or(progress.steps as f64);
+        if let (Some(schedule), Some(wts)) = (&self.schedule, progress.working_times) {
+            if !wts.is_empty() {
+                let mut wts = wts.to_vec();
+                let mid = wts.len() / 2;
+                let (_, &mut median, _) = wts.select_nth_unstable(mid);
+                let phase = Self::phase_of_median(schedule, median);
+                if self.last_phase != Some(phase) {
+                    self.last_phase = Some(phase);
+                    self.obs
+                        .trace
+                        .emit(&self.stream, TraceEvent::PhaseEnter { phase, time });
+                }
+            }
+        }
+        let counts = progress.config.counts();
+        let top = counts.top_two();
+        self.obs.trace.emit(
+            &self.stream,
+            TraceEvent::BiasSample {
+                time,
+                leader: top.leader.index() as u64,
+                support: top.c1,
+                runner_up: top.c2,
+                total: counts.n(),
+            },
+        );
+        if counts.k() <= self.occupancy_limit {
+            self.obs.trace.emit(
+                &self.stream,
+                TraceEvent::OccupancySample {
+                    time,
+                    counts: counts.as_slice().to_vec(),
+                },
+            );
+        }
+    }
+}
+
 enum Init {
     Counts(Vec<u64>),
     Assignment(Configuration),
@@ -767,6 +870,7 @@ pub struct SimBuilder {
     shuffle: bool,
     halt_after: Option<u64>,
     parallelism: Option<Parallelism>,
+    obs: Option<Arc<Obs>>,
 }
 
 impl SimBuilder {
@@ -784,6 +888,7 @@ impl SimBuilder {
             shuffle: false,
             halt_after: None,
             parallelism: None,
+            obs: None,
         }
     }
 
@@ -934,6 +1039,20 @@ impl SimBuilder {
         self
     }
 
+    /// Attaches an observability handle to the built engine.
+    ///
+    /// Engines with internal instrumentation (currently the sharded
+    /// epoch engine) emit per-epoch [`TraceEvent`]s and update
+    /// work-balance gauges through it; instrumentation is batched at
+    /// epoch granularity and never samples RNG streams, so outcomes are
+    /// bit-identical with and without a handle. Pair with an
+    /// [`ObsObserver`] passed to [`Sim::run_with`] for the per-time-unit
+    /// bias/phase trajectory.
+    pub fn obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
     /// Validates the assembly and constructs the simulation.
     ///
     /// # Errors
@@ -1055,7 +1174,10 @@ impl SimBuilder {
                 }
             };
             let workers = par.shard_workers.resolve(n);
-            let sim = ShardedSim::new(topology, config, proto, self.seed, rate, workers);
+            let mut sim = ShardedSim::new(topology, config, proto, self.seed, rate, workers);
+            if let Some(obs) = self.obs {
+                sim.attach_obs(obs);
+            }
             return Ok(Sim {
                 engine: Engine::Sharded(Box::new(sim)),
                 stops: self.stops,

@@ -74,8 +74,8 @@ pub use asynchronous::{
 pub use convergence::{AsyncOutcome, ConvergenceError, SyncOutcome};
 pub use distributions::{theorem_11_gap, theorem_12_gap, DistributionError, InitialDistribution};
 pub use facade::{
-    BuildError, Clock, EngineKind, MacroProtocol, MacroSpec, NetSpec, Observer, Outcome, Progress,
-    Protocol, Sim, SimBuilder, Spec, SpreadTrace, StopCondition, StopReason,
+    BuildError, Clock, EngineKind, MacroProtocol, MacroSpec, NetSpec, ObsObserver, Observer,
+    Outcome, Progress, Protocol, Sim, SimBuilder, Spec, SpreadTrace, StopCondition, StopReason,
 };
 pub use opinion::{Color, ColorCounts, ConfigError, Configuration, TopTwo};
 pub use sync::{OneExtraBit, OneExtraBitParams, SyncProtocol, ThreeMajority, TwoChoices, Voter};
@@ -89,8 +89,8 @@ pub mod prelude {
     pub use crate::convergence::{AsyncOutcome, ConvergenceError, SyncOutcome};
     pub use crate::distributions::{DistributionError, InitialDistribution};
     pub use crate::facade::{
-        BuildError, Clock, EngineKind, MacroProtocol, MacroSpec, NetSpec, Observer, Outcome,
-        Progress, Protocol, Sim, SimBuilder, Spec, SpreadTrace, StopCondition, StopReason,
+        BuildError, Clock, EngineKind, MacroProtocol, MacroSpec, NetSpec, ObsObserver, Observer,
+        Outcome, Progress, Protocol, Sim, SimBuilder, Spec, SpreadTrace, StopCondition, StopReason,
     };
     pub use crate::opinion::{Color, ColorCounts, Configuration, TopTwo};
     pub use crate::sync::engine::{run_sync_traced, RoundTrace, SyncProtocol};

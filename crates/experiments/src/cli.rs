@@ -21,6 +21,9 @@
 
 use std::path::{Path, PathBuf};
 
+use rapid_obs::{EventKind, Obs};
+use rapid_sim::rng::Seed;
+
 use crate::experiment::Experiment;
 use crate::json::JsonValue;
 use crate::params::{ParamError, ParamMap, Preset};
@@ -97,6 +100,16 @@ pub enum Command {
         /// Shared run options.
         opts: RunOpts,
     },
+    /// `xp trace <id> [options]`: a traced run with the obs layer
+    /// attached, written as JSONL.
+    Trace {
+        /// Experiment id.
+        id: String,
+        /// Shared run options (`--out` names the JSONL *file* here).
+        opts: RunOpts,
+        /// `--events kind,kind` filter (empty = every kind).
+        events: Vec<EventKind>,
+    },
 }
 
 /// A user error in the `xp` invocation (exit code 2).
@@ -127,6 +140,17 @@ pub enum CliError {
     BadSet(String),
     /// `--parallelism` with an unparsable worker spec.
     BadParallelism(String),
+    /// `--events` with a name that is not a trace-event kind.
+    BadEvent(String),
+    /// `xp trace` on an experiment without a traced variant.
+    NoTrace(String),
+    /// The trace JSONL file could not be written.
+    TraceIo {
+        /// The path that failed.
+        path: String,
+        /// The rendered I/O error.
+        error: String,
+    },
     /// A `--set` rejected by the experiment's schema.
     Param {
         /// The experiment whose schema rejected it.
@@ -156,6 +180,20 @@ impl std::fmt::Display for CliError {
                 write!(f, "--format must be table, json or csv, got {v:?}")
             }
             CliError::BadSet(v) => write!(f, "--set needs KEY=VALUE, got {v:?}"),
+            CliError::BadEvent(v) => {
+                let kinds: Vec<&str> = EventKind::ALL.iter().map(|k| k.name()).collect();
+                write!(
+                    f,
+                    "--events got unknown kind {v:?} (kinds: {})",
+                    kinds.join(", ")
+                )
+            }
+            CliError::NoTrace(id) => {
+                write!(f, "{id} has no traced variant (try e06 or e26)")
+            }
+            CliError::TraceIo { path, error } => {
+                write!(f, "cannot write trace to {path}: {error}")
+            }
             CliError::BadParallelism(v) => write!(
                 f,
                 "--parallelism needs N, TRIALSxSHARDS or auto (each axis a \
@@ -218,6 +256,18 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::All { opts })
         }
+        "trace" => {
+            let (mut ids, opts, events) = parse_run_args_with_events(it, true)?;
+            if ids.is_empty() {
+                return Err(CliError::MissingExperiment);
+            }
+            if ids.len() > 1 {
+                return Err(CliError::UnexpectedArg(ids.swap_remove(1)));
+            }
+            let id = ids.remove(0);
+            require_known(&id)?;
+            Ok(Command::Trace { id, opts, events })
+        }
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -229,13 +279,32 @@ fn require_known(id: &str) -> Result<(), CliError> {
 }
 
 fn parse_run_args<'a>(
-    mut it: std::iter::Peekable<impl Iterator<Item = &'a str>>,
+    it: std::iter::Peekable<impl Iterator<Item = &'a str>>,
 ) -> Result<(Vec<String>, RunOpts), CliError> {
+    let (ids, opts, _) = parse_run_args_with_events(it, false)?;
+    Ok((ids, opts))
+}
+
+fn parse_run_args_with_events<'a>(
+    mut it: std::iter::Peekable<impl Iterator<Item = &'a str>>,
+    allow_events: bool,
+) -> Result<(Vec<String>, RunOpts, Vec<EventKind>), CliError> {
     let mut ids = Vec::new();
     let mut opts = RunOpts::default();
+    let mut events = Vec::new();
     while let Some(arg) = it.next() {
         match arg {
             "--quick" => opts.preset = Preset::Quick,
+            "--events" if allow_events => {
+                let v = it.next().ok_or(CliError::MissingValue("--events"))?;
+                for name in v.split(',') {
+                    let kind = EventKind::parse(name)
+                        .ok_or_else(|| CliError::BadEvent(name.to_string()))?;
+                    if !events.contains(&kind) {
+                        events.push(kind);
+                    }
+                }
+            }
             "--set" => {
                 let kv = it.next().ok_or(CliError::MissingValue("--set"))?;
                 let (key, value) = kv
@@ -293,7 +362,7 @@ fn parse_run_args<'a>(
             id => ids.push(id.to_string()),
         }
     }
-    Ok((ids, opts))
+    Ok((ids, opts, events))
 }
 
 /// The directory reports land in without `--out`: `target/experiments`
@@ -383,6 +452,7 @@ USAGE:
     xp info <id>                  show an experiment's parameter schema
     xp run <id>... [OPTIONS]      run one or more experiments
     xp all [OPTIONS]              run every registered experiment
+    xp trace <id> [OPTIONS]       traced run; events land in a JSONL file
     xp bench ...                  micro-benchmarks (see `xp bench help`)
     xp net run [OPTIONS]          boot a real deployment (see `xp net help`)
     xp help                       this message
@@ -397,6 +467,12 @@ OPTIONS (run / all):
     --threads N            alias for `--parallelism N` (trial workers only)
     --format table|json|csv   stdout rendering (default: table)
     --out DIR              save directory (default: <workspace>/target/experiments)
+
+OPTIONS (trace only):
+    --events KIND,KIND     keep only these trace-event kinds (default: all;
+                           kinds: phase_enter, bias_sample, occupancy_sample, ...)
+    --out FILE             the JSONL file to write (default:
+                           <workspace>/target/experiments/<id>.trace.jsonl)
 ";
 
 /// One validated unit of work: an experiment plus its resolved map.
@@ -465,7 +541,49 @@ fn execute(cmd: &Command) -> Result<(), CliError> {
                 .collect();
             run_jobs(build_jobs(&ids, opts)?, opts)
         }
+        Command::Trace { id, opts, events } => run_trace(id, opts, events)?,
     }
+    Ok(())
+}
+
+/// The `xp trace` path: a fresh [`Obs`], an optional kind filter, the
+/// experiment's traced variant, and the trace ring written out as JSONL.
+fn run_trace(id: &str, opts: &RunOpts, events: &[EventKind]) -> Result<(), CliError> {
+    let Some(job) = build_jobs(std::slice::from_ref(&id.to_string()), opts)?.pop() else {
+        return Err(CliError::UnknownExperiment(id.to_string()));
+    };
+    let obs = Obs::new();
+    if !events.is_empty() {
+        obs.trace.set_filter(Some(events));
+    }
+    let seed = opts.seed.unwrap_or_else(|| job.map.u64("seed"));
+    let report = job
+        .exp
+        .run_traced(&job.map, Seed::new(seed), opts.parallelism, &obs)
+        .ok_or_else(|| CliError::NoTrace(job.exp.id().to_string()))?;
+    match opts.format {
+        OutputFormat::Table => outln!("{report}"),
+        OutputFormat::Json => outln!("{}", report.to_json()),
+        OutputFormat::Csv => outp!("{}", report.to_csv()),
+    }
+    let path = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| default_out_dir().join(format!("{}.trace.jsonl", job.exp.id())));
+    let io = |e: std::io::Error| CliError::TraceIo {
+        path: path.display().to_string(),
+        error: e.to_string(),
+    };
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).map_err(io)?;
+    }
+    std::fs::write(&path, obs.trace.to_jsonl()).map_err(io)?;
+    eprintln!(
+        "[saved {} ({} records, {} evicted by the ring)]",
+        path.display(),
+        obs.trace.len(),
+        obs.trace.dropped(),
+    );
     Ok(())
 }
 
@@ -636,6 +754,34 @@ mod tests {
                 },
             })
         );
+        assert_eq!(
+            p(&["trace", "e26"]),
+            Ok(Command::Trace {
+                id: "e26".into(),
+                opts: RunOpts::default(),
+                events: vec![],
+            })
+        );
+        assert_eq!(
+            p(&[
+                "trace",
+                "e06",
+                "--quick",
+                "--events",
+                "phase_enter,bias_sample",
+                "--out",
+                "/tmp/t.jsonl"
+            ]),
+            Ok(Command::Trace {
+                id: "e06".into(),
+                opts: RunOpts {
+                    preset: Preset::Quick,
+                    out: Some(PathBuf::from("/tmp/t.jsonl")),
+                    ..RunOpts::default()
+                },
+                events: vec![EventKind::PhaseEnter, EventKind::BiasSample],
+            })
+        );
     }
 
     #[test]
@@ -700,6 +846,74 @@ mod tests {
             p(&["list", "e06"]),
             Err(CliError::UnexpectedArg("e06".into()))
         );
+        assert_eq!(p(&["trace"]), Err(CliError::MissingExperiment));
+        assert_eq!(
+            p(&["trace", "e06", "e07"]),
+            Err(CliError::UnexpectedArg("e07".into()))
+        );
+        assert_eq!(
+            p(&["trace", "e06", "--events"]),
+            Err(CliError::MissingValue("--events"))
+        );
+        assert_eq!(
+            p(&["trace", "e06", "--events", "bogus"]),
+            Err(CliError::BadEvent("bogus".into()))
+        );
+        // `--events` is a trace-only flag.
+        assert_eq!(
+            p(&["run", "e06", "--events", "note"]),
+            Err(CliError::UnknownFlag("--events".into()))
+        );
+    }
+
+    #[test]
+    fn trace_writes_a_jsonl_phase_trajectory() {
+        let dir = std::env::temp_dir().join("rapid-xp-trace-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let out = dir.join("e06.trace.jsonl");
+        let cmd = p(&[
+            "trace",
+            "e06",
+            "--quick",
+            "--set",
+            "ns=256",
+            "--events",
+            "phase_enter,bias_sample",
+            "--out",
+            out.to_str().expect("utf-8 temp path"),
+        ])
+        .expect("parses");
+        execute(&cmd).expect("traced run succeeds");
+        let doc = std::fs::read_to_string(&out).expect("trace file written");
+        assert!(!doc.is_empty(), "non-empty JSONL trajectory");
+        let mut kinds = std::collections::BTreeSet::new();
+        for line in doc.lines() {
+            let v = crate::json::parse(line).expect("each line is JSON");
+            assert_eq!(
+                v.get("stream").and_then(JsonValue::as_str),
+                Some("e06/n=256")
+            );
+            kinds.insert(
+                v.get("kind")
+                    .and_then(JsonValue::as_str)
+                    .expect("kind tag")
+                    .to_string(),
+            );
+        }
+        assert!(kinds.contains("bias_sample"), "{kinds:?}");
+        assert!(
+            kinds
+                .iter()
+                .all(|k| k == "bias_sample" || k == "phase_enter"),
+            "--events filters kinds: {kinds:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_on_an_untraced_experiment_is_a_typed_error() {
+        let cmd = p(&["trace", "e01", "--quick"]).expect("parses");
+        assert_eq!(execute(&cmd), Err(CliError::NoTrace("e01".into())));
     }
 
     #[test]

@@ -9,8 +9,11 @@
 //! Shape check: `time/ln n` is roughly constant while `n` spans two orders
 //! of magnitude, and success ≈ 1.
 
+use std::sync::Arc;
+
 use rapid_core::prelude::*;
 use rapid_graph::prelude::*;
+use rapid_obs::Obs;
 use rapid_sim::prelude::*;
 use rapid_stats::{fit_line, OnlineStats};
 
@@ -112,6 +115,17 @@ impl Experiment for E06 {
         cfg.seed = seed.value();
         run_on(&cfg, parallelism)
     }
+    fn run_traced(
+        &self,
+        params: &ParamMap,
+        seed: Seed,
+        _parallelism: Parallelism,
+        obs: &Arc<Obs>,
+    ) -> Option<Report> {
+        let mut cfg = Config::from_params(params);
+        cfg.seed = seed.value();
+        Some(run_traced_on(&cfg, obs))
+    }
 }
 
 /// Runs E06 and returns its report.
@@ -198,6 +212,61 @@ pub fn run_on(cfg: &Config, parallelism: Parallelism) -> Report {
         ));
     }
     table.push_note("success = plurality wins AND unanimity precedes the first halt");
+    report.push_table(table);
+    report
+}
+
+/// The `xp trace e06` path: one phase-resolved run per `n` with an
+/// [`ObsObserver`] attached, each on its own trace stream `e06/n=<n>`.
+/// The observer reads progress snapshots only, so the traced outcome is
+/// the same one the untraced trial would produce.
+pub fn run_traced_on(cfg: &Config, obs: &Arc<Obs>) -> Report {
+    let mut report = Report::new("E06", TITLE, cfg.seed);
+    let mut table = Table::new(
+        format!(
+            "traced RapidSim on K_n, k = {}, eps = {} (one run per n)",
+            cfg.k, cfg.eps
+        ),
+        &["n", "time", "winner", "success", "events"],
+    );
+    for &n in &cfg.ns {
+        let counts = match InitialDistribution::multiplicative_bias(cfg.k, cfg.eps).counts(n) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        let params = Params::for_network_with_eps(n as usize, cfg.k, cfg.eps);
+        let stream = format!("e06/n={n}");
+        let before = obs.trace.records().len();
+        let mut observer =
+            ObsObserver::new(Arc::clone(obs), &stream).with_schedule(Schedule::new(params));
+        let outcome = Sim::builder()
+            .topology(Complete::new(n as usize))
+            .counts(&counts)
+            .rapid(params)
+            .seed(Seed::new(cfg.seed ^ (n << 4)))
+            .build()
+            // lint: allow(panic-hygiene): inputs are fixed by the experiment/benchmark definition; build failure is a programming error
+            .expect("validated")
+            .run_with(&mut [&mut observer]);
+        let events = obs.trace.records().len() - before;
+        match outcome.as_rapid() {
+            Some(out) => table.push_row(vec![
+                n.to_string(),
+                format!("{:.1}", out.time.as_secs()),
+                out.winner.index().to_string(),
+                (out.winner == Color::new(0) && out.before_first_halt).to_string(),
+                events.to_string(),
+            ]),
+            None => table.push_row(vec![
+                n.to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "false".to_string(),
+                events.to_string(),
+            ]),
+        }
+    }
+    table.push_note("events = trace records emitted on this run's stream (bias/occupancy/phase)");
     report.push_table(table);
     report
 }

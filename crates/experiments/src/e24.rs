@@ -191,6 +191,26 @@ mod tests {
     }
 
     #[test]
+    fn skipped_rows_render_when_sockets_are_forbidden() {
+        // Runs everywhere: on hosts that allow sockets every row
+        // converges; on sandboxed runners every row must still render as
+        // a `skipped (...)` row rather than aborting the report. The UDP
+        // obs gauges ride the same path and must not change this.
+        let report = run(&Config {
+            trials: 1,
+            ..Config::quick()
+        });
+        let table = &report.tables[0];
+        assert_eq!(table.len(), PROTOCOLS.len());
+        for c in table.column("converged") {
+            assert!(
+                c == "true" || c == "false" || c.starts_with("skipped ("),
+                "unexpected converged cell {c:?}"
+            );
+        }
+    }
+
+    #[test]
     #[ignore = "binds many loopback UDP sockets; run explicitly on hosts that allow it"]
     fn loopback_deployment_converges() {
         let report = run(&Config::quick());

@@ -8,6 +8,9 @@
 //! enumerate and drive every experiment uniformly, without naming any
 //! concrete module.
 
+use std::sync::Arc;
+
+use rapid_obs::Obs;
 use rapid_sim::rng::Seed;
 
 use crate::params::{ParamMap, ParamSchema, Preset};
@@ -42,6 +45,25 @@ pub trait Experiment: Sync {
     /// A parameter map initialised from `preset`.
     fn preset(&self, preset: Preset) -> ParamMap {
         ParamMap::preset(&self.params(), preset)
+    }
+
+    /// Runs a *traced* variant of the experiment with observability
+    /// attached: events land on `obs`'s trace buffer (stream names are
+    /// experiment-chosen, conventionally `"<id>/n=<n>"`) and the returned
+    /// report summarises the traced runs. Experiments without a traced
+    /// variant return `None` — `xp trace` maps that to a typed CLI error.
+    ///
+    /// Tracing never perturbs the dynamics: observers read progress
+    /// snapshots only and have no path to any RNG stream.
+    fn run_traced(
+        &self,
+        params: &ParamMap,
+        seed: Seed,
+        parallelism: Parallelism,
+        obs: &Arc<Obs>,
+    ) -> Option<Report> {
+        let _ = (params, seed, parallelism, obs);
+        None
     }
 
     /// Runs with the map's own `seed` parameter unless `seed_override`

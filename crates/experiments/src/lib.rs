@@ -86,6 +86,7 @@ pub mod e22;
 pub mod e23;
 pub mod e24;
 pub mod e25;
+pub mod e26;
 
 pub use distributions::InitialDistribution;
 pub use experiment::Experiment;

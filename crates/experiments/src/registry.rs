@@ -8,10 +8,10 @@
 use crate::experiment::Experiment;
 use crate::{
     e01, e02, e03, e04, e05, e06, e07, e08, e09, e10, e11, e12, e13, e14, e15, e16, e17, e18, e19,
-    e20, e21, e22, e23, e24, e25,
+    e20, e21, e22, e23, e24, e25, e26,
 };
 
-static REGISTRY: [&dyn Experiment; 25] = [
+static REGISTRY: [&dyn Experiment; 26] = [
     &e01::E01,
     &e02::E02,
     &e03::E03,
@@ -37,6 +37,7 @@ static REGISTRY: [&dyn Experiment; 25] = [
     &e23::E23,
     &e24::E24,
     &e25::E25,
+    &e26::E26,
 ];
 
 /// Every experiment, sorted by [`Experiment::id`].
@@ -88,12 +89,12 @@ mod tests {
     #[test]
     fn registry_is_complete_unique_and_sorted() {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
-        assert_eq!(ids.len(), 25);
+        assert_eq!(ids.len(), 26);
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(ids, sorted, "ids must be unique and sorted");
-        for i in 1..=25 {
+        for i in 1..=26 {
             assert!(
                 ids.contains(&format!("e{i:02}").as_str()),
                 "missing e{i:02}"
@@ -105,7 +106,7 @@ mod tests {
     fn find_is_case_insensitive() {
         assert_eq!(find("e06").expect("exists").id(), "e06");
         assert_eq!(find("E06").expect("exists").id(), "e06");
-        assert!(find("e26").is_none());
+        assert!(find("e99").is_none());
         assert!(find("").is_none());
     }
 

@@ -6,7 +6,7 @@
 use rapid_experiments::prelude::*;
 use rapid_experiments::{
     e01, e02, e03, e04, e05, e06, e07, e08, e09, e10, e11, e12, e13, e14, e15, e16, e17, e18, e19,
-    e20, e21, e22, e23, e24, e25,
+    e20, e21, e22, e23, e24, e25, e26,
 };
 
 /// Every experiment's `from_params` over both presets must reproduce the
@@ -55,6 +55,7 @@ fn param_presets_match_legacy_configs_for_all_experiments() {
         e23 => e23::E23,
         e24 => e24::E24,
         e25 => e25::E25,
+        e26 => e26::E26,
     );
 }
 
@@ -133,11 +134,11 @@ fn forced_thread_counts_produce_identical_reports() {
     assert_eq!(one.to_json(), many.to_json());
 }
 
-/// Registry completeness: all 25 ids present, unique, sorted, findable.
+/// Registry completeness: all 26 ids present, unique, sorted, findable.
 #[test]
 fn registry_is_complete() {
     let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
-    let expected: Vec<String> = (1..=25).map(|i| format!("e{i:02}")).collect();
+    let expected: Vec<String> = (1..=26).map(|i| format!("e{i:02}")).collect();
     assert_eq!(ids, expected.iter().map(String::as_str).collect::<Vec<_>>());
     for id in &expected {
         assert!(find(id).is_some(), "{id} must resolve");

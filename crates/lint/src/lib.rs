@@ -19,6 +19,7 @@
 //! | `no-wall-clock` | `Instant::now`/`SystemTime::now` only in `crates/bench` |
 //! | `no-unordered-iteration` | no `HashMap`/`HashSet` in engine crates |
 //! | `panic-hygiene` | no `unwrap()`; `expect(`/`panic!` justified per site |
+//! | `obs-rng-isolation` | trace emission sites never draw from an RNG stream |
 //! | `zero-deps-policy` | manifests contain only path/workspace dependencies |
 //! | `crate-header-policy` | every `lib.rs` forbids unsafe code and denies missing docs |
 //!

@@ -1,4 +1,4 @@
-//! The six determinism & hygiene rules, and the engine that runs them.
+//! The seven determinism & hygiene rules, and the engine that runs them.
 //!
 //! Each rule is a function from a lexed [`SourceFile`] (or [`Manifest`])
 //! to findings; the engine applies scoping (which trees, which crates,
@@ -28,6 +28,7 @@ pub const RULE_IDS: &[&str] = &[
     "no-wall-clock",
     "no-unordered-iteration",
     "panic-hygiene",
+    "obs-rng-isolation",
     "zero-deps-policy",
     "crate-header-policy",
     "marker-syntax",
@@ -45,6 +46,9 @@ pub fn rule_description(rule: &str) -> &'static str {
         }
         "panic-hygiene" => {
             "no unwrap() in non-test library code; expect()/panic! need reasoned markers"
+        }
+        "obs-rng-isolation" => {
+            "trace emission sites must not draw from RNG streams (observation stays passive)"
         }
         "zero-deps-policy" => "every manifest dependency must be a path or workspace dependency",
         "crate-header-policy" => {
@@ -109,6 +113,7 @@ pub fn check_file(file: &SourceFile, report: &mut Report) {
         no_wall_clock(file, i, code, report);
         no_unordered_iteration(file, i, code, report);
         panic_hygiene(file, i, code, report);
+        obs_rng_isolation(file, i, code, report);
     }
 }
 
@@ -286,7 +291,41 @@ fn panic_hygiene(file: &SourceFile, i: usize, code: &str, report: &mut Report) {
     }
 }
 
-/// Rule 5: zero-deps policy over one manifest. Every entry in a
+/// Rule 5: trace emission never touches randomness. The zero-overhead
+/// contract pins goldens bit-identical with tracing on, off and absent,
+/// which only holds if no emission site draws from (or even advances) an
+/// RNG stream. A line that both emits a trace event and reaches an RNG
+/// is flagged; payloads must come from already-materialised state.
+fn obs_rng_isolation(file: &SourceFile, i: usize, code: &str, report: &mut Report) {
+    if !code.contains("trace.emit(") {
+        return;
+    }
+    for token in [
+        "rng.",
+        "rng().",
+        ".child(",
+        ".sample(",
+        ".next_u64(",
+        ".unit_f64(",
+    ] {
+        if code.contains(token) {
+            emit(
+                file,
+                i,
+                "obs-rng-isolation",
+                format!(
+                    "trace emission and RNG access (`{token}`) on one line — observers are \
+                     passive and must never draw from or advance an RNG stream; bind the \
+                     payload to a local first if the proximity is coincidental"
+                ),
+                report,
+            );
+            return;
+        }
+    }
+}
+
+/// Rule 6: zero-deps policy over one manifest. Every entry in a
 /// dependency table must be a path or workspace dependency; anything
 /// version- or git-shaped would reach outside the repository.
 pub fn check_manifest(manifest: &Manifest, report: &mut Report) {
@@ -371,7 +410,7 @@ fn flag_dep(manifest: &Manifest, i: usize, report: &mut Report) {
     });
 }
 
-/// Rule 6: crate headers. Every member's `lib.rs` must forbid unsafe
+/// Rule 7: crate headers. Every member's `lib.rs` must forbid unsafe
 /// code and deny missing docs, so the guarantees hold workspace-wide
 /// rather than per-crate-by-convention.
 pub fn check_crate_headers(ws: &Workspace, report: &mut Report) {
@@ -475,6 +514,38 @@ mod tests {
         );
         assert_eq!(r.findings.len(), 4);
         assert!(r.findings.iter().all(|f| f.rule == "panic-hygiene"));
+    }
+
+    #[test]
+    fn obs_rng_isolation_flags_emission_mixed_with_rng() {
+        let src = "obs.trace.emit(\"s\", TraceEvent::Note { label: l, value: rng.unit_f64() });\n";
+        let r = lint_src("crates/core/src/x.rs", src);
+        assert_eq!(r.findings.len(), 1, "{r:?}");
+        assert_eq!(r.findings[0].rule, "obs-rng-isolation");
+    }
+
+    #[test]
+    fn obs_rng_isolation_leaves_passive_emission_alone() {
+        // Payloads built from already-materialised state are the
+        // sanctioned shape; `BiasSample` must not trip the `.sample(`
+        // token either.
+        let src = "obs.trace.emit(\"s\", TraceEvent::BiasSample { time, leader, support, runner_up, total });\n";
+        assert!(lint_src("crates/core/src/x.rs", src).clean());
+        // RNG use on a *different* line is fine: only co-located access
+        // can smuggle a draw into the emission expression.
+        let src = "let v = rng.unit_f64();\nobs.trace.emit(\"s\", TraceEvent::Note { label: l, value: v });\n";
+        assert!(lint_src("crates/core/src/x.rs", src).clean());
+    }
+
+    #[test]
+    fn obs_rng_isolation_honors_markers() {
+        let src = "\
+// lint: allow(obs-rng-isolation): `rng.len()` is a buffer, not a random stream.
+obs.trace.emit(\"s\", TraceEvent::Note { label: l, value: rng.len() as f64 });
+";
+        let r = lint_src("crates/core/src/x.rs", src);
+        assert!(r.clean(), "{r:?}");
+        assert_eq!(r.markers_honored, 1);
     }
 
     #[test]

@@ -27,15 +27,15 @@ fn live_workspace_is_clean() {
 #[test]
 fn discovery_sees_the_whole_workspace() {
     let ws = Workspace::discover(&workspace_root()).expect("workspace discovery");
-    // 10 member crates + the lint crate itself + the root package.
-    assert_eq!(ws.members.len(), 12, "members: {:?}", ws.members);
+    // 11 member crates + the lint crate itself + the root package.
+    assert_eq!(ws.members.len(), 13, "members: {:?}", ws.members);
     assert!(
         ws.members.iter().any(|m| m == "crates/lint"),
         "the lint crate must lint itself"
     );
     // Workspace manifest + one per member with its own Cargo.toml (the
     // root package shares the workspace manifest).
-    assert_eq!(ws.manifests.len(), 12);
+    assert_eq!(ws.manifests.len(), 13);
     let report = rules::run(&ws);
     assert!(
         report.files_scanned > 100,

@@ -27,9 +27,11 @@
 //! source of nondeterminism.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use rapid_core::facade::{BuildError, EngineKind, MacroProtocol, MacroSpec, SimBuilder, Spec};
 use rapid_core::prelude::*;
+use rapid_obs::{Counter, Histogram, Obs, TraceEvent};
 use rapid_sim::rng::SimRng;
 use rapid_sim::time::SimTime;
 
@@ -135,6 +137,18 @@ pub struct MacroSim {
     rng: SimRng,
     steps: u64,
     mode: MacroMode,
+    obs: Option<MacroObs>,
+}
+
+/// Pre-registered observability cells for the macro engine. Handles are
+/// resolved once at [`MacroSim::attach_obs`] so the per-batch flush in
+/// [`MacroSim::advance`] is a handful of atomic adds — never a registry
+/// lookup, and never an RNG touch.
+struct MacroObs {
+    obs: Arc<Obs>,
+    tau_leaps: Counter,
+    gillespie_fallbacks: Counter,
+    batch_size: Histogram,
 }
 
 impl MacroSim {
@@ -223,6 +237,7 @@ impl MacroSim {
             rng,
             steps: 0,
             mode: MacroMode::Auto,
+            obs: None,
         }
     }
 
@@ -231,6 +246,23 @@ impl MacroSim {
     pub fn with_mode(mut self, mode: MacroMode) -> Self {
         self.mode = mode;
         self
+    }
+
+    /// Attaches an observability handle. The engine then counts τ-leap
+    /// batches vs exact (Gillespie-style) fallback chunks under
+    /// `macro.tau_leaps` / `macro.gillespie_fallbacks`, records batch
+    /// sizes in the `macro.batch_size` histogram, and emits one
+    /// [`TraceEvent::TauLeap`] or [`TraceEvent::GillespieFallback`] per
+    /// batch on the `"macro"` stream. Instrumentation is flushed once per
+    /// batch — never per activation — and touches no RNG stream, so an
+    /// attached handle cannot change any outcome byte.
+    pub fn attach_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = Some(MacroObs {
+            tau_leaps: obs.registry.counter("macro.tau_leaps"),
+            gillespie_fallbacks: obs.registry.counter("macro.gillespie_fallbacks"),
+            batch_size: obs.registry.histogram("macro.batch_size"),
+            obs,
+        });
     }
 
     /// The validated spec this engine runs.
@@ -482,6 +514,7 @@ impl MacroSim {
                 } else {
                     self.leap_gossip(rule, batch);
                 }
+                self.flush_obs(batch, exact);
             }
             None => {
                 // The rapid schedule advances every node's state on every
@@ -494,7 +527,29 @@ impl MacroSim {
                     _ => batch,
                 };
                 self.leap_rapid(b);
+                self.flush_obs(b, false);
             }
+        }
+    }
+
+    /// One per-batch observability flush from [`MacroSim::advance`]:
+    /// counters, the batch-size histogram, and a single trace event on
+    /// the `"macro"` stream. A no-op without an attached handle.
+    fn flush_obs(&self, batch: u64, exact: bool) {
+        let Some(obs) = &self.obs else { return };
+        obs.batch_size.record(batch);
+        let time = self.now().as_secs();
+        if exact {
+            obs.gillespie_fallbacks.inc();
+            obs.obs.trace.emit(
+                "macro",
+                TraceEvent::GillespieFallback { time, steps: batch },
+            );
+        } else {
+            obs.tau_leaps.inc();
+            obs.obs
+                .trace
+                .emit("macro", TraceEvent::TauLeap { time, batch });
         }
     }
 

@@ -126,6 +126,56 @@ fn zero_fault_macro_runs_are_bit_reproducible() {
 }
 
 #[test]
+fn attaching_obs_never_changes_a_macro_outcome() {
+    // The observability flush happens after each batch's RNG draws and
+    // touches no stream itself, so the instrumented run must be
+    // byte-identical to the bare one — and the regime counters must add
+    // up to every batch the engine took.
+    use std::sync::Arc;
+
+    for protocol in [
+        MacroProtocol::Gossip(GossipRule::TwoChoices),
+        MacroProtocol::Rapid(Params::for_network_with_eps(1 << 12, 4, 0.5)),
+    ] {
+        let build = || {
+            let mut builder = Sim::builder()
+                .topology(Complete::new(1 << 12))
+                .counts(&biased_counts(1 << 12, 4, 0.5))
+                .engine(EngineKind::Macro)
+                .seed(Seed::new(0xBEEF));
+            builder = match protocol {
+                MacroProtocol::Gossip(rule) => builder.gossip(rule),
+                MacroProtocol::Rapid(params) => builder.rapid(params),
+            };
+            MacroSim::from_builder(builder).expect("valid")
+        };
+        let bare = build().run();
+
+        let obs = rapid_obs::Obs::new();
+        let mut sim = build();
+        sim.attach_obs(Arc::clone(&obs));
+        let observed = sim.run();
+
+        assert_eq!(
+            bare,
+            observed,
+            "{}: obs changed the outcome",
+            protocol.name()
+        );
+        let snap = obs.registry.snapshot();
+        let leaps = snap.get_counter("macro.tau_leaps").unwrap_or(0);
+        let exact = snap.get_counter("macro.gillespie_fallbacks").unwrap_or(0);
+        assert!(leaps + exact > 0, "{}: no batches counted", protocol.name());
+        assert_eq!(
+            obs.trace.records().len() as u64,
+            leaps + exact,
+            "{}: one trace event per batch",
+            protocol.name()
+        );
+    }
+}
+
+#[test]
 fn exact_and_tau_leap_regimes_agree_statistically() {
     // Same workload, forced regimes: the mean final plurality share over
     // seeds must match across regimes (the leap is an approximation of

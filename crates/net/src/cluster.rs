@@ -34,6 +34,7 @@ use rapid_core::facade::{
     StopReason,
 };
 use rapid_core::opinion::Color;
+use rapid_obs::{Counter, Gauge, Obs, TraceEvent};
 use rapid_sim::time::SimTime;
 
 use crate::codec::Envelope;
@@ -139,6 +140,31 @@ pub struct Cluster {
     /// `(steps, time)` at the first moment the histogram was unanimous.
     unanimity: Option<(u64, SimTime)>,
     decode_errors: u64,
+    obs: Option<NetObs>,
+}
+
+/// Pre-registered observability cells for the deployment drivers. The
+/// counter handles are plain atomics, so the UDP workers share them by
+/// clone; the two gauges mirror the *live* transport state (summed
+/// dropped frames and pending-outbox sizes) while a UDP run is in
+/// flight. None of this touches any RNG stream.
+#[derive(Clone)]
+struct NetObs {
+    obs: Arc<Obs>,
+    /// `net.codec.bytes_out` — encoded frame bytes handed to a transport.
+    bytes_out: Counter,
+    /// `net.codec.bytes_in` — frame bytes pulled off a transport.
+    bytes_in: Counter,
+    /// `net.transport.sends` — send attempts (queued or dropped).
+    sends: Counter,
+    /// `net.transport.recvs` — frames received.
+    recvs: Counter,
+    /// `net.transport.drops` — frames a transport refused or evicted.
+    drops: Counter,
+    /// `net.udp.dropped` — live sum of every worker transport's drop count.
+    udp_dropped: Gauge,
+    /// `net.udp.pending` — live sum of every worker's outbox occupancy.
+    udp_pending: Gauge,
 }
 
 impl Cluster {
@@ -184,7 +210,29 @@ impl Cluster {
             first_halt: None,
             unanimity: None,
             decode_errors: 0,
+            obs: None,
         }
+    }
+
+    /// Attaches an observability handle. Both drivers then count codec
+    /// bytes and transport send/recv/drop totals under `net.*`, emit
+    /// [`TraceEvent::FrameDrop`] / [`TraceEvent::BeaconRaise`] /
+    /// [`TraceEvent::BeaconRevoke`] on the `"net"` stream, and a UDP run
+    /// additionally mirrors its workers' live drop counts and outbox
+    /// occupancy into the `net.udp.dropped` / `net.udp.pending` gauges.
+    /// Instrumentation reads machine state transitions only — it never
+    /// touches a node's RNG stream, so outcomes are unchanged.
+    pub fn attach_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = Some(NetObs {
+            bytes_out: obs.registry.counter("net.codec.bytes_out"),
+            bytes_in: obs.registry.counter("net.codec.bytes_in"),
+            sends: obs.registry.counter("net.transport.sends"),
+            recvs: obs.registry.counter("net.transport.recvs"),
+            drops: obs.registry.counter("net.transport.drops"),
+            udp_dropped: obs.registry.gauge("net.udp.dropped"),
+            udp_pending: obs.registry.gauge("net.udp.pending"),
+            obs,
+        });
     }
 
     /// Boots a cluster straight from a [`SimBuilder`] with
@@ -257,6 +305,14 @@ impl Cluster {
                 self.first_halt = Some(self.now);
             }
         }
+        if let Some(obs) = &self.obs {
+            let node = i as u64;
+            match (b0, b1) {
+                (false, true) => obs.obs.trace.emit("net", TraceEvent::BeaconRaise { node }),
+                (true, false) => obs.obs.trace.emit("net", TraceEvent::BeaconRevoke { node }),
+                _ => {}
+            }
+        }
         out
     }
 
@@ -266,13 +322,31 @@ impl Cluster {
         for env in outbox {
             buf.clear();
             env.encode_into(&mut buf);
-            self.transport.send(env.dst, &buf);
+            let sent = self.transport.send(env.dst, &buf);
+            if let Some(obs) = &self.obs {
+                obs.sends.inc();
+                obs.bytes_out.add(buf.len() as u64);
+                if !sent {
+                    obs.drops.inc();
+                    obs.obs.trace.emit(
+                        "net",
+                        TraceEvent::FrameDrop {
+                            node: u64::from(env.dst),
+                            pending: self.transport.in_flight() as u64,
+                        },
+                    );
+                }
+            }
         }
     }
 
     /// Delivers queued frames until the network is quiet.
     fn pump_to_quiescence(&mut self) {
         while let Some(frame) = self.transport.recv() {
+            if let Some(obs) = &self.obs {
+                obs.recvs.inc();
+                obs.bytes_in.add(frame.len() as u64);
+            }
             match Envelope::decode(&frame) {
                 Ok((env, _)) => {
                     if (env.dst as usize) < self.machines.len() {
@@ -444,6 +518,12 @@ impl Cluster {
         let halted = AtomicUsize::new(0);
         let dropped = AtomicU64::new(0);
         let decode_errors = AtomicU64::new(0);
+        // Per-worker live transport mirrors: each worker publishes its
+        // drop count and outbox occupancy here every loop iteration, and
+        // the supervisor folds the sums into the `net.udp.*` gauges.
+        let live_dropped: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        let live_pending: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        let obs = self.obs.clone();
 
         // lint: allow(no-wall-clock): measurement only — feeds the reported wall_ms; stopping uses tick/step counters
         let start = std::time::Instant::now();
@@ -458,25 +538,19 @@ impl Cluster {
             }
             for (w, (shard_machines, socket)) in shards.into_iter().zip(sockets).enumerate() {
                 let transport = UdpTransport::new(socket, Arc::clone(&addr_of), opts.outbox_cap);
-                let base = w * shard;
-                let stop = &stop;
-                let steps = &steps;
-                let beacons = &beacons;
-                let halted = &halted;
-                let dropped = &dropped;
-                let decode_errors = &decode_errors;
+                let ctx = WorkerCtx {
+                    stop: &stop,
+                    steps: &steps,
+                    beacons: &beacons,
+                    halted: &halted,
+                    dropped: &dropped,
+                    decode_errors: &decode_errors,
+                    live_dropped: &live_dropped[w],
+                    live_pending: &live_pending[w],
+                    obs: obs.clone(),
+                };
                 scope.spawn(move || {
-                    udp_worker(
-                        shard_machines,
-                        transport,
-                        base,
-                        stop,
-                        steps,
-                        beacons,
-                        halted,
-                        dropped,
-                        decode_errors,
-                    );
+                    udp_worker(shard_machines, transport, ctx);
                 });
             }
             // Supervisor: aggregate the workers' beacon counts and stop
@@ -488,6 +562,12 @@ impl Cluster {
             loop {
                 std::thread::sleep(std::time::Duration::from_millis(1));
                 ticks += 1;
+                if let Some(obs) = &obs {
+                    obs.udp_dropped
+                        .set(live_dropped.iter().map(|a| a.load(Ordering::Relaxed)).sum());
+                    obs.udp_pending
+                        .set(live_pending.iter().map(|a| a.load(Ordering::Relaxed)).sum());
+                }
                 let done = beacons.load(Ordering::Relaxed) >= n
                     || steps.load(Ordering::Relaxed) >= cap
                     || ticks >= opts.wall_timeout_ms;
@@ -497,6 +577,13 @@ impl Cluster {
                 }
             }
         });
+        if let Some(obs) = &obs {
+            // Final gauge values: the post-run truth, not the last tick's.
+            obs.udp_dropped
+                .set(live_dropped.iter().map(|a| a.load(Ordering::Relaxed)).sum());
+            obs.udp_pending
+                .set(live_pending.iter().map(|a| a.load(Ordering::Relaxed)).sum());
+        }
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
 
         // Reconcile the counters with the collected machines.
@@ -542,20 +629,24 @@ impl Cluster {
     }
 }
 
+/// Everything a UDP worker shares with the supervisor and its siblings:
+/// the stop flag, the aggregate counters, this worker's live transport
+/// mirror slots, and the (optional) observability handles.
+struct WorkerCtx<'a> {
+    stop: &'a AtomicBool,
+    steps: &'a AtomicU64,
+    beacons: &'a AtomicUsize,
+    halted: &'a AtomicUsize,
+    dropped: &'a AtomicU64,
+    decode_errors: &'a AtomicU64,
+    live_dropped: &'a AtomicU64,
+    live_pending: &'a AtomicU64,
+    obs: Option<NetObs>,
+}
+
 /// One UDP worker's event loop: pump the socket, fire the next local
 /// activation, flush — never block.
-#[allow(clippy::too_many_arguments)]
-fn udp_worker(
-    machines: &mut [NodeMachine],
-    mut transport: UdpTransport,
-    base: usize,
-    stop: &AtomicBool,
-    steps: &AtomicU64,
-    beacons: &AtomicUsize,
-    halted: &AtomicUsize,
-    dropped: &AtomicU64,
-    decode_errors: &AtomicU64,
-) {
+fn udp_worker(machines: &mut [NodeMachine], mut transport: UdpTransport, ctx: WorkerCtx<'_>) {
     if machines.is_empty() {
         return;
     }
@@ -576,31 +667,46 @@ fn udp_worker(
         let (b1, h1) = (m.beacon(), m.halted());
         match (b0, b1) {
             (false, true) => {
-                beacons.fetch_add(1, Ordering::Relaxed);
+                ctx.beacons.fetch_add(1, Ordering::Relaxed);
             }
             (true, false) => {
-                beacons.fetch_sub(1, Ordering::Relaxed);
+                ctx.beacons.fetch_sub(1, Ordering::Relaxed);
             }
             _ => {}
         }
         if !h0 && h1 {
-            halted.fetch_add(1, Ordering::Relaxed);
+            ctx.halted.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(obs) = &ctx.obs {
+            let node = u64::from(m.id());
+            match (b0, b1) {
+                (false, true) => obs.obs.trace.emit("net", TraceEvent::BeaconRaise { node }),
+                (true, false) => obs.obs.trace.emit("net", TraceEvent::BeaconRevoke { node }),
+                _ => {}
+            }
         }
     };
     let mut outbox: Vec<Envelope> = Vec::new();
-    while !stop.load(Ordering::Relaxed) {
+    while !ctx.stop.load(Ordering::Relaxed) {
         // Receive pump: drain a batch of inbound datagrams.
         for _ in 0..UDP_RECV_BATCH {
             let Some(frame) = transport.recv() else { break };
+            if let Some(obs) = &ctx.obs {
+                obs.recvs.inc();
+                obs.bytes_in.add(frame.len() as u64);
+            }
             match Envelope::decode(&frame) {
                 Ok((env, _)) => {
                     let li = env.dst as usize;
-                    if li >= base && li < base + machines.len() {
-                        call(&mut machines[li - base], &mut outbox, Some(&env));
+                    if let Some(m) = li
+                        .checked_sub(machines[0].id() as usize)
+                        .and_then(|off| machines.get_mut(off))
+                    {
+                        call(m, &mut outbox, Some(&env));
                     }
                 }
                 Err(_) => {
-                    decode_errors.fetch_add(1, Ordering::Relaxed);
+                    ctx.decode_errors.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -609,15 +715,35 @@ fn udp_worker(
             call(&mut machines[li], &mut outbox, None);
             let gap = machines[li].sample_gap();
             heap.push(Reverse((t + SimTime::from_secs(gap), li)));
-            steps.fetch_add(1, Ordering::Relaxed);
+            ctx.steps.fetch_add(1, Ordering::Relaxed);
         }
         // Route everything produced this iteration, then flush.
         for env in outbox.drain(..) {
             buf.clear();
             env.encode_into(&mut buf);
-            transport.send(env.dst, &buf);
+            let sent = transport.send(env.dst, &buf);
+            if let Some(obs) = &ctx.obs {
+                obs.sends.inc();
+                obs.bytes_out.add(buf.len() as u64);
+                if !sent {
+                    obs.drops.inc();
+                    obs.obs.trace.emit(
+                        "net",
+                        TraceEvent::FrameDrop {
+                            node: u64::from(env.dst),
+                            pending: transport.queued() as u64,
+                        },
+                    );
+                }
+            }
         }
         transport.flush();
+        // Publish this worker's live transport state for the gauges.
+        ctx.live_dropped
+            .store(transport.dropped(), Ordering::Relaxed);
+        ctx.live_pending
+            .store(transport.queued() as u64, Ordering::Relaxed);
     }
-    dropped.fetch_add(transport.dropped(), Ordering::Relaxed);
+    ctx.dropped
+        .fetch_add(transport.dropped(), Ordering::Relaxed);
 }

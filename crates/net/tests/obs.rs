@@ -1,0 +1,98 @@
+//! Observability contracts of the deployment drivers.
+//!
+//! Attaching an obs handle to a [`Cluster`] may not change one byte of
+//! the run — instrumentation reads machine transitions and transport
+//! accounting only, never an RNG stream. The channel driver is
+//! deterministic, so the contract is testable exactly: bare run and
+//! instrumented run must produce identical outcomes, and the counters
+//! must reconcile with the transport's own accounting.
+
+use std::sync::Arc;
+
+use rapid_core::facade::{EngineKind, Sim};
+use rapid_core::prelude::*;
+use rapid_graph::prelude::*;
+use rapid_net::Cluster;
+use rapid_obs::{EventKind, Obs};
+use rapid_sim::prelude::*;
+
+const N: usize = 256;
+
+fn cluster() -> Cluster {
+    let counts = [(N as u64 * 3) / 5, N as u64 - (N as u64 * 3) / 5];
+    Cluster::from_builder(
+        Sim::builder()
+            .topology(Complete::new(N))
+            .counts(&counts)
+            .rapid(Params::for_network_with_eps(N, 2, 0.5))
+            .engine(EngineKind::Net)
+            .seed(Seed::new(0x0B5)),
+    )
+    .expect("valid net assembly")
+}
+
+#[test]
+fn attaching_obs_never_changes_a_channel_run() {
+    let bare = cluster().run_channel();
+
+    let obs = Obs::new();
+    let mut instrumented = cluster();
+    instrumented.attach_obs(Arc::clone(&obs));
+    let observed = instrumented.run_channel();
+
+    assert_eq!(bare.outcome, observed.outcome);
+    assert_eq!(bare.total_steps, observed.total_steps);
+    assert_eq!(bare.dropped_frames, observed.dropped_frames);
+    assert_eq!(bare.decode_errors, observed.decode_errors);
+}
+
+#[test]
+fn channel_counters_reconcile_with_the_lossless_wire() {
+    let obs = Obs::new();
+    let mut c = cluster();
+    c.attach_obs(Arc::clone(&obs));
+    let run = c.run_channel();
+
+    let snap = obs.registry.snapshot();
+    let sends = snap.get_counter("net.transport.sends").unwrap_or(0);
+    let recvs = snap.get_counter("net.transport.recvs").unwrap_or(0);
+    let drops = snap.get_counter("net.transport.drops").unwrap_or(0);
+    assert!(sends > 0, "a rapid run exchanges frames");
+    assert_eq!(
+        drops, run.dropped_frames,
+        "drop counter mirrors the transport"
+    );
+    // The channel wire is lossless and pumped to quiescence after every
+    // activation: every queued frame is received.
+    assert_eq!(sends - drops, recvs);
+    assert_eq!(
+        snap.get_counter("net.codec.bytes_out"),
+        snap.get_counter("net.codec.bytes_in"),
+        "lossless wire: bytes in == bytes out"
+    );
+}
+
+#[test]
+fn a_terminating_rapid_run_raises_beacons_on_the_trace() {
+    let obs = Obs::new();
+    let mut c = cluster();
+    c.attach_obs(Arc::clone(&obs));
+    let run = c.run_channel();
+    assert_eq!(run.outcome.stop, StopReason::Unanimity, "{:?}", run.outcome);
+
+    let records = obs.trace.records();
+    let raises = records
+        .iter()
+        .filter(|r| r.event.kind() == EventKind::BeaconRaise)
+        .count();
+    assert!(
+        raises > 0,
+        "a halting rapid deployment must raise beacons on the trace"
+    );
+    // Raises minus revokes equals the standing beacon count.
+    let revokes = records
+        .iter()
+        .filter(|r| r.event.kind() == EventKind::BeaconRevoke)
+        .count();
+    assert_eq!(raises - revokes, c.beacons());
+}

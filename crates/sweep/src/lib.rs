@@ -37,14 +37,20 @@ pub mod serve;
 pub mod spec;
 
 pub use cache::{cache_key, CacheCounters, CacheKey, CacheRecord, ResultCache};
-pub use scheduler::{run_sweep, run_sweep_with, SweepOutcome, TrialRecord, TrialStatus};
+pub use scheduler::{
+    run_sweep, run_sweep_observed, run_sweep_with, run_sweep_with_observed, SweepObs, SweepOutcome,
+    TrialRecord, TrialStatus,
+};
 pub use serve::{BenchProvider, ServeConfig, Server};
 pub use spec::{SweepError, SweepSpec, WorkItem};
 
 /// Convenient glob-import of the sweep surface.
 pub mod prelude {
     pub use crate::cache::{cache_key, CacheCounters, CacheKey, CacheRecord, ResultCache};
-    pub use crate::scheduler::{run_sweep, run_sweep_with, SweepOutcome, TrialRecord, TrialStatus};
+    pub use crate::scheduler::{
+        run_sweep, run_sweep_observed, run_sweep_with, run_sweep_with_observed, SweepObs,
+        SweepOutcome, TrialRecord, TrialStatus,
+    };
     pub use crate::serve::{BenchProvider, ServeConfig, Server};
     pub use crate::spec::{SweepError, SweepSpec, WorkItem};
 }

@@ -1,14 +1,16 @@
 //! `xp serve`: the std-only HTTP front end over the sweep scheduler.
 //!
 //! One `TcpListener`, one thread per connection, one request per
-//! connection. Four endpoints:
+//! connection. Six endpoints:
 //!
 //! | endpoint              | method | behaviour                                      |
 //! |-----------------------|--------|------------------------------------------------|
 //! | `/run`                | POST   | submit a sweep job; returns `{"job": id}` (202)|
-//! | `/status/<job>`       | GET    | live progress + cache counters                 |
+//! | `/status/<job>`       | GET    | live progress + cache counters + metrics       |
 //! | `/result/<job>`       | GET    | the finished job's result JSONL                |
 //! | `/bench`              | GET    | the benchmark trajectory, filterable by query  |
+//! | `/metrics`            | GET    | text key-value snapshot of the obs registry    |
+//! | `/trace/<job>`        | GET    | the job's trace stream as NDJSON               |
 //!
 //! Jobs run on their own thread against their own [`ResultCache`]
 //! session over the shared `cache.jsonl` (append-only lines make the
@@ -26,11 +28,12 @@ use std::sync::{Arc, Mutex};
 
 use rapid_experiments::json::{self, JsonValue};
 use rapid_experiments::params::Preset;
+use rapid_obs::Obs;
 use rapid_sim::parallelism::Parallelism;
 
 use crate::cache::{CacheCounters, ResultCache};
 use crate::http::{Method, Request, Response};
-use crate::scheduler::{run_sweep, TrialStatus};
+use crate::scheduler::{run_sweep_observed, SweepObs, TrialStatus};
 use crate::spec::SweepSpec;
 
 /// Supplies the `/bench` document (injected by the `xp` binary, which
@@ -123,6 +126,10 @@ struct ServerState {
     config: ServeConfig,
     jobs: Mutex<BTreeMap<String, Job>>,
     next_job: AtomicU64,
+    /// One registry + trace buffer for the whole server: every job
+    /// updates the same `sweep.*` cells and traces on its own stream
+    /// (its job id), which is what `/metrics` and `/trace/<job>` serve.
+    obs: Arc<Obs>,
 }
 
 impl ServerState {
@@ -155,6 +162,7 @@ impl Server {
                 config,
                 jobs: Mutex::new(BTreeMap::new()),
                 next_job: AtomicU64::new(1),
+                obs: Obs::new(),
             }),
         })
     }
@@ -206,6 +214,8 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
         (Method::Get, ["status", id]) => job_status(state, id),
         (Method::Get, ["result", id]) => job_result(state, id),
         (Method::Get, ["bench"]) => bench(state, request),
+        (Method::Get, ["metrics"]) => metrics(state),
+        (Method::Get, ["trace", id]) => job_trace(state, id),
         (Method::Post, _) | (Method::Get, _) => {
             Response::error(404, &format!("no route for {}", request.target))
         }
@@ -251,11 +261,63 @@ fn submit_job(state: &Arc<ServerState>, body: &[u8]) -> Response {
     response
 }
 
-/// `GET /status/<id>`.
+/// `GET /status/<id>`: the job document plus a live metric snapshot.
 fn job_status(state: &ServerState, id: &str) -> Response {
-    match state.jobs().get(id) {
-        Some(job) => Response::json(200, job.status_json(id).to_compact()),
-        None => Response::error(404, &format!("no job {id:?}")),
+    let doc = match state.jobs().get(id) {
+        Some(job) => job.status_json(id),
+        None => return Response::error(404, &format!("no job {id:?}")),
+    };
+    let JsonValue::Object(mut fields) = doc else {
+        return Response::error(500, "status document must be an object");
+    };
+    fields.insert("metrics".to_string(), live_metrics(state));
+    Response::json(200, JsonValue::Object(fields).to_compact())
+}
+
+/// The live observability snapshot folded into `/status/<id>`.
+fn live_metrics(state: &ServerState) -> JsonValue {
+    let snap = state.obs.registry.snapshot();
+    let gauge = |name: &str| JsonValue::U64(snap.get_gauge(name).unwrap_or(0));
+    let counter = |name: &str| JsonValue::U64(snap.get_counter(name).unwrap_or(0));
+    JsonValue::object([
+        ("trials_in_flight", gauge("sweep.trials.in_flight")),
+        ("queue_depth", gauge("sweep.queue.depth")),
+        (
+            "events_buffered",
+            JsonValue::U64(state.obs.trace.len() as u64),
+        ),
+        ("cache_hits", counter("sweep.cache.hits")),
+        ("cache_misses", counter("sweep.cache.misses")),
+        ("cache_insertions", counter("sweep.cache.insertions")),
+    ])
+}
+
+/// `GET /metrics`: the whole registry as sorted `name value` text lines.
+fn metrics(state: &ServerState) -> Response {
+    Response {
+        status: 200,
+        content_type: "text/plain",
+        body: state.obs.registry.snapshot().to_text().into_bytes(),
+    }
+}
+
+/// `GET /trace/<id>`: the job's trace stream as NDJSON (empty body when
+/// the job has emitted nothing yet).
+fn job_trace(state: &ServerState, id: &str) -> Response {
+    if !state.jobs().contains_key(id) {
+        return Response::error(404, &format!("no job {id:?}"));
+    }
+    let mut body = String::new();
+    for record in state.obs.trace.records() {
+        if record.stream == id {
+            body.push_str(&record.to_json_line());
+            body.push('\n');
+        }
+    }
+    Response {
+        status: 200,
+        content_type: "application/x-ndjson",
+        body: body.into_bytes(),
     }
 }
 
@@ -344,11 +406,13 @@ fn run_job(state: &ServerState, id: &str, spec: &SweepSpec, parallelism: Paralle
         None => None,
     };
     let commit = state.config.commit.clone();
-    let outcome = run_sweep(
+    let sweep_obs = SweepObs::new(Arc::clone(&state.obs), id);
+    let outcome = run_sweep_observed(
         spec,
         parallelism,
         cache.as_mut(),
         commit.as_deref(),
+        Some(&sweep_obs),
         |record| {
             if let Some(job) = state.jobs().get_mut(id) {
                 job.completed += 1;

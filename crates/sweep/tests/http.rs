@@ -61,16 +61,22 @@ fn truncations_of_a_valid_request_never_panic() {
 
 #[test]
 fn bit_flips_of_a_valid_request_never_panic() {
-    let valid: &[u8] = b"GET /status/job-1 HTTP/1.1\r\nHost: x\r\n\r\n";
+    let bases: [&[u8]; 3] = [
+        b"GET /status/job-1 HTTP/1.1\r\nHost: x\r\n\r\n",
+        b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n",
+        b"GET /trace/job-1 HTTP/1.1\r\nHost: x\r\n\r\n",
+    ];
     let mut rng = XorShift(42);
-    for _ in 0..2000 {
-        let mut mutated = valid.to_vec();
-        let flips = 1 + (rng.next() % 4) as usize;
-        for _ in 0..flips {
-            let at = (rng.next() as usize) % mutated.len();
-            mutated[at] ^= 1 << (rng.next() % 8);
+    for valid in bases {
+        for _ in 0..2000 {
+            let mut mutated = valid.to_vec();
+            let flips = 1 + (rng.next() % 4) as usize;
+            for _ in 0..flips {
+                let at = (rng.next() as usize) % mutated.len();
+                mutated[at] ^= 1 << (rng.next() % 8);
+            }
+            let _ = parse(&mutated);
         }
-        let _ = parse(&mutated);
     }
 }
 
@@ -234,6 +240,56 @@ fn golden_end_to_end_flow_with_cache_hit_on_rerun() {
     assert_eq!(status, 200);
     assert!(bench.contains("\"rows\""));
 
+    // /status carries a live metric snapshot alongside the job fields.
+    let metrics = done.get("metrics").expect("metrics object in /status");
+    assert_eq!(
+        metrics.get("trials_in_flight").and_then(|v| v.as_u64()),
+        Some(0),
+        "nothing in flight once the job is done"
+    );
+    assert!(
+        metrics
+            .get("cache_hits")
+            .and_then(|v| v.as_u64())
+            .is_some_and(|h| h >= 2),
+        "re-homed cache counters surface in the metric snapshot"
+    );
+
+    // /metrics renders the registry as sorted `name value` text.
+    let (status, text) = get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        text.lines().any(|l| l.starts_with("sweep.cache.hits ")),
+        "registry counters render in /metrics: {text}"
+    );
+    assert!(
+        text.lines()
+            .any(|l| l.starts_with("sweep.trials.computed ")),
+        "{text}"
+    );
+
+    // /trace/<job> serves the job's own stream as NDJSON: the rerun's
+    // stream holds exactly its two cache probes, both hits.
+    let (status, trace) = get(&addr, &format!("/trace/{rerun}"));
+    assert_eq!(status, 200);
+    let lines: Vec<&str> = trace.lines().collect();
+    assert_eq!(lines.len(), 2, "two phase-1 probes traced: {trace}");
+    for line in lines {
+        let parsed = json::parse(line).expect("trace line is JSON");
+        assert_eq!(
+            parsed.get("stream").and_then(|s| s.as_str()),
+            Some(rerun.as_str())
+        );
+        assert_eq!(
+            parsed.get("kind").and_then(|k| k.as_str()),
+            Some("cache_probe")
+        );
+        assert_eq!(
+            parsed.get("hit").map(|h| h.to_compact()),
+            Some("true".to_string())
+        );
+    }
+
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -247,6 +303,13 @@ fn server_rejects_bad_requests_with_typed_statuses() {
     // Unknown job.
     let (status, _) = get(&addr, "/status/job-999");
     assert_eq!(status, 404);
+    // Unknown job's trace is also 404 (not an empty document).
+    let (status, _) = get(&addr, "/trace/job-999");
+    assert_eq!(status, 404);
+    // /metrics works on a fresh server: empty registry, empty body.
+    let (status, body) = get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    assert_eq!(body, "");
     // Submit with a bad body.
     let (status, _) = post(&addr, "/run", "not json");
     assert_eq!(status, 422);

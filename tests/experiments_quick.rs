@@ -74,6 +74,7 @@ quick_test!(
     e23_quick_report_is_well_formed => "e23",
     e24_quick_report_is_well_formed => "e24",
     e25_quick_report_is_well_formed => "e25",
+    e26_quick_report_is_well_formed => "e26",
 );
 
 /// E21's quick preset deliberately reaches n = 10^8 (the macro engine
@@ -89,8 +90,8 @@ fn e21_quick_report_is_well_formed() {
 }
 
 #[test]
-fn registry_covers_exactly_the_25_experiments() {
-    assert_eq!(registry().len(), 25);
+fn registry_covers_exactly_the_26_experiments() {
+    assert_eq!(registry().len(), 26);
     for (i, exp) in registry().iter().enumerate() {
         assert_eq!(exp.id(), format!("e{:02}", i + 1));
     }
